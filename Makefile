@@ -1,0 +1,25 @@
+# Convenience targets for the PuPPIeS reproduction.
+
+.PHONY: install test bench examples clean all
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/personalized_sharing.py
+	python examples/psp_transformations.py
+	python examples/document_redaction.py
+	python examples/attack_gallery.py
+
+clean:
+	rm -rf examples/out .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +
+
+all: install test bench

@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper, prints its rows
+in the paper's format (via :mod:`repro.bench.reporting`, which writes to
+the real stdout so pytest capture cannot hide them), and asserts the
+qualitative *shape* the paper claims (who wins, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import prepare_corpus
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Flush every bench table to the terminal after the run.
+
+    pytest captures per-test output by default; the reproduction tables
+    are the *point* of these benches, so they are buffered during the run
+    and re-emitted here, where pytest writes to the real terminal.
+    """
+    from repro.bench.reporting import drain_session_report
+
+    lines = drain_session_report()
+    if not lines:
+        return
+    terminalreporter.write_sep("=", "paper reproduction tables")
+    for line in lines:
+        terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def pascal_corpus():
+    """The PASCAL-profile corpus used by most storage benches."""
+    return prepare_corpus("pascal", n_images=16)
+
+
+@pytest.fixture(scope="session")
+def inria_corpus():
+    """The INRIA-profile (high-resolution) corpus."""
+    return prepare_corpus("inria", n_images=6)
+
+
+@pytest.fixture(scope="session")
+def caltech_corpus():
+    """The Caltech-profile portrait corpus (face experiments)."""
+    return prepare_corpus("caltech", n_images=12)

@@ -1,0 +1,204 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these isolate *why* the paper's numbers come
+out the way they do:
+
+1. Huffman-table rebuilding: the entire -B -> -C size collapse.
+2. The shaped range matrix Q' vs a flat-range variant with the same total
+   randomness: shaping buys most of the size reduction.
+3. The overhead of this reproduction's WInd exactness fix.
+4. Display clipping as a side channel for the recognition attack.
+"""
+
+import numpy as np
+
+from repro.bench import print_table, protect_whole_image
+from repro.bench.harness import fraction_roi, protect_rois
+from repro.core.policy import PrivacyLevel, PrivacySettings
+from repro.jpeg.filesize import encoded_size_bytes
+from repro.util.stats import summarize
+
+
+def test_ablation_huffman_table_rebuilding(benchmark, pascal_corpus):
+    """Same perturbed coefficients, different entropy coding."""
+    corpus = pascal_corpus[:8]
+
+    def run():
+        rows = {}
+        for scheme in ("puppies-b", "puppies-c"):
+            default_sizes, optimized_sizes = [], []
+            for item in corpus:
+                perturbed, _public, _key = protect_whole_image(item, scheme)
+                default_sizes.append(
+                    encoded_size_bytes(perturbed, optimize=False)
+                    / item.original_size
+                )
+                optimized_sizes.append(
+                    encoded_size_bytes(perturbed, optimize=True)
+                    / item.original_size
+                )
+            rows[scheme] = (
+                summarize(default_sizes).mean,
+                summarize(optimized_sizes).mean,
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: default vs rebuilt Huffman tables "
+        "(normalized perturbed size)",
+        ["scheme", "default tables", "rebuilt tables", "reduction"],
+        [
+            (s, f"{d:.2f}", f"{o:.2f}", f"{d / o:.1f}x")
+            for s, (d, o) in rows.items()
+        ],
+    )
+    # Rebuilding the tables claws back a large factor on -B's blow-up,
+    # but full-range AC randomness is fundamentally incompressible: the
+    # magnitude bits remain. The full rescue needs -C's narrowed ranges
+    # *plus* the rebuilt tables — each alone is insufficient.
+    default_b, optimized_b = rows["puppies-b"]
+    default_c, optimized_c = rows["puppies-c"]
+    assert default_b > 1.5 * optimized_b
+    assert default_c < 0.3 * default_b
+    assert optimized_c < 0.2 * optimized_b
+
+
+def test_ablation_range_matrix_shape(benchmark, pascal_corpus):
+    """Q' shaping vs a flat range with comparable total randomness.
+
+    Medium Q' assigns ranges 2048,1024,...,32 over the first 8
+    coefficients (61 bits total). A flat variant spreads the same number
+    of perturbed coefficients at a uniform 128 range (56 bits) — similar
+    security budget, but it perturbs high frequencies harder than Q'
+    does, which costs more after entropy coding.
+    """
+    corpus = pascal_corpus[:8]
+    shaped = PrivacySettings.for_level(PrivacyLevel.MEDIUM)
+    flat = PrivacySettings(min_range=128, n_perturbed=8)
+
+    def run():
+        out = {}
+        for name, settings in (("shaped-Q", shaped), ("flat-Q", flat)):
+            sizes = []
+            for item in corpus:
+                perturbed, _public, _key = protect_whole_image(
+                    item, "puppies-c", settings=settings
+                )
+                sizes.append(
+                    encoded_size_bytes(perturbed, optimize=True)
+                    / item.original_size
+                )
+            out[name] = summarize(sizes).mean
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: shaped vs flat range matrix (normalized size, medium)",
+        ["variant", "mean normalized size"],
+        [(k, f"{v:.2f}") for k, v in out.items()],
+    )
+    # Shaping concentrates randomness at low frequencies, where entropy
+    # coding absorbs it more cheaply per bit of protection.
+    assert out["shaped-Q"] <= out["flat-Q"] * 1.1
+
+
+def test_ablation_wind_overhead(benchmark, pascal_corpus):
+    """What the Scenario-2 exactness fix (WInd) costs in public params."""
+    corpus = pascal_corpus[:8]
+
+    def run():
+        rows = []
+        for level in PrivacyLevel:
+            with_support, without = [], []
+            for item in corpus:
+                roi = fraction_roi(
+                    item.image,
+                    1.0,
+                    settings=PrivacySettings.for_level(level),
+                    scheme="puppies-c",
+                )
+                _perturbed, public, _keys = protect_rois(item, [roi])
+                with_support.append(
+                    public.params_size_bytes(
+                        include_transform_support=True
+                    )
+                    / item.original_size
+                )
+                without.append(
+                    public.params_size_bytes(
+                        include_transform_support=False
+                    )
+                    / item.original_size
+                )
+            rows.append(
+                (
+                    level.value,
+                    float(np.mean(without)),
+                    float(np.mean(with_support)),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: public-parameter size with/without WInd "
+        "(fraction of original image size, whole-image ROI)",
+        ["privacy level", "paper params", "+ WInd (exact scenario 2)"],
+        [(n, f"{a:.3f}", f"{b:.3f}") for n, a, b in rows],
+    )
+    for _level, without, with_support in rows:
+        assert with_support >= without
+        # Worst case (whole-image ROI at high privacy) the fix costs a
+        # ~1-bit-per-coefficient bitmap, which on these highly
+        # compressible synthetic images can exceed the original encoded
+        # size — still bounded, and negligible at realistic ROI sizes.
+        assert with_support - without < 2.0
+
+
+def test_ablation_clipping_side_channel(benchmark):
+    """Display clipping leaks structure to the recognition attack.
+
+    Comparing the eigenface CMC on uint8 (clipped) vs float (unclipped)
+    renderings of the same perturbed probes isolates the display-clipping
+    side channel discussed in EXPERIMENTS.md §F22.
+    """
+    from repro.attacks.facerecog_attack import face_recognition_attack
+    from repro.bench.harness import prepare_corpus
+
+    corpus = prepare_corpus("feret", n_images=60)
+    gallery, probes = corpus[:30], corpus[30:]
+
+    def run():
+        clipped, unclipped = [], []
+        for item in probes:
+            perturbed, _public, _key = protect_whole_image(
+                item, "puppies-z"
+            )
+            clipped.append(perturbed.to_array())
+            unclipped.append(perturbed.to_float_array())
+        return face_recognition_attack(
+            [i.source.array for i in gallery],
+            [i.source.identity for i in gallery],
+            [i.source.identity for i in probes],
+            {"clipped": clipped, "unclipped": unclipped},
+            max_rank=10,
+        )
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation: clipping side channel (CMC of the recognition attack)",
+        ["variant", "rank-1", "rank-5", "mean"],
+        [
+            (
+                name,
+                f"{curve[0]:.2f}",
+                f"{curve[4]:.2f}",
+                f"{float(np.mean(curve)):.2f}",
+            )
+            for name, curve in curves.curves.items()
+        ],
+    )
+    clipped = curves.curves["clipped"]
+    unclipped = curves.curves["unclipped"]
+    assert float(np.mean(unclipped)) <= float(np.mean(clipped)) + 0.05

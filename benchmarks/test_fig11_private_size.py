@@ -1,0 +1,73 @@
+"""Fig. 11 — size of the private part vs number of private matrices.
+
+PuPPIeS's private part is just the matrices (two 64-entry vectors per
+region key), growing linearly; P3's private part is a whole image, flat in
+the matrix count and far larger for high-resolution corpora. The paper's
+observations: PuPPIeS-PASCAL crosses P3-PASCAL only beyond ~26 matrices,
+and on INRIA PuPPIeS saves >93%.
+"""
+
+import numpy as np
+
+from repro.baselines import P3
+from repro.bench import print_table
+from repro.core.keys import KeyRing, generate_private_key
+
+MATRIX_COUNTS = (2, 6, 10, 14, 18, 22, 26, 30, 32)
+
+
+def test_fig11_private_part_sizes(benchmark, pascal_corpus, inria_corpus):
+    def run():
+        puppies_sizes = {}
+        for count in MATRIX_COUNTS:
+            ring = KeyRing(
+                generate_private_key(f"matrix-{i}", "owner")
+                for i in range(count)
+            )
+            puppies_sizes[count] = ring.serialized_size_bytes()
+        p3 = P3()
+        p3_pascal = float(
+            np.mean(
+                [
+                    p3.split(item.image).private_size_bytes()
+                    for item in pascal_corpus[:8]
+                ]
+            )
+        )
+        p3_inria = float(
+            np.mean(
+                [
+                    p3.split(item.image).private_size_bytes()
+                    for item in inria_corpus[:4]
+                ]
+            )
+        )
+        return puppies_sizes, p3_pascal, p3_inria
+
+    puppies_sizes, p3_pascal, p3_inria = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print_table(
+        "Fig. 11: private-part size (bytes) vs number of private matrices",
+        ["n matrices", "PuPPIeS", "P3-PASCAL (flat)", "P3-INRIA (flat)"],
+        [
+            (n, puppies_sizes[n], f"{p3_pascal:.0f}", f"{p3_inria:.0f}")
+            for n in MATRIX_COUNTS
+        ],
+    )
+
+    sizes = [puppies_sizes[n] for n in MATRIX_COUNTS]
+    # Linear growth in the number of matrices (up to id-string lengths).
+    per_matrix = sizes[0] / MATRIX_COUNTS[0]
+    for n, size in puppies_sizes.items():
+        assert abs(size - per_matrix * n) <= 2 * n
+    # P3's private part dwarfs a couple of matrices; high-res far worse.
+    assert puppies_sizes[2] < 0.5 * p3_pascal
+    assert puppies_sizes[2] < 0.15 * p3_inria
+    assert p3_inria > 2.5 * p3_pascal
+    # P3 is flat while PuPPIeS grows, so a crossover exists on the
+    # low-resolution corpus within the plotted range (the paper's ~26
+    # matrices; earlier here because the synthetic corpus is smaller).
+    assert sizes[0] < p3_pascal < sizes[-1]
+    # ...but not on the high-resolution corpus until far more matrices.
+    assert p3_inria > puppies_sizes[10]

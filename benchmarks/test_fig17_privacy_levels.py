@@ -1,0 +1,75 @@
+"""Fig. 17 — normalized perturbed size vs privacy level (PASCAL & INRIA).
+
+Paper: size grows with the privacy level; at high, PuPPIeS-C reaches ~5x
+(PASCAL) and ~8x (INRIA); at medium it sits around 1.1-2; low (DC-only)
+is negligible; and the -C/-Z gap widens with the level (zero-skipping
+matters most when many high frequencies are perturbed).
+"""
+
+from repro.bench import normalized_sizes, print_table
+from repro.core.policy import PrivacyLevel, PrivacySettings
+from repro.util.stats import summarize
+
+
+def test_fig17_size_vs_privacy_level(
+    benchmark, pascal_corpus, inria_corpus
+):
+    def run():
+        results = {}
+        for dataset, corpus in (
+            ("pascal", pascal_corpus[:8]),
+            ("inria", inria_corpus[:4]),
+        ):
+            for scheme in ("puppies-c", "puppies-z"):
+                for level in PrivacyLevel:
+                    sizes = normalized_sizes(
+                        corpus,
+                        scheme,
+                        settings=PrivacySettings.for_level(level),
+                    )
+                    stats = summarize(sizes)
+                    results[(dataset, scheme, level.value)] = (
+                        stats.mean,
+                        stats.std,
+                    )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (dataset, scheme, level, f"{mean:.2f}", f"{std:.2f}")
+        for (dataset, scheme, level), (mean, std) in results.items()
+    ]
+    print_table(
+        "Fig. 17: normalized perturbed size vs privacy level",
+        ["dataset", "scheme", "level", "mean", "std"],
+        rows,
+    )
+
+    for dataset in ("pascal", "inria"):
+        for scheme in ("puppies-c", "puppies-z"):
+            low = results[(dataset, scheme, "low")][0]
+            medium = results[(dataset, scheme, "medium")][0]
+            high = results[(dataset, scheme, "high")][0]
+            # Monotone growth with the privacy level.
+            assert low < medium < high
+            # High privacy costs several-fold.
+            assert high > 2.0
+        # Low (DC-only) is clearly cheaper than medium where AC
+        # perturbation dominates (-C pays full Huffman mismatch on AC).
+        # The paper calls low "negligible"; on synthetic corpora the
+        # differential DC coder loses more ground — see EXPERIMENTS.md
+        # §F17 — but the ordering and the -C gap hold.
+        low_c = results[(dataset, "puppies-c", "low")][0]
+        medium_c = results[(dataset, "puppies-c", "medium")][0]
+        assert low_c < 0.85 * medium_c
+        # The -C / -Z gap widens with the privacy level.
+        gap_medium = (
+            results[(dataset, "puppies-c", "medium")][0]
+            - results[(dataset, "puppies-z", "medium")][0]
+        )
+        gap_high = (
+            results[(dataset, "puppies-c", "high")][0]
+            - results[(dataset, "puppies-z", "high")][0]
+        )
+        assert gap_high > gap_medium

@@ -1,0 +1,115 @@
+"""Fig. 18 — normalized public-part size vs ROI area percentage.
+
+The public part = perturbed image + public parameters. Paper shape:
+grows linearly with ROI area; PuPPIeS-Z sits above PuPPIeS-C because of
+ZInd (a 12-36% surcharge) but drops below it with ZInd excluded; P3's
+public part is flat (whole-image) and much smaller than any PuPPIeS
+variant, because P3 strips all significant coefficients while PuPPIeS
+keeps the image useful.
+"""
+
+import numpy as np
+
+from repro.baselines import P3
+from repro.bench import print_table
+from repro.bench.harness import fraction_roi, protect_rois
+from repro.jpeg.filesize import encoded_size_bytes
+
+ROI_PERCENTS = (20, 40, 60, 80, 100)
+
+
+def _public_size(item, scheme, fraction, include_zind=True):
+    roi = fraction_roi(item.image, fraction, scheme=scheme)
+    perturbed, public, _keys = protect_rois(item, [roi])
+    image_bytes = encoded_size_bytes(perturbed, optimize=True)
+    params_bytes = public.params_size_bytes(
+        include_zind=include_zind, include_transform_support=False
+    )
+    return (image_bytes + params_bytes) / item.original_size
+
+
+def test_fig18_public_part_vs_roi_area(benchmark, pascal_corpus):
+    corpus = pascal_corpus[:8]
+
+    def run():
+        series = {"puppies-c": [], "puppies-z": [], "z-no-zind": []}
+        for percent in ROI_PERCENTS:
+            frac = percent / 100.0
+            series["puppies-c"].append(
+                float(
+                    np.mean(
+                        [
+                            _public_size(item, "puppies-c", frac)
+                            for item in corpus
+                        ]
+                    )
+                )
+            )
+            series["puppies-z"].append(
+                float(
+                    np.mean(
+                        [
+                            _public_size(item, "puppies-z", frac)
+                            for item in corpus
+                        ]
+                    )
+                )
+            )
+            series["z-no-zind"].append(
+                float(
+                    np.mean(
+                        [
+                            _public_size(
+                                item, "puppies-z", frac, include_zind=False
+                            )
+                            for item in corpus
+                        ]
+                    )
+                )
+            )
+        p3 = P3()
+        p3_size = float(
+            np.mean(
+                [
+                    p3.split(item.image).public_size_bytes()
+                    / item.original_size
+                    for item in corpus
+                ]
+            )
+        )
+        return series, p3_size
+
+    series, p3_size = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for i, percent in enumerate(ROI_PERCENTS):
+        rows.append(
+            (
+                f"{percent}%",
+                f"{series['puppies-c'][i]:.2f}",
+                f"{series['puppies-z'][i]:.2f}",
+                f"{series['z-no-zind'][i]:.2f}",
+                f"{p3_size:.2f}",
+            )
+        )
+    print_table(
+        "Fig. 18: normalized public-part size vs ROI area",
+        ["ROI area", "PuPPIeS-C", "PuPPIeS-Z", "Z (no ZInd)", "P3 (flat)"],
+        rows,
+    )
+
+    for name, values in series.items():
+        # Public size grows monotonically with ROI area.
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:])), name
+    # Without ZInd, -Z's public part beats -C's (zero-runs preserved).
+    for c_val, nz_val in zip(series["puppies-c"], series["z-no-zind"]):
+        assert nz_val < c_val
+    # P3's public part is smaller than any PuPPIeS public part (it strips
+    # all detail), and flat across the sweep by construction.
+    assert p3_size < min(series["z-no-zind"])
+    # ZInd surcharge is nonnegative and bounded. The paper reports a
+    # 12-36% band; Algorithm 2 as printed (per-frequency-constant AC
+    # perturbation) produces almost no new zeros on our corpora, so the
+    # measured surcharge is far smaller — see EXPERIMENTS.md §F18.
+    surcharge = series["puppies-z"][-1] / series["z-no-zind"][-1] - 1.0
+    assert 0.0 <= surcharge < 0.6

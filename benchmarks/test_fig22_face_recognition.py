@@ -1,0 +1,124 @@
+"""Fig. 22 + Section VI-B.3/4 — face detection and recognition attacks.
+
+Detection (Caltech profile): paper finds 596 faces in the originals but
+only ~53 (8.9%) in PuPPIeS-perturbed images, vs 140 (23%) in P3's public
+parts — PuPPIeS strictly better than P3.
+
+Recognition (FERET profile): the eigenface CMC curve reaches ~50% at
+rank 50 for P3 public parts but stays under ~5% for PuPPIeS-Z; here we
+assert original >> P3 >= PuPPIeS with PuPPIeS near chance.
+"""
+
+import numpy as np
+
+from repro.attacks.facedetect_attack import count_correct_detections
+from repro.attacks.facerecog_attack import face_recognition_attack
+from repro.baselines import P3
+from repro.bench import print_series, print_table, protect_whole_image
+from repro.bench.harness import prepare_corpus
+
+
+def test_face_detection_attack(benchmark, caltech_corpus):
+    def run():
+        truths = [item.source.faces for item in caltech_corpus]
+        counts = {
+            "original": count_correct_detections(
+                (item.source.array, item.source.faces)
+                for item in caltech_corpus
+            )
+        }
+        for scheme in ("puppies-c", "puppies-z"):
+            images = []
+            for item in caltech_corpus:
+                perturbed, _public, _key = protect_whole_image(item, scheme)
+                images.append(perturbed.to_array())
+            counts[scheme] = count_correct_detections(zip(images, truths))
+        p3 = P3()
+        p3_images = [
+            p3.split(item.image).public.to_array()
+            for item in caltech_corpus
+        ]
+        counts["p3-public"] = count_correct_detections(
+            zip(p3_images, truths)
+        )
+        return counts
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Sec VI-B.3: correctly detected faces (Caltech profile)",
+        ["variant", "detected", "ground truth", "rate"],
+        [
+            (name, c.detected, c.ground_truth, f"{c.rate:.2f}")
+            for name, c in counts.items()
+        ],
+    )
+    original = counts["original"]
+    assert original.rate >= 0.6, "detector must work on originals"
+    for scheme in ("puppies-c", "puppies-z"):
+        # The paper's <9% bound on surviving face information.
+        assert counts[scheme].rate <= 0.09 + 1e-9
+        # PuPPIeS leaks no more faces than P3's public part.
+        assert counts[scheme].detected <= counts["p3-public"].detected
+
+
+def test_fig22_face_recognition_attack(benchmark):
+    from repro.core.policy import PrivacyLevel, PrivacySettings
+
+    corpus = prepare_corpus("feret", n_images=60)
+    gallery = corpus[:30]
+    probes = corpus[30:]
+
+    def run():
+        probe_variants = {
+            "original": [item.source.array for item in probes]
+        }
+        for level in (PrivacyLevel.MEDIUM, PrivacyLevel.HIGH):
+            images = []
+            for item in probes:
+                perturbed, _public, _key = protect_whole_image(
+                    item,
+                    "puppies-z",
+                    settings=PrivacySettings.for_level(level),
+                )
+                images.append(perturbed.to_array())
+            probe_variants[f"puppies-z-{level.value}"] = images
+        p3 = P3()
+        probe_variants["p3-public"] = [
+            p3.split(item.image).public.to_array() for item in probes
+        ]
+        return face_recognition_attack(
+            [item.source.array for item in gallery],
+            [item.source.identity for item in gallery],
+            [item.source.identity for item in probes],
+            probe_variants,
+            max_rank=15,
+        )
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    ranks = list(range(1, curves.max_rank + 1))
+    for name, curve in curves.curves.items():
+        print_series(
+            f"Fig. 22: cumulative recognition ratio — {name}",
+            [f"rank {r}" for r in ranks],
+            [f"{v:.2f}" for v in curve],
+        )
+
+    n_identities = curves.max_rank
+    original = curves.curves["original"]
+    medium = curves.curves["puppies-z-medium"]
+    high = curves.curves["puppies-z-high"]
+    p3_curve = curves.curves["p3-public"]
+    # The attacker's tool works on unprotected probes...
+    assert original[0] > 0.4
+    # ...and collapses to chance on high-privacy probes (the paper's
+    # gallery has ~1000 identities, so its reported 5%@50 *is* chance).
+    chance_at_1 = 1.0 / n_identities
+    assert high[0] <= chance_at_1 + 0.1
+    # Medium privacy leaks measurably less than no protection. (Residual
+    # leakage comes from the unperturbed AC tail and display clipping —
+    # quantified in EXPERIMENTS.md §F22 and the clipping ablation.)
+    assert medium[0] < 0.6 * original[0]
+    assert float(np.mean(high)) < float(np.mean(medium))
+    # PuPPIeS at high privacy leaks no more than P3's public part.
+    assert high[0] <= p3_curve[0] + 0.1

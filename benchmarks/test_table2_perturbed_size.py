@@ -1,0 +1,73 @@
+"""Table II — normalized size of perturbed images (PASCAL, whole image).
+
+Paper's rows (normalized to the original size, medium privacy, whole-image
+ROI to bound the worst case):
+
+    PuPPIeS-Base         mean 10.45  median 9.69  (default Huffman tables)
+    PuPPIeS-Compression  mean  1.46  median 1.41  (rebuilt tables)
+    PuPPIeS-Zero         mean  1.23  median 1.22  (zero-skipping)
+
+Absolute factors differ on synthetic corpora (our images compress harder,
+so uniform perturbation costs relatively more); the asserted shape is the
+paper's: Base blows up by an order of magnitude, -C collapses that to
+low single digits, -Z strictly improves on -C, and everything stays > 1.
+"""
+
+from repro.bench import normalized_sizes, print_table
+from repro.util.stats import summarize
+
+PAPER_ROWS = {
+    "puppies-b": (10.45, 9.69),
+    "puppies-c": (1.46, 1.41),
+    "puppies-z": (1.23, 1.22),
+}
+
+
+def test_table2_normalized_perturbed_size(benchmark, pascal_corpus):
+    def run():
+        results = {}
+        # -B is measured with the default tables (that mismatch is its
+        # defect); -C and -Z rebuild tables, per Section IV-B.3.
+        for scheme, optimize in (
+            ("puppies-b", False),
+            ("puppies-c", True),
+            ("puppies-z", True),
+        ):
+            sizes = normalized_sizes(
+                pascal_corpus, scheme, optimize=optimize
+            )
+            results[scheme] = summarize(sizes)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for scheme, stats in results.items():
+        paper_mean, paper_median = PAPER_ROWS[scheme]
+        rows.append(
+            (
+                scheme,
+                f"{stats.mean:.2f}",
+                f"{stats.median:.2f}",
+                f"{stats.std:.2f}",
+                f"{stats.min:.2f}",
+                f"{stats.max:.2f}",
+                f"{paper_mean:.2f}",
+                f"{paper_median:.2f}",
+            )
+        )
+    print_table(
+        "Table II: normalized perturbed image size (PASCAL profile)",
+        ["scheme", "mean", "median", "std", "min", "max",
+         "paper-mean", "paper-median"],
+        rows,
+    )
+
+    base = results["puppies-b"]
+    compression = results["puppies-c"]
+    zero = results["puppies-z"]
+    # Shape assertions from the paper.
+    assert base.mean > 5 * compression.mean, "Base must blow up ~10x vs -C"
+    assert compression.mean > zero.mean, "-Z strictly improves on -C"
+    assert zero.mean > 1.0, "perturbation always costs something"
+    assert compression.mean < 4.0, "-C keeps overhead in low single digits"

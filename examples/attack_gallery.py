@@ -1,0 +1,107 @@
+"""Run the full Section-VI attack suite against one protected photo.
+
+An adversary at the PSP gets the stored perturbed image and the public
+parameters — nothing else. This example throws every implemented attack
+at that artifact and prints a report: brute-force accounting, SIFT
+matching, Canny edge recovery, face detection, and the three signal-
+correlation recoveries judged by the simulated observer.
+
+Run:  python examples/attack_gallery.py
+Outputs land in examples/out/attacks/.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import (
+    analyze_brute_force,
+    edge_attack,
+    matrix_inference_attack,
+    pca_reconstruction_attack,
+    sift_attack,
+    simulated_observer_study,
+    spiral_interpolation_attack,
+)
+from repro.core import (
+    PrivacyLevel,
+    PrivacySettings,
+    RegionOfInterest,
+    SharingSession,
+)
+from repro.datasets import load_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.util.imageio import write_image
+from repro.util.rect import Rect
+from repro.vision import detect_faces
+from repro.vision.metrics import detection_precision_recall
+
+OUT = "examples/out/attacks"
+
+
+def main() -> None:
+    photo = load_image("caltech", 0)
+    image = CoefficientImage.from_array(photo.array, quality=75)
+    by, bx = image.blocks_shape
+    settings = PrivacySettings.for_level(PrivacyLevel.MEDIUM)
+    roi_rect = Rect(0, 0, by * 8, bx * 8)
+    roi = RegionOfInterest("whole", roi_rect, settings)
+
+    session = SharingSession("victim")
+    session.share("photo", image, [roi])
+    stored = session.view_public("photo")
+    stored_pixels = stored.to_array()
+    public = session.psp.public_data("photo")
+    write_image(f"{OUT}/original.ppm", photo.array)
+    write_image(f"{OUT}/stored.ppm", stored_pixels)
+
+    print("=== brute force (Sec VI-A) ===")
+    analysis = analyze_brute_force(settings)
+    print(f"  keyspace: {analysis.total_bits} bits "
+          f"(DC {analysis.dc_bits} + AC {analysis.ac_bits}); "
+          f"~1e{int(np.log10(analysis.years_at_terahash))} years at 1 THz")
+
+    print("=== SIFT matching (Sec VI-B.1) ===")
+    result = sift_attack(photo.array, stored_pixels)
+    print(f"  original features: {result.n_original}, "
+          f"matched in stored copy: {result.n_matched}")
+
+    print("=== edge detection (Sec VI-B.2) ===")
+    edges = edge_attack(photo.array, stored_pixels)
+    print(f"  matched edge pixels: {edges.matched_pixels} "
+          f"({100 * edges.normalized_matched:.2f}% of the image)")
+
+    print("=== face detection (Sec VI-B.3) ===")
+    _, _, tp_orig = detection_precision_recall(
+        detect_faces(photo.array), photo.faces
+    )
+    _, _, tp_stored = detection_precision_recall(
+        detect_faces(stored_pixels), photo.faces
+    )
+    print(f"  faces found: original {tp_orig}/{len(photo.faces)}, "
+          f"stored {tp_stored}/{len(photo.faces)}")
+
+    print("=== signal correlation (Sec VI-B.5) ===")
+    arr = stored_pixels.astype(float)
+    recoveries = {
+        "matrix_inference": matrix_inference_attack(stored, public).to_array(),
+        "spiral_interpolation": spiral_interpolation_attack(arr, roi_rect),
+        "pca_reconstruction": pca_reconstruction_attack(arr, roi_rect),
+    }
+    cases = []
+    for name, recovered in recoveries.items():
+        write_image(f"{OUT}/recovered_{name}.ppm", np.asarray(recovered))
+        cases.append((photo.array, np.asarray(recovered), roi_rect))
+    fraction, verdicts = simulated_observer_study(cases)
+    for (name, _), verdict in zip(recoveries.items(), verdicts):
+        print(f"  {name}: ssim={verdict.ssim_score:.2f} "
+              f"edges={verdict.edge_overlap:.2f} "
+              f"corr={verdict.correlation:.2f} -> "
+              f"{'DESCRIBABLE' if verdict.describable else 'unrecognizable'}")
+    print(f"  observer study: {fraction:.0%} of recoveries describable "
+          "(paper: 0%)")
+    print(f"\nwrote stored copy and attack recoveries to {OUT}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: the Alice-and-Bob story from the paper's introduction.
+
+Alice shares a photo on a Photo Sharing Platform but wants only Bob to see
+the sensitive region. She perturbs that region with a private matrix,
+uploads the perturbed image, and hands Bob the key over a secure channel.
+The PSP (and anyone else) sees a scrambled region; Bob reconstructs the
+original exactly.
+
+Run:  python examples/quickstart.py
+Outputs land in examples/out/quickstart/.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import RegionOfInterest, SharingSession
+from repro.datasets import load_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.util.imageio import write_image
+from repro.util.rect import Rect
+
+OUT = "examples/out/quickstart"
+
+
+def main() -> None:
+    # A street photo whose license plate is the sensitive region.
+    photo = load_image("pascal", 0)
+    print(f"photo: {photo.array.shape[1]}x{photo.array.shape[0]} pixels, "
+          f"plate at {photo.texts[0]}")
+
+    session = SharingSession("alice")
+
+    # Mark the plate (block-aligned) as the region of interest.
+    plate = photo.texts[0].aligned_to(8)
+    roi = RegionOfInterest("plate", plate)
+
+    # Protect, upload, and grant Bob the key — one call.
+    request = session.share(
+        "street-photo", photo.array, [roi], grants={"bob": [roi.matrix_id]}
+    )
+    stored = session.psp.storage_size("street-photo")
+    print(f"uploaded perturbed image: {stored} bytes at the PSP")
+
+    # What each party sees.
+    reference = CoefficientImage.from_array(photo.array, quality=75)
+    public_view = session.view_public("street-photo")
+    bob_view = session.view("bob", "street-photo")
+
+    assert bob_view.coefficients_equal(reference)
+    print("bob reconstructs the photo EXACTLY (coefficient-for-coefficient)")
+
+    diff = np.abs(
+        public_view.to_array().astype(int) - reference.to_array().astype(int)
+    )
+    rows, cols = plate.slices()
+    print(
+        "public view: plate region scrambled "
+        f"(mean |diff| = {diff[rows, cols].mean():.1f}), background intact "
+        f"(mean |diff| = {diff.mean():.1f} overall)"
+    )
+
+    write_image(f"{OUT}/original.ppm", photo.array)
+    write_image(f"{OUT}/uploaded_public.ppm", public_view.to_array())
+    write_image(f"{OUT}/bob_reconstruction.ppm", bob_view.to_array())
+    print(f"wrote original / public / reconstructed images to {OUT}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so ``pip install -e .`` works on environments
+whose setuptools predates PEP 660 editable wheels (no ``wheel`` package).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of PuPPIeS: Transformation-Supported Personalized "
+        "Privacy Preserving Partial Image Sharing (DSN 2016)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+    entry_points={
+        "console_scripts": ["repro-puppies = repro.cli:main"],
+    },
+)

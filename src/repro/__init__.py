@@ -1,0 +1,30 @@
+"""PuPPIeS reproduction — transformation-supported partial image sharing.
+
+A from-scratch reproduction of *"PuPPIeS: Transformation-Supported
+Personalized Privacy Preserving Partial Image Sharing"* (DSN 2016),
+including every substrate the paper depends on: a JPEG-style codec
+(:mod:`repro.jpeg`), PSP-side transformations (:mod:`repro.transforms`),
+synthetic evaluation corpora (:mod:`repro.datasets`), the vision stack
+used by ROI recommendation and the attacks (:mod:`repro.vision`), the
+baseline schemes of Table I (:mod:`repro.baselines`), the attack suite of
+Section VI (:mod:`repro.attacks`), image retrieval (:mod:`repro.search`)
+and the PuPPIeS core itself (:mod:`repro.core`).
+
+Quickstart::
+
+    import numpy as np
+    from repro.core import SharingSession, RegionOfInterest
+    from repro.util import Rect
+
+    session = SharingSession("alice")
+    photo = np.random.default_rng(0).integers(0, 256, (96, 128, 3), "u1")
+    roi = RegionOfInterest("face", Rect(16, 24, 32, 40))
+    session.share("photo-1", photo, [roi], grants={"bob": ["matrix-face"]})
+
+    bob_sees = session.view("bob", "photo-1").to_array()       # decrypted
+    public_sees = session.view_public("photo-1").to_array()    # scrambled
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,46 @@
+"""Privacy attacks against perturbed images (Section VI of the paper).
+
+* :mod:`repro.attacks.bruteforce` — key-space accounting and a scaled-down
+  exhaustive-search demonstration (Section VI-A);
+* :mod:`repro.attacks.sift_attack` — SIFT feature matching (VI-B.1);
+* :mod:`repro.attacks.edge_attack` — Canny edge recovery (VI-B.2);
+* :mod:`repro.attacks.facedetect_attack` — Haar face detection (VI-B.3);
+* :mod:`repro.attacks.facerecog_attack` — eigenface recognition (VI-B.4);
+* :mod:`repro.attacks.correlation` — the three signal-correlation attacks
+  (VI-B.5): private-matrix inference, spiral neighbour interpolation, and
+  PCA reconstruction;
+* :mod:`repro.attacks.observer` — a simulated replacement for the MTurk
+  user study: objective recognizability scoring of recovered images.
+"""
+
+from repro.attacks.bruteforce import (
+    BruteForceAnalysis,
+    analyze_brute_force,
+    demo_exhaustive_search,
+)
+from repro.attacks.correlation import (
+    matrix_inference_attack,
+    pca_reconstruction_attack,
+    spiral_interpolation_attack,
+)
+from repro.attacks.edge_attack import EdgeAttackResult, edge_attack
+from repro.attacks.facedetect_attack import face_detection_attack
+from repro.attacks.facerecog_attack import face_recognition_attack
+from repro.attacks.observer import ObserverVerdict, simulated_observer_study
+from repro.attacks.sift_attack import SiftAttackResult, sift_attack
+
+__all__ = [
+    "BruteForceAnalysis",
+    "EdgeAttackResult",
+    "ObserverVerdict",
+    "SiftAttackResult",
+    "analyze_brute_force",
+    "demo_exhaustive_search",
+    "edge_attack",
+    "face_detection_attack",
+    "face_recognition_attack",
+    "matrix_inference_attack",
+    "pca_reconstruction_attack",
+    "simulated_observer_study",
+    "sift_attack",
+]

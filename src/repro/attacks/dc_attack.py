@@ -1,0 +1,100 @@
+"""The DC brute-force attack that breaks PuPPIeS-N (Section IV-B.1).
+
+The naive scheme perturbs *every* block's DC coefficient with the same
+single value ``P'[0]`` — an 11-bit secret. An adversary enumerates all
+2048 candidates, decrypts the region's DC plane with each, and keeps the
+candidate whose DC mosaic is smoothest: the true candidate removes every
+wrap-around discontinuity, and any candidate within the no-wrap window
+recovers the plane *up to a constant brightness offset* — i.e. the full
+mosaic-level content of Fig. 13a. (The offset itself is unidentifiable
+without outside reference, but privacy is already gone.) This is exactly
+why PuPPIeS-B cycles all 64 entries of ``P_DC`` instead.
+
+Against -B/-C/-Z the same attack faces 2048^64 combinations and the
+best single-value guess recovers essentially nothing; the tests and the
+ablation bench quantify both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.params import RegionParams
+from repro.core.policy import COEFF_MODULUS
+from repro.jpeg.coefficients import CoefficientImage
+
+_HALF = COEFF_MODULUS // 2
+
+
+@dataclass
+class DcAttackResult:
+    """Outcome of the DC brute force on one region."""
+
+    best_candidate: int
+    #: The attacker's reconstruction of the region's DC plane (block
+    #: means), shaped like the region's block grid.
+    recovered_dc: np.ndarray
+    #: Ground-truth-free smoothness score of the winning candidate.
+    smoothness: float
+
+
+def _dc_smoothness(dc_plane: np.ndarray) -> float:
+    """Total variation of the DC mosaic — lower is smoother."""
+    return float(
+        np.abs(np.diff(dc_plane, axis=0)).sum()
+        + np.abs(np.diff(dc_plane, axis=1)).sum()
+    )
+
+
+def dc_bruteforce_attack(
+    perturbed: CoefficientImage,
+    region: RegionParams,
+    channel: int = 0,
+) -> DcAttackResult:
+    """Enumerate all 2048 single-value DC perturbations for one region.
+
+    Works against any scheme; it only *succeeds* (recovers the true DC
+    plane) when the scheme actually used a single value — PuPPIeS-N.
+    """
+    br = region.block_rect
+    dc = perturbed.channels[channel][
+        br.y : br.y2, br.x : br.x2, 0, 0
+    ].astype(np.int64)
+
+    candidates = np.arange(COEFF_MODULUS, dtype=np.int64)
+    # Vectorized Lemma III.1 over all candidates at once:
+    # decrypted[c] = ((dc - c + 1024) mod 2048) - 1024.
+    shifted = dc[None, :, :] - candidates[:, None, None] + _HALF
+    decrypted = (shifted % COEFF_MODULUS) - _HALF
+
+    scores = np.abs(np.diff(decrypted, axis=1)).sum(axis=(1, 2)) + np.abs(
+        np.diff(decrypted, axis=2)
+    ).sum(axis=(1, 2))
+    best = int(np.argmin(scores))
+    return DcAttackResult(
+        best_candidate=best,
+        recovered_dc=decrypted[best],
+        smoothness=float(scores[best]),
+    )
+
+
+def dc_recovery_quality(
+    original: CoefficientImage,
+    result: DcAttackResult,
+    region: RegionParams,
+    channel: int = 0,
+) -> Tuple[float, float]:
+    """(correlation, mean abs error) of the attack's DC plane vs truth."""
+    br = region.block_rect
+    truth = original.channels[channel][
+        br.y : br.y2, br.x : br.x2, 0, 0
+    ].astype(np.float64)
+    guess = result.recovered_dc.astype(np.float64)
+    if truth.std() < 1e-9 or guess.std() < 1e-9:
+        corr = 0.0
+    else:
+        corr = float(np.corrcoef(truth.ravel(), guess.ravel())[0, 1])
+    return corr, float(np.abs(truth - guess).mean())

@@ -1,0 +1,61 @@
+"""Face-recognition attack (Section VI-B.4, Fig. 22).
+
+The adversary holds a labelled gallery (e.g. scraped public photos) and
+runs eigenface recognition on protected probes: if the true identity shows
+up in the top-k ranked candidates, the probe leaked. Fig. 22 plots the
+cumulative recognition ratio against k: around 50% at k=50 for P3's public
+parts vs under 5% for PuPPIeS-Z.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.vision.eigenfaces import EigenfaceRecognizer
+
+
+@dataclass
+class RecognitionCurves:
+    """Cumulative match curves for each protected variant (plus original)."""
+
+    max_rank: int
+    curves: Dict[str, np.ndarray]
+
+    def ratio_at(self, name: str, rank: int) -> float:
+        return float(self.curves[name][rank - 1])
+
+
+def face_recognition_attack(
+    gallery_images: Sequence[np.ndarray],
+    gallery_labels: Sequence[int],
+    probe_labels: Sequence[int],
+    probe_variants: Dict[str, Sequence[np.ndarray]],
+    max_rank: int = 50,
+    n_components: int = 20,
+) -> RecognitionCurves:
+    """Run the Fig. 22 experiment.
+
+    Args:
+        gallery_images/gallery_labels: the attacker's reference gallery
+            (unprotected images).
+        probe_labels: true identities of the probes.
+        probe_variants: name -> probe image list (e.g. original /
+            puppies-z / p3-public renderings of the same faces).
+        max_rank: the largest k of the cumulative match curve.
+
+    Returns:
+        Per-variant cumulative match curves of length ``max_rank``.
+    """
+    recognizer = EigenfaceRecognizer(n_components=n_components).fit(
+        list(gallery_images), list(gallery_labels)
+    )
+    max_rank = min(max_rank, len(set(gallery_labels)))
+    curves = {}
+    for name, probes in probe_variants.items():
+        curves[name] = recognizer.cumulative_match_curve(
+            list(probes), list(probe_labels), max_rank
+        )
+    return RecognitionCurves(max_rank=max_rank, curves=curves)

@@ -1,0 +1,53 @@
+"""Baseline image-protection schemes the paper compares against (Table I).
+
+Every scheme is implemented far enough to *run*: encrypt an image, decrypt
+it back exactly, and attempt recovery after each PSP-side transformation.
+The Table-I compatibility matrix is then measured empirically by the
+benchmark harness instead of being asserted from the paper's check marks.
+
+* :mod:`repro.baselines.p3` — P3 (Ra et al., NSDI'13), the closest prior
+  work: threshold-split into a public and a private image. Implemented in
+  full because Figs. 4, 11, 18, 20-22 compare against it directly.
+* :mod:`repro.baselines.mht` — multiple-Huffman-table encryption (Wu & Kuo).
+* :mod:`repro.baselines.quant_encrypt` — secret quantization tables (Chang
+  et al.).
+* :mod:`repro.baselines.dict_encrypt` — secret per-block transform
+  dictionary (Aharon et al.-style).
+* :mod:`repro.baselines.permute` — in-block DCT coefficient permutation
+  (Unterweger & Uhl).
+* :mod:`repro.baselines.signflip` — DCT coefficient sign scrambling
+  (Dufaux & Ebrahimi).
+* :mod:`repro.baselines.cryptagram` — encrypted bitstream stored as pixel
+  blocks (Tierney et al.).
+* :mod:`repro.baselines.stego` — LSB steganography of an encrypted region
+  (Johnson & Jajodia-style).
+"""
+
+from repro.baselines.cryptagram import Cryptagram
+from repro.baselines.dict_encrypt import DictionaryEncryption
+from repro.baselines.mht import MultipleHuffmanTables
+from repro.baselines.p3 import P3, P3Split
+from repro.baselines.permute import CoefficientPermutation
+from repro.baselines.quant_encrypt import QuantTableEncryption
+from repro.baselines.registry import (
+    ALL_BASELINES,
+    BaselineScheme,
+    UnsupportedTransform,
+)
+from repro.baselines.signflip import SignFlip
+from repro.baselines.stego import LsbSteganography
+
+__all__ = [
+    "ALL_BASELINES",
+    "BaselineScheme",
+    "CoefficientPermutation",
+    "Cryptagram",
+    "DictionaryEncryption",
+    "LsbSteganography",
+    "MultipleHuffmanTables",
+    "P3",
+    "P3Split",
+    "QuantTableEncryption",
+    "SignFlip",
+    "UnsupportedTransform",
+]

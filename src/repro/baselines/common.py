@@ -1,0 +1,61 @@
+"""Shared helpers for the baseline schemes."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+import numpy as np
+
+from repro.jpeg import dct as dctlib
+from repro.jpeg.coefficients import CoefficientImage
+from repro.util.errors import ReproError
+
+
+def keystream_bytes(seed: str, n: int) -> bytes:
+    """A deterministic hash-chain keystream (stand-in for a stream cipher)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < n:
+        out += hashlib.sha256(
+            f"{seed}/{counter}".encode("utf-8")
+        ).digest()
+        counter += 1
+    return bytes(out[:n])
+
+
+def xor_bytes(data: bytes, seed: str) -> bytes:
+    pad = keystream_bytes(seed, len(data))
+    return bytes(a ^ b for a, b in zip(data, pad))
+
+
+def planes_to_quantized(
+    planes: Sequence[np.ndarray],
+    quant_tables: Sequence[np.ndarray],
+    colorspace: str,
+) -> CoefficientImage:
+    """Re-derive exact quantized coefficients from unclamped sample planes.
+
+    Valid whenever the planes are an exact IDCT of integer-quantized
+    coefficients (the coefficient-faithful transformation regime): forward
+    DCT + divide + round recovers the integers exactly. Used by baselines
+    that compensate for block-preserving transformations by re-reading the
+    coefficient blocks out of the transformed pixels.
+    """
+    height, width = planes[0].shape
+    channels = []
+    for plane, table in zip(planes, quant_tables):
+        raw = dctlib.forward_dct_plane(plane)
+        channels.append(np.rint(raw / table).astype(np.int32))
+    return CoefficientImage(
+        channels,
+        [np.asarray(t, dtype=np.int32) for t in quant_tables],
+        height,
+        width,
+        colorspace,
+    )
+
+
+def require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ReproError(message)

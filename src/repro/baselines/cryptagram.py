@@ -1,0 +1,81 @@
+"""Cryptagram (Tierney et al., Table I row 1): bits stored as pixels.
+
+Cryptagram encrypts the photo's byte stream and renders the ciphertext as
+a grid of gray levels robust to the PSP's JPEG recompression, so only key
+holders can reconstruct the photo. We embed 2 bits per pixel across four
+well-separated gray levels and carry the payload through our codec at
+quality 95, mirroring the original design point.
+
+Any geometric or resampling transformation breaks the symbol grid, so no
+PSP transformation is recoverable (all Table-I transform cells are x);
+partial protection is supported (a region's bytes can be cryptagrammed
+while the rest of the photo ships in the clear — the original's use case
+of embedding protected content alongside public content).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.baselines.common import xor_bytes
+from repro.baselines.registry import BaselineScheme, Encrypted
+from repro.jpeg.codec import decode_image, encode_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.util.errors import ReproError
+
+_LEVELS = np.array([32.0, 96.0, 160.0, 224.0])
+_EMBED_QUALITY = 95
+
+
+def _bytes_to_symbol_image(payload: bytes, width: int) -> np.ndarray:
+    framed = struct.pack("<I", len(payload)) + payload
+    data = np.frombuffer(framed, dtype=np.uint8)
+    symbols = np.empty(data.size * 4, dtype=np.uint8)
+    for shift in range(4):
+        symbols[shift::4] = (data >> (6 - 2 * shift)) & 0b11
+    height = -(-symbols.size // width)
+    padded = np.zeros(height * width, dtype=np.uint8)
+    padded[: symbols.size] = symbols
+    return _LEVELS[padded.reshape(height, width)]
+
+
+def _symbol_image_to_bytes(pixels: np.ndarray) -> bytes:
+    symbols = np.argmin(
+        np.abs(pixels.astype(np.float64)[..., None] - _LEVELS[None, None, :]),
+        axis=-1,
+    ).ravel()
+    usable = (symbols.size // 4) * 4
+    symbols = symbols[:usable].reshape(-1, 4)
+    data = (
+        (symbols[:, 0] << 6)
+        | (symbols[:, 1] << 4)
+        | (symbols[:, 2] << 2)
+        | symbols[:, 3]
+    ).astype(np.uint8)
+    framed = data.tobytes()
+    (length,) = struct.unpack("<I", framed[:4])
+    if length > len(framed) - 4:
+        raise ReproError("cryptagram payload frame corrupted")
+    return framed[4 : 4 + length]
+
+
+class Cryptagram(BaselineScheme):
+    name = "cryptagram"
+    encrypted_signal = "file bit stream"
+    supports_partial = True
+
+    def encrypt(
+        self, image: CoefficientImage, rng: np.random.Generator
+    ) -> Encrypted:
+        seed = f"cryptagram/{rng.integers(0, 2**63)}"
+        payload = xor_bytes(encode_image(image, optimize=True), seed)
+        canvas = _bytes_to_symbol_image(payload, width=max(64, image.width))
+        stored = CoefficientImage.from_array(canvas, quality=_EMBED_QUALITY)
+        return Encrypted(stored=stored, secret=seed)
+
+    def decrypt(self, encrypted: Encrypted) -> CoefficientImage:
+        pixels = encrypted.stored.to_array()
+        payload = _symbol_image_to_bytes(pixels)
+        return decode_image(xor_bytes(payload, encrypted.secret))

@@ -1,0 +1,98 @@
+"""Secret transform-dictionary encryption (Aharon et al.-style, Table I).
+
+The original work represents blocks in a secret overcomplete dictionary
+learned by K-SVD. We model the secrecy with the integer-exact member of
+that family: a secret *signed permutation* of the DCT basis (an orthonormal
+dictionary), composed of an AC position permutation and a sign mask. The
+stored image is a valid JPEG of scrambled content; without the dictionary
+the representation is meaningless.
+
+Compatibility mirrors the permutation scheme: block-preserving crop and
+quarter-turn rotation recover via undo-rederive-redo; scaling mixes
+"representative pixels ... a linear combination of encrypted and
+non-encrypted pixels" (Section II-C.3) and is unsupported; recompression
+coarsens with wrongly-positioned steps (lossy, measured by the bench).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.baselines.common import planes_to_quantized
+from repro.baselines.registry import (
+    BaselineScheme,
+    Encrypted,
+    UnsupportedTransform,
+)
+from repro.jpeg.coefficients import CoefficientImage
+from repro.transforms.cropping import Crop
+from repro.transforms.pipeline import Transform
+from repro.transforms.rotation import Rotate90
+
+
+def _apply(image: CoefficientImage, perm, signs, inverse: bool):
+    out = image.copy()
+    for channel in range(out.n_channels):
+        zz = out.zigzag_channel(channel)
+        coded = zz.copy()
+        if inverse:
+            unsigned = zz[:, 1:] * signs[None, :]
+            coded[:, 1:] = unsigned[:, np.argsort(perm)]
+        else:
+            coded[:, 1:] = (zz[:, 1:][:, perm]) * signs[None, :]
+        out.set_zigzag_channel(channel, coded)
+    return out
+
+
+class DictionaryEncryption(BaselineScheme):
+    name = "dict-encrypt"
+    encrypted_signal = "DCT transformation dictionary"
+    supports_partial = False
+
+    def encrypt(
+        self, image: CoefficientImage, rng: np.random.Generator
+    ) -> Encrypted:
+        perm = rng.permutation(63)
+        signs = rng.choice(np.array([-1, 1], dtype=np.int64), size=63)
+        return Encrypted(
+            stored=_apply(image, perm, signs, inverse=False),
+            secret=(perm, signs),
+        )
+
+    def decrypt(self, encrypted: Encrypted) -> CoefficientImage:
+        perm, signs = encrypted.secret
+        return _apply(encrypted.stored, perm, signs, inverse=True)
+
+    def recover_transformed(
+        self,
+        transformed_planes: Sequence[np.ndarray],
+        transform: Transform,
+        encrypted: Encrypted,
+    ) -> List[np.ndarray]:
+        stored: CoefficientImage = encrypted.stored
+        if isinstance(transform, Rotate90):
+            undone = Rotate90(-transform.quarter_turns).apply(
+                list(transformed_planes)
+            )
+            coeffs = planes_to_quantized(
+                undone, stored.quant_tables, stored.colorspace
+            )
+            recovered = self.decrypt(
+                Encrypted(stored=coeffs, secret=encrypted.secret)
+            )
+            return transform.apply(recovered.to_sample_planes())
+        if isinstance(transform, Crop) and transform.rect.is_aligned(8):
+            coeffs = planes_to_quantized(
+                list(transformed_planes),
+                stored.quant_tables,
+                stored.colorspace,
+            )
+            recovered = self.decrypt(
+                Encrypted(stored=coeffs, secret=encrypted.secret)
+            )
+            return recovered.to_sample_planes()
+        raise UnsupportedTransform(
+            f"{self.name} cannot compensate for {transform.name}"
+        )

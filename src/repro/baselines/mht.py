@@ -1,0 +1,38 @@
+"""Multiple Huffman Tables encryption (Wu & Kuo, Table I row 2).
+
+MHT keeps the coefficients in the clear but entropy-codes them with
+secret Huffman tables; without the tables the byte stream is undecodable.
+We model the secrecy by stream-ciphering the entropy-coded container —
+equivalent from the PSP's point of view (Section II-C.3): the PSP "is
+unable to parse image data appropriately since PSPs do not have any
+information about the coding table actually used", so *no* pixel-domain
+transformation can be applied to meaningful data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import xor_bytes
+from repro.baselines.registry import BaselineScheme, Encrypted
+from repro.jpeg.codec import decode_image, encode_image
+from repro.jpeg.coefficients import CoefficientImage
+
+
+class MultipleHuffmanTables(BaselineScheme):
+    name = "mht"
+    encrypted_signal = "Huffman coding tables"
+    supports_partial = False
+
+    def encrypt(
+        self, image: CoefficientImage, rng: np.random.Generator
+    ) -> Encrypted:
+        seed = f"mht/{rng.integers(0, 2**63)}"
+        payload = xor_bytes(encode_image(image, optimize=True), seed)
+        return Encrypted(stored=payload, secret=seed)
+
+    def decrypt(self, encrypted: Encrypted) -> CoefficientImage:
+        return decode_image(xor_bytes(encrypted.stored, encrypted.secret))
+
+    def psp_can_parse(self) -> bool:
+        return False

@@ -1,0 +1,141 @@
+"""P3 (Ra, Govindan, Ortega — NSDI 2013), the paper's main comparator.
+
+P3 splits a JPEG into two images at a threshold ``T`` (the paper uses the
+authors' recommended ``T = 20``):
+
+* the **public image**, stored at the PSP: every DC coefficient removed,
+  every AC coefficient clipped into ``[-T, T]``;
+* the **private image**, kept by a trusted party: the DC coefficients plus
+  the *unsigned* clipped-off AC remainders ``|a| - T`` (the sign is
+  recoverable from the public part, whose clipped entries sit exactly at
+  ``+-T``).
+
+Untransformed recovery is exact. After a PSP-side transformation, however,
+the sign information needed to recombine is gone — the client can only
+transform the private image as pixels and add (Section II-C.4, Fig. 4) —
+which is the lossy behaviour our Fig. 4 bench measures. P3 also has no
+notion of regions: it always protects the whole image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.jpeg.codec import encode_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.transforms.pipeline import Transform
+from repro.util.errors import ReproError
+
+DEFAULT_THRESHOLD = 20
+
+
+@dataclass
+class P3Split:
+    """The two halves of a P3-protected image."""
+
+    public: CoefficientImage
+    private: CoefficientImage
+    threshold: int
+
+    def public_size_bytes(self) -> int:
+        """Encoded size of what the PSP stores."""
+        return len(encode_image(self.public, optimize=True))
+
+    def private_size_bytes(self) -> int:
+        """Encoded size of the locally-kept private image (Fig. 11)."""
+        return len(encode_image(self.private, optimize=True))
+
+
+class P3:
+    """The P3 splitting/recovery algorithm."""
+
+    name = "p3"
+
+    def __init__(self, threshold: int = DEFAULT_THRESHOLD) -> None:
+        if threshold <= 0:
+            raise ReproError(f"threshold must be positive, got {threshold}")
+        self.threshold = threshold
+
+    # ------------------------------------------------------------------
+    def split(self, image: CoefficientImage) -> P3Split:
+        """Split into public and private coefficient images."""
+        t = self.threshold
+        public_channels: List[np.ndarray] = []
+        private_channels: List[np.ndarray] = []
+        for chan in image.channels:
+            coeffs = chan.astype(np.int64)
+            public = np.clip(coeffs, -t, t)
+            private = np.abs(coeffs) - t
+            np.maximum(private, 0, out=private)
+            # DC lives entirely in the private image.
+            public[..., 0, 0] = 0
+            private[..., 0, 0] = coeffs[..., 0, 0]
+            public_channels.append(public.astype(np.int32))
+            private_channels.append(private.astype(np.int32))
+        make = lambda chans: CoefficientImage(  # noqa: E731
+            chans,
+            [tbl.copy() for tbl in image.quant_tables],
+            image.height,
+            image.width,
+            image.colorspace,
+        )
+        return P3Split(
+            public=make(public_channels),
+            private=make(private_channels),
+            threshold=t,
+        )
+
+    # ------------------------------------------------------------------
+    def recover(self, split: P3Split) -> CoefficientImage:
+        """Exact recovery from untransformed public + private parts."""
+        t = split.threshold
+        channels: List[np.ndarray] = []
+        for pub, priv in zip(split.public.channels, split.private.channels):
+            pub64 = pub.astype(np.int64)
+            priv64 = priv.astype(np.int64)
+            signs = np.sign(pub64)
+            # Clipped entries sit at +-t in the public image; add the
+            # signed remainder back. Unclipped entries have remainder 0.
+            coeffs = pub64 + signs * np.where(np.abs(pub64) == t, priv64, 0)
+            coeffs[..., 0, 0] = priv64[..., 0, 0]
+            channels.append(coeffs.astype(np.int32))
+        return CoefficientImage(
+            channels,
+            [tbl.copy() for tbl in split.public.quant_tables],
+            split.public.height,
+            split.public.width,
+            split.public.colorspace,
+        )
+
+    # ------------------------------------------------------------------
+    def recover_transformed(
+        self,
+        transformed_public_planes: Sequence[np.ndarray],
+        split: P3Split,
+        transform: Transform,
+    ) -> List[np.ndarray]:
+        """Best-effort recovery after the PSP transformed the public image.
+
+        The client applies the same transformation to the private *image*
+        (its sample planes) and adds the results — all it can do without
+        modifying the transformation library (Section V-D). Because the
+        private image stores unsigned remainders, every coefficient that
+        was clipped contributes with the wrong sign half the time; the
+        bench quantifies the resulting detail loss against PuPPIeS's exact
+        recovery.
+        """
+        private_planes = split.private.to_sample_planes()
+        # The private image's sample planes carry their own +128 level
+        # shift; adding two shifted images would double the offset.
+        transformed_private = transform.apply_linear(
+            [plane - 128.0 for plane in private_planes]
+        )
+        return [
+            np.asarray(pub, dtype=np.float64) + priv
+            for pub, priv in zip(
+                transformed_public_planes, transformed_private
+            )
+        ]

@@ -1,0 +1,106 @@
+"""In-block DCT coefficient permutation (Unterweger & Uhl, Table I row 5).
+
+A secret permutation of the 63 AC positions is applied inside every block
+(DC is kept — the scheme is length-preserving bit-stream encryption in the
+original; the permutation is the coefficient-domain equivalent). The
+stored image is a perfectly valid JPEG of scrambled content.
+
+Block-preserving transformations (8-aligned crop, quarter-turn rotation)
+are recoverable by the receiver via the undo-rederive-redo route.
+Pixel-domain scaling mixes permuted frequencies irreversibly ("the
+permutation applied in the DCT domain has changed the original pixels in
+an unpredicted way", Section II-C.3). Recompression is attempted —
+requantization hits each coefficient with the step of its *permuted*
+position, so recovery is lossy; the bench measures how lossy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.baselines.common import planes_to_quantized
+from repro.baselines.registry import (
+    BaselineScheme,
+    Encrypted,
+    UnsupportedTransform,
+)
+from repro.jpeg.coefficients import CoefficientImage
+from repro.transforms.cropping import Crop
+from repro.transforms.pipeline import Transform
+from repro.transforms.rotation import Rotate90
+
+
+def _apply_permutation(
+    image: CoefficientImage, perm: np.ndarray
+) -> CoefficientImage:
+    out = image.copy()
+    for channel in range(out.n_channels):
+        zz = out.zigzag_channel(channel)
+        permuted = zz.copy()
+        permuted[:, 1:] = zz[:, 1:][:, perm]
+        out.set_zigzag_channel(channel, permuted)
+    return out
+
+
+class CoefficientPermutation(BaselineScheme):
+    name = "coeff-permute"
+    encrypted_signal = "coefficients"
+    supports_partial = False
+
+    def encrypt(
+        self, image: CoefficientImage, rng: np.random.Generator
+    ) -> Encrypted:
+        perm = rng.permutation(63)
+        return Encrypted(
+            stored=_apply_permutation(image, perm), secret=perm
+        )
+
+    def decrypt(self, encrypted: Encrypted) -> CoefficientImage:
+        inverse = np.argsort(encrypted.secret)
+        return _apply_permutation(encrypted.stored, inverse)
+
+    def recover_transformed(
+        self,
+        transformed_planes: Sequence[np.ndarray],
+        transform: Transform,
+        encrypted: Encrypted,
+    ) -> List[np.ndarray]:
+        stored: CoefficientImage = encrypted.stored
+        if isinstance(transform, Rotate90):
+            undone = Rotate90(-transform.quarter_turns).apply(
+                list(transformed_planes)
+            )
+            coeffs = planes_to_quantized(
+                undone, stored.quant_tables, stored.colorspace
+            )
+            recovered = self.decrypt(
+                Encrypted(stored=coeffs, secret=encrypted.secret)
+            )
+            return transform.apply(recovered.to_sample_planes())
+        if isinstance(transform, Crop) and transform.rect.is_aligned(8):
+            coeffs = planes_to_quantized(
+                list(transformed_planes),
+                stored.quant_tables,
+                stored.colorspace,
+            )
+            recovered = self.decrypt(
+                Encrypted(stored=coeffs, secret=encrypted.secret)
+            )
+            return recovered.to_sample_planes()
+        raise UnsupportedTransform(
+            f"{self.name} cannot compensate for {transform.name}"
+        )
+
+    def recover_recompressed(
+        self, recompressed: CoefficientImage, encrypted: Encrypted
+    ) -> CoefficientImage:
+        """Best-effort recovery after PSP recompression (lossy).
+
+        The PSP requantized position-permuted coefficients, so each value
+        was coarsened by the wrong step; unpermuting cannot undo that.
+        """
+        return self.decrypt(
+            Encrypted(stored=recompressed, secret=encrypted.secret)
+        )

@@ -1,0 +1,104 @@
+"""Secret quantization tables (Chang et al., Table I row 3).
+
+The coefficients are quantized with secret tables while the stored image
+*declares* ordinary tables, so the PSP can parse it — but decodes garbage
+pixels. The legitimate receiver swaps the secret tables back in.
+
+After a PSP transformation: block-preserving operations (8-aligned
+cropping, quarter-turn rotation) are recoverable, because the receiver can
+re-derive the exact coefficient blocks from the transformed samples and
+rescale them onto the true tables. Scaling mixes pixels across blocks with
+the *wrong* per-frequency gains, and recompression requantizes against the
+fake tables — both unrecoverable, matching the prose of Section II-C.3
+("can support neither image compression nor scaling").
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.baselines.common import planes_to_quantized
+from repro.baselines.registry import (
+    BaselineScheme,
+    Encrypted,
+    UnsupportedTransform,
+)
+from repro.jpeg.coefficients import CoefficientImage
+from repro.transforms.cropping import Crop
+from repro.transforms.pipeline import Transform
+from repro.transforms.rotation import Rotate90
+
+
+class QuantTableEncryption(BaselineScheme):
+    name = "quant-encrypt"
+    encrypted_signal = "quantization table"
+    supports_partial = False
+
+    def encrypt(
+        self, image: CoefficientImage, rng: np.random.Generator
+    ) -> Encrypted:
+        # Secret tables: a random per-frequency rescaling of the true ones.
+        secret_tables: List[np.ndarray] = []
+        fake_tables: List[np.ndarray] = []
+        for table in image.quant_tables:
+            secret_tables.append(table.copy())
+            fake = np.clip(
+                table * rng.integers(1, 6, size=(8, 8)), 1, 255
+            ).astype(np.int32)
+            fake_tables.append(fake)
+        stored = CoefficientImage(
+            [chan.copy() for chan in image.channels],
+            fake_tables,
+            image.height,
+            image.width,
+            image.colorspace,
+        )
+        return Encrypted(stored=stored, secret=secret_tables)
+
+    def decrypt(self, encrypted: Encrypted) -> CoefficientImage:
+        stored: CoefficientImage = encrypted.stored
+        return CoefficientImage(
+            [chan.copy() for chan in stored.channels],
+            [tbl.copy() for tbl in encrypted.secret],
+            stored.height,
+            stored.width,
+            stored.colorspace,
+        )
+
+    def recover_transformed(
+        self,
+        transformed_planes: Sequence[np.ndarray],
+        transform: Transform,
+        encrypted: Encrypted,
+    ):
+        if not isinstance(transform, (Crop, Rotate90)):
+            raise UnsupportedTransform(
+                f"{self.name} cannot compensate for {transform.name}"
+            )
+        if isinstance(transform, Crop) and not transform.rect.is_aligned(8):
+            raise UnsupportedTransform("crop not block-aligned")
+        stored: CoefficientImage = encrypted.stored
+        # Quarter-turn rotation moves coefficients across frequencies, so
+        # rescaling must happen in the *original* orientation: undo the
+        # (exactly invertible) rotation, rescale, redo it.
+        undo = None
+        planes = list(transformed_planes)
+        if isinstance(transform, Rotate90):
+            undo = Rotate90(-transform.quarter_turns)
+            planes = undo.apply(planes)
+        # Blocks are intact, so the exact stored coefficients can be read
+        # back out of the samples and re-scaled onto the true tables.
+        coeffs = planes_to_quantized(
+            planes, stored.quant_tables, stored.colorspace
+        )
+        true_planes = []
+        for chan, true in zip(coeffs.channels, encrypted.secret):
+            rescaled = CoefficientImage(
+                [chan], [true], coeffs.height, coeffs.width, "gray"
+            )
+            true_planes.append(rescaled.to_sample_planes()[0])
+        if isinstance(transform, Rotate90):
+            true_planes = transform.apply(true_planes)
+        return true_planes

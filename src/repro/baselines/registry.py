@@ -1,0 +1,125 @@
+"""Common protocol for the Table-I baseline schemes.
+
+Each scheme can ``encrypt`` an image into (stored artifact, secret) and
+``decrypt`` it back exactly. Transformation compatibility is *measured*:
+:meth:`BaselineScheme.recover_transformed` either raises
+:class:`UnsupportedTransform` (the PSP cannot even parse or meaningfully
+transform what this scheme stores) or returns a best-effort recovery whose
+fidelity the Table-I bench scores against the transformed original.
+
+Regime note (see DESIGN.md §5): baselines are evaluated in the regime
+their stored artifact actually affords. Schemes whose stored image is a
+valid, parseable JPEG get the same coefficient-faithful transformation
+pipeline PuPPIeS gets; schemes whose artifact is unparseable to the PSP
+(secret Huffman/quantization tables, bit-packed payloads) fail at the
+parse step, which is exactly the failure mode Section II-C.3 describes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, List, Sequence
+
+import numpy as np
+
+from repro.jpeg.coefficients import CoefficientImage
+from repro.transforms.pipeline import Transform
+from repro.util.errors import ReproError
+
+
+class UnsupportedTransform(ReproError):
+    """This scheme cannot recover after the given PSP transformation."""
+
+
+@dataclass
+class Encrypted:
+    """What the PSP stores plus the owner's secret material."""
+
+    stored: CoefficientImage
+    secret: Any
+
+
+class BaselineScheme(ABC):
+    """A baseline image-protection scheme."""
+
+    name: str = "abstract"
+    encrypted_signal: str = ""
+    supports_partial: bool = False
+
+    @abstractmethod
+    def encrypt(
+        self, image: CoefficientImage, rng: np.random.Generator
+    ) -> Encrypted:
+        """Protect an image; returns the stored artifact and the secret."""
+
+    @abstractmethod
+    def decrypt(self, encrypted: Encrypted) -> CoefficientImage:
+        """Exact inverse of :meth:`encrypt` (no transformation case)."""
+
+    def recover_transformed(
+        self,
+        transformed_planes: Sequence[np.ndarray],
+        transform: Transform,
+        encrypted: Encrypted,
+    ) -> List[np.ndarray]:
+        """Recover the transformed original from a transformed artifact.
+
+        Default: not supported. Schemes that can compensate override this.
+        """
+        raise UnsupportedTransform(
+            f"{self.name} cannot recover after {transform.name}"
+        )
+
+    def psp_can_parse(self) -> bool:
+        """Whether the PSP can decode the stored artifact as an image.
+
+        Schemes that encrypt the entropy-coding or quantization metadata
+        leave the PSP unable to parse pixels at all, so no pixel-domain
+        transformation can even be attempted on meaningful data.
+        """
+        return True
+
+
+def roundtrip_exact(
+    scheme: BaselineScheme,
+    image: CoefficientImage,
+    rng: np.random.Generator,
+) -> bool:
+    """Convenience check used by tests: encrypt-decrypt is lossless."""
+    encrypted = scheme.encrypt(image, rng)
+    return scheme.decrypt(encrypted).coefficients_equal(image)
+
+
+def make_all_baselines() -> List[BaselineScheme]:
+    """Fresh instances of every implemented baseline."""
+    from repro.baselines.cryptagram import Cryptagram
+    from repro.baselines.dict_encrypt import DictionaryEncryption
+    from repro.baselines.mht import MultipleHuffmanTables
+    from repro.baselines.permute import CoefficientPermutation
+    from repro.baselines.quant_encrypt import QuantTableEncryption
+    from repro.baselines.signflip import SignFlip
+    from repro.baselines.stego import LsbSteganography
+
+    return [
+        Cryptagram(),
+        MultipleHuffmanTables(),
+        QuantTableEncryption(),
+        DictionaryEncryption(),
+        CoefficientPermutation(),
+        SignFlip(),
+        LsbSteganography(),
+    ]
+
+
+#: Scheme names in the order Table I lists them.
+ALL_BASELINES = (
+    "cryptagram",
+    "mht",
+    "quant-encrypt",
+    "dict-encrypt",
+    "coeff-permute",
+    "sign-flip",
+    "steganography",
+    "p3",
+)

@@ -1,0 +1,92 @@
+"""DCT sign scrambling (Dufaux & Ebrahimi, Table I row 6).
+
+A secret per-frequency sign mask flips AC coefficients in every block —
+the video-surveillance scrambling scheme. The stored image is a valid
+JPEG. Sign flipping *commutes with requantization* (rounding is odd), so
+recompression is exactly recoverable; block-preserving crop/rotation are
+recoverable via undo-rederive-redo; pixel-domain scaling mixes flipped
+frequencies and is not.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.baselines.common import planes_to_quantized
+from repro.baselines.registry import (
+    BaselineScheme,
+    Encrypted,
+    UnsupportedTransform,
+)
+from repro.jpeg.coefficients import CoefficientImage
+from repro.transforms.cropping import Crop
+from repro.transforms.pipeline import Transform
+from repro.transforms.rotation import Rotate90
+
+
+def _apply_mask(image: CoefficientImage, mask: np.ndarray) -> CoefficientImage:
+    out = image.copy()
+    for channel in range(out.n_channels):
+        zz = out.zigzag_channel(channel)
+        flipped = zz.copy()
+        flipped[:, 1:] = zz[:, 1:] * mask[None, :]
+        out.set_zigzag_channel(channel, flipped)
+    return out
+
+
+class SignFlip(BaselineScheme):
+    name = "sign-flip"
+    encrypted_signal = "coefficients"
+    supports_partial = False
+
+    def encrypt(
+        self, image: CoefficientImage, rng: np.random.Generator
+    ) -> Encrypted:
+        mask = rng.choice(np.array([-1, 1], dtype=np.int64), size=63)
+        return Encrypted(stored=_apply_mask(image, mask), secret=mask)
+
+    def decrypt(self, encrypted: Encrypted) -> CoefficientImage:
+        # The mask is its own inverse.
+        return _apply_mask(encrypted.stored, encrypted.secret)
+
+    def recover_transformed(
+        self,
+        transformed_planes: Sequence[np.ndarray],
+        transform: Transform,
+        encrypted: Encrypted,
+    ) -> List[np.ndarray]:
+        stored: CoefficientImage = encrypted.stored
+        if isinstance(transform, Rotate90):
+            undone = Rotate90(-transform.quarter_turns).apply(
+                list(transformed_planes)
+            )
+            coeffs = planes_to_quantized(
+                undone, stored.quant_tables, stored.colorspace
+            )
+            recovered = self.decrypt(
+                Encrypted(stored=coeffs, secret=encrypted.secret)
+            )
+            return transform.apply(recovered.to_sample_planes())
+        if isinstance(transform, Crop) and transform.rect.is_aligned(8):
+            coeffs = planes_to_quantized(
+                list(transformed_planes),
+                stored.quant_tables,
+                stored.colorspace,
+            )
+            recovered = self.decrypt(
+                Encrypted(stored=coeffs, secret=encrypted.secret)
+            )
+            return recovered.to_sample_planes()
+        raise UnsupportedTransform(
+            f"{self.name} cannot compensate for {transform.name}"
+        )
+
+    def recover_recompressed(
+        self, recompressed: CoefficientImage, encrypted: Encrypted
+    ) -> CoefficientImage:
+        """Exact recovery after recompression: |.| is sign-invariant."""
+        return self.decrypt(
+            Encrypted(stored=recompressed, secret=encrypted.secret)
+        )

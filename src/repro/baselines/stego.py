@@ -1,0 +1,190 @@
+"""LSB steganography of an encrypted region (Table I row 7).
+
+The classic JSteg-style construction: the sensitive region's coefficients
+are serialized, stream-ciphered, and hidden in the least-significant bits
+of the cover's AC coefficients; the region itself is blanked to flat gray
+in the stored image. Partial sharing is inherent. Quarter-turn rotation is
+losslessly invertible, so the receiver can undo it and extract; every
+other transformation destroys the fragile LSB channel.
+
+Steganographic embedding permanently flips carrier LSBs, so unlike the
+other schemes the *cover* is not bit-exact after decryption — only the
+protected region is (``lossless_roundtrip = False``).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.baselines.common import planes_to_quantized, xor_bytes
+from repro.baselines.registry import (
+    BaselineScheme,
+    Encrypted,
+    UnsupportedTransform,
+)
+from repro.jpeg.coefficients import CoefficientImage
+from repro.transforms.pipeline import Transform
+from repro.transforms.rotation import Rotate90
+from repro.util.errors import ReproError
+from repro.util.rect import Rect
+
+
+@dataclass
+class _StegoSecret:
+    seed: str
+    region: Rect  # block-grid units
+
+
+def _default_region(image: CoefficientImage) -> Rect:
+    """A centred region of about 1/36 of the block grid.
+
+    Steganographic capacity is scarce (one bit per sizeable carrier
+    coefficient), which is itself part of the Table-I story: the scheme
+    only protects small regions of texture-rich covers.
+    """
+    by, bx = image.blocks_shape
+    h = max(1, by // 6)
+    w = max(1, bx // 6)
+    return Rect((by - h) // 2, (bx - w) // 2, h, w)
+
+
+def _serialize_region(image: CoefficientImage, region: Rect) -> bytes:
+    parts = [struct.pack("<B", image.n_channels)]
+    for chan in image.channels:
+        blocks = chan[region.y : region.y2, region.x : region.x2]
+        parts.append(blocks.astype("<i2").tobytes())
+    return b"".join(parts)
+
+
+def _restore_region(
+    image: CoefficientImage, region: Rect, payload: bytes
+) -> None:
+    (n_channels,) = struct.unpack_from("<B", payload, 0)
+    if n_channels != image.n_channels:
+        raise ReproError("stego payload does not match image geometry")
+    offset = 1
+    count = region.h * region.w * 64
+    for chan in image.channels:
+        block = np.frombuffer(
+            payload, dtype="<i2", count=count, offset=offset
+        ).reshape(region.h, region.w, 8, 8)
+        chan[region.y : region.y2, region.x : region.x2] = block
+        offset += count * 2
+
+
+def _carrier_indices(zigzag: np.ndarray) -> np.ndarray:
+    """Flat indices of AC coefficients usable as LSB carriers.
+
+    Carriers need ``|c| >= 2`` because LSB embedding works on the
+    magnitude (sign preserved): ``(|c| & ~1) | bit`` never drops a
+    magnitude below 2, so embedding and extraction agree on the carrier
+    set.
+    """
+    flat = zigzag.ravel()
+    ac_mask = np.ones_like(flat, dtype=bool)
+    ac_mask[::64] = False  # DC positions
+    return np.nonzero(ac_mask & (np.abs(flat) >= 2))[0]
+
+
+def _embed_bits(values: np.ndarray, bits: np.ndarray) -> np.ndarray:
+    """Write bits into the LSB of each value's magnitude, keeping sign."""
+    magnitude = (np.abs(values) & ~np.int64(1)) | bits.astype(np.int64)
+    return np.sign(values) * magnitude
+
+
+def _extract_bits(values: np.ndarray) -> np.ndarray:
+    return (np.abs(values) & 1).astype(np.uint8)
+
+
+class LsbSteganography(BaselineScheme):
+    name = "steganography"
+    encrypted_signal = "coefficients"
+    supports_partial = True
+    lossless_roundtrip = False
+
+    def encrypt(
+        self, image: CoefficientImage, rng: np.random.Generator
+    ) -> Encrypted:
+        region = _default_region(image)
+        seed = f"stego/{rng.integers(0, 2**63)}"
+        payload = xor_bytes(
+            zlib.compress(_serialize_region(image, region), 9), seed
+        )
+        framed = struct.pack("<I", len(payload)) + payload
+        bits = np.unpackbits(np.frombuffer(framed, dtype=np.uint8))
+
+        stored = image.copy()
+        # Blank the protected region to flat mid-gray.
+        for chan in stored.channels:
+            chan[region.y : region.y2, region.x : region.x2] = 0
+        # Embed into carrier LSBs channel 0 first, then the rest.
+        cursor = 0
+        for channel in range(stored.n_channels):
+            if cursor >= bits.size:
+                break
+            zz = stored.zigzag_channel(channel)
+            flat = zz.ravel()
+            carriers = _carrier_indices(zz)
+            take = min(bits.size - cursor, carriers.size)
+            idx = carriers[:take]
+            flat[idx] = _embed_bits(flat[idx], bits[cursor : cursor + take])
+            cursor += take
+            stored.set_zigzag_channel(channel, flat.reshape(zz.shape))
+        if cursor < bits.size:
+            raise ReproError(
+                f"stego capacity exceeded: need {bits.size} bits, "
+                f"embedded {cursor}"
+            )
+        return Encrypted(
+            stored=stored, secret=_StegoSecret(seed=seed, region=region)
+        )
+
+    def _extract_payload(self, stored: CoefficientImage, seed: str) -> bytes:
+        bits_parts: List[np.ndarray] = []
+        for channel in range(stored.n_channels):
+            zz = stored.zigzag_channel(channel)
+            flat = zz.ravel()
+            carriers = _carrier_indices(zz)
+            bits_parts.append(_extract_bits(flat[carriers]))
+        bits = np.concatenate(bits_parts)
+        usable = (bits.size // 8) * 8
+        data = np.packbits(bits[:usable]).tobytes()
+        (length,) = struct.unpack("<I", data[:4])
+        if length > len(data) - 4:
+            raise ReproError("stego frame corrupted")
+        return xor_bytes(data[4 : 4 + length], seed)
+
+    def decrypt(self, encrypted: Encrypted) -> CoefficientImage:
+        secret: _StegoSecret = encrypted.secret
+        stored: CoefficientImage = encrypted.stored
+        payload = zlib.decompress(self._extract_payload(stored, secret.seed))
+        recovered = stored.copy()
+        _restore_region(recovered, secret.region, payload)
+        return recovered
+
+    def recover_transformed(
+        self,
+        transformed_planes: Sequence[np.ndarray],
+        transform: Transform,
+        encrypted: Encrypted,
+    ) -> List[np.ndarray]:
+        if not isinstance(transform, Rotate90):
+            raise UnsupportedTransform(
+                f"{self.name} cannot compensate for {transform.name}"
+            )
+        stored: CoefficientImage = encrypted.stored
+        undone = Rotate90(-transform.quarter_turns).apply(
+            list(transformed_planes)
+        )
+        coeffs = planes_to_quantized(
+            undone, stored.quant_tables, stored.colorspace
+        )
+        recovered = self.decrypt(
+            Encrypted(stored=coeffs, secret=encrypted.secret)
+        )
+        return transform.apply(recovered.to_sample_planes())

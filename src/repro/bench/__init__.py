@@ -1,0 +1,24 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each module in ``benchmarks/`` regenerates one table or figure of the
+paper; the helpers here keep corpus preparation and table rendering
+uniform so every bench prints rows in the paper's own format.
+"""
+
+from repro.bench.harness import (
+    normalized_sizes,
+    prepare_corpus,
+    protect_rois,
+    protect_whole_image,
+)
+from repro.bench.reporting import format_table, print_series, print_table
+
+__all__ = [
+    "format_table",
+    "normalized_sizes",
+    "prepare_corpus",
+    "print_series",
+    "print_table",
+    "protect_rois",
+    "protect_whole_image",
+]

@@ -1,0 +1,149 @@
+"""Corpus preparation helpers shared by the benchmark suite.
+
+The storage benches all follow the same recipe as the paper: encode each
+dataset image, perturb (the whole image to bound worst-case overhead, or a
+given ROI fraction), and report sizes *normalized to the original encoded
+size*. These helpers implement that recipe once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.keys import generate_private_key
+from repro.core.matrices import PrivateKey
+from repro.core.params import ImagePublicData
+from repro.core.perturb import perturb_regions
+from repro.core.policy import DEFAULT_PRIVACY, PrivacySettings
+from repro.core.roi import RegionOfInterest
+from repro.datasets import SyntheticImage, load_dataset
+from repro.jpeg.coefficients import CoefficientImage
+from repro.jpeg.filesize import encoded_size_bytes
+from repro.util.rect import Rect
+
+
+@dataclass
+class PreparedImage:
+    """One dataset image, encoded, with its baseline size."""
+
+    source: SyntheticImage
+    image: CoefficientImage
+    original_size: int
+
+
+def prepare_corpus(
+    dataset: str,
+    n_images: Optional[int] = None,
+    quality: int = 75,
+    seed: int = 0,
+) -> List[PreparedImage]:
+    """Encode a dataset slice and record each image's original size."""
+    prepared = []
+    for source in load_dataset(dataset, n_images=n_images, seed=seed):
+        image = CoefficientImage.from_array(source.array, quality=quality)
+        prepared.append(
+            PreparedImage(
+                source=source,
+                image=image,
+                original_size=encoded_size_bytes(image, optimize=True),
+            )
+        )
+    return prepared
+
+
+def whole_image_roi(
+    image: CoefficientImage,
+    settings: PrivacySettings = DEFAULT_PRIVACY,
+    scheme: str = "puppies-c",
+) -> RegionOfInterest:
+    """A single ROI covering the full padded block grid (worst case)."""
+    by, bx = image.blocks_shape
+    return RegionOfInterest(
+        region_id="whole",
+        rect=Rect(0, 0, by * 8, bx * 8),
+        settings=settings,
+        scheme=scheme,
+    )
+
+
+def fraction_roi(
+    image: CoefficientImage,
+    area_fraction: float,
+    settings: PrivacySettings = DEFAULT_PRIVACY,
+    scheme: str = "puppies-c",
+) -> RegionOfInterest:
+    """A centred ROI covering approximately ``area_fraction`` of the image.
+
+    Used by the Fig. 18 sweep over ROI area percentages.
+    """
+    by, bx = image.blocks_shape
+    frac = float(np.clip(area_fraction, 0.01, 1.0))
+    side = np.sqrt(frac)
+    h = max(1, round(by * side))
+    w = max(1, round(bx * side))
+    y = (by - h) // 2
+    x = (bx - w) // 2
+    return RegionOfInterest(
+        region_id=f"roi-{int(round(frac * 100))}",
+        rect=Rect(y * 8, x * 8, h * 8, w * 8),
+        settings=settings,
+        scheme=scheme,
+    )
+
+
+def protect_whole_image(
+    prepared: PreparedImage,
+    scheme: str,
+    settings: PrivacySettings = DEFAULT_PRIVACY,
+    owner: str = "bench-owner",
+) -> Tuple[CoefficientImage, ImagePublicData, PrivateKey]:
+    """Perturb the full image with one key; returns (image, public, key).
+
+    The key is derived per image (owner + dataset + index): reusing one
+    matrix across a corpus would add the *same* shadow to every image,
+    which a statistical attacker could cancel out.
+    """
+    roi = whole_image_roi(prepared.image, settings, scheme)
+    key = generate_private_key(
+        roi.matrix_id,
+        f"{owner}/{prepared.source.dataset}/{prepared.source.index}",
+    )
+    perturbed, public = perturb_regions(
+        prepared.image, [roi], {roi.matrix_id: key}
+    )
+    return perturbed, public, key
+
+
+def protect_rois(
+    prepared: PreparedImage,
+    rois: Sequence[RegionOfInterest],
+    owner: str = "bench-owner",
+) -> Tuple[CoefficientImage, ImagePublicData, Dict[str, PrivateKey]]:
+    """Perturb given ROIs, generating one key per matrix id."""
+    keys = {
+        matrix_id: generate_private_key(matrix_id, owner)
+        for roi in rois
+        for matrix_id in roi.matrix_ids()
+    }
+    perturbed, public = perturb_regions(prepared.image, list(rois), keys)
+    return perturbed, public, keys
+
+
+def normalized_sizes(
+    prepared: Sequence[PreparedImage],
+    scheme: str,
+    settings: PrivacySettings = DEFAULT_PRIVACY,
+    optimize: bool = True,
+) -> List[float]:
+    """Whole-image perturbed size / original size, per image (Table II)."""
+    out = []
+    for item in prepared:
+        perturbed, _public, _key = protect_whole_image(
+            item, scheme, settings
+        )
+        size = encoded_size_bytes(perturbed, optimize=optimize)
+        out.append(size / item.original_size)
+    return out

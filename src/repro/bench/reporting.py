@@ -1,0 +1,64 @@
+"""Uniform table/series rendering for the benchmark harness.
+
+Tables print immediately (visible in direct script runs and under
+``pytest -s``) *and* accumulate in a session buffer. The benchmark
+conftest flushes the buffer in ``pytest_terminal_summary``, which pytest
+writes to the real terminal — so a plain ``pytest benchmarks/`` run (or
+one piped through ``tee``) always ends with the full set of paper-style
+tables, regardless of output capture.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, List, Sequence
+
+_SESSION_REPORT: List[str] = []
+
+
+def _emit(text: str = "") -> None:
+    _SESSION_REPORT.append(text)
+    sys.stdout.write(text + "\n")
+    sys.stdout.flush()
+
+
+def drain_session_report() -> List[str]:
+    """Return and clear every line emitted so far (conftest summary hook)."""
+    lines = list(_SESSION_REPORT)
+    _SESSION_REPORT.clear()
+    return lines
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a fixed-width ASCII table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> None:
+    """Print a titled table (the shape every bench reports in)."""
+    _emit()
+    _emit(f"=== {title} ===")
+    _emit(format_table(headers, rows))
+
+
+def print_series(title: str, xs: Sequence[object], ys: Sequence[object]) -> None:
+    """Print an (x, y) series — the textual form of a figure's curve."""
+    _emit()
+    _emit(f"=== {title} ===")
+    for x, y in zip(xs, ys):
+        _emit(f"  {x}: {y}")

@@ -1,0 +1,268 @@
+"""Command-line interface for the PuPPIeS workflow.
+
+Subcommands mirror the three parties of Fig. 5:
+
+* ``demo``        — render a synthetic dataset image to a PPM file;
+* ``protect``     — sender side: detect/mark regions, perturb, write the
+                    stored image (`.rpj`), public data (`.rppd`) and one
+                    key file per matrix;
+* ``inspect``     — print what the public data reveals (which is the
+                    point: everything printable here is non-secret);
+* ``reconstruct`` — receiver side: decrypt with whichever key files are
+                    supplied and write the result as PPM.
+
+Example session::
+
+    repro-puppies demo --dataset pascal --index 0 --output photo.ppm
+    repro-puppies protect photo.ppm --out-dir shared --detect text faces
+    repro-puppies inspect shared/public.rppd
+    repro-puppies reconstruct shared --keys shared/keys/*.key -o out.ppm
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.keys import generate_private_key
+from repro.core.matrices import PrivateKey
+from repro.core.perturb import SCHEMES, perturb_regions
+from repro.core.policy import PrivacyLevel, PrivacySettings
+from repro.core.reconstruct import reconstruct_regions
+from repro.core.roi import recommend_rois
+from repro.core.serialization import (
+    deserialize_public_data,
+    serialize_public_data,
+)
+from repro.jpeg.codec import decode_image, encode_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.util.errors import ReproError
+from repro.util.imageio import read_image, write_image
+from repro.util.rect import Rect
+
+
+def _parse_rect(text: str) -> Rect:
+    try:
+        y, x, h, w = (int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected y,x,h,w integers, got {text!r}"
+        )
+    return Rect(y, x, h, w)
+
+
+def _detect_regions(array: np.ndarray, kinds: List[str]) -> List[Rect]:
+    boxes: List[Rect] = []
+    if "faces" in kinds:
+        from repro.vision.haar import detect_faces
+
+        boxes += detect_faces(array)
+    if "text" in kinds:
+        from repro.vision.ocr import detect_text_regions
+
+        boxes += detect_text_regions(array)
+    if "objects" in kinds:
+        from repro.vision.objectness import propose_objects
+
+        boxes += propose_objects(array)
+    return boxes
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.datasets import load_image
+
+    image = load_image(args.dataset, args.index, seed=args.seed)
+    write_image(args.output, image.array)
+    print(f"wrote {args.dataset}-{args.index} "
+          f"({image.array.shape[1]}x{image.array.shape[0]}) "
+          f"to {args.output}")
+    for label, boxes in (
+        ("faces", image.faces),
+        ("texts", image.texts),
+        ("objects", image.objects),
+    ):
+        for box in boxes:
+            print(f"  {label}: {box.y},{box.x},{box.h},{box.w}")
+    return 0
+
+
+def cmd_protect(args: argparse.Namespace) -> int:
+    array = read_image(args.input)
+    image = CoefficientImage.from_array(array, quality=args.quality)
+
+    manual = [
+        _parse_rect(spec) if isinstance(spec, str) else spec
+        for spec in (args.roi or [])
+    ]
+    detected = (
+        _detect_regions(array, args.detect) if args.detect else []
+    )
+    boxes = manual + detected
+    if not boxes:
+        print("no regions given; use --roi y,x,h,w or --detect",
+              file=sys.stderr)
+        return 2
+    settings = PrivacySettings.for_level(PrivacyLevel(args.level))
+    rois = recommend_rois(
+        boxes,
+        image.height,
+        image.width,
+        settings=settings,
+        scheme=args.scheme,
+        expand=args.expand,
+    )
+    keys = {}
+    for roi in rois:
+        roi.n_matrices = args.matrices
+        for matrix_id in roi.matrix_ids():
+            keys[matrix_id] = generate_private_key(matrix_id, args.owner)
+    perturbed, public = perturb_regions(image, rois, keys)
+
+    os.makedirs(os.path.join(args.out_dir, "keys"), exist_ok=True)
+    stored_path = os.path.join(args.out_dir, "stored.rpj")
+    public_path = os.path.join(args.out_dir, "public.rppd")
+    with open(stored_path, "wb") as handle:
+        handle.write(encode_image(perturbed, optimize=True))
+    with open(public_path, "wb") as handle:
+        handle.write(serialize_public_data(public))
+    for matrix_id, key in keys.items():
+        key_path = os.path.join(args.out_dir, "keys", f"{matrix_id}.key")
+        with open(key_path, "wb") as handle:
+            handle.write(key.serialize())
+    if args.preview:
+        write_image(
+            os.path.join(args.out_dir, "preview.ppm"), perturbed.to_array()
+        )
+
+    print(f"protected {len(rois)} region(s) with {len(keys)} key(s)")
+    print(f"  stored image : {stored_path} "
+          f"({os.path.getsize(stored_path)} bytes)")
+    print(f"  public data  : {public_path} "
+          f"({os.path.getsize(public_path)} bytes)")
+    print(f"  keys         : {args.out_dir}/keys/*.key  (KEEP PRIVATE)")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    with open(args.public, "rb") as handle:
+        public = deserialize_public_data(handle.read())
+    print(f"image: {public.width}x{public.height} "
+          f"({public.colorspace}, {len(public.quant_tables)} channels)")
+    if public.transform_params:
+        print(f"transformation applied at PSP: "
+              f"{public.transform_params.get('name')}")
+    print(f"regions: {len(public.regions)}")
+    for region in public.regions:
+        r = region.rect
+        print(
+            f"  {region.region_id}: rect={r.y},{r.x},{r.h},{r.w} "
+            f"scheme={region.scheme} "
+            f"mR={region.settings.min_range} K={region.settings.n_perturbed} "
+            f"matrices={','.join(region.all_matrix_ids)} "
+            f"zind={region.zind_entries()} wind={region.wind_entries()}"
+        )
+    return 0
+
+
+def _load_keys(patterns: List[str]) -> dict:
+    keys = {}
+    for pattern in patterns:
+        paths = glob.glob(pattern) or [pattern]
+        for path in paths:
+            with open(path, "rb") as handle:
+                key = PrivateKey.deserialize(handle.read())
+            keys[key.matrix_id] = key
+    return keys
+
+
+def cmd_reconstruct(args: argparse.Namespace) -> int:
+    stored_path = os.path.join(args.share_dir, "stored.rpj")
+    public_path = os.path.join(args.share_dir, "public.rppd")
+    with open(stored_path, "rb") as handle:
+        perturbed = decode_image(handle.read())
+    with open(public_path, "rb") as handle:
+        public = deserialize_public_data(handle.read())
+    keys = _load_keys(args.keys or [])
+    recovered = reconstruct_regions(perturbed, public, keys)
+    write_image(args.output, recovered.to_array())
+    decryptable = sum(
+        all(mid in keys for mid in region.all_matrix_ids)
+        for region in public.regions
+    )
+    print(
+        f"decrypted {decryptable}/{len(public.regions)} region(s) "
+        f"with {len(keys)} key(s); wrote {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-puppies",
+        description="PuPPIeS: privacy-preserving partial image sharing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="render a synthetic dataset image")
+    demo.add_argument("--dataset", default="pascal",
+                      choices=["caltech", "feret", "inria", "pascal"])
+    demo.add_argument("--index", type=int, default=0)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--output", "-o", required=True)
+    demo.set_defaults(func=cmd_demo)
+
+    protect = sub.add_parser("protect", help="perturb regions of an image")
+    protect.add_argument("input", help="PPM/PGM image to protect")
+    protect.add_argument("--out-dir", required=True)
+    protect.add_argument("--roi", action="append",
+                         help="manual region y,x,h,w (repeatable)")
+    protect.add_argument("--detect", nargs="*",
+                         choices=["faces", "text", "objects"],
+                         help="run detectors to propose regions")
+    protect.add_argument("--level", default="medium",
+                         choices=[l.value for l in PrivacyLevel])
+    protect.add_argument("--scheme", default="puppies-c", choices=SCHEMES)
+    protect.add_argument("--matrices", type=int, default=1,
+                         help="private matrix pairs per region (Sec IV-D)")
+    protect.add_argument("--expand", type=float, default=0.1,
+                         help="margin added around detections")
+    protect.add_argument("--quality", type=int, default=75)
+    protect.add_argument("--owner", default="cli-owner",
+                         help="key-derivation identity")
+    protect.add_argument("--preview", action="store_true",
+                         help="also write preview.ppm of the stored image")
+    protect.set_defaults(func=cmd_protect)
+
+    inspect = sub.add_parser("inspect", help="print public parameters")
+    inspect.add_argument("public", help="public.rppd file")
+    inspect.set_defaults(func=cmd_inspect)
+
+    reconstruct = sub.add_parser(
+        "reconstruct", help="decrypt a protected share directory"
+    )
+    reconstruct.add_argument("share_dir",
+                             help="directory written by `protect`")
+    reconstruct.add_argument("--keys", nargs="*",
+                             help="key files (globs allowed)")
+    reconstruct.add_argument("--output", "-o", required=True)
+    reconstruct.set_defaults(func=cmd_reconstruct)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

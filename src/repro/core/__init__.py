@@ -1,0 +1,74 @@
+"""The PuPPIeS core: perturbation, reconstruction, policies and workflow.
+
+Public API (re-exported here):
+
+* :class:`PrivacyLevel`, :class:`PrivacySettings` — Table IV's personalized
+  privacy levels and their (mR, K) parameters; Algorithm 3 lives in
+  :func:`range_matrix`.
+* :class:`PrivateKey`, :class:`KeyRing` — the secret 8x8 matrices
+  (P_DC, P_AC) and the receiver-side key store.
+* :func:`perturb_regions`, :func:`reconstruct_regions` — Algorithms 1/2 and
+  Lemma III.1 (Scenario 1: no PSP-side transformation).
+* :func:`build_shadow_planes`, :func:`reconstruct_transformed` — Scenario 2
+  recovery after an arbitrary affine PSP transformation.
+* :class:`Sender`, :class:`Psp`, :class:`Receiver`, :class:`SharingSession`
+  — the three-party system of Fig. 5 wired end to end.
+"""
+
+from repro.core.keys import KeyRing, SecureChannel, generate_private_key
+from repro.core.matrices import PrivateKey, PrivateMatrix
+from repro.core.params import ImagePublicData, RegionParams
+from repro.core.perturb import SCHEMES, perturb_regions
+from repro.core.policy import (
+    DEFAULT_PRIVACY,
+    PrivacyLevel,
+    PrivacySettings,
+    ac_secure_bits,
+    dc_secure_bits,
+    range_matrix,
+    settings_for_target_bits,
+    total_secure_bits,
+)
+from repro.core.psp import Psp, StoredImage
+from repro.core.receiver import Receiver
+from repro.core.reconstruct import reconstruct_regions
+from repro.core.roi import RegionOfInterest, recommend_rois
+from repro.core.sender import Sender, ShareRequest
+from repro.core.shadow import (
+    build_shadow_planes,
+    reconstruct_recompressed,
+    reconstruct_transformed,
+)
+from repro.core.system import SharingSession
+
+__all__ = [
+    "DEFAULT_PRIVACY",
+    "ImagePublicData",
+    "KeyRing",
+    "PrivacyLevel",
+    "PrivacySettings",
+    "PrivateKey",
+    "PrivateMatrix",
+    "Psp",
+    "Receiver",
+    "RegionOfInterest",
+    "RegionParams",
+    "SCHEMES",
+    "SecureChannel",
+    "Sender",
+    "ShareRequest",
+    "SharingSession",
+    "StoredImage",
+    "ac_secure_bits",
+    "build_shadow_planes",
+    "dc_secure_bits",
+    "generate_private_key",
+    "perturb_regions",
+    "range_matrix",
+    "settings_for_target_bits",
+    "recommend_rois",
+    "reconstruct_recompressed",
+    "reconstruct_regions",
+    "reconstruct_transformed",
+    "total_secure_bits",
+]

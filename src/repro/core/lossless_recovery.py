@@ -1,0 +1,146 @@
+"""Exact recovery after *lossless* (jpegtran-style) PSP transformations.
+
+When the PSP transforms the stored JPEG in the coefficient domain
+(:mod:`repro.jpeg.lossless`), the receiver can do better than the
+shadow-ROI subtraction: invert the geometric operation on the downloaded
+coefficients, run the ordinary Lemma-III.1 decryption, and re-apply the
+operation — recovering the transformed original **bit-exactly in the
+integer coefficient domain**, not merely to float precision.
+
+Cropping is not invertible, but it is *traceable*: the receiver knows
+which blocks of each protected region survived and at which raster
+indices they originally sat, so the per-block perturbation can be
+re-derived for exactly those blocks and subtracted in place.
+
+Operations are described by small serializable dicts (the PSP publishes
+them as its transformation record, like any other transform)::
+
+    {"op": "rotate90", "turns": 1}
+    {"op": "flip_h"} / {"op": "flip_v"} / {"op": "transpose"}
+    {"op": "crop", "y": 8, "x": 16, "h": 48, "w": 64}
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.core.matrices import PrivateKey
+from repro.core.params import ImagePublicData, RegionParams
+from repro.core.perturb import perturbation_for_blocks, wrap_subtract
+from repro.core.reconstruct import reconstruct_regions
+from repro.jpeg import lossless
+from repro.jpeg.coefficients import CoefficientImage
+from repro.jpeg.zigzag import block_to_zigzag, zigzag_to_block
+from repro.util.errors import TransformError
+from repro.util.rect import Rect
+
+
+def apply_lossless(image: CoefficientImage, op: Dict) -> CoefficientImage:
+    """Apply a lossless operation described by its dict record."""
+    kind = op.get("op")
+    if kind == "rotate90":
+        return lossless.rotate90(image, op.get("turns", 1))
+    if kind == "flip_h":
+        return lossless.flip_horizontal(image)
+    if kind == "flip_v":
+        return lossless.flip_vertical(image)
+    if kind == "transpose":
+        return lossless.transpose(image)
+    if kind == "crop":
+        return lossless.crop(
+            image, Rect(op["y"], op["x"], op["h"], op["w"])
+        )
+    raise TransformError(f"unknown lossless op {kind!r}")
+
+
+def invert_lossless_op(op: Dict) -> Optional[Dict]:
+    """The inverse operation record, or ``None`` when not invertible."""
+    kind = op.get("op")
+    if kind == "rotate90":
+        return {"op": "rotate90", "turns": (-op.get("turns", 1)) % 4}
+    if kind in ("flip_h", "flip_v", "transpose"):
+        return dict(op)  # self-inverse
+    if kind == "crop":
+        return None
+    raise TransformError(f"unknown lossless op {kind!r}")
+
+
+def _decrypt_cropped_region(
+    cropped: CoefficientImage,
+    region: RegionParams,
+    keys: List[PrivateKey],
+    crop_rect: Rect,
+) -> None:
+    """Decrypt, in place, the surviving blocks of one cropped region."""
+    crop_blocks = Rect(
+        crop_rect.y // 8, crop_rect.x // 8, crop_rect.h // 8, crop_rect.w // 8
+    )
+    region_blocks = region.block_rect
+    overlap = region_blocks.intersection(crop_blocks)
+    if overlap is None:
+        return
+
+    n_blocks = region.n_blocks
+    p_full, _ = perturbation_for_blocks(
+        keys, region.settings, region.scheme, n_blocks
+    )
+    # Region-local rows/cols of the surviving blocks, and their raster
+    # indices in the *original* region (what the perturbation cycles on).
+    local_rows = np.arange(overlap.y - region_blocks.y, overlap.y2 - region_blocks.y)
+    local_cols = np.arange(overlap.x - region_blocks.x, overlap.x2 - region_blocks.x)
+    grid_rows, grid_cols = np.meshgrid(local_rows, local_cols, indexing="ij")
+    raster = (grid_rows * region_blocks.w + grid_cols).ravel()
+
+    for channel in range(cropped.n_channels):
+        chan = cropped.channels[channel]
+        # Position of the surviving blocks inside the cropped image.
+        y0 = overlap.y - crop_blocks.y
+        x0 = overlap.x - crop_blocks.x
+        sub = chan[y0 : y0 + overlap.h, x0 : x0 + overlap.w]
+        encrypted = block_to_zigzag(
+            sub.reshape(overlap.h * overlap.w, 8, 8)
+        ).astype(np.int64)
+        p = p_full[raster]
+        if region.scheme == "puppies-z":
+            zind = region.zind[channel][raster]
+            perturbed_ac = (encrypted[:, 1:] != 0) | zind[:, 1:]
+            mask = np.ones_like(p, dtype=bool)
+            mask[:, 1:] = perturbed_ac
+            p = np.where(mask, p, 0)
+        original = wrap_subtract(encrypted, p)
+        chan[y0 : y0 + overlap.h, x0 : x0 + overlap.w] = (
+            zigzag_to_block(original)
+            .reshape(overlap.h, overlap.w, 8, 8)
+            .astype(np.int32)
+        )
+
+
+def reconstruct_lossless(
+    transformed: CoefficientImage,
+    op: Dict,
+    public: ImagePublicData,
+    keys: Mapping[str, PrivateKey],
+) -> CoefficientImage:
+    """Recover the losslessly-transformed original, bit-exactly.
+
+    For invertible operations: undo, decrypt (Lemma III.1), redo. For a
+    crop: decrypt the surviving blocks of each recoverable region in
+    place. Regions with missing keys stay perturbed either way.
+    """
+    inverse = invert_lossless_op(op)
+    if inverse is not None:
+        untransformed = apply_lossless(transformed, inverse)
+        recovered = reconstruct_regions(untransformed, public, keys)
+        return apply_lossless(recovered, op)
+
+    # Crop path.
+    crop_rect = Rect(op["y"], op["x"], op["h"], op["w"])
+    recovered = transformed.copy()
+    for region in public.regions:
+        region_keys = [keys.get(mid) for mid in region.all_matrix_ids]
+        if any(key is None for key in region_keys):
+            continue
+        _decrypt_cropped_region(recovered, region, region_keys, crop_rect)
+    return recovered

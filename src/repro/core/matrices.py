@@ -1,0 +1,141 @@
+"""Private matrices — the secret keys of PuPPIeS.
+
+A private matrix is an 8x8 integer matrix whose entries are drawn uniformly
+from the JPEG coefficient range [-1024, 1023]; vectorized (zigzag order) it
+is the 64-entry vector P' of Algorithms 1/2. Following the practical
+extension of Section IV-D, every region key is a *pair* of independent
+matrices: ``P_DC`` perturbing the DC coefficients (indexed by block number
+mod 64) and ``P_AC`` perturbing the AC coefficients (indexed by zigzag
+frequency, range-limited by Q').
+
+The private part a sender must keep locally is exactly these matrices —
+that is what Fig. 11 sizes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.policy import (
+    BITS_PER_ENTRY,
+    COEFF_MAX,
+    COEFF_MIN,
+    COEFF_MODULUS,
+    ENTRIES_PER_MATRIX,
+)
+from repro.util.errors import KeyMismatchError, ReproError
+from repro.util.rng import rng_from_key
+
+
+@dataclass(frozen=True)
+class PrivateMatrix:
+    """One 64-entry secret perturbation vector (an 8x8 matrix, vectorized)."""
+
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        vals = np.asarray(self.values, dtype=np.int64)
+        if vals.shape != (ENTRIES_PER_MATRIX,):
+            raise ReproError(
+                f"private matrix must have 64 entries, got {vals.shape}"
+            )
+        if vals.min() < COEFF_MIN or vals.max() > COEFF_MAX:
+            raise ReproError("private matrix entries outside [-1024, 1023]")
+        object.__setattr__(self, "values", vals)
+        object.__setattr__(self, "_normalized", np.mod(vals, COEFF_MODULUS))
+
+    @classmethod
+    def generate(cls, rng: np.random.Generator) -> "PrivateMatrix":
+        """Draw a fresh matrix uniformly from the full coefficient range."""
+        return cls(rng.integers(COEFF_MIN, COEFF_MAX + 1, ENTRIES_PER_MATRIX))
+
+    @property
+    def normalized(self) -> np.ndarray:
+        """Entries mapped into [0, 2047] — the 'p' of Lemma III.1."""
+        return self._normalized
+
+    def as_block(self) -> np.ndarray:
+        """The matrix as an 8x8 block in zigzag-consistent layout."""
+        from repro.jpeg.zigzag import zigzag_to_block
+
+        return zigzag_to_block(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PrivateMatrix) and np.array_equal(
+            self.values, other.values
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.values.tobytes())
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """The secret material for one protected region: (P_DC, P_AC) plus id.
+
+    ``matrix_id`` is the public handle stored with the image's public data;
+    the matrices themselves travel only over the secure channel.
+    """
+
+    matrix_id: str
+    p_dc: PrivateMatrix
+    p_ac: PrivateMatrix
+
+    @classmethod
+    def generate(cls, matrix_id: str, rng: np.random.Generator) -> "PrivateKey":
+        return cls(
+            matrix_id=matrix_id,
+            p_dc=PrivateMatrix.generate(rng),
+            p_ac=PrivateMatrix.generate(rng),
+        )
+
+    @classmethod
+    def from_seed_material(cls, matrix_id: str, material: str) -> "PrivateKey":
+        """Derive a key deterministically from shared secret material.
+
+        Used after a key exchange: both endpoints derive identical matrices
+        from the shared secret without shipping 128 coefficients.
+        """
+        return cls.generate(matrix_id, rng_from_key(f"puppies-key/{material}"))
+
+    def serialize(self) -> bytes:
+        """Compact wire format: id + both matrices as int16s."""
+        ident = self.matrix_id.encode("utf-8")
+        return (
+            struct.pack("<H", len(ident))
+            + ident
+            + self.p_dc.values.astype("<i2").tobytes()
+            + self.p_ac.values.astype("<i2").tobytes()
+        )
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "PrivateKey":
+        (id_len,) = struct.unpack_from("<H", data, 0)
+        ident = data[2 : 2 + id_len].decode("utf-8")
+        offset = 2 + id_len
+        dc = np.frombuffer(data, dtype="<i2", count=64, offset=offset)
+        ac = np.frombuffer(
+            data, dtype="<i2", count=64, offset=offset + 128
+        )
+        return cls(ident, PrivateMatrix(dc), PrivateMatrix(ac))
+
+    def serialized_size_bytes(self) -> int:
+        """Size of the private part this key contributes (Fig. 11).
+
+        The paper counts 11 bits per entry; two matrices of 64 entries plus
+        the id handle.
+        """
+        id_bytes = 2 + len(self.matrix_id.encode("utf-8"))
+        matrix_bits = 2 * ENTRIES_PER_MATRIX * BITS_PER_ENTRY
+        return id_bytes + (matrix_bits + 7) // 8
+
+    def require_id(self, matrix_id: str) -> None:
+        """Raise :class:`KeyMismatchError` unless this key matches the id."""
+        if self.matrix_id != matrix_id:
+            raise KeyMismatchError(
+                f"key {self.matrix_id!r} cannot decrypt region keyed by "
+                f"{matrix_id!r}"
+            )

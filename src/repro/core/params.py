@@ -1,0 +1,167 @@
+"""Public parameters stored alongside a perturbed image (Section III-C).
+
+The paper's public data per image: for each perturbed region its position
+and size, the scheme parameters ``mR`` and ``K``, the id of the private
+matrix that encrypted it, the new-zero index set ``ZInd`` (PuPPIeS-Z), and
+the transformation type applied at the PSP. This reproduction adds two
+items required for *exact* Scenario-2 recovery (DESIGN.md §2/§5): the wrap
+index set ``WInd`` and, for PuPPIeS-Z, the skip mask of originally-zero
+entries.
+
+Anything in this module is, by design, safe to reveal: the paper argues
+leaking ZInd does not break privacy (Section IV-B.4), WInd reveals at most
+one data-dependent carry bit of ``b + p`` with ``p`` secret, and the skip
+mask duplicates information already visible as zeros in the stored
+perturbed image.
+
+Index sets are *stored* as boolean masks for convenience, but *sized* using
+the paper's coding: 28 bits per recorded position (Section IV-B.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.policy import PrivacySettings
+from repro.util.errors import ReproError
+from repro.util.rect import Rect
+
+#: Paper Section IV-B.4: each recorded coefficient position costs 28 bits.
+BITS_PER_INDEX_ENTRY = 28
+
+#: Fixed per-region metadata: region id handle (8), rect (8), scheme tag
+#: (1), mR (2), K (1), matrix id handle (8), flags (2) — 30 bytes.
+REGION_HEADER_BYTES = 30
+
+
+@dataclass
+class RegionParams:
+    """Everything public about one perturbed region."""
+
+    region_id: str
+    rect: Rect  # pixel coordinates, 8-aligned
+    scheme: str
+    settings: PrivacySettings
+    matrix_id: str
+    #: per channel: bool (n_roi_blocks, 64) — entries that wrapped mod 2048.
+    wind: List[np.ndarray]
+    #: per channel: bool (n_roi_blocks, 64) — nonzero entries perturbed to 0.
+    zind: List[np.ndarray]
+    #: per channel: bool (n_roi_blocks, 64) — entries skipped by PuPPIeS-Z
+    #: (originally zero). Empty list for the other schemes.
+    skip: List[np.ndarray] = field(default_factory=list)
+    #: Section IV-D extension: further matrix ids when the region cycles
+    #: several key pairs over its blocks (block k uses pair k mod n).
+    extra_matrix_ids: List[str] = field(default_factory=list)
+
+    @property
+    def all_matrix_ids(self) -> List[str]:
+        """Every matrix id the region's blocks use, in cycling order."""
+        return [self.matrix_id] + list(self.extra_matrix_ids)
+
+    @property
+    def block_rect(self) -> Rect:
+        """The region in block-grid units (rect is 8-aligned)."""
+        r = self.rect
+        if not r.is_aligned(8):
+            raise ReproError(f"region rect {r} is not 8-aligned")
+        return Rect(r.y // 8, r.x // 8, r.h // 8, r.w // 8)
+
+    @property
+    def n_blocks(self) -> int:
+        br = self.block_rect
+        return br.h * br.w
+
+    def zind_entries(self) -> int:
+        return int(sum(int(mask.sum()) for mask in self.zind))
+
+    def wind_entries(self) -> int:
+        return int(sum(int(mask.sum()) for mask in self.wind))
+
+    def _index_set_bytes(self, masks: List[np.ndarray]) -> int:
+        """Serialized size of a coefficient index set.
+
+        Sparse sets use the paper's 28-bit-per-entry coding; dense sets
+        (e.g. WInd at high privacy, where roughly half of all perturbed
+        coefficients wrap) switch to a plain bitmap over the region's
+        coefficients — whichever is smaller, plus a one-byte mode tag.
+        """
+        entries = int(sum(int(mask.sum()) for mask in masks))
+        index_bits = entries * BITS_PER_INDEX_ENTRY
+        bitmap_bits = int(sum(mask.size for mask in masks))
+        return 1 + (min(index_bits, bitmap_bits) + 7) // 8
+
+    def public_size_bytes(
+        self,
+        include_zind: bool = True,
+        include_transform_support: bool = True,
+    ) -> int:
+        """Serialized size of this region's public parameters.
+
+        ``include_zind=False`` reproduces the paper's
+        "PuPPIeS-Zero--no newZeroIndex" series of Fig. 18;
+        ``include_transform_support=False`` drops WInd and the skip mask —
+        the Scenario-1-only deployment, matching the paper's own accounting
+        (which counted ZInd but predates the WInd fix).
+        """
+        size = REGION_HEADER_BYTES
+        if include_zind:
+            size += self._index_set_bytes(self.zind)
+        if include_transform_support:
+            size += self._index_set_bytes(self.wind)
+            if self.skip:
+                # Bitmap over every coefficient of the region, per channel.
+                n_bits = sum(mask.size for mask in self.skip)
+                size += (n_bits + 7) // 8
+        return size
+
+
+@dataclass
+class ImagePublicData:
+    """Public data for one shared image: geometry plus per-region params.
+
+    The geometry fields let a receiver rebuild the shadow ROI without ever
+    downloading the untransformed image (Scenario 2 of Fig. 8).
+    """
+
+    height: int
+    width: int
+    blocks_shape: Tuple[int, int]
+    colorspace: str
+    quant_tables: List[np.ndarray]
+    regions: List[RegionParams] = field(default_factory=list)
+    #: Transformation the PSP applied, as serialized params (None if none).
+    transform_params: Optional[dict] = None
+
+    def region_by_id(self, region_id: str) -> RegionParams:
+        for region in self.regions:
+            if region.region_id == region_id:
+                return region
+        raise ReproError(f"unknown region id {region_id!r}")
+
+    def regions_for_matrix(self, matrix_id: str) -> List[RegionParams]:
+        return [
+            r for r in self.regions if matrix_id in r.all_matrix_ids
+        ]
+
+    def matrix_ids(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for region in self.regions:
+            for matrix_id in region.all_matrix_ids:
+                seen.setdefault(matrix_id, None)
+        return list(seen)
+
+    def params_size_bytes(
+        self,
+        include_zind: bool = True,
+        include_transform_support: bool = True,
+    ) -> int:
+        """Total serialized public-parameter size across all regions."""
+        base = 16  # image geometry header
+        return base + sum(
+            region.public_size_bytes(include_zind, include_transform_support)
+            for region in self.regions
+        )

@@ -1,0 +1,223 @@
+"""Sender-side image perturbation: PuPPIeS-N, -B, -C and -Z.
+
+All four schemes add a secret amount ``p`` to each quantized DCT
+coefficient ``b`` of a protected region, wrapping into the JPEG coefficient
+range (Lemma III.1's encryption direction)::
+
+    e = ((b + p + 1024) mod 2048) - 1024,   p in [0, 2047]
+
+They differ only in how ``p`` is chosen per coefficient:
+
+* **PuPPIeS-N** — ``p = P'[i]`` for every block: the naive scheme whose DC
+  components are all secured by the *same* value ``P'[0]`` (Section
+  IV-B.1's strawman, kept as a baseline for the ablation benches).
+* **PuPPIeS-B** — Eq. (1): DC of block ``k`` gets ``P_DC'[k mod 64]``; AC
+  ``i`` gets ``P_AC'[i]`` at full range.
+* **PuPPIeS-C** — Algorithm 1: AC ranges limited by the private range
+  matrix ``Q'`` (Algorithm 3), so high frequencies get small perturbations
+  and rebuilt Huffman tables stay efficient.
+* **PuPPIeS-Z** — Algorithm 2: like -C but originally-zero AC entries are
+  skipped (preserving JPEG's zero runs) and entries that *become* zero are
+  recorded in the public ``ZInd`` set.
+
+Every scheme records the wrap positions ``WInd`` (this reproduction's
+Scenario-2 exactness fix, DESIGN.md §2) and -Z additionally records its
+skip mask.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.matrices import PrivateKey
+from repro.core.params import ImagePublicData, RegionParams
+from repro.core.policy import (
+    COEFF_MAX,
+    COEFF_MIN,
+    COEFF_MODULUS,
+    PrivacySettings,
+    range_matrix,
+)
+from repro.core.roi import RegionOfInterest, validate_rois
+from repro.jpeg.coefficients import CoefficientImage
+from repro.jpeg.zigzag import block_to_zigzag, zigzag_to_block
+from repro.util.errors import KeyMismatchError, ReproError
+
+SCHEMES = ("puppies-n", "puppies-b", "puppies-c", "puppies-z")
+
+_HALF = COEFF_MODULUS // 2  # 1024
+
+
+def _ac_perturbation_row(
+    key: PrivateKey, settings: PrivacySettings, scheme: str
+) -> np.ndarray:
+    """The per-frequency AC perturbation vector (length 64, entry 0 unused)."""
+    if scheme == "puppies-n":
+        return key.p_ac.normalized.astype(np.int64)
+    if scheme == "puppies-b":
+        return key.p_ac.normalized.astype(np.int64)
+    if scheme in ("puppies-c", "puppies-z"):
+        q = range_matrix(settings)
+        return np.mod(key.p_ac.values.astype(np.int64), q)
+    raise ReproError(f"unknown scheme {scheme!r}")
+
+
+def perturbation_for_blocks(
+    key: Union[PrivateKey, Sequence[PrivateKey]],
+    settings: PrivacySettings,
+    scheme: str,
+    n_blocks: int,
+    zigzag: np.ndarray | None = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The full perturbation array ``p`` of one region's blocks.
+
+    Returns ``(p, skip_mask)`` with ``p`` shaped ``(n_blocks, 64)`` in
+    ``[0, 2047]`` and ``skip_mask`` a boolean array marking entries left
+    unperturbed (always all-False except for PuPPIeS-Z, which needs the
+    region's original coefficients via ``zigzag``).
+
+    ``key`` may also be a *sequence* of keys — the Section IV-D extension
+    where a ROI's blocks cycle through several private matrix pairs
+    (block ``k`` uses key ``k mod n``), raising the brute-force cost
+    linearly in the number of matrices.
+    """
+    if scheme not in SCHEMES:
+        raise ReproError(f"unknown scheme {scheme!r}")
+    keys: List[PrivateKey] = (
+        [key] if isinstance(key, PrivateKey) else list(key)
+    )
+    if not keys:
+        raise ReproError("at least one private key required")
+    n_keys = len(keys)
+    p = np.empty((n_blocks, 64), dtype=np.int64)
+    block_index = np.arange(n_blocks, dtype=np.int64)
+    group = block_index % n_keys
+    # Index within a key's own block sequence (drives the DC cycling).
+    within = block_index // n_keys
+    ac_rows = np.stack(
+        [_ac_perturbation_row(k, settings, scheme) for k in keys]
+    )
+    p[:, :] = ac_rows[group]
+    skip = np.zeros((n_blocks, 64), dtype=bool)
+    if scheme == "puppies-n":
+        # Naive scheme: same vector for every block — DC included.
+        return p, skip
+    dc_tables = np.stack([k.p_dc.normalized for k in keys])
+    p[:, 0] = dc_tables[group, within % 64]
+    if scheme == "puppies-z" and zigzag is not None:
+        # Sender side: skip originally-zero AC entries. Receivers call
+        # without ``zigzag`` and apply their own reconstruction of the
+        # skip mask (see repro.core.reconstruct.receiver_perturbation).
+        skip[:, 1:] = zigzag[:, 1:] == 0
+        p[skip] = 0
+    return p, skip
+
+
+def wrap_add(values: np.ndarray, p: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Lemma III.1 encryption: wrapped add, returning (result, wrap mask)."""
+    shifted = values.astype(np.int64) + p + _HALF
+    wrapped = shifted >= COEFF_MODULUS
+    return (shifted % COEFF_MODULUS) - _HALF, wrapped
+
+
+def wrap_subtract(values: np.ndarray, p: np.ndarray) -> np.ndarray:
+    """Lemma III.1 decryption: ``b = ((e - p + 1024) mod 2048) - 1024``."""
+    return (
+        (values.astype(np.int64) - p + _HALF) % COEFF_MODULUS
+    ) - _HALF
+
+
+def _region_zigzag(
+    image: CoefficientImage, channel: int, params_rect
+) -> np.ndarray:
+    """The (n_blocks, 64) zigzag view of one region in one channel."""
+    br = params_rect
+    sub = image.channels[channel][br.y : br.y2, br.x : br.x2]
+    return block_to_zigzag(sub.reshape(br.h * br.w, 8, 8)).astype(np.int64)
+
+
+def _write_region_zigzag(
+    image: CoefficientImage, channel: int, params_rect, zigzag: np.ndarray
+) -> None:
+    br = params_rect
+    blocks = zigzag_to_block(zigzag).reshape(br.h, br.w, 8, 8)
+    image.channels[channel][br.y : br.y2, br.x : br.x2] = blocks.astype(
+        np.int32
+    )
+
+
+def perturb_regions(
+    image: CoefficientImage,
+    rois: Sequence[RegionOfInterest],
+    keys: Mapping[str, PrivateKey],
+) -> Tuple[CoefficientImage, ImagePublicData]:
+    """Perturb every region of interest; the sender-side step of Fig. 6.
+
+    Args:
+        image: the original image in coefficient form (left untouched).
+        rois: disjoint, 8-aligned regions with their scheme/settings.
+        keys: private keys indexed by ``matrix_id``; every region's matrix
+            must be present.
+
+    Returns:
+        The perturbed image (what gets uploaded to the PSP) and the public
+        data that is stored next to it.
+    """
+    validate_rois(list(rois), image.blocks_shape)
+    perturbed = image.copy()
+    public = ImagePublicData(
+        height=image.height,
+        width=image.width,
+        blocks_shape=image.blocks_shape,
+        colorspace=image.colorspace,
+        quant_tables=[t.copy() for t in image.quant_tables],
+    )
+    for roi in rois:
+        matrix_ids = roi.matrix_ids()
+        region_keys: List[PrivateKey] = []
+        for matrix_id in matrix_ids:
+            try:
+                key = keys[matrix_id]
+            except KeyError:
+                raise KeyMismatchError(
+                    f"no private key for matrix id {matrix_id!r}"
+                )
+            key.require_id(matrix_id)
+            region_keys.append(key)
+        region = RegionParams(
+            region_id=roi.region_id,
+            rect=roi.rect,
+            scheme=roi.scheme,
+            settings=roi.settings,
+            matrix_id=matrix_ids[0],
+            wind=[],
+            zind=[],
+            skip=[],
+            extra_matrix_ids=matrix_ids[1:],
+        )
+        br = region.block_rect
+        for channel in range(perturbed.n_channels):
+            zz = _region_zigzag(perturbed, channel, br)
+            if zz.min() < COEFF_MIN or zz.max() > COEFF_MAX:
+                raise ReproError(
+                    "coefficients outside [-1024, 1023]; cannot perturb"
+                )
+            p, skip = perturbation_for_blocks(
+                region_keys, roi.settings, roi.scheme, zz.shape[0],
+                zigzag=zz,
+            )
+            encrypted, wrapped = wrap_add(zz, p)
+            new_zero = np.zeros_like(skip)
+            if roi.scheme == "puppies-z":
+                new_zero[:, 1:] = (
+                    (zz[:, 1:] != 0) & (encrypted[:, 1:] == 0)
+                )
+            region.wind.append(wrapped)
+            region.zind.append(new_zero)
+            if roi.scheme == "puppies-z":
+                region.skip.append(skip)
+            _write_region_zigzag(perturbed, channel, br, encrypted)
+        public.regions.append(region)
+    return perturbed, public

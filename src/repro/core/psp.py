@@ -1,0 +1,157 @@
+"""The Photo Sharing Platform model (the semi-honest third party).
+
+The PSP stores perturbed images (as entropy-coded bytes) together with
+their public parameters, and can apply any registered transformation on
+request — without holding any key material. Transformations are performed
+in the coefficient-faithful regime (decoded, unclamped sample planes; see
+:mod:`repro.transforms`), the regime of lossless JPEG tooling.
+
+Being semi-honest, the PSP may also *run analyses* on what it stores;
+the inference attacks of Section VI-B (:mod:`repro.attacks`) operate on
+exactly the artifacts this class exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.params import ImagePublicData
+from repro.core.serialization import (
+    deserialize_public_data,
+    serialize_public_data,
+)
+from repro.jpeg.codec import decode_image, encode_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.transforms.compression import Recompress
+from repro.transforms.pipeline import Transform
+from repro.util.errors import ReproError
+
+
+@dataclass
+class StoredImage:
+    """One uploaded image: encoded bytes plus serialized public params.
+
+    Both halves are stored as *bytes* — the PSP is a dumb blob store
+    ("all of these operations could be done via general file store and
+    retrieval APIs", Section III-C.3).
+    """
+
+    encoded: bytes
+    public_bytes: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.encoded)
+
+    @property
+    def public(self) -> ImagePublicData:
+        return deserialize_public_data(self.public_bytes)
+
+
+class Psp:
+    """An in-memory Photo Sharing Platform."""
+
+    def __init__(self, name: str = "psp") -> None:
+        self.name = name
+        self._store: Dict[str, StoredImage] = {}
+
+    # ------------------------------------------------------------------
+    # Storage API
+    # ------------------------------------------------------------------
+    def upload(
+        self,
+        image_id: str,
+        image: CoefficientImage,
+        public: ImagePublicData,
+        optimize: bool = True,
+    ) -> int:
+        """Store an image; returns its stored size in bytes.
+
+        ``optimize=True`` entropy-codes with per-image Huffman tables —
+        the PuPPIeS-C behaviour; pass ``False`` to model a sender that
+        keeps the library default tables (the PuPPIeS-B regime whose
+        blow-up Table II quantifies).
+        """
+        if image_id in self._store:
+            raise ReproError(f"image id {image_id!r} already uploaded")
+        encoded = encode_image(image, optimize=optimize)
+        self._store[image_id] = StoredImage(
+            encoded=encoded, public_bytes=serialize_public_data(public)
+        )
+        return len(encoded)
+
+    def stored(self, image_id: str) -> StoredImage:
+        try:
+            return self._store[image_id]
+        except KeyError:
+            raise ReproError(f"unknown image id {image_id!r}")
+
+    def image_ids(self) -> List[str]:
+        return list(self._store)
+
+    def storage_size(self, image_id: str) -> int:
+        return self.stored(image_id).size_bytes
+
+    def public_data(self, image_id: str) -> ImagePublicData:
+        return self.stored(image_id).public
+
+    # ------------------------------------------------------------------
+    # Download API
+    # ------------------------------------------------------------------
+    def download(self, image_id: str) -> CoefficientImage:
+        """The stored (perturbed, untransformed) image."""
+        return decode_image(self.stored(image_id).encoded)
+
+    def download_transformed(
+        self, image_id: str, transform: Transform
+    ) -> Tuple[List[np.ndarray], dict]:
+        """Apply a sample-domain transformation server-side (Scenario 2).
+
+        Returns the transformed sample planes together with the serialized
+        transformation parameters, which the PSP publishes as public data
+        (paper Section III-C: the transformation type is public).
+        """
+        stored = self.stored(image_id)
+        image = decode_image(stored.encoded)
+        planes = transform.apply(image.to_sample_planes())
+        params = transform.to_params()
+        public = stored.public
+        public.transform_params = params
+        stored.public_bytes = serialize_public_data(public)
+        return planes, params
+
+    def download_lossless(
+        self, image_id: str, op: dict
+    ) -> Tuple[CoefficientImage, dict]:
+        """Apply a jpegtran-style lossless operation server-side.
+
+        The operation runs purely in the coefficient domain
+        (:mod:`repro.jpeg.lossless`) — no decode, no rounding — and its
+        record is published like any other transformation.
+        """
+        from repro.core.lossless_recovery import apply_lossless
+
+        stored = self.stored(image_id)
+        image = decode_image(stored.encoded)
+        transformed = apply_lossless(image, op)
+        public = stored.public
+        public.transform_params = dict(op)
+        stored.public_bytes = serialize_public_data(public)
+        return transformed, dict(op)
+
+    def download_recompressed(
+        self, image_id: str, quality: int
+    ) -> Tuple[CoefficientImage, dict]:
+        """Recompress server-side (the coefficient-domain transformation)."""
+        stored = self.stored(image_id)
+        recompress = Recompress(quality)
+        image = decode_image(stored.encoded)
+        recompressed = recompress.apply_to_image(image)
+        params = recompress.to_params()
+        public = stored.public
+        public.transform_params = params
+        stored.public_bytes = serialize_public_data(public)
+        return recompressed, params

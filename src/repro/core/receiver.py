@@ -1,0 +1,123 @@
+"""The receiver of the PuPPIeS workflow (Fig. 5, right).
+
+A :class:`Receiver` accepts key grants over a secure channel, downloads
+images (transformed or not) from a PSP and reconstructs whatever its keys
+unlock — Scenario 1 (Fig. 7) and Scenario 2 (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.keys import DhKeyPair, KeyRing, SecureChannel
+from repro.core.psp import Psp
+from repro.core.reconstruct import reconstruct_regions
+from repro.core.shadow import (
+    reconstruct_recompressed,
+    reconstruct_transformed,
+)
+from repro.jpeg.coefficients import CoefficientImage
+from repro.transforms.compression import Recompress
+from repro.transforms.pipeline import Transform, transform_from_params
+from repro.util.rng import rng_from_key
+
+
+class Receiver:
+    """A user who can decrypt the regions whose keys she was granted."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.keyring = KeyRing()
+        self.dh = DhKeyPair.generate(rng_from_key(f"dh/{name}"))
+        self._channels: Dict[str, SecureChannel] = {}
+
+    def channel_from(self, peer_name: str, peer_public: int) -> SecureChannel:
+        """The receiver end of a secure channel with a sender."""
+        if peer_name not in self._channels:
+            self._channels[peer_name] = SecureChannel.establish(
+                self.dh, peer_public
+            )
+        return self._channels[peer_name]
+
+    def accept_grants(
+        self,
+        peer_name: str,
+        peer_public: int,
+        grants: Iterable[Tuple[str, bytes]],
+    ) -> None:
+        """Decrypt key grants from a sender and add them to the keyring."""
+        channel = self.channel_from(peer_name, peer_public)
+        for matrix_id, blob in grants:
+            self.keyring.add(channel.receive_key(matrix_id, blob))
+
+    # ------------------------------------------------------------------
+    # Scenario 1: untransformed download
+    # ------------------------------------------------------------------
+    def fetch(self, psp: Psp, image_id: str) -> CoefficientImage:
+        """Download and decrypt everything this receiver's keys unlock."""
+        perturbed = psp.download(image_id)
+        public = psp.public_data(image_id)
+        return reconstruct_regions(
+            perturbed, public, self.keyring.as_mapping()
+        )
+
+    def fetch_pixels(self, psp: Psp, image_id: str) -> np.ndarray:
+        """As :meth:`fetch`, decoded to a display-ready uint8 array."""
+        return self.fetch(psp, image_id).to_array()
+
+    # ------------------------------------------------------------------
+    # Scenario 2: the PSP transformed the image
+    # ------------------------------------------------------------------
+    def fetch_transformed(
+        self,
+        psp: Psp,
+        image_id: str,
+        transform: Transform,
+        region_ids: Optional[Sequence[str]] = None,
+    ) -> List[np.ndarray]:
+        """Download a transformed copy and recover the transformed original.
+
+        Returns sample planes of ``transform(original)`` for the regions
+        this receiver can unlock (other regions stay scrambled).
+        """
+        planes, params = psp.download_transformed(image_id, transform)
+        public = psp.public_data(image_id)
+        replayed = transform_from_params(params)
+        return reconstruct_transformed(
+            planes, replayed, public, self.keyring.as_mapping(), region_ids
+        )
+
+    def fetch_lossless(
+        self, psp: Psp, image_id: str, op: dict
+    ) -> CoefficientImage:
+        """Download a losslessly-transformed copy and recover, bit-exactly.
+
+        The strongest guarantee in the system: for jpegtran-style PSP
+        operations the recovered coefficients equal those of the
+        transformed original exactly (integers, not just float-close).
+        """
+        from repro.core.lossless_recovery import reconstruct_lossless
+
+        transformed, params = psp.download_lossless(image_id, op)
+        public = psp.public_data(image_id)
+        return reconstruct_lossless(
+            transformed, params, public, self.keyring.as_mapping()
+        )
+
+    def fetch_recompressed(
+        self, psp: Psp, image_id: str, quality: int
+    ) -> CoefficientImage:
+        """Download a recompressed copy and recover the recompressed
+        original (Section IV-C.2)."""
+        recompressed, params = psp.download_recompressed(image_id, quality)
+        public = psp.public_data(image_id)
+        return reconstruct_recompressed(
+            recompressed,
+            Recompress.from_params(
+                {k: v for k, v in params.items() if k != "name"}
+            ),
+            public,
+            self.keyring.as_mapping(),
+        )

@@ -1,0 +1,126 @@
+"""Receiver-side reconstruction, Scenario 1 (no PSP transformation).
+
+A receiver holding a region's private key inverts the perturbation with
+Lemma III.1: ``b = ((e - p + 1024) mod 2048) - 1024``. Recovery is *exact*
+in the coefficient domain — the headline property Fig. 4 contrasts with
+P3's lossy recovery.
+
+Regions whose key the receiver does not hold are simply left perturbed,
+which is how personalized privacy manifests (Fig. 3: Einstein's friends
+decrypt one face, Chaplin's the other).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.matrices import PrivateKey
+from repro.core.params import ImagePublicData, RegionParams
+from repro.core.perturb import (
+    _region_zigzag,
+    _write_region_zigzag,
+    perturbation_for_blocks,
+    wrap_subtract,
+)
+from repro.jpeg.coefficients import CoefficientImage
+from repro.util.errors import KeyMismatchError
+
+
+def receiver_perturbation(
+    region: RegionParams,
+    key: Union[PrivateKey, Sequence[PrivateKey]],
+    channel: int,
+    encrypted_zigzag: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Rebuild the perturbation array ``p`` the sender used for one channel.
+
+    For the data-independent schemes (-N/-B/-C) the key(s) and public
+    parameters suffice. For PuPPIeS-Z the skipped positions must be
+    inferred: an AC entry was perturbed iff it is nonzero in the encrypted
+    image *or* listed in ``ZInd``; everywhere else ``p = 0``. When the
+    encrypted coefficients are unavailable (Scenario 2, the receiver only
+    has a transformed image) the public skip mask is used instead.
+
+    ``key`` is a single key for ordinary regions, or the full ordered key
+    list for a Section IV-D multi-matrix region.
+    """
+    keys = [key] if isinstance(key, PrivateKey) else list(key)
+    expected = region.all_matrix_ids
+    if len(keys) != len(expected):
+        raise KeyMismatchError(
+            f"region {region.region_id!r} uses {len(expected)} matrices, "
+            f"got {len(keys)} keys"
+        )
+    for k, matrix_id in zip(keys, expected):
+        k.require_id(matrix_id)
+    n_blocks = region.n_blocks
+    p, _skip = perturbation_for_blocks(
+        keys, region.settings, region.scheme, n_blocks
+    )
+    if region.scheme == "puppies-z":
+        if encrypted_zigzag is not None:
+            perturbed_ac = (encrypted_zigzag[:, 1:] != 0) | region.zind[
+                channel
+            ][:, 1:]
+            mask = np.ones((n_blocks, 64), dtype=bool)
+            mask[:, 1:] = perturbed_ac
+        else:
+            mask = ~region.skip[channel]
+        p = np.where(mask, p, 0)
+    return p
+
+
+def reconstruct_regions(
+    perturbed: CoefficientImage,
+    public: ImagePublicData,
+    keys: Mapping[str, PrivateKey],
+    region_ids: Optional[Sequence[str]] = None,
+) -> CoefficientImage:
+    """Decrypt every region whose key is available (Fig. 7 workflow).
+
+    Args:
+        perturbed: the image downloaded from the PSP (untransformed).
+        public: the image's public data.
+        keys: the receiver's keys by matrix id; missing keys leave their
+            regions perturbed rather than raising.
+        region_ids: optionally restrict decryption to specific regions.
+
+    Returns:
+        A new image with the recoverable regions restored exactly.
+    """
+    recovered = perturbed.copy()
+    for region in public.regions:
+        if region_ids is not None and region.region_id not in region_ids:
+            continue
+        region_keys = [keys.get(mid) for mid in region.all_matrix_ids]
+        if any(key is None for key in region_keys):
+            continue  # missing key material: the region stays perturbed
+        br = region.block_rect
+        for channel in range(recovered.n_channels):
+            encrypted = _region_zigzag(recovered, channel, br)
+            p = receiver_perturbation(
+                region, region_keys, channel, encrypted
+            )
+            original = wrap_subtract(encrypted, p)
+            _write_region_zigzag(recovered, channel, br, original)
+    return recovered
+
+
+def reconstruct_single_region(
+    perturbed: CoefficientImage,
+    public: ImagePublicData,
+    region_id: str,
+    key: PrivateKey,
+) -> CoefficientImage:
+    """Decrypt exactly one region (raises if the key does not match)."""
+    region = public.region_by_id(region_id)
+    if region.matrix_id != key.matrix_id:
+        raise KeyMismatchError(
+            f"region {region_id!r} is keyed by {region.matrix_id!r}, "
+            f"got key {key.matrix_id!r}"
+        )
+    return reconstruct_regions(
+        perturbed, public, {key.matrix_id: key}, region_ids=[region_id]
+    )

@@ -1,0 +1,154 @@
+"""ROI recommendation: merge detector outputs into disjoint, aligned regions.
+
+Section IV-A of the paper: face, OCR and object detectors each propose
+regions; overlapping proposals are split into *disjoint* rectangles so each
+piece can be encrypted with its own private matrix, and owners may add or
+remove regions manually. Detection itself lives in :mod:`repro.vision`;
+this module owns the geometry policy:
+
+1. collect proposals from all detectors (plus manual additions),
+2. split the union into disjoint rectangles
+   (:func:`repro.util.rect.split_into_disjoint`),
+3. snap each rectangle outward to the 8x8 JPEG block grid (perturbation
+   operates on whole coefficient blocks),
+4. re-split to restore disjointness (snapping can re-introduce overlap)
+   and clip to the padded image bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.policy import DEFAULT_PRIVACY, PrivacySettings
+from repro.util.errors import RoiError
+from repro.util.rect import Rect, merge_overlapping, split_into_disjoint
+
+
+@dataclass
+class RegionOfInterest:
+    """A privacy-sensitive region chosen for perturbation."""
+
+    region_id: str
+    rect: Rect  # pixel coordinates; must be 8-aligned before perturbation
+    settings: PrivacySettings = field(default_factory=lambda: DEFAULT_PRIVACY)
+    matrix_id: str = ""
+    scheme: str = "puppies-c"
+    #: Which detector proposed it ("face", "text", "object", "manual").
+    source: str = "manual"
+    #: Section IV-D extension: number of private matrix *pairs* cycled
+    #: across the region's blocks (block k uses pair k mod n). Brute-force
+    #: cost grows linearly with this count.
+    n_matrices: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.matrix_id:
+            self.matrix_id = f"matrix-{self.region_id}"
+        if self.n_matrices < 1:
+            raise RoiError(
+                f"region {self.region_id} needs at least one matrix"
+            )
+
+    def matrix_ids(self) -> List[str]:
+        """The matrix ids of every key pair this region uses, in order."""
+        if self.n_matrices == 1:
+            return [self.matrix_id]
+        return [f"{self.matrix_id}.{g}" for g in range(self.n_matrices)]
+
+
+def align_and_disjoin(
+    rects: Sequence[Rect], height: int, width: int
+) -> List[Rect]:
+    """Block-align rectangles, restore disjointness, clip to the image.
+
+    The result is a list of pairwise-disjoint 8-aligned rectangles covering
+    (at least) the union of the inputs intersected with the image.
+    """
+    padded_h = -(-height // 8) * 8
+    padded_w = -(-width // 8) * 8
+    clipped = []
+    for rect in rects:
+        inside = rect.clipped(padded_h, padded_w)
+        if inside is not None:
+            clipped.append(inside.aligned_to(8))
+    disjoint = split_into_disjoint(clipped)
+    # Guillotine cuts fall on edges of 8-aligned inputs, so pieces stay
+    # aligned; assert the invariant rather than trust it.
+    for piece in disjoint:
+        if not piece.is_aligned(8):
+            raise RoiError(f"split produced unaligned rectangle {piece}")
+    return disjoint
+
+
+def expand_rect(rect: Rect, fraction: float) -> Rect:
+    """Inflate a rectangle by a fraction of its size on every side."""
+    dy = max(0, int(round(rect.h * fraction)))
+    dx = max(0, int(round(rect.w * fraction)))
+    return Rect(rect.y - dy, rect.x - dx, rect.h + 2 * dy, rect.w + 2 * dx)
+
+
+def recommend_rois(
+    detections: Iterable[Rect],
+    height: int,
+    width: int,
+    settings: Optional[PrivacySettings] = None,
+    scheme: str = "puppies-c",
+    source: str = "detector",
+    merge_clusters: bool = False,
+    expand: float = 0.0,
+) -> List[RegionOfInterest]:
+    """Turn raw detector rectangles into ready-to-perturb regions.
+
+    With ``merge_clusters=True`` overlapping detections are first merged
+    into cluster bounding boxes (one region per object); otherwise the
+    union is split into disjoint pieces, the paper's default, which lets
+    the owner assign different matrices to each piece. ``expand`` inflates
+    every detection by a fraction of its size first — the margin owners
+    add so a partially-covered face does not stay recognizable.
+    """
+    rect_list = list(detections)
+    if expand > 0:
+        rect_list = [expand_rect(rect, expand) for rect in rect_list]
+        # Inflation can push boxes past the top-left origin; clip early so
+        # alignment never sees negative coordinates.
+        rect_list = [
+            clipped
+            for rect in rect_list
+            if (clipped := rect.clipped(height + 8, width + 8)) is not None
+        ]
+    if merge_clusters:
+        rect_list = merge_overlapping(rect_list)
+    pieces = align_and_disjoin(rect_list, height, width)
+    chosen = settings if settings is not None else DEFAULT_PRIVACY
+    return [
+        RegionOfInterest(
+            region_id=f"roi-{index}",
+            rect=piece,
+            settings=chosen,
+            scheme=scheme,
+            source=source,
+        )
+        for index, piece in enumerate(pieces)
+    ]
+
+
+def validate_rois(
+    rois: Sequence[RegionOfInterest], blocks_shape
+) -> None:
+    """Check regions are 8-aligned, in bounds and pairwise disjoint."""
+    by, bx = blocks_shape
+    bounds = Rect(0, 0, by * 8, bx * 8)
+    for roi in rois:
+        if not roi.rect.is_aligned(8):
+            raise RoiError(f"region {roi.region_id} rect {roi.rect} unaligned")
+        if not bounds.contains(roi.rect):
+            raise RoiError(
+                f"region {roi.region_id} rect {roi.rect} exceeds image "
+                f"bounds {bounds}"
+            )
+    for i, a in enumerate(rois):
+        for b in rois[i + 1 :]:
+            if a.rect.intersects(b.rect):
+                raise RoiError(
+                    f"regions {a.region_id} and {b.region_id} overlap"
+                )

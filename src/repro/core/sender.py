@@ -1,0 +1,116 @@
+"""The sender (image owner) of the PuPPIeS workflow (Fig. 5, left).
+
+A :class:`Sender` owns images, accepts or edits the ROI recommendations,
+generates one private key per matrix id, perturbs, uploads to a PSP and
+hands keys to chosen receivers through secure channels — the complete
+sender-side pipeline of Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Union
+
+import numpy as np
+
+from repro.core.keys import (
+    DhKeyPair,
+    KeyRing,
+    SecureChannel,
+    generate_private_key,
+)
+from repro.core.params import ImagePublicData
+from repro.core.perturb import perturb_regions
+from repro.core.psp import Psp
+from repro.core.roi import RegionOfInterest
+from repro.jpeg.coefficients import CoefficientImage
+from repro.util.rng import rng_from_key
+
+
+@dataclass
+class ShareRequest:
+    """A protected image ready for upload: perturbed pixels + public data."""
+
+    image: CoefficientImage
+    public: ImagePublicData
+
+
+class Sender:
+    """An image owner with a keyring and a DH identity."""
+
+    def __init__(self, name: str, quality: int = 75) -> None:
+        self.name = name
+        self.quality = quality
+        self.keyring = KeyRing()
+        self.dh = DhKeyPair.generate(rng_from_key(f"dh/{name}"))
+        self._channels: Dict[str, SecureChannel] = {}
+
+    # ------------------------------------------------------------------
+    # Protection
+    # ------------------------------------------------------------------
+    def protect_image(
+        self,
+        image: Union[np.ndarray, CoefficientImage],
+        rois: Sequence[RegionOfInterest],
+    ) -> ShareRequest:
+        """Perturb the regions of interest of an image.
+
+        Accepts either a pixel array (encoded at the sender's quality) or
+        an already-encoded :class:`CoefficientImage`. Keys for any matrix
+        ids not yet in the keyring are generated deterministically from
+        the sender identity and stored locally — the "private part" whose
+        size Fig. 11 studies.
+        """
+        if not isinstance(image, CoefficientImage):
+            image = CoefficientImage.from_array(image, quality=self.quality)
+        for roi in rois:
+            for matrix_id in roi.matrix_ids():
+                if matrix_id not in self.keyring:
+                    self.keyring.add(
+                        generate_private_key(matrix_id, self.name)
+                    )
+        perturbed, public = perturb_regions(
+            image, rois, self.keyring.as_mapping()
+        )
+        return ShareRequest(image=perturbed, public=public)
+
+    def upload(
+        self,
+        psp: Psp,
+        image_id: str,
+        request: ShareRequest,
+        optimize: bool = True,
+    ) -> int:
+        """Upload a protected image; returns the stored size in bytes."""
+        return psp.upload(
+            image_id, request.image, request.public, optimize=optimize
+        )
+
+    # ------------------------------------------------------------------
+    # Key distribution
+    # ------------------------------------------------------------------
+    def channel_to(self, peer_name: str, peer_public: int) -> SecureChannel:
+        """Establish (and cache) a secure channel to a receiver."""
+        if peer_name not in self._channels:
+            self._channels[peer_name] = SecureChannel.establish(
+                self.dh, peer_public
+            )
+        return self._channels[peer_name]
+
+    def grant(
+        self,
+        peer_name: str,
+        peer_public: int,
+        matrix_ids: Iterable[str],
+    ) -> List[tuple]:
+        """Encrypt the named keys for a receiver.
+
+        Returns ``(matrix_id, blob)`` pairs suitable for any untrusted
+        carrier; only the receiver's channel secret can open them.
+        """
+        channel = self.channel_to(peer_name, peer_public)
+        grants = []
+        for matrix_id in matrix_ids:
+            key = self.keyring[matrix_id]
+            grants.append((matrix_id, channel.send_key(key)))
+        return grants

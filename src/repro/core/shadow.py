@@ -1,0 +1,164 @@
+"""Shadow-ROI reconstruction, Scenario 2 (PSP transformed the image).
+
+Section IV-C's core insight: in the sample domain the perturbed image is
+*exactly* ``original + shadow``, where the shadow is the IDCT of the
+(dequantized) perturbation deltas — zero outside the ROIs. Any linear (or
+affine) transformation ``T`` therefore satisfies::
+
+    T(perturbed) = T(original) + T_linear(shadow)
+
+so a receiver who can rebuild the shadow — which takes only the private
+matrices plus public data — recovers ``T(original)`` by subtraction,
+without re-implementing or even understanding the PSP's transformation
+code (Figs. 8/9/10/16).
+
+The delta of a coefficient is ``e - b = p - 2048*w`` with the wrap bit
+``w`` published in ``WInd`` (DESIGN.md §2), which is what makes the
+subtraction exact rather than approximate.
+
+Recompression (Section IV-C.2) is the one non-sample-domain
+transformation; :func:`reconstruct_recompressed` handles it in the
+coefficient domain using both quantization tables, exact up to the +-1
+rounding the paper's own scheme incurs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.matrices import PrivateKey
+from repro.core.params import ImagePublicData, RegionParams
+from repro.core.policy import COEFF_MODULUS
+from repro.core.reconstruct import receiver_perturbation
+from repro.jpeg import dct as dctlib
+from repro.jpeg.coefficients import CoefficientImage
+from repro.jpeg.zigzag import zigzag_to_block
+from repro.transforms.compression import Recompress
+from repro.transforms.pipeline import Transform
+from repro.util.errors import ReproError
+
+
+def region_deltas(
+    region: RegionParams,
+    key: Union[PrivateKey, Sequence[PrivateKey]],
+    channel: int,
+) -> np.ndarray:
+    """The exact quantized-coefficient deltas ``e - b`` of one region.
+
+    Shaped ``(n_blocks, 64)`` in zigzag order: ``p - 2048 * w`` where
+    ``p`` is rebuilt from the key(s) and ``w`` comes from the public WInd.
+    """
+    p = receiver_perturbation(region, key, channel)
+    wrapped = region.wind[channel]
+    return p - COEFF_MODULUS * wrapped.astype(np.int64)
+
+
+def build_shadow_planes(
+    public: ImagePublicData,
+    keys: Mapping[str, PrivateKey],
+    region_ids: Optional[Sequence[str]] = None,
+) -> List[np.ndarray]:
+    """Build the full-size shadow sample planes for the recoverable regions.
+
+    Planes are float64, zero outside the ROIs, *without* the +128 level
+    shift (the shadow is a difference of images, not an image). Regions
+    whose key is missing contribute nothing — their perturbation stays in
+    the downloaded image, so they remain scrambled after subtraction,
+    preserving personalized privacy under transformation too.
+    """
+    by, bx = public.blocks_shape
+    planes: List[np.ndarray] = []
+    for channel, table in enumerate(public.quant_tables):
+        delta_blocks = np.zeros((by, bx, 8, 8), dtype=np.float64)
+        for region in public.regions:
+            if region_ids is not None and region.region_id not in region_ids:
+                continue
+            region_keys = [
+                keys.get(mid) for mid in region.all_matrix_ids
+            ]
+            if any(key is None for key in region_keys):
+                continue
+            deltas = region_deltas(region, region_keys, channel)
+            br = region.block_rect
+            blocks = zigzag_to_block(deltas).reshape(br.h, br.w, 8, 8)
+            delta_blocks[br.y : br.y2, br.x : br.x2] = blocks
+        raw = delta_blocks * table  # dequantize
+        plane = dctlib.unblockify(dctlib.inverse_dct_blocks(raw))
+        planes.append(plane[: public.height, : public.width])
+    return planes
+
+
+def reconstruct_transformed(
+    transformed_planes: Sequence[np.ndarray],
+    transform: Transform,
+    public: ImagePublicData,
+    keys: Mapping[str, PrivateKey],
+    region_ids: Optional[Sequence[str]] = None,
+) -> List[np.ndarray]:
+    """Scenario-2 recovery: subtract the transformed shadow (Fig. 8).
+
+    Args:
+        transformed_planes: sample planes of the transformed perturbed
+            image as downloaded from the PSP.
+        transform: the transformation the PSP applied (from its public
+            ``transform_params``).
+        public: the image's public data.
+        keys: the receiver's private keys.
+        region_ids: optionally restrict recovery to specific regions.
+
+    Returns:
+        Sample planes of the transformed *original* image, exact to float
+        precision for every affine transformation.
+    """
+    shadow = build_shadow_planes(public, keys, region_ids)
+    shadow_t = transform.apply_linear(shadow)
+    if len(shadow_t) != len(transformed_planes):
+        raise ReproError(
+            f"plane count mismatch: image has {len(transformed_planes)}, "
+            f"shadow has {len(shadow_t)}"
+        )
+    return [
+        np.asarray(plane, dtype=np.float64) - s
+        for plane, s in zip(transformed_planes, shadow_t)
+    ]
+
+
+def reconstruct_recompressed(
+    recompressed: CoefficientImage,
+    recompress: Recompress,
+    public: ImagePublicData,
+    keys: Mapping[str, PrivateKey],
+) -> CoefficientImage:
+    """Recover the recompressed *original* from a recompressed perturbed
+    image (Section IV-C.2).
+
+    The receiver knows the upload tables ``T`` (public data) and the
+    recompression tables ``T'`` (carried by the downloaded image). Within
+    each recoverable region it subtracts the requantized shadow::
+
+        b'' = e'' - round(delta * T / T')
+
+    Requantization rounds ``e * T / T'`` as a whole while the shadow is
+    rounded separately, so the result can differ from "compress the
+    original" by at most one step per coefficient — measured (not hidden)
+    by the Fig. 4 bench.
+    """
+    recovered = recompressed.copy()
+    for region in public.regions:
+        region_keys = [keys.get(mid) for mid in region.all_matrix_ids]
+        if any(key is None for key in region_keys):
+            continue
+        br = region.block_rect
+        for channel in range(recovered.n_channels):
+            old_t = public.quant_tables[channel].astype(np.float64)
+            new_t = recovered.quant_tables[channel].astype(np.float64)
+            deltas = region_deltas(region, region_keys, channel)
+            delta_blocks = zigzag_to_block(deltas).reshape(br.h, br.w, 8, 8)
+            shadow_q = np.rint(delta_blocks * old_t / new_t).astype(np.int64)
+            sub = recovered.channels[channel][br.y : br.y2, br.x : br.x2]
+            recovered.channels[channel][br.y : br.y2, br.x : br.x2] = (
+                sub.astype(np.int64) - shadow_q
+            ).astype(np.int32)
+    return recovered

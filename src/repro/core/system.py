@@ -1,0 +1,79 @@
+"""End-to-end orchestration of the three-party system (Fig. 5).
+
+:class:`SharingSession` wires a sender, a PSP and any number of receivers
+together and exposes the paper's two motivating workflows as one-liners:
+the Alice-and-Bob story (share a photo, only friends see the face) and the
+Einstein/Chaplin story of Fig. 3 (different receivers unlock different
+regions of the same photo).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.psp import Psp
+from repro.core.receiver import Receiver
+from repro.core.roi import RegionOfInterest
+from repro.core.sender import Sender, ShareRequest
+from repro.jpeg.coefficients import CoefficientImage
+from repro.util.errors import ReproError
+
+
+class SharingSession:
+    """A sender, a PSP and a set of receivers sharing images."""
+
+    def __init__(self, sender_name: str = "alice", quality: int = 75) -> None:
+        self.sender = Sender(sender_name, quality=quality)
+        self.psp = Psp()
+        self.receivers: Dict[str, Receiver] = {}
+
+    def add_receiver(self, name: str) -> Receiver:
+        if name in self.receivers:
+            raise ReproError(f"receiver {name!r} already exists")
+        receiver = Receiver(name)
+        self.receivers[name] = receiver
+        return receiver
+
+    def share(
+        self,
+        image_id: str,
+        image: Union[np.ndarray, CoefficientImage],
+        rois: Sequence[RegionOfInterest],
+        grants: Optional[Dict[str, Iterable[str]]] = None,
+    ) -> ShareRequest:
+        """Protect, upload, and distribute keys in one call.
+
+        Args:
+            image_id: the PSP storage handle.
+            image: pixels or coefficients to protect.
+            rois: the regions to perturb.
+            grants: receiver name -> matrix ids that receiver may unlock.
+                Receivers are created on first mention.
+
+        Returns:
+            The uploaded :class:`ShareRequest` (useful for inspecting what
+            the PSP actually stores).
+        """
+        request = self.sender.protect_image(image, rois)
+        self.sender.upload(self.psp, image_id, request)
+        for receiver_name, matrix_ids in (grants or {}).items():
+            receiver = self.receivers.get(receiver_name)
+            if receiver is None:
+                receiver = self.add_receiver(receiver_name)
+            blobs = self.sender.grant(
+                receiver.name, receiver.dh.public, matrix_ids
+            )
+            receiver.accept_grants(
+                self.sender.name, self.sender.dh.public, blobs
+            )
+        return request
+
+    def view(self, receiver_name: str, image_id: str) -> CoefficientImage:
+        """What a named receiver sees after decrypting what she can."""
+        return self.receivers[receiver_name].fetch(self.psp, image_id)
+
+    def view_public(self, image_id: str) -> CoefficientImage:
+        """What the PSP (or any keyless user) sees."""
+        return self.psp.download(image_id)

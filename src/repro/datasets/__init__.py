@@ -1,0 +1,37 @@
+"""Synthetic datasets standing in for the paper's four image corpora.
+
+Table III of the paper evaluates on Caltech faces (450 portraits), FERET
+(11,338 facial images with identities), INRIA holidays (1,491 high-res
+landscapes) and PASCAL VOC 2007 (4,952 mixed-object photos). None of those
+can be bundled here, so :mod:`repro.datasets` procedurally generates
+deterministic corpora with the same *content classes* and (scaled)
+resolutions, each image carrying ground-truth annotations (face boxes,
+text boxes, object boxes, identity labels) that the detection/recognition
+experiments need.
+
+Every generator draws from a seeded RNG: the same (name, seed, index)
+always yields the same image, so experiments are exactly reproducible.
+"""
+
+from repro.datasets.faces import FaceIdentity, render_face, sample_identity
+from repro.datasets.loader import (
+    DATASET_NAMES,
+    SyntheticImage,
+    dataset_profile,
+    load_dataset,
+    load_image,
+)
+from repro.datasets.profiles import DatasetProfile, PROFILES
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetProfile",
+    "FaceIdentity",
+    "PROFILES",
+    "SyntheticImage",
+    "dataset_profile",
+    "load_dataset",
+    "load_image",
+    "render_face",
+    "sample_identity",
+]

@@ -1,0 +1,78 @@
+"""Document scans with sensitive text (SSNs, phone numbers).
+
+The paper's second canonical ROI class is "private text (e.g.,
+SSN number/password) in an indoor picture". These generators render a
+form-like document with a few labelled fields; the lines carrying
+sensitive values are returned as ground-truth text boxes for the OCR-ish
+detector and the ROI-recommendation experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.datasets import font, shapes
+from repro.util.rect import Rect
+
+_FIRST_NAMES = ["ALICE", "BOB", "CAROL", "DAVE", "ERIN", "FRANK", "GRACE"]
+_LAST_NAMES = ["SMITH", "JONES", "CHEN", "GARCIA", "KHAN", "MILLER", "ROSSI"]
+
+
+def _random_ssn(rng: np.random.Generator) -> str:
+    return (
+        f"{rng.integers(100, 900):03d}-"
+        f"{rng.integers(10, 100):02d}-"
+        f"{rng.integers(1000, 10000):04d}"
+    )
+
+
+def _random_phone(rng: np.random.Generator) -> str:
+    return (
+        f"{rng.integers(200, 1000):03d}-"
+        f"{rng.integers(200, 1000):03d}-"
+        f"{rng.integers(1000, 10000):04d}"
+    )
+
+
+def render_document(
+    rng: np.random.Generator, height: int, width: int
+) -> Tuple[np.ndarray, List[Rect]]:
+    """Render a document scan; returns (canvas, sensitive text boxes)."""
+    img = shapes.canvas(height, width, color=(235, 232, 225))
+    shapes.vertical_gradient(img, (242, 240, 235), (225, 222, 214))
+    sensitive: List[Rect] = []
+
+    scale = max(1, min(height, width) // 90)
+    line_height = (font.GLYPH_HEIGHT + 4) * scale
+    margin = 4 * scale
+    y = margin
+
+    ink = (40, 40, 60)
+    name = (
+        f"{_FIRST_NAMES[rng.integers(len(_FIRST_NAMES))]} "
+        f"{_LAST_NAMES[rng.integers(len(_LAST_NAMES))]}"
+    )
+    font.render_text(img, "EMPLOYEE RECORD", y, margin, ink, scale)
+    y += line_height + 2 * scale
+    shapes.fill_rect(img, Rect(y - scale, margin, scale, width - 2 * margin), ink)
+    y += 2 * scale
+
+    fields = [
+        ("NAME: " + name, True),
+        ("SSN: " + _random_ssn(rng), True),
+        ("PHONE: " + _random_phone(rng), True),
+        ("DEPT: ENGINEERING", False),
+        ("STATUS: ACTIVE", False),
+    ]
+    for text, is_sensitive in fields:
+        if y + line_height > height:
+            break
+        box = font.render_text(img, text, y, margin, ink, scale)
+        if is_sensitive:
+            sensitive.append(box)
+        y += line_height
+
+    shapes.add_grain(img, rng, sigma=1.5)
+    return img, sensitive

@@ -1,0 +1,168 @@
+"""A parametric face renderer with stable identities.
+
+Faces are the paper's canonical sensitive region, and three experiments
+depend on them: face *detection* (Haar-style, Section VI-B.3), face
+*recognition* (PCA eigenfaces, Fig. 22) and ROI recommendation (Fig. 12).
+The renderer therefore guarantees the structure those algorithms rely on:
+
+* a light elliptical face on a darker surround (detectable contrast),
+* an eye band darker than the cheek band below it (the classic Haar cue),
+* per-identity geometry (eye spacing, face aspect, mouth, hair) that stays
+  fixed across renderings while pose/lighting jitter varies — so a
+  recognizer can tell identities apart but must generalize across shots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.datasets import shapes
+from repro.util.rect import Rect
+
+
+@dataclass(frozen=True)
+class FaceIdentity:
+    """The stable appearance parameters of one synthetic person."""
+
+    skin: Tuple[float, float, float]
+    hair: Tuple[float, float, float]
+    hair_fraction: float  # how far the hairline descends over the forehead
+    eye_spacing: float  # half-distance between eyes, fraction of face width
+    eye_size: float  # eye radius, fraction of face width
+    eye_drop: float  # vertical eye position, fraction of face height
+    brow_strength: float  # 0..1 darkness of the brow band
+    mouth_width: float  # fraction of face width
+    mouth_drop: float  # vertical mouth position, fraction of face height
+    aspect: float  # face height / width ratio multiplier
+    nose_length: float  # fraction of face height
+
+
+def sample_identity(rng: np.random.Generator) -> FaceIdentity:
+    """Draw a random identity (used once per synthetic person)."""
+    base = rng.uniform(150, 225)
+    skin = (
+        base,
+        base * rng.uniform(0.78, 0.9),
+        base * rng.uniform(0.6, 0.75),
+    )
+    hair_base = rng.uniform(25, 110)
+    hair = (
+        hair_base,
+        hair_base * rng.uniform(0.7, 1.0),
+        hair_base * rng.uniform(0.4, 0.9),
+    )
+    return FaceIdentity(
+        skin=skin,
+        hair=hair,
+        hair_fraction=float(rng.uniform(0.12, 0.3)),
+        eye_spacing=float(rng.uniform(0.2, 0.3)),
+        eye_size=float(rng.uniform(0.06, 0.11)),
+        eye_drop=float(rng.uniform(0.36, 0.46)),
+        brow_strength=float(rng.uniform(0.3, 0.9)),
+        mouth_width=float(rng.uniform(0.3, 0.5)),
+        mouth_drop=float(rng.uniform(0.72, 0.82)),
+        aspect=float(rng.uniform(1.2, 1.45)),
+        nose_length=float(rng.uniform(0.12, 0.2)),
+    )
+
+
+def render_face(
+    img: np.ndarray,
+    rect: Rect,
+    identity: FaceIdentity,
+    rng: Optional[np.random.Generator] = None,
+    jitter: float = 1.0,
+) -> Rect:
+    """Draw a face filling ``rect``; returns the tight face bounding box.
+
+    ``jitter`` scales the per-shot pose/lighting variation (0 renders the
+    identity's canonical appearance, used by gallery images in the
+    recognition experiments).
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    cy = rect.y + rect.h / 2.0
+    cx = rect.x + rect.w / 2.0
+    half_w = rect.w / 2.0 * 0.92
+    half_h = min(rect.h / 2.0 * 0.95, half_w * identity.aspect)
+
+    lighting = 1.0 + jitter * rng.uniform(-0.12, 0.12)
+    tilt = jitter * rng.uniform(-6.0, 6.0)
+    shift_x = jitter * rng.uniform(-0.04, 0.04) * rect.w
+    cx = cx + shift_x
+    skin = tuple(np.clip(np.array(identity.skin) * lighting, 0, 255))
+    shade = tuple(np.clip(np.array(skin) * 0.82, 0, 255))
+
+    # Head and ears.
+    shapes.fill_ellipse(img, (cy, cx), (half_h, half_w), skin, tilt)
+    ear_y = cy - half_h * 0.05
+    for side in (-1, 1):
+        shapes.fill_ellipse(
+            img,
+            (ear_y, cx + side * half_w * 0.98),
+            (half_h * 0.16, half_w * 0.12),
+            shade,
+        )
+
+    # Hair: a cap over the top of the head.
+    hair_depth = identity.hair_fraction * (1 + jitter * rng.uniform(-0.15, 0.15))
+    shapes.fill_ellipse(
+        img,
+        (cy - half_h * (1 - hair_depth), cx),
+        (half_h * hair_depth * 1.7, half_w * 1.02),
+        identity.hair,
+        tilt,
+    )
+
+    # Eyes, brows and pupils — the dark band the Haar detector keys on.
+    eye_y = cy - half_h + 2 * half_h * identity.eye_drop
+    eye_dx = identity.eye_spacing * 2 * half_w
+    eye_r = identity.eye_size * 2 * half_w
+    brow_color = tuple(
+        float(c) for c in np.array(identity.hair) * identity.brow_strength
+    )
+    for side in (-1, 1):
+        ex = cx + side * eye_dx
+        shapes.fill_ellipse(
+            img,
+            (eye_y - eye_r * 1.8, ex),
+            (max(1.0, eye_r * 0.45), eye_r * 1.5),
+            brow_color,
+            tilt,
+        )
+        shapes.fill_ellipse(
+            img, (eye_y, ex), (eye_r * 0.8, eye_r), (245, 245, 245)
+        )
+        shapes.fill_ellipse(
+            img, (eye_y, ex), (eye_r * 0.45, eye_r * 0.45), (25, 20, 20)
+        )
+
+    # Nose.
+    nose_len = identity.nose_length * 2 * half_h
+    shapes.draw_line(
+        img,
+        (eye_y + eye_r, cx),
+        (eye_y + eye_r + nose_len, cx - half_w * 0.06),
+        shade,
+        thickness=max(1, int(half_w * 0.06)),
+    )
+
+    # Mouth.
+    mouth_y = cy - half_h + 2 * half_h * identity.mouth_drop
+    mouth_w = identity.mouth_width * half_w
+    shapes.fill_ellipse(
+        img,
+        (mouth_y, cx),
+        (max(1.0, half_h * 0.045), mouth_w),
+        (150, 60, 60),
+        tilt,
+    )
+
+    face_h = int(2 * half_h)
+    face_w = int(2 * half_w)
+    return Rect(
+        max(0, int(cy - half_h)), max(0, int(cx - half_w)),
+        max(8, face_h), max(8, face_w),
+    )

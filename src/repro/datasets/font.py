@@ -1,0 +1,118 @@
+"""A 5x7 bitmap font for rendering text into synthetic images.
+
+Used by the document and street-scene generators (SSN lines, license
+plates, "Hello World!") and by the OCR-ish text detector's template
+matcher. Glyphs are the classic 5x7 dot-matrix shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.util.rect import Rect
+
+_RAW_GLYPHS = {
+    "A": (" ### ", "#   #", "#   #", "#####", "#   #", "#   #", "#   #"),
+    "B": ("#### ", "#   #", "#   #", "#### ", "#   #", "#   #", "#### "),
+    "C": (" ### ", "#   #", "#    ", "#    ", "#    ", "#   #", " ### "),
+    "D": ("#### ", "#   #", "#   #", "#   #", "#   #", "#   #", "#### "),
+    "E": ("#####", "#    ", "#    ", "#### ", "#    ", "#    ", "#####"),
+    "F": ("#####", "#    ", "#    ", "#### ", "#    ", "#    ", "#    "),
+    "G": (" ### ", "#   #", "#    ", "# ###", "#   #", "#   #", " ### "),
+    "H": ("#   #", "#   #", "#   #", "#####", "#   #", "#   #", "#   #"),
+    "I": (" ### ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "),
+    "J": ("  ###", "   # ", "   # ", "   # ", "   # ", "#  # ", " ##  "),
+    "K": ("#   #", "#  # ", "# #  ", "##   ", "# #  ", "#  # ", "#   #"),
+    "L": ("#    ", "#    ", "#    ", "#    ", "#    ", "#    ", "#####"),
+    "M": ("#   #", "## ##", "# # #", "# # #", "#   #", "#   #", "#   #"),
+    "N": ("#   #", "##  #", "# # #", "#  ##", "#   #", "#   #", "#   #"),
+    "O": (" ### ", "#   #", "#   #", "#   #", "#   #", "#   #", " ### "),
+    "P": ("#### ", "#   #", "#   #", "#### ", "#    ", "#    ", "#    "),
+    "Q": (" ### ", "#   #", "#   #", "#   #", "# # #", "#  # ", " ## #"),
+    "R": ("#### ", "#   #", "#   #", "#### ", "# #  ", "#  # ", "#   #"),
+    "S": (" ####", "#    ", "#    ", " ### ", "    #", "    #", "#### "),
+    "T": ("#####", "  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  "),
+    "U": ("#   #", "#   #", "#   #", "#   #", "#   #", "#   #", " ### "),
+    "V": ("#   #", "#   #", "#   #", "#   #", "#   #", " # # ", "  #  "),
+    "W": ("#   #", "#   #", "#   #", "# # #", "# # #", "## ##", "#   #"),
+    "X": ("#   #", "#   #", " # # ", "  #  ", " # # ", "#   #", "#   #"),
+    "Y": ("#   #", "#   #", " # # ", "  #  ", "  #  ", "  #  ", "  #  "),
+    "Z": ("#####", "    #", "   # ", "  #  ", " #   ", "#    ", "#####"),
+    "0": (" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "),
+    "1": ("  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "),
+    "2": (" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"),
+    "3": (" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "),
+    "4": ("   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "),
+    "5": ("#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "),
+    "6": (" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "),
+    "7": ("#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   "),
+    "8": (" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "),
+    "9": (" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "),
+    "-": ("     ", "     ", "     ", "#####", "     ", "     ", "     "),
+    ":": ("     ", "  #  ", "     ", "     ", "     ", "  #  ", "     "),
+    ".": ("     ", "     ", "     ", "     ", "     ", " ##  ", " ##  "),
+    ",": ("     ", "     ", "     ", "     ", " ##  ", " ##  ", " #   "),
+    "/": ("    #", "    #", "   # ", "  #  ", " #   ", "#    ", "#    "),
+    "!": ("  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "     ", "  #  "),
+    " ": ("     ", "     ", "     ", "     ", "     ", "     ", "     "),
+}
+
+GLYPH_HEIGHT = 7
+GLYPH_WIDTH = 5
+GLYPH_SPACING = 1
+
+
+def _compile_glyphs() -> Dict[str, np.ndarray]:
+    glyphs = {}
+    for char, rows in _RAW_GLYPHS.items():
+        glyph = np.array(
+            [[cell == "#" for cell in row] for row in rows], dtype=bool
+        )
+        if glyph.shape != (GLYPH_HEIGHT, GLYPH_WIDTH):
+            raise ValueError(f"glyph {char!r} has shape {glyph.shape}")
+        glyphs[char] = glyph
+    return glyphs
+
+
+GLYPHS = _compile_glyphs()
+
+
+def glyph_for(char: str) -> np.ndarray:
+    """The boolean 7x5 bitmap for a character (unknown chars -> space)."""
+    return GLYPHS.get(char.upper(), GLYPHS[" "])
+
+
+def text_mask(text: str, scale: int = 1) -> np.ndarray:
+    """A boolean raster of a text string at an integer scale factor."""
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    width = len(text) * (GLYPH_WIDTH + GLYPH_SPACING) - GLYPH_SPACING
+    mask = np.zeros((GLYPH_HEIGHT, max(width, 1)), dtype=bool)
+    for index, char in enumerate(text):
+        x = index * (GLYPH_WIDTH + GLYPH_SPACING)
+        mask[:, x : x + GLYPH_WIDTH] = glyph_for(char)
+    if scale > 1:
+        mask = np.repeat(np.repeat(mask, scale, axis=0), scale, axis=1)
+    return mask
+
+
+def render_text(
+    img: np.ndarray,
+    text: str,
+    y: int,
+    x: int,
+    color,
+    scale: int = 1,
+) -> Rect:
+    """Stamp ``text`` onto a float canvas; returns the covered rectangle."""
+    mask = text_mask(text, scale)
+    h, w = mask.shape
+    y1 = min(img.shape[0], y + h)
+    x1 = min(img.shape[1], x + w)
+    if y1 <= y or x1 <= x:
+        return Rect(max(0, y), max(0, x), 1, 1)
+    sub = mask[: y1 - y, : x1 - x]
+    img[y:y1, x:x1][sub] = color
+    return Rect(y, x, y1 - y, x1 - x)

@@ -1,0 +1,139 @@
+"""Landscape scenes (the INRIA-holidays stand-in).
+
+Sky gradient with a sun, one or two midpoint-displacement mountain ridges,
+a tree line, water with horizontal streaks, and optionally a cabin — the
+cabin being a man-made "object" the objectness detector can propose.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.datasets import shapes
+from repro.util.rect import Rect
+
+
+def render_landscape(
+    rng: np.random.Generator, height: int, width: int
+) -> Tuple[np.ndarray, List[Rect]]:
+    """Render a landscape; returns (canvas, object boxes)."""
+    img = shapes.canvas(height, width)
+    objects: List[Rect] = []
+
+    # Sky with a sun.
+    sky_top = (
+        rng.uniform(90, 140),
+        rng.uniform(140, 180),
+        rng.uniform(200, 240),
+    )
+    sky_bottom = (
+        rng.uniform(180, 220),
+        rng.uniform(200, 230),
+        rng.uniform(230, 250),
+    )
+    shapes.vertical_gradient(img, sky_top, sky_bottom)
+    sun_y = rng.uniform(0.08, 0.3) * height
+    sun_x = rng.uniform(0.15, 0.85) * width
+    sun_r = rng.uniform(0.04, 0.08) * height
+    shapes.fill_ellipse(img, (sun_y, sun_x), (sun_r, sun_r), (250, 240, 180))
+
+    # Far and near mountain ridges.
+    horizon = rng.uniform(0.45, 0.6) * height
+    for layer, shade in ((0, 0.55), (1, 0.35)):
+        base = horizon - rng.uniform(0.05, 0.2) * height * (1 - layer * 0.5)
+        ridge = shapes.ridge_line(
+            rng, width, base, roughness=height * (0.12 - 0.04 * layer)
+        )
+        color = tuple(c * shade for c in (120, 130, 150))
+        for x in range(width):
+            top = int(np.clip(ridge[x], 0, height - 1))
+            img[top : int(horizon) + 1, x] = color
+
+    # Ground and water.
+    ground_color = (
+        rng.uniform(60, 110),
+        rng.uniform(110, 150),
+        rng.uniform(50, 90),
+    )
+    shapes.fill_rect(
+        img,
+        Rect(int(horizon), 0, height - int(horizon), width),
+        ground_color,
+    )
+    water_top = int(rng.uniform(0.75, 0.88) * height)
+    if water_top < height - 4:
+        water = (
+            rng.uniform(60, 100),
+            rng.uniform(110, 150),
+            rng.uniform(170, 210),
+        )
+        shapes.fill_rect(
+            img, Rect(water_top, 0, height - water_top, width), water
+        )
+        for _ in range(10):
+            y = rng.integers(water_top + 1, height - 1)
+            x0 = rng.integers(0, max(1, width - 20))
+            shapes.draw_line(
+                img,
+                (float(y), float(x0)),
+                (float(y), float(min(width - 1, x0 + rng.integers(8, 30)))),
+                tuple(min(255.0, c * 1.25) for c in water),
+            )
+
+    # Tree line.
+    n_trees = int(rng.integers(3, 9))
+    for _ in range(n_trees):
+        tx = rng.uniform(0.05, 0.95) * width
+        ty = rng.uniform(horizon + 2, max(horizon + 3, water_top - 2))
+        tree_h = rng.uniform(0.06, 0.14) * height
+        shapes.fill_polygon(
+            img,
+            [(ty, tx), (ty - tree_h, tx - tree_h * 0.02), (ty, tx - tree_h * 0.45)],
+            (30, rng.uniform(70, 110), 40),
+        )
+        shapes.fill_polygon(
+            img,
+            [(ty, tx), (ty - tree_h, tx + tree_h * 0.02), (ty, tx + tree_h * 0.45)],
+            (30, rng.uniform(70, 110), 40),
+        )
+
+    # Optional cabin (a detectable man-made object).
+    if rng.random() < 0.6:
+        cab_w = int(rng.uniform(0.1, 0.18) * width)
+        cab_h = int(cab_w * rng.uniform(0.55, 0.75))
+        cab_x = int(rng.uniform(0.1, 0.8) * (width - cab_w))
+        cab_y = int(
+            np.clip(
+                rng.uniform(horizon + 2, water_top - cab_h - 1),
+                0,
+                height - cab_h - 1,
+            )
+        )
+        body = Rect(cab_y, cab_x, cab_h, cab_w)
+        shapes.fill_rect(img, body, (120, 75, 40))
+        shapes.fill_polygon(
+            img,
+            [
+                (cab_y, cab_x - cab_w * 0.08),
+                (cab_y - cab_h * 0.5, cab_x + cab_w / 2),
+                (cab_y, cab_x + cab_w * 1.08),
+            ],
+            (80, 45, 25),
+        )
+        door_w = max(2, cab_w // 5)
+        shapes.fill_rect(
+            img,
+            Rect(cab_y + cab_h - cab_h // 2, cab_x + cab_w // 2 - door_w // 2,
+                 cab_h // 2, door_w),
+            (50, 30, 15),
+        )
+        roof_h = int(cab_h * 0.5)
+        objects.append(
+            Rect(max(0, cab_y - roof_h), max(0, cab_x - 2),
+                 cab_h + roof_h, cab_w + 4)
+        )
+
+    shapes.add_grain(img, rng, sigma=2.0)
+    return img, objects

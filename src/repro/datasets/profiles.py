@@ -1,0 +1,76 @@
+"""Dataset profiles mirroring Table III of the paper.
+
+Each profile pins a content class and a resolution. Resolutions are the
+paper's typical sizes scaled down (by 4x for Caltech/FERET/PASCAL, 8x for
+INRIA) so thousands of codec passes fit in a laptop-scale run; every
+overhead metric in the paper is *normalized to the original size*, so the
+scaling preserves the reported shapes. Image counts are likewise scaled
+and can be overridden per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Shape and content class of one synthetic corpus."""
+
+    name: str
+    kind: str  # "faces", "portraits", "landscapes", "mixed"
+    height: int
+    width: int
+    default_count: int
+    #: The paper's original corpus, for documentation and reports.
+    paper_count: int
+    paper_resolution: str
+    n_identities: int = 0  # only for recognition-style corpora
+
+
+PROFILES: Dict[str, DatasetProfile] = {
+    # Caltech face dataset: 450 portrait JPEGs at 896x592, used for the
+    # face-detection experiments.
+    "caltech": DatasetProfile(
+        name="caltech",
+        kind="portraits",
+        height=148,
+        width=224,
+        default_count=48,
+        paper_count=450,
+        paper_resolution="896x592",
+        n_identities=27,
+    ),
+    # FERET: 11,338 facial images at 256x384, used for face recognition.
+    "feret": DatasetProfile(
+        name="feret",
+        kind="faces",
+        height=96,
+        width=72,
+        default_count=60,
+        paper_count=11338,
+        paper_resolution="256x384",
+        n_identities=15,
+    ),
+    # INRIA holidays: 1,491 high-resolution landscape photos.
+    "inria": DatasetProfile(
+        name="inria",
+        kind="landscapes",
+        height=306,
+        width=408,
+        default_count=16,
+        paper_count=1491,
+        paper_resolution="2448x3264",
+    ),
+    # PASCAL VOC 2007: 4,952 low/medium-resolution mixed-object photos.
+    "pascal": DatasetProfile(
+        name="pascal",
+        kind="mixed",
+        height=82,
+        width=125,
+        default_count=48,
+        paper_count=4952,
+        paper_resolution="500x330",
+    ),
+}

@@ -1,0 +1,184 @@
+"""Rasterization primitives for the procedural image generators.
+
+All drawing happens on float64 RGB canvases of shape ``(H, W, 3)`` with
+values in [0, 255]; conversion to uint8 is the caller's last step. The
+primitives are deliberately simple — filled ellipses, rectangles,
+polygons, soft gradients, value noise — but they are what the vision
+substrate's detectors are built to find, so the pipeline is end-to-end
+honest: detectors detect actual structure, not annotations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.util.rect import Rect
+
+Color = Tuple[float, float, float]
+
+
+def canvas(height: int, width: int, color: Color = (0, 0, 0)) -> np.ndarray:
+    """A fresh float RGB canvas filled with a solid colour."""
+    img = np.empty((height, width, 3), dtype=np.float64)
+    img[:, :] = color
+    return img
+
+
+def to_uint8(img: np.ndarray) -> np.ndarray:
+    return np.clip(np.rint(img), 0, 255).astype(np.uint8)
+
+
+def fill_rect(img: np.ndarray, rect: Rect, color: Color) -> None:
+    clipped = rect.clipped(img.shape[0], img.shape[1])
+    if clipped is None:
+        return
+    rows, cols = clipped.slices()
+    img[rows, cols] = color
+
+
+def fill_ellipse(
+    img: np.ndarray,
+    center: Tuple[float, float],
+    axes: Tuple[float, float],
+    color: Color,
+    rotation_deg: float = 0.0,
+) -> None:
+    """Fill a (possibly rotated) ellipse; center/axes in (y, x) order."""
+    cy, cx = center
+    ay, ax = axes
+    if ay <= 0 or ax <= 0:
+        return
+    reach = max(ay, ax)
+    y0 = max(0, int(cy - reach - 1))
+    y1 = min(img.shape[0], int(cy + reach + 2))
+    x0 = max(0, int(cx - reach - 1))
+    x1 = min(img.shape[1], int(cx + reach + 2))
+    if y0 >= y1 or x0 >= x1:
+        return
+    ys, xs = np.mgrid[y0:y1, x0:x1]
+    dy = ys - cy
+    dx = xs - cx
+    theta = math.radians(rotation_deg)
+    ry = dy * math.cos(theta) - dx * math.sin(theta)
+    rx = dy * math.sin(theta) + dx * math.cos(theta)
+    mask = (ry / ay) ** 2 + (rx / ax) ** 2 <= 1.0
+    img[y0:y1, x0:x1][mask] = color
+
+
+def fill_polygon(
+    img: np.ndarray, points: Sequence[Tuple[float, float]], color: Color
+) -> None:
+    """Scanline fill of a simple polygon given as (y, x) vertices."""
+    pts = list(points)
+    if len(pts) < 3:
+        return
+    ys = [p[0] for p in pts]
+    y_min = max(0, int(math.floor(min(ys))))
+    y_max = min(img.shape[0] - 1, int(math.ceil(max(ys))))
+    n = len(pts)
+    for y in range(y_min, y_max + 1):
+        crossings = []
+        for i in range(n):
+            (y1, x1), (y2, x2) = pts[i], pts[(i + 1) % n]
+            if (y1 <= y < y2) or (y2 <= y < y1):
+                t = (y - y1) / (y2 - y1)
+                crossings.append(x1 + t * (x2 - x1))
+        crossings.sort()
+        for left, right in zip(crossings[::2], crossings[1::2]):
+            x0 = max(0, int(math.ceil(left)))
+            x1b = min(img.shape[1], int(math.floor(right)) + 1)
+            if x0 < x1b:
+                img[y, x0:x1b] = color
+
+
+def draw_line(
+    img: np.ndarray,
+    p0: Tuple[float, float],
+    p1: Tuple[float, float],
+    color: Color,
+    thickness: int = 1,
+) -> None:
+    """Draw a straight segment by dense sampling (thickness in pixels)."""
+    (y0, x0), (y1, x1) = p0, p1
+    length = max(abs(y1 - y0), abs(x1 - x0), 1.0)
+    steps = int(length * 2) + 1
+    radius = max(0, thickness // 2)
+    for t in np.linspace(0.0, 1.0, steps):
+        y = y0 + t * (y1 - y0)
+        x = x0 + t * (x1 - x0)
+        ya = max(0, int(y) - radius)
+        yb = min(img.shape[0], int(y) + radius + 1)
+        xa = max(0, int(x) - radius)
+        xb = min(img.shape[1], int(x) + radius + 1)
+        if ya < yb and xa < xb:
+            img[ya:yb, xa:xb] = color
+
+
+def vertical_gradient(
+    img: np.ndarray, top: Color, bottom: Color, rect: Rect | None = None
+) -> None:
+    """Blend linearly from ``top`` colour to ``bottom`` over a region."""
+    region = rect or Rect(0, 0, img.shape[0], img.shape[1])
+    clipped = region.clipped(img.shape[0], img.shape[1])
+    if clipped is None:
+        return
+    rows, cols = clipped.slices()
+    h = clipped.h
+    t = np.linspace(0.0, 1.0, h)[:, None, None]
+    top_arr = np.asarray(top, dtype=np.float64)
+    bottom_arr = np.asarray(bottom, dtype=np.float64)
+    img[rows, cols] = (1 - t) * top_arr + t * bottom_arr
+
+
+def value_noise(
+    rng: np.random.Generator,
+    height: int,
+    width: int,
+    cell: int = 16,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """Smooth 2-D value noise: random grid values, bilinearly upsampled."""
+    gh = max(2, height // cell + 2)
+    gw = max(2, width // cell + 2)
+    grid = rng.uniform(-amplitude, amplitude, (gh, gw))
+    ys = np.linspace(0, gh - 1.001, height)
+    xs = np.linspace(0, gw - 1.001, width)
+    y0 = ys.astype(np.int64)
+    x0 = xs.astype(np.int64)
+    fy = (ys - y0)[:, None]
+    fx = (xs - x0)[None, :]
+    top = grid[y0][:, x0] * (1 - fx) + grid[y0][:, x0 + 1] * fx
+    bot = grid[y0 + 1][:, x0] * (1 - fx) + grid[y0 + 1][:, x0 + 1] * fx
+    return top * (1 - fy) + bot * fy
+
+
+def ridge_line(
+    rng: np.random.Generator, width: int, base: float, roughness: float
+) -> np.ndarray:
+    """A 1-D midpoint-displacement ridge (mountain silhouettes)."""
+    n = 1
+    while n < width:
+        n *= 2
+    heights = np.zeros(n + 1)
+    heights[0] = base + rng.uniform(-roughness, roughness)
+    heights[n] = base + rng.uniform(-roughness, roughness)
+    step = n
+    amp = roughness
+    while step > 1:
+        half = step // 2
+        for i in range(half, n, step):
+            mid = (heights[i - half] + heights[i + half]) / 2.0
+            heights[i] = mid + rng.uniform(-amp, amp)
+        step = half
+        amp *= 0.55
+    return heights[:width]
+
+
+def add_grain(
+    img: np.ndarray, rng: np.random.Generator, sigma: float = 2.0
+) -> None:
+    """Sensor-like Gaussian grain over the whole canvas."""
+    img += rng.normal(0.0, sigma, img.shape)

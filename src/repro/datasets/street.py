@@ -1,0 +1,146 @@
+"""Street scenes: cars with license plates, buildings, pedestrians.
+
+The third ROI class the paper motivates is "sensitive objects
+(valuables/license plate/home address) in a street snapshot" — Fig. 15's
+running example perturbs a car plate. The generator returns ground truth
+for the plate (a text region), the car (an object region) and any
+pedestrian face.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.datasets import faces, font, shapes
+from repro.util.rect import Rect
+
+
+@dataclass
+class StreetAnnotations:
+    """Ground truth for one street scene."""
+
+    faces: List[Rect] = field(default_factory=list)
+    texts: List[Rect] = field(default_factory=list)
+    objects: List[Rect] = field(default_factory=list)
+
+
+def _random_plate(rng: np.random.Generator) -> str:
+    letters = "ABCDEFGHJKLMNPRSTUVWXYZ"
+    return (
+        "".join(letters[rng.integers(len(letters))] for _ in range(3))
+        + "-"
+        + f"{rng.integers(100, 1000):03d}"
+    )
+
+
+def render_street(
+    rng: np.random.Generator, height: int, width: int
+) -> tuple:
+    """Render a street scene; returns (canvas, StreetAnnotations)."""
+    img = shapes.canvas(height, width)
+    ann = StreetAnnotations()
+
+    # Sky and road.
+    shapes.vertical_gradient(img, (150, 180, 220), (210, 220, 235))
+    road_top = int(height * rng.uniform(0.55, 0.65))
+    shapes.fill_rect(
+        img, Rect(road_top, 0, height - road_top, width), (90, 90, 95)
+    )
+    lane_y = road_top + (height - road_top) // 2
+    for x0 in range(0, width, 24):
+        shapes.fill_rect(
+            img, Rect(lane_y, x0, max(1, height // 60), 12), (220, 220, 160)
+        )
+
+    # Buildings along the skyline.
+    x = 0
+    while x < width - 8:
+        b_w = int(rng.uniform(0.1, 0.22) * width)
+        b_h = int(rng.uniform(0.25, 0.5) * road_top)
+        shade = rng.uniform(100, 170)
+        shapes.fill_rect(
+            img,
+            Rect(road_top - b_h, x, b_h, b_w),
+            (shade, shade * 0.95, shade * 0.9),
+        )
+        for wy in range(road_top - b_h + 3, road_top - 4, 7):
+            for wx in range(x + 2, min(x + b_w - 3, width - 3), 6):
+                shapes.fill_rect(img, Rect(wy, wx, 3, 3), (60, 70, 90))
+        x += b_w + int(rng.uniform(2, 10))
+
+    # The car.
+    car_w = int(rng.uniform(0.3, 0.42) * width)
+    car_h = int(car_w * 0.38)
+    car_x = int(rng.uniform(0.08, 0.55) * (width - car_w))
+    car_y = int(road_top + (height - road_top) * 0.25)
+    car_y = min(car_y, height - car_h - 2)
+    body_color = (
+        rng.uniform(120, 220),
+        rng.uniform(30, 90),
+        rng.uniform(30, 90),
+    )
+    body = Rect(car_y, car_x, car_h, car_w)
+    shapes.fill_rect(img, body, body_color)
+    cabin_h = car_h // 2
+    shapes.fill_rect(
+        img,
+        Rect(car_y - cabin_h, car_x + car_w // 5, cabin_h, car_w * 3 // 5),
+        body_color,
+    )
+    shapes.fill_rect(
+        img,
+        Rect(car_y - cabin_h + 2, car_x + car_w // 5 + 2,
+             cabin_h - 3, car_w * 3 // 5 - 4),
+        (170, 200, 225),
+    )
+    wheel_r = max(2, car_h // 3)
+    for wx in (car_x + car_w // 5, car_x + car_w * 4 // 5):
+        shapes.fill_ellipse(
+            img, (car_y + car_h, wx), (wheel_r, wheel_r), (25, 25, 25)
+        )
+    ann.objects.append(
+        Rect(car_y - cabin_h, car_x, car_h + cabin_h + wheel_r, car_w)
+    )
+
+    # License plate with readable text.
+    plate_text = _random_plate(rng)
+    plate_scale = max(1, car_w // 110)
+    mask_w = len(plate_text) * 6 * plate_scale
+    plate_h = (font.GLYPH_HEIGHT + 4) * plate_scale
+    plate_w = mask_w + 4 * plate_scale
+    plate_x = car_x + car_w - plate_w - 2 * plate_scale
+    plate_y = car_y + car_h - plate_h - plate_scale
+    plate = Rect(plate_y, plate_x, plate_h, plate_w)
+    shapes.fill_rect(img, plate, (235, 235, 225))
+    font.render_text(
+        img,
+        plate_text,
+        plate_y + 2 * plate_scale,
+        plate_x + 2 * plate_scale,
+        (30, 30, 50),
+        plate_scale,
+    )
+    ann.texts.append(plate)
+
+    # An occasional pedestrian with a visible face.
+    if rng.random() < 0.5:
+        ped_h = int((height - road_top) * rng.uniform(0.7, 0.95))
+        ped_w = max(6, ped_h // 3)
+        ped_x = int(rng.uniform(0.65, 0.9) * (width - ped_w))
+        ped_y = road_top - ped_h // 6
+        head = Rect(ped_y, ped_x, max(10, ped_h // 3), ped_w)
+        shapes.fill_rect(
+            img,
+            Rect(ped_y + head.h - 2, ped_x + ped_w // 6,
+                 max(2, ped_h - head.h), ped_w * 2 // 3),
+            (rng.uniform(40, 90), rng.uniform(40, 90), rng.uniform(90, 150)),
+        )
+        identity = faces.sample_identity(rng)
+        face_box = faces.render_face(img, head, identity, rng)
+        ann.faces.append(face_box)
+
+    shapes.add_grain(img, rng, sigma=2.0)
+    return img, ann

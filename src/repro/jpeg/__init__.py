@@ -1,0 +1,45 @@
+"""A from-scratch JPEG-style codec operating in the DCT-coefficient domain.
+
+PuPPIeS lives entirely in the quantized-DCT-coefficient domain of JPEG
+(Section II-A of the paper). The paper's implementation patched libjpeg 8d;
+since this reproduction must be pure Python, this package implements the
+relevant pipeline from scratch:
+
+* :mod:`repro.jpeg.color` — RGB <-> YCbCr (BT.601, JFIF convention),
+* :mod:`repro.jpeg.dct` — orthonormal 8x8 block DCT-II and its inverse,
+* :mod:`repro.jpeg.quantization` — Annex-K tables with IJG quality scaling,
+* :mod:`repro.jpeg.zigzag` — zigzag coefficient ordering,
+* :mod:`repro.jpeg.huffman` — canonical, length-limited Huffman coding with
+  both library-default and per-image optimized tables,
+* :mod:`repro.jpeg.rle` — DC differential + AC run/size symbol layer,
+* :mod:`repro.jpeg.coefficients` — the :class:`CoefficientImage` container
+  every PuPPIeS algorithm manipulates,
+* :mod:`repro.jpeg.codec` — byte-level encode/decode of a complete image,
+* :mod:`repro.jpeg.filesize` — exact entropy-coded size accounting
+  (vectorized; used by the storage-overhead experiments).
+
+The container framing is our own (a tiny tagged header instead of JFIF
+markers) but the coefficient math, zigzag order, category coding and
+Huffman layer match the JPEG standard, which is what the paper's
+measurements depend on.
+"""
+
+from repro.jpeg.codec import JpegCodec, decode_image, encode_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.jpeg.filesize import encoded_size_bytes
+from repro.jpeg.quantization import (
+    quality_scaled_table,
+    standard_chrominance_table,
+    standard_luminance_table,
+)
+
+__all__ = [
+    "CoefficientImage",
+    "JpegCodec",
+    "decode_image",
+    "encode_image",
+    "encoded_size_bytes",
+    "quality_scaled_table",
+    "standard_chrominance_table",
+    "standard_luminance_table",
+]

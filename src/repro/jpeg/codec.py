@@ -1,0 +1,208 @@
+"""Byte-level encoder/decoder for :class:`CoefficientImage`.
+
+The container is a minimal tagged format (magic ``RPJ1``) holding the image
+geometry, the quantization tables, optionally the optimized Huffman table
+specs, and one entropy-coded stream per channel. The entropy layer — DC
+differential coding plus AC run/size coding with category magnitudes — is
+exactly JPEG's, so measured byte sizes respond to perturbation the same way
+libjpeg's do.
+
+``optimize=False`` uses the library default tables (libjpeg's behaviour
+unless ``optimize_coding`` is set); ``optimize=True`` rebuilds both tables
+from the image's own symbol statistics — the PuPPIeS-C countermeasure.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.jpeg import rle
+from repro.jpeg.coefficients import GRAY, YCBCR, CoefficientImage
+from repro.jpeg.filesize import channel_symbol_counts
+from repro.jpeg.huffman import (
+    DEFAULT_AC_TABLE,
+    DEFAULT_DC_TABLE,
+    HuffmanTable,
+    optimized_tables,
+)
+from repro.util.bitio import BitReader, BitWriter
+from repro.util.errors import CodecError
+
+MAGIC = b"RPJ1"
+_COLORSPACE_CODES = {GRAY: 0, YCBCR: 1}
+_COLORSPACE_NAMES = {code: name for name, code in _COLORSPACE_CODES.items()}
+
+
+def _encode_channel_stream(
+    zigzag: np.ndarray, dc_table: HuffmanTable, ac_table: HuffmanTable
+) -> bytes:
+    """Entropy-code one channel's ``(n_blocks, 64)`` zigzag coefficients."""
+    writer = BitWriter()
+    diffs = rle.dc_differences(zigzag[:, 0].astype(np.int64))
+    for block_idx in range(zigzag.shape[0]):
+        diff = int(diffs[block_idx])
+        size = rle.magnitude_category(diff)
+        dc_table.encode_symbol(writer, size)
+        writer.write_bits(rle.encode_magnitude(diff, size), size)
+        for symbol, value in rle.ac_symbols(zigzag[block_idx, 1:]):
+            ac_table.encode_symbol(writer, symbol)
+            size = symbol & 0x0F
+            if size:
+                writer.write_bits(rle.encode_magnitude(value, size), size)
+    return writer.getvalue()
+
+
+def _decode_channel_stream(
+    data: bytes,
+    n_blocks: int,
+    dc_table: HuffmanTable,
+    ac_table: HuffmanTable,
+) -> np.ndarray:
+    """Inverse of :func:`_encode_channel_stream`."""
+    reader = BitReader(data)
+    zigzag = np.zeros((n_blocks, 64), dtype=np.int32)
+    diffs: List[int] = []
+    for block_idx in range(n_blocks):
+        size = dc_table.decode_symbol(reader)
+        diffs.append(rle.decode_magnitude(reader.read_bits(size), size))
+
+        def _ac_stream():
+            while True:
+                symbol = ac_table.decode_symbol(reader)
+                size = symbol & 0x0F
+                value = (
+                    rle.decode_magnitude(reader.read_bits(size), size)
+                    if size
+                    else 0
+                )
+                yield symbol, value
+
+        zigzag[block_idx, 1:] = rle.decode_ac_block(_ac_stream())
+    zigzag[:, 0] = rle.dc_from_differences(diffs)
+    return zigzag
+
+
+def _pack_table_spec(table: HuffmanTable) -> bytes:
+    counts, symbols = table.to_spec()
+    return (
+        struct.pack("<16B", *counts)
+        + struct.pack("<H", len(symbols))
+        + bytes(symbols)
+    )
+
+
+def _unpack_table_spec(data: bytes, offset: int) -> Tuple[HuffmanTable, int]:
+    counts = list(struct.unpack_from("<16B", data, offset))
+    offset += 16
+    (n_symbols,) = struct.unpack_from("<H", data, offset)
+    offset += 2
+    symbols = list(data[offset : offset + n_symbols])
+    offset += n_symbols
+    return HuffmanTable.from_spec(counts, symbols), offset
+
+
+class JpegCodec:
+    """Encode/decode :class:`CoefficientImage` to and from bytes."""
+
+    def __init__(self, optimize: bool = False) -> None:
+        self.optimize = optimize
+
+    def _tables_for(
+        self, image: CoefficientImage
+    ) -> Tuple[HuffmanTable, HuffmanTable]:
+        if not self.optimize:
+            return DEFAULT_DC_TABLE, DEFAULT_AC_TABLE
+        dc_freqs = np.zeros(16, dtype=np.int64)
+        ac_freqs = np.zeros(256, dtype=np.int64)
+        for channel in range(image.n_channels):
+            dc_c, ac_c = channel_symbol_counts(image.zigzag_channel(channel))
+            dc_freqs[: dc_c.shape[0]] += dc_c
+            ac_freqs[: ac_c.shape[0]] += ac_c
+        return optimized_tables(
+            dict(enumerate(dc_freqs.tolist())),
+            dict(enumerate(ac_freqs.tolist())),
+        )
+
+    def encode(self, image: CoefficientImage) -> bytes:
+        dc_table, ac_table = self._tables_for(image)
+        by, bx = image.blocks_shape
+        parts = [
+            MAGIC,
+            struct.pack(
+                "<BHHBHH",
+                _COLORSPACE_CODES[image.colorspace],
+                image.height,
+                image.width,
+                image.n_channels,
+                by,
+                bx,
+            ),
+        ]
+        for table in image.quant_tables:
+            parts.append(
+                struct.pack("<64H", *table.astype(np.int64).flatten().tolist())
+            )
+        parts.append(struct.pack("<B", 1 if self.optimize else 0))
+        if self.optimize:
+            parts.append(_pack_table_spec(dc_table))
+            parts.append(_pack_table_spec(ac_table))
+        for channel in range(image.n_channels):
+            stream = _encode_channel_stream(
+                image.zigzag_channel(channel), dc_table, ac_table
+            )
+            parts.append(struct.pack("<I", len(stream)))
+            parts.append(stream)
+        return b"".join(parts)
+
+    def decode(self, data: bytes) -> CoefficientImage:
+        if data[:4] != MAGIC:
+            raise CodecError("bad magic — not an RPJ1 container")
+        offset = 4
+        cs_code, height, width, n_channels, by, bx = struct.unpack_from(
+            "<BHHBHH", data, offset
+        )
+        offset += struct.calcsize("<BHHBHH")
+        if cs_code not in _COLORSPACE_NAMES:
+            raise CodecError(f"unknown colorspace code {cs_code}")
+        quant_tables = []
+        for _ in range(n_channels):
+            table = np.array(
+                struct.unpack_from("<64H", data, offset), dtype=np.int32
+            ).reshape(8, 8)
+            quant_tables.append(table)
+            offset += 128
+        (optimize_flag,) = struct.unpack_from("<B", data, offset)
+        offset += 1
+        if optimize_flag:
+            dc_table, offset = _unpack_table_spec(data, offset)
+            ac_table, offset = _unpack_table_spec(data, offset)
+        else:
+            dc_table, ac_table = DEFAULT_DC_TABLE, DEFAULT_AC_TABLE
+        channels = []
+        for _ in range(n_channels):
+            (stream_len,) = struct.unpack_from("<I", data, offset)
+            offset += 4
+            stream = data[offset : offset + stream_len]
+            offset += stream_len
+            zigzag = _decode_channel_stream(stream, by * bx, dc_table, ac_table)
+            from repro.jpeg.zigzag import zigzag_to_block
+
+            channels.append(
+                zigzag_to_block(zigzag).reshape(by, bx, 8, 8).astype(np.int32)
+            )
+        return CoefficientImage(
+            channels, quant_tables, height, width, _COLORSPACE_NAMES[cs_code]
+        )
+
+
+def encode_image(image: CoefficientImage, optimize: bool = False) -> bytes:
+    """Convenience wrapper: encode with default or optimized tables."""
+    return JpegCodec(optimize=optimize).encode(image)
+
+
+def decode_image(data: bytes) -> CoefficientImage:
+    """Convenience wrapper around :meth:`JpegCodec.decode`."""
+    return JpegCodec().decode(data)

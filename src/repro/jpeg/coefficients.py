@@ -1,0 +1,238 @@
+"""The quantized-DCT-coefficient representation of an image.
+
+:class:`CoefficientImage` is the object every PuPPIeS algorithm works on:
+per-channel arrays of quantized 8x8 DCT coefficient blocks plus their
+quantization tables. It converts to and from pixel arrays, exposes zigzag
+views for the perturbation algorithms, and round-trips losslessly through
+the byte codec (the pixel round-trip is lossy, as in any JPEG).
+
+Chroma subsampling is fixed at 4:4:4 (every layer has full resolution).
+The paper's algorithms treat each layer independently (footnote 4), so
+subsampling is orthogonal to everything measured here; 4:4:4 keeps block
+geometry identical across layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.jpeg import color as colorlib
+from repro.jpeg import dct as dctlib
+from repro.jpeg import quantization as quantlib
+from repro.jpeg.zigzag import block_to_zigzag, zigzag_to_block
+from repro.util.errors import CodecError
+
+GRAY = "gray"
+YCBCR = "ycbcr"
+
+
+@dataclass
+class CoefficientImage:
+    """Quantized DCT coefficients for all channels of one image.
+
+    Attributes:
+        channels: one ``(blocks_y, blocks_x, 8, 8)`` int32 array per layer
+            (Y, Cb, Cr for colour; a single Y for grayscale).
+        quant_tables: one 8x8 int32 quantization table per layer.
+        height, width: original pixel dimensions (the blocked arrays cover
+            the padded size; the extra rows/cols are replicated edges).
+        colorspace: :data:`GRAY` or :data:`YCBCR`.
+    """
+
+    channels: List[np.ndarray]
+    quant_tables: List[np.ndarray]
+    height: int
+    width: int
+    colorspace: str = YCBCR
+
+    def __post_init__(self) -> None:
+        if not self.channels:
+            raise CodecError("image must have at least one channel")
+        if len(self.channels) != len(self.quant_tables):
+            raise CodecError("one quantization table per channel required")
+        shape = self.channels[0].shape
+        for chan in self.channels:
+            if chan.shape != shape or chan.ndim != 4:
+                raise CodecError(
+                    f"channel shapes must match, got {chan.shape} vs {shape}"
+                )
+        by, bx = shape[:2]
+        if by * 8 < self.height or bx * 8 < self.width:
+            raise CodecError("blocked arrays smaller than declared size")
+        if self.colorspace not in (GRAY, YCBCR):
+            raise CodecError(f"unknown colorspace {self.colorspace!r}")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_array(
+        cls, array: np.ndarray, quality: int = 75
+    ) -> "CoefficientImage":
+        """Encode a pixel array — ``(H, W)`` gray or ``(H, W, 3)`` RGB."""
+        arr = np.asarray(array)
+        if arr.ndim == 2:
+            planes = [arr.astype(np.float64)]
+            colorspace = GRAY
+            base_tables = [quantlib.standard_luminance_table()]
+        elif arr.ndim == 3 and arr.shape[2] == 3:
+            ycc = colorlib.rgb_to_ycbcr(arr)
+            planes = [ycc[..., 0], ycc[..., 1], ycc[..., 2]]
+            colorspace = YCBCR
+            base_tables = [
+                quantlib.standard_luminance_table(),
+                quantlib.standard_chrominance_table(),
+                quantlib.standard_chrominance_table(),
+            ]
+        else:
+            raise CodecError(f"unsupported pixel array shape {arr.shape}")
+        tables = [
+            quantlib.quality_scaled_table(base, quality) for base in base_tables
+        ]
+        height, width = arr.shape[:2]
+        channels = [
+            quantlib.quantize(dctlib.forward_dct_plane(plane), table)
+            for plane, table in zip(planes, tables)
+        ]
+        return cls(channels, tables, height, width, colorspace)
+
+    @classmethod
+    def from_sample_planes(
+        cls,
+        planes: List[np.ndarray],
+        quant_tables: List[np.ndarray],
+        colorspace: str,
+    ) -> "CoefficientImage":
+        """Encode already-separated float sample planes (YCbCr or gray)."""
+        height, width = planes[0].shape
+        channels = [
+            quantlib.quantize(dctlib.forward_dct_plane(plane), table)
+            for plane, table in zip(planes, quant_tables)
+        ]
+        return cls(
+            channels,
+            [np.asarray(t, dtype=np.int32) for t in quant_tables],
+            height,
+            width,
+            colorspace,
+        )
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_channels(self) -> int:
+        return len(self.channels)
+
+    @property
+    def blocks_shape(self) -> Tuple[int, int]:
+        """(blocks_y, blocks_x) — identical for every channel (4:4:4)."""
+        return self.channels[0].shape[:2]
+
+    @property
+    def n_blocks(self) -> int:
+        by, bx = self.blocks_shape
+        return by * bx
+
+    @property
+    def padded_shape(self) -> Tuple[int, int]:
+        by, bx = self.blocks_shape
+        return by * 8, bx * 8
+
+    # ------------------------------------------------------------------
+    # Pixel-domain views
+    # ------------------------------------------------------------------
+    def to_sample_planes(self) -> List[np.ndarray]:
+        """Dequantize + IDCT each channel to float sample planes.
+
+        The planes are *not* clipped to [0, 255]; exact linearity is what
+        makes shadow-ROI reconstruction work, so clamping is deferred to
+        display time (:func:`repro.jpeg.color.to_uint8`).
+        """
+        return [
+            dctlib.inverse_dct_plane(
+                quantlib.dequantize(chan, table), self.height, self.width
+            )
+            for chan, table in zip(self.channels, self.quant_tables)
+        ]
+
+    def to_padded_sample_planes(self) -> List[np.ndarray]:
+        """Sample planes over the full block grid (no crop to H x W).
+
+        Lossless JPEG tooling (jpegtran-style) operates on the complete
+        MCU grid; baselines that re-derive coefficients from transformed
+        samples need the padded geometry to stay bit-exact at the borders.
+        """
+        ph, pw = self.padded_shape
+        return [
+            dctlib.inverse_dct_plane(
+                quantlib.dequantize(chan, table), ph, pw
+            )
+            for chan, table in zip(self.channels, self.quant_tables)
+        ]
+
+    def to_float_array(self) -> np.ndarray:
+        """Decode to float pixels — ``(H, W)`` gray or ``(H, W, 3)`` RGB."""
+        planes = self.to_sample_planes()
+        if self.colorspace == GRAY:
+            return planes[0]
+        ycc = np.stack(planes, axis=-1)
+        return colorlib.ycbcr_to_rgb(ycc)
+
+    def to_array(self) -> np.ndarray:
+        """Decode to display-ready uint8 pixels."""
+        return colorlib.to_uint8(self.to_float_array())
+
+    # ------------------------------------------------------------------
+    # Coefficient views
+    # ------------------------------------------------------------------
+    def zigzag_channel(self, channel: int) -> np.ndarray:
+        """Channel coefficients as ``(n_blocks, 64)`` zigzag vectors.
+
+        Blocks are in raster order (row-major over the block grid), the
+        order the entropy coder scans and the order PuPPIeS-B's
+        ``k mod 64`` indexing walks.
+        """
+        chan = self.channels[channel]
+        by, bx = chan.shape[:2]
+        return block_to_zigzag(chan.reshape(by * bx, 8, 8))
+
+    def set_zigzag_channel(self, channel: int, vectors: np.ndarray) -> None:
+        """Replace a channel from ``(n_blocks, 64)`` zigzag vectors."""
+        by, bx = self.channels[channel].shape[:2]
+        if vectors.shape != (by * bx, 64):
+            raise CodecError(
+                f"expected {(by * bx, 64)} zigzag array, got {vectors.shape}"
+            )
+        self.channels[channel] = (
+            zigzag_to_block(vectors).reshape(by, bx, 8, 8).astype(np.int32)
+        )
+
+    def copy(self) -> "CoefficientImage":
+        return CoefficientImage(
+            [chan.copy() for chan in self.channels],
+            [table.copy() for table in self.quant_tables],
+            self.height,
+            self.width,
+            self.colorspace,
+        )
+
+    def coefficients_equal(self, other: "CoefficientImage") -> bool:
+        """Exact coefficient-domain equality (the paper's 'exact recovery')."""
+        return (
+            self.height == other.height
+            and self.width == other.width
+            and self.colorspace == other.colorspace
+            and len(self.channels) == len(other.channels)
+            and all(
+                np.array_equal(a, b)
+                for a, b in zip(self.channels, other.channels)
+            )
+            and all(
+                np.array_equal(a, b)
+                for a, b in zip(self.quant_tables, other.quant_tables)
+            )
+        )

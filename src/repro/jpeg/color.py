@@ -1,0 +1,59 @@
+"""RGB <-> YCbCr colour transforms (BT.601 full-range, JFIF convention).
+
+JPEG stores images as a luma layer (Y) and two chroma layers (Cb, Cr); each
+layer is DCT-coded independently, which is why PuPPIeS can perturb the three
+layers independently (paper footnote 4). The transform here is the JFIF
+full-range BT.601 matrix used by libjpeg.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_FORWARD = np.array(
+    [
+        [0.299, 0.587, 0.114],
+        [-0.168735892, -0.331264108, 0.5],
+        [0.5, -0.418687589, -0.081312411],
+    ],
+    dtype=np.float64,
+)
+_INVERSE = np.linalg.inv(_FORWARD)
+
+
+def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
+    """Convert an ``(H, W, 3)`` RGB array to float YCbCr.
+
+    Input may be uint8 or float; output is float64 with Y in roughly
+    ``[0, 255]`` and Cb/Cr centred on zero (the +128 chroma bias of the JFIF
+    byte format is *not* applied — the level shift before the DCT handles
+    centring uniformly for all layers).
+    """
+    arr = np.asarray(rgb, dtype=np.float64)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) RGB array, got {arr.shape}")
+    ycc = arr @ _FORWARD.T
+    ycc[..., 1] += 128.0
+    ycc[..., 2] += 128.0
+    return ycc
+
+
+def ycbcr_to_rgb(ycc: np.ndarray) -> np.ndarray:
+    """Convert float YCbCr (as produced by :func:`rgb_to_ycbcr`) to RGB.
+
+    Output is float64 and *not* clipped: the caller decides whether to
+    clamp to ``[0, 255]`` (display) or keep the linear values (needed for
+    exact shadow-ROI arithmetic).
+    """
+    arr = np.asarray(ycc, dtype=np.float64)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) YCbCr array, got {arr.shape}")
+    shifted = arr.copy()
+    shifted[..., 1] -= 128.0
+    shifted[..., 2] -= 128.0
+    return shifted @ _INVERSE.T
+
+
+def to_uint8(arr: np.ndarray) -> np.ndarray:
+    """Clamp a float image to ``[0, 255]`` and round to uint8 for display."""
+    return np.clip(np.rint(arr), 0, 255).astype(np.uint8)

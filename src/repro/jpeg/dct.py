@@ -1,0 +1,86 @@
+"""Orthonormal 8x8 block DCT-II and utilities for blocked layouts.
+
+The forward transform of a block ``b`` is ``C @ b @ C.T`` with the
+orthonormal DCT-II basis ``C``; the inverse is ``C.T @ e @ C``. Because the
+basis is orthonormal the transform is exactly linear and invertible, which
+is the property PuPPIeS's shadow-ROI argument (Section IV-C) rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+BLOCK = 8
+
+
+def _basis(n: int = BLOCK) -> np.ndarray:
+    k = np.arange(n)[:, None]
+    m = np.arange(n)[None, :]
+    c = np.sqrt(2.0 / n) * np.cos((2 * m + 1) * k * np.pi / (2 * n))
+    c[0, :] = np.sqrt(1.0 / n)
+    return c
+
+
+DCT_BASIS = _basis()
+
+
+def blockify(plane: np.ndarray, block: int = BLOCK) -> np.ndarray:
+    """Reshape an ``(H, W)`` plane into ``(H/8, W/8, 8, 8)`` blocks.
+
+    ``H`` and ``W`` must be multiples of ``block``; callers pad first with
+    :func:`pad_to_blocks`.
+    """
+    h, w = plane.shape
+    if h % block or w % block:
+        raise ValueError(f"plane {plane.shape} not a multiple of {block}")
+    return (
+        plane.reshape(h // block, block, w // block, block)
+        .transpose(0, 2, 1, 3)
+        .copy()
+    )
+
+
+def unblockify(blocks: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`blockify`: ``(by, bx, 8, 8)`` -> ``(H, W)``."""
+    by, bx, b1, b2 = blocks.shape
+    return blocks.transpose(0, 2, 1, 3).reshape(by * b1, bx * b2).copy()
+
+
+def pad_to_blocks(plane: np.ndarray, block: int = BLOCK) -> np.ndarray:
+    """Pad a plane to a multiple of the block size by edge replication."""
+    h, w = plane.shape
+    pad_h = (-h) % block
+    pad_w = (-w) % block
+    if pad_h == 0 and pad_w == 0:
+        return np.asarray(plane, dtype=np.float64)
+    return np.pad(plane, ((0, pad_h), (0, pad_w)), mode="edge").astype(
+        np.float64
+    )
+
+
+def forward_dct_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Forward DCT-II of a ``(..., 8, 8)`` array of sample blocks."""
+    return np.einsum(
+        "ij,...jk,lk->...il", DCT_BASIS, blocks, DCT_BASIS, optimize=True
+    )
+
+
+def inverse_dct_blocks(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse DCT of a ``(..., 8, 8)`` array of coefficient blocks."""
+    return np.einsum(
+        "ji,...jk,kl->...il", DCT_BASIS, coeffs, DCT_BASIS, optimize=True
+    )
+
+
+def forward_dct_plane(plane: np.ndarray) -> np.ndarray:
+    """Level-shift, blockify and DCT a sample plane (values around 128)."""
+    padded = pad_to_blocks(plane)
+    return forward_dct_blocks(blockify(padded) - 128.0)
+
+
+def inverse_dct_plane(
+    coeffs: np.ndarray, height: int, width: int
+) -> np.ndarray:
+    """IDCT coefficient blocks back to an ``(height, width)`` sample plane."""
+    plane = unblockify(inverse_dct_blocks(coeffs)) + 128.0
+    return plane[:height, :width]

@@ -1,0 +1,228 @@
+"""Canonical, length-limited Huffman coding for the JPEG symbol layer.
+
+Two kinds of tables exist, mirroring libjpeg:
+
+* **default tables** — built once from a synthetic frequency prior tuned to
+  natural-image statistics (small categories and short runs are common).
+  They play the role of the Annex-K "typical" tables: good for ordinary
+  images, badly mismatched for PuPPIeS-B-perturbed ones — which is exactly
+  the effect behind Table II's 10.45x blow-up;
+* **optimized tables** — rebuilt from the actual symbol frequencies of one
+  image, the fix PuPPIeS-C applies after perturbation (Section IV-B.3).
+
+Codes are canonical (assigned in order of length then symbol) and length
+limited to 16 bits using the Annex-K.3 adjustment, so the table can be
+serialized JPEG-DHT-style as 16 length counts plus the symbol list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.bitio import BitReader, BitWriter
+from repro.util.errors import BitstreamError, CodecError
+
+MAX_CODE_LENGTH = 16
+
+# AC symbol values: (run << 4) | size with run 0..15, size 1..11, plus the
+# two specials. Size 11 exceeds baseline JPEG's 10 but is needed because a
+# wrapped perturbed coefficient can reach -1024.
+EOB = 0x00
+ZRL = 0xF0
+MAX_AC_SIZE = 11
+MAX_DC_SIZE = 13
+
+
+@dataclass(frozen=True)
+class HuffmanTable:
+    """An immutable canonical Huffman code over integer symbols."""
+
+    lengths: Tuple[Tuple[int, int], ...]  # (symbol, code length) pairs
+
+    def __post_init__(self) -> None:
+        codes: Dict[int, Tuple[int, int]] = {}
+        code = 0
+        prev_len = 0
+        for symbol, length in sorted(self.lengths, key=lambda p: (p[1], p[0])):
+            code <<= length - prev_len
+            codes[symbol] = (code, length)
+            code += 1
+            prev_len = length
+            if code > (1 << length):
+                raise CodecError("Huffman code lengths are over-subscribed")
+        object.__setattr__(self, "_codes", codes)
+        decode_map = {
+            (length, code): symbol for symbol, (code, length) in codes.items()
+        }
+        object.__setattr__(self, "_decode_map", decode_map)
+
+    @property
+    def symbols(self) -> List[int]:
+        return [symbol for symbol, _ in self.lengths]
+
+    def code_length(self, symbol: int) -> int:
+        """The code length in bits for ``symbol`` (KeyError if absent)."""
+        return self._codes[symbol][1]
+
+    def code_length_array(self, n_symbols: int) -> np.ndarray:
+        """Code lengths as an array indexed by symbol (0 where absent).
+
+        Used by the vectorized size estimator; absent symbols map to 0 so a
+        lookup of an unencodable symbol is loudly wrong in size totals.
+        """
+        arr = np.zeros(n_symbols, dtype=np.int64)
+        for symbol, (_, length) in self._codes.items():
+            arr[symbol] = length
+        return arr
+
+    def encode_symbol(self, writer: BitWriter, symbol: int) -> None:
+        try:
+            code, length = self._codes[symbol]
+        except KeyError:
+            raise CodecError(f"symbol {symbol:#x} not in Huffman table")
+        writer.write_bits(code, length)
+
+    def decode_symbol(self, reader: BitReader) -> int:
+        code = 0
+        for length in range(1, MAX_CODE_LENGTH + 1):
+            code = (code << 1) | reader.read_bit()
+            symbol = self._decode_map.get((length, code))
+            if symbol is not None:
+                return symbol
+        raise BitstreamError("undecodable Huffman prefix")
+
+    def spec_bytes(self) -> int:
+        """Serialized size: 16 length counts + u16 symbol count + symbols."""
+        return MAX_CODE_LENGTH + 2 + len(self.lengths)
+
+    def to_spec(self) -> Tuple[List[int], List[int]]:
+        """JPEG-DHT style spec: (counts per length 1..16, symbols in order)."""
+        counts = [0] * MAX_CODE_LENGTH
+        ordered = sorted(self.lengths, key=lambda p: (p[1], p[0]))
+        for _, length in ordered:
+            counts[length - 1] += 1
+        return counts, [symbol for symbol, _ in ordered]
+
+    @classmethod
+    def from_spec(
+        cls, counts: Sequence[int], symbols: Sequence[int]
+    ) -> "HuffmanTable":
+        lengths: List[Tuple[int, int]] = []
+        it = iter(symbols)
+        for i, count in enumerate(counts):
+            for _ in range(count):
+                lengths.append((next(it), i + 1))
+        return cls(tuple(lengths))
+
+
+def _huffman_code_sizes(freqs: Mapping[int, int]) -> Dict[int, int]:
+    """Unconstrained optimal code sizes via a pairing heap construction."""
+    import heapq
+
+    heap: List[Tuple[int, int, List[int]]] = []
+    for tiebreak, (symbol, freq) in enumerate(sorted(freqs.items())):
+        if freq > 0:
+            heapq.heappush(heap, (freq, tiebreak, [symbol]))
+    if not heap:
+        raise CodecError("cannot build a Huffman table with no symbols")
+    sizes = {symbol: 0 for _, _, [symbol] in heap}
+    if len(heap) == 1:
+        only = heap[0][2][0]
+        return {only: 1}
+    counter = len(heap)
+    while len(heap) > 1:
+        f1, _, s1 = heapq.heappop(heap)
+        f2, _, s2 = heapq.heappop(heap)
+        for symbol in s1 + s2:
+            sizes[symbol] += 1
+        counter += 1
+        heapq.heappush(heap, (f1 + f2, counter, s1 + s2))
+    return sizes
+
+
+def _limit_lengths(size_counts: List[int], max_len: int) -> List[int]:
+    """Annex-K.3 style length limiting on a histogram of code sizes.
+
+    ``size_counts[i]`` is the number of codes of length ``i`` (index 0
+    unused). Pairs of over-long codes are repeatedly moved up the tree.
+    """
+    counts = list(size_counts)
+    longest = len(counts) - 1
+    for i in range(longest, max_len, -1):
+        while counts[i] > 0:
+            j = i - 2
+            while counts[j] == 0:
+                j -= 1
+            counts[i] -= 2
+            counts[i - 1] += 1
+            counts[j + 1] += 2
+            counts[j] -= 1
+    return counts[: max_len + 1]
+
+
+def build_table(
+    freqs: Mapping[int, int], max_len: int = MAX_CODE_LENGTH
+) -> HuffmanTable:
+    """Build a canonical length-limited Huffman table from frequencies.
+
+    Symbols with zero frequency are omitted; callers that need every symbol
+    representable (default tables) should supply a floor frequency.
+    """
+    sizes = _huffman_code_sizes(freqs)
+    longest = max(sizes.values())
+    size_counts = [0] * (max(longest, max_len) + 1)
+    for length in sizes.values():
+        size_counts[length] += 1
+    size_counts = _limit_lengths(size_counts, max_len)
+    ordered = sorted(sizes.items(), key=lambda p: (p[1], p[0]))
+    lengths: List[Tuple[int, int]] = []
+    idx = 0
+    for length in range(1, max_len + 1):
+        for _ in range(size_counts[length]):
+            symbol, _ = ordered[idx]
+            lengths.append((symbol, length))
+            idx += 1
+    return HuffmanTable(tuple(lengths))
+
+
+def _default_dc_freqs() -> Dict[int, int]:
+    """Synthetic prior: small DC-difference categories dominate."""
+    return {size: max(1, int(2 ** (14 - 1.6 * size))) for size in range(MAX_DC_SIZE + 1)}
+
+
+def _default_ac_freqs() -> Dict[int, int]:
+    """Synthetic prior for AC run/size symbols of natural images.
+
+    Short runs and small magnitudes dominate; EOB is the single most common
+    symbol; ZRL is rare. The exact weights are unimportant — what matters
+    is the *shape*, which makes these tables efficient for unperturbed
+    images and inefficient for uniformly-perturbed ones, matching the role
+    of libjpeg's default tables in the paper's Table II.
+    """
+    freqs: Dict[int, int] = {EOB: 1 << 18, ZRL: 1 << 7}
+    for run in range(16):
+        for size in range(1, MAX_AC_SIZE + 1):
+            weight = 19.0 - 1.35 * size - 0.8 * run
+            freqs[(run << 4) | size] = max(1, int(2**weight))
+    return freqs
+
+
+DEFAULT_DC_TABLE = build_table(_default_dc_freqs())
+DEFAULT_AC_TABLE = build_table(_default_ac_freqs())
+
+
+def optimized_tables(
+    dc_freqs: Mapping[int, int], ac_freqs: Mapping[int, int]
+) -> Tuple[HuffmanTable, HuffmanTable]:
+    """Per-image optimal tables, the PuPPIeS-C countermeasure.
+
+    A floor frequency of zero is kept — symbols that never occur in this
+    image are simply not representable, exactly like libjpeg's
+    ``optimize_coding`` mode.
+    """
+    dc = build_table({s: f for s, f in dc_freqs.items() if f > 0} or {0: 1})
+    ac = build_table({s: f for s, f in ac_freqs.items() if f > 0} or {EOB: 1})
+    return dc, ac

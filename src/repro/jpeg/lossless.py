@@ -1,0 +1,136 @@
+"""Lossless coefficient-domain transformations (the jpegtran operations).
+
+Real photo platforms rotate/crop JPEGs *losslessly* by manipulating the
+quantized DCT coefficients directly — no decode, no rounding, no clamping.
+This is the regime in which the paper demonstrates exact recovery, so the
+codec supports it natively:
+
+* **transpose** — each block's coefficient matrix is transposed (the 2-D
+  DCT of ``f(x, y)`` is ``C(v, u)``) and the block grid transposes too;
+* **horizontal flip** — ``f(y, N-1-x)`` has coefficients
+  ``(-1)^v C(u, v)``: odd columns change sign;
+* **vertical flip** — ``(-1)^u C(u, v)``: odd rows change sign;
+* **rotations** — compositions of the above (90° CW = transpose + hflip);
+* **crop** — selection of a block-aligned sub-grid.
+
+Every operation returns a new :class:`CoefficientImage` whose decoded
+samples equal the pixel-domain transformation of the original's decoded
+samples *exactly* (asserted by the test suite), and quantization tables
+follow the geometry (transposed where the axes swap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jpeg.coefficients import CoefficientImage
+from repro.util.errors import TransformError
+from repro.util.rect import Rect
+
+_ALT_SIGNS = (-1) ** np.arange(8, dtype=np.int64)  # [1,-1,1,-1,...]
+
+
+def _map_channels(image: CoefficientImage, fn, table_fn, swap_axes: bool):
+    channels = [fn(chan).astype(np.int32) for chan in image.channels]
+    tables = [table_fn(t).astype(np.int32) for t in image.quant_tables]
+    if swap_axes:
+        height, width = image.width, image.height
+    else:
+        height, width = image.height, image.width
+    return CoefficientImage(
+        channels, tables, height, width, image.colorspace
+    )
+
+
+def _require_full_grid(image: CoefficientImage, operation: str) -> None:
+    """Geometric ops need the content grid to fill the block grid.
+
+    With edge padding, the padded rows/columns sit at the bottom/right.
+    After a flip or rotation they would land *inside* the visible area,
+    so these operations require H and W to be multiples of 8 (jpegtran
+    has the same caveat: it trims or refuses partial MCUs).
+    """
+    if image.height % 8 or image.width % 8:
+        raise TransformError(
+            f"lossless {operation} requires block-aligned dimensions, "
+            f"got {image.height}x{image.width} (use crop first)"
+        )
+
+
+def transpose(image: CoefficientImage) -> CoefficientImage:
+    """Mirror across the main diagonal, losslessly."""
+    _require_full_grid(image, "transpose")
+    return _map_channels(
+        image,
+        lambda chan: np.swapaxes(np.swapaxes(chan, 0, 1), 2, 3),
+        lambda table: table.T,
+        swap_axes=True,
+    )
+
+
+def flip_horizontal(image: CoefficientImage) -> CoefficientImage:
+    """Mirror left-right, losslessly: odd-column coefficients negate."""
+    _require_full_grid(image, "horizontal flip")
+    return _map_channels(
+        image,
+        lambda chan: chan[:, ::-1] * _ALT_SIGNS[None, None, None, :],
+        lambda table: table,
+        swap_axes=False,
+    )
+
+
+def flip_vertical(image: CoefficientImage) -> CoefficientImage:
+    """Mirror top-bottom, losslessly: odd-row coefficients negate."""
+    _require_full_grid(image, "vertical flip")
+    return _map_channels(
+        image,
+        lambda chan: chan[::-1, :] * _ALT_SIGNS[None, None, :, None],
+        lambda table: table,
+        swap_axes=False,
+    )
+
+
+def rotate90(
+    image: CoefficientImage, quarter_turns: int = 1
+) -> CoefficientImage:
+    """Rotate by quarter turns counter-clockwise, losslessly."""
+    turns = quarter_turns % 4
+    out = image
+    if turns == 0:
+        return image.copy()
+    if turns == 2:
+        return flip_vertical(flip_horizontal(out))
+    # 90 degrees counter-clockwise = transpose then vertical flip.
+    out = flip_vertical(transpose(out))
+    if turns == 3:
+        out = flip_vertical(flip_horizontal(out))
+    return out
+
+
+def crop(image: CoefficientImage, rect: Rect) -> CoefficientImage:
+    """Keep a block-aligned window, losslessly."""
+    if not rect.is_aligned(8):
+        raise TransformError(f"lossless crop needs an 8-aligned rect: {rect}")
+    by, bx = image.blocks_shape
+    block_rect = Rect(rect.y // 8, rect.x // 8, rect.h // 8, rect.w // 8)
+    if block_rect.y2 > by or block_rect.x2 > bx:
+        raise TransformError(
+            f"crop {rect} exceeds block grid {(by * 8, bx * 8)}"
+        )
+    visible_h = min(rect.y2, image.height) - rect.y
+    visible_w = min(rect.x2, image.width) - rect.x
+    if visible_h <= 0 or visible_w <= 0:
+        raise TransformError(f"crop {rect} lies entirely in edge padding")
+    channels = [
+        chan[
+            block_rect.y : block_rect.y2, block_rect.x : block_rect.x2
+        ].copy()
+        for chan in image.channels
+    ]
+    return CoefficientImage(
+        channels,
+        [t.copy() for t in image.quant_tables],
+        visible_h,
+        visible_w,
+        image.colorspace,
+    )

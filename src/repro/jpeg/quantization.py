@@ -1,0 +1,89 @@
+"""JPEG quantization: Annex-K base tables and IJG quality scaling.
+
+Quantization divides each raw DCT coefficient by a per-frequency step and
+rounds; larger steps at higher frequencies buy compression at invisible
+cost. PuPPIeS perturbs the *quantized* integers, so the tables both bound
+the coefficient range the perturbation wraps over and, via requantization,
+implement the paper's recompression transformation (Section IV-C.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import CodecError
+
+# JPEG standard Annex K.1 luminance quantization table.
+_LUMINANCE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.int32,
+)
+
+# JPEG standard Annex K.2 chrominance quantization table.
+_CHROMINANCE = np.array(
+    [
+        [17, 18, 24, 47, 99, 99, 99, 99],
+        [18, 21, 26, 66, 99, 99, 99, 99],
+        [24, 26, 56, 99, 99, 99, 99, 99],
+        [47, 66, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+    ],
+    dtype=np.int32,
+)
+
+
+def standard_luminance_table() -> np.ndarray:
+    """A copy of the Annex-K luminance table (quality 50)."""
+    return _LUMINANCE.copy()
+
+
+def standard_chrominance_table() -> np.ndarray:
+    """A copy of the Annex-K chrominance table (quality 50)."""
+    return _CHROMINANCE.copy()
+
+
+def quality_scaled_table(base: np.ndarray, quality: int) -> np.ndarray:
+    """Scale a base table by a quality factor using the IJG formula.
+
+    ``quality`` follows libjpeg's 1..100 convention: 50 reproduces the base
+    table, 100 is (nearly) lossless, low values are aggressive.
+    """
+    if not 1 <= quality <= 100:
+        raise CodecError(f"quality must be in [1, 100], got {quality}")
+    scale = 5000 // quality if quality < 50 else 200 - 2 * quality
+    table = (base.astype(np.int64) * scale + 50) // 100
+    return np.clip(table, 1, 255).astype(np.int32)
+
+
+def quantize(raw: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Round raw ``(..., 8, 8)`` DCT coefficients to quantized integers."""
+    return np.rint(raw / table).astype(np.int32)
+
+
+def dequantize(quantized: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Map quantized integers back to (approximate) raw coefficients."""
+    return quantized.astype(np.float64) * table
+
+
+def requantize(
+    quantized: np.ndarray, old_table: np.ndarray, new_table: np.ndarray
+) -> np.ndarray:
+    """Re-quantize coefficients onto a new table (JPEG recompression).
+
+    This is the PSP-side "compression" transformation of the paper: it
+    decreases file size without changing pixel dimensions by coarsening the
+    quantization steps.
+    """
+    return quantize(dequantize(quantized, old_table), new_table)

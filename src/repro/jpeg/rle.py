@@ -1,0 +1,112 @@
+"""The JPEG symbol layer: DC differences, AC run/size pairs, magnitudes.
+
+Entropy coding in JPEG is two-layered: each coefficient becomes a
+(Huffman-coded) *symbol* describing its magnitude category — for AC
+coefficients fused with the count of preceding zeros — followed by raw
+magnitude bits. This module owns the symbol arithmetic; the bit-level codes
+live in :mod:`repro.jpeg.huffman`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.jpeg.huffman import EOB, ZRL
+from repro.util.errors import CodecError
+
+
+def magnitude_category(value: int) -> int:
+    """JPEG size category: number of bits in ``|value|`` (0 for zero)."""
+    return int(abs(int(value))).bit_length()
+
+
+def magnitude_categories(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`magnitude_category` for int arrays."""
+    mags = np.abs(values.astype(np.int64))
+    cats = np.zeros(mags.shape, dtype=np.int64)
+    nonzero = mags > 0
+    cats[nonzero] = np.floor(np.log2(mags[nonzero])).astype(np.int64) + 1
+    return cats
+
+
+def encode_magnitude(value: int, size: int) -> int:
+    """The ``size`` raw bits JPEG appends after a category symbol.
+
+    Positive values are sent verbatim; negative values use the one's
+    complement convention (``value + 2**size - 1``).
+    """
+    if size == 0:
+        if value != 0:
+            raise CodecError(f"nonzero value {value} in size-0 category")
+        return 0
+    if value > 0:
+        return value
+    return value + (1 << size) - 1
+
+
+def decode_magnitude(bits: int, size: int) -> int:
+    """Inverse of :func:`encode_magnitude`."""
+    if size == 0:
+        return 0
+    if bits < (1 << (size - 1)):
+        return bits - (1 << size) + 1
+    return bits
+
+
+def ac_symbols(ac: np.ndarray) -> Iterator[Tuple[int, int]]:
+    """Yield (symbol, value) pairs for one block's 63 AC coefficients.
+
+    ``symbol`` is ``(run << 4) | size`` with ZRL emitted for runs of 16+
+    zeros and EOB when the block ends in zeros. ``value`` is the coefficient
+    for regular symbols and 0 for EOB/ZRL.
+    """
+    if ac.shape != (63,):
+        raise CodecError(f"expected 63 AC coefficients, got {ac.shape}")
+    run = 0
+    for value in ac.tolist():
+        if value == 0:
+            run += 1
+            continue
+        while run >= 16:
+            yield ZRL, 0
+            run -= 16
+        size = magnitude_category(value)
+        yield (run << 4) | size, int(value)
+        run = 0
+    if run > 0:
+        yield EOB, 0
+
+
+def decode_ac_block(symbol_stream: Iterator[Tuple[int, int]]) -> np.ndarray:
+    """Rebuild one block's AC vector from decoded (symbol, value) pairs."""
+    ac = np.zeros(63, dtype=np.int32)
+    pos = 0
+    while pos < 63:
+        symbol, value = next(symbol_stream)
+        if symbol == EOB:
+            break
+        if symbol == ZRL:
+            pos += 16
+            continue
+        run = symbol >> 4
+        pos += run
+        if pos >= 63:
+            raise CodecError("AC run overflows the block")
+        ac[pos] = value
+        pos += 1
+    return ac
+
+
+def dc_differences(dc: np.ndarray) -> np.ndarray:
+    """Differential DC coding across blocks in scan order (first vs 0)."""
+    diffs = np.empty_like(dc)
+    diffs[0] = dc[0]
+    diffs[1:] = dc[1:] - dc[:-1]
+    return diffs
+
+
+def dc_from_differences(diffs: List[int]) -> np.ndarray:
+    """Invert :func:`dc_differences`."""
+    return np.cumsum(np.asarray(diffs, dtype=np.int64)).astype(np.int32)

@@ -1,0 +1,51 @@
+"""Zigzag ordering of 8x8 coefficient blocks.
+
+JPEG serializes each block in zigzag order so the (usually zero) high
+frequencies form long runs at the tail — the property PuPPIeS-Z exploits by
+skipping originally-zero entries (Algorithm 2). Index 0 of the zigzag vector
+is the DC coefficient; indices 1..63 are the AC coefficients ordered from
+low to high frequency, which is also the order Algorithm 3 walks when
+assigning perturbation ranges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _zigzag_order(n: int = 8) -> np.ndarray:
+    """Return flat indices of an ``n x n`` block in zigzag scan order."""
+    # Anti-diagonals alternate direction: even sums run bottom-left to
+    # top-right (ascending x), odd sums top-right to bottom-left
+    # (ascending y) — the canonical JPEG scan (0,0),(0,1),(1,0),(2,0),...
+    order = sorted(
+        ((y, x) for y in range(n) for x in range(n)),
+        key=lambda p: (p[0] + p[1], p[0] if (p[0] + p[1]) % 2 else p[1]),
+    )
+    return np.array([y * n + x for y, x in order], dtype=np.int64)
+
+
+ZIGZAG = _zigzag_order()
+INVERSE_ZIGZAG = np.argsort(ZIGZAG)
+
+
+def block_to_zigzag(blocks: np.ndarray) -> np.ndarray:
+    """Convert ``(..., 8, 8)`` blocks to ``(..., 64)`` zigzag vectors."""
+    flat = np.asarray(blocks).reshape(blocks.shape[:-2] + (64,))
+    return flat[..., ZIGZAG]
+
+
+def zigzag_to_block(vectors: np.ndarray) -> np.ndarray:
+    """Convert ``(..., 64)`` zigzag vectors back to ``(..., 8, 8)`` blocks."""
+    vecs = np.asarray(vectors)
+    flat = vecs[..., INVERSE_ZIGZAG]
+    return flat.reshape(vecs.shape[:-1] + (8, 8))
+
+
+def zigzag_frequency_index() -> np.ndarray:
+    """For each (row, col) of a block, its position in the zigzag scan.
+
+    ``zigzag_frequency_index()[y, x]`` is the zigzag rank of coefficient
+    ``(y, x)`` — the value Algorithm 3 uses as the frequency index ``i``.
+    """
+    return INVERSE_ZIGZAG.reshape(8, 8)

@@ -1,0 +1,13 @@
+"""Content-based image retrieval (the Google-Image-Search stand-in, Fig. 2).
+
+The paper motivates partial sharing by showing that a perturbed image
+still retrieves essentially the same top-10 results as the original. We
+reproduce that with a local retrieval engine over the synthetic corpora:
+global descriptors (colour histogram + edge-orientation histogram + a tiny
+luminance thumbnail) ranked by cosine similarity.
+"""
+
+from repro.search.descriptors import global_descriptor
+from repro.search.engine import SearchEngine, top_k_overlap
+
+__all__ = ["SearchEngine", "global_descriptor", "top_k_overlap"]

@@ -1,0 +1,75 @@
+"""Global image descriptors for retrieval.
+
+Three complementary views, each L2-normalized then concatenated with
+weights: a joint RGB colour histogram (what colours), an edge-orientation
+histogram (what structure), and an 8x8 luminance thumbnail (where the
+mass sits) — a miniature of the classic GIST-style global signature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transforms.scaling import Scale
+from repro.vision.gradients import (
+    gradient_magnitude_orientation,
+    to_grayscale,
+)
+
+COLOR_BINS = 4
+ORIENTATION_BINS = 8
+THUMB = 8
+
+
+def _normalized(vec: np.ndarray) -> np.ndarray:
+    norm = np.linalg.norm(vec)
+    return vec / norm if norm > 0 else vec
+
+
+def color_histogram(image: np.ndarray) -> np.ndarray:
+    """Joint RGB histogram with COLOR_BINS levels per channel."""
+    arr = np.asarray(image)
+    if arr.ndim == 2:
+        arr = np.stack([arr] * 3, axis=-1)
+    q = np.clip(
+        arr.astype(np.int64) // (256 // COLOR_BINS), 0, COLOR_BINS - 1
+    )
+    codes = (
+        q[..., 0] * COLOR_BINS * COLOR_BINS + q[..., 1] * COLOR_BINS + q[..., 2]
+    ).ravel()
+    hist = np.bincount(codes, minlength=COLOR_BINS**3).astype(np.float64)
+    return _normalized(hist)
+
+
+def edge_orientation_histogram(image: np.ndarray) -> np.ndarray:
+    """Gradient-magnitude-weighted orientation histogram."""
+    gray = to_grayscale(np.asarray(image, dtype=np.float64))
+    magnitude, orientation = gradient_magnitude_orientation(gray)
+    bins = (
+        ((orientation + np.pi) / (2 * np.pi) * ORIENTATION_BINS).astype(
+            np.int64
+        )
+        % ORIENTATION_BINS
+    )
+    hist = np.bincount(
+        bins.ravel(), weights=magnitude.ravel(), minlength=ORIENTATION_BINS
+    )
+    return _normalized(hist)
+
+
+def luminance_thumbnail(image: np.ndarray) -> np.ndarray:
+    """An 8x8 mean-centred luminance thumbnail."""
+    gray = to_grayscale(np.asarray(image, dtype=np.float64))
+    thumb = Scale(THUMB, THUMB).apply([gray])[0].ravel()
+    return _normalized(thumb - thumb.mean())
+
+
+def global_descriptor(image: np.ndarray) -> np.ndarray:
+    """The concatenated retrieval descriptor of one image."""
+    return np.concatenate(
+        [
+            1.0 * color_histogram(image),
+            0.8 * edge_orientation_histogram(image),
+            0.6 * luminance_thumbnail(image),
+        ]
+    )

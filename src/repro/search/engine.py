@@ -1,0 +1,50 @@
+"""A small cosine-similarity retrieval engine over global descriptors."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.search.descriptors import global_descriptor
+from repro.util.errors import ReproError
+
+
+class SearchEngine:
+    """Index images by id; rank by cosine similarity of descriptors."""
+
+    def __init__(self) -> None:
+        self._ids: List[str] = []
+        self._matrix: np.ndarray | None = None
+
+    def index(self, images: Dict[str, np.ndarray]) -> None:
+        """(Re)build the index from ``image_id -> pixel array``."""
+        if not images:
+            raise ReproError("cannot index an empty corpus")
+        self._ids = list(images)
+        descriptors = np.stack(
+            [global_descriptor(images[i]) for i in self._ids]
+        )
+        norms = np.linalg.norm(descriptors, axis=1, keepdims=True)
+        self._matrix = descriptors / np.maximum(norms, 1e-12)
+
+    @property
+    def size(self) -> int:
+        return len(self._ids)
+
+    def query(self, image: np.ndarray, top_k: int = 10) -> List[str]:
+        """The ids of the ``top_k`` most similar indexed images."""
+        if self._matrix is None:
+            raise ReproError("index before querying")
+        desc = global_descriptor(image)
+        desc = desc / max(np.linalg.norm(desc), 1e-12)
+        scores = self._matrix @ desc
+        order = np.argsort(-scores)[:top_k]
+        return [self._ids[i] for i in order]
+
+
+def top_k_overlap(results_a: Sequence[str], results_b: Sequence[str]) -> float:
+    """Fraction of shared entries between two top-k result lists (Fig. 2)."""
+    if not results_a:
+        return 0.0
+    return len(set(results_a) & set(results_b)) / len(results_a)

@@ -1,0 +1,50 @@
+"""PSP-side image transformations (Section II-B / IV-C of the paper).
+
+A Photo Sharing Platform may scale, crop, rotate, filter, overlay or
+recompress an uploaded image. PuPPIeS's claim is that a receiver can undo
+the perturbation *after* any of these, because each transformation ``T`` is
+linear (or affine) on sample planes: ``T(original + shadow) = T(original) +
+T_linear(shadow)``.
+
+Every transformation here is a :class:`~repro.transforms.pipeline.Transform`
+with two entry points: :meth:`apply` (what the PSP computes) and
+:meth:`apply_linear` (its homogeneous/linear part, what the receiver applies
+to the shadow ROI). For purely linear operations the two coincide; for the
+affine overlay they differ by the constant term.
+
+Transformations operate on *unclamped* float sample planes — the
+coefficient-faithful regime of lossless JPEG tooling (jpegtran-style
+DCT-domain scaling/cropping/rotation), which is the regime in which the
+paper demonstrates exact recovery (Figs. 10/16). Recompression is the one
+coefficient-domain transformation and is handled by
+:class:`~repro.transforms.compression.Recompress`.
+"""
+
+from repro.transforms.compression import Recompress
+from repro.transforms.cropping import Crop
+from repro.transforms.filtering import (
+    Filter,
+    box_kernel,
+    gaussian_kernel,
+    sharpen_kernel,
+)
+from repro.transforms.overlay import Overlay
+from repro.transforms.pipeline import Pipeline, Transform, transform_from_params
+from repro.transforms.rotation import Rotate, Rotate90
+from repro.transforms.scaling import Scale
+
+__all__ = [
+    "Crop",
+    "Filter",
+    "Overlay",
+    "Pipeline",
+    "Recompress",
+    "Rotate",
+    "Rotate90",
+    "Scale",
+    "Transform",
+    "box_kernel",
+    "gaussian_kernel",
+    "sharpen_kernel",
+    "transform_from_params",
+]

@@ -1,0 +1,75 @@
+"""Recompression — the coefficient-domain transformation (Sec. IV-C.2).
+
+JPEG recompression requantizes the stored coefficients onto a coarser
+table, shrinking the file without changing pixel dimensions. Unlike the
+sample-domain transforms it involves *rounding*, so it is only affine up to
++-1 quantization step; the paper handles it by shipping both quantization
+tables (T of the upload, T' of the recompressed copy) to the receiver.
+
+Because it acts on a :class:`CoefficientImage` rather than sample planes,
+``Recompress`` lives outside the :class:`Transform` sample-plane protocol
+and is applied via :meth:`apply_to_image`; the PSP model in
+:mod:`repro.core.psp` knows the difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jpeg import quantization as quantlib
+from repro.jpeg.coefficients import CoefficientImage
+from repro.util.errors import TransformError
+
+
+class Recompress:
+    """Requantize every channel at a (lower) JPEG quality."""
+
+    name = "recompress"
+
+    def __init__(self, quality: int) -> None:
+        if not 1 <= quality <= 100:
+            raise TransformError(f"quality must be in [1, 100], got {quality}")
+        self.quality = int(quality)
+
+    def new_tables(self, image: CoefficientImage):
+        """The recompression tables T' derived from the image's own T.
+
+        Following libjpeg convention, the base table shape is preserved and
+        rescaled to the new quality.
+        """
+        bases = [quantlib.standard_luminance_table()] + [
+            quantlib.standard_chrominance_table()
+        ] * (image.n_channels - 1)
+        return [
+            quantlib.quality_scaled_table(base, self.quality) for base in bases
+        ]
+
+    def apply_to_image(self, image: CoefficientImage) -> CoefficientImage:
+        """The PSP-side recompression: requantize all channels onto T'."""
+        new_tables = self.new_tables(image)
+        channels = [
+            quantlib.requantize(chan, old, new)
+            for chan, old, new in zip(
+                image.channels, image.quant_tables, new_tables
+            )
+        ]
+        return CoefficientImage(
+            channels,
+            [t.copy() for t in new_tables],
+            image.height,
+            image.width,
+            image.colorspace,
+        )
+
+    def requantize_raw(
+        self, raw_blocks: np.ndarray, new_table: np.ndarray
+    ) -> np.ndarray:
+        """Quantize raw (dequantized) coefficient blocks onto a new table."""
+        return quantlib.quantize(raw_blocks, new_table)
+
+    def to_params(self) -> dict:
+        return {"name": self.name, "quality": self.quality}
+
+    @classmethod
+    def from_params(cls, params: dict) -> "Recompress":
+        return cls(params["quality"])

@@ -1,0 +1,48 @@
+"""Cropping — selection of a rectangular window (trivially linear)."""
+
+from __future__ import annotations
+
+from repro.transforms.pipeline import Planes, Transform, register_transform
+from repro.util.errors import TransformError
+from repro.util.rect import Rect
+
+
+@register_transform
+class Crop(Transform):
+    """Keep the window ``rows [y, y+h) x cols [x, x+w)`` of every plane."""
+
+    name = "crop"
+
+    def __init__(self, y: int, x: int, h: int, w: int) -> None:
+        self.rect = Rect(y, x, h, w)
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "Crop":
+        return cls(rect.y, rect.x, rect.h, rect.w)
+
+    def apply(self, planes: Planes) -> Planes:
+        rect = self.rect
+        out = []
+        for plane in planes:
+            if rect.y2 > plane.shape[0] or rect.x2 > plane.shape[1]:
+                raise TransformError(
+                    f"crop {rect} exceeds plane shape {plane.shape}"
+                )
+            rows, cols = rect.slices()
+            out.append(plane[rows, cols].copy())
+        return out
+
+    def params(self) -> dict:
+        return {
+            "y": self.rect.y,
+            "x": self.rect.x,
+            "h": self.rect.h,
+            "w": self.rect.w,
+        }
+
+    @classmethod
+    def from_params(cls, params: dict) -> "Crop":
+        return cls(**params)
+
+    def output_shape(self, shape) -> tuple:
+        return (self.rect.h, self.rect.w)

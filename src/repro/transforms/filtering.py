@@ -1,0 +1,68 @@
+"""Frequency/spatial-domain filtering (blur, sharpen, custom kernels).
+
+Convolution is linear, so filtered perturbed images remain shadow-
+recoverable (paper Section IV-C.1, "frequency domain transformations such
+as filtering"). Borders use constant-zero padding to keep the operator
+strictly linear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.transforms.pipeline import Planes, Transform, register_transform
+from repro.util.errors import TransformError
+
+
+def box_kernel(size: int) -> np.ndarray:
+    """A normalized ``size x size`` mean-blur kernel."""
+    if size <= 0:
+        raise TransformError(f"kernel size must be positive, got {size}")
+    return np.full((size, size), 1.0 / (size * size), dtype=np.float64)
+
+
+def gaussian_kernel(sigma: float, radius: int | None = None) -> np.ndarray:
+    """A normalized 2-D Gaussian kernel."""
+    if sigma <= 0:
+        raise TransformError(f"sigma must be positive, got {sigma}")
+    if radius is None:
+        radius = max(1, int(round(3 * sigma)))
+    ax = np.arange(-radius, radius + 1, dtype=np.float64)
+    g1 = np.exp(-(ax**2) / (2 * sigma**2))
+    kernel = np.outer(g1, g1)
+    return kernel / kernel.sum()
+
+
+def sharpen_kernel(amount: float = 1.0) -> np.ndarray:
+    """Unsharp-style sharpening: identity + amount * Laplacian."""
+    lap = np.array([[0, -1, 0], [-1, 4, -1], [0, -1, 0]], dtype=np.float64)
+    kernel = lap * amount
+    kernel[1, 1] += 1.0
+    return kernel
+
+
+@register_transform
+class Filter(Transform):
+    """Convolve every plane with a fixed kernel (zero-padded borders)."""
+
+    name = "filter"
+
+    def __init__(self, kernel: np.ndarray) -> None:
+        kern = np.asarray(kernel, dtype=np.float64)
+        if kern.ndim != 2:
+            raise TransformError(f"kernel must be 2-D, got shape {kern.shape}")
+        self.kernel = kern
+
+    def apply(self, planes: Planes) -> Planes:
+        return [
+            ndimage.convolve(plane, self.kernel, mode="constant", cval=0.0)
+            for plane in planes
+        ]
+
+    def params(self) -> dict:
+        return {"kernel": self.kernel.tolist()}
+
+    @classmethod
+    def from_params(cls, params: dict) -> "Filter":
+        return cls(np.asarray(params["kernel"], dtype=np.float64))

@@ -1,0 +1,55 @@
+"""Overlapping / watermarking — an *affine* transformation.
+
+Alpha-blending a fixed overlay ``O`` onto an image ``I`` computes
+``(1 - alpha) * I + alpha * O``: linear part ``(1 - alpha) * I`` plus a
+constant. It is the one stock transformation whose :meth:`apply_linear`
+differs from :meth:`apply` — the receiver scales the shadow by
+``1 - alpha`` and does *not* add the overlay term (it is already present in
+the downloaded image).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transforms.pipeline import Planes, Transform, register_transform
+from repro.util.errors import TransformError
+
+
+@register_transform
+class Overlay(Transform):
+    """Alpha-blend fixed overlay planes onto the image planes."""
+
+    name = "overlay"
+
+    def __init__(self, overlay_planes, alpha: float) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise TransformError(f"alpha must be in [0, 1], got {alpha}")
+        self.overlay_planes = [
+            np.asarray(plane, dtype=np.float64) for plane in overlay_planes
+        ]
+        self.alpha = float(alpha)
+
+    def apply(self, planes: Planes) -> Planes:
+        if len(planes) != len(self.overlay_planes):
+            raise TransformError(
+                f"overlay has {len(self.overlay_planes)} planes, "
+                f"image has {len(planes)}"
+            )
+        return [
+            (1.0 - self.alpha) * plane + self.alpha * over
+            for plane, over in zip(planes, self.overlay_planes)
+        ]
+
+    def apply_linear(self, planes: Planes) -> Planes:
+        return [(1.0 - self.alpha) * plane for plane in planes]
+
+    def params(self) -> dict:
+        return {
+            "overlay_planes": [p.tolist() for p in self.overlay_planes],
+            "alpha": self.alpha,
+        }
+
+    @classmethod
+    def from_params(cls, params: dict) -> "Overlay":
+        return cls(params["overlay_planes"], params["alpha"])

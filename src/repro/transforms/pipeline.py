@@ -1,0 +1,122 @@
+"""Transformation protocol, registry and composition.
+
+The PSP publishes *which* transformation it applied as public data (paper
+Section III-C: "transformation type at PSP side" is part of the public
+parameters). :meth:`Transform.to_params` serializes a transformation to a
+plain dict for that channel and :func:`transform_from_params` rebuilds it at
+the receiver, which then replays it on the shadow ROI.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Sequence, Type
+
+import numpy as np
+
+from repro.util.errors import TransformError
+
+Planes = List[np.ndarray]
+
+_REGISTRY: Dict[str, Type["Transform"]] = {}
+
+
+def register_transform(cls: Type["Transform"]) -> Type["Transform"]:
+    """Class decorator adding a transform to the serialization registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+class Transform(ABC):
+    """A PSP-side transformation of an image's sample planes.
+
+    Subclasses set :attr:`name` and implement :meth:`apply` plus
+    :meth:`params`. ``apply`` must be affine in its input:
+    ``apply(x) = apply_linear(x) + c`` for a constant ``c`` — that identity
+    is what reconstruction relies on, and is property-tested in the suite.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def apply(self, planes: Planes) -> Planes:
+        """Transform the sample planes as the PSP would."""
+
+    def apply_linear(self, planes: Planes) -> Planes:
+        """The homogeneous (linear) part of the transformation.
+
+        The receiver applies this to the shadow ROI. Defaults to
+        :meth:`apply`, correct for every purely linear transformation.
+        """
+        return self.apply(planes)
+
+    @abstractmethod
+    def params(self) -> dict:
+        """JSON-safe parameters (not including the name)."""
+
+    def to_params(self) -> dict:
+        """Full serialized form: ``{"name": ..., **params}``."""
+        payload = dict(self.params())
+        payload["name"] = self.name
+        return payload
+
+    @classmethod
+    @abstractmethod
+    def from_params(cls, params: dict) -> "Transform":
+        """Rebuild from the dict produced by :meth:`params`."""
+
+    def output_shape(self, shape: Sequence[int]) -> tuple:
+        """Shape of an output plane given an input plane shape.
+
+        Default: shape-preserving; transforms that resize override this.
+        """
+        return tuple(shape)
+
+
+def transform_from_params(payload: dict) -> Transform:
+    """Deserialize a transformation from its public-data dict."""
+    name = payload.get("name")
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise TransformError(f"unknown transformation {name!r}")
+    params = {key: value for key, value in payload.items() if key != "name"}
+    return cls.from_params(params)
+
+
+@register_transform
+class Pipeline(Transform):
+    """A sequence of transformations applied left to right.
+
+    Composition of affine maps is affine, so a pipeline supports shadow
+    reconstruction whenever each stage does.
+    """
+
+    name = "pipeline"
+
+    def __init__(self, stages: Sequence[Transform]) -> None:
+        self.stages = list(stages)
+
+    def apply(self, planes: Planes) -> Planes:
+        for stage in self.stages:
+            planes = stage.apply(planes)
+        return planes
+
+    def apply_linear(self, planes: Planes) -> Planes:
+        for stage in self.stages:
+            planes = stage.apply_linear(planes)
+        return planes
+
+    def params(self) -> dict:
+        return {"stages": [stage.to_params() for stage in self.stages]}
+
+    @classmethod
+    def from_params(cls, params: dict) -> "Pipeline":
+        return cls(
+            [transform_from_params(stage) for stage in params["stages"]]
+        )
+
+    def output_shape(self, shape: Sequence[int]) -> tuple:
+        out = tuple(shape)
+        for stage in self.stages:
+            out = stage.output_shape(out)
+        return out

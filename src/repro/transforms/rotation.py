@@ -1,0 +1,95 @@
+"""Rotation: exact quarter-turns and arbitrary-angle bilinear rotation.
+
+Quarter-turn rotation is a pure permutation of samples (jpegtran performs
+it losslessly in the DCT domain); arbitrary angles inverse-map the output
+grid through the rotation and interpolate bilinearly, with zero fill
+outside the source — both are linear maps of the input samples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.transforms.pipeline import Planes, Transform, register_transform
+
+
+@register_transform
+class Rotate90(Transform):
+    """Rotate by a multiple of 90 degrees (counter-clockwise)."""
+
+    name = "rotate90"
+
+    def __init__(self, quarter_turns: int) -> None:
+        self.quarter_turns = int(quarter_turns) % 4
+
+    def apply(self, planes: Planes) -> Planes:
+        return [np.rot90(plane, self.quarter_turns).copy() for plane in planes]
+
+    def params(self) -> dict:
+        return {"quarter_turns": self.quarter_turns}
+
+    @classmethod
+    def from_params(cls, params: dict) -> "Rotate90":
+        return cls(**params)
+
+    def output_shape(self, shape) -> tuple:
+        if self.quarter_turns % 2:
+            return (shape[1], shape[0])
+        return tuple(shape)
+
+
+@register_transform
+class Rotate(Transform):
+    """Rotate by an arbitrary angle (degrees, counter-clockwise).
+
+    The output has the same shape as the input; samples mapping outside the
+    source are zero-filled. Zero fill (rather than edge fill) keeps the map
+    strictly linear, which reconstruction requires.
+    """
+
+    name = "rotate"
+
+    def __init__(self, degrees: float) -> None:
+        self.degrees = float(degrees)
+
+    def apply(self, planes: Planes) -> Planes:
+        out: List[np.ndarray] = []
+        theta = math.radians(self.degrees)
+        cos_t, sin_t = math.cos(theta), math.sin(theta)
+        for plane in planes:
+            h, w = plane.shape
+            cy, cx = (h - 1) / 2.0, (w - 1) / 2.0
+            ys, xs = np.mgrid[0:h, 0:w].astype(np.float64)
+            # Inverse mapping: rotate output coords by -theta around centre.
+            dy, dx = ys - cy, xs - cx
+            src_y = cos_t * dy + sin_t * dx + cy
+            src_x = -sin_t * dy + cos_t * dx + cx
+            valid = (
+                (src_y >= 0) & (src_y <= h - 1) & (src_x >= 0) & (src_x <= w - 1)
+            )
+            sy = np.clip(src_y, 0, h - 1)
+            sx = np.clip(src_x, 0, w - 1)
+            y0 = np.floor(sy).astype(np.int64)
+            x0 = np.floor(sx).astype(np.int64)
+            y1 = np.minimum(y0 + 1, h - 1)
+            x1 = np.minimum(x0 + 1, w - 1)
+            fy = sy - y0
+            fx = sx - x0
+            value = (
+                plane[y0, x0] * (1 - fy) * (1 - fx)
+                + plane[y0, x1] * (1 - fy) * fx
+                + plane[y1, x0] * fy * (1 - fx)
+                + plane[y1, x1] * fy * fx
+            )
+            out.append(np.where(valid, value, 0.0))
+        return out
+
+    def params(self) -> dict:
+        return {"degrees": self.degrees}
+
+    @classmethod
+    def from_params(cls, params: dict) -> "Rotate":
+        return cls(**params)

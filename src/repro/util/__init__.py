@@ -1,0 +1,38 @@
+"""Shared low-level utilities used by every other subpackage.
+
+The utilities here are deliberately dependency-light: bit-level I/O for the
+entropy coders, deterministic RNG construction, rectangle geometry for ROI
+handling, summary statistics for the benchmark tables, and the exception
+hierarchy for the whole library.
+"""
+
+from repro.util.bitio import BitReader, BitWriter
+from repro.util.errors import (
+    BitstreamError,
+    CodecError,
+    KeyMismatchError,
+    ReproError,
+    RoiError,
+    TransformError,
+)
+from repro.util.rect import Rect, merge_overlapping, split_into_disjoint
+from repro.util.rng import derive_rng, rng_from_key
+from repro.util.stats import SummaryStats, summarize
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "BitstreamError",
+    "CodecError",
+    "KeyMismatchError",
+    "Rect",
+    "ReproError",
+    "RoiError",
+    "SummaryStats",
+    "TransformError",
+    "derive_rng",
+    "merge_overlapping",
+    "rng_from_key",
+    "split_into_disjoint",
+    "summarize",
+]

@@ -1,0 +1,91 @@
+"""Bit-level I/O used by the Huffman entropy coders.
+
+``BitWriter`` packs most-significant-bit-first into a growing bytearray and
+``BitReader`` reads the stream back. JPEG's byte-stuffing (0xFF followed by
+0x00) is intentionally *not* implemented here — the codec in
+:mod:`repro.jpeg` owns framing, and our container has no marker ambiguity —
+but the bit order matches the JPEG specification so Annex-K Huffman tables
+decode exactly as they would in libjpeg.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import BitstreamError
+
+
+class BitWriter:
+    """Accumulates bits MSB-first and renders them as bytes."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._accumulator = 0
+        self._bit_count = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Append the ``count`` low bits of ``value``, MSB first."""
+        if count < 0:
+            raise BitstreamError(f"cannot write {count} bits")
+        if count == 0:
+            return
+        if value < 0 or value >> count:
+            raise BitstreamError(
+                f"value {value} does not fit in {count} bits"
+            )
+        self._accumulator = (self._accumulator << count) | value
+        self._bit_count += count
+        while self._bit_count >= 8:
+            self._bit_count -= 8
+            self._buffer.append((self._accumulator >> self._bit_count) & 0xFF)
+        self._accumulator &= (1 << self._bit_count) - 1
+
+    def write_bit(self, bit: int) -> None:
+        self.write_bits(bit & 1, 1)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return len(self._buffer) * 8 + self._bit_count
+
+    def getvalue(self) -> bytes:
+        """The stream padded to a byte boundary with 1-bits (JPEG style)."""
+        if self._bit_count == 0:
+            return bytes(self._buffer)
+        pad = 8 - self._bit_count
+        final = (self._accumulator << pad) | ((1 << pad) - 1)
+        return bytes(self._buffer) + bytes([final])
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._byte_pos = 0
+        self._bit_pos = 0
+
+    @property
+    def bits_consumed(self) -> int:
+        return self._byte_pos * 8 + self._bit_pos
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self.bits_consumed
+
+    def read_bit(self) -> int:
+        if self._byte_pos >= len(self._data):
+            raise BitstreamError("bitstream exhausted")
+        bit = (self._data[self._byte_pos] >> (7 - self._bit_pos)) & 1
+        self._bit_pos += 1
+        if self._bit_pos == 8:
+            self._bit_pos = 0
+            self._byte_pos += 1
+        return bit
+
+    def read_bits(self, count: int) -> int:
+        """Read ``count`` bits as an unsigned integer (MSB first)."""
+        if count < 0:
+            raise BitstreamError(f"cannot read {count} bits")
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.read_bit()
+        return value

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the PuPPIeS reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class CodecError(ReproError):
+    """The JPEG-style codec was asked to do something invalid.
+
+    Examples: encoding an image whose samples are out of range, or decoding
+    a coefficient stream that does not match its declared geometry.
+    """
+
+
+class BitstreamError(CodecError):
+    """A bitstream ended early or contained an undecodable Huffman prefix."""
+
+
+class RoiError(ReproError):
+    """A region of interest is malformed (empty, unaligned, out of bounds)."""
+
+
+class TransformError(ReproError):
+    """An image transformation was given invalid parameters."""
+
+
+class KeyMismatchError(ReproError):
+    """Reconstruction was attempted with the wrong private matrix or params."""

@@ -1,0 +1,63 @@
+"""Minimal lossless image file I/O (PPM/PGM), for examples and debugging.
+
+No PIL/OpenCV is available in this environment, so examples persist their
+visual outputs as binary PPM (colour) / PGM (grayscale) — viewable by
+practically every image tool.
+"""
+
+from __future__ import annotations
+
+import os
+import numpy as np
+
+from repro.util.errors import ReproError
+
+
+def write_image(path: str, image: np.ndarray) -> None:
+    """Write a uint8 image as binary PPM (H, W, 3) or PGM (H, W)."""
+    arr = np.asarray(image)
+    if arr.dtype != np.uint8:
+        arr = np.clip(np.rint(arr), 0, 255).astype(np.uint8)
+    if arr.ndim == 2:
+        magic, body = b"P5", arr.tobytes()
+    elif arr.ndim == 3 and arr.shape[2] == 3:
+        magic, body = b"P6", arr.tobytes()
+    else:
+        raise ReproError(f"unsupported image shape {arr.shape}")
+    header = b"%s\n%d %d\n255\n" % (magic, arr.shape[1], arr.shape[0])
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(header + body)
+
+
+def read_image(path: str) -> np.ndarray:
+    """Read a binary PPM/PGM file written by :func:`write_image`."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    fields: list[bytes] = []
+    pos = 0
+    while len(fields) < 4:
+        # Skip whitespace and comments between header fields.
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        if data[pos : pos + 1] == b"#":
+            while pos < len(data) and data[pos : pos + 1] != b"\n":
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos : pos + 1].isspace():
+            pos += 1
+        fields.append(data[start:pos])
+    magic, width, height = fields[0], int(fields[1]), int(fields[2])
+    maxval = int(fields[3])
+    if maxval != 255:
+        raise ReproError(f"only 8-bit PPM/PGM supported, got maxval {maxval}")
+    pos += 1  # single whitespace after maxval
+    body = np.frombuffer(data, dtype=np.uint8, offset=pos)
+    if magic == b"P5":
+        return body[: height * width].reshape(height, width).copy()
+    if magic == b"P6":
+        return (
+            body[: height * width * 3].reshape(height, width, 3).copy()
+        )
+    raise ReproError(f"unsupported magic {magic!r}")

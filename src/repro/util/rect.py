@@ -1,0 +1,213 @@
+"""Rectangle geometry for regions of interest.
+
+PuPPIeS marks privacy-sensitive regions as axis-aligned rectangles. The ROI
+recommendation pipeline (Section IV-A of the paper) merges the outputs of
+several detectors and then *splits the union into disjoint rectangles* so
+that each piece can be perturbed with its own private matrix. The geometry
+for that lives here; the coefficient-block alignment logic lives in
+:mod:`repro.core.roi`.
+
+Coordinates follow numpy convention: ``(y, x)`` with ``y`` down and ``x``
+right; a rectangle spans rows ``[y, y + h)`` and columns ``[x, x + w)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.util.errors import RoiError
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """A half-open axis-aligned rectangle ``rows [y, y+h) x cols [x, x+w)``."""
+
+    y: int
+    x: int
+    h: int
+    w: int
+
+    def __post_init__(self) -> None:
+        if self.h <= 0 or self.w <= 0:
+            raise RoiError(f"rectangle must have positive size, got {self}")
+
+    @property
+    def y2(self) -> int:
+        """One past the last row."""
+        return self.y + self.h
+
+    @property
+    def x2(self) -> int:
+        """One past the last column."""
+        return self.x + self.w
+
+    @property
+    def area(self) -> int:
+        return self.h * self.w
+
+    def contains_point(self, y: int, x: int) -> bool:
+        return self.y <= y < self.y2 and self.x <= x < self.x2
+
+    def contains(self, other: "Rect") -> bool:
+        return (
+            self.y <= other.y
+            and self.x <= other.x
+            and other.y2 <= self.y2
+            and other.x2 <= self.x2
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        return (
+            self.y < other.y2
+            and other.y < self.y2
+            and self.x < other.x2
+            and other.x < self.x2
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlapping rectangle, or ``None`` when disjoint."""
+        y = max(self.y, other.y)
+        x = max(self.x, other.x)
+        y2 = min(self.y2, other.y2)
+        x2 = min(self.x2, other.x2)
+        if y >= y2 or x >= x2:
+            return None
+        return Rect(y, x, y2 - y, x2 - x)
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        """The smallest rectangle covering both inputs."""
+        y = min(self.y, other.y)
+        x = min(self.x, other.x)
+        y2 = max(self.y2, other.y2)
+        x2 = max(self.x2, other.x2)
+        return Rect(y, x, y2 - y, x2 - x)
+
+    def translated(self, dy: int, dx: int) -> "Rect":
+        return Rect(self.y + dy, self.x + dx, self.h, self.w)
+
+    def scaled(self, factor_y: float, factor_x: float) -> "Rect":
+        """The rectangle after the whole image is scaled by the factors.
+
+        Used to track where a ROI lands after a PSP-side scaling
+        transformation. The result is snapped outward so it always covers
+        the scaled region.
+        """
+        import math
+
+        y = math.floor(self.y * factor_y)
+        x = math.floor(self.x * factor_x)
+        y2 = math.ceil(self.y2 * factor_y)
+        x2 = math.ceil(self.x2 * factor_x)
+        return Rect(y, x, max(1, y2 - y), max(1, x2 - x))
+
+    def clipped(self, height: int, width: int) -> Optional["Rect"]:
+        """The rectangle clipped to an image of ``height x width``."""
+        return self.intersection(Rect(0, 0, height, width))
+
+    def slices(self) -> Tuple[slice, slice]:
+        """Numpy slices selecting this rectangle from a 2-D array."""
+        return slice(self.y, self.y2), slice(self.x, self.x2)
+
+    def aligned_to(self, block: int) -> "Rect":
+        """The smallest ``block``-aligned rectangle covering this one."""
+        y = (self.y // block) * block
+        x = (self.x // block) * block
+        y2 = -(-self.y2 // block) * block
+        x2 = -(-self.x2 // block) * block
+        return Rect(y, x, y2 - y, x2 - x)
+
+    def is_aligned(self, block: int) -> bool:
+        return (
+            self.y % block == 0
+            and self.x % block == 0
+            and self.h % block == 0
+            and self.w % block == 0
+        )
+
+
+def _union_area(rects: Sequence[Rect]) -> int:
+    """Exact area of the union of rectangles (sweep over row strips)."""
+    if not rects:
+        return 0
+    ys = sorted({r.y for r in rects} | {r.y2 for r in rects})
+    total = 0
+    for y_lo, y_hi in zip(ys, ys[1:]):
+        spans = sorted(
+            (r.x, r.x2) for r in rects if r.y <= y_lo and r.y2 >= y_hi
+        )
+        covered = 0
+        reach = None
+        for x_lo, x_hi in spans:
+            if reach is None or x_lo > reach:
+                covered += x_hi - x_lo
+                reach = x_hi
+            elif x_hi > reach:
+                covered += x_hi - reach
+                reach = x_hi
+        total += covered * (y_hi - y_lo)
+    return total
+
+
+def split_into_disjoint(rects: Iterable[Rect]) -> List[Rect]:
+    """Split possibly-overlapping rectangles into disjoint rectangles.
+
+    This is the paper's region-splitting step (Section IV-A): detections
+    from the face / OCR / object detectors overlap, and the union must be
+    re-expressed as *disjoint* rectangles so each can be encrypted with its
+    own private matrix.
+
+    The implementation is a guillotine decomposition: the plane is cut along
+    every distinct y and x edge of the inputs, each covered grid cell is
+    kept, and maximal horizontal runs of cells in each row strip are merged
+    back into wider rectangles. The output rectangles are pairwise disjoint
+    and their union equals the union of the inputs.
+    """
+    rect_list = list(rects)
+    if not rect_list:
+        return []
+    ys = sorted({r.y for r in rect_list} | {r.y2 for r in rect_list})
+    xs = sorted({r.x for r in rect_list} | {r.x2 for r in rect_list})
+    out: List[Rect] = []
+    for y_lo, y_hi in zip(ys, ys[1:]):
+        run_start: Optional[int] = None
+        for x_lo, x_hi in zip(xs, xs[1:]):
+            covered = any(
+                r.y <= y_lo and r.y2 >= y_hi and r.x <= x_lo and r.x2 >= x_hi
+                for r in rect_list
+            )
+            if covered and run_start is None:
+                run_start = x_lo
+            elif not covered and run_start is not None:
+                out.append(Rect(y_lo, run_start, y_hi - y_lo, x_lo - run_start))
+                run_start = None
+        if run_start is not None:
+            out.append(Rect(y_lo, run_start, y_hi - y_lo, xs[-1] - run_start))
+    assert _union_area(out) == _union_area(rect_list)
+    return out
+
+
+def merge_overlapping(rects: Iterable[Rect]) -> List[Rect]:
+    """Merge overlapping rectangles into bounding boxes of their clusters.
+
+    Detections of the same object from different detectors usually overlap;
+    the recommendation UI shows one box per cluster. Transitive overlaps are
+    merged until a fixed point, so the result is a set of pairwise-disjoint
+    bounding boxes (which may cover some extra area, unlike
+    :func:`split_into_disjoint`).
+    """
+    pending = list(rects)
+    merged = True
+    while merged:
+        merged = False
+        out: List[Rect] = []
+        for rect in pending:
+            for i, existing in enumerate(out):
+                if existing.intersects(rect):
+                    out[i] = existing.union_bbox(rect)
+                    merged = True
+                    break
+            else:
+                out.append(rect)
+        pending = out
+    return sorted(pending)

@@ -1,0 +1,51 @@
+"""Summary statistics in the exact shape of the paper's tables.
+
+Table II and Table V report mean / median / std / min / max over a dataset;
+:func:`summarize` computes that tuple once so every bench prints identical
+columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number summary used throughout the evaluation tables."""
+
+    mean: float
+    median: float
+    std: float
+    min: float
+    max: float
+    count: int
+
+    def row(self, fmt: str = "{:.2f}") -> str:
+        """Render as a fixed-width table row (mean median std min max)."""
+        cells = [
+            fmt.format(self.mean),
+            fmt.format(self.median),
+            fmt.format(self.std),
+            fmt.format(self.min),
+            fmt.format(self.max),
+        ]
+        return "  ".join(f"{cell:>8}" for cell in cells)
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Compute the five-number summary the paper's tables report."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    return SummaryStats(
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        std=float(arr.std(ddof=0)),
+        min=float(arr.min()),
+        max=float(arr.max()),
+        count=int(arr.size),
+    )

@@ -1,0 +1,52 @@
+"""From-scratch computer-vision substrate.
+
+The paper's pipeline leans on OpenCV (Haar face detection, Canny, SIFT),
+Tesseract (OCR) and the CSU eigenfaces code (PCA recognition). This
+package reimplements the needed algorithms in numpy/scipy:
+
+* :mod:`repro.vision.gradients` — Sobel gradients, Gaussian smoothing;
+* :mod:`repro.vision.integral` — integral images and box sums;
+* :mod:`repro.vision.edges` — Canny edge detection with hysteresis;
+* :mod:`repro.vision.haar` — a Haar-contrast sliding-window face detector;
+* :mod:`repro.vision.ocr` — text-region detection + 5x7 template OCR;
+* :mod:`repro.vision.objectness` — generic object proposals (Alexe-style
+  "what is an object?" scoring: closed boundaries + centre-surround
+  contrast);
+* :mod:`repro.vision.sift` — DoG keypoints with 128-d descriptors and
+  ratio-test matching;
+* :mod:`repro.vision.eigenfaces` — PCA face recognition;
+* :mod:`repro.vision.metrics` — PSNR/SSIM/IoU/precision-recall.
+"""
+
+from repro.vision.edges import canny
+from repro.vision.eigenfaces import EigenfaceRecognizer
+from repro.vision.haar import detect_faces
+from repro.vision.metrics import (
+    box_iou,
+    detection_precision_recall,
+    edge_overlap_ratio,
+    mse,
+    psnr,
+    ssim,
+)
+from repro.vision.objectness import propose_objects
+from repro.vision.ocr import detect_text_regions, read_text
+from repro.vision.sift import SiftFeature, extract_sift, match_descriptors
+
+__all__ = [
+    "EigenfaceRecognizer",
+    "SiftFeature",
+    "box_iou",
+    "canny",
+    "detect_faces",
+    "detect_text_regions",
+    "detection_precision_recall",
+    "edge_overlap_ratio",
+    "extract_sift",
+    "match_descriptors",
+    "mse",
+    "propose_objects",
+    "psnr",
+    "read_text",
+    "ssim",
+]

@@ -1,0 +1,74 @@
+"""Canny edge detection (the Fig. 21 attack primitive).
+
+The classic four stages: Gaussian smoothing, Sobel gradients, non-maximum
+suppression along the gradient direction, and double-threshold hysteresis
+(weak edges survive only when connected to a strong edge).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.vision.gradients import (
+    gaussian_blur,
+    gradient_magnitude_orientation,
+    to_grayscale,
+)
+
+
+def _non_maximum_suppression(
+    magnitude: np.ndarray, orientation: np.ndarray
+) -> np.ndarray:
+    """Keep pixels that are local maxima along their gradient direction."""
+    h, w = magnitude.shape
+    # Quantize orientation into 4 directions: 0, 45, 90, 135 degrees.
+    angle = (np.rad2deg(orientation) + 180.0) % 180.0
+    sector = np.zeros_like(angle, dtype=np.int64)
+    sector[(angle >= 22.5) & (angle < 67.5)] = 1
+    sector[(angle >= 67.5) & (angle < 112.5)] = 2
+    sector[(angle >= 112.5) & (angle < 157.5)] = 3
+
+    padded = np.pad(magnitude, 1, mode="constant")
+    center = padded[1:-1, 1:-1]
+    neighbors = {
+        0: (padded[1:-1, :-2], padded[1:-1, 2:]),  # horizontal gradient
+        1: (padded[:-2, 2:], padded[2:, :-2]),  # 45 degrees
+        2: (padded[:-2, 1:-1], padded[2:, 1:-1]),  # vertical gradient
+        3: (padded[:-2, :-2], padded[2:, 2:]),  # 135 degrees
+    }
+    keep = np.zeros((h, w), dtype=bool)
+    for s, (n1, n2) in neighbors.items():
+        mask = sector == s
+        keep |= mask & (center >= n1) & (center >= n2)
+    return np.where(keep, magnitude, 0.0)
+
+
+def canny(
+    image: np.ndarray,
+    sigma: float = 1.4,
+    low_ratio: float = 0.1,
+    high_ratio: float = 0.25,
+) -> np.ndarray:
+    """Canny edge map of an image (bool array).
+
+    Thresholds are relative to the maximum suppressed gradient magnitude,
+    making the detector exposure-invariant — important because perturbed
+    regions have wildly different dynamic range than natural ones.
+    """
+    gray = to_grayscale(image)
+    smoothed = gaussian_blur(gray, sigma)
+    magnitude, orientation = gradient_magnitude_orientation(smoothed)
+    suppressed = _non_maximum_suppression(magnitude, orientation)
+    peak = suppressed.max()
+    if peak <= 0:
+        return np.zeros(gray.shape, dtype=bool)
+    strong = suppressed >= high_ratio * peak
+    weak = suppressed >= low_ratio * peak
+    # Hysteresis: keep weak components that touch a strong pixel.
+    labels, n_labels = ndimage.label(weak, structure=np.ones((3, 3)))
+    if n_labels == 0:
+        return strong
+    strong_labels = np.unique(labels[strong])
+    strong_labels = strong_labels[strong_labels > 0]
+    return np.isin(labels, strong_labels)

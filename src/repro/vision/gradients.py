@@ -1,0 +1,46 @@
+"""Image gradients and smoothing shared by the vision algorithms."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy import ndimage
+
+SOBEL_X = np.array(
+    [[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]], dtype=np.float64
+)
+SOBEL_Y = SOBEL_X.T
+
+
+def to_grayscale(image: np.ndarray) -> np.ndarray:
+    """Luma of an RGB or already-gray array, as float64."""
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim == 2:
+        return arr
+    if arr.ndim == 3 and arr.shape[2] == 3:
+        return arr @ np.array([0.299, 0.587, 0.114])
+    raise ValueError(f"unsupported image shape {arr.shape}")
+
+
+def gaussian_blur(plane: np.ndarray, sigma: float) -> np.ndarray:
+    """Gaussian smoothing (edge-replicated borders)."""
+    return ndimage.gaussian_filter(
+        np.asarray(plane, dtype=np.float64), sigma, mode="nearest"
+    )
+
+
+def sobel_gradients(plane: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(gy, gx) Sobel responses of a grayscale plane."""
+    arr = np.asarray(plane, dtype=np.float64)
+    gx = ndimage.convolve(arr, SOBEL_X, mode="nearest")
+    gy = ndimage.convolve(arr, SOBEL_Y, mode="nearest")
+    return gy, gx
+
+
+def gradient_magnitude_orientation(
+    plane: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gradient magnitude and orientation (radians, in [-pi, pi])."""
+    gy, gx = sobel_gradients(plane)
+    return np.hypot(gy, gx), np.arctan2(gy, gx)

@@ -1,0 +1,37 @@
+"""Integral images — O(1) box sums for the Haar detector."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def integral_image(plane: np.ndarray) -> np.ndarray:
+    """Summed-area table with a zero top row/left column.
+
+    ``ii[y, x]`` is the sum of ``plane[:y, :x]``, so any box sum is four
+    lookups (:func:`box_sum`).
+    """
+    arr = np.asarray(plane, dtype=np.float64)
+    ii = np.zeros((arr.shape[0] + 1, arr.shape[1] + 1), dtype=np.float64)
+    ii[1:, 1:] = arr.cumsum(axis=0).cumsum(axis=1)
+    return ii
+
+
+def box_sum(ii: np.ndarray, y: int, x: int, h: int, w: int) -> float:
+    """Sum of the box ``[y, y+h) x [x, x+w)`` from an integral image."""
+    return float(
+        ii[y + h, x + w] - ii[y, x + w] - ii[y + h, x] + ii[y, x]
+    )
+
+
+def box_sums(
+    ii: np.ndarray,
+    ys: np.ndarray,
+    xs: np.ndarray,
+    h: int,
+    w: int,
+) -> np.ndarray:
+    """Vectorized :func:`box_sum` over arrays of top-left corners."""
+    return (
+        ii[ys + h, xs + w] - ii[ys, xs + w] - ii[ys + h, xs] + ii[ys, xs]
+    )

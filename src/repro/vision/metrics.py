@@ -1,0 +1,112 @@
+"""Image and detection quality metrics used across the evaluation."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+from repro.util.rect import Rect
+
+
+def mse(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean squared error between two arrays of identical shape."""
+    x = np.asarray(a, dtype=np.float64)
+    y = np.asarray(b, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch {x.shape} vs {y.shape}")
+    return float(np.mean((x - y) ** 2))
+
+
+def psnr(a: np.ndarray, b: np.ndarray, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB (inf for identical inputs)."""
+    err = mse(a, b)
+    if err == 0:
+        return float("inf")
+    return float(10.0 * np.log10(peak * peak / err))
+
+
+def ssim(
+    a: np.ndarray,
+    b: np.ndarray,
+    peak: float = 255.0,
+    sigma: float = 1.5,
+) -> float:
+    """Mean structural similarity (Gaussian-windowed, standard constants)."""
+    x = np.asarray(a, dtype=np.float64)
+    y = np.asarray(b, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch {x.shape} vs {y.shape}")
+    if x.ndim == 3:
+        channels = [
+            ssim(x[..., c], y[..., c], peak, sigma)
+            for c in range(x.shape[2])
+        ]
+        return float(np.mean(channels))
+    c1 = (0.01 * peak) ** 2
+    c2 = (0.03 * peak) ** 2
+
+    def smooth(arr):
+        return ndimage.gaussian_filter(arr, sigma, mode="nearest")
+
+    mu_x = smooth(x)
+    mu_y = smooth(y)
+    var_x = smooth(x * x) - mu_x**2
+    var_y = smooth(y * y) - mu_y**2
+    cov = smooth(x * y) - mu_x * mu_y
+    num = (2 * mu_x * mu_y + c1) * (2 * cov + c2)
+    den = (mu_x**2 + mu_y**2 + c1) * (var_x + var_y + c2)
+    return float(np.mean(num / den))
+
+
+def box_iou(a: Rect, b: Rect) -> float:
+    """Intersection-over-union of two rectangles."""
+    inter = a.intersection(b)
+    if inter is None:
+        return 0.0
+    union = a.area + b.area - inter.area
+    return inter.area / union if union else 0.0
+
+
+def detection_precision_recall(
+    detections: Sequence[Rect],
+    ground_truth: Sequence[Rect],
+    iou_threshold: float = 0.3,
+) -> Tuple[float, float, int]:
+    """Greedy matching of detections to ground truth.
+
+    Returns ``(precision, recall, true_positives)``. Each ground-truth box
+    matches at most one detection. An empty ground truth yields precision
+    over detections and recall 1.
+    """
+    unmatched = list(ground_truth)
+    true_positives = 0
+    for det in detections:
+        best_iou = 0.0
+        best_idx = -1
+        for idx, gt in enumerate(unmatched):
+            value = box_iou(det, gt)
+            if value > best_iou:
+                best_iou = value
+                best_idx = idx
+        if best_idx >= 0 and best_iou >= iou_threshold:
+            unmatched.pop(best_idx)
+            true_positives += 1
+    precision = true_positives / len(detections) if detections else 1.0
+    recall = true_positives / len(ground_truth) if ground_truth else 1.0
+    return precision, recall, true_positives
+
+
+def edge_overlap_ratio(edges_a: np.ndarray, edges_b: np.ndarray) -> float:
+    """Fraction of edge pixels in ``a`` that are also edges in ``b``.
+
+    Used by the Fig. 21 attack metric: how much of the original's edge
+    structure survives into the perturbed image.
+    """
+    a = np.asarray(edges_a, dtype=bool)
+    b = np.asarray(edges_b, dtype=bool)
+    total = int(a.sum())
+    if total == 0:
+        return 0.0
+    return float((a & b).sum() / total)

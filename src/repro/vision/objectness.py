@@ -1,0 +1,135 @@
+"""Generic object proposals — the "What is an object?" stand-in.
+
+The paper's ROI recommendation engine runs a general object detector [35]
+(Alexe et al.'s objectness) alongside face detection and OCR. We score
+multi-scale sliding windows with the two cues that work without training:
+
+* **centre-surround colour contrast** — an object's colour histogram
+  differs from the ring around it;
+* **boundary tightness** — edges concentrate inside the window and along
+  its border rather than crossing it.
+
+The top-N windows after non-maximum suppression are the proposals
+(the paper also keeps top-N general objects per image).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.util.rect import Rect
+from repro.vision.edges import canny
+from repro.vision.integral import integral_image
+
+
+@dataclass(frozen=True)
+class Proposal:
+    rect: Rect
+    score: float
+
+
+def _color_histogram(pixels: np.ndarray, bins: int = 4) -> np.ndarray:
+    """A joint RGB histogram (bins^3) normalized to sum 1."""
+    if pixels.size == 0:
+        return np.zeros(bins**3)
+    quantized = np.clip(pixels // (256 // bins), 0, bins - 1).astype(np.int64)
+    codes = (
+        quantized[:, 0] * bins * bins + quantized[:, 1] * bins + quantized[:, 2]
+    )
+    hist = np.bincount(codes, minlength=bins**3).astype(np.float64)
+    total = hist.sum()
+    return hist / total if total else hist
+
+
+def _chi_square(a: np.ndarray, b: np.ndarray) -> float:
+    denom = a + b
+    mask = denom > 0
+    return float(0.5 * np.sum((a[mask] - b[mask]) ** 2 / denom[mask]))
+
+
+def _window_grid(
+    height: int, width: int
+) -> List[Tuple[int, int, int, int]]:
+    """Candidate windows over scales and aspect ratios."""
+    windows = []
+    for frac in (0.2, 0.3, 0.45, 0.6):
+        for aspect in (0.6, 1.0, 1.6):
+            wh = int(height * frac)
+            ww = int(height * frac * aspect)
+            if wh < 8 or ww < 8 or wh > height or ww > width:
+                continue
+            stride_y = max(4, wh // 3)
+            stride_x = max(4, ww // 3)
+            for y in range(0, height - wh + 1, stride_y):
+                for x in range(0, width - ww + 1, stride_x):
+                    windows.append((y, x, wh, ww))
+    return windows
+
+
+def propose_objects(
+    image: np.ndarray,
+    top_n: int = 5,
+    min_score: float = 0.25,
+) -> List[Rect]:
+    """Top-N class-agnostic object proposals for an RGB image."""
+    arr = np.asarray(image)
+    height, width = arr.shape[:2]
+    edges = canny(arr)
+    edge_ii = integral_image(edges.astype(np.float64))
+
+    proposals: List[Proposal] = []
+    for y, x, wh, ww in _window_grid(height, width):
+        inner = arr[y : y + wh, x : x + ww].reshape(-1, 3)
+        ring_y0 = max(0, y - wh // 3)
+        ring_x0 = max(0, x - ww // 3)
+        ring_y1 = min(height, y + wh + wh // 3)
+        ring_x1 = min(width, x + ww + ww // 3)
+        ring = arr[ring_y0:ring_y1, ring_x0:ring_x1].reshape(-1, 3)
+        # Remove a crude estimate of the inner mass from the ring by
+        # histogram subtraction.
+        hist_in = _color_histogram(inner)
+        hist_ring = _color_histogram(ring)
+        contrast = _chi_square(hist_in, hist_ring)
+
+        area = wh * ww
+        inside = (
+            edge_ii[y + wh, x + ww]
+            - edge_ii[y, x + ww]
+            - edge_ii[y + wh, x]
+            + edge_ii[y, x]
+        )
+        ring_area = (ring_y1 - ring_y0) * (ring_x1 - ring_x0) - area
+        outside = (
+            edge_ii[ring_y1, ring_x1]
+            - edge_ii[ring_y0, ring_x1]
+            - edge_ii[ring_y1, ring_x0]
+            + edge_ii[ring_y0, ring_x0]
+        ) - inside
+        density_in = inside / max(area, 1)
+        density_out = outside / max(ring_area, 1)
+        tightness = density_in - density_out
+
+        # Mild size prior: a proposal engine that returns only tiny
+        # high-contrast patches (building windows, glyphs) is useless for
+        # ROI recommendation, so larger windows get a modest boost.
+        size_prior = 0.4 + 2.0 * np.sqrt(area / (height * width))
+        score = (contrast + 2.0 * max(0.0, tightness)) * size_prior
+        if score >= min_score:
+            proposals.append(Proposal(Rect(y, x, wh, ww), score))
+
+    def overlap(a: Rect, b: Rect) -> float:
+        inter = a.intersection(b)
+        if inter is None:
+            return 0.0
+        return inter.area / min(a.area, b.area)
+
+    kept: List[Proposal] = []
+    for prop in sorted(proposals, key=lambda p: -p.score):
+        if all(overlap(prop.rect, k.rect) < 0.5 for k in kept):
+            kept.append(prop)
+        if len(kept) >= top_n:
+            break
+    return [p.rect for p in kept]

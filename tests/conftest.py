@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset, load_image
+from repro.jpeg.coefficients import CoefficientImage
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20160628)  # DSN'16 conference date
+
+
+@pytest.fixture(scope="session")
+def noise_rgb() -> np.ndarray:
+    """A random RGB image (worst case for compression, rich coefficients)."""
+    gen = np.random.default_rng(7)
+    return gen.integers(0, 256, (64, 80, 3), dtype=np.uint8)
+
+
+@pytest.fixture(scope="session")
+def smooth_rgb() -> np.ndarray:
+    """A smooth natural-ish gradient image (best case for compression)."""
+    y, x = np.mgrid[0:72, 0:96]
+    return np.stack(
+        [
+            np.sin(x / 17.0) * 60 + 120,
+            y * 0.6 + 50,
+            np.cos(y / 23.0) * 40 + 110,
+        ],
+        axis=-1,
+    ).astype(np.uint8)
+
+
+@pytest.fixture(scope="session")
+def unaligned_rgb() -> np.ndarray:
+    """An image whose dimensions are not multiples of 8 (padding paths)."""
+    gen = np.random.default_rng(13)
+    return gen.integers(0, 256, (50, 71, 3), dtype=np.uint8)
+
+
+@pytest.fixture(scope="session")
+def noise_image(noise_rgb) -> CoefficientImage:
+    return CoefficientImage.from_array(noise_rgb, quality=75)
+
+
+@pytest.fixture(scope="session")
+def smooth_image(smooth_rgb) -> CoefficientImage:
+    return CoefficientImage.from_array(smooth_rgb, quality=75)
+
+
+@pytest.fixture(scope="session")
+def pascal_image():
+    """A deterministic PASCAL-style street scene with annotations."""
+    return load_image("pascal", 0)
+
+
+@pytest.fixture(scope="session")
+def pascal_document():
+    """A deterministic PASCAL-style document scan (index 3 is a document)."""
+    return load_image("pascal", 3)
+
+
+@pytest.fixture(scope="session")
+def caltech_images():
+    """A small slice of the Caltech-style portrait corpus."""
+    return load_dataset("caltech", n_images=6)
+
+
+@pytest.fixture(scope="session")
+def feret_images():
+    """A slice of the FERET-style mugshot corpus (labelled identities)."""
+    return load_dataset("feret", n_images=45)

@@ -1,0 +1,198 @@
+"""Attack-suite tests: each attack must work on originals and fail on
+PuPPIeS-perturbed images — the paper's Section VI claims."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    analyze_brute_force,
+    demo_exhaustive_search,
+    edge_attack,
+    matrix_inference_attack,
+    pca_reconstruction_attack,
+    simulated_observer_study,
+    sift_attack,
+    spiral_interpolation_attack,
+)
+from repro.attacks.bruteforce import NIST_REFERENCE_BITS
+from repro.attacks.edge_attack import matched_pixel_cdf
+from repro.attacks.observer import judge_recovery
+from repro.core.keys import generate_private_key
+from repro.core.matrices import PrivateKey
+from repro.core.perturb import perturb_regions
+from repro.core.policy import PrivacyLevel, PrivacySettings
+from repro.core.roi import RegionOfInterest
+from repro.datasets import load_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.util.rect import Rect
+from repro.vision.metrics import psnr
+
+
+@pytest.fixture(scope="module")
+def protected_scene():
+    """A street scene with its whole grid perturbed (worst case for us)."""
+    source = load_image("pascal", 0)
+    image = CoefficientImage.from_array(source.array, quality=75)
+    by, bx = image.blocks_shape
+    roi = RegionOfInterest(
+        "whole",
+        Rect(0, 0, by * 8, bx * 8),
+        PrivacySettings.for_level(PrivacyLevel.MEDIUM),
+    )
+    key = generate_private_key(roi.matrix_id, "owner")
+    perturbed, public = perturb_regions(image, [roi], {roi.matrix_id: key})
+    return source, image, perturbed, public, key
+
+
+class TestBruteForce:
+    def test_levels_analysis(self):
+        low = analyze_brute_force(PrivacySettings.for_level(PrivacyLevel.LOW))
+        med = analyze_brute_force(
+            PrivacySettings.for_level(PrivacyLevel.MEDIUM)
+        )
+        high = analyze_brute_force(
+            PrivacySettings.for_level(PrivacyLevel.HIGH)
+        )
+        assert low.dc_bits == med.dc_bits == high.dc_bits == 704
+        assert low.total_bits < med.total_bits < high.total_bits
+        for analysis in (low, med, high):
+            assert analysis.total_bits >= NIST_REFERENCE_BITS
+            # Practically unsearchable: more than 10^100 years at 1 THz.
+            assert analysis.years_at_terahash > 1e100
+
+    def test_demo_search_finds_toy_key(self):
+        # 6-bit keyspace: exhaustive search succeeds, demonstrating the
+        # attack model is real — only the exponent defeats it.
+        source = load_image("pascal", 1)
+        image = CoefficientImage.from_array(source.array, quality=75)
+        roi = RegionOfInterest(
+            "r", Rect(8, 8, 24, 24), PrivacySettings.for_level(PrivacyLevel.MEDIUM)
+        )
+        true_seed = 37
+        key = PrivateKey.from_seed_material(
+            roi.matrix_id, f"demo-keyspace/{true_seed}"
+        )
+        perturbed, public = perturb_regions(
+            image, [roi], {roi.matrix_id: key}
+        )
+        found = demo_exhaustive_search(
+            perturbed, public, key, keyspace_bits=6
+        )
+        assert found == true_seed
+
+
+class TestSiftAttack:
+    def test_original_matches_itself(self, protected_scene):
+        source, *_ = protected_scene
+        result = sift_attack(source.array, source.array)
+        assert result.n_matched == result.n_original > 0
+
+    def test_perturbed_matches_almost_nothing(self, protected_scene):
+        source, _image, perturbed, _public, _key = protected_scene
+        result = sift_attack(source.array, perturbed.to_array())
+        assert result.n_matched <= 0.15 * max(result.n_original, 1)
+
+
+class TestEdgeAttack:
+    def test_original_edges_self_consistent(self, protected_scene):
+        source, *_ = protected_scene
+        result = edge_attack(source.array, source.array)
+        assert result.survival_ratio == 1.0
+
+    def test_perturbed_edges_mostly_destroyed(self, protected_scene):
+        source, _image, perturbed, _public, _key = protected_scene
+        result = edge_attack(source.array, perturbed.to_array())
+        assert result.normalized_matched < 0.05  # the Fig. 21 bound
+
+    def test_cdf_shape(self, protected_scene):
+        source, _image, perturbed, _public, _key = protected_scene
+        grid, cdf, results = matched_pixel_cdf(
+            [(source.array, perturbed.to_array())]
+        )
+        assert len(grid) == len(cdf)
+        assert cdf[-1] == 1.0
+        assert (np.diff(cdf) >= 0).all()
+
+
+class TestCorrelationAttacks:
+    def test_matrix_inference_fails(self, protected_scene):
+        _source, image, perturbed, public, _key = protected_scene
+        recovered = matrix_inference_attack(perturbed, public)
+        assert psnr(recovered.to_float_array(), image.to_float_array()) < 15
+
+    def test_spiral_interpolation_fails_on_interior_content(self):
+        source = load_image("pascal", 0)
+        image = CoefficientImage.from_array(source.array, quality=75)
+        roi_rect = Rect(24, 40, 32, 48)
+        roi = RegionOfInterest(
+            "r", roi_rect, PrivacySettings.for_level(PrivacyLevel.MEDIUM)
+        )
+        key = generate_private_key(roi.matrix_id, "o")
+        perturbed, _public = perturb_regions(
+            image, [roi], {roi.matrix_id: key}
+        )
+        filled = spiral_interpolation_attack(
+            perturbed.to_array().astype(float), roi_rect
+        )
+        rows, cols = roi_rect.slices()
+        truth = image.to_float_array()[rows, cols]
+        guess = filled[rows, cols]
+        # Interpolation produces a smooth blur, not the car underneath.
+        assert psnr(guess, truth) < 20
+
+    def test_spiral_fills_every_pixel(self):
+        pixels = np.zeros((40, 40))
+        pixels[:10] = 100.0
+        out = spiral_interpolation_attack(pixels, Rect(15, 15, 10, 10))
+        assert np.isfinite(out).all()
+
+    def test_pca_reconstruction_fails(self, protected_scene):
+        source = load_image("pascal", 0)
+        image = CoefficientImage.from_array(source.array, quality=75)
+        roi_rect = Rect(24, 40, 32, 48)
+        roi = RegionOfInterest(
+            "r", roi_rect, PrivacySettings.for_level(PrivacyLevel.MEDIUM)
+        )
+        key = generate_private_key(roi.matrix_id, "o")
+        perturbed, _public = perturb_regions(
+            image, [roi], {roi.matrix_id: key}
+        )
+        recovered = pca_reconstruction_attack(
+            perturbed.to_array().astype(float), roi_rect
+        )
+        rows, cols = roi_rect.slices()
+        truth = image.to_float_array()[rows, cols].mean(axis=2)
+        guess = recovered[rows, cols].mean(axis=2)
+        assert psnr(guess, truth) < 20
+
+
+class TestObserverStudy:
+    def test_original_is_describable(self, protected_scene):
+        source, *_ = protected_scene
+        roi = Rect(10, 10, 40, 60)
+        verdict = judge_recovery(source.array, source.array, roi)
+        assert verdict.describable
+
+    def test_random_noise_is_not_describable(self, protected_scene, rng):
+        source, *_ = protected_scene
+        noise = rng.integers(0, 256, source.array.shape).astype(np.uint8)
+        verdict = judge_recovery(source.array, noise, Rect(10, 10, 40, 60))
+        assert not verdict.describable
+
+    def test_study_over_recovered_images(self, protected_scene):
+        source, image, perturbed, public, _key = protected_scene
+        roi = Rect(16, 16, 40, 56)
+        cases = []
+        arr = perturbed.to_array().astype(float)
+        cases.append(
+            (source.array, matrix_inference_attack(perturbed, public).to_array(), roi)
+        )
+        cases.append(
+            (source.array, spiral_interpolation_attack(arr, roi), roi)
+        )
+        cases.append(
+            (source.array, pca_reconstruction_attack(arr, roi), roi)
+        )
+        fraction, verdicts = simulated_observer_study(cases)
+        assert fraction == 0.0  # the paper: none of 53 MTurkers succeeded
+        assert len(verdicts) == 3

@@ -1,0 +1,96 @@
+"""Privacy must hold for *transformed* downloads too.
+
+The PSP (or any keyless downloader) can request scaled/rotated copies; if
+a transformation leaked protected content, Scenario 2 would be a privacy
+hole rather than a feature. These tests run the inference attacks against
+transformed perturbed images.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import sift_attack
+from repro.core.keys import generate_private_key
+from repro.core.perturb import perturb_regions
+from repro.core.policy import PrivacyLevel, PrivacySettings
+from repro.core.roi import RegionOfInterest
+from repro.datasets import load_image
+from repro.jpeg import color as colorlib
+from repro.jpeg.coefficients import CoefficientImage
+from repro.transforms import Rotate90, Scale
+from repro.util.rect import Rect
+from repro.vision import detect_faces
+from repro.vision.metrics import detection_precision_recall, psnr
+
+
+def _planes_to_rgb(planes):
+    ycc = np.stack(planes, axis=-1)
+    return colorlib.to_uint8(colorlib.ycbcr_to_rgb(ycc))
+
+
+@pytest.fixture(scope="module")
+def protected_portrait():
+    source = load_image("caltech", 0)
+    image = CoefficientImage.from_array(source.array, quality=75)
+    by, bx = image.blocks_shape
+    roi = RegionOfInterest(
+        "whole",
+        Rect(0, 0, by * 8, bx * 8),
+        PrivacySettings.for_level(PrivacyLevel.MEDIUM),
+    )
+    key = generate_private_key(roi.matrix_id, "transformed-victim")
+    perturbed, public = perturb_regions(image, [roi], {roi.matrix_id: key})
+    return source, image, perturbed, public, key
+
+
+class TestTransformedDownloadsStayPrivate:
+    @pytest.mark.parametrize(
+        "transform", [Scale(74, 112), Rotate90(1)],
+        ids=["downscale", "rotate"],
+    )
+    def test_faces_not_detectable_after_transform(
+        self, protected_portrait, transform
+    ):
+        source, _image, perturbed, _public, _key = protected_portrait
+        transformed = transform.apply(perturbed.to_sample_planes())
+        pixels = _planes_to_rgb(transformed)
+        # Ground-truth boxes mapped through the transformation.
+        if isinstance(transform, Scale):
+            fy = transform.out_height / source.array.shape[0]
+            fx = transform.out_width / source.array.shape[1]
+            truth = [box.scaled(fy, fx) for box in source.faces]
+        else:
+            h, w = source.array.shape[:2]
+            truth = [
+                Rect(w - box.x2, box.y, box.w, box.h)
+                for box in source.faces
+            ]
+        _, _, detected = detection_precision_recall(
+            detect_faces(pixels), truth
+        )
+        assert detected == 0
+
+    def test_sift_attack_on_scaled_download(self, protected_portrait):
+        source, image, perturbed, _public, _key = protected_portrait
+        transform = Scale(74, 112)
+        scaled_original = _planes_to_rgb(
+            transform.apply(image.to_sample_planes())
+        )
+        scaled_perturbed = _planes_to_rgb(
+            transform.apply(perturbed.to_sample_planes())
+        )
+        result = sift_attack(scaled_original, scaled_perturbed)
+        assert result.n_matched <= 0.15 * max(result.n_original, 1)
+
+    def test_scaling_does_not_average_out_perturbation(
+        self, protected_portrait
+    ):
+        """Heavy downscaling averages the perturbation noise — does the
+        content re-emerge? The DC component of the perturbation survives
+        averaging (it is a bias, not zero-mean noise per block), so no."""
+        source, image, perturbed, _public, _key = protected_portrait
+        transform = Scale(37, 56)  # 4x downscale
+        truth = transform.apply(image.to_sample_planes())
+        scrambled = transform.apply(perturbed.to_sample_planes())
+        quality = min(psnr(t, s) for t, s in zip(truth, scrambled))
+        assert quality < 15

@@ -1,0 +1,229 @@
+"""Baseline scheme tests: exact round trips and transformation behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    P3,
+    CoefficientPermutation,
+    Cryptagram,
+    DictionaryEncryption,
+    LsbSteganography,
+    MultipleHuffmanTables,
+    QuantTableEncryption,
+    SignFlip,
+    UnsupportedTransform,
+)
+from repro.baselines.registry import make_all_baselines, roundtrip_exact
+from repro.datasets import load_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.transforms import Crop, Recompress, Rotate90, Scale
+from repro.vision.metrics import psnr
+
+PARSEABLE = (
+    QuantTableEncryption,
+    DictionaryEncryption,
+    CoefficientPermutation,
+    SignFlip,
+)
+
+
+@pytest.fixture(scope="module")
+def street_image():
+    return CoefficientImage.from_array(
+        load_image("pascal", 0).array, quality=75
+    )
+
+
+@pytest.fixture(scope="module")
+def brng():
+    return np.random.default_rng(11)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "scheme_cls",
+        [
+            Cryptagram,
+            MultipleHuffmanTables,
+            QuantTableEncryption,
+            DictionaryEncryption,
+            CoefficientPermutation,
+            SignFlip,
+        ],
+        ids=lambda c: c.name,
+    )
+    def test_exact_roundtrip(self, street_image, brng, scheme_cls):
+        assert roundtrip_exact(scheme_cls(), street_image, brng)
+
+    def test_stego_roundtrip_restores_region_exactly(
+        self, street_image, brng
+    ):
+        scheme = LsbSteganography()
+        encrypted = scheme.encrypt(street_image, brng)
+        decrypted = scheme.decrypt(encrypted)
+        region = encrypted.secret.region
+        for dec, orig in zip(decrypted.channels, street_image.channels):
+            assert np.array_equal(
+                dec[region.y : region.y2, region.x : region.x2],
+                orig[region.y : region.y2, region.x : region.x2],
+            )
+        # The cover carries LSB noise but stays visually faithful.
+        assert (
+            psnr(decrypted.to_float_array(), street_image.to_float_array())
+            > 30
+        )
+
+    def test_all_baselines_factory(self):
+        names = {s.name for s in make_all_baselines()}
+        assert names == {
+            "cryptagram",
+            "mht",
+            "quant-encrypt",
+            "dict-encrypt",
+            "coeff-permute",
+            "sign-flip",
+            "steganography",
+        }
+
+
+class TestStoredArtifactsAreScrambled:
+    @pytest.mark.parametrize("scheme_cls", PARSEABLE, ids=lambda c: c.name)
+    def test_stored_differs_visibly(self, street_image, brng, scheme_cls):
+        encrypted = scheme_cls().encrypt(street_image, brng)
+        stored_pixels = encrypted.stored.to_float_array()
+        original_pixels = street_image.to_float_array()
+        assert psnr(stored_pixels, original_pixels) < 22
+
+
+class TestTransformCompatibility:
+    @pytest.mark.parametrize("scheme_cls", PARSEABLE, ids=lambda c: c.name)
+    @pytest.mark.parametrize("turns", [1, 2, 3])
+    def test_rotation_recovery_exact(
+        self, street_image, brng, scheme_cls, turns
+    ):
+        scheme = scheme_cls()
+        encrypted = scheme.encrypt(street_image, brng)
+        transform = Rotate90(turns)
+        planes = transform.apply(encrypted.stored.to_padded_sample_planes())
+        recovered = scheme.recover_transformed(planes, transform, encrypted)
+        truth = transform.apply(street_image.to_padded_sample_planes())
+        for r, t in zip(recovered, truth):
+            assert np.allclose(r, t, atol=1e-6)
+
+    @pytest.mark.parametrize("scheme_cls", PARSEABLE, ids=lambda c: c.name)
+    def test_aligned_crop_recovery_exact(
+        self, street_image, brng, scheme_cls
+    ):
+        scheme = scheme_cls()
+        encrypted = scheme.encrypt(street_image, brng)
+        transform = Crop(8, 16, 48, 64)
+        planes = transform.apply(encrypted.stored.to_padded_sample_planes())
+        recovered = scheme.recover_transformed(planes, transform, encrypted)
+        truth = transform.apply(street_image.to_padded_sample_planes())
+        for r, t in zip(recovered, truth):
+            assert np.allclose(r, t, atol=1e-6)
+
+    @pytest.mark.parametrize("scheme_cls", PARSEABLE, ids=lambda c: c.name)
+    def test_scaling_unsupported(self, street_image, brng, scheme_cls):
+        scheme = scheme_cls()
+        encrypted = scheme.encrypt(street_image, brng)
+        transform = Scale(40, 60)
+        planes = transform.apply(encrypted.stored.to_padded_sample_planes())
+        with pytest.raises(UnsupportedTransform):
+            scheme.recover_transformed(planes, transform, encrypted)
+
+    def test_unaligned_crop_unsupported(self, street_image, brng):
+        scheme = SignFlip()
+        encrypted = scheme.encrypt(street_image, brng)
+        transform = Crop(3, 5, 20, 20)
+        planes = transform.apply(encrypted.stored.to_padded_sample_planes())
+        with pytest.raises(UnsupportedTransform):
+            scheme.recover_transformed(planes, transform, encrypted)
+
+    def test_mht_unparseable_no_transform(self, street_image, brng):
+        scheme = MultipleHuffmanTables()
+        encrypted = scheme.encrypt(street_image, brng)
+        assert not scheme.psp_can_parse()
+        with pytest.raises(UnsupportedTransform):
+            scheme.recover_transformed([], Rotate90(1), encrypted)
+
+    def test_signflip_recompression_exact(self, street_image, brng):
+        scheme = SignFlip()
+        encrypted = scheme.encrypt(street_image, brng)
+        recompress = Recompress(45)
+        recompressed = recompress.apply_to_image(encrypted.stored)
+        recovered = scheme.recover_recompressed(recompressed, encrypted)
+        truth = recompress.apply_to_image(street_image)
+        assert recovered.coefficients_equal(truth)
+
+    def test_permute_recompression_lossy(self, street_image, brng):
+        scheme = CoefficientPermutation()
+        encrypted = scheme.encrypt(street_image, brng)
+        recompress = Recompress(45)
+        recompressed = recompress.apply_to_image(encrypted.stored)
+        recovered = scheme.recover_recompressed(recompressed, encrypted)
+        truth = recompress.apply_to_image(street_image)
+        assert not recovered.coefficients_equal(truth)
+
+
+class TestP3:
+    @pytest.fixture(scope="class")
+    def split(self, street_image):
+        return P3().split(street_image)
+
+    def test_untransformed_recovery_exact(self, street_image, split):
+        assert P3().recover(split).coefficients_equal(street_image)
+
+    def test_public_part_is_clipped(self, split):
+        t = split.threshold
+        for chan in split.public.channels:
+            assert np.abs(chan).max() <= t
+            assert (chan[..., 0, 0] == 0).all()  # DC removed
+
+    def test_private_ac_is_unsigned(self, split):
+        for chan in split.private.channels:
+            ac = chan.copy()
+            ac[..., 0, 0] = 0
+            assert ac.min() >= 0
+
+    def test_public_smaller_than_private_plus_public(
+        self, street_image, split
+    ):
+        from repro.jpeg.filesize import encoded_size_bytes
+
+        original = encoded_size_bytes(street_image, optimize=True)
+        assert split.public_size_bytes() < original
+
+    def test_whole_image_protection_hides_content(
+        self, street_image, split
+    ):
+        assert (
+            psnr(
+                split.public.to_float_array(),
+                street_image.to_float_array(),
+            )
+            < 20
+        )
+
+    def test_scaled_recovery_is_lossy(self, street_image, split):
+        # The Fig. 4 phenomenon: P3 loses fine detail after PSP scaling.
+        transform = Scale(48, 72)
+        public_t = transform.apply(split.public.to_sample_planes())
+        recovered = P3().recover_transformed(public_t, split, transform)
+        truth = transform.apply(street_image.to_sample_planes())
+        quality = min(psnr(r, t) for r, t in zip(recovered, truth))
+        assert 15 < quality < 40  # recognizable but visibly degraded
+
+    def test_threshold_validation(self):
+        from repro.util.errors import ReproError
+
+        with pytest.raises(ReproError):
+            P3(threshold=0)
+
+    def test_custom_threshold_affects_split(self, street_image):
+        loose = P3(threshold=50).split(street_image)
+        tight = P3(threshold=5).split(street_image)
+        assert (
+            tight.public_size_bytes() < loose.public_size_bytes()
+        )

@@ -1,0 +1,143 @@
+"""Command-line interface tests (driven through main(argv))."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.util.imageio import read_image, write_image
+
+
+@pytest.fixture()
+def photo(tmp_path):
+    path = str(tmp_path / "photo.ppm")
+    assert main(
+        ["demo", "--dataset", "pascal", "--index", "0", "-o", path]
+    ) == 0
+    return path
+
+
+class TestDemo:
+    def test_writes_valid_ppm(self, photo):
+        array = read_image(photo)
+        assert array.shape == (82, 125, 3)
+
+    def test_deterministic(self, tmp_path):
+        a = str(tmp_path / "a.ppm")
+        b = str(tmp_path / "b.ppm")
+        main(["demo", "--dataset", "inria", "--index", "2", "-o", a])
+        main(["demo", "--dataset", "inria", "--index", "2", "-o", b])
+        assert np.array_equal(read_image(a), read_image(b))
+
+
+class TestProtectReconstruct:
+    def test_full_workflow_roundtrip(self, photo, tmp_path):
+        share = str(tmp_path / "share")
+        out = str(tmp_path / "recovered.ppm")
+        assert main(
+            [
+                "protect", photo, "--out-dir", share,
+                "--roi", "64,8,16,48", "--preview",
+            ]
+        ) == 0
+        assert os.path.exists(os.path.join(share, "stored.rpj"))
+        assert os.path.exists(os.path.join(share, "public.rppd"))
+        assert os.path.exists(os.path.join(share, "preview.ppm"))
+        key_files = os.listdir(os.path.join(share, "keys"))
+        assert len(key_files) == 1
+
+        assert main(
+            [
+                "reconstruct", share,
+                "--keys", os.path.join(share, "keys", "*.key"),
+                "-o", out,
+            ]
+        ) == 0
+        original = read_image(photo)
+        recovered = read_image(out)
+        # Only the baseline JPEG loss remains after decryption.
+        assert np.abs(
+            original.astype(int) - recovered.astype(int)
+        ).mean() < 6
+
+    def test_reconstruct_without_keys_stays_scrambled(
+        self, photo, tmp_path
+    ):
+        share = str(tmp_path / "share")
+        out = str(tmp_path / "public-view.ppm")
+        main(["protect", photo, "--out-dir", share, "--roi", "64,8,16,48"])
+        assert main(["reconstruct", share, "-o", out]) == 0
+        original = read_image(photo)
+        public = read_image(out)
+        region = np.s_[64:80, 8:56]
+        assert np.abs(
+            original[region].astype(int) - public[region].astype(int)
+        ).mean() > 40
+
+    def test_protect_without_regions_fails(self, photo, tmp_path):
+        assert main(
+            ["protect", photo, "--out-dir", str(tmp_path / "x")]
+        ) == 2
+
+    def test_multimatrix_flag(self, photo, tmp_path):
+        share = str(tmp_path / "share")
+        main(
+            [
+                "protect", photo, "--out-dir", share,
+                "--roi", "64,8,16,48", "--matrices", "3",
+            ]
+        )
+        assert len(os.listdir(os.path.join(share, "keys"))) == 3
+
+    def test_inspect_prints_regions(self, photo, tmp_path, capsys):
+        share = str(tmp_path / "share")
+        main(["protect", photo, "--out-dir", share, "--roi", "64,8,16,48"])
+        assert main(
+            ["inspect", os.path.join(share, "public.rppd")]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "regions: 1" in output
+        assert "scheme=puppies-c" in output
+
+    def test_high_level_and_scheme_flags(self, photo, tmp_path):
+        share = str(tmp_path / "share")
+        out = str(tmp_path / "r.ppm")
+        main(
+            [
+                "protect", photo, "--out-dir", share,
+                "--roi", "64,8,16,48", "--level", "high",
+                "--scheme", "puppies-z",
+            ]
+        )
+        assert main(
+            [
+                "reconstruct", share,
+                "--keys", os.path.join(share, "keys", "*.key"),
+                "-o", out,
+            ]
+        ) == 0
+
+    def test_missing_file_reports_error(self, tmp_path):
+        assert main(
+            ["inspect", str(tmp_path / "missing.rppd")]
+        ) == 1
+
+
+class TestImageIo:
+    def test_ppm_roundtrip(self, tmp_path, rng):
+        arr = rng.integers(0, 256, (13, 17, 3), dtype=np.uint8)
+        path = str(tmp_path / "img.ppm")
+        write_image(path, arr)
+        assert np.array_equal(read_image(path), arr)
+
+    def test_pgm_roundtrip(self, tmp_path, rng):
+        arr = rng.integers(0, 256, (9, 11), dtype=np.uint8)
+        path = str(tmp_path / "img.pgm")
+        write_image(path, arr)
+        assert np.array_equal(read_image(path), arr)
+
+    def test_float_input_clamped(self, tmp_path):
+        path = str(tmp_path / "img.pgm")
+        write_image(path, np.array([[-5.0, 300.0]]))
+        assert read_image(path).tolist() == [[0, 255]]

@@ -1,0 +1,250 @@
+"""Key exchange, keyring and end-to-end sharing-session tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.keys import (
+    DhKeyPair,
+    KeyRing,
+    SecureChannel,
+    generate_private_key,
+    shared_secret,
+)
+from repro.core.matrices import PrivateKey
+from repro.core.roi import RegionOfInterest
+from repro.core.system import SharingSession
+from repro.jpeg.coefficients import CoefficientImage
+from repro.util.errors import KeyMismatchError, ReproError
+from repro.util.rect import Rect
+from repro.util.rng import rng_from_key
+
+
+class TestDiffieHellman:
+    def test_shared_secret_agrees(self):
+        alice = DhKeyPair.generate(rng_from_key("a"))
+        bob = DhKeyPair.generate(rng_from_key("b"))
+        assert shared_secret(alice.private, bob.public) == shared_secret(
+            bob.private, alice.public
+        )
+
+    def test_different_pairs_different_secrets(self):
+        alice = DhKeyPair.generate(rng_from_key("a"))
+        bob = DhKeyPair.generate(rng_from_key("b"))
+        eve = DhKeyPair.generate(rng_from_key("e"))
+        assert shared_secret(alice.private, bob.public) != shared_secret(
+            eve.private, bob.public
+        )
+
+
+class TestSecureChannel:
+    def test_key_delivery_roundtrip(self):
+        alice = DhKeyPair.generate(rng_from_key("a"))
+        bob = DhKeyPair.generate(rng_from_key("b"))
+        sender_side = SecureChannel.establish(alice, bob.public)
+        receiver_side = SecureChannel.establish(bob, alice.public)
+        key = generate_private_key("m1", "alice")
+        blob = sender_side.send_key(key)
+        received = receiver_side.receive_key("m1", blob)
+        assert received.p_dc == key.p_dc and received.p_ac == key.p_ac
+
+    def test_blob_is_not_plaintext(self):
+        alice = DhKeyPair.generate(rng_from_key("a"))
+        bob = DhKeyPair.generate(rng_from_key("b"))
+        channel = SecureChannel.establish(alice, bob.public)
+        key = generate_private_key("m1", "alice")
+        assert channel.send_key(key) != key.serialize()
+
+    def test_wrong_channel_cannot_decrypt(self):
+        alice = DhKeyPair.generate(rng_from_key("a"))
+        bob = DhKeyPair.generate(rng_from_key("b"))
+        eve = DhKeyPair.generate(rng_from_key("e"))
+        sender_side = SecureChannel.establish(alice, bob.public)
+        eve_side = SecureChannel.establish(eve, alice.public)
+        key = generate_private_key("m1", "alice")
+        blob = sender_side.send_key(key)
+        with pytest.raises(Exception):
+            eve_side.receive_key("m1", blob)
+
+
+class TestKeyRing:
+    def test_add_get_contains(self):
+        ring = KeyRing()
+        key = generate_private_key("m1", "o")
+        ring.add(key)
+        assert "m1" in ring and ring.get("m1") is key
+        assert ring["m1"] is key
+        assert len(ring) == 1
+
+    def test_duplicate_identical_ok_conflict_rejected(self):
+        ring = KeyRing()
+        ring.add(generate_private_key("m1", "o"))
+        ring.add(generate_private_key("m1", "o"))  # same material
+        with pytest.raises(KeyMismatchError):
+            ring.add(generate_private_key("m1", "other-owner"))
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyMismatchError):
+            KeyRing()["nope"]
+
+    def test_subset(self):
+        keys = [generate_private_key(f"m{i}", "o") for i in range(3)]
+        ring = KeyRing(keys)
+        sub = ring.subset(["m0", "m2", "m9"])
+        assert sorted(sub.matrix_ids()) == ["m0", "m2"]
+
+    def test_serialized_size_scales_linearly(self):
+        sizes = []
+        for n in (1, 4, 8):
+            ring = KeyRing(
+                generate_private_key(f"k{i}", "o") for i in range(n)
+            )
+            sizes.append(ring.serialized_size_bytes())
+        assert sizes[1] == 4 * sizes[0]
+        assert sizes[2] == 8 * sizes[0]
+
+
+class TestSharingSession:
+    def _photo(self):
+        gen = np.random.default_rng(5)
+        return gen.integers(0, 256, (64, 96, 3), dtype=np.uint8)
+
+    def test_alice_bob_workflow(self):
+        session = SharingSession("alice")
+        photo = self._photo()
+        roi = RegionOfInterest("face", Rect(16, 24, 24, 32))
+        session.share(
+            "img", photo, [roi], grants={"bob": ["matrix-face"]}
+        )
+        reference = CoefficientImage.from_array(photo, quality=75)
+        assert session.view("bob", "img").coefficients_equal(reference)
+        assert not session.view_public("img").coefficients_equal(reference)
+
+    def test_personalized_multi_receiver(self):
+        # The Fig. 3 Einstein/Chaplin scenario: two regions, two receivers.
+        session = SharingSession("owner")
+        photo = self._photo()
+        left = RegionOfInterest("left", Rect(16, 8, 16, 16))
+        right = RegionOfInterest("right", Rect(16, 64, 16, 16))
+        session.share(
+            "img",
+            photo,
+            [left, right],
+            grants={
+                "einstein-friend": ["matrix-left"],
+                "chaplin-friend": ["matrix-right"],
+                "bestie": ["matrix-left", "matrix-right"],
+            },
+        )
+        reference = CoefficientImage.from_array(photo, quality=75)
+        ef = session.view("einstein-friend", "img")
+        cf = session.view("chaplin-friend", "img")
+        bestie = session.view("bestie", "img")
+        assert bestie.coefficients_equal(reference)
+        # Each one-key receiver sees their region but not the other.
+        assert np.array_equal(
+            ef.channels[0][2:4, 1:3], reference.channels[0][2:4, 1:3]
+        )
+        assert not np.array_equal(
+            ef.channels[0][2:4, 8:10], reference.channels[0][2:4, 8:10]
+        )
+        assert np.array_equal(
+            cf.channels[0][2:4, 8:10], reference.channels[0][2:4, 8:10]
+        )
+        assert not np.array_equal(
+            cf.channels[0][2:4, 1:3], reference.channels[0][2:4, 1:3]
+        )
+
+    def test_receiver_without_grant_sees_nothing(self):
+        session = SharingSession("alice")
+        photo = self._photo()
+        roi = RegionOfInterest("face", Rect(16, 24, 24, 32))
+        session.share("img", photo, [roi])
+        stranger = session.add_receiver("stranger")
+        view = stranger.fetch(session.psp, "img")
+        reference = CoefficientImage.from_array(photo, quality=75)
+        assert not view.coefficients_equal(reference)
+
+    def test_duplicate_image_id_rejected(self):
+        session = SharingSession("alice")
+        photo = self._photo()
+        roi = RegionOfInterest("r", Rect(0, 0, 16, 16))
+        session.share("img", photo, [roi])
+        with pytest.raises(ReproError):
+            session.share("img", photo, [roi])
+
+    def test_duplicate_receiver_rejected(self):
+        session = SharingSession("alice")
+        session.add_receiver("bob")
+        with pytest.raises(ReproError):
+            session.add_receiver("bob")
+
+    def test_transformed_fetch_through_session_parts(self):
+        from repro.transforms import Scale
+
+        session = SharingSession("alice")
+        photo = self._photo()
+        roi = RegionOfInterest("face", Rect(16, 24, 24, 32))
+        session.share(
+            "img", photo, [roi], grants={"bob": ["matrix-face"]}
+        )
+        bob = session.receivers["bob"]
+        transform = Scale(32, 48)
+        recovered = bob.fetch_transformed(session.psp, "img", transform)
+        reference = CoefficientImage.from_array(photo, quality=75)
+        truth = transform.apply(reference.to_sample_planes())
+        for r, t in zip(recovered, truth):
+            assert np.allclose(r, t, atol=1e-7)
+
+    def test_recompressed_fetch_through_session(self):
+        session = SharingSession("alice")
+        photo = self._photo()
+        roi = RegionOfInterest("face", Rect(16, 24, 24, 32))
+        session.share(
+            "img", photo, [roi], grants={"bob": ["matrix-face"]}
+        )
+        bob = session.receivers["bob"]
+        recovered = bob.fetch_recompressed(session.psp, "img", quality=40)
+        from repro.transforms import Recompress
+
+        reference = CoefficientImage.from_array(photo, quality=75)
+        truth = Recompress(40).apply_to_image(reference)
+        for r, t in zip(recovered.channels, truth.channels):
+            assert np.abs(r.astype(int) - t.astype(int)).max() <= 1
+
+
+class TestChannelIntegrity:
+    def _channel_pair(self):
+        alice = DhKeyPair.generate(rng_from_key("a"))
+        bob = DhKeyPair.generate(rng_from_key("b"))
+        return (
+            SecureChannel.establish(alice, bob.public),
+            SecureChannel.establish(bob, alice.public),
+        )
+
+    def test_tampered_blob_rejected(self):
+        sender, receiver = self._channel_pair()
+        key = generate_private_key("m1", "alice")
+        blob = bytearray(sender.send_key(key))
+        blob[3] ^= 0xFF
+        with pytest.raises(KeyMismatchError):
+            receiver.receive_key("m1", bytes(blob))
+
+    def test_truncated_blob_rejected(self):
+        sender, receiver = self._channel_pair()
+        key = generate_private_key("m1", "alice")
+        blob = sender.send_key(key)
+        with pytest.raises(KeyMismatchError):
+            receiver.receive_key("m1", blob[:8])
+
+    def test_blob_bound_to_matrix_id(self):
+        sender, receiver = self._channel_pair()
+        key = generate_private_key("m1", "alice")
+        blob = sender.send_key(key)
+        with pytest.raises(KeyMismatchError):
+            receiver.receive_key("m2", blob)
+
+    def test_delivery_log(self):
+        sender, _receiver = self._channel_pair()
+        sender.send_key(generate_private_key("m1", "alice"))
+        sender.send_key(generate_private_key("m2", "alice"))
+        assert sender.delivered == ["m1", "m2"]

@@ -1,0 +1,155 @@
+"""Section IV-D extension: multiple private matrices per region."""
+
+import numpy as np
+import pytest
+
+from repro.core.keys import generate_private_key
+from repro.core.perturb import perturb_regions, perturbation_for_blocks
+from repro.core.policy import PrivacyLevel, PrivacySettings
+from repro.core.reconstruct import reconstruct_regions
+from repro.core.roi import RegionOfInterest
+from repro.core.serialization import (
+    deserialize_public_data,
+    serialize_public_data,
+)
+from repro.core.shadow import reconstruct_transformed
+from repro.core.system import SharingSession
+from repro.jpeg.coefficients import CoefficientImage
+from repro.transforms import Scale
+from repro.util.errors import KeyMismatchError, RoiError
+from repro.util.rect import Rect
+
+MEDIUM = PrivacySettings.for_level(PrivacyLevel.MEDIUM)
+
+
+def _multi_roi(n_matrices, scheme="puppies-c"):
+    return RegionOfInterest(
+        "multi",
+        Rect(8, 8, 32, 40),
+        MEDIUM,
+        scheme=scheme,
+        n_matrices=n_matrices,
+    )
+
+
+def _keys_for(roi, owner="owner"):
+    return {
+        matrix_id: generate_private_key(matrix_id, owner)
+        for matrix_id in roi.matrix_ids()
+    }
+
+
+class TestRoiMatrixIds:
+    def test_single_matrix_default(self):
+        roi = RegionOfInterest("r", Rect(0, 0, 8, 8))
+        assert roi.matrix_ids() == ["matrix-r"]
+
+    def test_multi_matrix_ids(self):
+        roi = _multi_roi(3)
+        assert roi.matrix_ids() == [
+            "matrix-multi.0",
+            "matrix-multi.1",
+            "matrix-multi.2",
+        ]
+
+    def test_zero_matrices_rejected(self):
+        with pytest.raises(RoiError):
+            RegionOfInterest("r", Rect(0, 0, 8, 8), n_matrices=0)
+
+
+class TestMultiKeyPerturbation:
+    def test_groups_use_distinct_perturbations(self):
+        keys = [generate_private_key(f"m{i}", "o") for i in range(3)]
+        p, _ = perturbation_for_blocks(keys, MEDIUM, "puppies-b", 12)
+        # Blocks 0,1,2 belong to different groups: AC rows must differ.
+        assert not np.array_equal(p[0, 1:], p[1, 1:])
+        assert not np.array_equal(p[1, 1:], p[2, 1:])
+        # Block 3 cycles back to group 0 with the *next* DC entry.
+        assert np.array_equal(p[3, 1:], p[0, 1:])
+        assert p[3, 0] == keys[0].p_dc.normalized[1]
+
+    def test_single_key_unchanged_by_refactor(self):
+        key = generate_private_key("m", "o")
+        p_single, _ = perturbation_for_blocks(key, MEDIUM, "puppies-b", 70)
+        p_list, _ = perturbation_for_blocks([key], MEDIUM, "puppies-b", 70)
+        assert np.array_equal(p_single, p_list)
+        assert p_single[65, 0] == key.p_dc.normalized[1]  # k mod 64 cycle
+
+    def test_empty_key_list_rejected(self):
+        from repro.util.errors import ReproError
+
+        with pytest.raises(ReproError):
+            perturbation_for_blocks([], MEDIUM, "puppies-b", 4)
+
+
+class TestMultiKeyRoundTrip:
+    @pytest.mark.parametrize("scheme", ["puppies-b", "puppies-c", "puppies-z"])
+    @pytest.mark.parametrize("n_matrices", [2, 5])
+    def test_exact_recovery(self, noise_image, scheme, n_matrices):
+        roi = _multi_roi(n_matrices, scheme)
+        keys = _keys_for(roi)
+        perturbed, public = perturb_regions(noise_image, [roi], keys)
+        assert public.regions[0].extra_matrix_ids == roi.matrix_ids()[1:]
+        recovered = reconstruct_regions(perturbed, public, keys)
+        assert recovered.coefficients_equal(noise_image)
+
+    def test_partial_key_set_recovers_nothing(self, noise_image):
+        roi = _multi_roi(3)
+        keys = _keys_for(roi)
+        perturbed, public = perturb_regions(noise_image, [roi], keys)
+        partial = {roi.matrix_ids()[0]: keys[roi.matrix_ids()[0]]}
+        recovered = reconstruct_regions(perturbed, public, partial)
+        assert not recovered.coefficients_equal(noise_image)
+
+    def test_missing_group_key_at_perturb_rejected(self, noise_image):
+        roi = _multi_roi(3)
+        keys = _keys_for(roi)
+        del keys[roi.matrix_ids()[1]]
+        with pytest.raises(KeyMismatchError):
+            perturb_regions(noise_image, [roi], keys)
+
+    def test_shadow_recovery_multikey(self, noise_image):
+        roi = _multi_roi(4, "puppies-c")
+        keys = _keys_for(roi)
+        perturbed, public = perturb_regions(noise_image, [roi], keys)
+        transform = Scale(48, 64)
+        transformed = transform.apply(perturbed.to_sample_planes())
+        recovered = reconstruct_transformed(
+            transformed, transform, public, keys
+        )
+        truth = transform.apply(noise_image.to_sample_planes())
+        for r, t in zip(recovered, truth):
+            assert np.allclose(r, t, atol=1e-7)
+
+    def test_serialization_preserves_extra_ids(self, noise_image):
+        roi = _multi_roi(3)
+        keys = _keys_for(roi)
+        _perturbed, public = perturb_regions(noise_image, [roi], keys)
+        rebuilt = deserialize_public_data(serialize_public_data(public))
+        assert rebuilt.regions[0].all_matrix_ids == roi.matrix_ids()
+        assert sorted(rebuilt.matrix_ids()) == sorted(roi.matrix_ids())
+
+    def test_end_to_end_session_with_multimatrix(self):
+        rng = np.random.default_rng(9)
+        photo = rng.integers(0, 256, (64, 96, 3), dtype=np.uint8)
+        session = SharingSession("owner")
+        roi = RegionOfInterest(
+            "vault", Rect(16, 16, 32, 48), MEDIUM, n_matrices=4
+        )
+        session.share(
+            "img", photo, [roi], grants={"trusted": roi.matrix_ids()}
+        )
+        reference = CoefficientImage.from_array(photo, quality=75)
+        assert session.view("trusted", "img").coefficients_equal(reference)
+        # The private part grew linearly with the matrix count.
+        assert len(session.sender.keyring) == 4
+
+    def test_more_matrices_more_secret_bits(self):
+        """Section IV-D's claim: secure bits grow linearly in matrices."""
+        roi_1 = _multi_roi(1)
+        roi_4 = _multi_roi(4)
+        keys_1 = _keys_for(roi_1)
+        keys_4 = _keys_for(roi_4)
+        bits_1 = sum(k.serialized_size_bytes() for k in keys_1.values())
+        bits_4 = sum(k.serialized_size_bytes() for k in keys_4.values())
+        assert bits_4 >= 4 * bits_1 - 4 * 8  # up to id-length slack

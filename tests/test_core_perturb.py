@@ -1,0 +1,270 @@
+"""Perturbation/reconstruction tests: Algorithms 1-2 and Lemma III.1."""
+
+import numpy as np
+import pytest
+
+from repro.core.keys import generate_private_key
+from repro.core.perturb import (
+    SCHEMES,
+    perturb_regions,
+    perturbation_for_blocks,
+    wrap_add,
+    wrap_subtract,
+)
+from repro.core.policy import PrivacyLevel, PrivacySettings
+from repro.core.reconstruct import (
+    reconstruct_regions,
+    reconstruct_single_region,
+)
+from repro.core.roi import RegionOfInterest
+from repro.util.errors import KeyMismatchError, ReproError, RoiError
+from repro.util.rect import Rect
+
+MEDIUM = PrivacySettings.for_level(PrivacyLevel.MEDIUM)
+HIGH = PrivacySettings.for_level(PrivacyLevel.HIGH)
+LOW = PrivacySettings.for_level(PrivacyLevel.LOW)
+
+
+def _roi(scheme, rect=Rect(16, 16, 24, 32), settings=MEDIUM, rid="r0"):
+    return RegionOfInterest(rid, rect, settings, scheme=scheme)
+
+
+def _protect(image, rois, owner="alice"):
+    keys = {
+        roi.matrix_id: generate_private_key(roi.matrix_id, owner)
+        for roi in rois
+    }
+    perturbed, public = perturb_regions(image, rois, keys)
+    return perturbed, public, keys
+
+
+class TestWrapArithmetic:
+    def test_lemma_iii1_roundtrip_full_grid(self):
+        b = np.arange(-1024, 1024, dtype=np.int64)
+        for p in (0, 1, 777, 1024, 2047):
+            e, _w = wrap_add(b, np.full_like(b, p))
+            assert (e >= -1024).all() and (e <= 1023).all()
+            assert np.array_equal(wrap_subtract(e, np.full_like(b, p)), b)
+
+    def test_wrap_mask_detects_wraps(self):
+        e, w = wrap_add(np.array([1000]), np.array([2000]))
+        assert w[0]
+        e2, w2 = wrap_add(np.array([0]), np.array([5]))
+        assert not w2[0]
+        assert e2[0] == 5
+
+    def test_zero_perturbation_is_identity(self):
+        b = np.array([-1024, -1, 0, 1, 1023])
+        e, w = wrap_add(b, np.zeros_like(b))
+        assert np.array_equal(e, b)
+        assert not w.any()
+
+
+class TestPerturbationVectors:
+    def test_schemes_enumerated(self):
+        assert set(SCHEMES) == {
+            "puppies-n",
+            "puppies-b",
+            "puppies-c",
+            "puppies-z",
+        }
+
+    def test_naive_scheme_shares_dc_value(self):
+        key = generate_private_key("m", "o")
+        p, _ = perturbation_for_blocks(key, MEDIUM, "puppies-n", 130)
+        assert len(np.unique(p[:, 0])) == 1  # the VI-B.1 weakness
+
+    def test_base_scheme_cycles_dc_over_64_entries(self):
+        key = generate_private_key("m", "o")
+        p, _ = perturbation_for_blocks(key, MEDIUM, "puppies-b", 130)
+        assert np.array_equal(p[64:128, 0], p[:64, 0])
+        assert len(np.unique(p[:64, 0])) > 32
+
+    def test_compression_scheme_respects_ranges(self):
+        from repro.core.policy import range_matrix
+
+        key = generate_private_key("m", "o")
+        q = range_matrix(MEDIUM)
+        p, _ = perturbation_for_blocks(key, MEDIUM, "puppies-c", 10)
+        for i in range(1, 64):
+            assert (p[:, i] < q[i]).all()
+            assert (p[:, i] >= 0).all()
+
+    def test_low_privacy_leaves_ac_unperturbed(self):
+        key = generate_private_key("m", "o")
+        p, _ = perturbation_for_blocks(key, LOW, "puppies-c", 10)
+        assert (p[:, 1:] == 0).all()
+
+    def test_zero_scheme_skips_original_zeros(self):
+        key = generate_private_key("m", "o")
+        zz = np.zeros((4, 64), dtype=np.int64)
+        zz[:, 5] = 7
+        p, skip = perturbation_for_blocks(
+            key, HIGH, "puppies-z", 4, zigzag=zz
+        )
+        assert skip[:, 1:5].all() and skip[:, 6:].all()
+        assert not skip[:, 5].any() and not skip[:, 0].any()
+        assert (p[skip] == 0).all()
+
+    def test_unknown_scheme_rejected(self):
+        key = generate_private_key("m", "o")
+        with pytest.raises(ReproError):
+            perturbation_for_blocks(key, MEDIUM, "puppies-x", 4)
+
+
+class TestPerturbReconstruct:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_exact_recovery_scenario1(self, noise_image, scheme):
+        roi = _roi(scheme)
+        perturbed, public, keys = _protect(noise_image, [roi])
+        recovered = reconstruct_regions(perturbed, public, keys)
+        assert recovered.coefficients_equal(noise_image)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_perturbation_changes_roi(self, noise_image, scheme):
+        roi = _roi(scheme)
+        perturbed, _public, _keys = _protect(noise_image, [roi])
+        assert not perturbed.coefficients_equal(noise_image)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_outside_roi_untouched(self, noise_image, scheme):
+        roi = _roi(scheme, rect=Rect(16, 16, 16, 16))
+        perturbed, _public, _keys = _protect(noise_image, [roi])
+        for chan_p, chan_o in zip(perturbed.channels, noise_image.channels):
+            mask = np.ones(chan_p.shape[:2], dtype=bool)
+            mask[2:4, 2:4] = False
+            assert np.array_equal(chan_p[mask], chan_o[mask])
+
+    @pytest.mark.parametrize(
+        "level", [PrivacyLevel.LOW, PrivacyLevel.MEDIUM, PrivacyLevel.HIGH]
+    )
+    def test_all_privacy_levels_recover(self, noise_image, level):
+        roi = _roi("puppies-c", settings=PrivacySettings.for_level(level))
+        perturbed, public, keys = _protect(noise_image, [roi])
+        assert reconstruct_regions(
+            perturbed, public, keys
+        ).coefficients_equal(noise_image)
+
+    def test_smooth_image_z_scheme(self, smooth_image):
+        # Smooth images have many zero AC coefficients — the -Z hot path.
+        roi = _roi("puppies-z", rect=Rect(0, 0, 40, 48))
+        perturbed, public, keys = _protect(smooth_image, [roi])
+        assert reconstruct_regions(
+            perturbed, public, keys
+        ).coefficients_equal(smooth_image)
+
+    def test_unaligned_image_whole_grid_roi(self, unaligned_rgb):
+        from repro.jpeg.coefficients import CoefficientImage
+
+        image = CoefficientImage.from_array(unaligned_rgb)
+        by, bx = image.blocks_shape
+        roi = _roi("puppies-c", rect=Rect(0, 0, by * 8, bx * 8))
+        perturbed, public, keys = _protect(image, [roi])
+        assert reconstruct_regions(
+            perturbed, public, keys
+        ).coefficients_equal(image)
+
+    def test_multiple_regions_different_keys(self, noise_image):
+        rois = [
+            _roi("puppies-c", rect=Rect(0, 0, 16, 16), rid="a"),
+            _roi("puppies-z", rect=Rect(32, 32, 16, 24), rid="b"),
+        ]
+        perturbed, public, keys = _protect(noise_image, rois)
+        # Full key set: exact recovery.
+        assert reconstruct_regions(
+            perturbed, public, keys
+        ).coefficients_equal(noise_image)
+
+    def test_partial_keys_partial_recovery(self, noise_image):
+        rois = [
+            _roi("puppies-c", rect=Rect(0, 0, 16, 16), rid="a"),
+            _roi("puppies-c", rect=Rect(32, 32, 16, 24), rid="b"),
+        ]
+        perturbed, public, keys = _protect(noise_image, rois)
+        only_a = {rois[0].matrix_id: keys[rois[0].matrix_id]}
+        partial = reconstruct_regions(perturbed, public, only_a)
+        # Region a restored...
+        assert np.array_equal(
+            partial.channels[0][:2, :2], noise_image.channels[0][:2, :2]
+        )
+        # ...region b still perturbed.
+        assert not np.array_equal(
+            partial.channels[0][4:6, 4:6], noise_image.channels[0][4:6, 4:6]
+        )
+
+    def test_wrong_key_garbage_not_crash(self, noise_image):
+        roi = _roi("puppies-c")
+        perturbed, public, _keys = _protect(noise_image, [roi])
+        wrong = {roi.matrix_id: generate_private_key(roi.matrix_id, "eve")}
+        recovered = reconstruct_regions(perturbed, public, wrong)
+        assert not recovered.coefficients_equal(noise_image)
+
+    def test_reconstruct_single_region(self, noise_image):
+        rois = [
+            _roi("puppies-c", rect=Rect(0, 0, 16, 16), rid="a"),
+            _roi("puppies-c", rect=Rect(32, 32, 16, 16), rid="b"),
+        ]
+        perturbed, public, keys = _protect(noise_image, rois)
+        one = reconstruct_single_region(
+            perturbed, public, "a", keys[rois[0].matrix_id]
+        )
+        assert np.array_equal(
+            one.channels[0][:2, :2], noise_image.channels[0][:2, :2]
+        )
+
+    def test_reconstruct_single_region_key_mismatch(self, noise_image):
+        rois = [
+            _roi("puppies-c", rect=Rect(0, 0, 16, 16), rid="a"),
+            _roi("puppies-c", rect=Rect(32, 32, 16, 16), rid="b"),
+        ]
+        perturbed, public, keys = _protect(noise_image, rois)
+        with pytest.raises(KeyMismatchError):
+            reconstruct_single_region(
+                perturbed, public, "a", keys[rois[1].matrix_id]
+            )
+
+    def test_missing_key_at_perturb_rejected(self, noise_image):
+        roi = _roi("puppies-c")
+        with pytest.raises(KeyMismatchError):
+            perturb_regions(noise_image, [roi], {})
+
+    def test_overlapping_rois_rejected(self, noise_image):
+        rois = [
+            _roi("puppies-c", rect=Rect(0, 0, 24, 24), rid="a"),
+            _roi("puppies-c", rect=Rect(16, 16, 24, 24), rid="b"),
+        ]
+        keys = {
+            roi.matrix_id: generate_private_key(roi.matrix_id, "o")
+            for roi in rois
+        }
+        with pytest.raises(RoiError):
+            perturb_regions(noise_image, rois, keys)
+
+    def test_unaligned_roi_rejected(self, noise_image):
+        roi = _roi("puppies-c", rect=Rect(3, 3, 16, 16))
+        keys = {roi.matrix_id: generate_private_key(roi.matrix_id, "o")}
+        with pytest.raises(RoiError):
+            perturb_regions(noise_image, [roi], keys)
+
+    def test_out_of_bounds_roi_rejected(self, noise_image):
+        roi = _roi("puppies-c", rect=Rect(0, 0, 8, 8 * 1000))
+        keys = {roi.matrix_id: generate_private_key(roi.matrix_id, "o")}
+        with pytest.raises(RoiError):
+            perturb_regions(noise_image, [roi], keys)
+
+    def test_public_params_recorded(self, noise_image):
+        roi = _roi("puppies-z")
+        perturbed, public, _keys = _protect(noise_image, [roi])
+        region = public.region_by_id("r0")
+        assert region.scheme == "puppies-z"
+        assert region.settings == MEDIUM
+        assert len(region.wind) == noise_image.n_channels
+        assert len(region.zind) == noise_image.n_channels
+        assert len(region.skip) == noise_image.n_channels
+        assert public.matrix_ids() == [roi.matrix_id]
+
+    def test_original_left_untouched(self, noise_image):
+        before = noise_image.copy()
+        roi = _roi("puppies-c")
+        _protect(noise_image, [roi])
+        assert noise_image.coefficients_equal(before)

@@ -1,0 +1,229 @@
+"""Privacy policy (Table IV / Algorithm 3) and private-matrix tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrices import PrivateKey, PrivateMatrix
+from repro.core.policy import (
+    DEFAULT_PRIVACY,
+    PrivacyLevel,
+    PrivacySettings,
+    ac_secure_bits,
+    dc_secure_bits,
+    range_matrix,
+    total_secure_bits,
+)
+from repro.util.errors import KeyMismatchError, ReproError
+from repro.util.rng import rng_from_key
+
+
+class TestPrivacySettings:
+    def test_table_iv_mapping(self):
+        low = PrivacySettings.for_level(PrivacyLevel.LOW)
+        medium = PrivacySettings.for_level(PrivacyLevel.MEDIUM)
+        high = PrivacySettings.for_level(PrivacyLevel.HIGH)
+        assert (low.min_range, low.n_perturbed) == (1, 1)
+        assert (medium.min_range, medium.n_perturbed) == (32, 8)
+        assert (high.min_range, high.n_perturbed) == (2048, 64)
+
+    def test_default_is_medium(self):
+        assert DEFAULT_PRIVACY == PrivacySettings.for_level(
+            PrivacyLevel.MEDIUM
+        )
+        assert DEFAULT_PRIVACY.level_name == "medium"
+
+    def test_custom_level_name(self):
+        assert PrivacySettings(16, 4).level_name == "custom"
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            PrivacySettings(0, 1)
+        with pytest.raises(ReproError):
+            PrivacySettings(3, 1)  # not a power of two
+        with pytest.raises(ReproError):
+            PrivacySettings(1, 0)
+        with pytest.raises(ReproError):
+            PrivacySettings(1, 65)
+
+
+class TestRangeMatrix:
+    def test_low_perturbs_dc_only(self):
+        q = range_matrix(PrivacySettings.for_level(PrivacyLevel.LOW))
+        assert q[0] == 2048
+        assert (q[1:] == 1).all()
+
+    def test_medium_halving_sequence(self):
+        q = range_matrix(PrivacySettings.for_level(PrivacyLevel.MEDIUM))
+        assert q[:8].tolist() == [2048, 1024, 512, 256, 128, 64, 32, 32]
+        assert (q[8:] == 1).all()
+
+    def test_high_full_range_everywhere(self):
+        q = range_matrix(PrivacySettings.for_level(PrivacyLevel.HIGH))
+        assert (q == 2048).all()
+
+    def test_floor_at_min_range(self):
+        q = range_matrix(PrivacySettings(min_range=256, n_perturbed=16))
+        assert q[:16].min() == 256
+        assert (q[16:] == 1).all()
+
+    def test_monotone_nonincreasing_over_perturbed_prefix(self):
+        q = range_matrix(PrivacySettings(min_range=8, n_perturbed=32))
+        prefix = q[:32]
+        assert (np.diff(prefix) <= 0).all()
+
+
+class TestSecureBits:
+    def test_dc_bits_are_704(self):
+        # Section VI-A: 11 bits x 64 entries of P_DC.
+        assert dc_secure_bits() == 704
+
+    def test_levels_strictly_ordered(self):
+        bits = [
+            total_secure_bits(PrivacySettings.for_level(level))
+            for level in (
+                PrivacyLevel.LOW,
+                PrivacyLevel.MEDIUM,
+                PrivacyLevel.HIGH,
+            )
+        ]
+        assert bits[0] < bits[1] < bits[2]
+
+    def test_every_level_beats_nist_256(self):
+        for level in PrivacyLevel:
+            assert total_secure_bits(PrivacySettings.for_level(level)) >= 256
+
+    def test_ac_bits_from_algorithm3(self):
+        # The values Algorithm 3 actually yields (see DESIGN.md §5).
+        assert ac_secure_bits(PrivacySettings.for_level(PrivacyLevel.LOW)) == 0
+        assert (
+            ac_secure_bits(PrivacySettings.for_level(PrivacyLevel.MEDIUM))
+            == 50
+        )
+        assert (
+            ac_secure_bits(PrivacySettings.for_level(PrivacyLevel.HIGH))
+            == 693
+        )
+
+
+class TestPrivateMatrix:
+    def test_generation_in_range(self):
+        m = PrivateMatrix.generate(rng_from_key("t"))
+        assert m.values.shape == (64,)
+        assert m.values.min() >= -1024 and m.values.max() <= 1023
+
+    def test_normalized_range(self):
+        m = PrivateMatrix.generate(rng_from_key("t2"))
+        assert m.normalized.min() >= 0 and m.normalized.max() <= 2047
+
+    def test_normalization_consistent_mod_2048(self):
+        m = PrivateMatrix(np.arange(-32, 32))
+        assert ((m.normalized - m.values) % 2048 == 0).all()
+
+    def test_out_of_range_rejected(self):
+        values = np.zeros(64, dtype=np.int64)
+        values[5] = 1024
+        with pytest.raises(ReproError):
+            PrivateMatrix(values)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ReproError):
+            PrivateMatrix(np.zeros(63, dtype=np.int64))
+
+    def test_equality_and_hash(self):
+        a = PrivateMatrix(np.arange(64) - 32)
+        b = PrivateMatrix(np.arange(64) - 32)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_as_block_shape(self):
+        assert PrivateMatrix.generate(
+            rng_from_key("t3")
+        ).as_block().shape == (8, 8)
+
+
+class TestPrivateKey:
+    def test_serialize_roundtrip(self):
+        key = PrivateKey.generate("matrix-7", rng_from_key("k"))
+        rebuilt = PrivateKey.deserialize(key.serialize())
+        assert rebuilt.matrix_id == key.matrix_id
+        assert rebuilt.p_dc == key.p_dc
+        assert rebuilt.p_ac == key.p_ac
+
+    def test_from_seed_material_deterministic(self):
+        a = PrivateKey.from_seed_material("m", "shared-secret")
+        b = PrivateKey.from_seed_material("m", "shared-secret")
+        assert a.p_dc == b.p_dc and a.p_ac == b.p_ac
+
+    def test_size_accounting(self):
+        key = PrivateKey.generate("ab", rng_from_key("k2"))
+        # 2 + 2 id bytes + ceil(2 * 64 * 11 / 8) = 4 + 176.
+        assert key.serialized_size_bytes() == 4 + 176
+
+    def test_require_id(self):
+        key = PrivateKey.generate("m1", rng_from_key("k3"))
+        key.require_id("m1")
+        with pytest.raises(KeyMismatchError):
+            key.require_id("m2")
+
+
+class TestFinerGrainedLevels:
+    """settings_for_target_bits — the paper's 'future work' extension."""
+
+    def test_zero_target_is_dc_only(self):
+        from repro.core.policy import settings_for_target_bits
+
+        settings = settings_for_target_bits(0)
+        assert settings.n_perturbed == 1  # DC only
+
+    def test_target_met_with_minimal_k(self):
+        from repro.core.policy import ac_secure_bits, settings_for_target_bits
+
+        for target in (1, 10, 25, 50, 100, 300, 693):
+            settings = settings_for_target_bits(target)
+            assert ac_secure_bits(settings) >= target
+            # Minimality in K: one fewer perturbed coefficient cannot
+            # reach the target even at the widest range.
+            if settings.n_perturbed > 1:
+                from repro.core.policy import PrivacySettings
+
+                smaller = PrivacySettings(2048, settings.n_perturbed - 1)
+                assert ac_secure_bits(smaller) < target
+
+    def test_monotone_in_target(self):
+        from repro.core.policy import settings_for_target_bits
+
+        ks = [
+            settings_for_target_bits(t).n_perturbed
+            for t in (0, 20, 60, 200, 500)
+        ]
+        assert ks == sorted(ks)
+
+    def test_unreachable_target_rejected(self):
+        from repro.core.policy import settings_for_target_bits
+        from repro.util.errors import ReproError
+
+        with pytest.raises(ReproError):
+            settings_for_target_bits(694)
+        with pytest.raises(ReproError):
+            settings_for_target_bits(-1)
+
+    def test_custom_settings_round_trip_protection(self, noise_image):
+        from repro.core.keys import generate_private_key
+        from repro.core.perturb import perturb_regions
+        from repro.core.policy import settings_for_target_bits
+        from repro.core.reconstruct import reconstruct_regions
+        from repro.core.roi import RegionOfInterest
+        from repro.util.rect import Rect
+
+        settings = settings_for_target_bits(128)
+        roi = RegionOfInterest(
+            "r", Rect(8, 8, 24, 24), settings, scheme="puppies-c"
+        )
+        key = generate_private_key(roi.matrix_id, "o")
+        perturbed, public = perturb_regions(
+            noise_image, [roi], {roi.matrix_id: key}
+        )
+        recovered = reconstruct_regions(
+            perturbed, public, {roi.matrix_id: key}
+        )
+        assert recovered.coefficients_equal(noise_image)

@@ -1,0 +1,94 @@
+"""PSP storage-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.keys import generate_private_key
+from repro.core.perturb import perturb_regions
+from repro.core.psp import Psp
+from repro.core.roi import RegionOfInterest
+from repro.jpeg.coefficients import CoefficientImage
+from repro.transforms import Rotate90, Scale
+from repro.util.errors import ReproError
+from repro.util.rect import Rect
+
+
+@pytest.fixture()
+def uploaded(noise_image):
+    roi = RegionOfInterest("r", Rect(8, 8, 24, 24))
+    key = generate_private_key(roi.matrix_id, "psp-owner")
+    perturbed, public = perturb_regions(
+        noise_image, [roi], {roi.matrix_id: key}
+    )
+    psp = Psp()
+    size = psp.upload("img", perturbed, public)
+    return psp, perturbed, public, key, size
+
+
+class TestStorage:
+    def test_upload_returns_stored_size(self, uploaded):
+        psp, _perturbed, _public, _key, size = uploaded
+        assert size == psp.storage_size("img")
+        assert size > 0
+
+    def test_stored_image_roundtrips_through_bytes(self, uploaded):
+        psp, perturbed, _public, _key, _size = uploaded
+        assert psp.download("img").coefficients_equal(perturbed)
+
+    def test_public_data_roundtrips_through_bytes(self, uploaded):
+        psp, _perturbed, public, _key, _size = uploaded
+        stored_public = psp.public_data("img")
+        assert stored_public.height == public.height
+        assert [r.region_id for r in stored_public.regions] == [
+            r.region_id for r in public.regions
+        ]
+
+    def test_duplicate_id_rejected(self, uploaded, noise_image):
+        psp, perturbed, public, _key, _size = uploaded
+        with pytest.raises(ReproError):
+            psp.upload("img", perturbed, public)
+
+    def test_unknown_id_rejected(self, uploaded):
+        psp, *_ = uploaded
+        with pytest.raises(ReproError):
+            psp.download("nope")
+        with pytest.raises(ReproError):
+            psp.public_data("nope")
+
+    def test_image_ids_listing(self, uploaded):
+        psp, *_ = uploaded
+        assert psp.image_ids() == ["img"]
+
+
+class TestTransformService:
+    def test_transform_records_params_in_public_data(self, uploaded):
+        psp, _perturbed, _public, _key, _size = uploaded
+        transform = Scale(24, 32)
+        _planes, params = psp.download_transformed("img", transform)
+        assert params["name"] == "scale"
+        assert psp.public_data("img").transform_params == params
+
+    def test_transform_output_matches_direct_application(self, uploaded):
+        psp, perturbed, _public, _key, _size = uploaded
+        transform = Rotate90(1)
+        planes, _params = psp.download_transformed("img", transform)
+        direct = transform.apply(perturbed.to_sample_planes())
+        for a, b in zip(planes, direct):
+            assert np.allclose(a, b, atol=1e-9)
+
+    def test_recompression_uses_requested_quality(self, uploaded):
+        psp, _perturbed, _public, _key, _size = uploaded
+        recompressed, params = psp.download_recompressed("img", 30)
+        assert params == {"name": "recompress", "quality": 30}
+        # Coarser tables than the stored copy's.
+        stored = psp.download("img")
+        assert (
+            recompressed.quant_tables[0].sum()
+            > stored.quant_tables[0].sum()
+        )
+
+    def test_psp_never_sees_plaintext_region(self, uploaded, noise_image):
+        """The stored bytes decode to a scrambled region, always."""
+        psp, *_ = uploaded
+        stored = psp.download("img")
+        assert not stored.coefficients_equal(noise_image)

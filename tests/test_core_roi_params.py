@@ -1,0 +1,177 @@
+"""ROI recommendation geometry and public-parameter accounting tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.keys import generate_private_key
+from repro.core.params import (
+    BITS_PER_INDEX_ENTRY,
+    REGION_HEADER_BYTES,
+    ImagePublicData,
+    RegionParams,
+)
+from repro.core.perturb import perturb_regions
+from repro.core.policy import DEFAULT_PRIVACY
+from repro.core.roi import (
+    RegionOfInterest,
+    align_and_disjoin,
+    recommend_rois,
+    validate_rois,
+)
+from repro.util.errors import ReproError, RoiError
+from repro.util.rect import Rect
+
+
+class TestAlignAndDisjoin:
+    def test_output_aligned_and_disjoint(self):
+        rects = [Rect(3, 5, 20, 20), Rect(15, 15, 20, 20), Rect(50, 2, 9, 9)]
+        pieces = align_and_disjoin(rects, 100, 100)
+        for piece in pieces:
+            assert piece.is_aligned(8)
+        for i, a in enumerate(pieces):
+            for b in pieces[i + 1 :]:
+                assert not a.intersects(b)
+
+    def test_union_covers_inputs(self):
+        rects = [Rect(3, 5, 20, 20), Rect(15, 15, 20, 20)]
+        pieces = align_and_disjoin(rects, 100, 100)
+        for rect in rects:
+            for y in (rect.y, rect.y2 - 1):
+                for x in (rect.x, rect.x2 - 1):
+                    assert any(p.contains_point(y, x) for p in pieces)
+
+    def test_clips_to_padded_bounds(self):
+        pieces = align_and_disjoin([Rect(90, 90, 50, 50)], 100, 100)
+        padded = Rect(0, 0, 104, 104)
+        for piece in pieces:
+            assert padded.contains(piece)
+
+    def test_fully_outside_dropped(self):
+        assert align_and_disjoin([Rect(500, 500, 10, 10)], 100, 100) == []
+
+
+class TestRecommendRois:
+    def test_produces_valid_regions(self):
+        detections = [Rect(10, 10, 30, 30), Rect(25, 25, 30, 30)]
+        rois = recommend_rois(detections, 100, 100)
+        validate_rois(rois, (13, 13))
+        assert all(roi.scheme == "puppies-c" for roi in rois)
+        assert all(roi.settings == DEFAULT_PRIVACY for roi in rois)
+
+    def test_unique_ids_and_matrix_ids(self):
+        rois = recommend_rois(
+            [Rect(0, 0, 20, 20), Rect(40, 40, 20, 20)], 100, 100
+        )
+        ids = [roi.region_id for roi in rois]
+        assert len(set(ids)) == len(ids)
+        matrix_ids = [roi.matrix_id for roi in rois]
+        assert len(set(matrix_ids)) == len(matrix_ids)
+
+    def test_merge_clusters_mode(self):
+        rois = recommend_rois(
+            [Rect(10, 10, 20, 20), Rect(20, 20, 20, 20)],
+            100,
+            100,
+            merge_clusters=True,
+        )
+        assert len(rois) == 1
+
+    def test_recommended_rois_perturbable(self, noise_image):
+        rois = recommend_rois(
+            [Rect(5, 5, 25, 30), Rect(20, 28, 20, 20)],
+            noise_image.height,
+            noise_image.width,
+        )
+        keys = {
+            roi.matrix_id: generate_private_key(roi.matrix_id, "o")
+            for roi in rois
+        }
+        perturbed, _public = perturb_regions(noise_image, rois, keys)
+        assert not perturbed.coefficients_equal(noise_image)
+
+
+class TestValidateRois:
+    def test_accepts_valid(self):
+        rois = [
+            RegionOfInterest("a", Rect(0, 0, 16, 16)),
+            RegionOfInterest("b", Rect(24, 24, 8, 8)),
+        ]
+        validate_rois(rois, (8, 8))
+
+    def test_rejects_overlap(self):
+        rois = [
+            RegionOfInterest("a", Rect(0, 0, 16, 16)),
+            RegionOfInterest("b", Rect(8, 8, 16, 16)),
+        ]
+        with pytest.raises(RoiError):
+            validate_rois(rois, (8, 8))
+
+
+class TestRegionParams:
+    def _region(self, noise_image, scheme="puppies-z"):
+        roi = RegionOfInterest(
+            "r0", Rect(8, 8, 24, 24), DEFAULT_PRIVACY, scheme=scheme
+        )
+        key = generate_private_key(roi.matrix_id, "o")
+        _perturbed, public = perturb_regions(
+            noise_image, [roi], {roi.matrix_id: key}
+        )
+        return public.regions[0], public
+
+    def test_block_rect_conversion(self, noise_image):
+        region, _ = self._region(noise_image)
+        assert region.block_rect == Rect(1, 1, 3, 3)
+        assert region.n_blocks == 9
+
+    def test_unaligned_rect_rejected(self):
+        region = RegionParams(
+            region_id="x",
+            rect=Rect(1, 0, 8, 8),
+            scheme="puppies-c",
+            settings=DEFAULT_PRIVACY,
+            matrix_id="m",
+            wind=[],
+            zind=[],
+        )
+        with pytest.raises(ReproError):
+            _ = region.block_rect
+
+    def test_size_accounting_components(self, noise_image):
+        region, _ = self._region(noise_image)
+        base = region.public_size_bytes(
+            include_zind=False, include_transform_support=False
+        )
+        assert base == REGION_HEADER_BYTES
+        with_zind = region.public_size_bytes(
+            include_zind=True, include_transform_support=False
+        )
+        index_bits = region.zind_entries() * BITS_PER_INDEX_ENTRY
+        bitmap_bits = sum(mask.size for mask in region.zind)
+        expected_zind = 1 + (min(index_bits, bitmap_bits) + 7) // 8
+        assert with_zind == base + expected_zind
+        full = region.public_size_bytes()
+        assert full >= with_zind
+
+    def test_dense_index_sets_switch_to_bitmap(self, noise_image):
+        # A region where every coefficient wrapped must cost no more than
+        # a bitmap, never 28 bits per entry.
+        import numpy as np
+
+        region, _ = self._region(noise_image, scheme="puppies-c")
+        region.wind = [np.ones_like(mask) for mask in region.wind]
+        n_bits = sum(mask.size for mask in region.wind)
+        size = region.public_size_bytes(include_zind=False)
+        assert size <= REGION_HEADER_BYTES + 1 + (n_bits + 7) // 8
+
+    def test_wind_entries_counted(self, noise_image):
+        region, _ = self._region(noise_image, scheme="puppies-c")
+        # With medium privacy, DC perturbations wrap about half the time.
+        assert region.wind_entries() > 0
+
+    def test_image_public_data_queries(self, noise_image):
+        region, public = self._region(noise_image)
+        assert public.region_by_id("r0") is region
+        assert public.regions_for_matrix(region.matrix_id) == [region]
+        with pytest.raises(ReproError):
+            public.region_by_id("nope")
+        assert public.params_size_bytes() > 16

@@ -1,0 +1,116 @@
+"""Public-data wire-format tests (the RPPD container)."""
+
+import numpy as np
+import pytest
+
+from repro.core.keys import generate_private_key
+from repro.core.perturb import SCHEMES, perturb_regions
+from repro.core.policy import PrivacyLevel, PrivacySettings
+from repro.core.roi import RegionOfInterest
+from repro.core.reconstruct import reconstruct_regions
+from repro.core.serialization import (
+    deserialize_public_data,
+    serialize_public_data,
+)
+from repro.util.errors import ReproError
+from repro.util.rect import Rect
+
+
+def _protect(image, scheme, settings=None):
+    roi = RegionOfInterest(
+        "r0",
+        Rect(8, 16, 24, 32),
+        settings or PrivacySettings.for_level(PrivacyLevel.MEDIUM),
+        scheme=scheme,
+    )
+    key = generate_private_key(roi.matrix_id, "ser-owner")
+    perturbed, public = perturb_regions(image, [roi], {roi.matrix_id: key})
+    return perturbed, public, {roi.matrix_id: key}
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_fields_survive(self, noise_image, scheme):
+        _perturbed, public, _keys = _protect(noise_image, scheme)
+        rebuilt = deserialize_public_data(serialize_public_data(public))
+        assert rebuilt.height == public.height
+        assert rebuilt.width == public.width
+        assert rebuilt.blocks_shape == public.blocks_shape
+        assert rebuilt.colorspace == public.colorspace
+        for a, b in zip(rebuilt.quant_tables, public.quant_tables):
+            assert np.array_equal(a, b)
+        assert len(rebuilt.regions) == len(public.regions)
+        orig = public.regions[0]
+        back = rebuilt.regions[0]
+        assert back.region_id == orig.region_id
+        assert back.rect == orig.rect
+        assert back.scheme == orig.scheme
+        assert back.settings == orig.settings
+        assert back.matrix_id == orig.matrix_id
+        for a, b in zip(back.wind, orig.wind):
+            assert np.array_equal(a, b)
+        for a, b in zip(back.zind, orig.zind):
+            assert np.array_equal(a, b)
+        for a, b in zip(back.skip, orig.skip):
+            assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_reconstruction_from_deserialized_params(
+        self, noise_image, scheme
+    ):
+        perturbed, public, keys = _protect(noise_image, scheme)
+        rebuilt = deserialize_public_data(serialize_public_data(public))
+        recovered = reconstruct_regions(perturbed, rebuilt, keys)
+        assert recovered.coefficients_equal(noise_image)
+
+    def test_transform_params_survive(self, noise_image):
+        from repro.transforms import Scale
+
+        _perturbed, public, _keys = _protect(noise_image, "puppies-c")
+        public.transform_params = Scale(10, 20).to_params()
+        rebuilt = deserialize_public_data(serialize_public_data(public))
+        assert rebuilt.transform_params == public.transform_params
+
+    def test_high_privacy_settings_survive(self, noise_image):
+        _p, public, _k = _protect(
+            noise_image,
+            "puppies-c",
+            PrivacySettings.for_level(PrivacyLevel.HIGH),
+        )
+        rebuilt = deserialize_public_data(serialize_public_data(public))
+        assert rebuilt.regions[0].settings.min_range == 2048
+        assert rebuilt.regions[0].settings.n_perturbed == 64
+
+    def test_shadow_reconstruction_from_deserialized(self, noise_image):
+        from repro.core.shadow import reconstruct_transformed
+        from repro.transforms import Rotate90
+
+        perturbed, public, keys = _protect(noise_image, "puppies-z")
+        rebuilt = deserialize_public_data(serialize_public_data(public))
+        transform = Rotate90(1)
+        transformed = transform.apply(perturbed.to_sample_planes())
+        recovered = reconstruct_transformed(
+            transformed, transform, rebuilt, keys
+        )
+        truth = transform.apply(noise_image.to_sample_planes())
+        for r, t in zip(recovered, truth):
+            assert np.allclose(r, t, atol=1e-7)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ReproError):
+            deserialize_public_data(b"NOPE" + b"\x00" * 32)
+
+    def test_multiple_regions(self, noise_image):
+        rois = [
+            RegionOfInterest("a", Rect(0, 0, 16, 16), scheme="puppies-c"),
+            RegionOfInterest("b", Rect(32, 32, 16, 24), scheme="puppies-z"),
+        ]
+        keys = {
+            roi.matrix_id: generate_private_key(roi.matrix_id, "o")
+            for roi in rois
+        }
+        _perturbed, public = perturb_regions(noise_image, rois, keys)
+        rebuilt = deserialize_public_data(serialize_public_data(public))
+        assert [r.region_id for r in rebuilt.regions] == ["a", "b"]
+        assert rebuilt.regions[1].skip  # -Z keeps its skip masks
+        assert not rebuilt.regions[0].skip

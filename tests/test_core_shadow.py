@@ -1,0 +1,190 @@
+"""Scenario-2 (shadow ROI) reconstruction tests — Section IV-C."""
+
+import numpy as np
+import pytest
+
+from repro.core.keys import generate_private_key
+from repro.core.perturb import SCHEMES, perturb_regions
+from repro.core.policy import PrivacyLevel, PrivacySettings
+from repro.core.roi import RegionOfInterest
+from repro.core.shadow import (
+    build_shadow_planes,
+    reconstruct_recompressed,
+    reconstruct_transformed,
+)
+from repro.transforms import (
+    Crop,
+    Filter,
+    Overlay,
+    Pipeline,
+    Recompress,
+    Rotate,
+    Rotate90,
+    Scale,
+    gaussian_kernel,
+)
+from repro.util.rect import Rect
+
+MEDIUM = PrivacySettings.for_level(PrivacyLevel.MEDIUM)
+
+
+def _protect(image, scheme="puppies-c", rect=Rect(16, 16, 24, 32)):
+    roi = RegionOfInterest("r0", rect, MEDIUM, scheme=scheme)
+    key = generate_private_key(roi.matrix_id, "alice")
+    perturbed, public = perturb_regions(
+        image, [roi], {roi.matrix_id: key}
+    )
+    return perturbed, public, {roi.matrix_id: key}
+
+
+class TestShadowIdentity:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_perturbed_equals_original_plus_shadow(
+        self, noise_image, scheme
+    ):
+        perturbed, public, keys = _protect(noise_image, scheme)
+        shadow = build_shadow_planes(public, keys)
+        original = noise_image.to_sample_planes()
+        for p, o, s in zip(
+            perturbed.to_sample_planes(), original, shadow
+        ):
+            assert np.allclose(p, o + s, atol=1e-8)
+
+    def test_shadow_zero_outside_roi(self, noise_image):
+        _perturbed, public, keys = _protect(
+            noise_image, rect=Rect(16, 16, 16, 16)
+        )
+        shadow = build_shadow_planes(public, keys)
+        for plane in shadow:
+            assert np.allclose(plane[:16, :], 0.0, atol=1e-9)
+            assert np.allclose(plane[40:, :], 0.0, atol=1e-9)
+            assert np.abs(plane[16:32, 16:32]).max() > 1.0
+
+    def test_missing_key_produces_empty_shadow(self, noise_image):
+        _perturbed, public, _keys = _protect(noise_image)
+        shadow = build_shadow_planes(public, {})
+        for plane in shadow:
+            assert np.allclose(plane, 0.0)
+
+
+TRANSFORMS = [
+    Scale(48, 64),
+    Scale(120, 160),
+    Scale(30, 40, method="nearest"),
+    Crop(8, 8, 40, 56),
+    Crop(12, 20, 30, 30),  # non-block-aligned crop is fine in scenario 2
+    Rotate90(1),
+    Rotate90(2),
+    Rotate90(3),
+    Rotate(23.0),
+    Filter(gaussian_kernel(1.3)),
+    Pipeline([Scale(48, 64), Rotate90(1)]),
+]
+
+
+class TestTransformedRecovery:
+    @pytest.mark.parametrize(
+        "transform", TRANSFORMS, ids=lambda t: f"{t.name}{id(t) % 89}"
+    )
+    @pytest.mark.parametrize("scheme", ["puppies-c", "puppies-z"])
+    def test_exact_recovery_after_transform(
+        self, noise_image, transform, scheme
+    ):
+        perturbed, public, keys = _protect(noise_image, scheme)
+        transformed = transform.apply(perturbed.to_sample_planes())
+        recovered = reconstruct_transformed(
+            transformed, transform, public, keys
+        )
+        truth = transform.apply(noise_image.to_sample_planes())
+        for r, t in zip(recovered, truth):
+            assert np.allclose(r, t, atol=1e-7)
+
+    def test_overlay_recovery(self, noise_image, rng):
+        perturbed, public, keys = _protect(noise_image)
+        planes = perturbed.to_sample_planes()
+        overlay = Overlay(
+            [rng.uniform(0, 255, p.shape) for p in planes], alpha=0.25
+        )
+        transformed = overlay.apply(planes)
+        recovered = reconstruct_transformed(
+            transformed, overlay, public, keys
+        )
+        truth = overlay.apply(noise_image.to_sample_planes())
+        for r, t in zip(recovered, truth):
+            assert np.allclose(r, t, atol=1e-7)
+
+    def test_recovery_without_key_stays_scrambled(self, noise_image):
+        perturbed, public, _keys = _protect(noise_image)
+        transform = Scale(48, 64)
+        transformed = transform.apply(perturbed.to_sample_planes())
+        recovered = reconstruct_transformed(
+            transformed, transform, public, {}
+        )
+        truth = transform.apply(noise_image.to_sample_planes())
+        err = max(np.abs(r - t).max() for r, t in zip(recovered, truth))
+        assert err > 50.0
+
+    def test_partial_keys_recover_only_their_region(self, noise_image):
+        rois = [
+            RegionOfInterest("a", Rect(0, 0, 16, 16), MEDIUM),
+            RegionOfInterest("b", Rect(32, 32, 16, 24), MEDIUM),
+        ]
+        keys = {
+            roi.matrix_id: generate_private_key(roi.matrix_id, "alice")
+            for roi in rois
+        }
+        perturbed, public = perturb_regions(noise_image, rois, keys)
+        transform = Rotate90(2)
+        transformed = transform.apply(perturbed.to_sample_planes())
+        only_a = {rois[0].matrix_id: keys[rois[0].matrix_id]}
+        recovered = reconstruct_transformed(
+            transformed, transform, public, only_a
+        )
+        truth = transform.apply(noise_image.to_sample_planes())
+        # 180-degree rotation maps region a (top-left) to bottom-right.
+        h, w = truth[0].shape
+        a_region = (slice(h - 16, h), slice(w - 16, w))
+        b_region = (slice(h - 32 - 16, h - 32), slice(w - 32 - 24, w - 32))
+        assert np.allclose(
+            recovered[0][a_region], truth[0][a_region], atol=1e-7
+        )
+        assert np.abs(recovered[0][b_region] - truth[0][b_region]).max() > 50
+
+    def test_plane_count_mismatch_rejected(self, noise_image):
+        from repro.util.errors import ReproError
+
+        perturbed, public, keys = _protect(noise_image)
+        transform = Scale(48, 64)
+        transformed = transform.apply(perturbed.to_sample_planes())
+        with pytest.raises(ReproError):
+            reconstruct_transformed(
+                transformed[:1], transform, public, keys
+            )
+
+
+class TestRecompressionRecovery:
+    @pytest.mark.parametrize("quality", [30, 50, 70])
+    def test_recovery_within_one_step(self, noise_image, quality):
+        perturbed, public, keys = _protect(noise_image)
+        recompress = Recompress(quality)
+        recompressed_perturbed = recompress.apply_to_image(perturbed)
+        recovered = reconstruct_recompressed(
+            recompressed_perturbed, recompress, public, keys
+        )
+        truth = recompress.apply_to_image(noise_image)
+        for r, t in zip(recovered.channels, truth.channels):
+            assert np.abs(r.astype(int) - t.astype(int)).max() <= 1
+
+    def test_recovery_visually_close(self, smooth_image):
+        from repro.vision.metrics import psnr
+
+        perturbed, public, keys = _protect(
+            smooth_image, rect=Rect(0, 0, 40, 48)
+        )
+        recompress = Recompress(40)
+        recompressed = recompress.apply_to_image(perturbed)
+        recovered = reconstruct_recompressed(
+            recompressed, recompress, public, keys
+        )
+        truth = recompress.apply_to_image(smooth_image)
+        assert psnr(recovered.to_float_array(), truth.to_float_array()) > 35

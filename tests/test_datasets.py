@@ -1,0 +1,206 @@
+"""Synthetic dataset generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    PROFILES,
+    load_dataset,
+    load_image,
+    render_face,
+    sample_identity,
+)
+from repro.datasets import font, shapes
+from repro.datasets.documents import render_document
+from repro.datasets.landscapes import render_landscape
+from repro.datasets.street import render_street
+from repro.util.errors import ReproError
+from repro.util.rect import Rect
+from repro.util.rng import rng_from_key
+
+
+class TestFont:
+    def test_glyphs_are_7x5(self):
+        for char, glyph in font.GLYPHS.items():
+            assert glyph.shape == (7, 5), char
+
+    def test_alphabet_and_digits_covered(self):
+        for char in "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-:./!, ":
+            assert font.glyph_for(char) is not None
+
+    def test_unknown_char_maps_to_space(self):
+        assert np.array_equal(font.glyph_for("@"), font.GLYPHS[" "])
+
+    def test_distinct_glyphs(self):
+        assert not np.array_equal(font.glyph_for("O"), font.glyph_for("0"))
+        assert not np.array_equal(font.glyph_for("I"), font.glyph_for("1"))
+
+    def test_text_mask_width(self):
+        mask = font.text_mask("AB")
+        assert mask.shape == (7, 11)  # 5 + 1 + 5
+
+    def test_text_mask_scaling(self):
+        mask1 = font.text_mask("A", scale=1)
+        mask3 = font.text_mask("A", scale=3)
+        assert mask3.shape == (21, 15)
+        assert mask3.sum() == 9 * mask1.sum()
+
+    def test_render_text_returns_covered_rect(self):
+        img = shapes.canvas(40, 80, (255, 255, 255))
+        rect = font.render_text(img, "HI", 5, 10, (0, 0, 0))
+        assert rect.y == 5 and rect.x == 10
+        assert (img[rect.slices()] == 0).any()
+
+    def test_render_text_clipped_at_border(self):
+        img = shapes.canvas(10, 10, (255, 255, 255))
+        rect = font.render_text(img, "WWWWW", 5, 5, (0, 0, 0))
+        assert rect.y2 <= 10 and rect.x2 <= 10
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            font.text_mask("A", scale=0)
+
+
+class TestShapes:
+    def test_fill_rect_clips(self):
+        img = shapes.canvas(10, 10)
+        shapes.fill_rect(img, Rect(8, 8, 10, 10), (5, 5, 5))
+        assert (img[8:, 8:] == 5).all()
+        assert (img[:8, :8] == 0).all()
+
+    def test_fill_ellipse_inside_only(self):
+        img = shapes.canvas(20, 20)
+        shapes.fill_ellipse(img, (10, 10), (5, 3), (9, 9, 9))
+        assert (img[10, 10] == 9).all()
+        assert (img[10, 14] == 0).all()  # outside the x-axis of 3
+        assert (img[14, 10] == 9).all()  # inside the y-axis of 5
+
+    def test_fill_polygon_triangle(self):
+        img = shapes.canvas(20, 20)
+        shapes.fill_polygon(img, [(2, 2), (2, 17), (17, 2)], (1, 1, 1))
+        assert (img[3, 3] == 1).all()
+        assert (img[16, 16] == 0).all()
+
+    def test_value_noise_smooth_and_bounded(self):
+        noise = shapes.value_noise(rng_from_key("n"), 50, 60, cell=10)
+        assert noise.shape == (50, 60)
+        assert np.abs(noise).max() <= 1.0
+        # Smoothness: neighbouring samples differ far less than the range.
+        assert np.abs(np.diff(noise, axis=0)).max() < 0.5
+
+    def test_ridge_line_length_and_variation(self):
+        ridge = shapes.ridge_line(rng_from_key("r"), 100, base=50.0,
+                                  roughness=10.0)
+        assert ridge.shape == (100,)
+        assert ridge.std() > 0.5
+
+
+class TestFaceRenderer:
+    def test_identity_sampling_varies(self):
+        gen = rng_from_key("ids")
+        a, b = sample_identity(gen), sample_identity(gen)
+        assert a != b
+
+    def test_render_returns_face_box_inside_image(self):
+        img = shapes.canvas(100, 80, (50, 50, 50))
+        identity = sample_identity(rng_from_key("i"))
+        box = render_face(
+            img, Rect(10, 10, 70, 55), identity, rng_from_key("j")
+        )
+        assert box.y >= 0 and box.x >= 0
+        assert box.h >= 8 and box.w >= 8
+
+    def test_face_has_haar_structure(self):
+        # The cheek band must be brighter than hair above and mouth below.
+        img = shapes.canvas(120, 90, (40, 40, 40))
+        identity = sample_identity(rng_from_key("s"))
+        box = render_face(
+            img, Rect(5, 5, 110, 80), identity, rng_from_key("s2"), jitter=0
+        )
+        gray = img.mean(axis=2)
+        rows, cols = box.slices()
+        face = gray[rows, cols]
+        h = face.shape[0]
+        hair = face[: int(0.15 * h)].mean()
+        cheeks = face[int(0.55 * h) : int(0.7 * h)].mean()
+        assert cheeks > hair + 20
+
+    def test_same_identity_similar_across_jitter(self):
+        identity = sample_identity(rng_from_key("p"))
+        imgs = []
+        for seed in ("a", "b"):
+            img = shapes.canvas(100, 80, (60, 60, 60))
+            render_face(img, Rect(5, 5, 90, 70), identity, rng_from_key(seed))
+            imgs.append(img)
+        diff = np.abs(imgs[0] - imgs[1]).mean()
+        assert diff < 40  # same person, modest pose/lighting variation
+
+
+class TestSceneGenerators:
+    def test_landscape_shape_and_annotations(self):
+        img, objects = render_landscape(rng_from_key("l"), 80, 120)
+        assert img.shape == (80, 120, 3)
+        for obj in objects:
+            assert obj.clipped(80, 120) is not None
+
+    def test_document_has_sensitive_lines(self):
+        img, sensitive = render_document(rng_from_key("d"), 100, 160)
+        assert img.shape == (100, 160, 3)
+        assert len(sensitive) >= 2
+        for box in sensitive:
+            assert box.clipped(100, 160) is not None
+
+    def test_street_has_plate_and_car(self):
+        img, ann = render_street(rng_from_key("s"), 100, 150)
+        assert len(ann.texts) == 1  # the license plate
+        assert len(ann.objects) >= 1  # the car
+
+
+class TestLoader:
+    def test_dataset_names(self):
+        assert set(DATASET_NAMES) == {"caltech", "feret", "inria", "pascal"}
+
+    @pytest.mark.parametrize("name", ["caltech", "feret", "inria", "pascal"])
+    def test_profiles_match_rendered_shapes(self, name):
+        profile = PROFILES[name]
+        image = load_image(name, 0)
+        assert image.array.shape == (profile.height, profile.width, 3)
+        assert image.array.dtype == np.uint8
+
+    def test_determinism(self):
+        a = load_image("pascal", 5, seed=3)
+        b = load_image("pascal", 5, seed=3)
+        assert np.array_equal(a.array, b.array)
+        assert a.texts == b.texts and a.faces == b.faces
+
+    def test_seed_changes_content(self):
+        a = load_image("pascal", 5, seed=3)
+        b = load_image("pascal", 5, seed=4)
+        assert not np.array_equal(a.array, b.array)
+
+    def test_feret_identities_cycle(self):
+        n_ids = PROFILES["feret"].n_identities
+        first = load_image("feret", 0)
+        again = load_image("feret", n_ids)
+        assert first.identity == again.identity == 0
+        # Same person, different shot.
+        assert not np.array_equal(first.array, again.array)
+
+    def test_pascal_mix_includes_documents_and_streets(self):
+        images = load_dataset("pascal", n_images=8)
+        assert any(im.texts and not im.objects for im in images)  # document
+        assert any(im.objects and im.texts for im in images)  # street
+
+    def test_load_dataset_count(self):
+        assert len(load_dataset("inria", n_images=3)) == 3
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ReproError):
+            load_image("imagenet", 0)
+
+    def test_all_sensitive_aggregates(self):
+        image = load_image("pascal", 0)
+        assert len(image.all_sensitive) == (
+            len(image.faces) + len(image.texts) + len(image.objects)
+        )

@@ -1,0 +1,31 @@
+"""Every example script must run end to end (they are the quickstart docs).
+
+Each example writes its outputs under ``examples/out/...`` relative to the
+working directory, so the tests run them from a temp directory.
+"""
+
+import os
+import runpy
+
+import pytest
+
+EXAMPLES = [
+    "quickstart.py",
+    "personalized_sharing.py",
+    "psp_transformations.py",
+    "document_redaction.py",
+    "attack_gallery.py",
+]
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_and_writes_outputs(script, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    runpy.run_path(path, run_name="__main__")
+    out_root = tmp_path / "examples" / "out"
+    assert out_root.exists()
+    written = list(out_root.rglob("*.ppm"))
+    assert written, f"{script} wrote no images"

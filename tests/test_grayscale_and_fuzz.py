@@ -1,0 +1,122 @@
+"""Grayscale end-to-end paths and randomized codec fuzzing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.keys import generate_private_key
+from repro.core.perturb import SCHEMES, perturb_regions
+from repro.core.reconstruct import reconstruct_regions
+from repro.core.roi import RegionOfInterest
+from repro.core.shadow import reconstruct_transformed
+from repro.jpeg.codec import decode_image, encode_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.jpeg.filesize import encoded_size_bytes
+from repro.transforms import Scale
+from repro.util.errors import ReproError
+from repro.util.rect import Rect
+
+
+@pytest.fixture(scope="module")
+def gray_image():
+    rng = np.random.default_rng(41)
+    arr = rng.integers(0, 256, (56, 72), dtype=np.uint8)
+    return CoefficientImage.from_array(arr, quality=75)
+
+
+class TestGrayscaleEndToEnd:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_perturb_reconstruct_grayscale(self, gray_image, scheme):
+        roi = RegionOfInterest("r", Rect(8, 8, 24, 32), scheme=scheme)
+        key = generate_private_key(roi.matrix_id, "gray-owner")
+        perturbed, public = perturb_regions(
+            gray_image, [roi], {roi.matrix_id: key}
+        )
+        assert perturbed.n_channels == 1
+        recovered = reconstruct_regions(
+            perturbed, public, {roi.matrix_id: key}
+        )
+        assert recovered.coefficients_equal(gray_image)
+
+    def test_shadow_recovery_grayscale(self, gray_image):
+        roi = RegionOfInterest("r", Rect(8, 8, 24, 32))
+        key = generate_private_key(roi.matrix_id, "gray-owner")
+        perturbed, public = perturb_regions(
+            gray_image, [roi], {roi.matrix_id: key}
+        )
+        transform = Scale(28, 36)
+        transformed = transform.apply(perturbed.to_sample_planes())
+        recovered = reconstruct_transformed(
+            transformed, transform, public, {roi.matrix_id: key}
+        )
+        truth = transform.apply(gray_image.to_sample_planes())
+        assert np.allclose(recovered[0], truth[0], atol=1e-8)
+
+    def test_grayscale_codec_roundtrip(self, gray_image):
+        for optimize in (False, True):
+            data = encode_image(gray_image, optimize=optimize)
+            assert decode_image(data).coefficients_equal(gray_image)
+            assert len(data) == encoded_size_bytes(
+                gray_image, optimize=optimize
+            )
+
+
+# Random-but-valid coefficient images: the codec contract is exact
+# round-trips for any coefficients in the JPEG range, not only for
+# encoder-produced ones (perturbation writes arbitrary in-range values).
+coefficient_arrays = hnp.arrays(
+    dtype=np.int32,
+    shape=st.tuples(
+        st.integers(1, 4), st.integers(1, 4)
+    ).map(lambda bybx: (bybx[0], bybx[1], 8, 8)),
+    elements=st.integers(-1024, 1023),
+)
+
+
+class TestCodecFuzz:
+    @given(coefficient_arrays, st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_arbitrary_inrange_coefficients(self, blocks, optimize):
+        by, bx = blocks.shape[:2]
+        image = CoefficientImage(
+            [blocks],
+            [np.full((8, 8), 7, dtype=np.int32)],
+            by * 8,
+            bx * 8,
+            "gray",
+        )
+        data = encode_image(image, optimize=optimize)
+        assert decode_image(data).coefficients_equal(image)
+        assert len(data) == encoded_size_bytes(image, optimize=optimize)
+
+    @given(coefficient_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_perturb_roundtrip_arbitrary_coefficients(self, blocks):
+        by, bx = blocks.shape[:2]
+        image = CoefficientImage(
+            [blocks],
+            [np.full((8, 8), 5, dtype=np.int32)],
+            by * 8,
+            bx * 8,
+            "gray",
+        )
+        roi = RegionOfInterest(
+            "r", Rect(0, 0, by * 8, bx * 8), scheme="puppies-z"
+        )
+        key = generate_private_key(roi.matrix_id, "fuzz")
+        perturbed, public = perturb_regions(
+            image, [roi], {roi.matrix_id: key}
+        )
+        recovered = reconstruct_regions(
+            perturbed, public, {roi.matrix_id: key}
+        )
+        assert recovered.coefficients_equal(image)
+
+    def test_truncated_stream_raises_cleanly(self, gray_image):
+        data = encode_image(gray_image)
+        from repro.util.errors import CodecError
+
+        with pytest.raises((CodecError, ReproError, Exception)):
+            decode_image(data[: len(data) // 2])

@@ -1,0 +1,176 @@
+"""Cross-module integration tests: the full paper workflows end to end."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import sift_attack
+from repro.core import (
+    PrivacyLevel,
+    PrivacySettings,
+    Receiver,
+    RegionOfInterest,
+    Sender,
+    SharingSession,
+    recommend_rois,
+)
+from repro.core.psp import Psp
+from repro.datasets import load_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.jpeg.filesize import encoded_size_bytes
+from repro.transforms import Pipeline, Rotate90, Scale
+from repro.util.rect import Rect
+from repro.vision import detect_faces, detect_text_regions
+from repro.vision.metrics import detection_precision_recall, psnr
+
+
+class TestDetectorDrivenWorkflow:
+    """Fig. 6's actual pipeline: detectors propose ROIs, owner perturbs."""
+
+    def test_face_detection_to_protection_roundtrip(self):
+        source = load_image("caltech", 1)
+        detections = detect_faces(source.array)
+        assert detections, "detector must find the portrait's face"
+        image = CoefficientImage.from_array(source.array, quality=75)
+        # Owners add a margin around face detections (Section IV-A allows
+        # editing the recommendations); 35% covers detector under-reach.
+        rois = recommend_rois(
+            detections,
+            image.height,
+            image.width,
+            source="face",
+            merge_clusters=True,
+            expand=0.35,
+        )
+        session = SharingSession("owner")
+        session.share(
+            "portrait",
+            image,
+            rois,
+            grants={"friend": [roi.matrix_id for roi in rois]},
+        )
+        # Friend recovers exactly; the PSP copy hides the face.
+        assert session.view("friend", "portrait").coefficients_equal(image)
+        public_pixels = session.view_public("portrait").to_array()
+        _, _, tp = detection_precision_recall(
+            detect_faces(public_pixels), source.faces
+        )
+        assert tp == 0
+
+    def test_document_ssn_protection(self):
+        source = load_image("pascal", 3)  # a document scan
+        boxes = detect_text_regions(source.array)
+        assert boxes
+        image = CoefficientImage.from_array(source.array, quality=75)
+        rois = recommend_rois(boxes, image.height, image.width, source="text")
+        session = SharingSession("hr-department")
+        session.share("record", image, rois)
+        public_pixels = session.view_public("record").to_array()
+        from repro.vision import read_text
+
+        # No stored text region should still read out a 9-digit SSN.
+        for box in source.texts:
+            text = read_text(public_pixels, box)
+            digits = "".join(c for c in text if c.isdigit())
+            ssn_digits = "".join(
+                c
+                for c in read_text(source.array, box)
+                if c.isdigit()
+            )
+            if len(ssn_digits) == 9:
+                assert digits != ssn_digits
+
+
+class TestTransformedSharingEndToEnd:
+    def test_psp_pipeline_scale_then_rotate(self):
+        source = load_image("pascal", 1)
+        image = CoefficientImage.from_array(source.array, quality=75)
+        sender = Sender("alice")
+        psp = Psp()
+        receiver = Receiver("bob")
+        roi = RegionOfInterest(
+            "r", Rect(8, 16, 32, 40),
+            PrivacySettings.for_level(PrivacyLevel.HIGH),
+        )
+        request = sender.protect_image(image, [roi])
+        sender.upload(psp, "img", request)
+        grants = sender.grant("bob", receiver.dh.public, [roi.matrix_id])
+        receiver.accept_grants("alice", sender.dh.public, grants)
+
+        transform = Pipeline([Scale(56, 88), Rotate90(1)])
+        recovered = receiver.fetch_transformed(psp, "img", transform)
+        truth = transform.apply(image.to_sample_planes())
+        for r, t in zip(recovered, truth):
+            assert np.allclose(r, t, atol=1e-7)
+
+    def test_puppies_beats_p3_after_scaling(self):
+        """The Fig. 4 head-to-head: PuPPIeS recovers exactly, P3 loses
+        detail, on the same image and the same transformation."""
+        from repro.baselines import P3
+
+        source = load_image("pascal", 0)
+        image = CoefficientImage.from_array(source.array, quality=75)
+        transform = Scale(123, 188)  # 1.5x upscale
+        truth = transform.apply(image.to_sample_planes())
+
+        # PuPPIeS path.
+        session = SharingSession("owner")
+        by, bx = image.blocks_shape
+        roi = RegionOfInterest("whole", Rect(0, 0, by * 8, bx * 8))
+        session.share(
+            "img", image, [roi], grants={"friend": [roi.matrix_id]}
+        )
+        recovered = session.receivers["friend"].fetch_transformed(
+            session.psp, "img", transform
+        )
+        puppies_psnr = min(psnr(r, t) for r, t in zip(recovered, truth))
+
+        # P3 path.
+        p3 = P3()
+        split = p3.split(image)
+        public_t = transform.apply(split.public.to_sample_planes())
+        p3_recovered = p3.recover_transformed(public_t, split, transform)
+        p3_psnr = min(psnr(r, t) for r, t in zip(p3_recovered, truth))
+
+        assert puppies_psnr > 80  # exact to float precision
+        assert p3_psnr < 45  # visible loss
+        assert puppies_psnr > p3_psnr + 40
+
+
+class TestStorageBehaviour:
+    def test_psp_stores_entropy_coded_bytes(self):
+        source = load_image("pascal", 2)
+        image = CoefficientImage.from_array(source.array, quality=75)
+        session = SharingSession("owner")
+        roi = RegionOfInterest("r", Rect(0, 0, 16, 16))
+        session.share("img", image, [roi])
+        stored = session.psp.stored("img")
+        assert stored.size_bytes == session.psp.storage_size("img")
+        # Small ROI at medium privacy: modest overhead vs the original.
+        original = encoded_size_bytes(image, optimize=True)
+        assert stored.size_bytes < 2.0 * original
+
+    def test_perturbed_upload_survives_codec_roundtrip(self):
+        """The PSP stores *bytes*; decryption must work on the decoded
+        copy, not on in-memory state."""
+        source = load_image("pascal", 2)
+        image = CoefficientImage.from_array(source.array, quality=75)
+        session = SharingSession("owner")
+        roi = RegionOfInterest("r", Rect(8, 8, 24, 24))
+        session.share("img", image, [roi], grants={"bob": [roi.matrix_id]})
+        assert session.view("bob", "img").coefficients_equal(image)
+
+
+class TestAttackResilienceEndToEnd:
+    def test_sift_attack_on_stored_upload(self):
+        source = load_image("inria", 1)
+        image = CoefficientImage.from_array(source.array, quality=75)
+        session = SharingSession("owner")
+        by, bx = image.blocks_shape
+        roi = RegionOfInterest(
+            "whole", Rect(0, 0, by * 8, bx * 8),
+            PrivacySettings.for_level(PrivacyLevel.MEDIUM),
+        )
+        session.share("img", image, [roi])
+        stored_pixels = session.view_public("img").to_array()
+        result = sift_attack(source.array, stored_pixels)
+        assert result.n_matched <= 0.15 * max(result.n_original, 1)

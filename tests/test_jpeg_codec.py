@@ -1,0 +1,156 @@
+"""Codec round-trip and file-size accounting tests."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg.codec import JpegCodec, decode_image, encode_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.jpeg.filesize import encoded_size_bytes
+from repro.util.errors import CodecError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("optimize", [False, True])
+    def test_color_roundtrip_exact(self, noise_image, optimize):
+        data = encode_image(noise_image, optimize=optimize)
+        assert decode_image(data).coefficients_equal(noise_image)
+
+    @pytest.mark.parametrize("optimize", [False, True])
+    def test_gray_roundtrip_exact(self, rng, optimize):
+        gray = rng.integers(0, 256, (40, 56), dtype=np.uint8)
+        image = CoefficientImage.from_array(gray, quality=60)
+        data = encode_image(image, optimize=optimize)
+        assert decode_image(data).coefficients_equal(image)
+
+    def test_unaligned_dimensions_roundtrip(self, unaligned_rgb):
+        image = CoefficientImage.from_array(unaligned_rgb, quality=75)
+        assert decode_image(encode_image(image)).coefficients_equal(image)
+
+    def test_smooth_image_roundtrip(self, smooth_image):
+        data = encode_image(smooth_image, optimize=True)
+        assert decode_image(data).coefficients_equal(smooth_image)
+
+    def test_extreme_coefficients_roundtrip(self):
+        # Synthetic coefficients at the wrap boundary (+-1024 range).
+        channels = [np.zeros((2, 3, 8, 8), dtype=np.int32)]
+        channels[0][0, 0, 0, 0] = -1024
+        channels[0][1, 2, 7, 7] = 1023
+        channels[0][0, 1, 0, 1] = -1024
+        tables = [np.ones((8, 8), dtype=np.int32)]
+        image = CoefficientImage(channels, tables, 16, 24, "gray")
+        assert decode_image(encode_image(image)).coefficients_equal(image)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CodecError):
+            decode_image(b"NOPE" + b"\x00" * 64)
+
+    def test_quality_changes_fidelity(self, smooth_rgb):
+        low = CoefficientImage.from_array(smooth_rgb, quality=20)
+        high = CoefficientImage.from_array(smooth_rgb, quality=95)
+        err_low = np.abs(
+            low.to_array().astype(int) - smooth_rgb.astype(int)
+        ).mean()
+        err_high = np.abs(
+            high.to_array().astype(int) - smooth_rgb.astype(int)
+        ).mean()
+        assert err_high < err_low
+
+    def test_decode_pixels_close_to_source(self, smooth_rgb):
+        image = CoefficientImage.from_array(smooth_rgb, quality=85)
+        err = np.abs(
+            image.to_array().astype(int) - smooth_rgb.astype(int)
+        ).mean()
+        assert err < 3.0
+
+
+class TestFileSizeAccounting:
+    @pytest.mark.parametrize("optimize", [False, True])
+    def test_estimator_matches_encoder_exactly(self, rng, optimize):
+        for _ in range(3):
+            arr = rng.integers(0, 256, (33, 47, 3), dtype=np.uint8)
+            image = CoefficientImage.from_array(arr, quality=70)
+            assert encoded_size_bytes(image, optimize=optimize) == len(
+                encode_image(image, optimize=optimize)
+            )
+
+    def test_estimator_matches_on_smooth_image(self, smooth_image):
+        for optimize in (False, True):
+            assert encoded_size_bytes(smooth_image, optimize=optimize) == len(
+                encode_image(smooth_image, optimize=optimize)
+            )
+
+    def test_estimator_matches_on_gray(self, rng):
+        gray = rng.integers(0, 256, (25, 25), dtype=np.uint8)
+        image = CoefficientImage.from_array(gray, quality=50)
+        for optimize in (False, True):
+            assert encoded_size_bytes(image, optimize=optimize) == len(
+                encode_image(image, optimize=optimize)
+            )
+
+    def test_optimized_no_larger_than_default_on_natural(self, smooth_image):
+        assert encoded_size_bytes(smooth_image, optimize=True) <= (
+            encoded_size_bytes(smooth_image, optimize=False)
+        )
+
+    def test_smooth_compresses_better_than_noise(
+        self, smooth_image, noise_image
+    ):
+        smooth_rate = encoded_size_bytes(smooth_image) / (
+            smooth_image.height * smooth_image.width
+        )
+        noise_rate = encoded_size_bytes(noise_image) / (
+            noise_image.height * noise_image.width
+        )
+        assert smooth_rate < noise_rate
+
+
+class TestCoefficientImage:
+    def test_zigzag_channel_roundtrip(self, noise_image):
+        copy = noise_image.copy()
+        zz = copy.zigzag_channel(1)
+        copy.set_zigzag_channel(1, zz)
+        assert copy.coefficients_equal(noise_image)
+
+    def test_zigzag_shape_validation(self, noise_image):
+        with pytest.raises(CodecError):
+            noise_image.copy().set_zigzag_channel(
+                0, np.zeros((3, 64), dtype=np.int32)
+            )
+
+    def test_copy_is_deep(self, noise_image):
+        copy = noise_image.copy()
+        copy.channels[0][0, 0, 0, 0] += 1
+        assert not copy.coefficients_equal(noise_image)
+
+    def test_geometry_properties(self, unaligned_rgb):
+        image = CoefficientImage.from_array(unaligned_rgb)
+        h, w = unaligned_rgb.shape[:2]
+        by, bx = image.blocks_shape
+        assert by * 8 >= h and bx * 8 >= w
+        assert image.padded_shape == (by * 8, bx * 8)
+        assert image.n_blocks == by * bx
+
+    def test_channel_shape_mismatch_rejected(self):
+        with pytest.raises(CodecError):
+            CoefficientImage(
+                [
+                    np.zeros((2, 2, 8, 8), dtype=np.int32),
+                    np.zeros((2, 3, 8, 8), dtype=np.int32),
+                ],
+                [np.ones((8, 8), dtype=np.int32)] * 2,
+                16,
+                16,
+                "ycbcr",
+            )
+
+    def test_padded_planes_extend_cropped_planes(self, unaligned_rgb):
+        image = CoefficientImage.from_array(unaligned_rgb)
+        cropped = image.to_sample_planes()
+        padded = image.to_padded_sample_planes()
+        for c, p in zip(cropped, padded):
+            assert p.shape == image.padded_shape
+            assert np.allclose(p[: c.shape[0], : c.shape[1]], c)
+
+    def test_to_array_shape_matches_input(self, unaligned_rgb):
+        image = CoefficientImage.from_array(unaligned_rgb)
+        assert image.to_array().shape == unaligned_rgb.shape

@@ -1,0 +1,86 @@
+"""DCT, colour transform and block layout tests."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg import color, dct
+
+
+class TestColor:
+    def test_round_trip_identity(self, rng):
+        img = rng.uniform(0, 255, (20, 30, 3))
+        back = color.ycbcr_to_rgb(color.rgb_to_ycbcr(img))
+        assert np.allclose(back, img, atol=1e-9)
+
+    def test_gray_input_maps_to_luma(self):
+        gray = np.full((4, 4, 3), 100.0)
+        ycc = color.rgb_to_ycbcr(gray)
+        assert np.allclose(ycc[..., 0], 100.0)
+        assert np.allclose(ycc[..., 1], 128.0)
+        assert np.allclose(ycc[..., 2], 128.0)
+
+    def test_luma_weights_are_bt601(self):
+        red = np.zeros((1, 1, 3))
+        red[..., 0] = 255
+        assert color.rgb_to_ycbcr(red)[0, 0, 0] == pytest.approx(0.299 * 255)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            color.rgb_to_ycbcr(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            color.ycbcr_to_rgb(np.zeros((4, 4, 2)))
+
+    def test_to_uint8_clamps(self):
+        arr = np.array([[-5.0, 300.0, 127.4]])
+        assert color.to_uint8(arr).tolist() == [[0, 255, 127]]
+
+
+class TestDct:
+    def test_basis_is_orthonormal(self):
+        c = dct.DCT_BASIS
+        assert np.allclose(c @ c.T, np.eye(8), atol=1e-12)
+
+    def test_forward_inverse_identity(self, rng):
+        blocks = rng.uniform(-128, 128, (5, 7, 8, 8))
+        back = dct.inverse_dct_blocks(dct.forward_dct_blocks(blocks))
+        assert np.allclose(back, blocks, atol=1e-9)
+
+    def test_dc_coefficient_is_scaled_mean(self):
+        block = np.full((1, 8, 8), 10.0)
+        coeffs = dct.forward_dct_blocks(block)
+        assert coeffs[0, 0, 0] == pytest.approx(80.0)  # 8 * mean
+        assert np.allclose(coeffs[0].flatten()[1:], 0.0, atol=1e-9)
+
+    def test_linearity(self, rng):
+        a = rng.uniform(-50, 50, (3, 3, 8, 8))
+        b = rng.uniform(-50, 50, (3, 3, 8, 8))
+        lhs = dct.forward_dct_blocks(a + b)
+        rhs = dct.forward_dct_blocks(a) + dct.forward_dct_blocks(b)
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+    def test_blockify_unblockify_roundtrip(self, rng):
+        plane = rng.uniform(0, 255, (24, 40))
+        assert np.array_equal(dct.unblockify(dct.blockify(plane)), plane)
+
+    def test_blockify_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            dct.blockify(np.zeros((10, 16)))
+
+    def test_blockify_layout_is_raster(self):
+        plane = np.arange(16 * 16, dtype=np.float64).reshape(16, 16)
+        blocks = dct.blockify(plane)
+        assert blocks[0, 1, 0, 0] == plane[0, 8]
+        assert blocks[1, 0, 0, 0] == plane[8, 0]
+
+    def test_pad_to_blocks_replicates_edges(self):
+        plane = np.arange(6, dtype=np.float64).reshape(2, 3)
+        padded = dct.pad_to_blocks(plane)
+        assert padded.shape == (8, 8)
+        assert padded[7, 0] == plane[1, 0]
+        assert padded[0, 7] == plane[0, 2]
+
+    def test_plane_roundtrip_with_padding(self, rng):
+        plane = rng.uniform(0, 255, (13, 21))
+        coeffs = dct.forward_dct_plane(plane)
+        back = dct.inverse_dct_plane(coeffs, 13, 21)
+        assert np.allclose(back, plane, atol=1e-9)

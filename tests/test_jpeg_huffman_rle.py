@@ -1,0 +1,168 @@
+"""Huffman coding and run-length symbol layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg import rle
+from repro.jpeg.huffman import (
+    DEFAULT_AC_TABLE,
+    DEFAULT_DC_TABLE,
+    EOB,
+    MAX_CODE_LENGTH,
+    ZRL,
+    HuffmanTable,
+    build_table,
+    optimized_tables,
+)
+from repro.util.bitio import BitReader, BitWriter
+from repro.util.errors import CodecError
+
+
+class TestHuffmanTable:
+    def test_canonical_codes_are_prefix_free(self):
+        table = build_table({0: 10, 1: 7, 2: 3, 3: 1, 4: 1})
+        codes = {
+            symbol: format(table._codes[symbol][0], f"0{length}b")
+            for symbol, (_, length) in table._codes.items()
+        }
+        values = list(codes.values())
+        for i, a in enumerate(values):
+            for b in values[i + 1 :]:
+                assert not a.startswith(b) and not b.startswith(a)
+
+    def test_frequent_symbols_get_short_codes(self):
+        table = build_table({0: 1000, 1: 10, 2: 1})
+        assert table.code_length(0) <= table.code_length(1)
+        assert table.code_length(1) <= table.code_length(2)
+
+    def test_single_symbol_table(self):
+        table = build_table({42: 5})
+        assert table.code_length(42) == 1
+
+    def test_length_limit_respected(self):
+        # A Fibonacci-like frequency profile forces very deep trees.
+        freqs = {}
+        a, b = 1, 1
+        for symbol in range(40):
+            freqs[symbol] = a
+            a, b = b, a + b
+        table = build_table(freqs)
+        assert max(length for _, length in table.lengths) <= MAX_CODE_LENGTH
+
+    def test_encode_decode_symbol_stream(self, rng):
+        table = build_table({s: int(f) for s, f in enumerate([50, 20, 5, 1])})
+        symbols = rng.integers(0, 4, 200).tolist()
+        writer = BitWriter()
+        for s in symbols:
+            table.encode_symbol(writer, s)
+        reader = BitReader(writer.getvalue())
+        decoded = [table.decode_symbol(reader) for _ in symbols]
+        assert decoded == symbols
+
+    def test_unknown_symbol_rejected(self):
+        table = build_table({1: 1, 2: 1})
+        with pytest.raises(CodecError):
+            table.encode_symbol(BitWriter(), 99)
+
+    def test_spec_roundtrip(self):
+        table = build_table({s: 2**s for s in range(12)})
+        counts, symbols = table.to_spec()
+        rebuilt = HuffmanTable.from_spec(counts, symbols)
+        assert rebuilt.lengths == table.lengths
+
+    def test_spec_bytes_formula(self):
+        table = build_table({0: 3, 1: 2, 2: 1})
+        assert table.spec_bytes() == 16 + 2 + 3
+
+    def test_empty_frequencies_rejected(self):
+        with pytest.raises(CodecError):
+            build_table({})
+
+    def test_default_tables_cover_needed_symbols(self):
+        for size in range(14):
+            assert DEFAULT_DC_TABLE.code_length(size) > 0
+        assert DEFAULT_AC_TABLE.code_length(EOB) > 0
+        assert DEFAULT_AC_TABLE.code_length(ZRL) > 0
+        for run in range(16):
+            for size in range(1, 12):
+                assert DEFAULT_AC_TABLE.code_length((run << 4) | size) > 0
+
+    def test_default_ac_table_prefers_eob(self):
+        eob_len = DEFAULT_AC_TABLE.code_length(EOB)
+        rare_len = DEFAULT_AC_TABLE.code_length((15 << 4) | 11)
+        assert eob_len < rare_len
+
+    def test_optimized_tables_drop_unused_symbols(self):
+        dc, ac = optimized_tables({0: 5, 3: 2}, {EOB: 10, 0x11: 4})
+        assert set(dc.symbols) == {0, 3}
+        assert set(ac.symbols) == {EOB, 0x11}
+
+
+class TestMagnitudeCoding:
+    @pytest.mark.parametrize("value", [-1024, -255, -1, 1, 2, 37, 1023])
+    def test_roundtrip(self, value):
+        size = rle.magnitude_category(value)
+        bits = rle.encode_magnitude(value, size)
+        assert rle.decode_magnitude(bits, size) == value
+
+    def test_category_values(self):
+        assert rle.magnitude_category(0) == 0
+        assert rle.magnitude_category(1) == 1
+        assert rle.magnitude_category(-1) == 1
+        assert rle.magnitude_category(255) == 8
+        assert rle.magnitude_category(-1024) == 11
+
+    def test_vectorized_matches_scalar(self, rng):
+        values = rng.integers(-1024, 1024, 500)
+        vec = rle.magnitude_categories(values)
+        scalar = [rle.magnitude_category(int(v)) for v in values]
+        assert vec.tolist() == scalar
+
+    def test_nonzero_in_size_zero_rejected(self):
+        with pytest.raises(CodecError):
+            rle.encode_magnitude(3, 0)
+
+
+class TestAcSymbols:
+    def test_all_zero_block_is_single_eob(self):
+        symbols = list(rle.ac_symbols(np.zeros(63, dtype=np.int32)))
+        assert symbols == [(EOB, 0)]
+
+    def test_trailing_nonzero_has_no_eob(self):
+        ac = np.zeros(63, dtype=np.int32)
+        ac[62] = 5
+        symbols = list(rle.ac_symbols(ac))
+        assert symbols[-1][0] != EOB
+
+    def test_long_run_emits_zrl(self):
+        ac = np.zeros(63, dtype=np.int32)
+        ac[40] = -3
+        symbols = list(rle.ac_symbols(ac))
+        zrls = [s for s, _ in symbols if s == ZRL]
+        assert len(zrls) == 40 // 16
+        run_symbol = symbols[len(zrls)][0]
+        assert run_symbol >> 4 == 40 % 16
+
+    def test_decode_inverts_encode(self, rng):
+        for _ in range(25):
+            ac = rng.integers(-40, 40, 63).astype(np.int32)
+            ac[rng.random(63) < 0.7] = 0
+            decoded = rle.decode_ac_block(iter(rle.ac_symbols(ac)))
+            assert np.array_equal(decoded, ac)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(CodecError):
+            list(rle.ac_symbols(np.zeros(64, dtype=np.int32)))
+
+
+class TestDcDifferences:
+    def test_roundtrip(self, rng):
+        dc = rng.integers(-1000, 1000, 50).astype(np.int64)
+        diffs = rle.dc_differences(dc)
+        assert np.array_equal(
+            rle.dc_from_differences(diffs.tolist()), dc
+        )
+
+    def test_first_difference_is_absolute(self):
+        diffs = rle.dc_differences(np.array([7, 9, 4], dtype=np.int64))
+        assert diffs.tolist() == [7, 2, -5]

@@ -1,0 +1,192 @@
+"""Lossless DCT-domain transformation tests (the jpegtran operations)."""
+
+import numpy as np
+import pytest
+
+from repro.core.keys import generate_private_key
+from repro.core.lossless_recovery import (
+    apply_lossless,
+    invert_lossless_op,
+    reconstruct_lossless,
+)
+from repro.core.perturb import SCHEMES, perturb_regions
+from repro.core.roi import RegionOfInterest
+from repro.core.system import SharingSession
+from repro.jpeg import lossless
+from repro.jpeg.coefficients import CoefficientImage
+from repro.util.errors import TransformError
+from repro.util.rect import Rect
+
+
+@pytest.fixture(scope="module")
+def aligned_image():
+    rng = np.random.default_rng(21)
+    arr = rng.integers(0, 256, (48, 64, 3), dtype=np.uint8)
+    return CoefficientImage.from_array(arr, quality=75)
+
+
+class TestLosslessOps:
+    def test_transpose_matches_pixel_domain(self, aligned_image):
+        got = lossless.transpose(aligned_image).to_float_array()
+        want = np.swapaxes(aligned_image.to_float_array(), 0, 1)
+        assert np.allclose(got, want, atol=1e-9)
+
+    def test_flips_match_pixel_domain(self, aligned_image):
+        ref = aligned_image.to_float_array()
+        assert np.allclose(
+            lossless.flip_horizontal(aligned_image).to_float_array(),
+            ref[:, ::-1],
+            atol=1e-9,
+        )
+        assert np.allclose(
+            lossless.flip_vertical(aligned_image).to_float_array(),
+            ref[::-1],
+            atol=1e-9,
+        )
+
+    @pytest.mark.parametrize("turns", [0, 1, 2, 3])
+    def test_rotations_match_numpy(self, aligned_image, turns):
+        got = lossless.rotate90(aligned_image, turns).to_float_array()
+        want = np.rot90(aligned_image.to_float_array(), turns)
+        assert np.allclose(got, want, atol=1e-9)
+
+    def test_rotation_roundtrip_is_exact_integers(self, aligned_image):
+        back = lossless.rotate90(lossless.rotate90(aligned_image, 1), 3)
+        assert back.coefficients_equal(aligned_image)
+
+    def test_double_flip_identity(self, aligned_image):
+        back = lossless.flip_horizontal(
+            lossless.flip_horizontal(aligned_image)
+        )
+        assert back.coefficients_equal(aligned_image)
+
+    def test_crop_matches_pixel_domain(self, aligned_image):
+        got = lossless.crop(aligned_image, Rect(8, 16, 24, 32))
+        want = aligned_image.to_float_array()[8:32, 16:48]
+        assert np.allclose(got.to_float_array(), want, atol=1e-9)
+
+    def test_quant_tables_transpose_with_geometry(self, aligned_image):
+        rotated = lossless.rotate90(aligned_image, 1)
+        assert np.array_equal(
+            rotated.quant_tables[0], aligned_image.quant_tables[0].T
+        )
+
+    def test_unaligned_dimensions_rejected(self, unaligned_rgb):
+        image = CoefficientImage.from_array(unaligned_rgb)
+        with pytest.raises(TransformError):
+            lossless.rotate90(image)
+        with pytest.raises(TransformError):
+            lossless.flip_horizontal(image)
+
+    def test_unaligned_crop_rejected(self, aligned_image):
+        with pytest.raises(TransformError):
+            lossless.crop(aligned_image, Rect(3, 0, 8, 8))
+
+    def test_crop_out_of_grid_rejected(self, aligned_image):
+        with pytest.raises(TransformError):
+            lossless.crop(aligned_image, Rect(0, 0, 8, 8 * 100))
+
+
+class TestOpRecords:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            {"op": "rotate90", "turns": 1},
+            {"op": "rotate90", "turns": 3},
+            {"op": "flip_h"},
+            {"op": "flip_v"},
+            {"op": "transpose"},
+        ],
+        ids=lambda o: f"{o['op']}{o.get('turns', '')}",
+    )
+    def test_invert_then_apply_is_identity(self, aligned_image, op):
+        inverse = invert_lossless_op(op)
+        back = apply_lossless(
+            apply_lossless(aligned_image, op), inverse
+        )
+        assert back.coefficients_equal(aligned_image)
+
+    def test_crop_not_invertible(self):
+        assert invert_lossless_op(
+            {"op": "crop", "y": 0, "x": 0, "h": 8, "w": 8}
+        ) is None
+
+    def test_unknown_op_rejected(self, aligned_image):
+        with pytest.raises(TransformError):
+            apply_lossless(aligned_image, {"op": "teleport"})
+
+
+class TestLosslessRecovery:
+    def _protect(self, image, scheme="puppies-c", rect=Rect(8, 8, 24, 32)):
+        roi = RegionOfInterest("r0", rect, scheme=scheme)
+        key = generate_private_key(roi.matrix_id, "lossless-owner")
+        perturbed, public = perturb_regions(
+            image, [roi], {roi.matrix_id: key}
+        )
+        return perturbed, public, {roi.matrix_id: key}
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize(
+        "op",
+        [
+            {"op": "rotate90", "turns": 1},
+            {"op": "rotate90", "turns": 2},
+            {"op": "flip_h"},
+            {"op": "transpose"},
+        ],
+        ids=lambda o: f"{o['op']}{o.get('turns', '')}",
+    )
+    def test_bit_exact_recovery_invertible_ops(
+        self, aligned_image, scheme, op
+    ):
+        perturbed, public, keys = self._protect(aligned_image, scheme)
+        transformed = apply_lossless(perturbed, op)
+        recovered = reconstruct_lossless(transformed, op, public, keys)
+        truth = apply_lossless(aligned_image, op)
+        assert recovered.coefficients_equal(truth)
+
+    @pytest.mark.parametrize("scheme", ["puppies-b", "puppies-c", "puppies-z"])
+    def test_bit_exact_recovery_after_crop(self, aligned_image, scheme):
+        # Crop window overlaps the protected region partially.
+        perturbed, public, keys = self._protect(
+            aligned_image, scheme, rect=Rect(8, 8, 24, 32)
+        )
+        op = {"op": "crop", "y": 16, "x": 24, "h": 24, "w": 32}
+        transformed = apply_lossless(perturbed, op)
+        recovered = reconstruct_lossless(transformed, op, public, keys)
+        truth = apply_lossless(aligned_image, op)
+        assert recovered.coefficients_equal(truth)
+
+    def test_crop_outside_region_leaves_image_unchanged(self, aligned_image):
+        perturbed, public, keys = self._protect(
+            aligned_image, rect=Rect(0, 0, 8, 8)
+        )
+        op = {"op": "crop", "y": 24, "x": 32, "h": 16, "w": 16}
+        transformed = apply_lossless(perturbed, op)
+        recovered = reconstruct_lossless(transformed, op, public, keys)
+        assert recovered.coefficients_equal(
+            apply_lossless(aligned_image, op)
+        )
+
+    def test_missing_key_stays_perturbed(self, aligned_image):
+        perturbed, public, _keys = self._protect(aligned_image)
+        op = {"op": "flip_h"}
+        transformed = apply_lossless(perturbed, op)
+        recovered = reconstruct_lossless(transformed, op, public, {})
+        truth = apply_lossless(aligned_image, op)
+        assert not recovered.coefficients_equal(truth)
+
+    def test_end_to_end_through_psp(self):
+        rng = np.random.default_rng(33)
+        photo = rng.integers(0, 256, (64, 96, 3), dtype=np.uint8)
+        session = SharingSession("owner")
+        roi = RegionOfInterest("r", Rect(16, 16, 32, 48))
+        session.share("img", photo, [roi], grants={"bob": ["matrix-r"]})
+        bob = session.receivers["bob"]
+        op = {"op": "rotate90", "turns": 1}
+        recovered = bob.fetch_lossless(session.psp, "img", op)
+        reference = CoefficientImage.from_array(photo, quality=75)
+        truth = apply_lossless(reference, op)
+        assert recovered.coefficients_equal(truth)
+        # The PSP's public record mentions the operation.
+        assert session.psp.public_data("img").transform_params == op

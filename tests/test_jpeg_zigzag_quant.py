@@ -1,0 +1,93 @@
+"""Zigzag ordering and quantization tests."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg import quantization as quantlib
+from repro.jpeg.zigzag import (
+    INVERSE_ZIGZAG,
+    ZIGZAG,
+    block_to_zigzag,
+    zigzag_to_block,
+    zigzag_frequency_index,
+)
+from repro.util.errors import CodecError
+
+
+class TestZigzag:
+    def test_zigzag_is_permutation(self):
+        assert sorted(ZIGZAG.tolist()) == list(range(64))
+
+    def test_known_prefix(self):
+        # The canonical JPEG zigzag starts (0,0),(0,1),(1,0),(2,0),(1,1)...
+        expected = [0, 1, 8, 16, 9, 2, 3, 10, 17, 24]
+        assert ZIGZAG[:10].tolist() == expected
+
+    def test_last_entry_is_bottom_right(self):
+        assert ZIGZAG[63] == 63
+
+    def test_roundtrip(self, rng):
+        blocks = rng.integers(-100, 100, (6, 8, 8))
+        assert np.array_equal(
+            zigzag_to_block(block_to_zigzag(blocks)), blocks
+        )
+
+    def test_inverse_is_argsort(self):
+        assert np.array_equal(ZIGZAG[INVERSE_ZIGZAG], np.arange(64))
+
+    def test_frequency_index_dc_is_zero(self):
+        assert zigzag_frequency_index()[0, 0] == 0
+        assert zigzag_frequency_index()[7, 7] == 63
+
+
+class TestQuantization:
+    def test_standard_tables_shapes_and_known_values(self):
+        lum = quantlib.standard_luminance_table()
+        chrom = quantlib.standard_chrominance_table()
+        assert lum.shape == chrom.shape == (8, 8)
+        assert lum[0, 0] == 16 and lum[7, 7] == 99
+        assert chrom[0, 0] == 17 and chrom[7, 7] == 99
+
+    def test_quality_50_is_identity(self):
+        base = quantlib.standard_luminance_table()
+        assert np.array_equal(quantlib.quality_scaled_table(base, 50), base)
+
+    def test_quality_100_is_minimal(self):
+        table = quantlib.quality_scaled_table(
+            quantlib.standard_luminance_table(), 100
+        )
+        assert table.max() <= 2
+        assert table.min() >= 1
+
+    def test_low_quality_is_coarser(self):
+        base = quantlib.standard_luminance_table()
+        coarse = quantlib.quality_scaled_table(base, 10)
+        fine = quantlib.quality_scaled_table(base, 90)
+        assert (coarse >= fine).all()
+        assert coarse.sum() > fine.sum()
+
+    def test_quality_bounds_enforced(self):
+        base = quantlib.standard_luminance_table()
+        with pytest.raises(CodecError):
+            quantlib.quality_scaled_table(base, 0)
+        with pytest.raises(CodecError):
+            quantlib.quality_scaled_table(base, 101)
+
+    def test_quantize_dequantize_bounded_error(self, rng):
+        table = quantlib.standard_luminance_table()
+        raw = rng.uniform(-500, 500, (4, 8, 8))
+        q = quantlib.quantize(raw, table)
+        back = quantlib.dequantize(q, table)
+        assert (np.abs(back - raw) <= table / 2 + 1e-9).all()
+
+    def test_requantize_matches_two_step(self, rng):
+        old = quantlib.quality_scaled_table(
+            quantlib.standard_luminance_table(), 80
+        )
+        new = quantlib.quality_scaled_table(
+            quantlib.standard_luminance_table(), 40
+        )
+        q = rng.integers(-200, 200, (3, 8, 8)).astype(np.int32)
+        re = quantlib.requantize(q, old, new)
+        expected = quantlib.quantize(quantlib.dequantize(q, old), new)
+        assert np.array_equal(re, expected)

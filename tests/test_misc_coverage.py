@@ -1,0 +1,172 @@
+"""Focused tests for helpers exercised only indirectly elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import keystream_bytes, xor_bytes
+from repro.bench.reporting import format_table
+from repro.core.roi import expand_rect
+from repro.datasets import dataset_profile, load_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.search.descriptors import (
+    color_histogram,
+    edge_orientation_histogram,
+    luminance_thumbnail,
+)
+from repro.transforms import Crop, Recompress
+from repro.util.rect import Rect
+
+
+class TestRectHelpers:
+    def test_translated(self):
+        assert Rect(1, 2, 3, 4).translated(10, -1) == Rect(11, 1, 3, 4)
+
+    def test_expand_rect_symmetric(self):
+        expanded = expand_rect(Rect(10, 10, 20, 10), 0.5)
+        assert expanded == Rect(0, 5, 40, 20)
+
+    def test_expand_rect_zero_is_identity(self):
+        rect = Rect(4, 4, 8, 8)
+        assert expand_rect(rect, 0.0) == rect
+
+
+class TestKeystream:
+    def test_deterministic_and_length(self):
+        a = keystream_bytes("seed", 100)
+        b = keystream_bytes("seed", 100)
+        assert a == b and len(a) == 100
+
+    def test_different_seeds_differ(self):
+        assert keystream_bytes("a", 64) != keystream_bytes("b", 64)
+
+    def test_xor_is_involution(self):
+        data = bytes(range(50))
+        assert xor_bytes(xor_bytes(data, "k"), "k") == data
+
+
+class TestSearchDescriptorComponents:
+    def test_color_histogram_normalized(self, noise_rgb):
+        hist = color_histogram(noise_rgb)
+        assert hist.shape == (64,)
+        assert np.linalg.norm(hist) == pytest.approx(1.0)
+
+    def test_color_histogram_detects_dominant_color(self):
+        red = np.zeros((8, 8, 3), dtype=np.uint8)
+        red[..., 0] = 250
+        hist = color_histogram(red)
+        assert hist.argmax() == 3 * 16  # highest red bin, zero green/blue
+
+    def test_edge_histogram_directional(self):
+        vertical_edges = np.zeros((32, 32))
+        vertical_edges[:, ::4] = 255.0
+        horizontal_edges = vertical_edges.T
+        hv = edge_orientation_histogram(vertical_edges)
+        hh = edge_orientation_histogram(horizontal_edges)
+        assert not np.allclose(hv, hh)
+
+    def test_thumbnail_zero_mean(self, noise_rgb):
+        thumb = luminance_thumbnail(noise_rgb)
+        assert thumb.shape == (64,)
+        assert abs(thumb.mean()) < 0.2  # mean-centred before normalizing
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"], [("a", 1), ("long-name", 123456)]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len({len(line) for line in lines if line.strip()}) <= 2
+
+    def test_format_table_empty_rows(self):
+        table = format_table(["x"], [])
+        assert "x" in table
+
+
+class TestTransformHelpers:
+    def test_crop_from_rect(self, rng):
+        rect = Rect(2, 3, 4, 5)
+        plane = rng.uniform(0, 1, (10, 10))
+        direct = Crop(2, 3, 4, 5).apply([plane])[0]
+        via_rect = Crop.from_rect(rect).apply([plane])[0]
+        assert np.array_equal(direct, via_rect)
+
+    def test_recompress_new_tables_scale_with_quality(self, smooth_image):
+        coarse = Recompress(20).new_tables(smooth_image)
+        fine = Recompress(90).new_tables(smooth_image)
+        assert coarse[0].sum() > fine[0].sum()
+        assert len(coarse) == smooth_image.n_channels
+
+    def test_requantize_raw_matches_quantize(self, rng):
+        from repro.jpeg.quantization import quantize
+
+        raw = rng.uniform(-300, 300, (2, 8, 8))
+        table = np.full((8, 8), 9, dtype=np.int32)
+        assert np.array_equal(
+            Recompress(50).requantize_raw(raw, table),
+            quantize(raw, table),
+        )
+
+
+class TestCoefficientImageConstruction:
+    def test_from_sample_planes_matches_from_array_gray(self, rng):
+        gray = rng.integers(0, 256, (24, 32), dtype=np.uint8)
+        via_array = CoefficientImage.from_array(gray, quality=60)
+        via_planes = CoefficientImage.from_sample_planes(
+            [gray.astype(np.float64)], via_array.quant_tables, "gray"
+        )
+        assert via_planes.coefficients_equal(via_array)
+
+
+class TestDatasetProfileApi:
+    def test_profile_lookup(self):
+        profile = dataset_profile("inria")
+        assert profile.kind == "landscapes"
+        assert profile.paper_count == 1491
+
+    def test_unknown_profile_rejected(self):
+        from repro.util.errors import ReproError
+
+        with pytest.raises(ReproError):
+            dataset_profile("cifar")
+
+
+class TestReceiverConvenience:
+    def test_fetch_pixels_returns_uint8(self):
+        from repro.core import RegionOfInterest, SharingSession
+
+        session = SharingSession("alice")
+        photo = load_image("pascal", 2).array
+        roi = RegionOfInterest("r", Rect(0, 0, 16, 16))
+        session.share("img", photo, [roi], grants={"bob": ["matrix-r"]})
+        pixels = session.receivers["bob"].fetch_pixels(session.psp, "img")
+        assert pixels.dtype == np.uint8
+        assert pixels.shape == photo.shape
+
+
+class TestCustomTransformRegistration:
+    def test_register_and_deserialize_custom_transform(self, rng):
+        from repro.transforms.pipeline import (
+            Transform,
+            register_transform,
+            transform_from_params,
+        )
+
+        @register_transform
+        class Negate(Transform):
+            name = "test-negate"
+
+            def apply(self, planes):
+                return [-p for p in planes]
+
+            def params(self):
+                return {}
+
+            @classmethod
+            def from_params(cls, params):
+                return cls()
+
+        rebuilt = transform_from_params({"name": "test-negate"})
+        plane = rng.uniform(0, 1, (4, 4))
+        assert np.array_equal(rebuilt.apply([plane])[0], -plane)

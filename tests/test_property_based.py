@@ -1,0 +1,198 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These pin the algebra the whole system rests on: Lemma III.1's modular
+round trip, entropy-coding round trips, zigzag/rect geometry, Huffman
+prefix codes and the Algorithm 3 range structure — for *arbitrary* inputs,
+not just the fixtures.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.perturb import wrap_add, wrap_subtract
+from repro.core.policy import PrivacySettings, range_matrix
+from repro.jpeg import rle
+from repro.jpeg.huffman import build_table
+from repro.jpeg.zigzag import block_to_zigzag, zigzag_to_block
+from repro.util.bitio import BitReader, BitWriter
+from repro.util.rect import Rect, _union_area, split_into_disjoint
+
+coefficients = st.integers(min_value=-1024, max_value=1023)
+perturbations = st.integers(min_value=0, max_value=2047)
+
+
+class TestLemmaIII1:
+    @given(
+        st.lists(coefficients, min_size=1, max_size=64),
+        st.lists(perturbations, min_size=1, max_size=64),
+    )
+    def test_wrap_roundtrip_is_identity(self, bs, ps):
+        n = min(len(bs), len(ps))
+        b = np.array(bs[:n], dtype=np.int64)
+        p = np.array(ps[:n], dtype=np.int64)
+        e, _w = wrap_add(b, p)
+        assert np.array_equal(wrap_subtract(e, p), b)
+
+    @given(
+        st.lists(coefficients, min_size=1, max_size=64),
+        st.lists(perturbations, min_size=1, max_size=64),
+    )
+    def test_encrypted_stays_in_jpeg_range(self, bs, ps):
+        n = min(len(bs), len(ps))
+        e, _w = wrap_add(
+            np.array(bs[:n], dtype=np.int64),
+            np.array(ps[:n], dtype=np.int64),
+        )
+        assert e.min() >= -1024 and e.max() <= 1023
+
+    @given(coefficients, perturbations)
+    def test_wrap_flag_equals_carry(self, b, p):
+        e, w = wrap_add(np.array([b]), np.array([p]))
+        assert int(w[0]) == (b + p + 1024) // 2048
+        # The delta identity the shadow ROI relies on: e - b = p - 2048w.
+        assert int(e[0]) - b == p - 2048 * int(w[0])
+
+
+class TestMagnitudeCoding:
+    @given(st.integers(min_value=-4095, max_value=4095))
+    def test_roundtrip(self, value):
+        size = rle.magnitude_category(value)
+        assert rle.decode_magnitude(rle.encode_magnitude(value, size), size) == value
+
+    @given(st.integers(min_value=-4095, max_value=4095).filter(lambda v: v))
+    def test_bits_fit_in_category(self, value):
+        size = rle.magnitude_category(value)
+        bits = rle.encode_magnitude(value, size)
+        assert 0 <= bits < (1 << size)
+
+
+class TestAcSymbolLayer:
+    @given(
+        st.lists(
+            st.integers(min_value=-1024, max_value=1023), min_size=63,
+            max_size=63
+        ),
+        st.floats(min_value=0.0, max_value=0.97),
+    )
+    @settings(max_examples=50)
+    def test_rle_roundtrip(self, values, zero_fraction):
+        ac = np.array(values, dtype=np.int32)
+        n_zero = int(zero_fraction * 63)
+        ac[:n_zero] = 0
+        decoded = rle.decode_ac_block(iter(rle.ac_symbols(ac)))
+        assert np.array_equal(decoded, ac)
+
+
+class TestBitIo:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=(1 << 20) - 1),
+                st.integers(min_value=20, max_value=24),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_writer_reader_roundtrip(self, fields):
+        writer = BitWriter()
+        for value, width in fields:
+            writer.write_bits(value, width)
+        reader = BitReader(writer.getvalue())
+        for value, width in fields:
+            assert reader.read_bits(width) == value
+
+
+class TestHuffman:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=255),
+            st.integers(min_value=1, max_value=10_000),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50)
+    def test_codes_decode_uniquely(self, freqs):
+        table = build_table(freqs)
+        symbols = sorted(freqs)[:20]
+        writer = BitWriter()
+        for s in symbols:
+            table.encode_symbol(writer, s)
+        reader = BitReader(writer.getvalue())
+        assert [table.decode_symbol(reader) for _ in symbols] == symbols
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=255),
+            st.integers(min_value=1, max_value=10_000),
+            min_size=2,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50)
+    def test_kraft_inequality_holds(self, freqs):
+        table = build_table(freqs)
+        kraft = sum(2.0 ** -length for _, length in table.lengths)
+        assert kraft <= 1.0 + 1e-12
+
+
+class TestZigzag:
+    @given(st.lists(st.integers(-1000, 1000), min_size=64, max_size=64))
+    def test_involution(self, values):
+        block = np.array(values).reshape(8, 8)
+        assert np.array_equal(
+            zigzag_to_block(block_to_zigzag(block)), block
+        )
+
+
+rect_strategy = st.builds(
+    Rect,
+    y=st.integers(0, 50),
+    x=st.integers(0, 50),
+    h=st.integers(1, 30),
+    w=st.integers(1, 30),
+)
+
+
+class TestRectProperties:
+    @given(st.lists(rect_strategy, min_size=1, max_size=8))
+    @settings(max_examples=60)
+    def test_split_is_disjoint_and_area_preserving(self, rects):
+        pieces = split_into_disjoint(rects)
+        for i, a in enumerate(pieces):
+            for b in pieces[i + 1 :]:
+                assert not a.intersects(b)
+        assert _union_area(pieces) == _union_area(rects)
+
+    @given(rect_strategy, st.sampled_from([4, 8, 16]))
+    def test_alignment_covers_and_is_aligned(self, rect, block):
+        aligned = rect.aligned_to(block)
+        assert aligned.is_aligned(block)
+        assert aligned.contains(rect)
+
+    @given(rect_strategy, rect_strategy)
+    def test_intersection_symmetric(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+        assert a.intersects(b) == b.intersects(a)
+
+
+class TestRangeMatrixProperties:
+    @given(
+        st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_structure(self, min_range, n_perturbed):
+        q = range_matrix(
+            PrivacySettings(min_range=min_range, n_perturbed=n_perturbed)
+        )
+        assert q.shape == (64,)
+        # Perturbed prefix: powers of two, floored at min_range (except
+        # the always-full first entry), non-increasing.
+        prefix = q[:n_perturbed]
+        assert (np.diff(prefix) <= 0).all()
+        for value in prefix:
+            assert value & (value - 1) == 0
+        # Beyond K: exactly 1 (no perturbation).
+        assert (q[n_perturbed:] == 1).all()

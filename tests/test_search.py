@@ -1,0 +1,83 @@
+"""Retrieval engine tests (the Fig. 2 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.keys import generate_private_key
+from repro.core.perturb import perturb_regions
+from repro.core.roi import RegionOfInterest
+from repro.datasets import load_dataset, load_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.search import SearchEngine, global_descriptor, top_k_overlap
+from repro.util.errors import ReproError
+from repro.util.rect import Rect
+
+
+@pytest.fixture(scope="module")
+def engine():
+    corpus = {
+        f"inria-{im.index}": im.array
+        for im in load_dataset("inria", n_images=10)
+    }
+    corpus.update(
+        {
+            f"pascal-{im.index}": im.array
+            for im in load_dataset("pascal", n_images=10)
+        }
+    )
+    eng = SearchEngine()
+    eng.index(corpus)
+    return eng
+
+
+class TestDescriptors:
+    def test_descriptor_deterministic(self):
+        img = load_image("inria", 0).array
+        assert np.allclose(global_descriptor(img), global_descriptor(img))
+
+    def test_similar_images_closer_than_dissimilar(self):
+        a = load_image("inria", 0).array
+        b = load_image("inria", 1).array  # another landscape
+        c = load_image("pascal", 3).array  # a document
+        da, db, dc = map(global_descriptor, (a, b, c))
+        cos = lambda x, y: float(  # noqa: E731
+            x @ y / (np.linalg.norm(x) * np.linalg.norm(y))
+        )
+        assert cos(da, db) > cos(da, dc)
+
+
+class TestEngine:
+    def test_query_self_returns_self_first(self, engine):
+        img = load_image("inria", 4).array
+        assert engine.query(img, top_k=3)[0] == "inria-4"
+
+    def test_top_k_size(self, engine):
+        img = load_image("inria", 0).array
+        assert len(engine.query(img, top_k=7)) == 7
+
+    def test_empty_index_rejected(self):
+        with pytest.raises(ReproError):
+            SearchEngine().index({})
+        with pytest.raises(ReproError):
+            SearchEngine().query(np.zeros((8, 8, 3)))
+
+    def test_overlap_metric(self):
+        assert top_k_overlap(["a", "b"], ["b", "a"]) == 1.0
+        assert top_k_overlap(["a", "b"], ["c", "d"]) == 0.0
+        assert top_k_overlap([], ["a"]) == 0.0
+
+    def test_partially_perturbed_query_retrieves_similar_results(
+        self, engine
+    ):
+        """The Fig. 2 experiment: a small perturbed ROI barely moves the
+        top-10, so the perturbed image remains useful for search."""
+        source = load_image("inria", 2)
+        image = CoefficientImage.from_array(source.array, quality=75)
+        roi = RegionOfInterest("r", Rect(64, 80, 48, 64))
+        key = generate_private_key(roi.matrix_id, "o")
+        perturbed, _public = perturb_regions(
+            image, [roi], {roi.matrix_id: key}
+        )
+        original_results = engine.query(source.array, top_k=10)
+        perturbed_results = engine.query(perturbed.to_array(), top_k=10)
+        assert top_k_overlap(original_results, perturbed_results) >= 0.6

@@ -1,0 +1,251 @@
+"""PSP-side transformation tests, including the affinity property that
+shadow reconstruction depends on."""
+
+import numpy as np
+import pytest
+
+from repro.transforms import (
+    Crop,
+    Filter,
+    Overlay,
+    Pipeline,
+    Recompress,
+    Rotate90,
+    Rotate,
+    Scale,
+    box_kernel,
+    gaussian_kernel,
+    sharpen_kernel,
+    transform_from_params,
+)
+from repro.util.errors import TransformError
+
+
+def _planes(rng, shape=(24, 32), n=2):
+    return [rng.uniform(-10, 265, shape) for _ in range(n)]
+
+
+ALL_TRANSFORMS = [
+    Scale(12, 20),
+    Scale(48, 64, method="nearest"),
+    Crop(8, 8, 8, 16),
+    Rotate90(1),
+    Rotate90(2),
+    Rotate(17.5),
+    Filter(gaussian_kernel(1.0)),
+    Filter(sharpen_kernel()),
+]
+
+
+class TestAffinity:
+    """apply(a + b) - apply(b) == apply_linear(a): the shadow identity."""
+
+    @pytest.mark.parametrize(
+        "transform", ALL_TRANSFORMS, ids=lambda t: f"{t.name}-{id(t) % 97}"
+    )
+    def test_linear_part_identity(self, rng, transform):
+        a = _planes(rng)
+        b = _planes(rng)
+        lhs = transform.apply([x + y for x, y in zip(a, b)])
+        rhs_b = transform.apply(b)
+        rhs_a = transform.apply_linear(a)
+        for l, rb, ra in zip(lhs, rhs_b, rhs_a):
+            assert np.allclose(l, rb + ra, atol=1e-9)
+
+    def test_overlay_affinity(self, rng):
+        overlay = Overlay(_planes(rng), alpha=0.3)
+        a = _planes(rng)
+        b = _planes(rng)
+        lhs = overlay.apply([x + y for x, y in zip(a, b)])
+        rhs = [
+            ob + oa
+            for ob, oa in zip(overlay.apply(b), overlay.apply_linear(a))
+        ]
+        for l, r in zip(lhs, rhs):
+            assert np.allclose(l, r, atol=1e-9)
+
+    def test_pipeline_affinity(self, rng):
+        pipe = Pipeline([Scale(16, 24), Filter(box_kernel(3)), Rotate90(1)])
+        a = _planes(rng)
+        b = _planes(rng)
+        lhs = pipe.apply([x + y for x, y in zip(a, b)])
+        rhs_b = pipe.apply(b)
+        rhs_a = pipe.apply_linear(a)
+        for l, rb, ra in zip(lhs, rhs_b, rhs_a):
+            assert np.allclose(l, rb + ra, atol=1e-9)
+
+
+class TestScale:
+    def test_identity_scale_is_exact(self, rng):
+        plane = rng.uniform(0, 255, (16, 16))
+        out = Scale(16, 16).apply([plane])[0]
+        assert np.allclose(out, plane, atol=1e-12)
+
+    def test_output_shape(self, rng):
+        out = Scale(10, 25).apply([rng.uniform(0, 1, (20, 50))])[0]
+        assert out.shape == (10, 25)
+        assert Scale(10, 25).output_shape((20, 50)) == (10, 25)
+
+    def test_downscale_averages(self):
+        plane = np.zeros((4, 4))
+        plane[:, 2:] = 100.0
+        out = Scale(2, 2).apply([plane])[0]
+        assert out[0, 0] < out[0, 1]
+
+    def test_constant_plane_preserved(self):
+        plane = np.full((12, 12), 42.0)
+        out = Scale(30, 7).apply([plane])[0]
+        assert np.allclose(out, 42.0)
+
+    def test_by_factor(self):
+        scale = Scale.by_factor((40, 60), 0.5)
+        assert (scale.out_height, scale.out_width) == (20, 30)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(TransformError):
+            Scale(0, 5)
+        with pytest.raises(TransformError):
+            Scale(5, 5, method="lanczos")
+
+
+class TestCrop:
+    def test_selects_window(self, rng):
+        plane = rng.uniform(0, 1, (20, 30))
+        out = Crop(2, 3, 5, 7).apply([plane])[0]
+        assert np.array_equal(out, plane[2:7, 3:10])
+
+    def test_out_of_bounds_rejected(self, rng):
+        with pytest.raises(TransformError):
+            Crop(15, 0, 10, 5).apply([rng.uniform(0, 1, (20, 20))])
+
+
+class TestRotation:
+    def test_rot90_four_turns_is_identity(self, rng):
+        plane = rng.uniform(0, 1, (10, 14))
+        out = Rotate90(4).apply([plane])[0]
+        assert np.array_equal(out, plane)
+
+    def test_rot90_shape_swap(self, rng):
+        out = Rotate90(1).apply([rng.uniform(0, 1, (10, 14))])[0]
+        assert out.shape == (14, 10)
+        assert Rotate90(1).output_shape((10, 14)) == (14, 10)
+
+    def test_rot90_matches_numpy(self, rng):
+        plane = rng.uniform(0, 1, (6, 8))
+        assert np.array_equal(
+            Rotate90(3).apply([plane])[0], np.rot90(plane, 3)
+        )
+
+    def test_arbitrary_rotation_zero_degrees_identity(self, rng):
+        plane = rng.uniform(0, 1, (12, 12))
+        assert np.allclose(Rotate(0.0).apply([plane])[0], plane, atol=1e-9)
+
+    def test_arbitrary_rotation_preserves_shape(self, rng):
+        out = Rotate(33.0).apply([rng.uniform(0, 1, (15, 21))])[0]
+        assert out.shape == (15, 21)
+
+    def test_rotation_energy_bounded(self, rng):
+        plane = rng.uniform(0, 1, (16, 16))
+        out = Rotate(45.0).apply([plane])[0]
+        assert out.max() <= plane.max() + 1e-9
+        assert out.min() >= -1e-9  # zero fill outside
+
+
+class TestFilterAndKernels:
+    def test_box_kernel_normalized(self):
+        assert box_kernel(5).sum() == pytest.approx(1.0)
+
+    def test_gaussian_kernel_normalized_and_peaked(self):
+        k = gaussian_kernel(1.5)
+        assert k.sum() == pytest.approx(1.0)
+        assert k.max() == k[k.shape[0] // 2, k.shape[1] // 2]
+
+    def test_sharpen_preserves_flat_regions(self):
+        plane = np.full((10, 10), 50.0)
+        out = Filter(sharpen_kernel()).apply([plane])[0]
+        assert np.allclose(out[2:-2, 2:-2], 50.0)
+
+    def test_blur_reduces_variance(self, rng):
+        plane = rng.uniform(0, 255, (20, 20))
+        out = Filter(gaussian_kernel(2.0)).apply([plane])[0]
+        assert out.var() < plane.var()
+
+    def test_invalid_kernels_rejected(self):
+        with pytest.raises(TransformError):
+            box_kernel(0)
+        with pytest.raises(TransformError):
+            gaussian_kernel(-1.0)
+        with pytest.raises(TransformError):
+            Filter(np.zeros(3))
+
+
+class TestOverlay:
+    def test_alpha_zero_is_identity(self, rng):
+        planes = _planes(rng)
+        out = Overlay([np.zeros_like(p) for p in planes], 0.0).apply(planes)
+        for o, p in zip(out, planes):
+            assert np.allclose(o, p)
+
+    def test_alpha_one_replaces(self, rng):
+        planes = _planes(rng)
+        over = _planes(rng)
+        out = Overlay(over, 1.0).apply(planes)
+        for o, v in zip(out, over):
+            assert np.allclose(o, v)
+
+    def test_bad_alpha_rejected(self, rng):
+        with pytest.raises(TransformError):
+            Overlay(_planes(rng), 1.5)
+
+    def test_plane_count_mismatch_rejected(self, rng):
+        with pytest.raises(TransformError):
+            Overlay(_planes(rng, n=1), 0.5).apply(_planes(rng, n=3))
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "transform",
+        [
+            Scale(10, 20, "nearest"),
+            Crop(1, 2, 3, 4),
+            Rotate90(3),
+            Rotate(12.25),
+            Filter(gaussian_kernel(1.0)),
+            Pipeline([Scale(8, 8), Rotate90(1)]),
+        ],
+        ids=lambda t: t.name,
+    )
+    def test_params_roundtrip(self, rng, transform):
+        rebuilt = transform_from_params(transform.to_params())
+        planes = _planes(rng, shape=(16, 24))
+        for a, b in zip(transform.apply(planes), rebuilt.apply(planes)):
+            assert np.allclose(a, b)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(TransformError):
+            transform_from_params({"name": "teleport"})
+
+
+class TestRecompress:
+    def test_reduces_size(self, smooth_image):
+        from repro.jpeg.filesize import encoded_size_bytes
+
+        recompressed = Recompress(30).apply_to_image(smooth_image)
+        assert encoded_size_bytes(recompressed) < encoded_size_bytes(
+            smooth_image
+        )
+
+    def test_preserves_dimensions(self, smooth_image):
+        out = Recompress(30).apply_to_image(smooth_image)
+        assert (out.height, out.width) == (
+            smooth_image.height,
+            smooth_image.width,
+        )
+
+    def test_quality_bounds(self):
+        with pytest.raises(TransformError):
+            Recompress(0)
+
+    def test_params_roundtrip(self):
+        rc = Recompress.from_params({"quality": 35})
+        assert rc.quality == 35

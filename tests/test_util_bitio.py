@@ -1,0 +1,88 @@
+"""Bit-level I/O tests."""
+
+import pytest
+
+from repro.util.bitio import BitReader, BitWriter
+from repro.util.errors import BitstreamError
+
+
+class TestBitWriter:
+    def test_empty_writer_produces_no_bytes(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_single_byte_msb_first(self):
+        writer = BitWriter()
+        writer.write_bits(0b10110001, 8)
+        assert writer.getvalue() == bytes([0b10110001])
+
+    def test_partial_byte_padded_with_ones(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        assert writer.getvalue() == bytes([0b10111111])
+
+    def test_multi_field_packing(self):
+        writer = BitWriter()
+        writer.write_bits(0b1, 1)
+        writer.write_bits(0b0110, 4)
+        writer.write_bits(0b101, 3)
+        assert writer.getvalue() == bytes([0b10110101])
+
+    def test_bit_length_tracks_written_bits(self):
+        writer = BitWriter()
+        writer.write_bits(0b111, 3)
+        writer.write_bits(0, 10)
+        assert writer.bit_length == 13
+
+    def test_zero_count_write_is_noop(self):
+        writer = BitWriter()
+        writer.write_bits(0, 0)
+        assert writer.bit_length == 0
+
+    def test_value_too_large_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(BitstreamError):
+            writer.write_bits(4, 2)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(BitstreamError):
+            BitWriter().write_bits(-1, 4)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(BitstreamError):
+            BitWriter().write_bits(0, -1)
+
+    def test_long_value_spanning_many_bytes(self):
+        writer = BitWriter()
+        writer.write_bits((1 << 40) - 3, 41)
+        data = writer.getvalue()
+        assert len(data) == 6  # 41 bits + padding
+        reader = BitReader(data)
+        assert reader.read_bits(41) == (1 << 40) - 3
+
+
+class TestBitReader:
+    def test_read_bits_round_trip(self):
+        writer = BitWriter()
+        values = [(0b1, 1), (0b1010, 4), (0x5A5A, 16), (0b0, 1)]
+        for value, count in values:
+            writer.write_bits(value, count)
+        reader = BitReader(writer.getvalue())
+        for value, count in values:
+            assert reader.read_bits(count) == value
+
+    def test_exhausted_stream_raises(self):
+        reader = BitReader(b"\xff")
+        reader.read_bits(8)
+        with pytest.raises(BitstreamError):
+            reader.read_bit()
+
+    def test_bits_consumed_and_remaining(self):
+        reader = BitReader(b"\x00\x00")
+        reader.read_bits(5)
+        assert reader.bits_consumed == 5
+        assert reader.bits_remaining == 11
+
+    def test_read_zero_bits(self):
+        reader = BitReader(b"\xaa")
+        assert reader.read_bits(0) == 0
+        assert reader.bits_consumed == 0

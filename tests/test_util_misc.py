@@ -1,0 +1,52 @@
+"""RNG derivation and summary statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import derive_rng, rng_from_key
+from repro.util.stats import summarize
+
+
+class TestRng:
+    def test_same_key_same_stream(self):
+        a = rng_from_key("alpha").integers(0, 1 << 30, 16)
+        b = rng_from_key("alpha").integers(0, 1 << 30, 16)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_different_streams(self):
+        a = rng_from_key("alpha").integers(0, 1 << 30, 16)
+        b = rng_from_key("beta").integers(0, 1 << 30, 16)
+        assert not np.array_equal(a, b)
+
+    def test_derive_rng_composes_parts(self):
+        a = derive_rng("base", "x", 1).integers(0, 1 << 30, 8)
+        b = rng_from_key("base/x/1").integers(0, 1 << 30, 8)
+        assert np.array_equal(a, b)
+
+    def test_derive_rng_no_parts(self):
+        a = derive_rng("solo").integers(0, 1 << 30, 4)
+        b = rng_from_key("solo").integers(0, 1 << 30, 4)
+        assert np.array_equal(a, b)
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.min == 1.0
+        assert s.max == 4.0
+        assert s.count == 4
+
+    def test_single_value(self):
+        s = summarize([7.0])
+        assert s.std == 0.0
+        assert s.mean == s.median == s.min == s.max == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_row_renders_five_columns(self):
+        row = summarize([1, 2, 3]).row()
+        assert len(row.split()) == 5

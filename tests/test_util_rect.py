@@ -1,0 +1,128 @@
+"""Rectangle geometry tests (ROI splitting is privacy-critical)."""
+
+import pytest
+
+from repro.util.errors import RoiError
+from repro.util.rect import (
+    Rect,
+    _union_area,
+    merge_overlapping,
+    split_into_disjoint,
+)
+
+
+class TestRectBasics:
+    def test_degenerate_rect_rejected(self):
+        with pytest.raises(RoiError):
+            Rect(0, 0, 0, 5)
+        with pytest.raises(RoiError):
+            Rect(0, 0, 5, -1)
+
+    def test_area_and_corners(self):
+        r = Rect(2, 3, 4, 5)
+        assert r.area == 20
+        assert (r.y2, r.x2) == (6, 8)
+
+    def test_contains_point_half_open(self):
+        r = Rect(0, 0, 4, 4)
+        assert r.contains_point(0, 0)
+        assert r.contains_point(3, 3)
+        assert not r.contains_point(4, 0)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains(Rect(2, 2, 3, 3))
+        assert outer.contains(outer)
+        assert not outer.contains(Rect(8, 8, 4, 4))
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 2, 2).intersection(Rect(5, 5, 2, 2)) is None
+
+    def test_intersection_touching_edges_is_none(self):
+        # Half-open rectangles that only touch do not intersect.
+        assert Rect(0, 0, 2, 2).intersection(Rect(0, 2, 2, 2)) is None
+
+    def test_intersection_overlap(self):
+        inter = Rect(0, 0, 4, 4).intersection(Rect(2, 2, 4, 4))
+        assert inter == Rect(2, 2, 2, 2)
+
+    def test_union_bbox(self):
+        assert Rect(0, 0, 2, 2).union_bbox(Rect(5, 5, 1, 1)) == Rect(
+            0, 0, 6, 6
+        )
+
+    def test_slices_select_expected_region(self):
+        import numpy as np
+
+        arr = np.arange(42).reshape(6, 7)
+        rows, cols = Rect(1, 2, 3, 4).slices()
+        assert arr[rows, cols].shape == (3, 4)
+        assert arr[rows, cols][0, 0] == arr[1, 2]
+
+    def test_aligned_to_expands_outward(self):
+        aligned = Rect(3, 9, 10, 5).aligned_to(8)
+        assert aligned == Rect(0, 8, 16, 8)
+        assert aligned.is_aligned(8)
+
+    def test_aligned_rect_unchanged(self):
+        r = Rect(8, 16, 8, 24)
+        assert r.aligned_to(8) == r
+
+    def test_scaled_covers_target(self):
+        scaled = Rect(10, 10, 10, 10).scaled(0.5, 0.5)
+        assert scaled.contains(Rect(5, 5, 5, 5))
+
+    def test_clipped_outside_is_none(self):
+        assert Rect(100, 100, 5, 5).clipped(50, 50) is None
+
+    def test_clipped_partial(self):
+        assert Rect(-2, -2, 6, 6).clipped(50, 50) == Rect(0, 0, 4, 4)
+
+
+class TestSplitIntoDisjoint:
+    def test_empty_input(self):
+        assert split_into_disjoint([]) == []
+
+    def test_single_rect_passthrough_area(self):
+        r = Rect(1, 2, 3, 4)
+        pieces = split_into_disjoint([r])
+        assert _union_area(pieces) == r.area
+
+    def test_overlapping_pair_disjoint_and_area_preserved(self):
+        rects = [Rect(0, 0, 4, 4), Rect(2, 2, 4, 4)]
+        pieces = split_into_disjoint(rects)
+        for i, a in enumerate(pieces):
+            for b in pieces[i + 1 :]:
+                assert not a.intersects(b)
+        assert _union_area(pieces) == _union_area(rects)
+
+    def test_identical_rects_collapse(self):
+        pieces = split_into_disjoint([Rect(0, 0, 8, 8)] * 3)
+        assert _union_area(pieces) == 64
+
+    def test_cross_shape(self):
+        rects = [Rect(0, 3, 9, 3), Rect(3, 0, 3, 9)]
+        pieces = split_into_disjoint(rects)
+        assert _union_area(pieces) == 9 * 3 + 3 * 9 - 9
+        for i, a in enumerate(pieces):
+            for b in pieces[i + 1 :]:
+                assert not a.intersects(b)
+
+    def test_disjoint_inputs_union_preserved(self):
+        rects = [Rect(0, 0, 2, 2), Rect(10, 10, 3, 3)]
+        pieces = split_into_disjoint(rects)
+        assert _union_area(pieces) == 4 + 9
+
+
+class TestMergeOverlapping:
+    def test_transitive_merge(self):
+        rects = [Rect(0, 0, 4, 4), Rect(3, 3, 4, 4), Rect(6, 6, 4, 4)]
+        merged = merge_overlapping(rects)
+        assert merged == [Rect(0, 0, 10, 10)]
+
+    def test_disjoint_preserved(self):
+        rects = [Rect(0, 0, 2, 2), Rect(5, 5, 2, 2)]
+        assert sorted(merge_overlapping(rects)) == sorted(rects)
+
+    def test_empty(self):
+        assert merge_overlapping([]) == []

@@ -1,0 +1,149 @@
+"""Integral image, gradients, Canny and metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.util.rect import Rect
+from repro.vision.edges import canny
+from repro.vision.gradients import (
+    gaussian_blur,
+    gradient_magnitude_orientation,
+    sobel_gradients,
+    to_grayscale,
+)
+from repro.vision.integral import box_sum, box_sums, integral_image
+from repro.vision.metrics import (
+    box_iou,
+    detection_precision_recall,
+    edge_overlap_ratio,
+    mse,
+    psnr,
+    ssim,
+)
+
+
+class TestIntegralImage:
+    def test_box_sum_matches_direct(self, rng):
+        plane = rng.uniform(0, 10, (20, 30))
+        ii = integral_image(plane)
+        assert box_sum(ii, 3, 4, 6, 7) == pytest.approx(
+            plane[3:9, 4:11].sum()
+        )
+
+    def test_full_image_sum(self, rng):
+        plane = rng.uniform(0, 1, (11, 13))
+        ii = integral_image(plane)
+        assert box_sum(ii, 0, 0, 11, 13) == pytest.approx(plane.sum())
+
+    def test_vectorized_matches_scalar(self, rng):
+        plane = rng.uniform(0, 5, (16, 16))
+        ii = integral_image(plane)
+        ys = np.array([0, 3, 5])
+        xs = np.array([1, 2, 8])
+        vec = box_sums(ii, ys, xs, 4, 4)
+        for i in range(3):
+            assert vec[i] == pytest.approx(
+                box_sum(ii, int(ys[i]), int(xs[i]), 4, 4)
+            )
+
+
+class TestGradients:
+    def test_grayscale_conversion_weights(self):
+        img = np.zeros((2, 2, 3))
+        img[..., 1] = 100.0
+        assert to_grayscale(img)[0, 0] == pytest.approx(58.7)
+
+    def test_sobel_detects_vertical_edge(self):
+        plane = np.zeros((10, 10))
+        plane[:, 5:] = 100.0
+        gy, gx = sobel_gradients(plane)
+        assert np.abs(gx).max() > np.abs(gy).max()
+
+    def test_orientation_of_horizontal_edge(self):
+        plane = np.zeros((10, 10))
+        plane[5:, :] = 100.0
+        mag, ori = gradient_magnitude_orientation(plane)
+        strongest = np.unravel_index(np.argmax(mag), mag.shape)
+        # Gradient points down (+y): orientation near +-pi/2.
+        assert abs(abs(ori[strongest]) - np.pi / 2) < 0.2
+
+    def test_gaussian_blur_preserves_mean(self, rng):
+        plane = rng.uniform(0, 255, (20, 20))
+        blurred = gaussian_blur(plane, 2.0)
+        assert blurred.mean() == pytest.approx(plane.mean(), rel=0.05)
+
+
+class TestCanny:
+    def test_detects_square_outline(self):
+        img = np.zeros((40, 40))
+        img[10:30, 10:30] = 200.0
+        edges = canny(img)
+        assert edges[10, 15] or edges[9, 15] or edges[11, 15]
+        assert not edges[20, 20]  # interior is flat
+
+    def test_flat_image_no_edges(self):
+        assert not canny(np.full((20, 20), 77.0)).any()
+
+    def test_edges_are_thin(self):
+        img = np.zeros((40, 40))
+        img[:, 20:] = 200.0
+        edges = canny(img)
+        # Non-maximum suppression: at most ~2 pixels thick per row.
+        assert edges.sum(axis=1).max() <= 3
+
+    def test_rgb_input_accepted(self, rng):
+        img = rng.integers(0, 256, (30, 30, 3), dtype=np.uint8)
+        assert canny(img).shape == (30, 30)
+
+
+class TestMetrics:
+    def test_psnr_identical_is_inf(self, rng):
+        arr = rng.uniform(0, 255, (10, 10))
+        assert psnr(arr, arr) == float("inf")
+
+    def test_psnr_known_value(self):
+        a = np.zeros((10, 10))
+        b = np.full((10, 10), 16.0)  # mse = 256 -> psnr = 10*log10(255^2/256)
+        assert psnr(a, b) == pytest.approx(24.05, abs=0.05)
+
+    def test_mse_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_ssim_bounds(self, rng):
+        a = rng.uniform(0, 255, (32, 32))
+        assert ssim(a, a) == pytest.approx(1.0)
+        noise = rng.uniform(0, 255, (32, 32))
+        assert ssim(a, noise) < 0.5
+
+    def test_ssim_color_averages_channels(self, rng):
+        a = rng.uniform(0, 255, (16, 16, 3))
+        assert ssim(a, a) == pytest.approx(1.0)
+
+    def test_box_iou_cases(self):
+        a = Rect(0, 0, 4, 4)
+        assert box_iou(a, a) == 1.0
+        assert box_iou(a, Rect(10, 10, 4, 4)) == 0.0
+        assert box_iou(a, Rect(0, 2, 4, 4)) == pytest.approx(2 / 6)
+
+    def test_precision_recall_greedy_matching(self):
+        gt = [Rect(0, 0, 10, 10), Rect(20, 20, 10, 10)]
+        dets = [Rect(1, 1, 10, 10), Rect(40, 40, 5, 5)]
+        precision, recall, tp = detection_precision_recall(dets, gt)
+        assert tp == 1
+        assert precision == 0.5
+        assert recall == 0.5
+
+    def test_each_gt_matched_once(self):
+        gt = [Rect(0, 0, 10, 10)]
+        dets = [Rect(0, 0, 10, 10), Rect(1, 1, 10, 10)]
+        _, _, tp = detection_precision_recall(dets, gt)
+        assert tp == 1
+
+    def test_edge_overlap_ratio(self):
+        a = np.zeros((4, 4), dtype=bool)
+        b = np.zeros((4, 4), dtype=bool)
+        a[0, :2] = True
+        b[0, :1] = True
+        assert edge_overlap_ratio(a, b) == 0.5
+        assert edge_overlap_ratio(np.zeros((4, 4), bool), b) == 0.0

@@ -1,0 +1,192 @@
+"""Face / text / object detector and recognizer tests on synthetic data."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset, load_image
+from repro.vision import (
+    EigenfaceRecognizer,
+    detect_faces,
+    detect_text_regions,
+    detection_precision_recall,
+    propose_objects,
+    read_text,
+)
+from repro.vision.haar import Detection, non_maximum_suppression
+from repro.util.errors import ReproError
+from repro.util.rect import Rect
+
+
+class TestFaceDetector:
+    def test_detects_most_caltech_faces(self, caltech_images):
+        tp = gt = 0
+        for image in caltech_images:
+            boxes = detect_faces(image.array)
+            _, _, t = detection_precision_recall(boxes, image.faces)
+            tp += t
+            gt += len(image.faces)
+        assert tp / gt >= 0.6
+
+    def test_detects_feret_mugshots(self, feret_images):
+        subset = feret_images[:8]
+        tp = sum(
+            detection_precision_recall(
+                detect_faces(im.array), im.faces
+            )[2]
+            for im in subset
+        )
+        assert tp / len(subset) >= 0.6
+
+    def test_few_detections_on_landscapes(self):
+        images = load_dataset("inria", n_images=3)
+        total = sum(len(detect_faces(im.array)) for im in images)
+        assert total <= 2 * len(images)
+
+    def test_max_detections_cap(self, caltech_images):
+        boxes = detect_faces(caltech_images[0].array, max_detections=1)
+        assert len(boxes) <= 1
+
+    def test_return_scores_variant(self, caltech_images):
+        dets = detect_faces(caltech_images[0].array, return_scores=True)
+        assert all(isinstance(d, Detection) for d in dets)
+        scores = [d.score for d in dets]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_grayscale_input_does_not_crash(self, caltech_images):
+        gray = caltech_images[0].array.mean(axis=2)
+        detect_faces(gray)  # skin tests become vacuous; must not raise
+
+    def test_nms_merges_same_face_windows(self):
+        dets = [
+            Detection(Rect(10, 10, 24, 18), 3.0),
+            Detection(Rect(11, 10, 24, 18), 2.9),
+            Detection(Rect(10, 11, 24, 18), 2.8),
+            Detection(Rect(9, 10, 26, 20), 2.7),
+            Detection(Rect(12, 12, 24, 18), 2.5),
+        ]
+        merged = non_maximum_suppression(dets, min_neighbors=3)
+        assert len(merged) == 1
+
+    def test_nms_min_neighbors_drops_singletons(self):
+        dets = [Detection(Rect(10, 10, 24, 18), 5.0)]
+        assert non_maximum_suppression(dets, min_neighbors=2) == []
+
+
+class TestTextDetector:
+    def test_finds_document_lines(self, pascal_document):
+        boxes = detect_text_regions(pascal_document.array)
+        _, recall, _ = detection_precision_recall(
+            boxes, pascal_document.texts
+        )
+        assert recall == 1.0
+
+    def test_finds_license_plate(self, pascal_image):
+        boxes = detect_text_regions(pascal_image.array)
+        _, recall, _ = detection_precision_recall(
+            boxes, pascal_image.texts, iou_threshold=0.2
+        )
+        assert recall == 1.0
+
+    def test_no_text_on_flat_image(self):
+        flat = np.full((60, 80, 3), 128, dtype=np.uint8)
+        assert detect_text_regions(flat) == []
+
+    def test_boxes_have_text_geometry(self, pascal_document):
+        for box in detect_text_regions(pascal_document.array):
+            assert box.w / box.h >= 1.8
+
+
+class TestOcrReader:
+    def test_reads_ssn_line(self, pascal_document):
+        ssn_boxes = [
+            b
+            for b in pascal_document.texts
+            if read_text(pascal_document.array, b).startswith("SSN")
+        ]
+        assert ssn_boxes, "no SSN line found by OCR"
+        text = read_text(pascal_document.array, ssn_boxes[0])
+        digits = [c for c in text if c.isdigit()]
+        assert len(digits) == 9
+
+    def test_reads_synthetic_hello_world(self):
+        from repro.datasets import font, shapes
+
+        img = shapes.canvas(40, 200, (250, 250, 250))
+        font.render_text(img, "HELLO WORLD!", 10, 8, (10, 10, 10), scale=2)
+        text = read_text(shapes.to_uint8(img))
+        assert "HELLO" in text and "WORLD" in text
+
+    def test_empty_region_reads_empty(self):
+        flat = np.full((20, 60), 200, dtype=np.uint8)
+        assert read_text(flat) == ""
+
+
+class TestObjectness:
+    def test_proposes_known_objects(self):
+        tp = gt = 0
+        for index in (0, 1, 4, 5):
+            image = load_image("pascal", index)
+            if not image.objects:
+                continue
+            props = propose_objects(image.array, top_n=5)
+            _, _, t = detection_precision_recall(
+                props, image.objects, iou_threshold=0.25
+            )
+            tp += t
+            gt += len(image.objects)
+        assert gt > 0 and tp / gt >= 0.5
+
+    def test_top_n_respected(self, pascal_image):
+        assert len(propose_objects(pascal_image.array, top_n=3)) <= 3
+
+    def test_flat_image_no_proposals(self):
+        flat = np.full((60, 80, 3), 99, dtype=np.uint8)
+        assert propose_objects(flat) == []
+
+
+class TestEigenfaces:
+    def _split(self, feret_images):
+        gallery = feret_images[:30]
+        probes = feret_images[30:]
+        return gallery, probes
+
+    def test_recognizes_identities_above_chance(self, feret_images):
+        gallery, probes = self._split(feret_images)
+        rec = EigenfaceRecognizer().fit(
+            [g.array for g in gallery], [g.identity for g in gallery]
+        )
+        curve = rec.cumulative_match_curve(
+            [p.array for p in probes], [p.identity for p in probes], 10
+        )
+        n_identities = len({g.identity for g in gallery})
+        chance_at_1 = 1.0 / n_identities
+        assert curve[0] > 3 * chance_at_1
+        assert curve[-1] >= curve[0]  # CMC is monotone
+
+    def test_rank_of_true_identity(self, feret_images):
+        gallery, probes = self._split(feret_images)
+        rec = EigenfaceRecognizer().fit(
+            [g.array for g in gallery], [g.identity for g in gallery]
+        )
+        rank = rec.rank_of_true_identity(
+            gallery[0].array, gallery[0].identity
+        )
+        assert rank == 1  # enrolled image must match itself first
+
+    def test_ranked_identities_unique(self, feret_images):
+        gallery, _ = self._split(feret_images)
+        rec = EigenfaceRecognizer().fit(
+            [g.array for g in gallery], [g.identity for g in gallery]
+        )
+        ranked = rec.rank_identities(gallery[3].array)
+        assert len(ranked) == len(set(ranked))
+
+    def test_unfitted_rejected(self, feret_images):
+        with pytest.raises(ReproError):
+            EigenfaceRecognizer().rank_identities(feret_images[0].array)
+
+    def test_label_count_mismatch_rejected(self, feret_images):
+        with pytest.raises(ReproError):
+            EigenfaceRecognizer().fit(
+                [feret_images[0].array], [0, 1]
+            )

@@ -1,0 +1,84 @@
+"""SIFT extraction and matching tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_image
+from repro.vision.sift import (
+    SiftFeature,
+    extract_sift,
+    match_descriptors,
+)
+
+
+@pytest.fixture(scope="module")
+def landscape():
+    return load_image("inria", 0).array
+
+
+@pytest.fixture(scope="module")
+def landscape_features(landscape):
+    return extract_sift(landscape)
+
+
+class TestExtraction:
+    def test_finds_features_on_textured_image(self, landscape_features):
+        assert len(landscape_features) >= 20
+
+    def test_descriptor_shape_and_normalization(self, landscape_features):
+        for feature in landscape_features[:20]:
+            assert feature.descriptor.shape == (128,)
+            norm = np.linalg.norm(feature.descriptor)
+            assert norm == pytest.approx(1.0, abs=1e-6) or norm == 0.0
+            assert feature.descriptor.min() >= 0.0
+            # Clipped at 0.2 *before* the final renormalization, so no
+            # single bin can dominate the descriptor.
+            assert feature.descriptor.max() <= 0.5 or norm == 0.0
+
+    def test_positions_inside_image(self, landscape, landscape_features):
+        h, w = landscape.shape[:2]
+        for feature in landscape_features:
+            assert 0 <= feature.y < h
+            assert 0 <= feature.x < w
+
+    def test_flat_image_yields_nothing(self):
+        flat = np.full((64, 64), 128, dtype=np.uint8)
+        assert extract_sift(flat) == []
+
+    def test_contrast_threshold_controls_count(self, landscape):
+        strict = extract_sift(landscape, contrast_threshold=0.05)
+        loose = extract_sift(landscape, contrast_threshold=0.01)
+        assert len(loose) >= len(strict)
+
+    def test_max_features_cap(self, landscape):
+        assert len(extract_sift(landscape, max_features=5)) <= 5
+
+
+class TestMatching:
+    def test_self_matching_is_total(self, landscape_features):
+        matches = match_descriptors(landscape_features, landscape_features)
+        assert len(matches) == len(landscape_features)
+        assert all(a == b for a, b in matches)
+
+    def test_empty_inputs(self, landscape_features):
+        assert match_descriptors([], landscape_features) == []
+        assert match_descriptors(landscape_features, []) == []
+
+    def test_unrelated_content_matches_less_than_self(
+        self, landscape_features
+    ):
+        # A document scan shares almost no structure with a landscape;
+        # same-generator landscapes legitimately share some (sun, ridges).
+        document = load_image("pascal", 3).array
+        doc_features = extract_sift(document)
+        cross = match_descriptors(landscape_features, doc_features)
+        self_matches = match_descriptors(
+            landscape_features, landscape_features
+        )
+        assert len(cross) < 0.5 * len(self_matches)
+
+    def test_ratio_tightening_reduces_matches(self, landscape_features):
+        other = extract_sift(load_image("inria", 5).array)
+        loose = match_descriptors(landscape_features, other, ratio=0.95)
+        tight = match_descriptors(landscape_features, other, ratio=0.6)
+        assert len(tight) <= len(loose)
