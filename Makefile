@@ -1,12 +1,15 @@
 # Convenience targets for the PuPPIeS reproduction.
 
-.PHONY: install test bench examples clean all
+.PHONY: install test faults bench examples clean all
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+faults:
+	pytest tests/ -m robustness
 
 bench:
 	pytest benchmarks/ --benchmark-only

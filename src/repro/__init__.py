@@ -7,8 +7,9 @@ including every substrate the paper depends on: a JPEG-style codec
 synthetic evaluation corpora (:mod:`repro.datasets`), the vision stack
 used by ROI recommendation and the attacks (:mod:`repro.vision`), the
 baseline schemes of Table I (:mod:`repro.baselines`), the attack suite of
-Section VI (:mod:`repro.attacks`), image retrieval (:mod:`repro.search`)
-and the PuPPIeS core itself (:mod:`repro.core`).
+Section VI (:mod:`repro.attacks`), image retrieval (:mod:`repro.search`),
+fault injection plus resilient recovery (:mod:`repro.robustness`) and the
+PuPPIeS core itself (:mod:`repro.core`).
 
 Quickstart::
 

@@ -107,30 +107,32 @@ class Psp:
 
     def download_transformed(
         self, image_id: str, transform: Transform
-    ) -> Tuple[List[np.ndarray], dict]:
+    ) -> Tuple[List[np.ndarray], ImagePublicData]:
         """Apply a sample-domain transformation server-side (Scenario 2).
 
-        Returns the transformed sample planes together with the serialized
-        transformation parameters, which the PSP publishes as public data
-        (paper Section III-C: the transformation type is public).
+        Returns the transformed sample planes together with a copy of the
+        public data carrying the serialized transformation record
+        (paper Section III-C: the transformation type is public). The
+        *stored* public bytes are never touched — each download gets its
+        own record, so concurrent or subsequent downloads of the original
+        image never inherit another caller's ``transform_params``.
         """
         stored = self.stored(image_id)
         image = decode_image(stored.encoded)
         planes = transform.apply(image.to_sample_planes())
-        params = transform.to_params()
-        public = stored.public
-        public.transform_params = params
-        stored.public_bytes = serialize_public_data(public)
-        return planes, params
+        public = stored.public  # fresh deserialization, safe to annotate
+        public.transform_params = transform.to_params()
+        return planes, public
 
     def download_lossless(
         self, image_id: str, op: dict
-    ) -> Tuple[CoefficientImage, dict]:
+    ) -> Tuple[CoefficientImage, ImagePublicData]:
         """Apply a jpegtran-style lossless operation server-side.
 
         The operation runs purely in the coefficient domain
         (:mod:`repro.jpeg.lossless`) — no decode, no rounding — and its
-        record is published like any other transformation.
+        record is published on the returned public data like any other
+        transformation.
         """
         from repro.core.lossless_recovery import apply_lossless
 
@@ -139,19 +141,16 @@ class Psp:
         transformed = apply_lossless(image, op)
         public = stored.public
         public.transform_params = dict(op)
-        stored.public_bytes = serialize_public_data(public)
-        return transformed, dict(op)
+        return transformed, public
 
     def download_recompressed(
         self, image_id: str, quality: int
-    ) -> Tuple[CoefficientImage, dict]:
+    ) -> Tuple[CoefficientImage, ImagePublicData]:
         """Recompress server-side (the coefficient-domain transformation)."""
         stored = self.stored(image_id)
         recompress = Recompress(quality)
         image = decode_image(stored.encoded)
         recompressed = recompress.apply_to_image(image)
-        params = recompress.to_params()
         public = stored.public
-        public.transform_params = params
-        stored.public_bytes = serialize_public_data(public)
-        return recompressed, params
+        public.transform_params = recompress.to_params()
+        return recompressed, public

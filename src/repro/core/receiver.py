@@ -82,9 +82,8 @@ class Receiver:
         Returns sample planes of ``transform(original)`` for the regions
         this receiver can unlock (other regions stay scrambled).
         """
-        planes, params = psp.download_transformed(image_id, transform)
-        public = psp.public_data(image_id)
-        replayed = transform_from_params(params)
+        planes, public = psp.download_transformed(image_id, transform)
+        replayed = transform_from_params(public.transform_params)
         return reconstruct_transformed(
             planes, replayed, public, self.keyring.as_mapping(), region_ids
         )
@@ -100,10 +99,12 @@ class Receiver:
         """
         from repro.core.lossless_recovery import reconstruct_lossless
 
-        transformed, params = psp.download_lossless(image_id, op)
-        public = psp.public_data(image_id)
+        transformed, public = psp.download_lossless(image_id, op)
         return reconstruct_lossless(
-            transformed, params, public, self.keyring.as_mapping()
+            transformed,
+            public.transform_params,
+            public,
+            self.keyring.as_mapping(),
         )
 
     def fetch_recompressed(
@@ -111,8 +112,8 @@ class Receiver:
     ) -> CoefficientImage:
         """Download a recompressed copy and recover the recompressed
         original (Section IV-C.2)."""
-        recompressed, params = psp.download_recompressed(image_id, quality)
-        public = psp.public_data(image_id)
+        recompressed, public = psp.download_recompressed(image_id, quality)
+        params = public.transform_params
         return reconstruct_recompressed(
             recompressed,
             Recompress.from_params(

@@ -10,6 +10,12 @@ The size *accounting* used by the Fig. 18 bench intentionally stays
 separate (:meth:`RegionParams.public_size_bytes`): it models the paper's
 28-bit index coding for comparability, while this container just packs
 bitmaps — simpler and never larger than twice the accountant's choice.
+
+Integrity armor (docs/FORMATS.md §2): both variants end in a CRC32 of the
+uncompressed body, and :func:`deserialize_public_data` raises
+:class:`~repro.util.errors.IntegrityError` — never a bare
+``struct.error``/``zlib.error`` — on any malformed input: bad magic, bad
+CRC, truncation, trailing garbage, or structurally impossible fields.
 """
 
 from __future__ import annotations
@@ -23,12 +29,14 @@ import numpy as np
 
 from repro.core.params import ImagePublicData, RegionParams
 from repro.core.policy import PrivacySettings
-from repro.util.errors import ReproError
+from repro.util.errors import IntegrityError
 from repro.util.rect import Rect
 
 MAGIC = b"RPPD"
 #: Compressed container: MAGIC2 + zlib(body) where body is the RPPD payload.
 MAGIC_COMPRESSED = b"RPPZ"
+#: Trailing integrity frame: CRC32 of the uncompressed body (4 bytes).
+CRC_BYTES = 4
 
 _SCHEME_CODES = {
     "puppies-n": 0,
@@ -144,7 +152,13 @@ def _unpack_region(data: bytes, offset: int) -> Tuple[RegionParams, int]:
 
 
 def serialize_public_data(public: ImagePublicData) -> bytes:
-    """Serialize the full public-parameter record to bytes."""
+    """Serialize the full public-parameter record to bytes.
+
+    The emitted container is either ``RPPD + body + crc32(body)`` or its
+    deflated twin ``RPPZ + zlib(body + crc32(body))`` — whichever is
+    smaller. The CRC always covers the *uncompressed* body so both
+    variants verify identically after inflation.
+    """
     by, bx = public.blocks_shape
     parts = [
         MAGIC,
@@ -173,19 +187,87 @@ def serialize_public_data(public: ImagePublicData) -> bytes:
     parts.append(struct.pack("<H", len(public.regions)))
     for region in public.regions:
         parts.append(_pack_region(region))
-    raw = b"".join(parts)
+    body = b"".join(parts)[4:]
+    body += struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+    raw = MAGIC + body
     # The mask bitmaps are sparse; deflate wins big and costs little.
-    compressed = MAGIC_COMPRESSED + zlib.compress(raw[4:], 6)
+    compressed = MAGIC_COMPRESSED + zlib.compress(body, 6)
     return compressed if len(compressed) < len(raw) else raw
 
 
-def deserialize_public_data(data: bytes) -> ImagePublicData:
-    """Inverse of :func:`serialize_public_data`."""
+def _unframe(data: bytes) -> bytes:
+    """Strip magic + CRC framing; return the verified uncompressed body."""
+    if len(data) < 4 + CRC_BYTES:
+        raise IntegrityError(
+            f"public-data record too short ({len(data)} bytes) to hold "
+            f"magic and CRC"
+        )
     if data[:4] == MAGIC_COMPRESSED:
-        data = MAGIC + zlib.decompress(data[4:])
-    if data[:4] != MAGIC:
-        raise ReproError("bad magic — not an RPPD public-data record")
-    offset = 4
+        # zlib.decompress() silently ignores bytes after the stream end,
+        # so use a decompressobj to catch spliced/duplicated records.
+        inflater = zlib.decompressobj()
+        try:
+            framed = inflater.decompress(data[4:])
+            framed += inflater.flush()
+        except zlib.error as error:
+            raise IntegrityError(
+                f"RPPZ payload does not inflate: {error}"
+            ) from error
+        if not inflater.eof:
+            raise IntegrityError("RPPZ payload is an incomplete stream")
+        if inflater.unused_data:
+            raise IntegrityError(
+                f"{len(inflater.unused_data)} trailing byte(s) after the "
+                f"RPPZ stream — duplicated or spliced record"
+            )
+    elif data[:4] == MAGIC:
+        framed = data[4:]
+    else:
+        raise IntegrityError(
+            "bad magic — not an RPPD/RPPZ public-data record"
+        )
+    if len(framed) < CRC_BYTES:
+        raise IntegrityError("public-data body shorter than its CRC frame")
+    body, crc_bytes = framed[:-CRC_BYTES], framed[-CRC_BYTES:]
+    (expected,) = struct.unpack("<I", crc_bytes)
+    actual = zlib.crc32(body) & 0xFFFFFFFF
+    if actual != expected:
+        raise IntegrityError(
+            f"public-data CRC mismatch: stored {expected:#010x}, "
+            f"computed {actual:#010x} — the record was corrupted"
+        )
+    return body
+
+
+def deserialize_public_data(data: bytes) -> ImagePublicData:
+    """Inverse of :func:`serialize_public_data`.
+
+    Raises :class:`~repro.util.errors.IntegrityError` on any malformed
+    input — wrong magic, CRC mismatch, truncation, trailing bytes, or
+    fields that do not parse.
+    """
+    body = _unframe(bytes(data))
+    try:
+        return _parse_body(body)
+    except IntegrityError:
+        raise
+    except (
+        struct.error,
+        zlib.error,
+        IndexError,
+        KeyError,
+        ValueError,
+        OverflowError,
+        UnicodeDecodeError,
+    ) as error:
+        raise IntegrityError(
+            f"malformed public-data record (CRC valid but body does not "
+            f"parse): {error}"
+        ) from error
+
+
+def _parse_body(data: bytes) -> ImagePublicData:
+    offset = 0
     height, width, by, bx, cs_code, n_tables = struct.unpack_from(
         "<HHHHBB", data, offset
     )
@@ -199,6 +281,11 @@ def deserialize_public_data(data: bytes) -> ImagePublicData:
         offset += 128
     (json_len,) = struct.unpack_from("<I", data, offset)
     offset += 4
+    if json_len > len(data) - offset:
+        raise IntegrityError(
+            f"transform record claims {json_len} bytes but only "
+            f"{len(data) - offset} remain"
+        )
     transform_params: Optional[dict] = None
     if json_len:
         transform_params = json.loads(
@@ -211,6 +298,11 @@ def deserialize_public_data(data: bytes) -> ImagePublicData:
     for _ in range(n_regions):
         region, offset = _unpack_region(data, offset)
         regions.append(region)
+    if offset != len(data):
+        raise IntegrityError(
+            f"{len(data) - offset} trailing byte(s) after the last region "
+            f"— duplicated or spliced record"
+        )
     return ImagePublicData(
         height=height,
         width=width,

@@ -24,7 +24,12 @@ Huffman layer match the JPEG standard, which is what the paper's
 measurements depend on.
 """
 
-from repro.jpeg.codec import JpegCodec, decode_image, encode_image
+from repro.jpeg.codec import (
+    JpegCodec,
+    SalvageResult,
+    decode_image,
+    encode_image,
+)
 from repro.jpeg.coefficients import CoefficientImage
 from repro.jpeg.filesize import encoded_size_bytes
 from repro.jpeg.quantization import (
@@ -36,6 +41,7 @@ from repro.jpeg.quantization import (
 __all__ = [
     "CoefficientImage",
     "JpegCodec",
+    "SalvageResult",
     "decode_image",
     "encode_image",
     "encoded_size_bytes",

@@ -10,12 +10,22 @@ libjpeg's do.
 ``optimize=False`` uses the library default tables (libjpeg's behaviour
 unless ``optimize_coding`` is set); ``optimize=True`` rebuilds both tables
 from the image's own symbol statistics — the PuPPIeS-C countermeasure.
+
+Integrity + salvage (docs/FORMATS.md §1/§4): every entropy stream carries
+a trailing CRC32, strict decoding raises
+:class:`~repro.util.errors.IntegrityError` on a mismatch, and
+``decode_image(data, salvage=True)`` degrades gracefully instead of
+raising — resynchronizing at byte boundaries after a bitstream error,
+filling undecodable blocks with neutral (zero) coefficients, and
+returning a :class:`SalvageResult` with an honest per-block damage mask.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List, Tuple
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -29,7 +39,7 @@ from repro.jpeg.huffman import (
     optimized_tables,
 )
 from repro.util.bitio import BitReader, BitWriter
-from repro.util.errors import CodecError
+from repro.util.errors import CodecError, IntegrityError
 
 MAGIC = b"RPJ1"
 _COLORSPACE_CODES = {GRAY: 0, YCBCR: 1}
@@ -55,6 +65,27 @@ def _encode_channel_stream(
     return writer.getvalue()
 
 
+def _decode_one_block(
+    reader: BitReader, dc_table: HuffmanTable, ac_table: HuffmanTable
+) -> Tuple[int, np.ndarray]:
+    """Decode one block off the reader: (DC difference, 63 AC values)."""
+    size = dc_table.decode_symbol(reader)
+    diff = rle.decode_magnitude(reader.read_bits(size), size)
+
+    def _ac_stream():
+        while True:
+            symbol = ac_table.decode_symbol(reader)
+            ac_size = symbol & 0x0F
+            value = (
+                rle.decode_magnitude(reader.read_bits(ac_size), ac_size)
+                if ac_size
+                else 0
+            )
+            yield symbol, value
+
+    return diff, rle.decode_ac_block(_ac_stream())
+
+
 def _decode_channel_stream(
     data: bytes,
     n_blocks: int,
@@ -66,23 +97,122 @@ def _decode_channel_stream(
     zigzag = np.zeros((n_blocks, 64), dtype=np.int32)
     diffs: List[int] = []
     for block_idx in range(n_blocks):
-        size = dc_table.decode_symbol(reader)
-        diffs.append(rle.decode_magnitude(reader.read_bits(size), size))
-
-        def _ac_stream():
-            while True:
-                symbol = ac_table.decode_symbol(reader)
-                size = symbol & 0x0F
-                value = (
-                    rle.decode_magnitude(reader.read_bits(size), size)
-                    if size
-                    else 0
-                )
-                yield symbol, value
-
-        zigzag[block_idx, 1:] = rle.decode_ac_block(_ac_stream())
+        diff, ac = _decode_one_block(reader, dc_table, ac_table)
+        diffs.append(diff)
+        zigzag[block_idx, 1:] = ac
     zigzag[:, 0] = rle.dc_from_differences(diffs)
     return zigzag
+
+
+#: Salvage resync never scans more than this many candidate byte offsets.
+MAX_RESYNC_SCAN_BYTES = 4096
+
+
+def _decode_channel_salvage(
+    data: bytes,
+    n_blocks: int,
+    dc_table: HuffmanTable,
+    ac_table: HuffmanTable,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Best-effort decode of one channel stream: ``(zigzag, damaged)``.
+
+    Blocks decode sequentially until the first bitstream error; everything
+    decoded before it is trusted (clean). From the error onward blocks are
+    marked damaged — the stream is not self-synchronizing and the DC chain
+    is differential, so later content can never be *guaranteed* again —
+    but a byte-aligned resync is attempted: the first restart offset from
+    which all remaining blocks decode and land on the stream's end (within
+    the 7 padding bits) refills their AC content and a re-anchored DC ramp
+    for display purposes. Undecodable blocks keep neutral (all-zero)
+    coefficients.
+    """
+    zigzag = np.zeros((n_blocks, 64), dtype=np.int32)
+    damaged = np.zeros(n_blocks, dtype=bool)
+    diffs = np.zeros(n_blocks, dtype=np.int64)
+    reader = BitReader(data)
+    block_idx = 0
+    while block_idx < n_blocks:
+        try:
+            diff, ac = _decode_one_block(reader, dc_table, ac_table)
+        except CodecError:
+            break
+        diffs[block_idx] = diff
+        zigzag[block_idx, 1:] = ac
+        block_idx += 1
+    zigzag[:block_idx, 0] = np.cumsum(diffs[:block_idx])
+    if block_idx == n_blocks:
+        return zigzag, damaged
+
+    damaged[block_idx:] = True
+    remaining = n_blocks - block_idx - 1
+    if remaining > 0:
+        fail_byte = reader.bits_consumed // 8 + 1
+        last = min(len(data), fail_byte + MAX_RESYNC_SCAN_BYTES)
+        for offset in range(fail_byte, last):
+            candidate = BitReader(data[offset:])
+            got: List[Tuple[int, np.ndarray]] = []
+            try:
+                for _ in range(remaining):
+                    got.append(
+                        _decode_one_block(candidate, dc_table, ac_table)
+                    )
+            except CodecError:
+                continue
+            if candidate.bits_remaining >= 8:
+                continue  # decoded, but did not line up with stream end
+            dc = 0
+            for k, (diff, ac) in enumerate(got, start=block_idx + 1):
+                dc += diff
+                zigzag[k, 0] = dc
+                zigzag[k, 1:] = ac
+            break
+    np.clip(zigzag, -1024, 1023, out=zigzag)
+    return zigzag, damaged
+
+
+@dataclass
+class SalvageResult:
+    """Outcome of a salvage decode (``decode_image(..., salvage=True)``).
+
+    ``block_damage[c, y, x]`` is True when block ``(y, x)`` of channel
+    ``c`` is *not guaranteed bit-exact*. The clean claim is strong: a
+    block is marked clean only when its channel's stream verified
+    against its stored CRC32 *and* the Huffman tables came from an
+    intact header, so a clean block is the original block up to CRC32
+    collision odds (~2^-32 per stream). Everything decoded from an
+    unverifiable stream — truncated, spliced, or bit-flipped — is
+    marked damaged even where decoding succeeded, because entropy
+    coding is not self-synchronizing and the fault cannot be localized;
+    the salvaged content (prefix decode, block-boundary resync, neutral
+    fill) is still returned for display.
+    """
+
+    image: CoefficientImage
+    #: bool (n_channels, blocks_y, blocks_x): True = not trustworthy.
+    block_damage: np.ndarray
+    #: Per channel: did the stream's stored CRC32 match its bytes?
+    channel_crc_ok: List[bool]
+    #: True when embedded optimized tables were unusable and the library
+    #: default tables were substituted (all blocks are then suspect).
+    used_default_tables: bool = False
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def is_clean(self) -> bool:
+        return bool(
+            not self.block_damage.any() and all(self.channel_crc_ok)
+        )
+
+    @property
+    def damaged_fraction(self) -> float:
+        if self.block_damage.size == 0:
+            return 1.0
+        return float(self.block_damage.mean())
+
+    @property
+    def recovery_ratio(self) -> float:
+        """Fraction of blocks decoded with full confidence."""
+        return 1.0 - self.damaged_fraction
 
 
 def _pack_table_spec(table: HuffmanTable) -> bytes:
@@ -94,13 +224,23 @@ def _pack_table_spec(table: HuffmanTable) -> bytes:
     )
 
 
-def _unpack_table_spec(data: bytes, offset: int) -> Tuple[HuffmanTable, int]:
+def _scan_table_spec(
+    data: bytes, offset: int
+) -> Tuple[List[int], List[int], int]:
+    """Structurally parse one table spec without building the table."""
     counts = list(struct.unpack_from("<16B", data, offset))
     offset += 16
     (n_symbols,) = struct.unpack_from("<H", data, offset)
     offset += 2
     symbols = list(data[offset : offset + n_symbols])
+    if len(symbols) < n_symbols:
+        raise IntegrityError("Huffman table spec truncated")
     offset += n_symbols
+    return counts, symbols, offset
+
+
+def _unpack_table_spec(data: bytes, offset: int) -> Tuple[HuffmanTable, int]:
+    counts, symbols, offset = _scan_table_spec(data, offset)
     return HuffmanTable.from_spec(counts, symbols), offset
 
 
@@ -149,52 +289,265 @@ class JpegCodec:
         if self.optimize:
             parts.append(_pack_table_spec(dc_table))
             parts.append(_pack_table_spec(ac_table))
+        # Header CRC: covers everything from the magic through the specs.
+        parts.append(
+            struct.pack("<I", zlib.crc32(b"".join(parts)) & 0xFFFFFFFF)
+        )
         for channel in range(image.n_channels):
             stream = _encode_channel_stream(
                 image.zigzag_channel(channel), dc_table, ac_table
             )
             parts.append(struct.pack("<I", len(stream)))
             parts.append(stream)
+            parts.append(
+                struct.pack("<I", zlib.crc32(stream) & 0xFFFFFFFF)
+            )
         return b"".join(parts)
 
-    def decode(self, data: bytes) -> CoefficientImage:
+    def _parse_header(
+        self,
+        data: bytes,
+        force_default_tables: bool = False,
+        lenient_tables: bool = False,
+    ) -> Tuple[dict, int]:
+        """Parse everything up to the first channel stream.
+
+        Returns ``(header, offset)``; any structural failure raises
+        :class:`IntegrityError` (never a bare ``struct.error``).
+        ``lenient_tables`` substitutes the library default tables when an
+        embedded spec is structurally present but unbuildable (the salvage
+        path), instead of raising.
+        """
         if data[:4] != MAGIC:
-            raise CodecError("bad magic — not an RPJ1 container")
-        offset = 4
-        cs_code, height, width, n_channels, by, bx = struct.unpack_from(
-            "<BHHBHH", data, offset
-        )
-        offset += struct.calcsize("<BHHBHH")
-        if cs_code not in _COLORSPACE_NAMES:
-            raise CodecError(f"unknown colorspace code {cs_code}")
-        quant_tables = []
-        for _ in range(n_channels):
-            table = np.array(
-                struct.unpack_from("<64H", data, offset), dtype=np.int32
-            ).reshape(8, 8)
-            quant_tables.append(table)
-            offset += 128
-        (optimize_flag,) = struct.unpack_from("<B", data, offset)
-        offset += 1
-        if optimize_flag:
-            dc_table, offset = _unpack_table_spec(data, offset)
-            ac_table, offset = _unpack_table_spec(data, offset)
-        else:
+            raise IntegrityError("bad magic — not an RPJ1 container")
+        try:
+            offset = 4
+            cs_code, height, width, n_channels, by, bx = struct.unpack_from(
+                "<BHHBHH", data, offset
+            )
+            offset += struct.calcsize("<BHHBHH")
+            if cs_code not in _COLORSPACE_NAMES:
+                raise IntegrityError(f"unknown colorspace code {cs_code}")
+            if not 1 <= n_channels <= 4 or by == 0 or bx == 0:
+                raise IntegrityError(
+                    f"implausible geometry: {n_channels} channel(s), "
+                    f"{by}x{bx} blocks"
+                )
+            quant_tables = []
+            for _ in range(n_channels):
+                table = np.array(
+                    struct.unpack_from("<64H", data, offset), dtype=np.int32
+                ).reshape(8, 8)
+                quant_tables.append(table)
+                offset += 128
+            (optimize_flag,) = struct.unpack_from("<B", data, offset)
+            offset += 1
+            # ``substituted`` means: the container carried optimized
+            # tables but we are decoding with the library defaults —
+            # either forced by the caller or because the spec is corrupt.
+            substituted = False
             dc_table, ac_table = DEFAULT_DC_TABLE, DEFAULT_AC_TABLE
-        channels = []
-        for _ in range(n_channels):
-            (stream_len,) = struct.unpack_from("<I", data, offset)
+            if optimize_flag:
+                dc_counts, dc_syms, offset = _scan_table_spec(data, offset)
+                ac_counts, ac_syms, offset = _scan_table_spec(data, offset)
+                if force_default_tables:
+                    substituted = True
+                else:
+                    try:
+                        dc_table = HuffmanTable.from_spec(dc_counts, dc_syms)
+                        ac_table = HuffmanTable.from_spec(ac_counts, ac_syms)
+                    except (CodecError, StopIteration) as error:
+                        if not lenient_tables:
+                            raise IntegrityError(
+                                f"corrupt embedded Huffman table spec: "
+                                f"{error}"
+                            ) from error
+                        substituted = True
+            (header_crc,) = struct.unpack_from("<I", data, offset)
+            header_crc_ok = (
+                zlib.crc32(data[:offset]) & 0xFFFFFFFF
+            ) == header_crc
             offset += 4
-            stream = data[offset : offset + stream_len]
-            offset += stream_len
-            zigzag = _decode_channel_stream(stream, by * bx, dc_table, ac_table)
+        except IntegrityError:
+            raise
+        except (struct.error, IndexError, ValueError, CodecError) as error:
+            raise IntegrityError(
+                f"malformed RPJ1 header: {error}"
+            ) from error
+        header = {
+            "colorspace": _COLORSPACE_NAMES[cs_code],
+            "height": height,
+            "width": width,
+            "n_channels": n_channels,
+            "blocks": (by, bx),
+            "quant_tables": quant_tables,
+            "dc_table": dc_table,
+            "ac_table": ac_table,
+            "optimize_flag": bool(optimize_flag),
+            "used_default_tables": substituted,
+            "header_crc_ok": header_crc_ok,
+        }
+        return header, offset
+
+    def decode(
+        self, data: bytes, salvage: bool = False,
+        force_default_tables: bool = False,
+    ) -> Union[CoefficientImage, "SalvageResult"]:
+        """Decode a container.
+
+        Strict mode (default) raises :class:`CodecError` — in particular
+        :class:`IntegrityError` on framing/CRC damage — at the first
+        fault. ``salvage=True`` instead returns a :class:`SalvageResult`
+        whose damage mask records exactly which blocks could not be
+        decoded with confidence; only an unusable header still raises.
+        """
+        if salvage:
+            return self._decode_salvage(data, force_default_tables)
+        header, offset = self._parse_header(data, force_default_tables)
+        if not header["header_crc_ok"]:
+            raise IntegrityError(
+                "RPJ1 header CRC32 mismatch — geometry, quantization "
+                "tables or Huffman specs were corrupted"
+            )
+        by, bx = header["blocks"]
+        channels = []
+        for channel in range(header["n_channels"]):
+            stream, crc_ok, _truncated, offset = self._read_stream(
+                data, offset
+            )
+            if stream is None or not crc_ok:
+                raise IntegrityError(
+                    f"channel {channel} stream failed its CRC32 check "
+                    f"(truncated or corrupted)"
+                )
+            zigzag = _decode_channel_stream(
+                stream, by * bx, header["dc_table"], header["ac_table"]
+            )
             from repro.jpeg.zigzag import zigzag_to_block
 
             channels.append(
                 zigzag_to_block(zigzag).reshape(by, bx, 8, 8).astype(np.int32)
             )
         return CoefficientImage(
-            channels, quant_tables, height, width, _COLORSPACE_NAMES[cs_code]
+            channels,
+            header["quant_tables"],
+            header["height"],
+            header["width"],
+            header["colorspace"],
+        )
+
+    @staticmethod
+    def _read_stream(
+        data: bytes, offset: int
+    ) -> Tuple[Optional[bytes], bool, bool, int]:
+        """Read one length-prefixed, CRC-framed stream.
+
+        Returns ``(stream, crc_ok, truncated, next_offset)``. ``stream``
+        is ``None`` when even the length prefix is missing; ``truncated``
+        is True when the declared length (or the CRC frame after it) runs
+        past the end of ``data`` — the bytes that *are* present are
+        returned with ``crc_ok=False``.
+        """
+        if offset + 4 > len(data):
+            return None, False, True, len(data)
+        (stream_len,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        stream = data[offset : offset + stream_len]
+        offset += stream_len
+        if len(stream) < stream_len or offset + 4 > len(data):
+            return stream, False, True, len(data)
+        (expected,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        crc_ok = (zlib.crc32(stream) & 0xFFFFFFFF) == expected
+        return stream, crc_ok, False, offset
+
+    def _decode_salvage(
+        self, data: bytes, force_default_tables: bool = False
+    ) -> "SalvageResult":
+        header, offset = self._parse_header(
+            data, force_default_tables, lenient_tables=True
+        )
+        by, bx = header["blocks"]
+        n_blocks = by * bx
+        notes: List[str] = []
+        substituted = header["used_default_tables"]
+        if substituted and header["optimize_flag"]:
+            notes.append("optimized tables substituted with defaults")
+        if not header["header_crc_ok"]:
+            notes.append("header CRC mismatch — quant tables untrusted")
+        damage = np.zeros((header["n_channels"], by, bx), dtype=bool)
+        crc_oks: List[bool] = []
+        channels = []
+        from repro.jpeg.zigzag import zigzag_to_block
+
+        for channel in range(header["n_channels"]):
+            stream, crc_ok, truncated, offset = self._read_stream(
+                data, offset
+            )
+            crc_oks.append(crc_ok)
+            if stream is None:
+                zigzag = np.zeros((n_blocks, 64), dtype=np.int32)
+                damaged = np.ones(n_blocks, dtype=bool)
+                notes.append(f"channel {channel}: stream missing")
+            elif crc_ok and not substituted:
+                # A passing CRC32 re-anchors trust even after an earlier
+                # stream failed: a misaligned slice passing its own CRC
+                # is a ~2^-32 accident.
+                try:
+                    zigzag = _decode_channel_stream(
+                        stream, n_blocks,
+                        header["dc_table"], header["ac_table"],
+                    )
+                    damaged = np.zeros(n_blocks, dtype=bool)
+                except CodecError:
+                    zigzag, damaged = _decode_channel_salvage(
+                        stream, n_blocks,
+                        header["dc_table"], header["ac_table"],
+                    )
+                    notes.append(
+                        f"channel {channel}: CRC ok but stream "
+                        f"undecodable — geometry mismatch?"
+                    )
+            else:
+                zigzag, damaged = _decode_channel_salvage(
+                    stream, n_blocks,
+                    header["dc_table"], header["ac_table"],
+                )
+                if not crc_ok:
+                    # An unverifiable stream yields no bit-exact claims:
+                    # a tail truncation is indistinguishable from an
+                    # interior byte drop (both leave a short slice whose
+                    # prefix may decode smoothly past the splice), so no
+                    # decoded block can be certified. The salvaged
+                    # content is still returned for display.
+                    damaged[:] = True
+                    kind = "truncated" if truncated else "corrupted"
+                    notes.append(
+                        f"channel {channel}: stream {kind}, CRC "
+                        f"unverified — whole channel marked damaged"
+                    )
+            if substituted or not header["header_crc_ok"]:
+                # Substituted tables make symbol alignment a guess; a
+                # damaged header makes the quant tables untrusted. Either
+                # way nothing decoded here is guaranteed bit-exact.
+                damaged[:] = True
+            damage[channel] = damaged.reshape(by, bx)
+            channels.append(
+                zigzag_to_block(zigzag).reshape(by, bx, 8, 8).astype(np.int32)
+            )
+        image = CoefficientImage(
+            channels,
+            header["quant_tables"],
+            header["height"],
+            header["width"],
+            header["colorspace"],
+        )
+        return SalvageResult(
+            image=image,
+            block_damage=damage,
+            channel_crc_ok=crc_oks,
+            used_default_tables=header["used_default_tables"],
+            notes=notes,
         )
 
 
@@ -203,6 +556,15 @@ def encode_image(image: CoefficientImage, optimize: bool = False) -> bytes:
     return JpegCodec(optimize=optimize).encode(image)
 
 
-def decode_image(data: bytes) -> CoefficientImage:
-    """Convenience wrapper around :meth:`JpegCodec.decode`."""
-    return JpegCodec().decode(data)
+def decode_image(
+    data: bytes, salvage: bool = False, force_default_tables: bool = False
+) -> Union[CoefficientImage, SalvageResult]:
+    """Convenience wrapper around :meth:`JpegCodec.decode`.
+
+    With ``salvage=True`` the return value is a :class:`SalvageResult`
+    (image + per-block damage mask) and bitstream damage never raises;
+    only an unusable header still does.
+    """
+    return JpegCodec().decode(
+        data, salvage=salvage, force_default_tables=force_default_tables
+    )

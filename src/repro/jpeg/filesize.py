@@ -131,9 +131,11 @@ def encoded_size_bytes(image, optimize: bool = False) -> int:
             for channel in range(image.n_channels)
         ]
 
+    header += 4  # header CRC32 integrity frame
     total = header
     for zz in zigzags:
         bits = _channel_stream_bits(zz, dc_table, ac_table)
         total += 4  # stream length prefix
         total += (bits + 7) // 8
+        total += 4  # trailing CRC32 integrity frame
     return total

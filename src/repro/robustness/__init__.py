@@ -1,0 +1,45 @@
+"""Fault injection and resilient recovery for the PuPPIeS pipeline.
+
+The paper's PSP is semi-honest but otherwise arbitrary: real platforms
+strip metadata, truncate uploads and recode blobs. This package makes
+that adversity reproducible and survivable:
+
+* :mod:`repro.robustness.faults` — :class:`FaultProfile`,
+  :class:`FaultInjector` and the :class:`FaultyPsp` proxy that serves
+  deterministically corrupted copies of a real PSP's artifacts;
+* :mod:`repro.robustness.resilient` — :class:`ResilientClient`, which
+  retries transient failures with capped exponential backoff, salvages
+  damaged entropy streams, decrypts only undamaged ROI blocks, and
+  reports an honest recovery ratio.
+
+Together with the salvage decoder (:mod:`repro.jpeg.codec`) and the
+CRC-framed containers (docs/FORMATS.md) this is the substrate for
+chaos-style robustness benchmarks: every fault is replayable from
+``(profile, seed, image id)``.
+"""
+
+from repro.robustness.faults import (
+    FAULT_KINDS,
+    PROFILES,
+    FaultInjector,
+    FaultProfile,
+    FaultyPsp,
+    profile_from_name,
+)
+from repro.robustness.resilient import (
+    Backoff,
+    RecoveryReport,
+    ResilientClient,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "PROFILES",
+    "Backoff",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultyPsp",
+    "RecoveryReport",
+    "ResilientClient",
+    "profile_from_name",
+]

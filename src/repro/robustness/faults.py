@@ -1,0 +1,249 @@
+"""Deterministic fault injection for stored PuPPIeS artifacts.
+
+The paper's threat model is a *semi-honest but otherwise arbitrary* Photo
+Sharing Platform: it follows the protocol yet may strip metadata,
+truncate uploads, recode blobs, or serve flaky downloads (P3 explicitly
+designs for a provider that "may transform the image arbitrarily"). This
+module simulates that hostile storage layer so the recovery path can be
+exercised — and benchmarked — without a real PSP misbehaving on cue.
+
+Everything is seeded through :mod:`repro.util.rng`, so a fault profile
+plus a seed plus an artifact id always produces the *same* corruption:
+a failing chaos test is replayable from its parameters alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.psp import Psp, StoredImage
+from repro.util.errors import ReproError, TransientError
+from repro.util.rng import derive_rng
+
+#: Every fault kind the injector understands.
+FAULT_KINDS = (
+    "bitflip",        # flip random bits anywhere in the blob
+    "truncate",       # drop the tail (interrupted upload/download)
+    "segment_drop",   # excise an internal byte range (recoded blob)
+    "duplicate",      # splice a copied range back in (partial re-upload)
+    "strip_public",   # discard the public-params sidecar (metadata strip)
+    "transient",      # fail the first N requests, then serve cleanly
+)
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """One reproducible corruption recipe.
+
+    ``severity`` scales the damage within each kind (0 = barely touched,
+    1 = heavily damaged); ``target`` picks which artifact suffers.
+    """
+
+    kind: str
+    severity: float = 0.5
+    #: "image" (encoded bytes), "public" (params sidecar), or "both".
+    target: str = "image"
+    #: For kind="transient": how many requests fail before success.
+    transient_failures: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose from {', '.join(FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.severity <= 1.0:
+            raise ReproError("fault severity must be in [0, 1]")
+        if self.target not in ("image", "public", "both"):
+            raise ReproError(
+                f"unknown fault target {self.target!r}"
+            )
+
+    def scaled(self, severity: float) -> "FaultProfile":
+        return replace(self, severity=severity)
+
+
+#: Named presets used by the CLI, the fault-matrix tests and future
+#: chaos benchmarks. Keep `transient_failures` below any client's retry
+#: budget so the preset models a recoverable outage.
+PROFILES: Dict[str, FaultProfile] = {
+    "bitflip": FaultProfile("bitflip", severity=0.3),
+    "truncate": FaultProfile("truncate", severity=0.4),
+    "segment-drop": FaultProfile("segment_drop", severity=0.3),
+    "duplicate": FaultProfile("duplicate", severity=0.3),
+    "strip-public": FaultProfile("strip_public", target="public"),
+    "public-bitflip": FaultProfile("bitflip", severity=0.3,
+                                   target="public"),
+    "transient": FaultProfile("transient", transient_failures=2),
+    "none": FaultProfile("bitflip", severity=0.0),
+}
+
+
+def profile_from_name(name: str) -> FaultProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown fault profile {name!r}; "
+            f"choose from {', '.join(sorted(PROFILES))}"
+        )
+
+
+class FaultInjector:
+    """Applies a :class:`FaultProfile` to byte blobs, deterministically.
+
+    The randomness for a given blob is derived from
+    ``(seed, kind, context)`` — corrupting the same artifact twice yields
+    identical damage, so retries observe a *persistent* fault rather than
+    re-rolled noise (matching a PSP that stored the blob corrupted).
+    """
+
+    def __init__(self, profile: FaultProfile, seed: str = "faults") -> None:
+        self.profile = profile
+        self.seed = seed
+
+    def _rng(self, context: str) -> np.random.Generator:
+        return derive_rng(self.seed, self.profile.kind, context)
+
+    # ------------------------------------------------------------------
+    # Byte-level corruptions
+    # ------------------------------------------------------------------
+    def corrupt(self, data: bytes, context: str = "") -> bytes:
+        """Return a corrupted copy of ``data`` (the input is untouched)."""
+        kind = self.profile.kind
+        severity = self.profile.severity
+        if severity == 0.0 or not data or kind == "transient":
+            return data
+        rng = self._rng(context)
+        if kind == "bitflip":
+            return self._bitflip(data, rng, severity)
+        if kind == "truncate":
+            return self._truncate(data, rng, severity)
+        if kind == "segment_drop":
+            return self._segment_drop(data, rng, severity)
+        if kind == "duplicate":
+            return self._duplicate(data, rng, severity)
+        if kind == "strip_public":
+            return b""
+        raise ReproError(f"unhandled fault kind {kind!r}")
+
+    @staticmethod
+    def _bitflip(
+        data: bytes, rng: np.random.Generator, severity: float
+    ) -> bytes:
+        n_bits = max(1, int(round(severity * 16)))
+        buf = bytearray(data)
+        positions = rng.integers(0, len(buf) * 8, size=n_bits)
+        for pos in positions.tolist():
+            buf[pos // 8] ^= 1 << (pos % 8)
+        return bytes(buf)
+
+    @staticmethod
+    def _truncate(
+        data: bytes, rng: np.random.Generator, severity: float
+    ) -> bytes:
+        # Drop up to 60% of the blob at full severity, always >= 1 byte.
+        drop = max(1, int(len(data) * 0.6 * severity))
+        drop = min(drop, len(data) - 1)
+        return data[: len(data) - drop]
+
+    @staticmethod
+    def _segment_drop(
+        data: bytes, rng: np.random.Generator, severity: float
+    ) -> bytes:
+        length = max(1, int(len(data) * 0.25 * severity))
+        length = min(length, len(data) - 1)
+        start = int(rng.integers(0, len(data) - length))
+        return data[:start] + data[start + length :]
+
+    @staticmethod
+    def _duplicate(
+        data: bytes, rng: np.random.Generator, severity: float
+    ) -> bytes:
+        length = max(1, int(len(data) * 0.25 * severity))
+        length = min(length, len(data))
+        start = int(rng.integers(0, len(data) - length + 1))
+        insert_at = int(rng.integers(0, len(data)))
+        segment = data[start : start + length]
+        return data[:insert_at] + segment + data[insert_at:]
+
+
+class FaultyPsp:
+    """A :class:`~repro.core.psp.Psp` proxy that serves damaged goods.
+
+    Wraps a real PSP without ever mutating its store: every read-side
+    method returns a corrupted *copy* of the stored artifact, re-derived
+    deterministically per image id, so a retry sees the same damage.
+    Write-side methods pass straight through.
+
+    With a ``transient`` profile the first ``transient_failures`` read
+    attempts per image raise :class:`~repro.util.errors.TransientError`
+    and subsequent attempts serve clean bytes — the retry/backoff path.
+    """
+
+    def __init__(
+        self,
+        inner: Psp,
+        injector: FaultInjector,
+        public_injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.inner = inner
+        self.injector = injector
+        self.public_injector = public_injector
+        self._attempts: Dict[str, int] = {}
+        self.name = f"faulty({inner.name})"
+
+    # -- write side: pass through ---------------------------------------
+    def upload(self, *args, **kwargs) -> int:
+        return self.inner.upload(*args, **kwargs)
+
+    def image_ids(self) -> List[str]:
+        return self.inner.image_ids()
+
+    def storage_size(self, image_id: str) -> int:
+        return self.inner.storage_size(image_id)
+
+    # -- read side: inject ----------------------------------------------
+    def _count_attempt(self, image_id: str) -> int:
+        n = self._attempts.get(image_id, 0) + 1
+        self._attempts[image_id] = n
+        return n
+
+    def attempts(self, image_id: str) -> int:
+        """How many read requests this image has served (incl. failures)."""
+        return self._attempts.get(image_id, 0)
+
+    def stored(self, image_id: str) -> StoredImage:
+        clean = self.inner.stored(image_id)
+        attempt = self._count_attempt(image_id)
+        profile = self.injector.profile
+        if profile.kind == "transient":
+            if attempt <= profile.transient_failures:
+                raise TransientError(
+                    f"psp briefly unavailable for {image_id!r} "
+                    f"(attempt {attempt}/{profile.transient_failures})"
+                )
+            return StoredImage(
+                encoded=clean.encoded, public_bytes=clean.public_bytes
+            )
+        encoded = clean.encoded
+        public_bytes = clean.public_bytes
+        if profile.target in ("image", "both"):
+            encoded = self.injector.corrupt(encoded, f"{image_id}/image")
+        if profile.target in ("public", "both"):
+            injector = self.public_injector or self.injector
+            public_bytes = injector.corrupt(
+                public_bytes, f"{image_id}/public"
+            )
+        return StoredImage(encoded=encoded, public_bytes=public_bytes)
+
+    def public_data(self, image_id: str):
+        return self.stored(image_id).public
+
+    def download(self, image_id: str):
+        from repro.jpeg.codec import decode_image
+
+        return decode_image(self.stored(image_id).encoded)

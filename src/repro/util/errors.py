@@ -21,6 +21,34 @@ class BitstreamError(CodecError):
     """A bitstream ended early or contained an undecodable Huffman prefix."""
 
 
+class IntegrityError(CodecError):
+    """A wire-format container failed validation (bad CRC, truncation,
+    malformed structure, trailing garbage).
+
+    Raised instead of low-level ``struct.error``/``zlib.error`` so callers
+    can distinguish "these bytes were damaged in storage or transit" from
+    programming errors.
+    """
+
+
+class RecoveryError(ReproError):
+    """Resilient recovery could not produce even a partial result.
+
+    Carries the per-block damage mask (``damage``, a boolean array of shape
+    ``(n_channels, blocks_y, blocks_x)`` or ``None`` when the image
+    geometry itself was unrecoverable) so callers can report exactly what
+    was lost.
+    """
+
+    def __init__(self, message: str, damage=None) -> None:
+        super().__init__(message)
+        self.damage = damage
+
+
+class TransientError(ReproError):
+    """A PSP request failed in a retryable way (timeout, 5xx, flaky I/O)."""
+
+
 class RoiError(ReproError):
     """A region of interest is malformed (empty, unaligned, out of bounds)."""
 

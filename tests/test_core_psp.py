@@ -61,25 +61,44 @@ class TestStorage:
 
 
 class TestTransformService:
-    def test_transform_records_params_in_public_data(self, uploaded):
+    def test_transform_records_params_on_returned_public(self, uploaded):
         psp, _perturbed, _public, _key, _size = uploaded
         transform = Scale(24, 32)
-        _planes, params = psp.download_transformed("img", transform)
-        assert params["name"] == "scale"
-        assert psp.public_data("img").transform_params == params
+        _planes, public = psp.download_transformed("img", transform)
+        assert public.transform_params == transform.to_params()
+        assert public.transform_params["name"] == "scale"
+
+    def test_transformed_download_leaves_stored_public_untouched(
+        self, uploaded
+    ):
+        """Regression: the transform record must not be written back into
+        the stored public bytes — a later download of the *original*
+        image would silently inherit the previous caller's params."""
+        psp, *_ = uploaded
+        before = psp.stored("img").public_bytes
+        psp.download_transformed("img", Scale(24, 32))
+        assert psp.stored("img").public_bytes == before
+        assert psp.public_data("img").transform_params is None
+        # A second, different transform gets its own clean record.
+        _planes, public = psp.download_transformed("img", Rotate90(1))
+        assert public.transform_params == Rotate90(1).to_params()
+        psp.download_recompressed("img", 30)
+        assert psp.public_data("img").transform_params is None
 
     def test_transform_output_matches_direct_application(self, uploaded):
         psp, perturbed, _public, _key, _size = uploaded
         transform = Rotate90(1)
-        planes, _params = psp.download_transformed("img", transform)
+        planes, _public_t = psp.download_transformed("img", transform)
         direct = transform.apply(perturbed.to_sample_planes())
         for a, b in zip(planes, direct):
             assert np.allclose(a, b, atol=1e-9)
 
     def test_recompression_uses_requested_quality(self, uploaded):
         psp, _perturbed, _public, _key, _size = uploaded
-        recompressed, params = psp.download_recompressed("img", 30)
-        assert params == {"name": "recompress", "quality": 30}
+        recompressed, public = psp.download_recompressed("img", 30)
+        assert public.transform_params == {
+            "name": "recompress", "quality": 30,
+        }
         # Coarser tables than the stored copy's.
         stored = psp.download("img")
         assert (

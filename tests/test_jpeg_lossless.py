@@ -188,5 +188,8 @@ class TestLosslessRecovery:
         reference = CoefficientImage.from_array(photo, quality=75)
         truth = apply_lossless(reference, op)
         assert recovered.coefficients_equal(truth)
-        # The PSP's public record mentions the operation.
-        assert session.psp.public_data("img").transform_params == op
+        # The public record returned with the download mentions the
+        # operation; the stored record stays pristine.
+        _transformed, public = session.psp.download_lossless("img", op)
+        assert public.transform_params == op
+        assert session.psp.public_data("img").transform_params is None

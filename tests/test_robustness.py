@@ -1,0 +1,304 @@
+"""Tier-2 robustness suite: fault injection, salvage, resilient fetch.
+
+Run alone with ``pytest -m robustness`` (or ``make faults``). The core
+acceptance property: for every fault profile and every scheme, the
+resilient client either fully reconstructs the protected content or
+returns a partial result with an *honest* damage mask — a block claimed
+clean is bit-exact — and never lets a data fault escape as an uncaught
+exception.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.keys import generate_private_key
+from repro.core.perturb import perturb_regions
+from repro.core.psp import Psp
+from repro.core.roi import RegionOfInterest
+from repro.jpeg.codec import SalvageResult, decode_image, encode_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.robustness import (
+    FAULT_KINDS,
+    PROFILES,
+    Backoff,
+    FaultInjector,
+    FaultProfile,
+    FaultyPsp,
+    ResilientClient,
+    profile_from_name,
+)
+from repro.util.errors import (
+    IntegrityError,
+    RecoveryError,
+    ReproError,
+    TransientError,
+)
+from repro.util.rect import Rect
+
+pytestmark = pytest.mark.robustness
+
+SCHEMES = ("puppies-b", "puppies-c", "puppies-z")
+ROI_RECT = Rect(8, 8, 24, 24)
+
+
+@pytest.fixture(scope="module", params=SCHEMES)
+def protected(request):
+    """(scheme, original, perturbed, public, keys) for one scheme."""
+    scheme = request.param
+    gen = np.random.default_rng(97)
+    photo = gen.integers(0, 256, (48, 64, 3), dtype=np.uint8)
+    original = CoefficientImage.from_array(photo, quality=75)
+    roi = RegionOfInterest("r0", ROI_RECT, scheme=scheme)
+    key = generate_private_key(roi.matrix_id, "robust-owner")
+    keys = {roi.matrix_id: key}
+    perturbed, public = perturb_regions(original, [roi], keys)
+    return scheme, original, perturbed, public, keys
+
+
+def _faulty_client(protected, profile, seed="matrix"):
+    _scheme, _original, perturbed, public, keys = protected
+    psp = Psp()
+    psp.upload("img", perturbed, public, optimize=True)
+    faulty = FaultyPsp(psp, FaultInjector(profile, seed=seed))
+    sleeps = []
+    client = ResilientClient(faulty, keys, sleep=sleeps.append)
+    return client, psp, sleeps
+
+
+class TestFaultInjector:
+    def test_deterministic_per_context(self):
+        injector = FaultInjector(PROFILES["bitflip"], seed="s")
+        data = bytes(range(256)) * 8
+        assert injector.corrupt(data, "a") == injector.corrupt(data, "a")
+        assert injector.corrupt(data, "a") != injector.corrupt(data, "b")
+
+    def test_input_never_mutated(self):
+        data = bytes(range(256)) * 4
+        for kind in FAULT_KINDS:
+            if kind == "transient":
+                continue
+            injector = FaultInjector(FaultProfile(kind, severity=0.8))
+            copy = bytes(data)
+            injector.corrupt(data, "ctx")
+            assert data == copy
+
+    @pytest.mark.parametrize(
+        "kind", [k for k in FAULT_KINDS if k != "transient"]
+    )
+    def test_every_kind_changes_the_blob(self, kind):
+        data = bytes(range(256)) * 4
+        injector = FaultInjector(FaultProfile(kind, severity=0.5))
+        assert injector.corrupt(data, "x") != data
+
+    def test_zero_severity_is_identity(self):
+        data = b"pristine bytes"
+        injector = FaultInjector(PROFILES["none"])
+        assert injector.corrupt(data, "x") == data
+
+    def test_profile_validation(self):
+        with pytest.raises(ReproError):
+            FaultProfile("meteor_strike")
+        with pytest.raises(ReproError):
+            FaultProfile("bitflip", severity=1.5)
+        with pytest.raises(ReproError):
+            FaultProfile("bitflip", target="cloud")
+        with pytest.raises(ReproError):
+            profile_from_name("not-a-profile")
+
+    def test_scaled_returns_new_profile(self):
+        base = PROFILES["bitflip"]
+        hot = base.scaled(1.0)
+        assert hot.severity == 1.0
+        assert base.severity == 0.3
+
+
+class TestFaultyPsp:
+    def test_inner_store_never_mutated(self, protected):
+        client, psp, _sleeps = _faulty_client(protected, PROFILES["bitflip"])
+        clean = psp.stored("img")
+        before = (bytes(clean.encoded), bytes(clean.public_bytes))
+        client.fetch("img")
+        client.fetch("img")
+        after = psp.stored("img")
+        assert (after.encoded, after.public_bytes) == before
+
+    def test_same_fault_on_every_retry(self, protected):
+        _scheme, _o, perturbed, public, _k = protected
+        psp = Psp()
+        psp.upload("img", perturbed, public)
+        faulty = FaultyPsp(psp, FaultInjector(PROFILES["bitflip"], seed="r"))
+        first = faulty.stored("img").encoded
+        second = faulty.stored("img").encoded
+        assert first == second
+        assert faulty.attempts("img") == 2
+
+    def test_transient_fails_then_serves_clean(self, protected):
+        _scheme, _o, perturbed, public, _k = protected
+        psp = Psp()
+        psp.upload("img", perturbed, public)
+        faulty = FaultyPsp(psp, FaultInjector(PROFILES["transient"]))
+        with pytest.raises(TransientError):
+            faulty.stored("img")
+        with pytest.raises(TransientError):
+            faulty.stored("img")
+        served = faulty.stored("img")
+        assert served.encoded == psp.stored("img").encoded
+
+
+class TestBackoff:
+    def test_capped_exponential_schedule(self):
+        backoff = Backoff(base=0.05, factor=2.0, cap=0.3, max_retries=6)
+        delays = [backoff.delay(n) for n in range(1, 7)]
+        assert delays == [0.05, 0.1, 0.2, 0.3, 0.3, 0.3]
+
+    def test_transient_outage_recovers_without_real_sleep(self, protected):
+        client, _psp, sleeps = _faulty_client(
+            protected, PROFILES["transient"]
+        )
+        report = client.fetch("img")
+        assert report.fully_recovered
+        assert report.attempts == 3
+        assert sleeps == [0.05, 0.1]  # injected clock: no real sleeping
+
+    def test_retry_budget_exhaustion_raises(self, protected):
+        profile = FaultProfile("transient", transient_failures=99)
+        client, _psp, sleeps = _faulty_client(protected, profile)
+        with pytest.raises(RecoveryError):
+            client.fetch("img")
+        assert len(sleeps) == client.backoff.max_retries
+
+
+class TestSalvageDecoder:
+    @pytest.fixture(scope="class")
+    def encoded(self):
+        gen = np.random.default_rng(11)
+        photo = gen.integers(0, 256, (32, 40, 3), dtype=np.uint8)
+        image = CoefficientImage.from_array(photo, quality=75)
+        return image, encode_image(image, optimize=True)
+
+    def test_strict_rejects_bitflip(self, encoded):
+        _image, blob = encoded
+        flipped = bytearray(blob)
+        flipped[len(blob) // 2] ^= 0x10
+        with pytest.raises(IntegrityError):
+            decode_image(bytes(flipped))
+
+    def test_clean_salvage_reports_no_damage(self, encoded):
+        image, blob = encoded
+        result = decode_image(blob, salvage=True)
+        assert isinstance(result, SalvageResult)
+        assert result.is_clean
+        assert result.recovery_ratio == 1.0
+        assert result.image.coefficients_equal(image)
+
+    def test_truncation_keeps_only_verified_channels(self, encoded):
+        image, blob = encoded
+        result = decode_image(blob[: int(len(blob) * 0.7)], salvage=True)
+        assert isinstance(result, SalvageResult)
+        assert result.block_damage.any()
+        assert result.recovery_ratio < 1.0
+        # A truncated stream is indistinguishable from one with interior
+        # bytes dropped, so only channels whose CRC verified may claim
+        # clean blocks — and those must be bit-exact.
+        for channel in range(image.n_channels):
+            if not result.channel_crc_ok[channel]:
+                assert result.block_damage[channel].all()
+                continue
+            clean = ~result.block_damage[channel]
+            got = result.image.channels[channel][clean]
+            want = image.channels[channel][clean]
+            assert np.array_equal(got, want)
+        # The first channel's stream survived the cut intact.
+        assert result.channel_crc_ok[0]
+        assert not result.block_damage[0].any()
+
+    def test_interior_corruption_damns_whole_channel(self, encoded):
+        image, blob = encoded
+        # Flip bits mid-blob until strict decode fails, then check that
+        # no interior-corrupted channel claims clean blocks.
+        mutated = bytearray(blob)
+        for offset in range(len(blob) // 2, len(blob) // 2 + 8):
+            mutated[offset] ^= 0xFF
+        result = decode_image(bytes(mutated), salvage=True)
+        assert isinstance(result, SalvageResult)
+        for channel, crc_ok in enumerate(result.channel_crc_ok):
+            if not crc_ok:
+                assert result.block_damage[channel].all()
+
+    def test_default_table_fallback(self, encoded):
+        image, blob = encoded
+        result = decode_image(
+            blob, salvage=True, force_default_tables=True
+        )
+        assert result.used_default_tables
+        # Substituted tables mean nothing is guaranteed bit-exact.
+        assert result.block_damage.all()
+
+
+class TestFaultMatrix:
+    """≥5 fault kinds × 3 schemes: never an uncaught exception, always
+    an honest mask, bit-exact when nothing was injected."""
+
+    PROFILE_NAMES = (
+        "none",
+        "bitflip",
+        "truncate",
+        "segment-drop",
+        "duplicate",
+        "strip-public",
+        "public-bitflip",
+        "transient",
+    )
+
+    @pytest.mark.parametrize("name", PROFILE_NAMES)
+    def test_cell(self, protected, name):
+        scheme, original, perturbed, _public, _keys = protected
+        client, _psp, _sleeps = _faulty_client(
+            protected, PROFILES[name], seed="matrix"
+        )
+        report = client.fetch("img")
+
+        assert 0.0 <= report.recovery_ratio <= 1.0
+        if name in ("none", "transient"):
+            assert report.fully_recovered, report.notes
+            assert report.image.coefficients_equal(original)
+            return
+        if not report.fully_recovered:
+            with pytest.raises(RecoveryError) as excinfo:
+                client.fetch_strict("img")
+            assert excinfo.value.damage is report.block_damage or \
+                np.array_equal(excinfo.value.damage, report.block_damage)
+        if report.image is None:
+            assert report.recovery_ratio == 0.0
+            return
+        if report.block_damage is None:
+            pytest.fail("image returned without a damage mask")
+        # Honesty check: a block claimed clean is bit-exact against the
+        # truth — original where decryption ran, perturbed where the
+        # public params were lost.
+        truth = original if report.public is not None else perturbed
+        by, bx = truth.blocks_shape
+        if report.image.blocks_shape != (by, bx):
+            return  # geometry lost; nothing is claimed clean block-wise
+        for channel in range(truth.n_channels):
+            clean = ~report.block_damage[channel]
+            got = report.image.channels[channel][clean]
+            want = truth.channels[channel][clean]
+            assert np.array_equal(got, want), (
+                f"{scheme}/{name}: channel {channel} claims "
+                f"{int(clean.sum())} clean blocks that are not bit-exact"
+            )
+
+    def test_zero_fault_wrapping_costs_nothing(self, protected):
+        _scheme, original, perturbed, public, keys = protected
+        psp = Psp()
+        psp.upload("img", perturbed, public, optimize=True)
+        client = ResilientClient(psp, keys, sleep=lambda _t: None)
+        report = client.fetch("img")
+        assert report.fully_recovered
+        assert report.bit_exact
+        assert report.attempts == 1
+        assert report.image.coefficients_equal(original)
+        # fetch_strict is the drop-in strict path.
+        strict = client.fetch_strict("img")
+        assert strict.coefficients_equal(original)
