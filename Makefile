@@ -1,6 +1,6 @@
 # Convenience targets for the PuPPIeS reproduction.
 
-.PHONY: install test faults bench examples clean all
+.PHONY: install test faults bench examples trace-demo clean all
 
 install:
 	pip install -e .
@@ -13,6 +13,15 @@ faults:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+trace-demo:
+	mkdir -p examples/out
+	PYTHONPATH=src python -m repro.cli demo --dataset pascal --index 0 \
+		-o examples/out/trace-demo.ppm
+	PYTHONPATH=src python -m repro.cli profile examples/out/trace-demo.ppm \
+		--repeat 2 \
+		--trace examples/out/trace-demo.jsonl \
+		--chrome examples/out/trace-demo.json
 
 examples:
 	python examples/quickstart.py

@@ -10,29 +10,31 @@ encode time), INRIA costs more than PASCAL (bigger images), and detection
 dwarfs encryption.
 """
 
-import time
-
 import numpy as np
 
 from repro.bench import print_table, protect_whole_image
 from repro.core.reconstruct import reconstruct_regions
+from repro.obs import Registry
 from repro.util.stats import summarize
 from repro.vision import detect_faces
 
 
 def _encrypt_decrypt_times(corpus):
-    enc_times, dec_times = [], []
+    """Per-image encrypt/decrypt wall times (ms) via a private registry.
+
+    A dedicated :class:`repro.obs.Registry` keeps the bench timings
+    isolated from whatever the process-global registry is doing.
+    """
+    registry = Registry(enabled=True)
     for item in corpus:
-        start = time.perf_counter()
-        perturbed, public, key = protect_whole_image(item, "puppies-z")
-        enc_times.append((time.perf_counter() - start) * 1000)
-        start = time.perf_counter()
-        recovered = reconstruct_regions(
-            perturbed, public, {key.matrix_id: key}
-        )
-        dec_times.append((time.perf_counter() - start) * 1000)
+        with registry.span("encrypt"):
+            perturbed, public, key = protect_whole_image(item, "puppies-z")
+        with registry.span("decrypt"):
+            recovered = reconstruct_regions(
+                perturbed, public, {key.matrix_id: key}
+            )
         assert recovered.coefficients_equal(item.image)
-    return enc_times, dec_times
+    return registry.span_wall_ms("encrypt"), registry.span_wall_ms("decrypt")
 
 
 def test_table5_encryption_decryption_time(
@@ -82,15 +84,16 @@ def test_table5_roi_detection_dominates_encryption(
     """Section V-C: automated ROI detection takes >99% of sender time."""
 
     def run():
-        detect_ms, encrypt_ms = [], []
+        registry = Registry(enabled=True)
         for item in caltech_corpus[:6]:
-            start = time.perf_counter()
-            detect_faces(item.source.array)
-            detect_ms.append((time.perf_counter() - start) * 1000)
-            start = time.perf_counter()
-            protect_whole_image(item, "puppies-z")
-            encrypt_ms.append((time.perf_counter() - start) * 1000)
-        return detect_ms, encrypt_ms
+            with registry.span("roi-detection"):
+                detect_faces(item.source.array)
+            with registry.span("perturbation"):
+                protect_whole_image(item, "puppies-z")
+        return (
+            registry.span_wall_ms("roi-detection"),
+            registry.span_wall_ms("perturbation"),
+        )
 
     detect_ms, encrypt_ms = benchmark.pedantic(run, rounds=1, iterations=1)
     print_table(

@@ -32,6 +32,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.keys import generate_private_key
 from repro.core.matrices import PrivateKey
 from repro.core.perturb import SCHEMES, perturb_regions
@@ -269,6 +270,71 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.psp import Psp
+    from repro.obs import aggregate_table, export_chrome_trace
+    from repro.transforms import Pipeline, Scale
+
+    # The whole point of this subcommand is the trace, so tracing is on
+    # regardless of --trace/PUPPIES_TRACE (which merely add exports).
+    obs.configure(enabled=True, fresh=True)
+
+    array = read_image(args.input)
+    boxes = [
+        _parse_rect(spec) if isinstance(spec, str) else spec
+        for spec in (args.roi or [])
+    ]
+    repeat = max(1, args.repeat)
+    verified = True
+    for iteration in range(repeat):
+        image = CoefficientImage.from_array(array, quality=args.quality)
+        roi_boxes = boxes or [Rect(0, 0, image.height, image.width)]
+        rois = recommend_rois(
+            roi_boxes,
+            image.height,
+            image.width,
+            scheme=args.scheme,
+            expand=0.0,
+        )
+        keys = {
+            matrix_id: generate_private_key(matrix_id, args.owner)
+            for roi in rois
+            for matrix_id in roi.matrix_ids()
+        }
+        perturbed, public = perturb_regions(image, rois, keys)
+
+        psp = Psp()
+        image_id = f"profile-{iteration}"
+        psp.upload(image_id, perturbed, public, optimize=True)
+        downloaded = psp.download(image_id)
+        half = Pipeline(
+            [Scale(max(8, image.height // 2), max(8, image.width // 2))]
+        )
+        psp.download_transformed(image_id, half)
+        recovered = reconstruct_regions(downloaded, public, keys)
+        verified = verified and recovered.coefficients_equal(image)
+
+    print(
+        f"profiled {args.input}: {repeat} iteration(s), "
+        f"scheme={args.scheme}, quality={args.quality}, "
+        f"round-trip {'exact' if verified else 'MISMATCH'}"
+    )
+    print()
+    print(aggregate_table(obs.get_registry()))
+    if args.chrome:
+        export_chrome_trace(obs.get_registry(), args.chrome)
+        print(f"\nchrome trace: {args.chrome} "
+              f"(open via chrome://tracing or ui.perfetto.dev)")
+    return 0 if verified else 1
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="enable tracing and write a JSON-lines trace to PATH",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-puppies",
@@ -304,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="key-derivation identity")
     protect.add_argument("--preview", action="store_true",
                          help="also write preview.ppm of the stored image")
+    _add_trace_flag(protect)
     protect.set_defaults(func=cmd_protect)
 
     inspect = sub.add_parser("inspect", help="print public parameters")
@@ -318,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
     reconstruct.add_argument("--keys", nargs="*",
                              help="key files (globs allowed)")
     reconstruct.add_argument("--output", "-o", required=True)
+    _add_trace_flag(reconstruct)
     reconstruct.set_defaults(func=cmd_reconstruct)
 
     faults = sub.add_parser(
@@ -339,18 +407,48 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--owner", default="cli-owner")
     faults.add_argument("--output", "-o",
                         help="write the best-effort reconstruction (PPM)")
+    _add_trace_flag(faults)
     faults.set_defaults(func=cmd_faults)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run the full pipeline under tracing and print a "
+             "stage-level timing table",
+    )
+    profile.add_argument("input", help="PPM/PGM image to profile")
+    profile.add_argument("--roi", action="append",
+                         help="region y,x,h,w to protect "
+                              "(default: whole image)")
+    profile.add_argument("--scheme", default="puppies-c", choices=SCHEMES)
+    profile.add_argument("--quality", type=int, default=75)
+    profile.add_argument("--repeat", type=int, default=1,
+                         help="pipeline iterations to aggregate over")
+    profile.add_argument("--owner", default="cli-owner")
+    profile.add_argument("--chrome", metavar="PATH", default=None,
+                         help="also write a Chrome trace_event JSON")
+    _add_trace_flag(profile)
+    profile.set_defaults(func=cmd_profile)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        obs.configure(enabled=True, fresh=True)
     try:
-        return args.func(args)
+        code = args.func(args)
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        code = 1
+    if trace_path:
+        from repro.obs import export_jsonl
+
+        records = export_jsonl(obs.get_registry(), trace_path)
+        print(f"trace: {records} record(s) -> {trace_path}",
+              file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

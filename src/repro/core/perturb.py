@@ -31,6 +31,7 @@ from typing import List, Mapping, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.matrices import PrivateKey
 from repro.core.params import ImagePublicData, RegionParams
 from repro.core.policy import (
@@ -166,58 +167,77 @@ def perturb_regions(
         data that is stored next to it.
     """
     validate_rois(list(rois), image.blocks_shape)
-    perturbed = image.copy()
-    public = ImagePublicData(
-        height=image.height,
-        width=image.width,
-        blocks_shape=image.blocks_shape,
-        colorspace=image.colorspace,
-        quant_tables=[t.copy() for t in image.quant_tables],
-    )
-    for roi in rois:
-        matrix_ids = roi.matrix_ids()
-        region_keys: List[PrivateKey] = []
-        for matrix_id in matrix_ids:
-            try:
-                key = keys[matrix_id]
-            except KeyError:
-                raise KeyMismatchError(
-                    f"no private key for matrix id {matrix_id!r}"
-                )
-            key.require_id(matrix_id)
-            region_keys.append(key)
-        region = RegionParams(
-            region_id=roi.region_id,
-            rect=roi.rect,
-            scheme=roi.scheme,
-            settings=roi.settings,
-            matrix_id=matrix_ids[0],
-            wind=[],
-            zind=[],
-            skip=[],
-            extra_matrix_ids=matrix_ids[1:],
+    with obs.span("perturb.regions", n_regions=len(rois)):
+        perturbed = image.copy()
+        public = ImagePublicData(
+            height=image.height,
+            width=image.width,
+            blocks_shape=image.blocks_shape,
+            colorspace=image.colorspace,
+            quant_tables=[t.copy() for t in image.quant_tables],
         )
-        br = region.block_rect
-        for channel in range(perturbed.n_channels):
-            zz = _region_zigzag(perturbed, channel, br)
-            if zz.min() < COEFF_MIN or zz.max() > COEFF_MAX:
-                raise ReproError(
-                    "coefficients outside [-1024, 1023]; cannot perturb"
-                )
-            p, skip = perturbation_for_blocks(
-                region_keys, roi.settings, roi.scheme, zz.shape[0],
-                zigzag=zz,
+        for roi in rois:
+            matrix_ids = roi.matrix_ids()
+            region_keys: List[PrivateKey] = []
+            for matrix_id in matrix_ids:
+                try:
+                    key = keys[matrix_id]
+                except KeyError:
+                    raise KeyMismatchError(
+                        f"no private key for matrix id {matrix_id!r}"
+                    )
+                key.require_id(matrix_id)
+                region_keys.append(key)
+            region = RegionParams(
+                region_id=roi.region_id,
+                rect=roi.rect,
+                scheme=roi.scheme,
+                settings=roi.settings,
+                matrix_id=matrix_ids[0],
+                wind=[],
+                zind=[],
+                skip=[],
+                extra_matrix_ids=matrix_ids[1:],
             )
-            encrypted, wrapped = wrap_add(zz, p)
-            new_zero = np.zeros_like(skip)
-            if roi.scheme == "puppies-z":
-                new_zero[:, 1:] = (
-                    (zz[:, 1:] != 0) & (encrypted[:, 1:] == 0)
-                )
-            region.wind.append(wrapped)
-            region.zind.append(new_zero)
-            if roi.scheme == "puppies-z":
-                region.skip.append(skip)
-            _write_region_zigzag(perturbed, channel, br, encrypted)
-        public.regions.append(region)
-    return perturbed, public
+            br = region.block_rect
+            with obs.span(
+                "perturb.region",
+                region_id=roi.region_id,
+                scheme=roi.scheme,
+                blocks=br.h * br.w,
+            ):
+                for channel in range(perturbed.n_channels):
+                    zz = _region_zigzag(perturbed, channel, br)
+                    if zz.min() < COEFF_MIN or zz.max() > COEFF_MAX:
+                        raise ReproError(
+                            "coefficients outside [-1024, 1023]; "
+                            "cannot perturb"
+                        )
+                    p, skip = perturbation_for_blocks(
+                        region_keys, roi.settings, roi.scheme, zz.shape[0],
+                        zigzag=zz,
+                    )
+                    encrypted, wrapped = wrap_add(zz, p)
+                    new_zero = np.zeros_like(skip)
+                    if roi.scheme == "puppies-z":
+                        new_zero[:, 1:] = (
+                            (zz[:, 1:] != 0) & (encrypted[:, 1:] == 0)
+                        )
+                    region.wind.append(wrapped)
+                    region.zind.append(new_zero)
+                    if roi.scheme == "puppies-z":
+                        region.skip.append(skip)
+                    obs.counter(
+                        "perturb.coefficients", zz.size, scheme=roi.scheme
+                    )
+                    obs.counter(
+                        "perturb.skipped_coefficients", int(skip.sum()),
+                        scheme=roi.scheme,
+                    )
+                    obs.counter(
+                        "perturb.wrapped_coefficients", int(wrapped.sum()),
+                        scheme=roi.scheme,
+                    )
+                    _write_region_zigzag(perturbed, channel, br, encrypted)
+            public.regions.append(region)
+        return perturbed, public

@@ -18,6 +18,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.params import ImagePublicData
 from repro.core.serialization import (
     deserialize_public_data,
@@ -77,11 +78,20 @@ class Psp:
         """
         if image_id in self._store:
             raise ReproError(f"image id {image_id!r} already uploaded")
-        encoded = encode_image(image, optimize=optimize)
-        self._store[image_id] = StoredImage(
-            encoded=encoded, public_bytes=serialize_public_data(public)
-        )
-        return len(encoded)
+        with obs.span("psp.upload", image_id=image_id):
+            encoded = encode_image(image, optimize=optimize)
+            public_bytes = serialize_public_data(public)
+            self._store[image_id] = StoredImage(
+                encoded=encoded, public_bytes=public_bytes
+            )
+            obs.counter("psp.upload.bytes", len(encoded))
+            obs.counter("psp.upload.public_bytes", len(public_bytes))
+            obs.observe(
+                "psp.upload_size_bytes",
+                len(encoded),
+                buckets=obs.DEFAULT_SIZE_BUCKETS_BYTES,
+            )
+            return len(encoded)
 
     def stored(self, image_id: str) -> StoredImage:
         try:
@@ -103,7 +113,10 @@ class Psp:
     # ------------------------------------------------------------------
     def download(self, image_id: str) -> CoefficientImage:
         """The stored (perturbed, untransformed) image."""
-        return decode_image(self.stored(image_id).encoded)
+        with obs.span("psp.download", image_id=image_id):
+            encoded = self.stored(image_id).encoded
+            obs.counter("psp.download.bytes", len(encoded))
+            return decode_image(encoded)
 
     def download_transformed(
         self, image_id: str, transform: Transform
@@ -117,12 +130,18 @@ class Psp:
         own record, so concurrent or subsequent downloads of the original
         image never inherit another caller's ``transform_params``.
         """
-        stored = self.stored(image_id)
-        image = decode_image(stored.encoded)
-        planes = transform.apply(image.to_sample_planes())
-        public = stored.public  # fresh deserialization, safe to annotate
-        public.transform_params = transform.to_params()
-        return planes, public
+        with obs.span(
+            "psp.download_transformed",
+            image_id=image_id,
+            transform=transform.name,
+        ):
+            stored = self.stored(image_id)
+            obs.counter("psp.download.bytes", len(stored.encoded))
+            image = decode_image(stored.encoded)
+            planes = transform.apply(image.to_sample_planes())
+            public = stored.public  # fresh deserialization, safe to annotate
+            public.transform_params = transform.to_params()
+            return planes, public
 
     def download_lossless(
         self, image_id: str, op: dict
@@ -136,21 +155,31 @@ class Psp:
         """
         from repro.core.lossless_recovery import apply_lossless
 
-        stored = self.stored(image_id)
-        image = decode_image(stored.encoded)
-        transformed = apply_lossless(image, op)
-        public = stored.public
-        public.transform_params = dict(op)
-        return transformed, public
+        with obs.span(
+            "psp.download_lossless",
+            image_id=image_id,
+            op=op.get("name", "?"),
+        ):
+            stored = self.stored(image_id)
+            obs.counter("psp.download.bytes", len(stored.encoded))
+            image = decode_image(stored.encoded)
+            transformed = apply_lossless(image, op)
+            public = stored.public
+            public.transform_params = dict(op)
+            return transformed, public
 
     def download_recompressed(
         self, image_id: str, quality: int
     ) -> Tuple[CoefficientImage, ImagePublicData]:
         """Recompress server-side (the coefficient-domain transformation)."""
-        stored = self.stored(image_id)
-        recompress = Recompress(quality)
-        image = decode_image(stored.encoded)
-        recompressed = recompress.apply_to_image(image)
-        public = stored.public
-        public.transform_params = recompress.to_params()
-        return recompressed, public
+        with obs.span(
+            "psp.download_recompressed", image_id=image_id, quality=quality
+        ):
+            stored = self.stored(image_id)
+            obs.counter("psp.download.bytes", len(stored.encoded))
+            recompress = Recompress(quality)
+            image = decode_image(stored.encoded)
+            recompressed = recompress.apply_to_image(image)
+            public = stored.public
+            public.transform_params = recompress.to_params()
+            return recompressed, public

@@ -16,6 +16,7 @@ from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.matrices import PrivateKey
 from repro.core.params import ImagePublicData, RegionParams
 from repro.core.perturb import (
@@ -90,22 +91,36 @@ def reconstruct_regions(
     Returns:
         A new image with the recoverable regions restored exactly.
     """
-    recovered = perturbed.copy()
-    for region in public.regions:
-        if region_ids is not None and region.region_id not in region_ids:
-            continue
-        region_keys = [keys.get(mid) for mid in region.all_matrix_ids]
-        if any(key is None for key in region_keys):
-            continue  # missing key material: the region stays perturbed
-        br = region.block_rect
-        for channel in range(recovered.n_channels):
-            encrypted = _region_zigzag(recovered, channel, br)
-            p = receiver_perturbation(
-                region, region_keys, channel, encrypted
-            )
-            original = wrap_subtract(encrypted, p)
-            _write_region_zigzag(recovered, channel, br, original)
-    return recovered
+    with obs.span(
+        "reconstruct.regions", n_regions=len(public.regions)
+    ):
+        recovered = perturbed.copy()
+        for region in public.regions:
+            if region_ids is not None and \
+                    region.region_id not in region_ids:
+                continue
+            region_keys = [keys.get(mid) for mid in region.all_matrix_ids]
+            if any(key is None for key in region_keys):
+                continue  # missing key material: the region stays perturbed
+            br = region.block_rect
+            with obs.span(
+                "reconstruct.region",
+                region_id=region.region_id,
+                scheme=region.scheme,
+                blocks=br.h * br.w,
+            ):
+                for channel in range(recovered.n_channels):
+                    encrypted = _region_zigzag(recovered, channel, br)
+                    p = receiver_perturbation(
+                        region, region_keys, channel, encrypted
+                    )
+                    original = wrap_subtract(encrypted, p)
+                    obs.counter(
+                        "reconstruct.coefficients", encrypted.size,
+                        scheme=region.scheme,
+                    )
+                    _write_region_zigzag(recovered, channel, br, original)
+        return recovered
 
 
 def reconstruct_single_region(

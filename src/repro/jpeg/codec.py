@@ -29,6 +29,7 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.jpeg import rle
 from repro.jpeg.coefficients import GRAY, YCBCR, CoefficientImage
 from repro.jpeg.filesize import channel_symbol_counts
@@ -267,42 +268,58 @@ class JpegCodec:
         )
 
     def encode(self, image: CoefficientImage) -> bytes:
-        dc_table, ac_table = self._tables_for(image)
-        by, bx = image.blocks_shape
-        parts = [
-            MAGIC,
-            struct.pack(
-                "<BHHBHH",
-                _COLORSPACE_CODES[image.colorspace],
-                image.height,
-                image.width,
-                image.n_channels,
-                by,
-                bx,
-            ),
-        ]
-        for table in image.quant_tables:
+        with obs.span(
+            "codec.encode",
+            optimize=self.optimize,
+            channels=image.n_channels,
+        ):
+            with obs.span("codec.huffman.tables"):
+                dc_table, ac_table = self._tables_for(image)
+            by, bx = image.blocks_shape
+            parts = [
+                MAGIC,
+                struct.pack(
+                    "<BHHBHH",
+                    _COLORSPACE_CODES[image.colorspace],
+                    image.height,
+                    image.width,
+                    image.n_channels,
+                    by,
+                    bx,
+                ),
+            ]
+            for table in image.quant_tables:
+                parts.append(
+                    struct.pack(
+                        "<64H", *table.astype(np.int64).flatten().tolist()
+                    )
+                )
+            parts.append(struct.pack("<B", 1 if self.optimize else 0))
+            if self.optimize:
+                parts.append(_pack_table_spec(dc_table))
+                parts.append(_pack_table_spec(ac_table))
+            # Header CRC: covers everything from the magic through the specs.
             parts.append(
-                struct.pack("<64H", *table.astype(np.int64).flatten().tolist())
+                struct.pack("<I", zlib.crc32(b"".join(parts)) & 0xFFFFFFFF)
             )
-        parts.append(struct.pack("<B", 1 if self.optimize else 0))
-        if self.optimize:
-            parts.append(_pack_table_spec(dc_table))
-            parts.append(_pack_table_spec(ac_table))
-        # Header CRC: covers everything from the magic through the specs.
-        parts.append(
-            struct.pack("<I", zlib.crc32(b"".join(parts)) & 0xFFFFFFFF)
-        )
-        for channel in range(image.n_channels):
-            stream = _encode_channel_stream(
-                image.zigzag_channel(channel), dc_table, ac_table
+            for channel in range(image.n_channels):
+                with obs.span("codec.huffman.encode", channel=channel):
+                    stream = _encode_channel_stream(
+                        image.zigzag_channel(channel), dc_table, ac_table
+                    )
+                parts.append(struct.pack("<I", len(stream)))
+                parts.append(stream)
+                parts.append(
+                    struct.pack("<I", zlib.crc32(stream) & 0xFFFFFFFF)
+                )
+            data = b"".join(parts)
+            obs.counter("codec.encode.bytes", len(data))
+            obs.observe(
+                "codec.encoded_size_bytes",
+                len(data),
+                buckets=obs.DEFAULT_SIZE_BUCKETS_BYTES,
             )
-            parts.append(struct.pack("<I", len(stream)))
-            parts.append(stream)
-            parts.append(
-                struct.pack("<I", zlib.crc32(stream) & 0xFFFFFFFF)
-            )
-        return b"".join(parts)
+            return data
 
     def _parse_header(
         self,
@@ -402,39 +419,46 @@ class JpegCodec:
         decoded with confidence; only an unusable header still raises.
         """
         if salvage:
-            return self._decode_salvage(data, force_default_tables)
-        header, offset = self._parse_header(data, force_default_tables)
-        if not header["header_crc_ok"]:
-            raise IntegrityError(
-                "RPJ1 header CRC32 mismatch — geometry, quantization "
-                "tables or Huffman specs were corrupted"
-            )
-        by, bx = header["blocks"]
-        channels = []
-        for channel in range(header["n_channels"]):
-            stream, crc_ok, _truncated, offset = self._read_stream(
-                data, offset
-            )
-            if stream is None or not crc_ok:
+            with obs.span("codec.decode.salvage", bytes=len(data)):
+                return self._decode_salvage(data, force_default_tables)
+        with obs.span("codec.decode", bytes=len(data)):
+            obs.counter("codec.decode.bytes", len(data))
+            header, offset = self._parse_header(data, force_default_tables)
+            if not header["header_crc_ok"]:
                 raise IntegrityError(
-                    f"channel {channel} stream failed its CRC32 check "
-                    f"(truncated or corrupted)"
+                    "RPJ1 header CRC32 mismatch — geometry, quantization "
+                    "tables or Huffman specs were corrupted"
                 )
-            zigzag = _decode_channel_stream(
-                stream, by * bx, header["dc_table"], header["ac_table"]
-            )
-            from repro.jpeg.zigzag import zigzag_to_block
+            by, bx = header["blocks"]
+            channels = []
+            for channel in range(header["n_channels"]):
+                stream, crc_ok, _truncated, offset = self._read_stream(
+                    data, offset
+                )
+                if stream is None or not crc_ok:
+                    raise IntegrityError(
+                        f"channel {channel} stream failed its CRC32 check "
+                        f"(truncated or corrupted)"
+                    )
+                with obs.span("codec.huffman.decode", channel=channel):
+                    zigzag = _decode_channel_stream(
+                        stream, by * bx,
+                        header["dc_table"], header["ac_table"],
+                    )
+                from repro.jpeg.zigzag import zigzag_to_block
 
-            channels.append(
-                zigzag_to_block(zigzag).reshape(by, bx, 8, 8).astype(np.int32)
+                channels.append(
+                    zigzag_to_block(zigzag)
+                    .reshape(by, bx, 8, 8)
+                    .astype(np.int32)
+                )
+            return CoefficientImage(
+                channels,
+                header["quant_tables"],
+                header["height"],
+                header["width"],
+                header["colorspace"],
             )
-        return CoefficientImage(
-            channels,
-            header["quant_tables"],
-            header["height"],
-            header["width"],
-            header["colorspace"],
-        )
 
     @staticmethod
     def _read_stream(

@@ -19,6 +19,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.jpeg import color as colorlib
 from repro.jpeg import dct as dctlib
 from repro.jpeg import quantization as quantlib
@@ -49,6 +50,10 @@ class CoefficientImage:
     colorspace: str = YCBCR
 
     def __post_init__(self) -> None:
+        # Own the *lists* (not the arrays): appending to or reordering a
+        # caller's list after construction must not restructure this image.
+        self.channels = list(self.channels)
+        self.quant_tables = list(self.quant_tables)
         if not self.channels:
             raise CodecError("image must have at least one channel")
         if len(self.channels) != len(self.quant_tables):
@@ -74,30 +79,37 @@ class CoefficientImage:
     ) -> "CoefficientImage":
         """Encode a pixel array — ``(H, W)`` gray or ``(H, W, 3)`` RGB."""
         arr = np.asarray(array)
-        if arr.ndim == 2:
-            planes = [arr.astype(np.float64)]
-            colorspace = GRAY
-            base_tables = [quantlib.standard_luminance_table()]
-        elif arr.ndim == 3 and arr.shape[2] == 3:
-            ycc = colorlib.rgb_to_ycbcr(arr)
-            planes = [ycc[..., 0], ycc[..., 1], ycc[..., 2]]
-            colorspace = YCBCR
-            base_tables = [
-                quantlib.standard_luminance_table(),
-                quantlib.standard_chrominance_table(),
-                quantlib.standard_chrominance_table(),
+        with obs.span(
+            "codec.pixel_encode", shape=list(arr.shape), quality=quality
+        ):
+            if arr.ndim == 2:
+                planes = [arr.astype(np.float64)]
+                colorspace = GRAY
+                base_tables = [quantlib.standard_luminance_table()]
+            elif arr.ndim == 3 and arr.shape[2] == 3:
+                with obs.span("codec.color_transform"):
+                    ycc = colorlib.rgb_to_ycbcr(arr)
+                planes = [ycc[..., 0], ycc[..., 1], ycc[..., 2]]
+                colorspace = YCBCR
+                base_tables = [
+                    quantlib.standard_luminance_table(),
+                    quantlib.standard_chrominance_table(),
+                    quantlib.standard_chrominance_table(),
+                ]
+            else:
+                raise CodecError(f"unsupported pixel array shape {arr.shape}")
+            tables = [
+                quantlib.quality_scaled_table(base, quality)
+                for base in base_tables
             ]
-        else:
-            raise CodecError(f"unsupported pixel array shape {arr.shape}")
-        tables = [
-            quantlib.quality_scaled_table(base, quality) for base in base_tables
-        ]
-        height, width = arr.shape[:2]
-        channels = [
-            quantlib.quantize(dctlib.forward_dct_plane(plane), table)
-            for plane, table in zip(planes, tables)
-        ]
-        return cls(channels, tables, height, width, colorspace)
+            height, width = arr.shape[:2]
+            channels = []
+            for channel, (plane, table) in enumerate(zip(planes, tables)):
+                with obs.span("codec.dct", channel=channel):
+                    raw = dctlib.forward_dct_plane(plane)
+                with obs.span("codec.quantize", channel=channel):
+                    channels.append(quantlib.quantize(raw, table))
+            return cls(channels, tables, height, width, colorspace)
 
     @classmethod
     def from_sample_planes(
@@ -112,9 +124,12 @@ class CoefficientImage:
             quantlib.quantize(dctlib.forward_dct_plane(plane), table)
             for plane, table in zip(planes, quant_tables)
         ]
+        # np.array (not asarray): an int32 input would otherwise be stored
+        # by reference and a caller mutating its table would silently
+        # corrupt this image's quantization.
         return cls(
             channels,
-            [np.asarray(t, dtype=np.int32) for t in quant_tables],
+            [np.array(t, dtype=np.int32) for t in quant_tables],
             height,
             width,
             colorspace,
@@ -152,12 +167,20 @@ class CoefficientImage:
         makes shadow-ROI reconstruction work, so clamping is deferred to
         display time (:func:`repro.jpeg.color.to_uint8`).
         """
-        return [
-            dctlib.inverse_dct_plane(
-                quantlib.dequantize(chan, table), self.height, self.width
-            )
-            for chan, table in zip(self.channels, self.quant_tables)
-        ]
+        with obs.span("codec.pixel_decode", channels=self.n_channels):
+            planes = []
+            for channel, (chan, table) in enumerate(
+                zip(self.channels, self.quant_tables)
+            ):
+                with obs.span("codec.dequantize", channel=channel):
+                    raw = quantlib.dequantize(chan, table)
+                with obs.span("codec.idct", channel=channel):
+                    planes.append(
+                        dctlib.inverse_dct_plane(
+                            raw, self.height, self.width
+                        )
+                    )
+            return planes
 
     def to_padded_sample_planes(self) -> List[np.ndarray]:
         """Sample planes over the full block grid (no crop to H x W).

@@ -1,0 +1,172 @@
+"""Pipeline-wide tracing, metrics and profiling (``repro.obs``).
+
+Every hot path in the system — the codec's colour/DCT/quantize/Huffman
+stages, per-region perturbation and reconstruction, PSP transfers,
+PSP-side transformations and the resilient recovery path — reports into
+the process-wide default :class:`Registry` held here. Tracing is **off**
+by default and the disabled fast path costs roughly one attribute check
+per call site, so the instrumentation lives permanently in the code.
+
+Three ways to turn it on:
+
+* ``repro-puppies profile <image>`` (and ``--trace PATH`` on the
+  ``protect`` / ``reconstruct`` / ``faults`` subcommands);
+* :func:`configure` from code, e.g. ``obs.configure(enabled=True)``;
+* the ``PUPPIES_TRACE`` environment variable, so existing benchmarks and
+  scripts opt in without code changes: ``PUPPIES_TRACE=1`` prints the
+  aggregate stage table at interpreter exit, and any other value is
+  treated as a path that receives the JSON-lines trace.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and export formats.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+from typing import Any, Optional
+
+from repro.obs.core import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    DEFAULT_SIZE_BUCKETS_BYTES,
+    NOOP_SPAN,
+    Counter,
+    Histogram,
+    Metric,
+    NoopSpan,
+    Registry,
+    Span,
+    SpanEvent,
+)
+from repro.obs.export import (
+    aggregate_table,
+    export_chrome_trace,
+    export_jsonl,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "DEFAULT_SIZE_BUCKETS_BYTES",
+    "NOOP_SPAN",
+    "Counter",
+    "Histogram",
+    "Metric",
+    "NoopSpan",
+    "Registry",
+    "Span",
+    "SpanEvent",
+    "aggregate_table",
+    "configure",
+    "counter",
+    "enabled",
+    "event",
+    "export_chrome_trace",
+    "export_jsonl",
+    "get_registry",
+    "observe",
+    "set_registry",
+    "span",
+]
+
+ENV_VAR = "PUPPIES_TRACE"
+_TRUTHY = ("1", "true", "yes", "on")
+
+#: The process-wide default registry all built-in instrumentation uses.
+_registry = Registry(enabled=False)
+
+
+def get_registry() -> Registry:
+    """The current default registry."""
+    return _registry
+
+
+def set_registry(registry: Registry) -> Registry:
+    """Swap the default registry; returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+def configure(
+    enabled: Optional[bool] = None, fresh: bool = False
+) -> Registry:
+    """Adjust the default registry; returns it.
+
+    ``fresh=True`` replaces it with a brand-new registry (preserving the
+    requested/previous enabled state) — what the CLI does so one
+    ``--trace`` run never inherits another's spans.
+    """
+    global _registry
+    if fresh:
+        _registry = Registry(
+            enabled=_registry.enabled if enabled is None else enabled
+        )
+    elif enabled is not None:
+        _registry.enabled = enabled
+    return _registry
+
+
+def enabled() -> bool:
+    """Is the default registry currently recording?"""
+    return _registry.enabled
+
+
+# ----------------------------------------------------------------------
+# Module-level conveniences: the call sites instrumentation uses.
+# ----------------------------------------------------------------------
+def span(name: str, **tags: Any):
+    """A span on the default registry (:data:`NOOP_SPAN` when disabled)."""
+    registry = _registry
+    if not registry.enabled:
+        return NOOP_SPAN
+    return registry.span(name, **tags)
+
+
+def counter(name: str, amount: float = 1.0, **tags: Any) -> None:
+    """Bump a counter on the default registry."""
+    registry = _registry
+    if registry.enabled:
+        registry.counter(name, amount, **tags)
+
+
+def observe(name: str, value: float, **tags: Any) -> None:
+    """Record a histogram sample on the default registry."""
+    registry = _registry
+    if registry.enabled:
+        registry.observe(name, value, **tags)
+
+
+def event(name: str, **fields: Any) -> None:
+    """Attach a structured event to the current span, if tracing."""
+    registry = _registry
+    if registry.enabled:
+        registry.event(name, **fields)
+
+
+# ----------------------------------------------------------------------
+# Environment opt-in: PUPPIES_TRACE=1 | PUPPIES_TRACE=/path/to/out.jsonl
+# ----------------------------------------------------------------------
+def _install_env_hook(value: str) -> None:
+    configure(enabled=True)
+
+    def _flush() -> None:
+        registry = get_registry()
+        if value.lower() in _TRUTHY:
+            table = aggregate_table(registry)
+            print(f"\n[{ENV_VAR}] stage-level aggregate:", file=sys.stderr)
+            print(table, file=sys.stderr)
+        else:
+            lines = export_jsonl(registry, value)
+            print(
+                f"[{ENV_VAR}] wrote {lines} trace line(s) to {value}",
+                file=sys.stderr,
+            )
+
+    atexit.register(_flush)
+
+
+_env_value = os.environ.get(ENV_VAR, "").strip()
+if _env_value:
+    _install_env_hook(_env_value)

@@ -1,0 +1,414 @@
+"""Zero-dependency tracing and metrics core.
+
+The evaluation of the paper is a measurement exercise — Table V times
+encryption and decryption, Figs. 11–23 weigh bytes — yet until this
+module every number came from ad-hoc ``time.perf_counter()`` bookkeeping.
+:class:`Registry` gives the codebase one in-process place where stage
+timings, counters and size/latency histograms accumulate:
+
+* :class:`Span` — a context manager measuring wall *and* CPU time, with
+  nesting (a thread-local stack links children to parents), free-form
+  tags and timestamped structured :class:`SpanEvent` records;
+* :class:`Counter` / :class:`Histogram` — monotonic totals and bucketed
+  distributions (latency in milliseconds, sizes in bytes), both keyed by
+  name plus tags;
+* :class:`Registry` — the thread-safe aggregation point, exportable as
+  JSON-lines, Chrome ``trace_event`` JSON or a five-number-summary table
+  (:mod:`repro.obs.export`).
+
+When a registry is disabled, :meth:`Registry.span` returns the shared
+:data:`NOOP_SPAN` and every metric call returns before touching a lock,
+so leaving instrumentation compiled into the hot paths costs roughly a
+dict lookup per call site (asserted by the tier-1 overhead test).
+
+Only the standard library is used; the single numpy dependency lives in
+the exporters via :mod:`repro.util.stats`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class NoopSpan:
+    """Shared do-nothing span — the disabled-tracing fast path.
+
+    Supports the full :class:`Span` surface (``with``, :meth:`tag`,
+    :meth:`event`) so call sites never branch on whether tracing is on.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def tag(self, **tags: Any) -> "NoopSpan":
+        return self
+
+    def event(self, name: str, **fields: Any) -> "NoopSpan":
+        return self
+
+
+NOOP_SPAN = NoopSpan()
+
+
+@dataclass
+class SpanEvent:
+    """A timestamped structured event attached to a span.
+
+    ``offset_ms`` is relative to the owning span's start, so events read
+    naturally inside a trace ("retry #2 fired 105 ms in").
+    """
+
+    name: str
+    offset_ms: float
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+
+class Span:
+    """One timed stage: wall + CPU time, tags, events, a parent.
+
+    Created by :meth:`Registry.span` and used as a context manager::
+
+        with registry.span("codec.encode", channels=3) as sp:
+            ...
+            sp.event("fallback", reason="corrupt tables")
+
+    Entering pushes the span on the calling thread's stack (establishing
+    parenthood for spans opened underneath); exiting records it with the
+    registry. CPU time is per-thread (``time.thread_time``), so a span's
+    ``cpu_ms`` is the compute it performed, not whatever other threads
+    did meanwhile.
+    """
+
+    __slots__ = (
+        "name",
+        "tags",
+        "events",
+        "span_id",
+        "parent_id",
+        "thread_id",
+        "start_ms",
+        "end_ms",
+        "cpu_start_ms",
+        "cpu_end_ms",
+        "_registry",
+    )
+
+    def __init__(self, registry: "Registry", name: str,
+                 tags: Dict[str, Any]) -> None:
+        self._registry = registry
+        self.name = name
+        self.tags = tags
+        self.events: List[SpanEvent] = []
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self.thread_id: int = 0
+        self.start_ms: float = 0.0
+        self.end_ms: Optional[float] = None
+        self.cpu_start_ms: float = 0.0
+        self.cpu_end_ms: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    @property
+    def wall_ms(self) -> float:
+        """Wall-clock duration; 0.0 while the span is still open."""
+        if self.end_ms is None:
+            return 0.0
+        return self.end_ms - self.start_ms
+
+    @property
+    def cpu_ms(self) -> float:
+        """Thread CPU time consumed inside the span."""
+        if self.cpu_end_ms is None:
+            return 0.0
+        return self.cpu_end_ms - self.cpu_start_ms
+
+    def tag(self, **tags: Any) -> "Span":
+        """Attach/overwrite tags; returns self for chaining."""
+        self.tags.update(tags)
+        return self
+
+    def event(self, name: str, **fields: Any) -> "Span":
+        """Record a structured event at the current instant."""
+        now = self._registry._now_ms()
+        self.events.append(SpanEvent(name, now - self.start_ms, fields))
+        return self
+
+    # ------------------------------------------------------------------
+    # Context manager protocol
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._registry._open_span(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.tags.setdefault("error", exc_type.__name__)
+        self._registry._close_span(self)
+        return False
+
+
+class Metric:
+    """Common shape of an aggregated metric: a name plus fixed tags."""
+
+    __slots__ = ("name", "tags")
+
+    def __init__(self, name: str, tags: Dict[str, Any]) -> None:
+        self.name = name
+        self.tags = tags
+
+
+class Counter(Metric):
+    """A monotonically accumulating total (bytes moved, retries, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, tags: Dict[str, Any]) -> None:
+        super().__init__(name, tags)
+        self.value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+#: Default latency buckets (milliseconds) — exponential-ish coverage from
+#: sub-millisecond numpy kernels up to multi-second whole-corpus passes.
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+#: Default size buckets (bytes) for upload/download/file-size histograms.
+DEFAULT_SIZE_BUCKETS_BYTES: Tuple[float, ...] = (
+    256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+    262144.0, 1048576.0, 4194304.0,
+)
+
+
+class Histogram(Metric):
+    """A bucketed distribution that also keeps its raw samples.
+
+    Buckets give the at-a-glance shape (``bucket_counts[i]`` counts
+    samples ``<= buckets[i]``; the final slot is the overflow); the raw
+    values let the table exporter print the same five-number summary the
+    paper's tables use (:func:`repro.util.stats.summarize`).
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "values")
+
+    def __init__(
+        self,
+        name: str,
+        tags: Dict[str, Any],
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> None:
+        super().__init__(name, tags)
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+
+def _metric_key(name: str, tags: Dict[str, Any]) -> Tuple:
+    if not tags:
+        return (name,)
+    return (name,) + tuple(sorted(tags.items()))
+
+
+class Registry:
+    """Thread-safe in-process aggregation of spans, counters, histograms.
+
+    One registry per measurement context: the module-level default in
+    :mod:`repro.obs` serves production tracing (enabled by the CLI's
+    ``--trace`` or the ``PUPPIES_TRACE`` env var), while benchmarks build
+    private enabled registries so their timings never mix with anything
+    else. ``enabled=False`` (the default registry's initial state) makes
+    every entry point a near-free no-op.
+    """
+
+    def __init__(self, enabled: bool = True, max_spans: int = 200_000) -> None:
+        self.enabled = bool(enabled)
+        self.max_spans = int(max_spans)
+        self.dropped_spans = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._spans: List[Span] = []
+        self._counters: Dict[Tuple, Counter] = {}
+        self._histograms: Dict[Tuple, Histogram] = {}
+        self._thread_ids: Dict[int, int] = {}
+        self._next_span_id = 1
+        self._epoch_perf = time.perf_counter()
+        self._epoch_unix = time.time()
+
+    # ------------------------------------------------------------------
+    # Clocks and identity
+    # ------------------------------------------------------------------
+    def _now_ms(self) -> float:
+        return (time.perf_counter() - self._epoch_perf) * 1000.0
+
+    @property
+    def epoch_unix(self) -> float:
+        """Unix timestamp of the registry's t=0 (for absolute-time export)."""
+        return self._epoch_unix
+
+    def _small_thread_id(self) -> int:
+        ident = threading.get_ident()
+        with self._lock:
+            if ident not in self._thread_ids:
+                self._thread_ids[ident] = len(self._thread_ids) + 1
+            return self._thread_ids[ident]
+
+    def _stack(self) -> List[Span]:
+        try:
+            return self._local.stack
+        except AttributeError:
+            stack: List[Span] = []
+            self._local.stack = stack
+            return stack
+
+    # ------------------------------------------------------------------
+    # Recording API
+    # ------------------------------------------------------------------
+    def span(self, name: str, **tags: Any):
+        """A new span, or :data:`NOOP_SPAN` when the registry is disabled."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(self, name, tags)
+
+    def counter(self, name: str, amount: float = 1.0, **tags: Any) -> None:
+        """Add ``amount`` to the counter keyed by ``name`` + tags."""
+        if not self.enabled:
+            return
+        key = _metric_key(name, tags)
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter(name, tags)
+            metric.add(amount)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+        **tags: Any,
+    ) -> None:
+        """Record ``value`` into the histogram keyed by ``name`` + tags.
+
+        ``buckets`` applies only when the histogram is first created.
+        """
+        if not self.enabled:
+            return
+        key = _metric_key(name, tags)
+        with self._lock:
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = Histogram(
+                    name, tags, buckets
+                )
+            metric.observe(value)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Attach a structured event to the calling thread's open span.
+
+        Dropped silently with no open span (or when disabled): events are
+        annotations on stages, not a standalone log stream.
+        """
+        if not self.enabled:
+            return
+        stack = self._stack()
+        if stack:
+            stack[-1].event(name, **fields)
+
+    def current_span(self) -> Optional[Span]:
+        """The calling thread's innermost open span, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+    # Span lifecycle (called by Span.__enter__/__exit__)
+    # ------------------------------------------------------------------
+    def _open_span(self, span: Span) -> None:
+        stack = self._stack()
+        span.parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            span.span_id = self._next_span_id
+            self._next_span_id += 1
+        span.thread_id = self._small_thread_id()
+        stack.append(span)
+        span.cpu_start_ms = time.thread_time() * 1000.0
+        span.start_ms = self._now_ms()
+
+    def _close_span(self, span: Span) -> None:
+        span.end_ms = self._now_ms()
+        span.cpu_end_ms = time.thread_time() * 1000.0
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # tolerate misnested exits rather than corrupt the stack
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        with self._lock:
+            if len(self._spans) < self.max_spans:
+                self._spans.append(span)
+            else:
+                self.dropped_spans += 1
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """Finished spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def counters(self) -> List[Counter]:
+        with self._lock:
+            return list(self._counters.values())
+
+    def histograms(self) -> List[Histogram]:
+        with self._lock:
+            return list(self._histograms.values())
+
+    def counter_value(self, name: str, **tags: Any) -> float:
+        """Current value of one counter (0.0 when never touched)."""
+        key = _metric_key(name, tags)
+        with self._lock:
+            metric = self._counters.get(key)
+            return metric.value if metric else 0.0
+
+    def span_wall_ms(self, name: str) -> List[float]:
+        """Wall durations of every finished span called ``name``.
+
+        The bridge from tracing to the paper's tables: benches open one
+        span per measured operation and summarize this list.
+        """
+        with self._lock:
+            return [s.wall_ms for s in self._spans if s.name == name]
+
+    def reset(self) -> None:
+        """Drop all recorded data (keeps enabled state and clocks)."""
+        with self._lock:
+            self._spans.clear()
+            self._counters.clear()
+            self._histograms.clear()
+            self.dropped_spans = 0

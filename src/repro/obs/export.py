@@ -1,0 +1,226 @@
+"""Exporters for :class:`repro.obs.core.Registry` contents.
+
+Three output shapes, each for a different consumer:
+
+* :func:`export_jsonl` — one JSON object per line (spans, then counters
+  and histograms), the machine-readable trace the CLI's ``--trace PATH``
+  writes and the round-trip format the tests verify;
+* :func:`export_chrome_trace` — Chrome ``trace_event`` JSON (open in
+  ``chrome://tracing`` or Perfetto) for flame-graph viewing;
+* :func:`aggregate_table` — a human-readable per-stage table in the
+  five-number-summary shape of :class:`repro.util.stats.SummaryStats`,
+  what ``repro-puppies profile`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Union
+
+from repro.obs.core import Counter, Histogram, Registry, Span
+
+PathOrFile = Union[str, IO[str]]
+
+
+def span_record(span: Span) -> dict:
+    """The JSON-safe dict form of one finished span."""
+    record = {
+        "type": "span",
+        "name": span.name,
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "thread": span.thread_id,
+        "start_ms": round(span.start_ms, 4),
+        "wall_ms": round(span.wall_ms, 4),
+        "cpu_ms": round(span.cpu_ms, 4),
+    }
+    if span.tags:
+        record["tags"] = dict(span.tags)
+    if span.events:
+        record["events"] = [
+            {
+                "name": event.name,
+                "offset_ms": round(event.offset_ms, 4),
+                **({"fields": event.fields} if event.fields else {}),
+            }
+            for event in span.events
+        ]
+    return record
+
+
+def counter_record(counter: Counter) -> dict:
+    record = {
+        "type": "counter",
+        "name": counter.name,
+        "value": counter.value,
+    }
+    if counter.tags:
+        record["tags"] = dict(counter.tags)
+    return record
+
+
+def histogram_record(histogram: Histogram) -> dict:
+    record = {
+        "type": "histogram",
+        "name": histogram.name,
+        "count": histogram.count,
+        "buckets": list(histogram.buckets),
+        "bucket_counts": list(histogram.bucket_counts),
+        "values": list(histogram.values),
+    }
+    if histogram.tags:
+        record["tags"] = dict(histogram.tags)
+    return record
+
+
+def _open_for_write(target: PathOrFile):
+    if isinstance(target, str):
+        return open(target, "w", encoding="utf-8"), True
+    return target, False
+
+
+def export_jsonl(registry: Registry, target: PathOrFile) -> int:
+    """Write the registry as JSON-lines; returns the number of lines.
+
+    The first line is a ``meta`` record carrying the absolute epoch so
+    offline tooling can recover absolute timestamps; spans follow in
+    completion order, then counters and histograms.
+    """
+    handle, owned = _open_for_write(target)
+    lines = 0
+    try:
+        records = [
+            {
+                "type": "meta",
+                "epoch_unix": registry.epoch_unix,
+                "dropped_spans": registry.dropped_spans,
+            }
+        ]
+        records += [span_record(s) for s in registry.spans()]
+        records += [counter_record(c) for c in registry.counters()]
+        records += [histogram_record(h) for h in registry.histograms()]
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            lines += 1
+    finally:
+        if owned:
+            handle.close()
+    return lines
+
+
+def export_chrome_trace(registry: Registry, target: PathOrFile) -> int:
+    """Write Chrome ``trace_event`` JSON; returns the event count.
+
+    Spans become complete (``"ph": "X"``) events with microsecond
+    timestamps; span events become instant (``"ph": "i"``) events so
+    retries and fallbacks appear as markers on the flame graph.
+    """
+    events: List[dict] = []
+    for span in registry.spans():
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "ts": round(span.start_ms * 1000.0, 1),
+                "dur": round(span.wall_ms * 1000.0, 1),
+                "pid": 1,
+                "tid": span.thread_id,
+                "args": dict(span.tags),
+            }
+        )
+        for event in span.events:
+            events.append(
+                {
+                    "name": f"{span.name}/{event.name}",
+                    "ph": "i",
+                    "ts": round(
+                        (span.start_ms + event.offset_ms) * 1000.0, 1
+                    ),
+                    "s": "t",
+                    "pid": 1,
+                    "tid": span.thread_id,
+                    "args": dict(event.fields),
+                }
+            )
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs"},
+    }
+    handle, owned = _open_for_write(target)
+    try:
+        json.dump(payload, handle)
+    finally:
+        if owned:
+            handle.close()
+    return len(events)
+
+
+def aggregate_table(registry: Registry) -> str:
+    """Per-stage aggregate in the paper's five-number-summary shape.
+
+    Spans group by name (tags ignored — they distinguish instances, not
+    stages); each row reports call count, total wall time, and the
+    :class:`~repro.util.stats.SummaryStats` columns of per-call wall
+    milliseconds. Counters and histograms follow in their own sections.
+    """
+    from repro.util.stats import summarize
+
+    by_name: Dict[str, List[float]] = {}
+    for span in registry.spans():
+        by_name.setdefault(span.name, []).append(span.wall_ms)
+
+    lines: List[str] = []
+    header = (
+        f"{'span':<34} {'count':>6} {'total_ms':>10}  "
+        f"{'mean':>8}  {'median':>8}  {'std':>8}  {'min':>8}  {'max':>8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in sorted(by_name):
+        values = by_name[name]
+        stats = summarize(values)
+        lines.append(
+            f"{name:<34} {stats.count:>6} {sum(values):>10.2f}  "
+            + stats.row("{:.3f}")
+        )
+    if not by_name:
+        lines.append("(no spans recorded)")
+    if registry.dropped_spans:
+        lines.append(
+            f"(!) {registry.dropped_spans} span(s) dropped past the "
+            f"{registry.max_spans}-span cap"
+        )
+
+    counters = registry.counters()
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<44} {'value':>14}")
+        lines.append("-" * 59)
+        for counter in sorted(counters, key=lambda c: c.name):
+            label = counter.name
+            if counter.tags:
+                tag_text = ",".join(
+                    f"{k}={v}" for k, v in sorted(counter.tags.items())
+                )
+                label = f"{label}{{{tag_text}}}"
+            lines.append(f"{label:<44} {counter.value:>14.0f}")
+
+    histograms = registry.histograms()
+    if histograms:
+        lines.append("")
+        header = (
+            f"{'histogram':<34} {'count':>6}  "
+            f"{'mean':>8}  {'median':>8}  {'std':>8}  {'min':>8}  {'max':>8}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for histogram in sorted(histograms, key=lambda h: h.name):
+            if not histogram.values:
+                continue
+            stats = summarize(histogram.values)
+            lines.append(
+                f"{histogram.name:<34} {stats.count:>6}  "
+                + stats.row("{:.2f}")
+            )
+    return "\n".join(lines)

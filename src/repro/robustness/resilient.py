@@ -28,6 +28,7 @@ from typing import Callable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.matrices import PrivateKey
 from repro.core.params import ImagePublicData
 from repro.core.perturb import (
@@ -124,11 +125,18 @@ class ResilientClient:
             except TransientError as error:
                 retry = attempts  # retry #1 after the first failure
                 if retry > self.backoff.max_retries:
+                    obs.event(
+                        "resilient.retries_exhausted", attempts=attempts
+                    )
                     raise RecoveryError(
                         f"download of {image_id!r} still failing after "
                         f"{attempts} attempt(s): {error}"
                     ) from error
-                self.sleep(self.backoff.delay(retry))
+                delay_s = self.backoff.delay(retry)
+                obs.event(
+                    "resilient.retry", attempt=retry, delay_s=delay_s
+                )
+                self.sleep(delay_s)
 
     # ------------------------------------------------------------------
     # Fetch
@@ -145,6 +153,20 @@ class ResilientClient:
         stayed unavailable through the whole retry budget, and whatever
         ``self.psp.stored`` raises for an unknown image id.
         """
+        with obs.span("resilient.fetch", image_id=image_id) as span:
+            report = self._fetch_inner(image_id, region_ids)
+            span.tag(
+                attempts=report.attempts,
+                bit_exact=report.bit_exact,
+                recovery_ratio=round(report.recovery_ratio, 4),
+            )
+            return report
+
+    def _fetch_inner(
+        self,
+        image_id: str,
+        region_ids: Optional[Sequence[str]] = None,
+    ) -> RecoveryReport:
         stored, attempts = self._download_with_retry(image_id)
         notes: List[str] = []
 
@@ -248,8 +270,10 @@ class ResilientClient:
             return image, damage, True, False
         except CodecError as error:
             notes.append(f"strict decode failed: {error}")
+            obs.event("resilient.strict_decode_failed", error=str(error))
         try:
             result = decode_image(encoded, salvage=True)
+            obs.event("resilient.salvage")
         except CodecError:
             # Header unusable as stored; one more chance: the optimized
             # table specs may be the broken part.
@@ -258,8 +282,12 @@ class ResilientClient:
                     encoded, salvage=True, force_default_tables=True
                 )
                 notes.append("salvaged with default Huffman tables")
+                obs.event("resilient.fallback_default_tables")
             except CodecError as error:
                 notes.append(f"salvage decode failed: {error}")
+                obs.event(
+                    "resilient.salvage_failed", error=str(error)
+                )
                 return None, None, False, False
         assert isinstance(result, SalvageResult)
         damage = result.block_damage.copy()

@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence, Type
 
 import numpy as np
 
+from repro import obs
 from repro.util.errors import TransformError
 
 Planes = List[np.ndarray]
@@ -97,14 +98,20 @@ class Pipeline(Transform):
         self.stages = list(stages)
 
     def apply(self, planes: Planes) -> Planes:
-        for stage in self.stages:
-            planes = stage.apply(planes)
-        return planes
+        with obs.span("transform.pipeline", stages=len(self.stages)):
+            for stage in self.stages:
+                with obs.span(f"transform.{stage.name}"):
+                    planes = stage.apply(planes)
+            return planes
 
     def apply_linear(self, planes: Planes) -> Planes:
-        for stage in self.stages:
-            planes = stage.apply_linear(planes)
-        return planes
+        with obs.span(
+            "transform.pipeline.linear", stages=len(self.stages)
+        ):
+            for stage in self.stages:
+                with obs.span(f"transform.{stage.name}.linear"):
+                    planes = stage.apply_linear(planes)
+            return planes
 
     def params(self) -> dict:
         return {"stages": [stage.to_params() for stage in self.stages]}

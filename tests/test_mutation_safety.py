@@ -1,0 +1,103 @@
+"""Hot paths must never mutate caller-owned arrays or containers.
+
+Aliasing bugs here are silent and data-dependent: a perturbation that
+scribbles on the sender's original, or a quantization table shared by
+reference, corrupts results far from the call site. Each test hands a
+function its own arrays and asserts they come back bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.keys import generate_private_key
+from repro.core.perturb import perturb_regions
+from repro.core.reconstruct import reconstruct_regions
+from repro.core.roi import RegionOfInterest
+from repro.jpeg.coefficients import CoefficientImage
+from repro.jpeg.quantization import standard_luminance_table
+from repro.transforms import Pipeline, Scale
+from repro.util.rect import Rect
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.fixture()
+def image(rng):
+    return CoefficientImage.from_array(
+        rng.integers(0, 256, size=(48, 64, 3), dtype=np.uint8).astype(
+            np.uint8
+        ),
+        quality=75,
+    )
+
+
+def _roi_and_keys(image):
+    roi = RegionOfInterest(
+        region_id="r0",
+        rect=Rect(0, 0, image.height, image.width),
+        scheme="puppies-c",
+    )
+    keys = {
+        matrix_id: generate_private_key(matrix_id, "owner")
+        for matrix_id in roi.matrix_ids()
+    }
+    return [roi], keys
+
+
+def test_from_array_leaves_pixels_untouched(rng):
+    pixels = rng.integers(0, 256, size=(32, 40, 3), dtype=np.uint8)
+    before = pixels.copy()
+    CoefficientImage.from_array(pixels, quality=50)
+    assert np.array_equal(pixels, before)
+
+
+def test_from_sample_planes_copies_int32_tables():
+    table = standard_luminance_table().astype(np.int32)
+    planes = [np.zeros((16, 16), dtype=np.float64)]
+    image = CoefficientImage.from_sample_planes(planes, [table], "gray")
+    table[:] = 1  # caller scribbles on its own table afterwards
+    assert not np.array_equal(image.quant_tables[0], table)
+
+
+def test_constructor_owns_channel_list():
+    chan = np.zeros((2, 2, 8, 8), dtype=np.int32)
+    table = standard_luminance_table().astype(np.int32)
+    channels = [chan]
+    tables = [table]
+    image = CoefficientImage(channels, tables, 16, 16, "gray")
+    channels.append(chan)  # caller reuses its list
+    tables.append(table)
+    assert image.n_channels == 1
+    assert len(image.quant_tables) == 1
+
+
+def test_perturb_regions_leaves_input_image_untouched(image):
+    rois, keys = _roi_and_keys(image)
+    before = [chan.copy() for chan in image.channels]
+    tables_before = [t.copy() for t in image.quant_tables]
+    perturb_regions(image, rois, keys)
+    for chan, snapshot in zip(image.channels, before):
+        assert np.array_equal(chan, snapshot)
+    for table, snapshot in zip(image.quant_tables, tables_before):
+        assert np.array_equal(table, snapshot)
+
+
+def test_reconstruct_regions_leaves_input_untouched(image):
+    rois, keys = _roi_and_keys(image)
+    perturbed, public = perturb_regions(image, rois, keys)
+    before = [chan.copy() for chan in perturbed.channels]
+    recovered = reconstruct_regions(perturbed, public, keys)
+    for chan, snapshot in zip(perturbed.channels, before):
+        assert np.array_equal(chan, snapshot)
+    assert recovered.coefficients_equal(image)
+
+
+def test_transform_pipeline_leaves_input_planes_untouched(image):
+    planes = image.to_sample_planes()
+    before = [plane.copy() for plane in planes]
+    Pipeline([Scale(24, 32)]).apply(planes)
+    for plane, snapshot in zip(planes, before):
+        assert np.array_equal(plane, snapshot)

@@ -1,0 +1,316 @@
+"""The repro.obs tracing/metrics layer: registry, exporters, CLI surface."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    NOOP_SPAN,
+    Registry,
+    aggregate_table,
+    export_chrome_trace,
+    export_jsonl,
+)
+
+
+@pytest.fixture()
+def registry():
+    return Registry(enabled=True)
+
+
+class TestSpans:
+    def test_records_wall_and_cpu_time(self, registry):
+        with registry.span("work") as span:
+            total = sum(range(20_000))
+        assert total > 0
+        assert span.wall_ms >= 0.0
+        assert span.cpu_ms >= 0.0
+        assert registry.span_wall_ms("work") == [span.wall_ms]
+
+    def test_nesting_parent_child(self, registry):
+        with registry.span("outer") as outer:
+            with registry.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_sibling_spans_share_parent(self, registry):
+        with registry.span("outer") as outer:
+            with registry.span("a") as a:
+                pass
+            with registry.span("b") as b:
+                pass
+        assert a.parent_id == outer.span_id
+        assert b.parent_id == outer.span_id
+
+    def test_tags_and_events(self, registry):
+        with registry.span("op", size=3) as span:
+            span.tag(extra="yes")
+            span.event("milestone", step=1)
+        assert span.tags == {"size": 3, "extra": "yes"}
+        assert len(span.events) == 1
+        assert span.events[0].name == "milestone"
+        assert span.events[0].fields == {"step": 1}
+        assert span.events[0].offset_ms >= 0.0
+
+    def test_registry_event_attaches_to_current_span(self, registry):
+        with registry.span("op") as span:
+            registry.event("note", detail="x")
+        assert [e.name for e in span.events] == ["note"]
+
+    def test_event_with_no_open_span_is_dropped(self, registry):
+        registry.event("orphan")  # must not raise
+        assert registry.spans() == []
+
+    def test_exception_tags_error_and_closes(self, registry):
+        with pytest.raises(ValueError):
+            with registry.span("boom") as span:
+                raise ValueError("no")
+        assert span.tags["error"] == "ValueError"
+        assert len(registry.spans()) == 1
+        # The stack unwound: a new span is a root again.
+        with registry.span("after") as after:
+            pass
+        assert after.parent_id is None
+
+    def test_bounded_storage_drops_and_counts(self):
+        registry = Registry(enabled=True, max_spans=5)
+        for _ in range(8):
+            with registry.span("s"):
+                pass
+        assert len(registry.spans()) == 5
+        assert registry.dropped_spans == 3
+
+
+class TestDisabled:
+    def test_disabled_registry_records_nothing(self):
+        registry = Registry(enabled=False)
+        with registry.span("ignored"):
+            registry.counter("c")
+            registry.observe("h", 1.0)
+        assert registry.spans() == []
+        assert registry.counters() == []
+        assert registry.histograms() == []
+
+    def test_module_level_noop_when_disabled(self):
+        obs.configure(enabled=False, fresh=True)
+        assert obs.span("x") is NOOP_SPAN
+        obs.counter("c")
+        obs.observe("h", 1.0)
+        obs.event("e")
+        assert obs.get_registry().spans() == []
+        assert obs.get_registry().counters() == []
+
+    def test_noop_span_supports_full_interface(self):
+        with NOOP_SPAN as span:
+            span.tag(a=1)
+            span.event("e", b=2)
+
+    def test_configure_round_trip(self):
+        obs.configure(enabled=True, fresh=True)
+        assert obs.enabled()
+        with obs.span("real") as span:
+            pass
+        assert span is not NOOP_SPAN
+        assert obs.get_registry().span_wall_ms("real")
+        obs.configure(enabled=False, fresh=True)
+        assert not obs.enabled()
+
+
+class TestMetrics:
+    def test_counter_accumulates(self, registry):
+        registry.counter("bytes", 10)
+        registry.counter("bytes", 32)
+        assert registry.counter_value("bytes") == 42.0
+
+    def test_counter_tags_partition(self, registry):
+        registry.counter("coeffs", 5, scheme="puppies-c")
+        registry.counter("coeffs", 7, scheme="puppies-z")
+        assert registry.counter_value("coeffs", scheme="puppies-c") == 5.0
+        assert registry.counter_value("coeffs", scheme="puppies-z") == 7.0
+        assert registry.counter_value("coeffs") == 0.0
+
+    def test_histogram_buckets_and_values(self, registry):
+        registry.observe("lat", 0.05, buckets=(0.1, 1.0, 10.0))
+        registry.observe("lat", 5.0, buckets=(0.1, 1.0, 10.0))
+        registry.observe("lat", 500.0, buckets=(0.1, 1.0, 10.0))
+        (hist,) = registry.histograms()
+        assert hist.count == 3
+        assert sum(hist.bucket_counts) == 3
+        assert sorted(hist.values) == [0.05, 5.0, 500.0]
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_and_counters(self, registry):
+        n_threads, per_thread = 8, 200
+
+        def work():
+            for _ in range(per_thread):
+                with registry.span("threaded"):
+                    registry.counter("ticks")
+
+        threads = [
+            threading.Thread(target=work) for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(registry.spans()) == n_threads * per_thread
+        assert registry.counter_value("ticks") == n_threads * per_thread
+
+    def test_span_stacks_are_per_thread(self, registry):
+        parents = {}
+
+        def work(name):
+            with registry.span(name) as outer:
+                with registry.span(f"{name}.child") as child:
+                    parents[name] = (outer.span_id, child.parent_id)
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for outer_id, child_parent in parents.values():
+            assert child_parent == outer_id
+
+
+class TestExporters:
+    def _populated(self):
+        registry = Registry(enabled=True)
+        with registry.span("outer", kind="test"):
+            with registry.span("inner") as inner:
+                inner.event("tick", n=1)
+            registry.counter("bytes", 128, direction="up")
+            registry.observe("size", 64.0, buckets=(32.0, 256.0))
+        return registry
+
+    def test_jsonl_round_trip(self):
+        registry = self._populated()
+        buffer = io.StringIO()
+        n = export_jsonl(registry, buffer)
+        lines = buffer.getvalue().strip().split("\n")
+        assert len(lines) == n
+        records = [json.loads(line) for line in lines]
+        assert records[0]["type"] == "meta"
+        by_type = {}
+        for record in records:
+            by_type.setdefault(record["type"], []).append(record)
+        spans = {r["name"]: r for r in by_type["span"]}
+        assert spans["inner"]["parent"] == spans["outer"]["id"]
+        assert spans["outer"]["tags"] == {"kind": "test"}
+        assert spans["inner"]["events"][0]["name"] == "tick"
+        (counter,) = by_type["counter"]
+        assert counter["value"] == 128
+        assert counter["tags"] == {"direction": "up"}
+        (hist,) = by_type["histogram"]
+        assert hist["count"] == 1
+
+    def test_jsonl_to_path(self, tmp_path):
+        registry = self._populated()
+        path = str(tmp_path / "trace.jsonl")
+        export_jsonl(registry, path)
+        with open(path) as handle:
+            for line in handle:
+                json.loads(line)
+
+    def test_chrome_trace_shape(self, tmp_path):
+        registry = self._populated()
+        path = str(tmp_path / "trace.json")
+        export_chrome_trace(registry, path)
+        with open(path) as handle:
+            doc = json.load(handle)
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert {e["name"] for e in complete} == {"outer", "inner"}
+        assert instants[0]["name"] == "inner/tick"
+        for event in complete:
+            assert event["dur"] >= 0
+            assert event["ts"] >= 0
+
+    def test_aggregate_table_sections(self):
+        registry = self._populated()
+        table = aggregate_table(registry)
+        assert "outer" in table
+        assert "inner" in table
+        assert "bytes{direction=up}" in table
+        assert "size" in table
+        # SummaryStats columns are present.
+        for column in ("count", "mean", "median", "std", "min", "max"):
+            assert column in table
+
+    def test_aggregate_table_empty_registry(self):
+        table = aggregate_table(Registry(enabled=True))
+        assert "no spans recorded" in table
+
+
+class TestCliProfile:
+    @pytest.fixture()
+    def photo(self, tmp_path):
+        from repro.cli import main
+
+        path = str(tmp_path / "photo.ppm")
+        assert main(
+            ["demo", "--dataset", "pascal", "--index", "0", "-o", path]
+        ) == 0
+        return path
+
+    def test_profile_prints_stage_table(self, photo, capsys):
+        from repro.cli import main
+
+        assert main(["profile", photo]) == 0
+        out = capsys.readouterr().out
+        for span_name in (
+            "codec.pixel_encode",
+            "codec.encode",
+            "perturb.regions",
+            "transform.pipeline",
+            "reconstruct.regions",
+            "psp.upload",
+            "psp.download",
+        ):
+            assert span_name in out
+        assert "round-trip exact" in out
+
+    def test_profile_trace_flag_writes_jsonl(self, photo, tmp_path):
+        from repro.cli import main
+
+        trace = str(tmp_path / "out.jsonl")
+        assert main(["profile", photo, "--trace", trace]) == 0
+        with open(trace) as handle:
+            records = [json.loads(line) for line in handle]
+        assert records[0]["type"] == "meta"
+        assert any(r["type"] == "span" for r in records)
+
+    def test_protect_trace_flag(self, photo, tmp_path):
+        from repro.cli import main
+
+        share = str(tmp_path / "share")
+        trace = str(tmp_path / "protect.jsonl")
+        assert main(
+            [
+                "protect", photo, "--out-dir", share,
+                "--roi", "8,8,48,64", "--trace", trace,
+            ]
+        ) == 0
+        with open(trace) as handle:
+            names = [
+                json.loads(line).get("name")
+                for line in handle
+            ]
+        assert "perturb.regions" in names
+        assert "codec.encode" in names
+
+
+@pytest.fixture(autouse=True)
+def _reset_module_registry():
+    """Keep the process-global registry disabled across tests."""
+    yield
+    obs.configure(enabled=False, fresh=True)

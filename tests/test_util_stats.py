@@ -1,0 +1,53 @@
+"""Edge cases of the five-number summary used by benches and repro.obs."""
+
+import pytest
+
+from repro.util.stats import SummaryStats, summarize
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_summarize_single_value():
+    stats = summarize([3.0])
+    assert stats.count == 1
+    assert stats.mean == 3.0
+    assert stats.median == 3.0
+    assert stats.std == 0.0
+    assert stats.min == 3.0
+    assert stats.max == 3.0
+
+
+def test_summarize_constant_sequence():
+    stats = summarize([7.5] * 10)
+    assert stats.count == 10
+    assert stats.mean == 7.5
+    assert stats.median == 7.5
+    assert stats.std == 0.0
+    assert stats.min == stats.max == 7.5
+
+
+def test_summarize_known_values():
+    stats = summarize([1.0, 2.0, 3.0, 4.0])
+    assert stats.mean == 2.5
+    assert stats.median == 2.5
+    assert stats.min == 1.0
+    assert stats.max == 4.0
+    assert stats.std > 0.0
+
+
+def test_row_renders_five_cells():
+    stats = summarize([1.0, 2.0, 3.0])
+    row = stats.row()
+    cells = row.split()
+    assert len(cells) == 5
+    assert cells == ["2.00", "2.00", "0.82", "1.00", "3.00"]
+
+
+def test_row_custom_format():
+    stats = SummaryStats(
+        mean=1.0, median=1.0, std=0.0, min=1.0, max=1.0, count=1
+    )
+    assert "1.000" in stats.row("{:.3f}")
