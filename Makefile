@@ -1,6 +1,6 @@
 # Convenience targets for the PuPPIeS reproduction.
 
-.PHONY: install test faults bench examples trace-demo clean all
+.PHONY: install test faults bench bench-quick examples trace-demo clean all
 
 install:
 	pip install -e .
@@ -13,6 +13,12 @@ faults:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Fast-path equivalence + the >=5x entropy speedup gate + Table V smoke.
+bench-quick:
+	pytest tests/test_fastentropy.py tests/test_batch.py -q
+	pytest benchmarks/test_entropy_speedup.py \
+		benchmarks/test_table5_timing.py --benchmark-only -q
 
 trace-demo:
 	mkdir -p examples/out

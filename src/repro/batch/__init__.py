@@ -1,0 +1,25 @@
+"""Multi-image, multi-core batch pipelines (``repro.batch``).
+
+:func:`protect_many` / :func:`reconstruct_many` run the sender and
+receiver pipelines over many images on a ``ProcessPoolExecutor`` with
+per-image observability preserved. See :mod:`repro.batch.api` and
+``docs/PERFORMANCE.md``.
+"""
+
+from repro.batch.api import (
+    DETECT_KINDS,
+    BatchItemResult,
+    BatchOptions,
+    BatchReport,
+    protect_many,
+    reconstruct_many,
+)
+
+__all__ = [
+    "DETECT_KINDS",
+    "BatchItemResult",
+    "BatchOptions",
+    "BatchReport",
+    "protect_many",
+    "reconstruct_many",
+]

@@ -1,0 +1,354 @@
+"""Multi-image, multi-core protect/reconstruct pipelines.
+
+The paper's PSP scenario — and every follow-on workload (P3-style PSPs,
+encrypted-JPEG identification corpora) — is *many* JPEGs, not one. This
+module adds the first multi-image, multi-core entry points:
+:func:`protect_many` runs the full sender pipeline (read, detect/mark,
+perturb, encode, write keys) over a list of images on a
+``ProcessPoolExecutor``, and :func:`reconstruct_many` is its receiver
+mirror over a list of share directories. Worker count and map chunking
+are configurable; one failed image never aborts the batch.
+
+Observability is preserved per image even across process boundaries:
+each worker runs its pipeline under a private enabled
+:class:`repro.obs.Registry`, snapshots its spans and counters into plain
+dicts, and ships them back on the :class:`BatchItemResult`. The parent
+re-emits every worker counter into the process-wide registry tagged with
+``image=<stem>``, wraps the whole run in a ``batch.protect_many`` /
+``batch.reconstruct_many`` span, and records per-image wall times in the
+``batch.image_ms`` histogram (see docs/OBSERVABILITY.md §batch spans).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.obs import Registry
+
+#: ``detect`` kinds accepted by :class:`BatchOptions` (vision detectors).
+DETECT_KINDS = ("faces", "text", "objects")
+
+
+@dataclass(frozen=True)
+class BatchOptions:
+    """Per-batch protect settings, applied to every image.
+
+    ``rois`` are ``(y, x, h, w)`` tuples applied to each image as manual
+    regions; ``detect`` names vision detectors to run per image. When
+    both are empty the whole image is protected (the paper's worst-case
+    bound and the only always-valid default for heterogeneous corpora).
+    Plain tuples/scalars only, so the options pickle cheaply to workers.
+    """
+
+    rois: Tuple[Tuple[int, int, int, int], ...] = ()
+    detect: Tuple[str, ...] = ()
+    level: str = "medium"
+    scheme: str = "puppies-c"
+    matrices: int = 1
+    expand: float = 0.1
+    quality: int = 75
+    owner: str = "batch-owner"
+    optimize: bool = True
+    preview: bool = False
+
+
+@dataclass
+class BatchItemResult:
+    """Outcome of one image (or share directory) within a batch."""
+
+    input_path: str
+    out_path: str
+    ok: bool
+    error: Optional[str] = None
+    n_regions: int = 0
+    n_keys: int = 0
+    stored_bytes: int = 0
+    public_bytes: int = 0
+    wall_ms: float = 0.0
+    #: Worker-side counters: ``[{"name", "tags", "value"}, ...]``.
+    counters: List[Dict[str, Any]] = field(default_factory=list)
+    #: Worker-side spans: ``[{"name", "wall_ms", "cpu_ms", "tags"}, ...]``.
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+
+    def counter_value(self, name: str) -> float:
+        """Sum of this image's worker counters called ``name``."""
+        return float(
+            sum(c["value"] for c in self.counters if c["name"] == name)
+        )
+
+    @property
+    def stem(self) -> str:
+        base = os.path.basename(self.input_path.rstrip("/"))
+        return os.path.splitext(base)[0]
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome of a :func:`protect_many`/:func:`reconstruct_many`."""
+
+    op: str
+    items: List[BatchItemResult]
+    workers: int
+    chunksize: int
+    wall_ms: float = 0.0
+
+    @property
+    def n_ok(self) -> int:
+        return sum(item.ok for item in self.items)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.items) - self.n_ok
+
+    @property
+    def images_per_second(self) -> float:
+        if self.wall_ms <= 0.0:
+            return 0.0
+        return len(self.items) / (self.wall_ms / 1000.0)
+
+
+def _snapshot_registry(registry: Registry) -> Tuple[List[Dict], List[Dict]]:
+    """Flatten a registry's counters and spans into picklable dicts."""
+    counters = [
+        {"name": c.name, "tags": dict(c.tags), "value": c.value}
+        for c in registry.counters()
+    ]
+    spans = [
+        {
+            "name": s.name,
+            "wall_ms": s.wall_ms,
+            "cpu_ms": s.cpu_ms,
+            "tags": dict(s.tags),
+        }
+        for s in registry.spans()
+    ]
+    return counters, spans
+
+
+def _run_traced(item: BatchItemResult, work) -> BatchItemResult:
+    """Run ``work()`` under a private enabled registry; fill ``item``.
+
+    Restores the previous default registry afterwards so inline
+    (``workers=1``) execution never hijacks the caller's tracing.
+    """
+    registry = Registry(enabled=True)
+    previous = obs.set_registry(registry)
+    start = time.perf_counter()
+    try:
+        work(item)
+        item.ok = True
+    except Exception as error:  # one bad image must not sink the batch
+        item.ok = False
+        item.error = f"{type(error).__name__}: {error}"
+    finally:
+        item.wall_ms = (time.perf_counter() - start) * 1000.0
+        obs.set_registry(previous)
+    item.counters, item.spans = _snapshot_registry(registry)
+    return item
+
+
+def _protect_worker(
+    job: Tuple[str, str, BatchOptions]
+) -> BatchItemResult:
+    """Sender pipeline for one image (runs in a worker process)."""
+    input_path, out_dir, options = job
+    item = BatchItemResult(input_path=input_path, out_path=out_dir, ok=False)
+
+    def work(result: BatchItemResult) -> None:
+        from repro.core.keys import generate_private_key
+        from repro.core.perturb import perturb_regions
+        from repro.core.policy import PrivacyLevel, PrivacySettings
+        from repro.core.roi import recommend_rois
+        from repro.core.serialization import serialize_public_data
+        from repro.jpeg.codec import encode_image
+        from repro.jpeg.coefficients import CoefficientImage
+        from repro.util.imageio import read_image, write_image
+        from repro.util.rect import Rect
+
+        array = read_image(input_path)
+        image = CoefficientImage.from_array(array, quality=options.quality)
+        boxes = [Rect(*spec) for spec in options.rois]
+        if options.detect:
+            from repro.cli import _detect_regions
+
+            boxes += _detect_regions(array, list(options.detect))
+        if not boxes:
+            boxes = [Rect(0, 0, image.height, image.width)]
+        settings = PrivacySettings.for_level(PrivacyLevel(options.level))
+        rois = recommend_rois(
+            boxes,
+            image.height,
+            image.width,
+            settings=settings,
+            scheme=options.scheme,
+            expand=options.expand,
+        )
+        keys = {}
+        for roi in rois:
+            roi.n_matrices = options.matrices
+            for matrix_id in roi.matrix_ids():
+                keys[matrix_id] = generate_private_key(
+                    matrix_id, options.owner
+                )
+        perturbed, public = perturb_regions(image, rois, keys)
+
+        os.makedirs(os.path.join(out_dir, "keys"), exist_ok=True)
+        stored = encode_image(perturbed, optimize=options.optimize)
+        public_bytes = serialize_public_data(public)
+        with open(os.path.join(out_dir, "stored.rpj"), "wb") as handle:
+            handle.write(stored)
+        with open(os.path.join(out_dir, "public.rppd"), "wb") as handle:
+            handle.write(public_bytes)
+        for matrix_id, key in keys.items():
+            key_path = os.path.join(out_dir, "keys", f"{matrix_id}.key")
+            with open(key_path, "wb") as handle:
+                handle.write(key.serialize())
+        if options.preview:
+            write_image(
+                os.path.join(out_dir, "preview.ppm"), perturbed.to_array()
+            )
+        result.n_regions = len(rois)
+        result.n_keys = len(keys)
+        result.stored_bytes = len(stored)
+        result.public_bytes = len(public_bytes)
+
+    return _run_traced(item, work)
+
+
+def _reconstruct_worker(
+    job: Tuple[str, str, Tuple[str, ...]]
+) -> BatchItemResult:
+    """Receiver pipeline for one share directory (worker process)."""
+    share_dir, out_path, key_patterns = job
+    item = BatchItemResult(input_path=share_dir, out_path=out_path, ok=False)
+
+    def work(result: BatchItemResult) -> None:
+        from repro.core.matrices import PrivateKey
+        from repro.core.reconstruct import reconstruct_regions
+        from repro.core.serialization import deserialize_public_data
+        from repro.jpeg.codec import decode_image
+        from repro.util.imageio import write_image
+
+        with open(os.path.join(share_dir, "stored.rpj"), "rb") as handle:
+            stored = handle.read()
+        with open(os.path.join(share_dir, "public.rppd"), "rb") as handle:
+            public = deserialize_public_data(handle.read())
+        patterns = list(key_patterns) or [
+            os.path.join(share_dir, "keys", "*.key")
+        ]
+        keys = {}
+        for pattern in patterns:
+            for path in sorted(glob.glob(pattern) or [pattern]):
+                with open(path, "rb") as handle:
+                    key = PrivateKey.deserialize(handle.read())
+                keys[key.matrix_id] = key
+        perturbed = decode_image(stored)
+        recovered = reconstruct_regions(perturbed, public, keys)
+        write_image(out_path, recovered.to_array())
+        result.n_regions = len(public.regions)
+        result.n_keys = len(keys)
+        result.stored_bytes = len(stored)
+
+    return _run_traced(item, work)
+
+
+def _resolve_workers(workers: Optional[int], n_jobs: int) -> int:
+    if workers is None or workers <= 0:
+        workers = os.cpu_count() or 1
+    return max(1, min(workers, n_jobs)) if n_jobs else 1
+
+
+def _run_batch(
+    op: str,
+    worker,
+    jobs: List[Tuple],
+    workers: Optional[int],
+    chunksize: int,
+) -> BatchReport:
+    """Fan jobs out (or run inline for one worker) and merge obs back."""
+    n_workers = _resolve_workers(workers, len(jobs))
+    chunksize = max(1, chunksize)
+    report = BatchReport(
+        op=op, items=[], workers=n_workers, chunksize=chunksize
+    )
+    start = time.perf_counter()
+    with obs.span(
+        f"batch.{op}",
+        images=len(jobs),
+        workers=n_workers,
+        chunksize=chunksize,
+    ):
+        if n_workers == 1:
+            results = map(worker, jobs)
+        else:
+            executor = ProcessPoolExecutor(max_workers=n_workers)
+            results = executor.map(worker, jobs, chunksize=chunksize)
+        try:
+            for item in results:
+                report.items.append(item)
+                obs.counter("batch.images")
+                if not item.ok:
+                    obs.counter("batch.errors")
+                obs.observe("batch.image_ms", item.wall_ms)
+                for counter in item.counters:
+                    obs.counter(
+                        counter["name"],
+                        counter["value"],
+                        image=item.stem,
+                        **counter["tags"],
+                    )
+        finally:
+            if n_workers > 1:
+                executor.shutdown()
+    report.wall_ms = (time.perf_counter() - start) * 1000.0
+    return report
+
+
+def protect_many(
+    inputs: Sequence[str],
+    out_root: str,
+    options: BatchOptions = BatchOptions(),
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> BatchReport:
+    """Protect every image in ``inputs`` into ``out_root/<stem>/``.
+
+    Each image gets the same share-directory layout ``repro-puppies
+    protect`` writes (``stored.rpj``, ``public.rppd``, ``keys/*.key``).
+    ``workers=None`` uses every core; ``workers=1`` runs inline in this
+    process (deterministic, no fork). Failures are recorded per item.
+    """
+    jobs = []
+    for input_path in inputs:
+        stem = os.path.splitext(os.path.basename(input_path))[0]
+        jobs.append((input_path, os.path.join(out_root, stem), options))
+    return _run_batch("protect_many", _protect_worker, jobs,
+                      workers, chunksize)
+
+
+def reconstruct_many(
+    share_dirs: Sequence[str],
+    out_root: str,
+    key_patterns: Sequence[str] = (),
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> BatchReport:
+    """Reconstruct every share directory into ``out_root/<stem>.ppm``.
+
+    ``key_patterns`` are glob patterns for key files; when empty, each
+    share directory's own ``keys/*.key`` is used (full decryption).
+    """
+    os.makedirs(out_root, exist_ok=True)
+    jobs = []
+    for share_dir in share_dirs:
+        stem = os.path.basename(share_dir.rstrip("/"))
+        out_path = os.path.join(out_root, f"{stem}.ppm")
+        jobs.append((share_dir, out_path, tuple(key_patterns)))
+    return _run_batch("reconstruct_many", _reconstruct_worker, jobs,
+                      workers, chunksize)

@@ -12,7 +12,9 @@ Subcommands mirror the three parties of Fig. 5:
                     supplied and write the result as PPM;
 * ``faults``      — chaos drill: protect, store, corrupt with a named
                     fault profile, then report how much the resilient
-                    client recovers.
+                    client recovers;
+* ``batch``       — protect (or reconstruct) many images at once on a
+                    process pool, with per-image metrics.
 
 Example session::
 
@@ -270,6 +272,97 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _expand_batch_inputs(inputs: List[str], op: str) -> List[str]:
+    """Expand directories into image files / share directories."""
+    expanded: List[str] = []
+    for path in inputs:
+        if not os.path.isdir(path):
+            expanded.append(path)
+        elif op == "protect":
+            matches = sorted(
+                entry
+                for pattern in ("*.ppm", "*.pgm")
+                for entry in glob.glob(os.path.join(path, pattern))
+            )
+            expanded.extend(matches)
+        else:  # a directory of share directories (protect_many layout)
+            if os.path.exists(os.path.join(path, "stored.rpj")):
+                expanded.append(path)
+            else:
+                expanded.extend(
+                    sorted(
+                        os.path.dirname(entry)
+                        for entry in glob.glob(
+                            os.path.join(path, "*", "stored.rpj")
+                        )
+                    )
+                )
+    return expanded
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.batch import BatchOptions, protect_many, reconstruct_many
+
+    inputs = _expand_batch_inputs(args.inputs, args.op)
+    if not inputs:
+        print("no batch inputs found", file=sys.stderr)
+        return 2
+    if args.op == "protect":
+        rois = tuple(
+            (rect.y, rect.x, rect.h, rect.w)
+            for rect in (
+                _parse_rect(spec) if isinstance(spec, str) else spec
+                for spec in (args.roi or [])
+            )
+        )
+        options = BatchOptions(
+            rois=rois,
+            detect=tuple(args.detect or ()),
+            level=args.level,
+            scheme=args.scheme,
+            matrices=args.matrices,
+            expand=args.expand,
+            quality=args.quality,
+            owner=args.owner,
+        )
+        report = protect_many(
+            inputs,
+            args.out_dir,
+            options=options,
+            workers=args.workers,
+            chunksize=args.chunksize,
+        )
+    else:
+        report = reconstruct_many(
+            inputs,
+            args.out_dir,
+            key_patterns=args.keys or (),
+            workers=args.workers,
+            chunksize=args.chunksize,
+        )
+
+    for item in report.items:
+        if item.ok:
+            encoded = item.counter_value(
+                "codec.encode.bytes" if args.op == "protect"
+                else "codec.decode.bytes"
+            )
+            print(
+                f"  ok   {item.stem}: {item.n_regions} region(s), "
+                f"{item.n_keys} key(s), {item.stored_bytes} stored "
+                f"bytes, {int(encoded)} codec bytes, "
+                f"{item.wall_ms:.0f} ms -> {item.out_path}"
+            )
+        else:
+            print(f"  FAIL {item.stem}: {item.error}")
+    print(
+        f"{args.op}: {report.n_ok}/{len(report.items)} image(s) ok on "
+        f"{report.workers} worker(s) in {report.wall_ms:.0f} ms "
+        f"({report.images_per_second:.2f} images/s)"
+    )
+    return 0 if report.n_failed == 0 else 1
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     from repro.core.psp import Psp
     from repro.obs import aggregate_table, export_chrome_trace
@@ -428,6 +521,43 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write a Chrome trace_event JSON")
     _add_trace_flag(profile)
     profile.set_defaults(func=cmd_profile)
+
+    batch = sub.add_parser(
+        "batch",
+        help="protect or reconstruct many images on a process pool",
+    )
+    batch.add_argument(
+        "inputs", nargs="+",
+        help="images (protect) or share directories (reconstruct); "
+             "a directory is expanded to *.ppm/*.pgm or to its share "
+             "subdirectories",
+    )
+    batch.add_argument("--op", default="protect",
+                       choices=["protect", "reconstruct"])
+    batch.add_argument("--out-dir", required=True,
+                       help="root directory for per-image outputs")
+    batch.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: all cores)")
+    batch.add_argument("--chunksize", type=int, default=1,
+                       help="jobs handed to a worker at a time")
+    batch.add_argument("--roi", action="append",
+                       help="manual region y,x,h,w applied to every "
+                            "image (repeatable; protect only)")
+    batch.add_argument("--detect", nargs="*",
+                       choices=["faces", "text", "objects"],
+                       help="run detectors per image (protect only)")
+    batch.add_argument("--level", default="medium",
+                       choices=[l.value for l in PrivacyLevel])
+    batch.add_argument("--scheme", default="puppies-c", choices=SCHEMES)
+    batch.add_argument("--matrices", type=int, default=1)
+    batch.add_argument("--expand", type=float, default=0.1)
+    batch.add_argument("--quality", type=int, default=75)
+    batch.add_argument("--owner", default="cli-owner")
+    batch.add_argument("--keys", nargs="*",
+                       help="key file globs (reconstruct only; default: "
+                            "each share's own keys/)")
+    _add_trace_flag(batch)
+    batch.set_defaults(func=cmd_batch)
     return parser
 
 

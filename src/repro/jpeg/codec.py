@@ -22,15 +22,16 @@ returning a :class:`SalvageResult` with an honest per-block damage mask.
 
 from __future__ import annotations
 
+import os
 import struct
 import zlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro import obs
-from repro.jpeg import rle
+from repro.jpeg import fastentropy, rle
 from repro.jpeg.coefficients import GRAY, YCBCR, CoefficientImage
 from repro.jpeg.filesize import channel_symbol_counts
 from repro.jpeg.huffman import (
@@ -47,10 +48,53 @@ _COLORSPACE_CODES = {GRAY: 0, YCBCR: 1}
 _COLORSPACE_NAMES = {code: name for name, code in _COLORSPACE_CODES.items()}
 
 
+#: Entropy backends: "fast" is the vectorized/LUT path in
+#: :mod:`repro.jpeg.fastentropy`; "scalar" is the per-bit reference
+#: implementation below. Both are bit-exact with each other; the scalar
+#: path stays for equivalence testing and as the executable specification.
+ENTROPY_BACKENDS = ("fast", "scalar")
+_entropy_backend = (
+    os.environ.get("PUPPIES_ENTROPY", "").strip().lower() or "fast"
+)
+if _entropy_backend not in ENTROPY_BACKENDS:
+    _entropy_backend = "fast"
+
+
+def entropy_backend() -> str:
+    """The active entropy backend name ("fast" or "scalar")."""
+    return _entropy_backend
+
+
+def set_entropy_backend(name: str) -> str:
+    """Select the entropy backend; returns the previous one.
+
+    Mainly for tests and benchmarks; the ``PUPPIES_ENTROPY`` environment
+    variable selects the initial backend at import time.
+    """
+    global _entropy_backend
+    if name not in ENTROPY_BACKENDS:
+        raise ValueError(
+            f"unknown entropy backend {name!r}; pick one of "
+            f"{ENTROPY_BACKENDS}"
+        )
+    previous = _entropy_backend
+    _entropy_backend = name
+    return previous
+
+
 def _encode_channel_stream(
     zigzag: np.ndarray, dc_table: HuffmanTable, ac_table: HuffmanTable
 ) -> bytes:
     """Entropy-code one channel's ``(n_blocks, 64)`` zigzag coefficients."""
+    if _entropy_backend == "fast":
+        return fastentropy.encode_channel_stream(zigzag, dc_table, ac_table)
+    return _encode_channel_stream_scalar(zigzag, dc_table, ac_table)
+
+
+def _encode_channel_stream_scalar(
+    zigzag: np.ndarray, dc_table: HuffmanTable, ac_table: HuffmanTable
+) -> bytes:
+    """Per-bit reference encoder (the executable specification)."""
     writer = BitWriter()
     diffs = rle.dc_differences(zigzag[:, 0].astype(np.int64))
     for block_idx in range(zigzag.shape[0]):
@@ -94,6 +138,20 @@ def _decode_channel_stream(
     ac_table: HuffmanTable,
 ) -> np.ndarray:
     """Inverse of :func:`_encode_channel_stream`."""
+    if _entropy_backend == "fast":
+        return fastentropy.decode_channel_stream(
+            data, n_blocks, dc_table, ac_table
+        )
+    return _decode_channel_stream_scalar(data, n_blocks, dc_table, ac_table)
+
+
+def _decode_channel_stream_scalar(
+    data: bytes,
+    n_blocks: int,
+    dc_table: HuffmanTable,
+    ac_table: HuffmanTable,
+) -> np.ndarray:
+    """Per-bit reference decoder (the executable specification)."""
     reader = BitReader(data)
     zigzag = np.zeros((n_blocks, 64), dtype=np.int32)
     diffs: List[int] = []
@@ -127,14 +185,48 @@ def _decode_channel_salvage(
     for display purposes. Undecodable blocks keep neutral (all-zero)
     coefficients.
     """
+    if _entropy_backend == "fast":
+        windows = fastentropy._windows24(data)
+        dc_lut = dc_table.decode_lut()
+        ac_lut = ac_table.decode_lut()
+
+        def make_reader(offset: int) -> fastentropy.FastReader:
+            return fastentropy.FastReader(data, offset, windows)
+
+        def decode_block(reader):
+            return reader.decode_block(dc_lut, ac_lut)
+
+    else:
+        def make_reader(offset: int) -> BitReader:
+            return BitReader(data[offset:])
+
+        def decode_block(reader):
+            return _decode_one_block(reader, dc_table, ac_table)
+
+    return _salvage_core(len(data), n_blocks, make_reader, decode_block)
+
+
+def _salvage_core(
+    n_bytes: int,
+    n_blocks: int,
+    make_reader: Callable,
+    decode_block: Callable,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Backend-independent salvage walk + byte-aligned resync scan.
+
+    ``make_reader(byte_offset)`` yields a reader positioned at that byte
+    (exposing ``bits_consumed``/``bits_remaining``) and ``decode_block``
+    decodes one block off it. Both backends consume bits identically on
+    failure, so the resync scan starts at the same byte either way.
+    """
     zigzag = np.zeros((n_blocks, 64), dtype=np.int32)
     damaged = np.zeros(n_blocks, dtype=bool)
     diffs = np.zeros(n_blocks, dtype=np.int64)
-    reader = BitReader(data)
+    reader = make_reader(0)
     block_idx = 0
     while block_idx < n_blocks:
         try:
-            diff, ac = _decode_one_block(reader, dc_table, ac_table)
+            diff, ac = decode_block(reader)
         except CodecError:
             break
         diffs[block_idx] = diff
@@ -147,16 +239,19 @@ def _decode_channel_salvage(
     damaged[block_idx:] = True
     remaining = n_blocks - block_idx - 1
     if remaining > 0:
-        fail_byte = reader.bits_consumed // 8 + 1
-        last = min(len(data), fail_byte + MAX_RESYNC_SCAN_BYTES)
+        # The first candidate is the byte boundary at or directly after
+        # the failure point: ceil, not ``// 8 + 1``, which skipped the
+        # boundary itself whenever the error landed exactly on a byte
+        # edge (e.g. an undecodable prefix after a whole number of
+        # bytes) and lost otherwise-recoverable tails.
+        fail_byte = (reader.bits_consumed + 7) // 8
+        last = min(n_bytes, fail_byte + MAX_RESYNC_SCAN_BYTES)
         for offset in range(fail_byte, last):
-            candidate = BitReader(data[offset:])
+            candidate = make_reader(offset)
             got: List[Tuple[int, np.ndarray]] = []
             try:
                 for _ in range(remaining):
-                    got.append(
-                        _decode_one_block(candidate, dc_table, ac_table)
-                    )
+                    got.append(decode_block(candidate))
             except CodecError:
                 continue
             if candidate.bits_remaining >= 8:
@@ -272,6 +367,7 @@ class JpegCodec:
             "codec.encode",
             optimize=self.optimize,
             channels=image.n_channels,
+            backend=_entropy_backend,
         ):
             with obs.span("codec.huffman.tables"):
                 dc_table, ac_table = self._tables_for(image)
@@ -421,7 +517,9 @@ class JpegCodec:
         if salvage:
             with obs.span("codec.decode.salvage", bytes=len(data)):
                 return self._decode_salvage(data, force_default_tables)
-        with obs.span("codec.decode", bytes=len(data)):
+        with obs.span(
+            "codec.decode", bytes=len(data), backend=_entropy_backend
+        ):
             obs.counter("codec.decode.bytes", len(data))
             header, offset = self._parse_header(data, force_default_tables)
             if not header["header_crc_ok"]:

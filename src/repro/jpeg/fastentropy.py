@@ -1,0 +1,383 @@
+"""Vectorized JPEG entropy coding — bit-exact with the scalar reference.
+
+The scalar path in :mod:`repro.jpeg.codec` walks every block in Python
+and shifts one bit at a time through :class:`~repro.util.bitio.BitWriter`
+/ :class:`~repro.util.bitio.BitReader`; on realistic images that loop is
+the pipeline's dominant cost now that the DCT and quantization layers are
+``einsum``-vectorized. This module replaces both directions:
+
+* **encode** — each channel's ``(n_blocks, 64)`` zigzag array is turned
+  into flat symbol/magnitude/bit-length arrays in one numpy pass
+  (run/EOB/ZRL derivation mirrors :func:`repro.jpeg.rle.ac_symbols`),
+  interleaved into stream order with a stable sort on a
+  ``(block, zigzag position, emission kind)`` key, and packed with the
+  cumulative-offset bit packer :func:`repro.util.bitio.pack_bits_msb`;
+* **decode** — a byte-wise LUT walker: each Huffman table is expanded
+  once into a flat 2^16-entry ``window -> (symbol, length)`` table
+  (:meth:`HuffmanTable.decode_lut`), and the stream is pre-expanded into
+  per-byte 24-bit windows so every symbol and magnitude costs a couple of
+  integer operations instead of per-bit ``dict.get((length, code))``
+  probes.
+
+Both directions are *bit-exact* with the scalar code — identical encoded
+bytes, identical decoded coefficients, and (for the salvage path)
+identical bit-consumption at the point of failure, so resync scans start
+at the same byte either way. The equivalence is asserted by
+``tests/test_fastentropy.py`` and timed by the Table V bench.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.jpeg import rle
+from repro.jpeg.huffman import EOB, MAX_CODE_LENGTH, ZRL, HuffmanTable
+from repro.util.bitio import pack_bits_msb
+from repro.util.errors import BitstreamError, CodecError
+
+#: Emission-kind sub-keys: ZRLs sort before the symbol they precede,
+#: magnitudes directly after their symbol. EOB uses pseudo-position 64
+#: (past every real zigzag index) so it lands at the block's end.
+_KIND_ZRL = 0
+_KIND_SYMBOL = 1
+_KIND_MAGNITUDE = 2
+_EOB_POSITION = 64
+_KEY_STRIDE = (_EOB_POSITION + 1) * 4
+
+
+def _require_symbols(lengths: np.ndarray, symbols: np.ndarray) -> None:
+    """Raise like the scalar encoder when a symbol is absent from a table."""
+    present = lengths[symbols] > 0
+    if not present.all():
+        missing = int(symbols[int(np.argmin(present))])
+        raise CodecError(f"symbol {missing:#x} not in Huffman table")
+
+
+def encode_channel_stream(
+    zigzag: np.ndarray, dc_table: HuffmanTable, ac_table: HuffmanTable
+) -> bytes:
+    """Vectorized ``_encode_channel_stream`` — byte-identical output."""
+    zz = zigzag.astype(np.int64, copy=False)
+    n_blocks = zz.shape[0]
+    dc_codes, dc_lens = dc_table.code_arrays(16)
+    ac_codes, ac_lens = ac_table.code_arrays(256)
+
+    # DC layer: differential coding, size categories, magnitude bits.
+    diffs = rle.dc_differences(zz[:, 0])
+    dc_sizes = rle.magnitude_categories(diffs)
+    _require_symbols(dc_lens, dc_sizes)
+    dc_mag = np.where(diffs > 0, diffs, diffs + (1 << dc_sizes) - 1)
+    dc_mag = np.where(dc_sizes == 0, 0, dc_mag)
+
+    # AC layer: runs/sizes over nonzero coefficients in scan order
+    # (mirrors rle.ac_symbols / filesize._ac_structure).
+    ac = zz[:, 1:]
+    nz_block, nz_pos = np.nonzero(ac)
+    values = ac[nz_block, nz_pos]
+    sizes = rle.magnitude_categories(values)
+    prev = np.full(nz_pos.shape, -1, dtype=np.int64)
+    if nz_pos.shape[0] > 1:
+        same_block = nz_block[1:] == nz_block[:-1]
+        prev[1:] = np.where(same_block, nz_pos[:-1], -1)
+    runs = nz_pos - prev - 1
+    n_zrl = runs >> 4
+    symbols = ((runs & 15) << 4) | sizes
+    _require_symbols(ac_lens, symbols)
+    ac_mag = np.where(values > 0, values, values + (1 << sizes) - 1)
+
+    zrl_owner = np.repeat(np.arange(runs.shape[0]), n_zrl)
+    if zrl_owner.shape[0] and int(ac_lens[ZRL]) == 0:
+        raise CodecError(f"symbol {ZRL:#x} not in Huffman table")
+
+    last_nonzero = np.full(n_blocks, -1, dtype=np.int64)
+    last_nonzero[nz_block] = nz_pos  # positions ascend per block: last wins
+    eob_blocks = np.nonzero(last_nonzero < ac.shape[1] - 1)[0]
+    if eob_blocks.shape[0] and int(ac_lens[EOB]) == 0:
+        raise CodecError(f"symbol {EOB:#x} not in Huffman table")
+
+    # Interleave every emission into stream order. The key encodes
+    # (block, zigzag position, kind); ZRLs for one coefficient share a
+    # key and keep construction order under the stable sort (they are
+    # identical codes, so their mutual order is irrelevant anyway).
+    zpos = nz_pos + 1  # AC index -> zigzag index
+    block_base = np.arange(n_blocks, dtype=np.int64) * _KEY_STRIDE
+    emit_values = np.concatenate([
+        dc_codes[dc_sizes],
+        dc_mag,
+        np.full(zrl_owner.shape, int(ac_codes[ZRL]), dtype=np.int64),
+        ac_codes[symbols],
+        ac_mag,
+        np.full(eob_blocks.shape, int(ac_codes[EOB]), dtype=np.int64),
+    ])
+    emit_lengths = np.concatenate([
+        dc_lens[dc_sizes],
+        dc_sizes,
+        np.full(zrl_owner.shape, int(ac_lens[ZRL]), dtype=np.int64),
+        ac_lens[symbols],
+        sizes,
+        np.full(eob_blocks.shape, int(ac_lens[EOB]), dtype=np.int64),
+    ])
+    emit_keys = np.concatenate([
+        block_base + _KIND_SYMBOL,
+        block_base + _KIND_MAGNITUDE,
+        nz_block[zrl_owner] * _KEY_STRIDE + zpos[zrl_owner] * 4 + _KIND_ZRL,
+        nz_block * _KEY_STRIDE + zpos * 4 + _KIND_SYMBOL,
+        nz_block * _KEY_STRIDE + zpos * 4 + _KIND_MAGNITUDE,
+        eob_blocks * _KEY_STRIDE + _EOB_POSITION * 4 + _KIND_SYMBOL,
+    ])
+    order = np.argsort(emit_keys, kind="stable")
+    return pack_bits_msb(emit_values[order], emit_lengths[order])
+
+
+def _windows24(data: bytes) -> List[int]:
+    """Per-byte 24-bit windows: ``w[k]`` holds bits ``8k .. 8k+23``.
+
+    The last two windows borrow zero padding; readers bound every access
+    by the true bit length, so the padding can never masquerade as data.
+    """
+    if not data:
+        return []
+    b = np.frombuffer(data, dtype=np.uint8).astype(np.int64)
+    b = np.concatenate([b, np.zeros(2, dtype=np.int64)])
+    return ((b[:-2] << 16) | (b[1:-1] << 8) | b[2:]).tolist()
+
+
+class FastReader:
+    """LUT-driven bit cursor, consumption-compatible with ``BitReader``.
+
+    On every failure the cursor advances exactly as far as the scalar
+    reader would have read before raising — 16 bits for an undecodable
+    prefix, to stream end when the stream is exhausted — so salvage
+    resync scans derived from :attr:`bits_consumed` start at the same
+    byte on both paths. ``start_byte`` plus a shared window list lets the
+    resync loop probe byte offsets without re-expanding the stream.
+    """
+
+    __slots__ = ("_w24", "_start_bit", "_end_bit", "_pos")
+
+    def __init__(
+        self,
+        data: bytes,
+        start_byte: int = 0,
+        windows: List[int] = None,
+    ) -> None:
+        self._w24 = _windows24(data) if windows is None else windows
+        self._start_bit = start_byte * 8
+        self._end_bit = len(self._w24) * 8
+        self._pos = self._start_bit
+
+    @property
+    def bits_consumed(self) -> int:
+        return self._pos - self._start_bit
+
+    @property
+    def bits_remaining(self) -> int:
+        return self._end_bit - self._pos
+
+    def decode_symbol(self, lut: List[int]) -> int:
+        """Decode one symbol off a packed ``HuffmanTable.decode_lut()``."""
+        pos = self._pos
+        available = self._end_bit - pos
+        if available <= 0:
+            raise BitstreamError("bitstream exhausted")
+        window = (self._w24[pos >> 3] >> (8 - (pos & 7))) & 0xFFFF
+        entry = lut[window]
+        length = entry & 31
+        if length == 0 or length > available:
+            if available < MAX_CODE_LENGTH:
+                self._pos = self._end_bit
+                raise BitstreamError("bitstream exhausted")
+            self._pos = pos + MAX_CODE_LENGTH
+            raise BitstreamError("undecodable Huffman prefix")
+        self._pos = pos + length
+        return entry >> 5
+
+    def read_bits(self, count: int) -> int:
+        if count == 0:
+            return 0
+        pos = self._pos
+        if count > self._end_bit - pos:
+            self._pos = self._end_bit
+            raise BitstreamError("bitstream exhausted")
+        self._pos = pos + count
+        # count <= 16 and pos&7 <= 7, so the field fits one 24-bit window.
+        return (
+            self._w24[pos >> 3] >> (24 - (pos & 7) - count)
+        ) & ((1 << count) - 1)
+
+    def decode_block(
+        self, dc_lut: List[int], ac_lut: List[int]
+    ) -> Tuple[int, np.ndarray]:
+        """Decode one block: ``(DC difference, 63 AC values)``.
+
+        Magnitude bits are read *before* run-overflow checks, matching the
+        scalar ``_decode_one_block`` generator's consumption order.
+        """
+        size = self.decode_symbol(dc_lut)
+        bits = self.read_bits(size)
+        if size == 0:
+            diff = 0
+        elif bits < (1 << (size - 1)):
+            diff = bits - (1 << size) + 1
+        else:
+            diff = bits
+        ac = np.zeros(63, dtype=np.int32)
+        pos = 0
+        while pos < 63:
+            symbol = self.decode_symbol(ac_lut)
+            ac_size = symbol & 0x0F
+            if ac_size:
+                bits = self.read_bits(ac_size)
+                if bits < (1 << (ac_size - 1)):
+                    value = bits - (1 << ac_size) + 1
+                else:
+                    value = bits
+            else:
+                value = 0
+            if symbol == EOB:
+                break
+            if symbol == ZRL:
+                pos += 16
+                if pos >= 63:
+                    raise CodecError("ZRL run overflows the block")
+                continue
+            pos += symbol >> 4
+            if pos >= 63:
+                raise CodecError("AC run overflows the block")
+            ac[pos] = value
+            pos += 1
+        return diff, ac
+
+
+#: Per-size magnitude constants, so the decode loop replaces shift
+#: arithmetic with one list lookup: ``_MASK[s] = 2**s - 1`` doubles as
+#: the extraction mask and the negative-magnitude offset (one's
+#: complement), ``_THRESHOLD[s] = 2**(s-1)`` splits the sign ranges.
+_MASK = [(1 << size) - 1 for size in range(16)]
+_THRESHOLD = [0] + [1 << (size - 1) for size in range(1, 16)]
+
+
+def _raise_decode_error(
+    w24: List[int], pos: int, end_bit: int, table: HuffmanTable
+) -> None:
+    """Classify a fused-LUT decode failure like the step-by-step reader.
+
+    The hot loop only learns "this symbol+magnitude does not fit"; this
+    reconstructs whether that was an undecodable prefix or plain stream
+    exhaustion. Exact bit-consumption parity with the scalar decoder is
+    not needed here — a decode failure sends the codec back to a fresh
+    salvage pass over the whole stream (driven by :class:`FastReader`,
+    which does guarantee parity) — only the error classification is.
+    """
+    available = end_bit - pos
+    window = (w24[pos >> 3] >> (8 - (pos & 7))) & 0xFFFF
+    undecodable = (table.decode_lut()[window] & 31) == 0
+    if undecodable and available >= MAX_CODE_LENGTH:
+        raise BitstreamError("undecodable Huffman prefix")
+    raise BitstreamError("bitstream exhausted")
+
+
+def decode_channel_stream(
+    data: bytes,
+    n_blocks: int,
+    dc_table: HuffmanTable,
+    ac_table: HuffmanTable,
+) -> np.ndarray:
+    """LUT-walker inverse of :func:`encode_channel_stream`.
+
+    The block loop is unavoidable (the stream is serially dependent), but
+    each symbol costs a handful of integer operations and the coefficient
+    scatter into the output array happens once, vectorized, at the end.
+    """
+    dc_ext = dc_table.decode_lut_ext()
+    ac_ext = ac_table.decode_lut_ext()
+    w24 = _windows24(data)
+    end_bit = len(w24) * 8
+    pos = 0
+
+    diffs: List[int] = []
+    counts: List[int] = []  # nonzero AC coefficients per block
+    out_pos: List[int] = []
+    out_val: List[int] = []
+    diffs_append = diffs.append
+    counts_append = counts.append
+    pos_append = out_pos.append
+    val_append = out_val.append
+
+    for _ in range(n_blocks):
+        # --- DC symbol + magnitude ---
+        if pos >= end_bit:
+            raise BitstreamError("bitstream exhausted")
+        entry = dc_ext[(w24[pos >> 3] >> (8 - (pos & 7))) & 0xFFFF]
+        npos = pos + (entry & 63)
+        if npos > end_bit:
+            _raise_decode_error(w24, pos, end_bit, dc_table)
+        size = (entry >> 6) & 15
+        if size:
+            mpos = npos - size
+            bits = (
+                w24[mpos >> 3] >> (24 - (mpos & 7) - size)
+            ) & _MASK[size]
+            if bits < _THRESHOLD[size]:
+                diffs_append(bits - _MASK[size])
+            else:
+                diffs_append(bits)
+        else:
+            diffs_append(0)
+        pos = npos
+
+        # --- AC run/size symbols until EOB or position 63 ---
+        block_start = len(out_pos)
+        coeff = 0
+        while coeff < 63:
+            if pos >= end_bit:
+                raise BitstreamError("bitstream exhausted")
+            entry = ac_ext[(w24[pos >> 3] >> (8 - (pos & 7))) & 0xFFFF]
+            npos = pos + (entry & 63)
+            if npos > end_bit:
+                _raise_decode_error(w24, pos, end_bit, ac_table)
+            size = (entry >> 6) & 15
+            if size:
+                coeff += entry >> 10
+                if coeff >= 63:
+                    raise CodecError("AC run overflows the block")
+                mpos = npos - size
+                bits = (
+                    w24[mpos >> 3] >> (24 - (mpos & 7) - size)
+                ) & _MASK[size]
+                pos_append(coeff + 1)  # AC index -> zigzag index
+                if bits < _THRESHOLD[size]:
+                    val_append(bits - _MASK[size])
+                else:
+                    val_append(bits)
+                coeff += 1
+            else:
+                run = entry >> 10
+                if run == 0:  # size-0 run-0 is EOB by definition
+                    pos = npos
+                    break
+                if run == 15:  # ZRL: sixteen zeros, no coefficient
+                    coeff += 16
+                    if coeff >= 63:
+                        pos = npos
+                        raise CodecError("ZRL run overflows the block")
+                else:
+                    # size-0 run/size symbol other than EOB/ZRL: a pure
+                    # zero run with no coefficient — scalar
+                    # decode_ac_block advances past it the same way.
+                    coeff += run
+                    if coeff >= 63:
+                        pos = npos
+                        raise CodecError("AC run overflows the block")
+                    coeff += 1
+            pos = npos
+        counts_append(len(out_pos) - block_start)
+
+    zigzag = np.zeros((n_blocks, 64), dtype=np.int32)
+    zigzag[:, 0] = rle.dc_from_differences(diffs)
+    if out_pos:
+        out_block = np.repeat(np.arange(n_blocks), counts)
+        zigzag[out_block, out_pos] = out_val
+    return zigzag

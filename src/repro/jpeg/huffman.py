@@ -58,6 +58,9 @@ class HuffmanTable:
             (length, code): symbol for symbol, (code, length) in codes.items()
         }
         object.__setattr__(self, "_decode_map", decode_map)
+        object.__setattr__(self, "_code_array_cache", {})
+        object.__setattr__(self, "_decode_lut_cache", None)
+        object.__setattr__(self, "_decode_lut_ext_cache", None)
 
     @property
     def symbols(self) -> List[int]:
@@ -77,6 +80,72 @@ class HuffmanTable:
         for symbol, (_, length) in self._codes.items():
             arr[symbol] = length
         return arr
+
+    def code_arrays(self, n_symbols: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(codes, lengths)`` arrays indexed by symbol, cached.
+
+        Absent symbols have length 0, which the vectorized encoder treats
+        as "not in table" exactly like :meth:`encode_symbol`'s KeyError.
+        """
+        cached = self._code_array_cache.get(n_symbols)
+        if cached is None:
+            codes = np.zeros(n_symbols, dtype=np.int64)
+            lengths = np.zeros(n_symbols, dtype=np.int64)
+            for symbol, (code, length) in self._codes.items():
+                codes[symbol] = code
+                lengths[symbol] = length
+            cached = self._code_array_cache[n_symbols] = (codes, lengths)
+        return cached
+
+    def decode_lut(self) -> List[int]:
+        """Flat decode table over every 16-bit window, cached.
+
+        ``lut[w] = (symbol << 5) | code_length`` for the symbol whose
+        code prefixes the window ``w``; windows no code prefixes have
+        entry 0 — ``entry & 31 == 0`` is the "undecodable prefix"
+        sentinel (canonical prefix codes can never legitimately produce
+        it, since every real code length is >= 1). One packed Python
+        list, not numpy arrays or a pair of lists: the decoder does one
+        scalar lookup per symbol, list indexing is several times cheaper
+        than numpy scalar indexing, and a single packed lookup beats two
+        separate symbol/length lookups.
+        """
+        if self._decode_lut_cache is None:
+            n = 1 << MAX_CODE_LENGTH
+            packed = np.zeros(n, dtype=np.int64)
+            for symbol, (code, length) in self._codes.items():
+                lo = code << (MAX_CODE_LENGTH - length)
+                hi = lo + (1 << (MAX_CODE_LENGTH - length))
+                packed[lo:hi] = (symbol << 5) | length
+            object.__setattr__(
+                self, "_decode_lut_cache", packed.tolist()
+            )
+        return self._decode_lut_cache
+
+    def decode_lut_ext(self) -> List[int]:
+        """Decode LUT with the magnitude phase pre-fused, cached.
+
+        For JPEG run/size symbols (DC size categories are just run-0
+        symbols), ``lut[w] = (code_length + size) | (size << 6) |
+        (run << 10)`` — everything the inner decode loop needs to consume
+        a whole symbol *and* its magnitude bits in one lookup and one
+        bounds check. Undecodable windows carry 63 in the low bits, an
+        impossible total (max 16 + 15 = 31) that forces the caller onto
+        its precise error path. Only safe for tables whose symbols fit
+        the run/size byte, which every entropy table here does.
+        """
+        if self._decode_lut_ext_cache is None:
+            n = 1 << MAX_CODE_LENGTH
+            packed = np.full(n, 63, dtype=np.int64)
+            for symbol, (code, length) in self._codes.items():
+                run, size = symbol >> 4, symbol & 0x0F
+                lo = code << (MAX_CODE_LENGTH - length)
+                hi = lo + (1 << (MAX_CODE_LENGTH - length))
+                packed[lo:hi] = (length + size) | (size << 6) | (run << 10)
+            object.__setattr__(
+                self, "_decode_lut_ext_cache", packed.tolist()
+            )
+        return self._decode_lut_ext_cache
 
     def encode_symbol(self, writer: BitWriter, symbol: int) -> None:
         try:

@@ -23,12 +23,22 @@ def magnitude_category(value: int) -> int:
 
 
 def magnitude_categories(values: np.ndarray) -> np.ndarray:
-    """Vectorized :func:`magnitude_category` for int arrays."""
+    """Vectorized :func:`magnitude_category` for int arrays.
+
+    Exact integer bit lengths: ``|value|`` is shifted right until it is
+    zero, counting the passes. ``floor(log2(...))`` on floats can round a
+    value just below a power of two *up* to the exact power, disagreeing
+    with ``int.bit_length()`` for large magnitudes; the shift loop can
+    not, and costs one vector pass per significant bit of the maximum.
+    """
     mags = np.abs(values.astype(np.int64))
     cats = np.zeros(mags.shape, dtype=np.int64)
-    nonzero = mags > 0
-    cats[nonzero] = np.floor(np.log2(mags[nonzero])).astype(np.int64) + 1
-    return cats
+    while True:
+        nonzero = mags > 0
+        if not nonzero.any():
+            return cats
+        cats += nonzero
+        mags >>= 1
 
 
 def encode_magnitude(value: int, size: int) -> int:
@@ -89,6 +99,13 @@ def decode_ac_block(symbol_stream: Iterator[Tuple[int, int]]) -> np.ndarray:
             break
         if symbol == ZRL:
             pos += 16
+            if pos >= 63:
+                # A conforming encoder only emits ZRL with a nonzero
+                # coefficient still to come, so a ZRL that lands on or
+                # past the block end is corruption — raise like an
+                # overflowing run/size symbol instead of exiting quietly,
+                # so salvage damage masks stay honest.
+                raise CodecError("ZRL run overflows the block")
             continue
         run = symbol >> 4
         pos += run

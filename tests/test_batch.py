@@ -1,0 +1,184 @@
+"""Tests for the multi-image batch pipelines (``repro.batch``)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.batch import (
+    BatchOptions,
+    protect_many,
+    reconstruct_many,
+)
+from repro.cli import main as cli_main
+from repro.jpeg.coefficients import CoefficientImage
+from repro.util.imageio import read_image, write_image
+
+
+@pytest.fixture()
+def image_dir(tmp_path):
+    """Three small distinct PPM images on disk."""
+    gen = np.random.default_rng(11)
+    paths = []
+    root = tmp_path / "in"
+    root.mkdir()
+    for index, (h, w) in enumerate([(40, 48), (48, 40), (32, 64)]):
+        array = gen.integers(0, 256, (h, w, 3), dtype=np.uint8)
+        path = root / f"img{index}.ppm"
+        write_image(str(path), array)
+        paths.append(str(path))
+    return root, paths
+
+
+OPTIONS = BatchOptions(rois=((4, 4, 16, 16),), owner="batch-test")
+
+
+class TestProtectMany:
+    def test_inline_protect_writes_share_layout(self, image_dir, tmp_path):
+        _, paths = image_dir
+        out_root = str(tmp_path / "shared")
+        report = protect_many(paths, out_root, options=OPTIONS, workers=1)
+        assert report.n_ok == 3 and report.n_failed == 0
+        assert report.workers == 1
+        for item in report.items:
+            assert item.ok and item.error is None
+            assert item.n_regions >= 1 and item.n_keys >= 1
+            for name in ("stored.rpj", "public.rppd"):
+                assert os.path.exists(os.path.join(item.out_path, name))
+            assert os.listdir(os.path.join(item.out_path, "keys"))
+            assert item.stored_bytes == os.path.getsize(
+                os.path.join(item.out_path, "stored.rpj")
+            )
+
+    def test_per_image_obs_survive_worker_processes(
+        self, image_dir, tmp_path
+    ):
+        _, paths = image_dir
+        report = protect_many(
+            paths, str(tmp_path / "shared"), options=OPTIONS, workers=2
+        )
+        assert report.workers == 2
+        for item in report.items:
+            # Counters and spans recorded inside the worker process come
+            # back attached to the item.
+            assert item.counter_value("codec.encode.bytes") == \
+                item.stored_bytes
+            span_names = {span["name"] for span in item.spans}
+            assert "codec.encode" in span_names
+            assert "perturb.regions" in span_names or any(
+                name.startswith("perturb") for name in span_names
+            )
+
+    def test_parent_registry_merges_tagged_counters(
+        self, image_dir, tmp_path
+    ):
+        _, paths = image_dir
+        obs.configure(enabled=True, fresh=True)
+        try:
+            report = protect_many(
+                paths, str(tmp_path / "shared"), options=OPTIONS, workers=1
+            )
+            registry = obs.get_registry()
+            assert registry.counter_value("batch.images") == 3
+            names = [
+                (c.name, c.tags.get("image")) for c in registry.counters()
+            ]
+            for item in report.items:
+                assert ("codec.encode.bytes", item.stem) in names
+            span_names = [s.name for s in registry.spans()]
+            assert "batch.protect_many" in span_names
+        finally:
+            obs.configure(enabled=False, fresh=True)
+
+    def test_whole_image_default_when_no_regions_given(
+        self, image_dir, tmp_path
+    ):
+        _, paths = image_dir
+        report = protect_many(
+            paths[:1], str(tmp_path / "shared"),
+            options=BatchOptions(owner="batch-test"), workers=1,
+        )
+        assert report.n_ok == 1
+        assert report.items[0].n_regions >= 1
+
+    def test_one_bad_input_does_not_sink_the_batch(
+        self, image_dir, tmp_path
+    ):
+        _, paths = image_dir
+        report = protect_many(
+            paths + [str(tmp_path / "missing.ppm")],
+            str(tmp_path / "shared"), options=OPTIONS, workers=1,
+        )
+        assert report.n_ok == 3 and report.n_failed == 1
+        failed = [item for item in report.items if not item.ok]
+        assert len(failed) == 1 and "missing" in failed[0].input_path
+        assert failed[0].error
+
+
+class TestReconstructMany:
+    def test_roundtrip_recovers_exact_coefficients(
+        self, image_dir, tmp_path
+    ):
+        _, paths = image_dir
+        shared = str(tmp_path / "shared")
+        protect = protect_many(paths, shared, options=OPTIONS, workers=1)
+        assert protect.n_failed == 0
+        share_dirs = [item.out_path for item in protect.items]
+        report = reconstruct_many(
+            share_dirs, str(tmp_path / "out"), workers=1
+        )
+        assert report.n_failed == 0
+        for source, item in zip(paths, report.items):
+            # Full-key reconstruction inverts the perturbation exactly,
+            # so the output equals the plain JPEG round trip of the
+            # source image.
+            expected = CoefficientImage.from_array(
+                read_image(source), quality=OPTIONS.quality
+            ).to_array()
+            np.testing.assert_array_equal(
+                read_image(item.out_path), expected
+            )
+
+
+class TestCliBatch:
+    def test_cli_protect_then_reconstruct(
+        self, image_dir, tmp_path, capsys
+    ):
+        root, _ = image_dir
+        shared = str(tmp_path / "shared")
+        code = cli_main([
+            "batch", str(root), "--out-dir", shared,
+            "--roi", "4,4,16,16", "--workers", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "protect: 3/3 image(s) ok" in out
+        code = cli_main([
+            "batch", shared, "--op", "reconstruct",
+            "--out-dir", str(tmp_path / "out"), "--workers", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reconstruct: 3/3 image(s) ok" in out
+        assert sorted(os.listdir(tmp_path / "out")) == [
+            "img0.ppm", "img1.ppm", "img2.ppm"
+        ]
+
+    def test_cli_reports_failures_with_exit_code(self, tmp_path, capsys):
+        code = cli_main([
+            "batch", str(tmp_path / "nope.ppm"),
+            "--out-dir", str(tmp_path / "shared"),
+        ])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_cli_no_inputs_is_usage_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = cli_main([
+            "batch", str(empty), "--out-dir", str(tmp_path / "shared"),
+        ])
+        assert code == 2

@@ -1,0 +1,332 @@
+"""Equivalence tests: vectorized entropy codec vs the scalar reference.
+
+The fast path in :mod:`repro.jpeg.fastentropy` must be *bit-exact* with
+the per-bit scalar coder it replaces: identical stream bytes out of the
+encoder, identical coefficients out of the decoder, identical failure
+semantics (bit-consumption on error) so salvage resyncs at the same
+byte, and byte-identical full containers under every scheme. These tests
+pin all of that, plus the entropy-layer bugfixes that rode along (exact
+magnitude categories, ZRL overflow detection, the salvage resync
+off-by-one).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.core.keys import generate_private_key
+from repro.core.perturb import SCHEMES, perturb_regions
+from repro.core.reconstruct import reconstruct_regions
+from repro.core.roi import recommend_rois
+from repro.jpeg import codec, fastentropy, rle
+from repro.jpeg.coefficients import CoefficientImage
+from repro.jpeg.codec import decode_image, encode_image
+from repro.jpeg.huffman import (
+    DEFAULT_AC_TABLE,
+    DEFAULT_DC_TABLE,
+    EOB,
+    ZRL,
+    HuffmanTable,
+    optimized_tables,
+)
+from repro.util.bitio import BitReader, BitWriter, pack_bits_msb
+from repro.util.errors import BitstreamError, CodecError
+from repro.util.rect import Rect
+
+
+@contextmanager
+def use_backend(name: str):
+    previous = codec.set_entropy_backend(name)
+    try:
+        yield
+    finally:
+        codec.set_entropy_backend(previous)
+
+
+def random_zigzag(
+    rng: np.random.Generator, n_blocks: int, density: float = 0.15
+) -> np.ndarray:
+    """Sparse random coefficient blocks shaped like quantized JPEG data."""
+    zigzag = np.zeros((n_blocks, 64), dtype=np.int32)
+    mask = rng.random((n_blocks, 64)) < density
+    zigzag[mask] = rng.integers(-255, 256, int(mask.sum()))
+    zigzag[:, 0] = rng.integers(-512, 512, n_blocks)
+    return zigzag
+
+
+def stream_freqs(zigzag: np.ndarray):
+    """Per-stream symbol frequencies, as the optimizer would gather."""
+    dc_freqs: dict = {}
+    ac_freqs: dict = {}
+    for diff in rle.dc_differences(zigzag[:, 0]):
+        size = rle.magnitude_category(int(diff))
+        dc_freqs[size] = dc_freqs.get(size, 0) + 1
+    for block in zigzag:
+        for symbol, _ in rle.ac_symbols(block[1:]):
+            ac_freqs[symbol] = ac_freqs.get(symbol, 0) + 1
+    return dc_freqs, ac_freqs
+
+
+# ---------------------------------------------------------------------------
+# Stream-level equivalence
+# ---------------------------------------------------------------------------
+
+class TestStreamEquivalence:
+    @pytest.mark.parametrize("density", [0.0, 0.05, 0.3, 0.9])
+    def test_encoders_byte_identical_default_tables(self, rng, density):
+        for _ in range(6):
+            zigzag = random_zigzag(rng, int(rng.integers(1, 60)), density)
+            scalar = codec._encode_channel_stream_scalar(
+                zigzag, DEFAULT_DC_TABLE, DEFAULT_AC_TABLE
+            )
+            fast = fastentropy.encode_channel_stream(
+                zigzag, DEFAULT_DC_TABLE, DEFAULT_AC_TABLE
+            )
+            assert fast == scalar
+
+    def test_decoders_invert_both_encoders(self, rng):
+        for _ in range(6):
+            zigzag = random_zigzag(rng, int(rng.integers(1, 60)))
+            data = fastentropy.encode_channel_stream(
+                zigzag, DEFAULT_DC_TABLE, DEFAULT_AC_TABLE
+            )
+            for decode in (
+                fastentropy.decode_channel_stream,
+                codec._decode_channel_stream_scalar,
+            ):
+                out = decode(
+                    data, zigzag.shape[0], DEFAULT_DC_TABLE, DEFAULT_AC_TABLE
+                )
+                np.testing.assert_array_equal(out, zigzag)
+
+    def test_equivalence_with_optimized_tables(self, rng):
+        for _ in range(6):
+            zigzag = random_zigzag(rng, int(rng.integers(1, 60)), 0.2)
+            dc, ac = optimized_tables(*stream_freqs(zigzag))
+            scalar = codec._encode_channel_stream_scalar(zigzag, dc, ac)
+            fast = fastentropy.encode_channel_stream(zigzag, dc, ac)
+            assert fast == scalar
+            out = fastentropy.decode_channel_stream(
+                fast, zigzag.shape[0], dc, ac
+            )
+            np.testing.assert_array_equal(out, zigzag)
+
+    def test_missing_symbol_raises_not_garbage(self):
+        # A table missing a needed symbol must raise, like the scalar
+        # encoder's KeyError path — not silently emit a zero-length code.
+        zigzag = np.zeros((1, 64), dtype=np.int32)
+        zigzag[0, 0] = 5  # DC size 3
+        dc = HuffmanTable(((0, 1), (1, 2), (2, 2)))  # no size-3 symbol
+        with pytest.raises(CodecError):
+            fastentropy.encode_channel_stream(zigzag, dc, DEFAULT_AC_TABLE)
+
+
+# ---------------------------------------------------------------------------
+# Container-level equivalence (the tentpole acceptance bar)
+# ---------------------------------------------------------------------------
+
+class TestContainerEquivalence:
+    @pytest.mark.parametrize("optimize", [False, True])
+    def test_containers_byte_identical_across_backends(
+        self, noise_rgb, optimize
+    ):
+        image = CoefficientImage.from_array(noise_rgb, quality=75)
+        with use_backend("fast"):
+            fast_bytes = encode_image(image, optimize=optimize)
+        with use_backend("scalar"):
+            scalar_bytes = encode_image(image, optimize=optimize)
+        assert fast_bytes == scalar_bytes
+        # Cross-decode: each backend inverts the other's container.
+        with use_backend("fast"):
+            assert decode_image(scalar_bytes).coefficients_equal(image)
+        with use_backend("scalar"):
+            assert decode_image(fast_bytes).coefficients_equal(image)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_all_schemes_roundtrip_on_fast_path(self, smooth_rgb, scheme):
+        image = CoefficientImage.from_array(smooth_rgb, quality=75)
+        rois = recommend_rois(
+            [Rect(8, 8, 24, 24)], image.height, image.width, scheme=scheme
+        )
+        keys = {
+            matrix_id: generate_private_key(matrix_id, "fast-test")
+            for roi in rois
+            for matrix_id in roi.matrix_ids()
+        }
+        perturbed, public = perturb_regions(image, rois, keys)
+        with use_backend("fast"):
+            stored = encode_image(perturbed, optimize=True)
+        with use_backend("scalar"):
+            assert encode_image(perturbed, optimize=True) == stored
+        with use_backend("fast"):
+            recovered = reconstruct_regions(
+                decode_image(stored), public, keys
+            )
+        assert recovered.coefficients_equal(image)
+
+    def test_env_var_and_setter_control_backend(self, monkeypatch):
+        assert codec.entropy_backend() in codec.ENTROPY_BACKENDS
+        previous = codec.set_entropy_backend("scalar")
+        try:
+            assert codec.entropy_backend() == "scalar"
+        finally:
+            codec.set_entropy_backend(previous)
+        with pytest.raises(ValueError):
+            codec.set_entropy_backend("simd")
+
+
+# ---------------------------------------------------------------------------
+# Failure semantics + salvage parity
+# ---------------------------------------------------------------------------
+
+class TestSalvageParity:
+    def test_corrupted_streams_salvage_identically(self, rng):
+        zigzag = random_zigzag(rng, 40, 0.2)
+        data = bytearray(
+            codec._encode_channel_stream_scalar(
+                zigzag, DEFAULT_DC_TABLE, DEFAULT_AC_TABLE
+            )
+        )
+        for _ in range(25):
+            corrupt = bytearray(data)
+            position = int(rng.integers(0, len(corrupt)))
+            corrupt[position] ^= int(rng.integers(1, 256))
+            results = {}
+            for name in codec.ENTROPY_BACKENDS:
+                with use_backend(name):
+                    results[name] = codec._decode_channel_salvage(
+                        bytes(corrupt), 40, DEFAULT_DC_TABLE,
+                        DEFAULT_AC_TABLE,
+                    )
+            np.testing.assert_array_equal(
+                results["fast"][0], results["scalar"][0]
+            )
+            np.testing.assert_array_equal(
+                results["fast"][1], results["scalar"][1]
+            )
+
+    def test_failure_consumes_identical_bits(self):
+        # Undecodable prefix: both readers must charge exactly 16 bits,
+        # and exhaustion must charge to the stream end — the resync scan
+        # start depends on it.
+        dc = HuffmanTable(((0, 2), (1, 2), (2, 2)))  # '11' undecodable
+        data = b"\xff\xff\xff"
+        fast = fastentropy.FastReader(data)
+        with pytest.raises(BitstreamError):
+            fast.decode_symbol(dc.decode_lut())
+        scalar = BitReader(data)
+        with pytest.raises(BitstreamError):
+            dc.decode_symbol(scalar)
+        assert fast.bits_consumed == scalar.bits_consumed == 16
+
+        short = b"\xff"
+        fast = fastentropy.FastReader(short)
+        with pytest.raises(BitstreamError):
+            fast.decode_symbol(dc.decode_lut())
+        scalar = BitReader(short)
+        with pytest.raises(BitstreamError):
+            dc.decode_symbol(scalar)
+        assert fast.bits_consumed == scalar.bits_consumed == 8
+
+    @pytest.mark.parametrize("backend", codec.ENTROPY_BACKENDS)
+    def test_salvage_resyncs_at_byte_aligned_failure(self, backend):
+        """Regression: the resync scan must include the failure byte.
+
+        With incomplete tables an undecodable prefix consumes exactly 16
+        bits, so the first corrupt block dies precisely on a byte
+        boundary and the clean tail starts at byte 2. The old
+        ``bits // 8 + 1`` scan start skipped that byte and recovered
+        nothing; ``ceil(bits / 8)`` recovers the whole tail.
+        """
+        dc = HuffmanTable(((0, 2), (1, 2), (2, 2)))
+        ac = HuffmanTable(((EOB, 2), (0x01, 2)))
+        tail_zigzag = np.zeros((3, 64), dtype=np.int32)
+        tail_zigzag[:, 0] = [1, 3, 6]  # DC diffs 1, 2, 3
+        tail_zigzag[:, 1] = 1
+        tail = codec._encode_channel_stream_scalar(tail_zigzag, dc, ac)
+        # Two bytes of 1-bits: an undecodable 16-bit prefix, failing
+        # exactly at the byte-2 boundary where the healthy tail begins.
+        data = b"\xff\xff" + tail
+        with use_backend(backend):
+            zigzag, damaged = codec._decode_channel_salvage(data, 4, dc, ac)
+        assert damaged.all()  # nothing after a break is *certified*
+        np.testing.assert_array_equal(zigzag[0], np.zeros(64))
+        np.testing.assert_array_equal(zigzag[1:, 0], [1, 3, 6])
+        np.testing.assert_array_equal(zigzag[1:, 1], [1, 1, 1])
+
+    @pytest.mark.parametrize("backend", codec.ENTROPY_BACKENDS)
+    def test_zrl_overflow_raises(self, backend):
+        # DC size 0, then four ZRLs = 64 zeros: past the 63 AC slots.
+        writer = BitWriter()
+        DEFAULT_DC_TABLE.encode_symbol(writer, 0)
+        for _ in range(4):
+            DEFAULT_AC_TABLE.encode_symbol(writer, ZRL)
+        data = writer.getvalue()
+        with use_backend(backend):
+            with pytest.raises(CodecError):
+                codec._decode_channel_stream(
+                    data, 1, DEFAULT_DC_TABLE, DEFAULT_AC_TABLE
+                )
+
+
+# ---------------------------------------------------------------------------
+# Entropy-layer bugfix pins
+# ---------------------------------------------------------------------------
+
+class TestMagnitudeCategories:
+    def test_exact_at_power_of_two_boundaries(self):
+        values = []
+        for exponent in range(31):
+            power = 1 << exponent
+            values += [power - 1, power, power + 1]
+        values += [2**31 - 1, -(2**31) + 1]
+        values = np.array(
+            [v for v in values for v in (v, -v)], dtype=np.int64
+        )
+        expected = [int(abs(int(v))).bit_length() for v in values]
+        np.testing.assert_array_equal(
+            rle.magnitude_categories(values), expected
+        )
+        for value in values:
+            assert rle.magnitude_category(int(value)) == int(
+                abs(int(value))
+            ).bit_length()
+
+    def test_zero_and_small(self):
+        np.testing.assert_array_equal(
+            rle.magnitude_categories(np.array([0, 1, -1, 2, -3])),
+            [0, 1, 1, 2, 2],
+        )
+
+
+class TestPackBitsMsb:
+    def test_matches_bitwriter_on_random_fields(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(0, 200))
+            lengths = rng.integers(0, 26, n)
+            values = np.array(
+                [
+                    int(rng.integers(0, 1 << length)) if length else 0
+                    for length in lengths
+                ],
+                dtype=np.int64,
+            )
+            writer = BitWriter()
+            for value, length in zip(values, lengths):
+                writer.write_bits(int(value), int(length))
+            assert pack_bits_msb(values, lengths) == writer.getvalue()
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(BitstreamError):
+            pack_bits_msb(np.array([0]), np.array([-1]))
+        with pytest.raises(BitstreamError):
+            pack_bits_msb(np.array([4]), np.array([2]))
+        with pytest.raises(BitstreamError):
+            pack_bits_msb(np.array([0]), np.array([26]))
+        with pytest.raises(BitstreamError):
+            pack_bits_msb(np.array([[1]]), np.array([[1]]))
+        assert pack_bits_msb(np.array([], dtype=np.int64),
+                             np.array([], dtype=np.int64)) == b""
