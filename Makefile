@@ -1,6 +1,7 @@
 # Convenience targets for the PuPPIeS reproduction.
 
-.PHONY: install test faults bench bench-quick examples trace-demo clean all
+.PHONY: install test faults bench bench-quick loadgen-quick examples \
+	trace-demo clean all
 
 install:
 	pip install -e .
@@ -19,6 +20,13 @@ bench-quick:
 	pytest tests/test_fastentropy.py tests/test_batch.py -q
 	pytest benchmarks/test_entropy_speedup.py \
 		benchmarks/test_table5_timing.py --benchmark-only -q
+
+# Serving-layer smoke: unit + stress tests, then a closed-loop loadgen
+# run whose --check asserts warm-cache downloads beat cold decodes.
+loadgen-quick:
+	pytest tests/test_service.py tests/test_service_stress.py -q
+	PYTHONPATH=src python -m repro.cli loadgen --images 4 --clients 4 \
+		--requests 80 --check
 
 trace-demo:
 	mkdir -p examples/out

@@ -1,0 +1,113 @@
+"""Warm DecodeCache hits vs cold entropy decodes — the serving gate.
+
+Not a paper table — the ISSUE-5 acceptance gate for the serving layer:
+on the bench corpus a warm cache hit must serve ``download()`` at least
+10x faster than a cold decode, while remaining coefficient- and
+byte-identical to the uncached path. Timings are best-of-N (minimum over
+repetitions), robust against scheduler noise on small CI boxes.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench import print_table, protect_whole_image
+from repro.jpeg.codec import encode_image
+from repro.service import PspService
+
+REPS = 5
+MIN_WARM_SPEEDUP = 10.0
+
+
+def _best_of(fn, reps=REPS):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_warm_cache_hit_speedup(benchmark, pascal_corpus):
+    corpus = pascal_corpus[:4]
+
+    def measure():
+        service = PspService(workers=2)
+        uploads = []
+        for index, item in enumerate(corpus):
+            perturbed, public, _key = protect_whole_image(
+                item, "puppies-c"
+            )
+            image_id = f"bench-{index}"
+            service.upload(image_id, perturbed, public)
+            uploads.append((image_id, perturbed))
+
+        # Correctness gate first: cached results must be exactly what
+        # the uncached decode produces, bytes included.
+        for image_id, perturbed in uploads:
+            service.decode_cache.clear()
+            cold = service.download(image_id)
+            warm = service.download(image_id)
+            assert cold.coefficients_equal(perturbed)
+            assert warm.coefficients_equal(cold)
+            assert encode_image(warm, optimize=True) == encode_image(
+                cold, optimize=True
+            )
+
+        def cold_pass():
+            service.decode_cache.clear()
+            for image_id, _perturbed in uploads:
+                service.download(image_id)
+
+        def warm_pass():
+            for image_id, _perturbed in uploads:
+                service.download(image_id)
+
+        warm_pass()  # prime
+        cold_s = _best_of(cold_pass)
+        warm_s = _best_of(warm_pass)
+        service.close()
+        return cold_s, warm_s
+
+    cold_s, warm_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = cold_s / warm_s
+    print_table(
+        f"Warm DecodeCache hit vs cold decode "
+        f"({len(corpus)} PASCAL images, best of {REPS})",
+        ["path", "ms/pass", "speedup"],
+        [
+            ("cold decode", f"{cold_s * 1e3:.2f}", "1.0x"),
+            ("warm cache hit", f"{warm_s * 1e3:.2f}", f"{speedup:.1f}x"),
+        ],
+    )
+    assert speedup >= MIN_WARM_SPEEDUP
+
+
+def test_loadgen_closed_loop_smoke(benchmark, pascal_corpus):
+    """The loadgen harness end to end on a tiny corpus: every request
+    succeeds, the cache carries most of the traffic, warm beats cold."""
+    from repro.service import build_corpus, run_loadgen
+
+    def run():
+        with PspService(workers=4) as service:
+            image_ids = build_corpus(service, 4, height=48, width=64)
+            return run_loadgen(
+                service, image_ids, clients=4, requests=80, seed=3
+            )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Closed-loop loadgen smoke (4 images, 4 clients, 80 requests)",
+        ["req/s", "p50 ms", "p99 ms", "hit rate", "warm speedup"],
+        [(
+            f"{report.throughput_rps:.0f}",
+            f"{report.p50_ms:.2f}",
+            f"{report.p99_ms:.2f}",
+            f"{100.0 * report.hit_rate:.0f}%",
+            f"{report.warm_speedup:.1f}x",
+        )],
+    )
+    assert report.errors == 0
+    assert report.requests == 80
+    assert report.warm_ms < report.cold_ms
+    assert np.isfinite(report.p99_ms)

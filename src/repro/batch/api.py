@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.obs import Registry
+from repro.util.errors import ReproError
 
 #: ``detect`` kinds accepted by :class:`BatchOptions` (vision detectors).
 DETECT_KINDS = ("faces", "text", "objects")
@@ -259,7 +260,12 @@ def _reconstruct_worker(
 
 
 def _resolve_workers(workers: Optional[int], n_jobs: int) -> int:
-    if workers is None or workers <= 0:
+    if workers is not None and workers < 1:
+        raise ReproError(
+            f"batch workers must be >= 1 (or None for all cores), "
+            f"got {workers}"
+        )
+    if workers is None:
         workers = os.cpu_count() or 1
     return max(1, min(workers, n_jobs)) if n_jobs else 1
 

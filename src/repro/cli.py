@@ -14,7 +14,10 @@ Subcommands mirror the three parties of Fig. 5:
                     fault profile, then report how much the resilient
                     client recovers;
 * ``batch``       — protect (or reconstruct) many images at once on a
-                    process pool, with per-image metrics.
+                    process pool, with per-image metrics;
+* ``loadgen``     — closed-loop load test of the concurrent serving
+                    layer (``repro.service``): throughput, p50/p99
+                    latency, cache hit rate.
 
 Example session::
 
@@ -363,6 +366,53 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0 if report.n_failed == 0 else 1
 
 
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service import PspService, build_corpus, run_loadgen
+
+    service = PspService(
+        workers=args.workers,
+        queue_cap=args.queue_cap,
+        decode_cache_bytes=args.cache_mb << 20,
+        derivative_cache_bytes=max(1, args.cache_mb >> 1) << 20,
+    )
+    with service:
+        image_ids = build_corpus(
+            service,
+            args.images,
+            height=args.size,
+            width=args.size,
+            seed=args.seed,
+        )
+        print(
+            f"corpus: {len(image_ids)} protected image(s) "
+            f"({args.size}x{args.size}) uploaded through the service"
+        )
+        report = run_loadgen(
+            service,
+            image_ids,
+            clients=args.clients,
+            requests=args.requests,
+            transform_ratio=args.transform_ratio,
+            seed=args.seed,
+            timeout=args.deadline,
+        )
+    for line in report.lines():
+        print(line)
+    if args.check:
+        ok = report.warm_ms < report.cold_ms and report.errors == 0
+        print(
+            "check        : "
+            + (
+                "ok (warm-cache downloads beat cold decodes)"
+                if ok
+                else "FAILED (warm downloads did not beat cold decodes, "
+                     "or requests errored)"
+            )
+        )
+        return 0 if ok else 1
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     from repro.core.psp import Psp
     from repro.obs import aggregate_table, export_chrome_trace
@@ -558,6 +608,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "each share's own keys/)")
     _add_trace_flag(batch)
     batch.set_defaults(func=cmd_batch)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="closed-loop load test of the concurrent serving layer",
+    )
+    loadgen.add_argument("--images", type=int, default=8,
+                         help="synthetic corpus size")
+    loadgen.add_argument("--size", type=int, default=48,
+                         help="corpus image side length in pixels")
+    loadgen.add_argument("--clients", type=int, default=8,
+                         help="closed-loop client threads")
+    loadgen.add_argument("--requests", type=int, default=200,
+                         help="total requests across all clients")
+    loadgen.add_argument("--transform-ratio", type=float, default=0.25,
+                         help="fraction of requests that are "
+                              "download_transformed")
+    loadgen.add_argument("--workers", type=int, default=4,
+                         help="service worker threads")
+    loadgen.add_argument("--queue-cap", type=int, default=None,
+                         help="admission-control cap (default: 8x workers)")
+    loadgen.add_argument("--cache-mb", type=int, default=64,
+                         help="decode-cache budget in MiB")
+    loadgen.add_argument("--deadline", type=float, default=None,
+                         help="per-request deadline in seconds")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--check", action="store_true",
+                         help="exit nonzero unless warm-cache downloads "
+                              "beat cold decodes and no request errored")
+    _add_trace_flag(loadgen)
+    loadgen.set_defaults(func=cmd_loadgen)
     return parser
 
 

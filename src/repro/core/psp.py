@@ -13,8 +13,9 @@ exactly the artifacts this class exposes.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -52,12 +53,49 @@ class StoredImage:
         return deserialize_public_data(self.public_bytes)
 
 
-class Psp:
-    """An in-memory Photo Sharing Platform."""
+class DictStore:
+    """The default storage backend: a plain dict, for one-threaded use.
 
-    def __init__(self, name: str = "psp") -> None:
+    Any backend exposes this small surface (``get`` raising ``KeyError``
+    for unknown ids, atomic ``put_new``, ``ids``, ``__contains__``,
+    ``__len__``). :class:`repro.service.ShardedStore` implements the same
+    protocol with lock striping for concurrent callers.
+    """
+
+    def __init__(self) -> None:
+        self._items: Dict[str, StoredImage] = {}
+
+    def get(self, image_id: str) -> StoredImage:
+        return self._items[image_id]
+
+    def put_new(self, image_id: str, item: StoredImage) -> bool:
+        """Insert iff absent; False (and no write) when the id exists."""
+        if image_id in self._items:
+            return False
+        self._items[image_id] = item
+        return True
+
+    def ids(self) -> List[str]:
+        return list(self._items)
+
+    def __contains__(self, image_id: str) -> bool:
+        return image_id in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Psp:
+    """An in-memory Photo Sharing Platform.
+
+    ``store`` selects the storage backend (default: a plain
+    :class:`DictStore`); pass a :class:`repro.service.ShardedStore` when
+    several threads hit the same PSP.
+    """
+
+    def __init__(self, name: str = "psp", store: Optional[object] = None) -> None:
         self.name = name
-        self._store: Dict[str, StoredImage] = {}
+        self._store = store if store is not None else DictStore()
 
     # ------------------------------------------------------------------
     # Storage API
@@ -81,9 +119,15 @@ class Psp:
         with obs.span("psp.upload", image_id=image_id):
             encoded = encode_image(image, optimize=optimize)
             public_bytes = serialize_public_data(public)
-            self._store[image_id] = StoredImage(
-                encoded=encoded, public_bytes=public_bytes
+            # put_new is the authoritative duplicate gate: the membership
+            # check above is only a cheap fast-fail before encoding, and
+            # two concurrent uploads of the same id can both pass it.
+            inserted = self._store.put_new(
+                image_id,
+                StoredImage(encoded=encoded, public_bytes=public_bytes),
             )
+            if not inserted:
+                raise ReproError(f"image id {image_id!r} already uploaded")
             obs.counter("psp.upload.bytes", len(encoded))
             obs.counter("psp.upload.public_bytes", len(public_bytes))
             obs.observe(
@@ -95,12 +139,12 @@ class Psp:
 
     def stored(self, image_id: str) -> StoredImage:
         try:
-            return self._store[image_id]
+            return self._store.get(image_id)
         except KeyError:
-            raise ReproError(f"unknown image id {image_id!r}")
+            raise ReproError(f"unknown image id {image_id!r}") from None
 
     def image_ids(self) -> List[str]:
-        return list(self._store)
+        return self._store.ids()
 
     def storage_size(self, image_id: str) -> int:
         return self.stored(image_id).size_bytes
@@ -158,14 +202,18 @@ class Psp:
         with obs.span(
             "psp.download_lossless",
             image_id=image_id,
-            op=op.get("name", "?"),
+            op=op.get("op", "?"),
         ):
             stored = self.stored(image_id)
             obs.counter("psp.download.bytes", len(stored.encoded))
             image = decode_image(stored.encoded)
             transformed = apply_lossless(image, op)
             public = stored.public
-            public.transform_params = dict(op)
+            # Deep copy: a shallow dict(op) would keep nested values
+            # (crop rect lists, pipeline stage dicts) aliased to the
+            # caller's dict, so mutating the op after download would
+            # silently rewrite the published record.
+            public.transform_params = copy.deepcopy(op)
             return transformed, public
 
     def download_recompressed(

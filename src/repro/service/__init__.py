@@ -1,0 +1,46 @@
+"""The concurrent, cache-backed PSP serving layer (``repro.service``).
+
+The paper models the PSP as a high-traffic photo-sharing service; this
+package gives the in-memory :class:`~repro.core.psp.Psp` the serving
+architecture such a service needs:
+
+* :class:`ShardedStore` — lock-striped storage, safe under concurrent
+  upload/download (:mod:`repro.service.store`);
+* :class:`DecodeCache` / :class:`DerivativeCache` — byte-budgeted LRU
+  caches with single-flight deduplication and defensive copies
+  (:mod:`repro.service.cache`);
+* :class:`PspService` — the bounded thread-pool frontend with admission
+  control and per-request deadlines (:mod:`repro.service.frontend`);
+* :func:`run_loadgen` — the closed-loop load generator behind
+  ``repro-puppies loadgen`` (:mod:`repro.service.loadgen`).
+
+See ``docs/SERVICE.md`` for the architecture and knobs.
+"""
+
+from repro.service.cache import (
+    DecodeCache,
+    DerivativeCache,
+    SingleFlightLru,
+    canonical_params,
+)
+from repro.service.frontend import PspService
+from repro.service.loadgen import (
+    LoadgenReport,
+    build_corpus,
+    measure_cold_warm,
+    run_loadgen,
+)
+from repro.service.store import ShardedStore
+
+__all__ = [
+    "DecodeCache",
+    "DerivativeCache",
+    "LoadgenReport",
+    "PspService",
+    "ShardedStore",
+    "SingleFlightLru",
+    "build_corpus",
+    "canonical_params",
+    "measure_cold_warm",
+    "run_loadgen",
+]

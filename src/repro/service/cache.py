@@ -1,0 +1,255 @@
+"""Byte-budgeted, single-flight LRU caches for decoded artifacts.
+
+Every ``download*`` on the plain :class:`~repro.core.psp.Psp` entropy-
+decodes the full image from stored bytes. Under serving traffic the same
+handful of images is requested over and over, so the service keeps two
+caches:
+
+* :class:`DecodeCache` — decoded :class:`CoefficientImage` masters keyed
+  by image id;
+* :class:`DerivativeCache` — transformed outputs (sample planes or
+  coefficient images) keyed by ``(image_id, kind, canonical params)``.
+
+Both are instances of :class:`SingleFlightLru`:
+
+* **byte-budgeted LRU** — entries are charged their array payload size
+  and the least-recently-used entries are evicted once the budget is
+  exceeded (an entry larger than the whole budget is served but never
+  cached);
+* **defensive copies** — the cached master never escapes; every hit (and
+  the loader's own return) is a deep copy of the arrays, so a caller
+  scribbling on its result cannot corrupt what the next request sees;
+* **single-flight** — K concurrent requests for the same cold key run
+  exactly one loader; the other K-1 block on the leader's flight and
+  share its result (or its exception). Failures are never cached.
+
+Counters (tagged ``cache=decode|derivative``): ``service.cache.hit``,
+``service.cache.miss``, ``service.cache.eviction``,
+``service.cache.oversize``, ``service.cache.singleflight_wait``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.jpeg.coefficients import CoefficientImage
+
+
+def canonical_params(params: Any) -> str:
+    """A canonical string for a JSON-safe transform-params payload.
+
+    Key order is normalized, so two dicts describing the same operation
+    produce the same cache key regardless of construction order.
+    """
+    return json.dumps(
+        params, sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+def value_nbytes(value: Any) -> int:
+    """Byte cost charged to the cache budget for one cached value."""
+    if isinstance(value, CoefficientImage):
+        return sum(chan.nbytes for chan in value.channels) + sum(
+            table.nbytes for table in value.quant_tables
+        )
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (list, tuple)):
+        return sum(value_nbytes(item) for item in value)
+    return sys.getsizeof(value)
+
+
+def value_copy(value: Any):
+    """Deep copy of the array payload — what hits hand to callers."""
+    if isinstance(value, CoefficientImage):
+        return value.copy()
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    if isinstance(value, list):
+        return [value_copy(item) for item in value]
+    if isinstance(value, tuple):
+        return tuple(value_copy(item) for item in value)
+    return value
+
+
+class _Entry:
+    __slots__ = ("value", "nbytes")
+
+    def __init__(self, value: Any, nbytes: int) -> None:
+        self.value = value
+        self.nbytes = nbytes
+
+
+class _Flight:
+    """One in-progress load; waiters block on ``event``."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+
+class SingleFlightLru:
+    """The generic cache; see the module docstring for semantics.
+
+    ``max_bytes <= 0`` disables caching entirely: every call runs its own
+    loader (no deduplication either) — the knob the cache-on/off
+    equivalence tests and benchmarks use.
+    """
+
+    def __init__(self, max_bytes: int, name: str = "cache") -> None:
+        self.max_bytes = int(max_bytes)
+        self.name = name
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Any, _Entry]" = OrderedDict()
+        self._inflight: Dict[Any, _Flight] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.oversize = 0
+        self.singleflight_waits = 0
+        self.current_bytes = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_bytes > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "name": self.name,
+                "entries": len(self._entries),
+                "bytes": self.current_bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "oversize": self.oversize,
+                "singleflight_waits": self.singleflight_waits,
+                "hit_rate": self.hit_rate,
+            }
+
+    def clear(self) -> None:
+        """Drop every cached entry (stats and in-flight loads survive)."""
+        with self._lock:
+            self._entries.clear()
+            self.current_bytes = 0
+
+    # ------------------------------------------------------------------
+    # The one entry point
+    # ------------------------------------------------------------------
+    def get_or_load(self, key: Any, loader: Callable[[], Any]) -> Any:
+        """Return a defensive copy of the value for ``key``.
+
+        On a hit the cached master is copied out. On a miss exactly one
+        caller (the leader) runs ``loader``; concurrent callers for the
+        same key wait and share the leader's result. A loader exception
+        propagates to the leader and every waiter and leaves nothing
+        cached.
+        """
+        if not self.enabled:
+            with self._lock:
+                self.misses += 1
+            obs.counter("service.cache.miss", cache=self.name)
+            return loader()
+
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                obs.counter("service.cache.hit", cache=self.name)
+                return value_copy(entry.value)
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._inflight[key] = flight
+                leader = True
+            else:
+                leader = False
+                self.singleflight_waits += 1
+                obs.counter(
+                    "service.cache.singleflight_wait", cache=self.name
+                )
+
+        if not leader:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            return value_copy(flight.value)
+
+        obs.counter("service.cache.miss", cache=self.name)
+        try:
+            value = loader()
+        except BaseException as error:
+            with self._lock:
+                self.misses += 1
+                self._inflight.pop(key, None)
+            flight.error = error
+            flight.event.set()
+            raise
+        nbytes = value_nbytes(value)
+        with self._lock:
+            self.misses += 1
+            self._inflight.pop(key, None)
+            self._insert(key, value, nbytes)
+        flight.value = value
+        flight.event.set()
+        return value_copy(value)
+
+    def _insert(self, key: Any, value: Any, nbytes: int) -> None:
+        """Cache ``value`` and evict LRU entries past the byte budget.
+
+        Caller holds ``self._lock``.
+        """
+        if nbytes > self.max_bytes:
+            self.oversize += 1
+            obs.counter("service.cache.oversize", cache=self.name)
+            return
+        self._entries[key] = _Entry(value, nbytes)
+        self.current_bytes += nbytes
+        while self.current_bytes > self.max_bytes:
+            _old_key, old = self._entries.popitem(last=False)
+            self.current_bytes -= old.nbytes
+            self.evictions += 1
+            obs.counter("service.cache.eviction", cache=self.name)
+
+
+#: Default budgets — comfortable for test/bench corpora, overridable via
+#: :class:`repro.service.PspService` construction.
+DEFAULT_DECODE_CACHE_BYTES = 64 << 20
+DEFAULT_DERIVATIVE_CACHE_BYTES = 32 << 20
+
+
+class DecodeCache(SingleFlightLru):
+    """Decoded :class:`CoefficientImage` masters, keyed by image id."""
+
+    def __init__(self, max_bytes: int = DEFAULT_DECODE_CACHE_BYTES) -> None:
+        super().__init__(max_bytes, name="decode")
+
+
+class DerivativeCache(SingleFlightLru):
+    """Transformed outputs keyed by ``(image_id, kind, canonical params)``."""
+
+    def __init__(
+        self, max_bytes: int = DEFAULT_DERIVATIVE_CACHE_BYTES
+    ) -> None:
+        super().__init__(max_bytes, name="derivative")

@@ -1,0 +1,309 @@
+"""The concurrent serving frontend: ``PspService``.
+
+Production shape for the paper's PSP ("all of these operations could be
+done via general file store and retrieval APIs", Section III-C) in the
+style of P3's serving-side architecture: a bounded worker pool in front
+of a storage backend, with decode/derivative caches between them.
+
+* **Backend-agnostic** — wraps anything PSP-shaped that exposes
+  ``upload`` / ``stored`` / ``public_data`` / ``storage_size`` /
+  ``image_ids``. A plain :class:`~repro.core.psp.Psp` (given a
+  :class:`~repro.service.store.ShardedStore` by default), or a
+  :class:`~repro.robustness.FaultyPsp` unchanged — fault injection and
+  :class:`TransientError` propagate through the service untouched and
+  failed decodes are never cached.
+* **Admission control** — at most ``queue_cap`` requests may be admitted
+  and unfinished at once; past that the service sheds load with
+  :class:`~repro.util.errors.ServiceOverloadedError` instead of queueing
+  unboundedly.
+* **Deadlines** — each request waits at most ``timeout`` seconds
+  (per-call override of ``default_timeout``) and then raises
+  :class:`~repro.util.errors.DeadlineExceededError`.
+* **Caching** — ``download`` is served from the
+  :class:`~repro.service.cache.DecodeCache`; ``download_transformed`` /
+  ``download_lossless`` / ``download_recompressed`` from the
+  :class:`~repro.service.cache.DerivativeCache`, keyed by the canonical
+  transform params. All results are defensive copies, and public-data
+  records are freshly deserialized per request, so concurrent downloads
+  can never observe each other's ``transform_params``.
+
+Instrumentation: ``service.request`` spans (tags ``op``, ``image_id``),
+``service.rejected`` / ``service.timeout`` counters, the
+``service.queue_depth`` histogram, and the cache counters documented in
+:mod:`repro.service.cache`.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.core.params import ImagePublicData
+from repro.core.psp import Psp, StoredImage
+from repro.jpeg.codec import decode_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.service.cache import (
+    DEFAULT_DECODE_CACHE_BYTES,
+    DEFAULT_DERIVATIVE_CACHE_BYTES,
+    DecodeCache,
+    DerivativeCache,
+    canonical_params,
+)
+from repro.service.store import ShardedStore
+from repro.transforms.compression import Recompress
+from repro.transforms.pipeline import Transform
+from repro.util.errors import (
+    DeadlineExceededError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+
+#: Queue-depth histogram buckets (requests, not milliseconds).
+QUEUE_DEPTH_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+)
+
+
+class PspService:
+    """A bounded, cache-backed, thread-pooled front of a PSP backend."""
+
+    def __init__(
+        self,
+        backend: Optional[object] = None,
+        *,
+        workers: int = 4,
+        queue_cap: Optional[int] = None,
+        default_timeout: Optional[float] = None,
+        decode_cache_bytes: int = DEFAULT_DECODE_CACHE_BYTES,
+        derivative_cache_bytes: int = DEFAULT_DERIVATIVE_CACHE_BYTES,
+        name: str = "service",
+    ) -> None:
+        if workers < 1:
+            raise ReproError(f"service workers must be >= 1, got {workers}")
+        self.backend = (
+            backend if backend is not None else Psp(store=ShardedStore())
+        )
+        self.name = name
+        self.workers = int(workers)
+        self.queue_cap = (
+            int(queue_cap) if queue_cap is not None else self.workers * 8
+        )
+        if self.queue_cap < 1:
+            raise ReproError(
+                f"service queue_cap must be >= 1, got {self.queue_cap}"
+            )
+        self.default_timeout = default_timeout
+        self.decode_cache = DecodeCache(decode_cache_bytes)
+        self.derivative_cache = DerivativeCache(derivative_cache_bytes)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix=f"{name}-worker"
+        )
+        self._admit_lock = threading.Lock()
+        self._pending = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._closed = True
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "PspService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Admission + deadline machinery
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Requests admitted and not yet finished (queued + executing)."""
+        with self._admit_lock:
+            return self._pending
+
+    def _release(self, _future) -> None:
+        with self._admit_lock:
+            self._pending -= 1
+
+    def _submit(
+        self,
+        op: str,
+        image_id: str,
+        fn: Callable[[], Any],
+        timeout: Optional[float],
+    ) -> Any:
+        if self._closed:
+            raise ServiceError(f"service {self.name!r} is closed")
+        deadline = self.default_timeout if timeout is None else timeout
+        with self._admit_lock:
+            if self._pending >= self.queue_cap:
+                obs.counter("service.rejected", op=op)
+                raise ServiceOverloadedError(
+                    f"{self.name}: {self._pending} request(s) in flight "
+                    f">= queue cap {self.queue_cap}; retry later"
+                )
+            self._pending += 1
+            depth = self._pending
+        obs.observe(
+            "service.queue_depth", depth, buckets=QUEUE_DEPTH_BUCKETS
+        )
+
+        def run() -> Any:
+            with obs.span("service.request", op=op, image_id=image_id):
+                return fn()
+
+        try:
+            future = self._executor.submit(run)
+        except RuntimeError:  # shutdown raced the admission check
+            with self._admit_lock:
+                self._pending -= 1
+            raise ServiceError(f"service {self.name!r} is closed") from None
+        future.add_done_callback(self._release)
+        try:
+            return future.result(deadline)
+        except FuturesTimeoutError:
+            future.cancel()
+            obs.counter("service.timeout", op=op)
+            raise DeadlineExceededError(
+                f"{op} for {image_id!r} exceeded its {deadline}s deadline"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Cached decode
+    # ------------------------------------------------------------------
+    def _cached_image(self, image_id: str) -> CoefficientImage:
+        """A private copy of the decoded stored image (cache-backed)."""
+        return self.decode_cache.get_or_load(
+            image_id,
+            lambda: decode_image(self.backend.stored(image_id).encoded),
+        )
+
+    def _fresh_public(self, image_id: str) -> ImagePublicData:
+        """A per-request deserialization of the stored public bytes."""
+        return self.backend.stored(image_id).public
+
+    # ------------------------------------------------------------------
+    # Request API (mirrors Psp)
+    # ------------------------------------------------------------------
+    def upload(
+        self,
+        image_id: str,
+        image: CoefficientImage,
+        public: ImagePublicData,
+        optimize: bool = True,
+        timeout: Optional[float] = None,
+    ) -> int:
+        return self._submit(
+            "upload",
+            image_id,
+            lambda: self.backend.upload(
+                image_id, image, public, optimize=optimize
+            ),
+            timeout,
+        )
+
+    def download(
+        self, image_id: str, timeout: Optional[float] = None
+    ) -> CoefficientImage:
+        return self._submit(
+            "download", image_id, lambda: self._cached_image(image_id),
+            timeout,
+        )
+
+    def download_transformed(
+        self,
+        image_id: str,
+        transform: Transform,
+        timeout: Optional[float] = None,
+    ) -> Tuple[List[np.ndarray], ImagePublicData]:
+        params = transform.to_params()
+        key = (image_id, "transform", canonical_params(params))
+
+        def work():
+            planes = self.derivative_cache.get_or_load(
+                key,
+                lambda: transform.apply(
+                    self._cached_image(image_id).to_sample_planes()
+                ),
+            )
+            public = self._fresh_public(image_id)
+            public.transform_params = copy.deepcopy(params)
+            return planes, public
+
+        return self._submit("download_transformed", image_id, work, timeout)
+
+    def download_lossless(
+        self, image_id: str, op: dict, timeout: Optional[float] = None
+    ) -> Tuple[CoefficientImage, ImagePublicData]:
+        from repro.core.lossless_recovery import apply_lossless
+
+        # Snapshot the op before anything runs: the caller may mutate its
+        # dict while (or after) the request is in flight.
+        record = copy.deepcopy(op)
+        key = (image_id, "lossless", canonical_params(record))
+
+        def work():
+            image = self.derivative_cache.get_or_load(
+                key,
+                lambda: apply_lossless(
+                    self._cached_image(image_id), record
+                ),
+            )
+            public = self._fresh_public(image_id)
+            public.transform_params = copy.deepcopy(record)
+            return image, public
+
+        return self._submit("download_lossless", image_id, work, timeout)
+
+    def download_recompressed(
+        self, image_id: str, quality: int, timeout: Optional[float] = None
+    ) -> Tuple[CoefficientImage, ImagePublicData]:
+        recompress = Recompress(quality)
+        key = (image_id, "recompress", int(quality))
+
+        def work():
+            image = self.derivative_cache.get_or_load(
+                key,
+                lambda: recompress.apply_to_image(
+                    self._cached_image(image_id)
+                ),
+            )
+            public = self._fresh_public(image_id)
+            public.transform_params = recompress.to_params()
+            return image, public
+
+        return self._submit("download_recompressed", image_id, work, timeout)
+
+    # ------------------------------------------------------------------
+    # Metadata passthrough (cheap, not admitted through the pool)
+    # ------------------------------------------------------------------
+    def stored(self, image_id: str) -> StoredImage:
+        return self.backend.stored(image_id)
+
+    def public_data(self, image_id: str) -> ImagePublicData:
+        return self.backend.public_data(image_id)
+
+    def storage_size(self, image_id: str) -> int:
+        return self.backend.storage_size(image_id)
+
+    def image_ids(self) -> List[str]:
+        return self.backend.image_ids()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, Dict[str, float]]:
+        return {
+            "decode": self.decode_cache.stats(),
+            "derivative": self.derivative_cache.stats(),
+        }

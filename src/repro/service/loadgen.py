@@ -1,0 +1,212 @@
+"""Closed-loop load generator for :class:`~repro.service.PspService`.
+
+Models the paper's high-traffic PSP: N closed-loop clients (each issues
+its next request only after the previous one returns) hammer a corpus of
+protected images with a mix of plain and transformed downloads, and the
+run reports throughput, latency percentiles, and cache hit rate.
+
+Three phases:
+
+1. **corpus** — :func:`build_corpus` protects ``n_images`` synthetic
+   noise images sender-side and uploads them through the service;
+2. **cold/warm probe** — :func:`measure_cold_warm` clears the caches,
+   times one cold download per image, then times the same downloads
+   warm (the smoke gate: warm must beat cold);
+3. **closed loop** — :func:`run_loadgen` spawns client threads and
+   aggregates their latencies into a :class:`LoadgenReport`.
+
+Everything is seeded, so two runs with the same parameters issue the
+same request schedule.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.core.keys import generate_private_key
+from repro.core.perturb import perturb_regions
+from repro.core.roi import RegionOfInterest
+from repro.jpeg.coefficients import CoefficientImage
+from repro.transforms.rotation import Rotate90
+from repro.util.errors import ReproError, ServiceError
+from repro.util.rect import Rect
+
+
+@dataclass
+class LoadgenReport:
+    """Aggregate outcome of one closed-loop run."""
+
+    requests: int
+    errors: int
+    wall_s: float
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+    hit_rate: float
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    cold_ms: float = 0.0
+    warm_ms: float = 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def warm_speedup(self) -> float:
+        return self.cold_ms / self.warm_ms if self.warm_ms > 0 else 0.0
+
+    def lines(self) -> List[str]:
+        """Human-readable report body (what the CLI prints)."""
+        return [
+            f"requests     : {self.requests} ok, {self.errors} error(s)",
+            f"throughput   : {self.throughput_rps:.1f} req/s "
+            f"over {self.wall_s:.2f}s",
+            f"latency      : mean {self.mean_ms:.2f} ms, "
+            f"p50 {self.p50_ms:.2f} ms, p99 {self.p99_ms:.2f} ms",
+            f"decode cache : {100.0 * self.hit_rate:.1f}% hit rate",
+            f"cold vs warm : {self.cold_ms:.2f} ms -> {self.warm_ms:.2f} ms "
+            f"({self.warm_speedup:.1f}x)",
+            "op mix       : "
+            + ", ".join(
+                f"{op}={count}" for op, count in sorted(self.op_counts.items())
+            ),
+        ]
+
+
+def build_corpus(
+    service,
+    n_images: int,
+    *,
+    height: int = 48,
+    width: int = 64,
+    roi: Rect = Rect(8, 8, 16, 16),
+    quality: int = 75,
+    owner: str = "loadgen",
+    seed: int = 0,
+) -> List[str]:
+    """Protect and upload ``n_images`` synthetic images; returns the ids."""
+    if n_images < 1:
+        raise ReproError(f"loadgen needs at least 1 image, got {n_images}")
+    rng = np.random.default_rng(seed)
+    image_ids = []
+    for index in range(n_images):
+        array = rng.integers(0, 256, (height, width, 3), dtype=np.uint8)
+        image = CoefficientImage.from_array(array, quality=quality)
+        region = RegionOfInterest(f"r{index}", roi)
+        keys = {
+            matrix_id: generate_private_key(matrix_id, owner)
+            for matrix_id in region.matrix_ids()
+        }
+        perturbed, public = perturb_regions(image, [region], keys)
+        image_id = f"img-{index:04d}"
+        service.upload(image_id, perturbed, public)
+        image_ids.append(image_id)
+    return image_ids
+
+
+def measure_cold_warm(
+    service, image_ids: Sequence[str]
+) -> "tuple[float, float]":
+    """Mean per-image download latency cold (caches cleared) vs warm."""
+    service.decode_cache.clear()
+    service.derivative_cache.clear()
+    cold = []
+    for image_id in image_ids:
+        start = time.perf_counter()
+        service.download(image_id)
+        cold.append((time.perf_counter() - start) * 1000.0)
+    warm = []
+    for image_id in image_ids:
+        start = time.perf_counter()
+        service.download(image_id)
+        warm.append((time.perf_counter() - start) * 1000.0)
+    return float(np.mean(cold)), float(np.mean(warm))
+
+
+def run_loadgen(
+    service,
+    image_ids: Sequence[str],
+    *,
+    clients: int = 8,
+    requests: int = 200,
+    transform_ratio: float = 0.25,
+    seed: int = 0,
+    timeout: Optional[float] = None,
+) -> LoadgenReport:
+    """Run the cold/warm probe plus a closed-loop load phase."""
+    if clients < 1:
+        raise ReproError(f"loadgen needs at least 1 client, got {clients}")
+    image_ids = list(image_ids)
+    cold_ms, warm_ms = measure_cold_warm(service, image_ids)
+
+    per_client = [requests // clients] * clients
+    for index in range(requests % clients):
+        per_client[index] += 1
+    latencies: List[List[float]] = [[] for _ in range(clients)]
+    op_counts: List[Dict[str, int]] = [{} for _ in range(clients)]
+    errors = [0] * clients
+    barrier = threading.Barrier(clients + 1)
+
+    def client(tid: int) -> None:
+        rng = np.random.default_rng((seed, tid))
+        barrier.wait()
+        for _ in range(per_client[tid]):
+            image_id = image_ids[int(rng.integers(len(image_ids)))]
+            if rng.random() < transform_ratio:
+                op = "download_transformed"
+                turns = int(rng.integers(1, 4))
+                call = lambda: service.download_transformed(
+                    image_id, Rotate90(turns), timeout=timeout
+                )
+            else:
+                op = "download"
+                call = lambda: service.download(image_id, timeout=timeout)
+            start = time.perf_counter()
+            try:
+                call()
+            except ServiceError:
+                errors[tid] += 1
+                continue
+            latencies[tid].append((time.perf_counter() - start) * 1000.0)
+            op_counts[tid][op] = op_counts[tid].get(op, 0) + 1
+
+    threads = [
+        threading.Thread(target=client, args=(tid,), daemon=True)
+        for tid in range(clients)
+    ]
+    with obs.span(
+        "loadgen.run", clients=clients, requests=requests,
+        images=len(image_ids),
+    ):
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall_s = time.perf_counter() - start
+
+    merged = [value for bucket in latencies for value in bucket]
+    totals: Dict[str, int] = {}
+    for bucket_counts in op_counts:
+        for op, count in bucket_counts.items():
+            totals[op] = totals.get(op, 0) + count
+    arr = np.asarray(merged, dtype=np.float64)
+    return LoadgenReport(
+        requests=len(merged),
+        errors=sum(errors),
+        wall_s=wall_s,
+        mean_ms=float(arr.mean()) if arr.size else 0.0,
+        p50_ms=float(np.percentile(arr, 50)) if arr.size else 0.0,
+        p99_ms=float(np.percentile(arr, 99)) if arr.size else 0.0,
+        hit_rate=service.decode_cache.hit_rate,
+        op_counts=totals,
+        cold_ms=cold_ms,
+        warm_ms=warm_ms,
+    )

@@ -1,0 +1,91 @@
+"""Lock-striped sharded storage for concurrent PSP traffic.
+
+:class:`ShardedStore` implements the same backend protocol as
+:class:`repro.core.psp.DictStore` — ``get`` / ``put_new`` / ``ids`` /
+``__contains__`` / ``__len__`` — but partitions the id space over N
+shards, each guarded by its own lock. Uploads and downloads of images
+that land on different shards never contend, and the whole-store views
+(``ids``, ``__len__``) take each shard lock in turn so they are safe
+while other threads mutate.
+
+Shard selection hashes the image id with CRC32, not Python's ``hash``:
+the mapping is stable across processes and ``PYTHONHASHSEED`` values,
+so a shard-level observation ("shard 3 is hot") is reproducible.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Dict, List
+
+from repro.core.psp import StoredImage
+from repro.util.errors import ReproError
+
+DEFAULT_SHARDS = 16
+
+
+class ShardedStore:
+    """N independently locked dict shards keyed by ``crc32(image_id)``."""
+
+    def __init__(self, n_shards: int = DEFAULT_SHARDS) -> None:
+        if n_shards < 1:
+            raise ReproError(
+                f"ShardedStore needs at least 1 shard, got {n_shards}"
+            )
+        self.n_shards = int(n_shards)
+        self._shards: List[Dict[str, StoredImage]] = [
+            {} for _ in range(self.n_shards)
+        ]
+        self._locks = [threading.Lock() for _ in range(self.n_shards)]
+
+    def shard_index(self, image_id: str) -> int:
+        return zlib.crc32(image_id.encode("utf-8")) % self.n_shards
+
+    # ------------------------------------------------------------------
+    # Backend protocol
+    # ------------------------------------------------------------------
+    def get(self, image_id: str) -> StoredImage:
+        index = self.shard_index(image_id)
+        with self._locks[index]:
+            return self._shards[index][image_id]
+
+    def put_new(self, image_id: str, item: StoredImage) -> bool:
+        """Insert iff absent, atomically; False when the id exists."""
+        index = self.shard_index(image_id)
+        with self._locks[index]:
+            shard = self._shards[index]
+            if image_id in shard:
+                return False
+            shard[image_id] = item
+            return True
+
+    def ids(self) -> List[str]:
+        collected: List[str] = []
+        for index in range(self.n_shards):
+            with self._locks[index]:
+                collected.extend(self._shards[index])
+        return collected
+
+    def __contains__(self, image_id: str) -> bool:
+        index = self.shard_index(image_id)
+        with self._locks[index]:
+            return image_id in self._shards[index]
+
+    def __len__(self) -> int:
+        total = 0
+        for index in range(self.n_shards):
+            with self._locks[index]:
+                total += len(self._shards[index])
+        return total
+
+    # ------------------------------------------------------------------
+    # Introspection (capacity planning, tests)
+    # ------------------------------------------------------------------
+    def shard_sizes(self) -> List[int]:
+        """Entries per shard — the load-balance picture."""
+        sizes = []
+        for index in range(self.n_shards):
+            with self._locks[index]:
+                sizes.append(len(self._shards[index]))
+        return sizes

@@ -49,6 +49,27 @@ class TransientError(ReproError):
     """A PSP request failed in a retryable way (timeout, 5xx, flaky I/O)."""
 
 
+class ServiceError(ReproError):
+    """The serving layer (:mod:`repro.service`) could not run a request."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a request: the queue is at capacity.
+
+    Retryable by construction — the service sheds load instead of
+    queueing unboundedly, so a backoff-and-retry client will get through
+    once the burst drains.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """A request did not complete within its deadline.
+
+    The work may still finish on the server side; the caller's wait is
+    what timed out.
+    """
+
+
 class RoiError(ReproError):
     """A region of interest is malformed (empty, unaligned, out of bounds)."""
 

@@ -15,6 +15,7 @@ from repro.batch import (
 )
 from repro.cli import main as cli_main
 from repro.jpeg.coefficients import CoefficientImage
+from repro.util.errors import ReproError
 from repro.util.imageio import read_image, write_image
 
 
@@ -116,6 +117,47 @@ class TestProtectMany:
         failed = [item for item in report.items if not item.ok]
         assert len(failed) == 1 and "missing" in failed[0].input_path
         assert failed[0].error
+
+
+class TestWorkerBounds:
+    """ISSUE-5 satellite: validate ``workers`` at the API boundary
+    instead of letting ``ProcessPoolExecutor`` raise an opaque
+    ``ValueError`` deep inside the pool machinery."""
+
+    def test_zero_workers_rejected_with_clear_error(
+        self, image_dir, tmp_path
+    ):
+        _, paths = image_dir
+        with pytest.raises(ReproError, match="workers must be >= 1"):
+            protect_many(
+                paths, str(tmp_path / "shared"), options=OPTIONS, workers=0
+            )
+
+    def test_negative_workers_rejected_for_reconstruct_too(self, tmp_path):
+        with pytest.raises(ReproError, match="workers must be >= 1"):
+            reconstruct_many(
+                [str(tmp_path / "share")], str(tmp_path / "out"),
+                workers=-2,
+            )
+
+    def test_oversized_workers_clamped_to_job_count(
+        self, image_dir, tmp_path
+    ):
+        _, paths = image_dir
+        report = protect_many(
+            paths, str(tmp_path / "shared"), options=OPTIONS, workers=64
+        )
+        assert report.workers == len(paths)
+        assert report.n_failed == 0
+
+    def test_chunksize_clamped_to_one(self, image_dir, tmp_path):
+        _, paths = image_dir
+        report = protect_many(
+            paths[:1], str(tmp_path / "shared"), options=OPTIONS,
+            workers=1, chunksize=0,
+        )
+        assert report.chunksize == 1
+        assert report.n_ok == 1
 
 
 class TestReconstructMany:

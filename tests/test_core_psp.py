@@ -55,6 +55,39 @@ class TestStorage:
         with pytest.raises(ReproError):
             psp.public_data("nope")
 
+    def test_every_path_maps_unknown_id_to_repro_error(self, uploaded):
+        """Audit: an unknown id surfaces as ReproError on *every* API,
+        never as a bare KeyError from the underlying store."""
+        psp, *_ = uploaded
+        calls = [
+            lambda: psp.stored("nope"),
+            lambda: psp.storage_size("nope"),
+            lambda: psp.public_data("nope"),
+            lambda: psp.download("nope"),
+            lambda: psp.download_transformed("nope", Scale(24, 32)),
+            lambda: psp.download_lossless(
+                "nope", {"op": "rotate90", "turns": 1}
+            ),
+            lambda: psp.download_recompressed("nope", 50),
+        ]
+        for call in calls:
+            with pytest.raises(ReproError) as excinfo:
+                call()
+            assert "unknown image id" in str(excinfo.value)
+
+    def test_unknown_id_error_suppresses_keyerror_context(self, uploaded):
+        """Regression: the internal dict KeyError must not leak as
+        exception context (``raise ... from None``) — tracebacks should
+        show one storage-API error, not the store's lookup internals."""
+        psp, *_ = uploaded
+        try:
+            psp.stored("nope")
+        except ReproError as error:
+            assert error.__suppress_context__
+            assert error.__cause__ is None
+        else:
+            pytest.fail("expected ReproError")
+
     def test_image_ids_listing(self, uploaded):
         psp, *_ = uploaded
         assert psp.image_ids() == ["img"]
@@ -105,6 +138,20 @@ class TestTransformService:
             recompressed.quant_tables[0].sum()
             > stored.quant_tables[0].sum()
         )
+
+    def test_lossless_record_not_aliased_to_caller_op(self, uploaded):
+        """Regression: ``download_lossless`` used a shallow ``dict(op)``,
+        so nested values stayed aliased to the caller's dict and a caller
+        mutating its op after download silently corrupted the published
+        record."""
+        psp, *_ = uploaded
+        op = {"op": "crop", "y": 0, "x": 0, "h": 16, "w": 16,
+              "note": ["roi", [0, 0, 16, 16]]}
+        _image, public = psp.download_lossless("img", op)
+        op["h"] = 8
+        op["note"][1][2] = 999  # mutate a *nested* value too
+        assert public.transform_params["h"] == 16
+        assert public.transform_params["note"] == ["roi", [0, 0, 16, 16]]
 
     def test_psp_never_sees_plaintext_region(self, uploaded, noise_image):
         """The stored bytes decode to a scrambled region, always."""

@@ -101,3 +101,46 @@ def test_transform_pipeline_leaves_input_planes_untouched(image):
     Pipeline([Scale(24, 32)]).apply(planes)
     for plane, snapshot in zip(planes, before):
         assert np.array_equal(plane, snapshot)
+
+
+def test_psp_lossless_record_survives_caller_op_mutation(image):
+    """The PSP's published lossless record must be a deep copy of the
+    caller's op dict — mutating the op (including nested lists) after
+    the download must not rewrite the record."""
+    from repro.core.psp import Psp
+
+    rois, keys = _roi_and_keys(image)
+    perturbed, public = perturb_regions(image, rois, keys)
+    psp = Psp()
+    psp.upload("img", perturbed, public)
+    op = {"op": "rotate90", "turns": 1, "trail": [["a"], ["b"]]}
+    _transformed, published = psp.download_lossless("img", op)
+    op["turns"] = 3
+    op["trail"][0].append("mutated")
+    assert published.transform_params["turns"] == 1
+    assert published.transform_params["trail"] == [["a"], ["b"]]
+
+
+def test_service_caches_return_defensive_copies(image):
+    """A caller scribbling on a served download must not corrupt what
+    the next request sees (cache master isolation)."""
+    from repro.core.psp import Psp
+    from repro.service import PspService
+
+    rois, keys = _roi_and_keys(image)
+    perturbed, public = perturb_regions(image, rois, keys)
+    with PspService(workers=2) as service:
+        service.upload("img", perturbed, public)
+        first = service.download("img")
+        first.channels[0][:] = -1
+        first.quant_tables[0][:] = 1
+        again = service.download("img")
+        assert again.coefficients_equal(perturbed)
+        planes, _public = service.download_transformed(
+            "img", Pipeline([Scale(24, 32)])
+        )
+        planes[0][:] = 0.0
+        planes_again, _public = service.download_transformed(
+            "img", Pipeline([Scale(24, 32)])
+        )
+        assert not np.array_equal(planes[0], planes_again[0])

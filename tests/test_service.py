@@ -1,0 +1,508 @@
+"""Tests for the concurrent serving layer (``repro.service``)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.keys import generate_private_key
+from repro.core.perturb import perturb_regions
+from repro.core.psp import Psp
+from repro.core.roi import RegionOfInterest
+from repro.robustness import FaultInjector, FaultyPsp, profile_from_name
+from repro.service import (
+    DecodeCache,
+    PspService,
+    ShardedStore,
+    SingleFlightLru,
+    canonical_params,
+)
+from repro.service import frontend as frontend_module
+from repro.transforms import Rotate90, Scale
+from repro.util.errors import (
+    DeadlineExceededError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+    TransientError,
+)
+from repro.util.rect import Rect
+
+
+@pytest.fixture(scope="module")
+def protected(noise_image):
+    """One perturbed image + its public data, reused across the module."""
+    roi = RegionOfInterest("r", Rect(8, 8, 24, 24))
+    key = generate_private_key(roi.matrix_id, "service-owner")
+    perturbed, public = perturb_regions(
+        noise_image, [roi], {roi.matrix_id: key}
+    )
+    return perturbed, public
+
+
+@pytest.fixture()
+def psp(protected):
+    perturbed, public = protected
+    psp = Psp()
+    psp.upload("img", perturbed, public)
+    return psp
+
+
+@pytest.fixture()
+def service(protected):
+    perturbed, public = protected
+    service = PspService(workers=4)
+    service.upload("img", perturbed, public)
+    yield service
+    service.close()
+
+
+class TestShardedStore:
+    def test_psp_roundtrip_on_sharded_store(self, protected):
+        perturbed, public = protected
+        psp = Psp(store=ShardedStore(n_shards=4))
+        psp.upload("img", perturbed, public)
+        assert psp.download("img").coefficients_equal(perturbed)
+        assert psp.image_ids() == ["img"]
+        assert psp.storage_size("img") > 0
+        with pytest.raises(ReproError):
+            psp.upload("img", perturbed, public)
+        with pytest.raises(ReproError):
+            psp.download("nope")
+
+    def test_put_new_is_insert_iff_absent(self):
+        store = ShardedStore(n_shards=3)
+        assert store.put_new("a", "item-a")
+        assert not store.put_new("a", "item-a2")
+        assert store.get("a") == "item-a"
+        assert "a" in store and "b" not in store
+        with pytest.raises(KeyError):
+            store.get("b")
+
+    def test_ids_and_len_cover_all_shards(self):
+        store = ShardedStore(n_shards=4)
+        names = [f"img-{i}" for i in range(20)]
+        for name in names:
+            store.put_new(name, name)
+        assert sorted(store.ids()) == sorted(names)
+        assert len(store) == 20
+        assert sum(store.shard_sizes()) == 20
+        # CRC32 sharding actually spreads the keys around.
+        assert sum(1 for size in store.shard_sizes() if size > 0) > 1
+
+    def test_shard_index_stable_and_in_range(self):
+        store = ShardedStore(n_shards=7)
+        for name in ("a", "img-123", "z" * 100):
+            index = store.shard_index(name)
+            assert 0 <= index < 7
+            assert index == store.shard_index(name)
+
+    def test_single_shard_degenerates_to_dict(self):
+        store = ShardedStore(n_shards=1)
+        store.put_new("x", 1)
+        assert store.get("x") == 1
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ReproError):
+            ShardedStore(n_shards=0)
+
+    def test_concurrent_distinct_uploads_never_lost(self):
+        store = ShardedStore(n_shards=4)
+        n_threads, per_thread = 8, 25
+        barrier = threading.Barrier(n_threads)
+
+        def worker(tid):
+            barrier.wait()
+            for k in range(per_thread):
+                assert store.put_new(f"t{tid}-{k}", (tid, k))
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(store) == n_threads * per_thread
+
+    def test_concurrent_duplicate_upload_wins_once(self):
+        store = ShardedStore()
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        outcomes = []
+
+        def worker():
+            barrier.wait()
+            outcomes.append(store.put_new("same", "item"))
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(outcomes) == 1 and len(store) == 1
+
+
+class TestSingleFlightLru:
+    def test_hit_returns_defensive_copy(self, noise_image):
+        cache = DecodeCache(max_bytes=1 << 20)
+        first = cache.get_or_load("a", lambda: noise_image.copy())
+        second = cache.get_or_load("a", lambda: noise_image.copy())
+        assert cache.hits == 1 and cache.misses == 1
+        assert first.coefficients_equal(second)
+        assert first is not second
+        # Mutating a returned copy must not corrupt the cached master.
+        first.channels[0][:] = 0
+        third = cache.get_or_load("a", lambda: noise_image.copy())
+        assert third.coefficients_equal(noise_image)
+
+    def test_byte_budget_evicts_lru(self):
+        one_kb = np.zeros(1024, dtype=np.uint8)
+        cache = SingleFlightLru(max_bytes=2048, name="test")
+        cache.get_or_load("a", lambda: one_kb)
+        cache.get_or_load("b", lambda: one_kb)
+        # Touch "a" so "b" is now least recently used.
+        cache.get_or_load("a", lambda: one_kb)
+        cache.get_or_load("c", lambda: one_kb)
+        assert cache.evictions == 1
+        assert cache.current_bytes <= cache.max_bytes
+        calls = []
+        cache.get_or_load("a", lambda: calls.append("a") or one_kb)
+        cache.get_or_load("b", lambda: calls.append("b") or one_kb)
+        assert calls == ["b"]  # "a" survived, "b" was the victim
+
+    def test_oversize_value_served_but_not_cached(self):
+        big = np.zeros(4096, dtype=np.uint8)
+        cache = SingleFlightLru(max_bytes=1024, name="test")
+        out = cache.get_or_load("big", lambda: big)
+        assert np.array_equal(out, big)
+        assert cache.oversize == 1 and len(cache) == 0
+
+    def test_zero_budget_disables_caching(self):
+        cache = SingleFlightLru(max_bytes=0, name="test")
+        calls = []
+        for _ in range(3):
+            cache.get_or_load("k", lambda: calls.append(1) or np.zeros(8))
+        assert len(calls) == 3 and not cache.enabled
+
+    def test_loader_error_propagates_and_is_not_cached(self):
+        cache = SingleFlightLru(max_bytes=1024, name="test")
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise TransientError("first try fails")
+            return np.zeros(8)
+
+        with pytest.raises(TransientError):
+            cache.get_or_load("k", flaky)
+        out = cache.get_or_load("k", flaky)
+        assert np.array_equal(out, np.zeros(8)) and len(attempts) == 2
+
+    def test_single_flight_one_load_for_k_concurrent_requests(self):
+        cache = SingleFlightLru(max_bytes=1 << 20, name="test")
+        n_threads = 8
+        loads = []
+        barrier = threading.Barrier(n_threads)
+        results = [None] * n_threads
+
+        def slow_loader():
+            loads.append(1)
+            time.sleep(0.2)
+            return np.arange(64)
+
+        def worker(tid):
+            barrier.wait()
+            results[tid] = cache.get_or_load("cold", slow_loader)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(loads) == 1
+        assert cache.singleflight_waits == n_threads - 1
+        for result in results:
+            assert np.array_equal(result, np.arange(64))
+        # Waiters received copies, not the shared master.
+        assert len({id(result) for result in results}) == n_threads
+
+    def test_clear_drops_entries_only(self):
+        cache = SingleFlightLru(max_bytes=1024, name="test")
+        cache.get_or_load("a", lambda: np.zeros(8))
+        cache.clear()
+        assert len(cache) == 0 and cache.current_bytes == 0
+        assert cache.misses == 1  # stats survive
+
+
+class TestCanonicalParams:
+    def test_key_is_order_insensitive(self):
+        assert canonical_params({"a": 1, "b": [2, 3]}) == canonical_params(
+            {"b": [2, 3], "a": 1}
+        )
+
+    def test_different_params_different_keys(self):
+        assert canonical_params({"turns": 1}) != canonical_params(
+            {"turns": 2}
+        )
+
+
+class TestPspService:
+    def test_download_matches_plain_psp(self, service, psp):
+        expected = psp.download("img")
+        cold = service.download("img")
+        warm = service.download("img")
+        assert cold.coefficients_equal(expected)
+        assert warm.coefficients_equal(expected)
+        assert service.decode_cache.hits >= 1
+
+    def test_download_returns_defensive_copy(self, service, psp):
+        first = service.download("img")
+        first.channels[0][:] = 0
+        assert service.download("img").coefficients_equal(
+            psp.download("img")
+        )
+
+    def test_download_transformed_matches_plain_psp(self, service, psp):
+        transform = Scale(24, 32)
+        planes, public = service.download_transformed("img", transform)
+        expected_planes, expected_public = psp.download_transformed(
+            "img", transform
+        )
+        for got, want in zip(planes, expected_planes):
+            np.testing.assert_array_equal(got, want)
+        assert public.transform_params == expected_public.transform_params
+        # Warm (cached derivative) result is bit-identical too.
+        warm_planes, _ = service.download_transformed("img", transform)
+        for got, want in zip(warm_planes, expected_planes):
+            np.testing.assert_array_equal(got, want)
+
+    def test_no_transform_params_bleed_across_requests(self, service):
+        _planes, public_a = service.download_transformed(
+            "img", Rotate90(1)
+        )
+        _planes, public_b = service.download_transformed(
+            "img", Rotate90(2)
+        )
+        assert public_a.transform_params == Rotate90(1).to_params()
+        assert public_b.transform_params == Rotate90(2).to_params()
+        assert service.public_data("img").transform_params is None
+
+    def test_download_lossless_matches_plain_psp_and_deepcopies_op(
+        self, service, psp
+    ):
+        op = {"op": "crop", "y": 0, "x": 0, "h": 16, "w": 16}
+        image, public = service.download_lossless("img", dict(op))
+        expected, _ = psp.download_lossless("img", dict(op))
+        assert image.coefficients_equal(expected)
+        assert public.transform_params == op
+        # Caller mutates its dict afterwards; the published record and
+        # the cached derivative must not change.
+        mutated = dict(op)
+        image2, public2 = service.download_lossless("img", mutated)
+        mutated["h"] = 8
+        assert public2.transform_params == op
+        assert image2.coefficients_equal(expected)
+
+    def test_download_recompressed_matches_plain_psp(self, service, psp):
+        got, public = service.download_recompressed("img", 30)
+        expected, _ = psp.download_recompressed("img", 30)
+        assert got.coefficients_equal(expected)
+        assert public.transform_params == {
+            "name": "recompress", "quality": 30,
+        }
+
+    def test_unknown_id_raises_repro_error(self, service):
+        with pytest.raises(ReproError):
+            service.download("nope")
+        with pytest.raises(ReproError):
+            service.download_transformed("nope", Rotate90(1))
+
+    def test_metadata_passthrough(self, service, psp):
+        assert service.image_ids() == ["img"]
+        assert service.storage_size("img") == psp.storage_size("img")
+        assert service.stored("img").encoded == psp.stored("img").encoded
+
+    def test_invalid_workers_and_queue_cap_rejected(self):
+        with pytest.raises(ReproError):
+            PspService(workers=0)
+        with pytest.raises(ReproError):
+            PspService(workers=2, queue_cap=0)
+
+    def test_closed_service_rejects_requests(self, protected):
+        perturbed, public = protected
+        service = PspService(workers=1)
+        service.upload("img", perturbed, public)
+        service.close()
+        with pytest.raises(ServiceError):
+            service.download("img")
+
+    def test_service_single_flight_one_decode_per_k_cold_requests(
+        self, protected, monkeypatch
+    ):
+        perturbed, public = protected
+        decodes = []
+        real_decode = frontend_module.decode_image
+
+        def counting_decode(encoded):
+            decodes.append(1)
+            time.sleep(0.2)
+            return real_decode(encoded)
+
+        monkeypatch.setattr(
+            frontend_module, "decode_image", counting_decode
+        )
+        n_clients = 4
+        with PspService(workers=n_clients) as service:
+            service.upload("img", perturbed, public)
+            barrier = threading.Barrier(n_clients)
+            results = [None] * n_clients
+
+            def client(tid):
+                barrier.wait()
+                results[tid] = service.download("img")
+
+            threads = [
+                threading.Thread(target=client, args=(t,))
+                for t in range(n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert len(decodes) == 1
+        for result in results:
+            assert result.coefficients_equal(perturbed)
+
+    def test_admission_control_sheds_load(self, protected, monkeypatch):
+        perturbed, public = protected
+
+        real_decode = frontend_module.decode_image
+        release = threading.Event()
+        started = threading.Event()
+
+        def stalling_decode(encoded):
+            started.set()
+            release.wait(5.0)
+            return real_decode(encoded)
+
+        monkeypatch.setattr(
+            frontend_module, "decode_image", stalling_decode
+        )
+        service = PspService(workers=1, queue_cap=1)
+        try:
+            service.upload("img", perturbed, public)
+            blocker = threading.Thread(
+                target=lambda: service.download("img"), daemon=True
+            )
+            blocker.start()
+            assert started.wait(5.0)
+            with pytest.raises(ServiceOverloadedError):
+                service.download("img")
+        finally:
+            release.set()
+            blocker.join(5.0)
+            service.close()
+        # The slot drains once the stalled request finishes.
+        assert service.pending == 0
+
+    def test_deadline_exceeded(self, protected, monkeypatch):
+        perturbed, public = protected
+        real_decode = frontend_module.decode_image
+
+        def slow_decode(encoded):
+            time.sleep(0.5)
+            return real_decode(encoded)
+
+        monkeypatch.setattr(frontend_module, "decode_image", slow_decode)
+        with PspService(workers=1) as service:
+            service.upload("img", perturbed, public)
+            with pytest.raises(DeadlineExceededError):
+                service.download("img", timeout=0.05)
+
+    def test_duplicate_upload_rejected_through_service(
+        self, service, protected
+    ):
+        perturbed, public = protected
+        with pytest.raises(ReproError):
+            service.upload("img", perturbed, public)
+
+
+class TestServiceOverFaultyPsp:
+    def test_transient_backend_errors_propagate_then_recover(
+        self, protected
+    ):
+        """The service wraps FaultyPsp unchanged: transient faults pass
+        through (they are never cached), and the first clean read
+        populates the cache."""
+        perturbed, public = protected
+        inner = Psp()
+        inner.upload("img", perturbed, public)
+        faulty = FaultyPsp(
+            inner, FaultInjector(profile_from_name("transient"))
+        )
+        with PspService(backend=faulty, workers=2) as service:
+            for _ in range(2):
+                with pytest.raises(TransientError):
+                    service.download("img")
+            recovered = service.download("img")
+            assert recovered.coefficients_equal(perturbed)
+            # Now cached: no further backend attempts needed.
+            attempts_before = faulty.attempts("img")
+            service.download("img")
+            assert faulty.attempts("img") == attempts_before
+
+    def test_clean_profile_serves_identical_bytes(self, protected):
+        perturbed, public = protected
+        inner = Psp()
+        inner.upload("img", perturbed, public)
+        faulty = FaultyPsp(
+            inner, FaultInjector(profile_from_name("none"))
+        )
+        with PspService(backend=faulty, workers=2) as service:
+            assert service.download("img").coefficients_equal(perturbed)
+
+
+class TestServiceObservability:
+    def test_counters_and_spans_recorded(self, protected):
+        perturbed, public = protected
+        obs.configure(enabled=True, fresh=True)
+        try:
+            with PspService(workers=2) as service:
+                service.upload("img", perturbed, public)
+                service.download("img")
+                service.download("img")
+                service.download_transformed("img", Rotate90(1))
+            registry = obs.get_registry()
+            assert registry.counter_value(
+                "service.cache.miss", cache="decode"
+            ) == 1
+            assert registry.counter_value(
+                "service.cache.hit", cache="decode"
+            ) >= 1
+            span_names = [span.name for span in registry.spans()]
+            assert "service.request" in span_names
+            ops = {
+                span.tags.get("op")
+                for span in registry.spans()
+                if span.name == "service.request"
+            }
+            assert {"upload", "download", "download_transformed"} <= ops
+            depth = [
+                h for h in registry.histograms()
+                if h.name == "service.queue_depth"
+            ]
+            assert depth and depth[0].count >= 4
+        finally:
+            obs.configure(enabled=False, fresh=True)

@@ -1,0 +1,183 @@
+"""Threaded stress tests for the serving layer.
+
+ISSUE-5 coverage task: uploads plus mixed ``download`` /
+``download_transformed`` traffic across >= 8 threads, asserting
+
+* no lost writes (every uploaded id is present and serves its bytes),
+* no cross-request ``transform_params`` bleed,
+* bit-identical results with the caches enabled vs disabled.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.keys import generate_private_key
+from repro.core.perturb import perturb_regions
+from repro.core.roi import RegionOfInterest
+from repro.jpeg.codec import encode_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.service import PspService
+from repro.transforms import Rotate90
+from repro.util.rect import Rect
+
+N_THREADS = 8
+N_BASES = 4
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """Distinct small protected images: (perturbed, public) per base."""
+    rng = np.random.default_rng(5)
+    bases = []
+    for index in range(N_BASES):
+        array = rng.integers(0, 256, (32, 40, 3), dtype=np.uint8)
+        image = CoefficientImage.from_array(array, quality=75)
+        roi = RegionOfInterest(f"r{index}", Rect(0, 0, 16, 16))
+        keys = {
+            matrix_id: generate_private_key(matrix_id, "stress-owner")
+            for matrix_id in roi.matrix_ids()
+        }
+        bases.append(perturb_regions(image, [roi], keys))
+    return bases
+
+
+def test_stress_uploads_and_mixed_downloads(corpus):
+    """Interleaved uploads and reads from 8 threads, then a cross-read."""
+    service = PspService(workers=4, queue_cap=128)
+    errors = []
+    uploads_per_thread = 3
+    barrier = threading.Barrier(N_THREADS)
+    expected_planes = {
+        turns: {
+            index: Rotate90(turns).apply(perturbed.to_sample_planes())
+            for index, (perturbed, _public) in enumerate(corpus)
+        }
+        for turns in (1, 2)
+    }
+
+    def worker(tid):
+        try:
+            rng = np.random.default_rng(tid)
+            own_ids = []
+            for k in range(uploads_per_thread):
+                base_index = (tid + k) % N_BASES
+                perturbed, public = corpus[base_index]
+                image_id = f"t{tid}-{k}"
+                service.upload(image_id, perturbed, public)
+                own_ids.append((image_id, base_index))
+                # Reads of this thread's own images interleave with the
+                # other threads' uploads — the concurrent-mutation case
+                # lock striping must survive.
+                image_id, base_index = own_ids[
+                    int(rng.integers(len(own_ids)))
+                ]
+                perturbed = corpus[base_index][0]
+                assert service.download(image_id).coefficients_equal(
+                    perturbed
+                )
+                turns = 1 + (tid % 2)
+                planes, public_t = service.download_transformed(
+                    image_id, Rotate90(turns)
+                )
+                assert (
+                    public_t.transform_params == Rotate90(turns).to_params()
+                )
+                for got, want in zip(
+                    planes, expected_planes[turns][base_index]
+                ):
+                    np.testing.assert_array_equal(got, want)
+                assert service.storage_size(image_id) > 0
+                assert image_id in service.image_ids()
+            barrier.wait(timeout=30)
+            # Cross-thread read phase over every uploaded id.
+            all_ids = [
+                (f"t{t}-{k}", (t + k) % N_BASES)
+                for t in range(N_THREADS)
+                for k in range(uploads_per_thread)
+            ]
+            for _ in range(6):
+                image_id, base_index = all_ids[
+                    int(rng.integers(len(all_ids)))
+                ]
+                perturbed = corpus[base_index][0]
+                if rng.random() < 0.5:
+                    assert service.download(
+                        image_id
+                    ).coefficients_equal(perturbed)
+                else:
+                    turns = int(rng.integers(1, 3))
+                    planes, public_t = service.download_transformed(
+                        image_id, Rotate90(turns)
+                    )
+                    assert (
+                        public_t.transform_params
+                        == Rotate90(turns).to_params()
+                    )
+                    for got, want in zip(
+                        planes, expected_planes[turns][base_index]
+                    ):
+                        np.testing.assert_array_equal(got, want)
+        except Exception as error:  # surfaced after the join
+            errors.append(f"thread {tid}: {type(error).__name__}: {error}")
+
+    threads = [
+        threading.Thread(target=worker, args=(tid,), daemon=True)
+        for tid in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    service.close()
+
+    assert not errors, "\n".join(errors)
+    # No lost writes: every id every thread uploaded is served.
+    assert sorted(service.image_ids()) == sorted(
+        f"t{t}-{k}"
+        for t in range(N_THREADS)
+        for k in range(uploads_per_thread)
+    )
+    # No transform record ever leaked into the stored public bytes.
+    for image_id in service.image_ids():
+        assert service.public_data(image_id).transform_params is None
+
+
+def test_cache_enabled_vs_disabled_bit_identical(corpus):
+    """The cache is a pure accelerator: outputs are byte-identical."""
+    cached = PspService(workers=2)
+    uncached = PspService(
+        workers=2, decode_cache_bytes=0, derivative_cache_bytes=0
+    )
+    try:
+        for index, (perturbed, public) in enumerate(corpus):
+            cached.upload(f"img-{index}", perturbed, public)
+            uncached.upload(f"img-{index}", perturbed, public)
+        for index in range(N_BASES):
+            image_id = f"img-{index}"
+            for _ in range(2):  # second pass hits the warm cache
+                a = cached.download(image_id)
+                b = uncached.download(image_id)
+                assert a.coefficients_equal(b)
+                assert encode_image(a, optimize=True) == encode_image(
+                    b, optimize=True
+                )
+                planes_a, public_a = cached.download_transformed(
+                    image_id, Rotate90(1)
+                )
+                planes_b, public_b = uncached.download_transformed(
+                    image_id, Rotate90(1)
+                )
+                for got, want in zip(planes_a, planes_b):
+                    np.testing.assert_array_equal(got, want)
+                assert (
+                    public_a.transform_params == public_b.transform_params
+                )
+        assert cached.decode_cache.hits > 0
+        assert uncached.decode_cache.hits == 0
+    finally:
+        cached.close()
+        uncached.close()
