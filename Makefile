@@ -1,7 +1,7 @@
 # Convenience targets for the PuPPIeS reproduction.
 
-.PHONY: install test faults bench bench-quick loadgen-quick examples \
-	trace-demo clean all
+.PHONY: install test faults bench bench-quick loadgen-quick \
+	cluster-quick examples trace-demo clean all
 
 install:
 	pip install -e .
@@ -27,6 +27,20 @@ loadgen-quick:
 	pytest tests/test_service.py tests/test_service_stress.py -q
 	PYTHONPATH=src python -m repro.cli loadgen --images 4 --clients 4 \
 		--requests 80 --check
+
+# Replicated-cluster smoke: the wire/ring/integration suite, then the
+# fault matrix — every loadgen --check asserts ZERO failed reads while
+# a worker is killed, frames are corrupted, or a replica runs slow.
+cluster-quick:
+	pytest tests/test_cluster_wire.py -q
+	pytest tests/ -m cluster -q
+	PYTHONPATH=src python -m repro.cli cluster loadgen --workers 3 \
+		--processes 2 --images 4 --requests 60 --kill-one --check
+	PYTHONPATH=src python -m repro.cli cluster loadgen --workers 2 \
+		--processes 2 --images 4 --requests 60 --corrupt-every 3 --check
+	PYTHONPATH=src python -m repro.cli cluster loadgen --workers 2 \
+		--processes 2 --images 4 --requests 60 --delay-every 2 \
+		--delay-s 0.05 --hedge-delay 0.02 --check
 
 trace-demo:
 	mkdir -p examples/out

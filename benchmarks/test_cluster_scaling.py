@@ -1,0 +1,94 @@
+"""Cluster throughput vs fleet size — the multi-process scaling gate.
+
+Not a paper table — the acceptance gate for ``repro.cluster``: the
+worker-side SCRUB op (CRC verify + full entropy decode) is CPU-bound,
+so adding worker *processes* must add real decode throughput. The gate
+demands >= 3x closed-loop throughput at 4 workers vs 1 — **where the
+hardware can show it**. Multi-process scaling is physically bounded by
+the cores the box exposes; on the 1-core CI container the same bench
+still runs the full 1 -> 4 curve but asserts the no-collapse floor
+(cluster overhead must not eat the single-worker throughput) instead of
+a parallel speedup no scheduler could deliver. On >= 4 usable cores the
+full 3x gate is enforced.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench import print_table
+from repro.cluster import (
+    ClusterSupervisor,
+    build_cluster_corpus,
+    run_cluster_loadgen,
+)
+
+FLEET_SIZES = (1, 2, 4)
+#: The issue's gate, enforced when the box has >= 4 usable cores.
+MIN_SCALING_AT_4 = 3.0
+#: Per-core expectation on 2-3 core boxes: most of linear.
+SCALING_EFFICIENCY = 0.6
+#: 1-core floor: the cluster must not collapse under its own overhead.
+MIN_SINGLE_CORE_RATIO = 0.5
+
+N_IMAGES = 6
+REQUESTS = 96
+CLIENT_PROCESSES = 4
+
+
+def _throughput(n_workers: int, seed: int) -> float:
+    with ClusterSupervisor(n_workers=n_workers) as supervisor:
+        with supervisor.client(replication=2) as client:
+            image_ids = build_cluster_corpus(
+                client, N_IMAGES, height=64, width=64, seed=seed
+            )
+        report = run_cluster_loadgen(
+            supervisor.endpoints(),
+            image_ids,
+            processes=CLIENT_PROCESSES,
+            requests=REQUESTS,
+            scrub_ratio=1.0,  # all CPU-bound worker-side decodes
+            seed=seed,
+            replication=2,
+        )
+    assert report.failed_reads == 0
+    assert report.requests == REQUESTS
+    return report.throughput_rps
+
+
+def test_throughput_scales_with_worker_processes():
+    usable_cores = len(os.sched_getaffinity(0))
+    curves = {n: _throughput(n, seed=5) for n in FLEET_SIZES}
+    base = curves[1]
+    print_table(
+        f"cluster scrub throughput vs fleet size "
+        f"({usable_cores} usable core(s))",
+        ["workers", "req/s", "vs 1 worker"],
+        [
+            [n, f"{curves[n]:.1f}", f"{curves[n] / base:.2f}x"]
+            for n in FLEET_SIZES
+        ],
+    )
+    assert base > 0
+    ratio_at_4 = curves[4] / base
+    if usable_cores >= 4:
+        assert ratio_at_4 >= MIN_SCALING_AT_4, (
+            f"4-worker fleet only reached {ratio_at_4:.2f}x of the "
+            f"single-worker throughput on {usable_cores} cores "
+            f"(gate: {MIN_SCALING_AT_4}x)"
+        )
+    elif usable_cores >= 2:
+        floor = SCALING_EFFICIENCY * usable_cores
+        assert ratio_at_4 >= floor, (
+            f"4-worker fleet reached {ratio_at_4:.2f}x on "
+            f"{usable_cores} cores (floor: {floor:.2f}x)"
+        )
+    else:
+        # One core: no parallel speedup exists to measure; the gate
+        # degenerates to "the fleet must not collapse under routing,
+        # replication and process overhead".
+        assert ratio_at_4 >= MIN_SINGLE_CORE_RATIO, (
+            f"4-worker fleet collapsed to {ratio_at_4:.2f}x of the "
+            f"single-worker throughput on one core "
+            f"(floor: {MIN_SINGLE_CORE_RATIO}x)"
+        )

@@ -17,7 +17,13 @@ Subcommands mirror the three parties of Fig. 5:
                     process pool, with per-image metrics;
 * ``loadgen``     — closed-loop load test of the concurrent serving
                     layer (``repro.service``): throughput, p50/p99
-                    latency, cache hit rate.
+                    latency, cache hit rate;
+* ``cluster``     — the replicated multi-process fleet
+                    (``repro.cluster``): ``cluster serve`` runs N shard
+                    workers, ``cluster loadgen`` drives them with
+                    multi-process closed-loop clients under an optional
+                    fault plan (kill a worker, corrupt frames, slow a
+                    replica) and reports failover metrics.
 
 Example session::
 
@@ -413,6 +419,113 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.cluster import ClusterSupervisor
+
+    with ClusterSupervisor(
+        n_workers=args.workers, host=args.host, chaos_ops=args.chaos_ops
+    ) as supervisor:
+        for worker_id, (host, port) in sorted(
+            supervisor.endpoints().items()
+        ):
+            print(f"{worker_id}: {host}:{port}")
+        print(
+            f"cluster up: {args.workers} worker(s)"
+            + (" [chaos ops armed]" if args.chaos_ops else "")
+            + " — Ctrl-C to stop"
+        )
+        try:
+            while True:
+                time.sleep(1.0)
+                dead = [
+                    worker_id
+                    for worker_id, alive in supervisor.alive().items()
+                    if not alive
+                ]
+                for worker_id in dead:
+                    print(
+                        f"worker {worker_id} died — restarting on its port",
+                        file=sys.stderr,
+                    )
+                    supervisor.restart_worker(worker_id)
+        except KeyboardInterrupt:
+            print("stopping cluster")
+    return 0
+
+
+def cmd_cluster_loadgen(args: argparse.Namespace) -> int:
+    from repro.cluster import (
+        ClusterFaultInjector,
+        ClusterSupervisor,
+        build_cluster_corpus,
+        run_cluster_loadgen,
+    )
+
+    faults = {}
+    if args.corrupt_every or args.drop_every or args.delay_every:
+        # The fault plan rides on the first worker; the rest stay clean,
+        # which is exactly the asymmetry failover has to beat.
+        faults["w0"] = ClusterFaultInjector(
+            corrupt_every=args.corrupt_every,
+            drop_every=args.drop_every,
+            delay_every=args.delay_every,
+            delay_s=args.delay_s,
+        )
+    with ClusterSupervisor(
+        n_workers=args.workers, faults=faults or None
+    ) as supervisor:
+        with supervisor.client(replication=args.replication) as client:
+            image_ids = build_cluster_corpus(
+                client,
+                args.images,
+                height=args.size,
+                width=args.size,
+                seed=args.seed,
+            )
+        print(
+            f"corpus: {len(image_ids)} protected image(s) "
+            f"({args.size}x{args.size}) replicated "
+            f"x{min(args.replication, args.workers)} over "
+            f"{args.workers} worker(s)"
+        )
+        if faults:
+            print(f"fault plan on w0: {faults['w0']}")
+        if args.kill_one:
+            victim = supervisor.worker_ids[-1]
+            supervisor.kill_worker(victim)
+            print(
+                f"killed worker {victim} — its shards now serve from "
+                f"replicas"
+            )
+        report = run_cluster_loadgen(
+            supervisor.endpoints(),
+            image_ids,
+            processes=args.processes,
+            requests=args.requests,
+            scrub_ratio=args.scrub_ratio,
+            seed=args.seed,
+            replication=args.replication,
+            hedge_delay=args.hedge_delay,
+        )
+    for line in report.lines():
+        print(line)
+    if args.check:
+        ok = report.failed_reads == 0 and report.requests > 0
+        print(
+            "check        : "
+            + (
+                "ok (every read served despite the fault plan)"
+                if ok
+                else "FAILED (reads failed — failover did not cover "
+                     "the fault plan)"
+            )
+        )
+        return 0 if ok else 1
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     from repro.core.psp import Psp
     from repro.obs import aggregate_table, export_chrome_trace
@@ -638,6 +751,67 @@ def build_parser() -> argparse.ArgumentParser:
                               "beat cold decodes and no request errored")
     _add_trace_flag(loadgen)
     loadgen.set_defaults(func=cmd_loadgen)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="replicated multi-process shard cluster (repro.cluster)",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command",
+                                         required=True)
+
+    serve = cluster_sub.add_parser(
+        "serve", help="run N shard workers until interrupted"
+    )
+    serve.add_argument("--workers", type=int, default=4,
+                       help="shard worker processes")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for the workers")
+    serve.add_argument("--chaos-ops", action="store_true",
+                       help="arm the stored-blob corruption op "
+                            "(tests/demos only)")
+    serve.set_defaults(func=cmd_cluster_serve)
+
+    cloadgen = cluster_sub.add_parser(
+        "loadgen",
+        help="multi-process closed-loop load with optional fault plan",
+    )
+    cloadgen.add_argument("--workers", type=int, default=4,
+                          help="shard worker processes")
+    cloadgen.add_argument("--replication", type=int, default=2,
+                          help="copies per image id")
+    cloadgen.add_argument("--processes", type=int, default=4,
+                          help="closed-loop client processes")
+    cloadgen.add_argument("--images", type=int, default=8,
+                          help="synthetic corpus size")
+    cloadgen.add_argument("--size", type=int, default=48,
+                          help="corpus image side length in pixels")
+    cloadgen.add_argument("--requests", type=int, default=200,
+                          help="total requests across all processes")
+    cloadgen.add_argument("--scrub-ratio", type=float, default=0.5,
+                          help="fraction of requests that are worker-side "
+                               "decode-verifies (CPU-bound)")
+    cloadgen.add_argument("--hedge-delay", type=float, default=0.05,
+                          help="seconds before a read hedges to the next "
+                               "replica")
+    cloadgen.add_argument("--kill-one", action="store_true",
+                          help="kill one worker before the load phase "
+                               "(failover drill)")
+    cloadgen.add_argument("--corrupt-every", type=int, default=0,
+                          help="corrupt every k-th data response frame "
+                               "on worker w0")
+    cloadgen.add_argument("--drop-every", type=int, default=0,
+                          help="drop the connection on every k-th data "
+                               "request on worker w0")
+    cloadgen.add_argument("--delay-every", type=int, default=0,
+                          help="delay every k-th data response on "
+                               "worker w0")
+    cloadgen.add_argument("--delay-s", type=float, default=0.1,
+                          help="seconds of injected delay")
+    cloadgen.add_argument("--seed", type=int, default=0)
+    cloadgen.add_argument("--check", action="store_true",
+                          help="exit nonzero unless zero reads failed")
+    _add_trace_flag(cloadgen)
+    cloadgen.set_defaults(func=cmd_cluster_loadgen)
     return parser
 
 

@@ -1,0 +1,74 @@
+"""Replicated multi-process PSP serving (``repro.cluster``).
+
+The single-process serving tier (:mod:`repro.service`) scales until the
+GIL; this package shards the PSP blob store over N worker *processes*
+behind the RPCF wire protocol and makes the result survive the faults a
+real fleet has: dead workers, slow replicas, bit rot in storage and on
+the wire.
+
+Layering (client-side smarts, Dynamo-style):
+
+* :mod:`repro.cluster.wire` — the framed protocol + ShardRecord;
+* :mod:`repro.cluster.ring` — consistent-hash placement;
+* :mod:`repro.cluster.worker` — one dumb shard-serving process;
+* :mod:`repro.cluster.client` — replication, failover, hedged reads,
+  read-repair, hinted handoff;
+* :mod:`repro.cluster.supervisor` — spawn/kill/restart the fleet;
+* :mod:`repro.cluster.store` — store-protocol facade so
+  :class:`repro.core.psp.Psp` and :class:`repro.service.PspService`
+  serve from the cluster unchanged;
+* :mod:`repro.cluster.faults` — deterministic cluster-level chaos;
+* :mod:`repro.cluster.loadgen` — multi-process closed-loop load.
+
+See ``docs/SERVICE.md`` ("Cluster") and ``docs/FORMATS.md`` §4.
+"""
+
+from repro.cluster.client import (
+    REPLICA_LATENCY_BUCKETS_MS,
+    ClusterClient,
+    ClusterGetResult,
+    WorkerUnavailableError,
+)
+from repro.cluster.faults import ClusterFaultInjector
+from repro.cluster.loadgen import (
+    ClusterLoadgenReport,
+    build_cluster_corpus,
+    run_cluster_loadgen,
+)
+from repro.cluster.ring import HashRing, ring_hash
+from repro.cluster.store import ClusterStore
+from repro.cluster.supervisor import ClusterSupervisor, WorkerHandle
+from repro.cluster.wire import (
+    MAX_PAYLOAD,
+    ShardRecord,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.cluster.worker import ShardStorage, ShardWorker, run_worker
+
+__all__ = [
+    "MAX_PAYLOAD",
+    "REPLICA_LATENCY_BUCKETS_MS",
+    "ClusterClient",
+    "ClusterFaultInjector",
+    "ClusterGetResult",
+    "ClusterLoadgenReport",
+    "ClusterStore",
+    "ClusterSupervisor",
+    "HashRing",
+    "ShardRecord",
+    "ShardStorage",
+    "ShardWorker",
+    "WorkerHandle",
+    "WorkerUnavailableError",
+    "build_cluster_corpus",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "ring_hash",
+    "run_cluster_loadgen",
+    "run_worker",
+    "write_frame",
+]

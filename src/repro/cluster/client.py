@@ -1,0 +1,688 @@
+"""The replicated cluster client: routing, failover, hedging, repair.
+
+All placement intelligence lives here, client-side (Dynamo-style), so
+workers stay dumb and independently restartable:
+
+* **routing** — image ids map to an ordered *preference list* of workers
+  via the consistent-hash ring; the first ``replication`` entries hold
+  the bytes;
+* **writes** — a put goes to every replica; replicas that are down get a
+  *hinted handoff* entry instead, replayed by :meth:`drain_hints` when
+  the worker rejoins. A write succeeds if at least one replica holds it;
+* **reads** — the primary is asked first; if it has not answered within
+  ``hedge_delay`` seconds the next replica is asked too (hedged read)
+  and the first answer wins. A worker that is down or answers with
+  damaged bytes triggers failover to the next replica;
+* **read-repair** — every returned record is CRC-verified against the
+  writer-time checksums. A replica that served damaged bytes (or had
+  none — a rejoined empty worker) is rewritten with the verified copy
+  the moment one is found, so rot heals on the read path;
+* **salvage fallback** — only when *every* replica's copy is damaged
+  does the client hand the least-broken bytes up, flagged ``clean=False``
+  for the salvage decoder (:mod:`repro.robustness`);
+* **fault discipline** — per-request socket timeouts, capped full-jitter
+  backoff retries for *transit* damage (wire-CRC mismatches, flaky
+  connections), immediate failover for dead workers. Stored-content
+  damage is never retried (the same rot would answer); it goes to
+  read-repair — exactly the retriable/non-retriable split of
+  :func:`repro.robustness.is_retriable`.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.cluster.ring import HashRing
+from repro.cluster.wire import (
+    ERR_CHAOS_DISABLED,
+    ERR_EXISTS,
+    ERR_NOT_FOUND,
+    MSG_CORRUPT,
+    MSG_ERR,
+    MSG_GET,
+    MSG_HAS,
+    MSG_IDS,
+    MSG_OK,
+    MSG_PING,
+    MSG_PUT,
+    MSG_SCRUB,
+    ShardRecord,
+    encode_frame,
+    pack_corrupt,
+    pack_id,
+    pack_put,
+    read_frame,
+    unpack_bool,
+    unpack_error,
+    unpack_ids,
+    unpack_ping_response,
+    unpack_record_response,
+    unpack_scrub_response,
+)
+from repro.robustness.resilient import Backoff
+from repro.util.errors import ClusterError, IntegrityError, ReproError
+
+#: Client-side retry schedule for transit-level failures. Short, capped,
+#: fully jittered — failover to a replica is always available, so the
+#: budget stays small.
+DEFAULT_WIRE_BACKOFF = Backoff(base=0.01, factor=2.0, cap=0.08,
+                               max_retries=2)
+#: Latency histogram buckets (milliseconds).
+REPLICA_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+
+
+class WorkerUnavailableError(ClusterError):
+    """One worker could not serve (down, unreachable, retries spent).
+
+    Internal to the client tier: callers of :class:`ClusterClient` only
+    see it via :class:`ClusterError` when *every* replica failed.
+    """
+
+
+class _NotFound(ClusterError):
+    """The worker authoritatively does not hold the id."""
+
+
+class _Exists(ClusterError):
+    """put without overwrite hit an already-stored id."""
+
+
+@dataclass
+class ClusterGetResult:
+    """One replicated read, with its provenance."""
+
+    image_id: str
+    record: ShardRecord
+    #: True when the returned bytes matched their writer-time CRCs.
+    clean: bool
+    #: Worker that served the winning response.
+    source: str
+    #: Workers rewritten by read-repair during this read.
+    repaired: List[str] = field(default_factory=list)
+    #: True when a hedge request was launched.
+    hedged: bool = False
+    #: True when the hedge (not the primary) won the race.
+    hedge_won: bool = False
+    #: Replica attempts that failed, as ``worker -> outcome``.
+    outcomes: Dict[str, str] = field(default_factory=dict)
+
+
+class ClusterClient:
+    """Talks RPCF to a set of shard workers; see the module docstring.
+
+    ``endpoints`` maps worker id → ``(host, port)``. The ring is derived
+    from the endpoint ids unless one is passed explicitly (tests use
+    that to model stale membership). ``sleep`` is injectable so retry
+    tests never really wait.
+    """
+
+    def __init__(
+        self,
+        endpoints: Dict[str, Tuple[str, int]],
+        replication: int = 2,
+        timeout: float = 2.0,
+        hedge_delay: float = 0.05,
+        backoff: Backoff = DEFAULT_WIRE_BACKOFF,
+        ring: Optional[HashRing] = None,
+        connect_timeout: float = 0.5,
+        sleep: Optional[Callable[[float], None]] = None,
+        name: str = "cluster",
+    ) -> None:
+        if not endpoints:
+            raise ReproError("cluster client needs at least one endpoint")
+        if replication < 1:
+            raise ReproError(
+                f"replication factor must be >= 1, got {replication}"
+            )
+        self.endpoints = dict(endpoints)
+        self.replication = int(replication)
+        self.timeout = timeout
+        self.hedge_delay = hedge_delay
+        self.backoff = backoff
+        self.connect_timeout = connect_timeout
+        self.sleep = sleep if sleep is not None else time.sleep
+        self.name = name
+        self.ring = ring if ring is not None else HashRing(
+            sorted(self.endpoints)
+        )
+        self._pool: Dict[str, List[socket.socket]] = {}
+        self._pool_lock = threading.Lock()
+        self._hints: List[Tuple[str, str]] = []
+        self._hints_lock = threading.Lock()
+        #: Plain-int mirror of the obs counters, so multi-process loadgen
+        #: clients can ship their tallies home through a pickle queue.
+        self.stats: Dict[str, int] = {
+            "gets": 0, "puts": 0, "failovers": 0, "hedges": 0,
+            "hedge_wins": 0, "repairs": 0, "wire_retries": 0,
+            "damaged_reads": 0, "salvage_fallbacks": 0,
+            "hinted_handoffs": 0, "handoffs_replayed": 0,
+        }
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._pool_lock:
+            for socks in self._pool.values():
+                for sock in socks:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+            self._pool.clear()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _bump(self, key: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self.stats[key] += amount
+
+    # ------------------------------------------------------------------
+    # Connection pool
+    # ------------------------------------------------------------------
+    def _connect(self, worker: str) -> socket.socket:
+        host, port = self.endpoints[worker]
+        try:
+            sock = socket.create_connection(
+                (host, port), timeout=self.connect_timeout
+            )
+        except OSError as error:
+            raise WorkerUnavailableError(
+                f"worker {worker!r} unreachable at {host}:{port}: {error}"
+            ) from error
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _acquire(self, worker: str) -> socket.socket:
+        with self._pool_lock:
+            pool = self._pool.get(worker)
+            if pool:
+                return pool.pop()
+        return self._connect(worker)
+
+    def _release(self, worker: str, sock: socket.socket) -> None:
+        with self._pool_lock:
+            self._pool.setdefault(worker, []).append(sock)
+
+    @staticmethod
+    def _discard(sock: socket.socket) -> None:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # One framed request to one worker (with transit-level retries)
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        worker: str,
+        ftype: int,
+        payload: bytes,
+        timeout: Optional[float] = None,
+    ) -> bytes:
+        """Send one frame, read one reply; returns the MSG_OK payload.
+
+        Wire-CRC damage and mid-request connection drops are *transit*
+        failures: retried on a fresh connection with full-jitter backoff.
+        A worker that cannot even be connected to, or that exhausts the
+        retry budget, raises :class:`WorkerUnavailableError` so the
+        caller can fail over. ``MSG_ERR`` replies are mapped to typed
+        exceptions.
+        """
+        frame = encode_frame(ftype, payload)
+        deadline = self.timeout if timeout is None else timeout
+        last: Optional[BaseException] = None
+        for attempt in range(self.backoff.max_retries + 1):
+            if attempt:
+                self._bump("wire_retries")
+                obs.counter("cluster.retry", worker=worker)
+                self.sleep(self.backoff.delay(attempt))
+            sock = self._acquire(worker)
+            try:
+                sock.settimeout(deadline)
+                sock.sendall(frame)
+                reply = read_frame(sock)
+            except IntegrityError as error:
+                # Transit damage: the stream may be desynced — drop the
+                # connection and retry on a fresh one.
+                self._discard(sock)
+                last = error
+                continue
+            except (TimeoutError, socket.timeout) as error:
+                self._discard(sock)
+                raise WorkerUnavailableError(
+                    f"worker {worker!r} timed out after {deadline}s"
+                ) from error
+            except OSError as error:
+                self._discard(sock)
+                last = error
+                continue
+            if reply is None:  # peer hung up mid-exchange (drop fault)
+                self._discard(sock)
+                last = ConnectionError(
+                    f"worker {worker!r} closed the connection"
+                )
+                continue
+            self._release(worker, sock)
+            rtype, rpayload = reply
+            if rtype == MSG_OK:
+                return rpayload
+            if rtype == MSG_ERR:
+                code, message = unpack_error(rpayload)
+                if code == ERR_NOT_FOUND:
+                    raise _NotFound(message)
+                if code == ERR_EXISTS:
+                    raise _Exists(message)
+                if code == ERR_CHAOS_DISABLED:
+                    raise ClusterError(message)
+                raise ClusterError(
+                    f"worker {worker!r} rejected the request: {message}"
+                )
+            raise ClusterError(
+                f"worker {worker!r} answered with unexpected frame type "
+                f"{rtype:#x}"
+            )
+        raise WorkerUnavailableError(
+            f"worker {worker!r} still failing after "
+            f"{self.backoff.max_retries + 1} attempt(s): {last}"
+        ) from last
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        image_id: str,
+        encoded: bytes,
+        public_bytes: bytes,
+        overwrite: bool = False,
+    ) -> bool:
+        """Replicate one image; False when the id already existed.
+
+        Every replica in the preference list gets a copy; replicas that
+        are down get a hinted-handoff entry instead. Raises
+        :class:`ClusterError` only when *no* replica accepted the write.
+        """
+        self._bump("puts")
+        record = ShardRecord.create(encoded, public_bytes)
+        prefs = self.ring.preference(image_id, self.replication)
+        with obs.span("cluster.put", image_id=image_id):
+            stored = 0
+            existed = False
+            failures: List[str] = []
+            for worker in prefs:
+                try:
+                    self._request(
+                        worker, MSG_PUT, pack_put(image_id, record,
+                                                  overwrite)
+                    )
+                except _Exists:
+                    existed = True
+                    stored += 1
+                except (WorkerUnavailableError, ClusterError) as error:
+                    failures.append(f"{worker}: {error}")
+                    self._hint(worker, image_id)
+                else:
+                    stored += 1
+            if stored == 0:
+                raise ClusterError(
+                    f"no replica accepted {image_id!r}: "
+                    + "; ".join(failures)
+                )
+            if stored < len(prefs):
+                obs.counter(
+                    "cluster.under_replicated", amount=len(prefs) - stored
+                )
+            return not existed
+
+    def _hint(self, worker: str, image_id: str) -> None:
+        with self._hints_lock:
+            self._hints.append((worker, image_id))
+        self._bump("hinted_handoffs")
+        obs.counter("cluster.hinted_handoff", worker=worker)
+
+    def pending_hints(self) -> List[Tuple[str, str]]:
+        with self._hints_lock:
+            return list(self._hints)
+
+    def drain_hints(self) -> int:
+        """Replay queued re-replication writes; returns how many landed.
+
+        For each hint the verified record is fetched from the surviving
+        replicas and rewritten to the target worker. Hints whose target
+        is still down (or whose id has no surviving copy) stay queued.
+        """
+        with self._hints_lock:
+            hints, self._hints = self._hints, []
+        replayed = 0
+        requeue: List[Tuple[str, str]] = []
+        for worker, image_id in hints:
+            try:
+                result = self.get(image_id, repair=False)
+                if not result.clean:
+                    raise ClusterError("no clean surviving copy")
+                self._request(
+                    worker,
+                    MSG_PUT,
+                    pack_put(image_id, result.record, True),
+                )
+            except (ClusterError, KeyError):
+                requeue.append((worker, image_id))
+                continue
+            replayed += 1
+            self._bump("handoffs_replayed")
+            obs.counter("cluster.handoff_replayed", worker=worker)
+        if requeue:
+            with self._hints_lock:
+                self._hints.extend(requeue)
+        return replayed
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def _get_record(self, worker: str, image_id: str) -> ShardRecord:
+        return unpack_record_response(
+            self._request(worker, MSG_GET, pack_id(image_id))
+        )
+
+    def get(self, image_id: str, repair: bool = True) -> ClusterGetResult:
+        """Hedged, verifying, self-healing replicated read.
+
+        Raises ``KeyError`` when every replica authoritatively reports
+        the id unknown (the store-protocol contract), and
+        :class:`ClusterError` when no replica could answer at all.
+        """
+        self._bump("gets")
+        prefs = self.ring.preference(image_id, self.replication)
+        with obs.span("cluster.get", image_id=image_id) as span:
+            result = self._get_inner(image_id, prefs, repair)
+            span.tag(
+                source=result.source,
+                clean=result.clean,
+                hedged=result.hedged,
+                repaired=len(result.repaired),
+            )
+            return result
+
+    def _get_inner(
+        self, image_id: str, prefs: List[str], repair: bool
+    ) -> ClusterGetResult:
+        results: "queue.Queue[Tuple[int, str, str, object]]" = queue.Queue()
+
+        def attempt(index: int, worker: str) -> None:
+            start = time.perf_counter()
+            try:
+                record = self._get_record(worker, image_id)
+            except _NotFound:
+                results.put((index, worker, "not_found", None))
+                return
+            except (ClusterError, OSError) as error:
+                results.put((index, worker, "down", error))
+                return
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            obs.observe(
+                "cluster.replica_latency_ms",
+                elapsed_ms,
+                buckets=REPLICA_LATENCY_BUCKETS_MS,
+                worker=worker,
+            )
+            status = "ok" if record.verify() else "damaged"
+            results.put((index, worker, status, record))
+
+        def launch(index: int) -> None:
+            thread = threading.Thread(
+                target=attempt, args=(index, prefs[index]), daemon=True
+            )
+            thread.start()
+
+        outcomes: Dict[str, str] = {}
+        damaged: List[Tuple[str, ShardRecord]] = []
+        launched = 1
+        resolved = 0
+        hedged = False
+        winner: Optional[Tuple[int, str, ShardRecord]] = None
+        launch(0)
+        while resolved < launched:
+            all_launched = launched >= len(prefs)
+            wait = (self.timeout + 1.0) if all_launched else self.hedge_delay
+            try:
+                index, worker, status, value = results.get(timeout=wait)
+            except queue.Empty:
+                if not all_launched:
+                    # Primary (and any earlier hedges) are slow: hedge.
+                    hedged = True
+                    self._bump("hedges")
+                    obs.counter("cluster.hedge", image_id=image_id)
+                    launch(launched)
+                    launched += 1
+                    continue
+                break  # every outstanding attempt exceeded its deadline
+            resolved += 1
+            outcomes[worker] = status
+            if status == "ok":
+                winner = (index, worker, value)  # type: ignore[assignment]
+                break
+            if status == "damaged":
+                self._bump("damaged_reads")
+                obs.counter("cluster.damaged_read", worker=worker)
+                damaged.append((worker, value))  # type: ignore[arg-type]
+            elif status == "down":
+                obs.counter("cluster.worker_down", worker=worker)
+            # Failover: a failed replica immediately funds the next one.
+            if launched < len(prefs):
+                if status in ("down", "damaged", "not_found"):
+                    self._bump("failovers")
+                    obs.counter("cluster.failover", image_id=image_id)
+                launch(launched)
+                launched += 1
+
+        if winner is not None:
+            index, worker, record = winner
+            if hedged and index > 0:
+                self._bump("hedge_wins")
+                obs.counter("cluster.hedge_win", image_id=image_id)
+            repaired: List[str] = []
+            if repair:
+                repaired = self._read_repair(
+                    image_id, record, outcomes, prefs
+                )
+            return ClusterGetResult(
+                image_id=image_id,
+                record=record,
+                clean=True,
+                source=worker,
+                repaired=repaired,
+                hedged=hedged,
+                hedge_won=hedged and index > 0,
+                outcomes=outcomes,
+            )
+        if damaged:
+            # Every answer was rot: hand the first copy to the salvage
+            # decoder upstream rather than inventing an error.
+            self._bump("salvage_fallbacks")
+            obs.counter("cluster.salvage_fallback", image_id=image_id)
+            worker, record = damaged[0]
+            return ClusterGetResult(
+                image_id=image_id,
+                record=record,
+                clean=False,
+                source=worker,
+                hedged=hedged,
+                outcomes=outcomes,
+            )
+        if outcomes and all(
+            status == "not_found" for status in outcomes.values()
+        ) and len(outcomes) == len(prefs):
+            raise KeyError(image_id)
+        raise ClusterError(
+            f"no replica could serve {image_id!r}: "
+            + (", ".join(
+                f"{worker}={status}" for worker, status in outcomes.items()
+            ) or "no replica answered in time")
+        )
+
+    def _read_repair(
+        self,
+        image_id: str,
+        record: ShardRecord,
+        outcomes: Dict[str, str],
+        prefs: List[str],
+    ) -> List[str]:
+        """Rewrite replicas that served rot or had no copy at all."""
+        repaired = []
+        for worker in prefs:
+            if outcomes.get(worker) not in ("damaged", "not_found"):
+                continue
+            try:
+                self._request(
+                    worker, MSG_PUT, pack_put(image_id, record, True)
+                )
+            except (ClusterError, OSError):
+                continue
+            repaired.append(worker)
+            self._bump("repairs")
+            obs.counter("cluster.repair", worker=worker)
+        return repaired
+
+    def anti_entropy(
+        self, image_ids: Optional[Sequence[str]] = None
+    ) -> int:
+        """Full-replica repair sweep; returns replicas rewritten.
+
+        Read-repair only heals what a read happens to observe — a
+        damaged or missing copy on a replica the read never consulted
+        survives until some read fails over to it. This sweep consults
+        *every* replica of every id (default: everything in
+        :meth:`ids`), verifies each copy against the writer CRCs, and
+        rewrites the broken or missing ones from a clean peer. Run it
+        after a worker rejoins to refill it deterministically.
+        """
+        rewritten = 0
+        for image_id in (
+            self.ids() if image_ids is None else image_ids
+        ):
+            prefs = self.ring.preference(image_id, self.replication)
+            outcomes: Dict[str, str] = {}
+            clean: Optional[ShardRecord] = None
+            for worker in prefs:
+                try:
+                    record = self._get_record(worker, image_id)
+                except _NotFound:
+                    outcomes[worker] = "not_found"
+                    continue
+                except (ClusterError, OSError):
+                    continue  # unreachable: nothing to conclude
+                if record.verify():
+                    if clean is None:
+                        clean = record
+                else:
+                    outcomes[worker] = "damaged"
+            if clean is None or not outcomes:
+                continue
+            rewritten += len(
+                self._read_repair(image_id, clean, outcomes, prefs)
+            )
+        return rewritten
+
+    # ------------------------------------------------------------------
+    # Auxiliary ops
+    # ------------------------------------------------------------------
+    def has(self, image_id: str) -> bool:
+        prefs = self.ring.preference(image_id, self.replication)
+        last: Optional[BaseException] = None
+        for worker in prefs:
+            try:
+                if unpack_bool(
+                    self._request(worker, MSG_HAS, pack_id(image_id))
+                ):
+                    return True
+                last = None
+            except (ClusterError, OSError) as error:
+                last = error
+        if last is not None:
+            raise ClusterError(
+                f"membership probe for {image_id!r} failed: {last}"
+            ) from last
+        return False
+
+    def ids(self) -> List[str]:
+        """Union of ids over every reachable worker."""
+        collected = set()
+        reachable = 0
+        for worker in sorted(self.endpoints):
+            try:
+                collected.update(
+                    unpack_ids(self._request(worker, MSG_IDS, b""))
+                )
+                reachable += 1
+            except (ClusterError, OSError):
+                continue
+        if reachable == 0:
+            raise ClusterError("no worker reachable for ids()")
+        return sorted(collected)
+
+    def scrub(self, image_id: str, worker: Optional[str] = None):
+        """Worker-side decode-verify; returns ``(clean, detail)``.
+
+        Without an explicit ``worker`` the preference list is walked in
+        order, so a dead primary fails over like any other read.
+        """
+        if worker is not None:
+            return unpack_scrub_response(
+                self._request(worker, MSG_SCRUB, pack_id(image_id))
+            )
+        last: Optional[BaseException] = None
+        for target in self.ring.preference(image_id, self.replication):
+            try:
+                return unpack_scrub_response(
+                    self._request(target, MSG_SCRUB, pack_id(image_id))
+                )
+            except _NotFound as error:
+                last = error
+            except (ClusterError, OSError) as error:
+                last = error
+                self._bump("failovers")
+                obs.counter("cluster.failover", image_id=image_id)
+        raise ClusterError(
+            f"no replica could scrub {image_id!r}: {last}"
+        ) from last
+
+    def corrupt_stored(
+        self, worker: str, image_id: str, n_bits: int = 6,
+        seed: str = "chaos",
+    ) -> None:
+        """Chaos op: damage ``worker``'s stored copy (chaos-ops workers)."""
+        self._request(
+            worker, MSG_CORRUPT, pack_corrupt(image_id, n_bits, seed)
+        )
+
+    def ping(self, worker: str) -> Dict[str, object]:
+        return unpack_ping_response(self._request(worker, MSG_PING, b""))
+
+    def health(self) -> Dict[str, Optional[Dict[str, object]]]:
+        """Ping every endpoint; ``None`` marks an unreachable worker."""
+        report: Dict[str, Optional[Dict[str, object]]] = {}
+        for worker in sorted(self.endpoints):
+            try:
+                report[worker] = self.ping(worker)
+            except (ClusterError, OSError):
+                report[worker] = None
+        return report
+
+    def snapshot_stats(self) -> Dict[str, int]:
+        with self._stats_lock:
+            return dict(self.stats)

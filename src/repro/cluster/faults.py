@@ -1,0 +1,66 @@
+"""Deterministic fault injection for the multi-process PSP cluster.
+
+Extends the :mod:`repro.robustness` discipline — every fault is
+replayable from its parameters — to the failure modes only a *cluster*
+has: a worker that answers slowly, drops connections mid-reply, or
+flips bits in frames on the wire. Process death is the supervisor's
+job (:meth:`repro.cluster.supervisor.ClusterSupervisor.kill_worker`);
+stored-blob damage is the ``MSG_CORRUPT`` chaos op.
+
+A :class:`ClusterFaultInjector` rides into the worker process at spawn
+time and triggers on the worker's own monotonically increasing data-
+request counter (GET/SCRUB requests only — health checks stay honest so
+degraded-mode tests can still see the cluster's shape), so "the 3rd GET
+this worker serves is corrupted" is true on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class ClusterFaultInjector:
+    """One worker's misbehavior recipe. All counters are 1-based.
+
+    ``corrupt_every=k`` flips bits in every k-th data response *after*
+    framing, so the client sees a wire-CRC mismatch (transit damage →
+    retry); ``drop_every=k`` closes the connection instead of answering;
+    ``delay_every=k`` sleeps ``delay_s`` before replying (with
+    ``delay_every=1`` the worker is uniformly slow — the hedged-read
+    scenario). Zero disables a channel.
+    """
+
+    corrupt_every: int = 0
+    drop_every: int = 0
+    delay_every: int = 0
+    delay_s: float = 0.1
+    corrupt_bits: int = 4
+    seed: str = "cluster-faults"
+
+    def should(self, every: int, count: int) -> bool:
+        return every > 0 and count % every == 0
+
+    def corrupts(self, count: int) -> bool:
+        return self.should(self.corrupt_every, count)
+
+    def drops(self, count: int) -> bool:
+        return self.should(self.drop_every, count)
+
+    def delays(self, count: int) -> bool:
+        return self.should(self.delay_every, count)
+
+    def corrupt_frame(self, frame: bytes, context: str) -> bytes:
+        """Flip ``corrupt_bits`` deterministic bits in a framed reply."""
+        if not frame:
+            return frame
+        rng = derive_rng(self.seed, "frame", context)
+        buf = bytearray(frame)
+        positions = rng.integers(
+            0, len(buf) * 8, size=max(1, self.corrupt_bits)
+        )
+        for pos in positions.tolist():
+            buf[pos // 8] ^= 1 << (pos % 8)
+        return bytes(buf)

@@ -1,0 +1,317 @@
+"""Multi-process closed-loop load generation against a worker fleet.
+
+The single-process loadgen (:mod:`repro.service.loadgen`) measures the
+serving tier inside one Python process, so the GIL caps what it can say
+about *scaling*. This one spawns N OS processes, each running its own
+:class:`~repro.cluster.client.ClusterClient` closed loop (a client
+issues its next request only after the previous one returns), against
+workers that are themselves separate processes — so adding workers
+genuinely adds CPU, and throughput-vs-fleet-size is a real curve.
+
+The op mix is ``get`` (replicated fetch + client-side CRC verify) and
+``scrub`` (worker-side CRC + full entropy decode — the CPU-bound op the
+scaling gate in ``benchmarks/test_cluster_scaling.py`` leans on).
+
+Every child ships its latencies, per-replica samples and client
+counters home through a queue; the parent merges them into a
+:class:`ClusterLoadgenReport` **and** replays them into the parent's
+:mod:`repro.obs` registry (``cluster.loadgen.*`` counters, per-replica
+latency histograms), so ``--trace`` exports from the CLI see the whole
+fleet's failover behaviour, not just the parent process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.cluster.client import (
+    REPLICA_LATENCY_BUCKETS_MS,
+    ClusterClient,
+)
+from repro.core.keys import generate_private_key
+from repro.core.perturb import perturb_regions
+from repro.core.roi import RegionOfInterest
+from repro.core.serialization import serialize_public_data
+from repro.jpeg.codec import encode_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.util.errors import ClusterError, ReproError
+from repro.util.rect import Rect
+
+#: Client-counter keys summed across loadgen processes.
+STAT_KEYS = (
+    "gets", "puts", "failovers", "hedges", "hedge_wins", "repairs",
+    "wire_retries", "damaged_reads", "salvage_fallbacks",
+    "hinted_handoffs", "handoffs_replayed",
+)
+
+
+@dataclass
+class ClusterLoadgenReport:
+    """Aggregate outcome of one multi-process closed-loop run."""
+
+    processes: int
+    requests: int
+    errors: int
+    #: Requests that raised — with failover working this must be zero
+    #: even while workers are being killed (the acceptance gate).
+    failed_reads: int
+    wall_s: float
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    #: Summed client counters (hedges, repairs, failovers, ...).
+    stats: Dict[str, int] = field(default_factory=dict)
+    #: Latency samples attributed to the replica that served each get.
+    per_replica_ms: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def hedge_rate(self) -> float:
+        gets = self.stats.get("gets", 0)
+        return self.stats.get("hedges", 0) / gets if gets else 0.0
+
+    def lines(self) -> List[str]:
+        """Human-readable report body (what the CLI prints)."""
+        replica_bits = []
+        for worker in sorted(self.per_replica_ms):
+            samples = self.per_replica_ms[worker]
+            if samples:
+                replica_bits.append(
+                    f"{worker}:{float(np.mean(samples)):.2f}ms"
+                    f"×{len(samples)}"
+                )
+        return [
+            f"processes    : {self.processes} closed-loop clients",
+            f"requests     : {self.requests} ok, {self.errors} error(s), "
+            f"{self.failed_reads} failed read(s)",
+            f"throughput   : {self.throughput_rps:.1f} req/s "
+            f"over {self.wall_s:.2f}s",
+            f"latency      : mean {self.mean_ms:.2f} ms, "
+            f"p50 {self.p50_ms:.2f} ms, p99 {self.p99_ms:.2f} ms",
+            f"failover     : {self.stats.get('failovers', 0)} failover(s), "
+            f"{self.stats.get('hedges', 0)} hedge(s) "
+            f"({100.0 * self.hedge_rate:.1f}% of gets, "
+            f"{self.stats.get('hedge_wins', 0)} won), "
+            f"{self.stats.get('repairs', 0)} repair(s)",
+            f"integrity    : {self.stats.get('damaged_reads', 0)} damaged "
+            f"read(s), {self.stats.get('wire_retries', 0)} wire retrie(s), "
+            f"{self.stats.get('salvage_fallbacks', 0)} salvage fallback(s)",
+            "per replica  : "
+            + (", ".join(replica_bits) if replica_bits else "(no gets)"),
+            "op mix       : "
+            + ", ".join(
+                f"{op}={count}"
+                for op, count in sorted(self.op_counts.items())
+            ),
+        ]
+
+
+def build_cluster_corpus(
+    client: ClusterClient,
+    n_images: int,
+    *,
+    height: int = 48,
+    width: int = 64,
+    roi: Rect = Rect(8, 8, 16, 16),
+    quality: int = 75,
+    owner: str = "cluster-loadgen",
+    seed: int = 0,
+) -> List[str]:
+    """Protect ``n_images`` synthetic images and replicate them."""
+    if n_images < 1:
+        raise ReproError(f"loadgen needs at least 1 image, got {n_images}")
+    rng = np.random.default_rng(seed)
+    image_ids = []
+    for index in range(n_images):
+        array = rng.integers(0, 256, (height, width, 3), dtype=np.uint8)
+        image = CoefficientImage.from_array(array, quality=quality)
+        region = RegionOfInterest(f"r{index}", roi)
+        keys = {
+            matrix_id: generate_private_key(matrix_id, owner)
+            for matrix_id in region.matrix_ids()
+        }
+        perturbed, public = perturb_regions(image, [region], keys)
+        image_id = f"img-{index:04d}"
+        client.put(
+            image_id,
+            encode_image(perturbed, optimize=True),
+            serialize_public_data(public),
+        )
+        image_ids.append(image_id)
+    return image_ids
+
+
+def _loadgen_child(
+    endpoints: Dict[str, Tuple[str, int]],
+    image_ids: Sequence[str],
+    n_requests: int,
+    scrub_ratio: float,
+    seed: int,
+    tid: int,
+    replication: int,
+    hedge_delay: float,
+    timeout: float,
+    start_barrier,
+    out_queue,
+) -> None:
+    """One closed-loop client process."""
+    client = ClusterClient(
+        endpoints,
+        replication=replication,
+        hedge_delay=hedge_delay,
+        timeout=timeout,
+    )
+    rng = np.random.default_rng((seed, tid))
+    latencies: List[float] = []
+    per_replica: Dict[str, List[float]] = {}
+    op_counts: Dict[str, int] = {}
+    errors = 0
+    failed_reads = 0
+    start_barrier.wait()
+    for _ in range(n_requests):
+        image_id = image_ids[int(rng.integers(len(image_ids)))]
+        scrubbing = rng.random() < scrub_ratio
+        op = "scrub" if scrubbing else "get"
+        start = time.perf_counter()
+        try:
+            if scrubbing:
+                client.scrub(image_id)
+            else:
+                result = client.get(image_id)
+        except (ClusterError, KeyError, OSError):
+            errors += 1
+            failed_reads += 1
+            continue
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        latencies.append(elapsed_ms)
+        op_counts[op] = op_counts.get(op, 0) + 1
+        if not scrubbing:
+            per_replica.setdefault(result.source, []).append(elapsed_ms)
+    client.close()
+    out_queue.put(
+        {
+            "tid": tid,
+            "latencies": latencies,
+            "per_replica": per_replica,
+            "op_counts": op_counts,
+            "errors": errors,
+            "failed_reads": failed_reads,
+            "stats": client.snapshot_stats(),
+        }
+    )
+
+
+def run_cluster_loadgen(
+    endpoints: Dict[str, Tuple[str, int]],
+    image_ids: Sequence[str],
+    *,
+    processes: int = 4,
+    requests: int = 200,
+    scrub_ratio: float = 0.5,
+    seed: int = 0,
+    replication: int = 2,
+    hedge_delay: float = 0.05,
+    timeout: float = 5.0,
+    join_timeout: Optional[float] = None,
+) -> ClusterLoadgenReport:
+    """Closed-loop load from ``processes`` OS processes; see module doc."""
+    if processes < 1:
+        raise ReproError(
+            f"loadgen needs at least 1 process, got {processes}"
+        )
+    if not image_ids:
+        raise ReproError("loadgen needs a non-empty corpus")
+    image_ids = list(image_ids)
+    per_child = [requests // processes] * processes
+    for index in range(requests % processes):
+        per_child[index] += 1
+
+    ctx = multiprocessing.get_context("fork")
+    out_queue = ctx.Queue()
+    # Parent participates so the clock starts when every child is ready.
+    start_barrier = ctx.Barrier(processes + 1)
+    children = [
+        ctx.Process(
+            target=_loadgen_child,
+            args=(
+                endpoints, image_ids, per_child[tid], scrub_ratio, seed,
+                tid, replication, hedge_delay, timeout, start_barrier,
+                out_queue,
+            ),
+            daemon=True,
+        )
+        for tid in range(processes)
+    ]
+    if join_timeout is None:
+        join_timeout = max(60.0, requests * timeout)
+    with obs.span(
+        "cluster.loadgen.run",
+        processes=processes, requests=requests, images=len(image_ids),
+    ):
+        for child in children:
+            child.start()
+        start_barrier.wait()
+        start = time.perf_counter()
+        payloads = []
+        for _ in children:
+            payloads.append(out_queue.get(timeout=join_timeout))
+        wall_s = time.perf_counter() - start
+        for child in children:
+            child.join(5.0)
+
+    merged: List[float] = []
+    op_totals: Dict[str, int] = {}
+    stat_totals: Dict[str, int] = {key: 0 for key in STAT_KEYS}
+    per_replica: Dict[str, List[float]] = {}
+    errors = 0
+    failed_reads = 0
+    for payload in payloads:
+        merged.extend(payload["latencies"])
+        errors += payload["errors"]
+        failed_reads += payload["failed_reads"]
+        for op, count in payload["op_counts"].items():
+            op_totals[op] = op_totals.get(op, 0) + count
+        for key in STAT_KEYS:
+            stat_totals[key] += payload["stats"].get(key, 0)
+        for worker, samples in payload["per_replica"].items():
+            per_replica.setdefault(worker, []).extend(samples)
+
+    # Replay the fleet's behaviour into the *parent* registry so trace
+    # exports include what happened inside the child processes.
+    obs.counter("cluster.loadgen.requests", amount=len(merged))
+    obs.counter("cluster.loadgen.errors", amount=errors)
+    for key, value in stat_totals.items():
+        obs.counter(f"cluster.loadgen.{key}", amount=value)
+    for worker in sorted(per_replica):
+        for sample in per_replica[worker]:
+            obs.observe(
+                "cluster.loadgen.replica_latency_ms",
+                sample,
+                buckets=REPLICA_LATENCY_BUCKETS_MS,
+                worker=worker,
+            )
+
+    arr = np.asarray(merged, dtype=np.float64)
+    return ClusterLoadgenReport(
+        processes=processes,
+        requests=len(merged),
+        errors=errors,
+        failed_reads=failed_reads,
+        wall_s=wall_s,
+        mean_ms=float(arr.mean()) if arr.size else 0.0,
+        p50_ms=float(np.percentile(arr, 50)) if arr.size else 0.0,
+        p99_ms=float(np.percentile(arr, 99)) if arr.size else 0.0,
+        op_counts=op_totals,
+        stats=stat_totals,
+        per_replica_ms=per_replica,
+    )

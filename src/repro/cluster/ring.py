@@ -1,0 +1,100 @@
+"""Consistent-hash routing of image ids to shard workers.
+
+A classic virtual-node hash ring: each worker contributes ``vnodes``
+points on a 64-bit circle, an image id hashes to a point, and its
+*preference list* is the next N distinct workers clockwise. Properties
+the cluster leans on:
+
+* **stability** — hashing uses BLAKE2b, not Python's ``hash``, so the
+  id → workers mapping is identical in every process and across
+  ``PYTHONHASHSEED`` values (clients and workers never need to agree on
+  anything but the member list);
+* **minimal movement** — removing a worker only reassigns the keys that
+  lived on its vnodes; everything else keeps its preference list, which
+  is what makes failover cheap;
+* **replication-aware** — ``preference(key, n)`` returns *distinct*
+  workers, so a replication factor of N really means N separate
+  processes hold the bytes.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+from repro.util.errors import ReproError
+
+DEFAULT_VNODES = 64
+
+
+def ring_hash(key: str) -> int:
+    """Stable 64-bit position on the ring for ``key``."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Virtual-node consistent-hash ring over worker ids."""
+
+    def __init__(
+        self, nodes: Sequence[str], vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise ReproError(f"ring needs vnodes >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._points: List[Tuple[int, str]] = []
+        self._nodes: Dict[str, bool] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            raise ReproError(f"worker {node!r} already on the ring")
+        self._nodes[node] = True
+        for v in range(self.vnodes):
+            point = (ring_hash(f"{node}#{v}"), node)
+            bisect.insort(self._points, point)
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ReproError(f"worker {node!r} not on the ring")
+        del self._nodes[node]
+        self._points = [p for p in self._points if p[1] != node]
+
+    def preference(self, key: str, n: int) -> List[str]:
+        """The first ``n`` distinct workers clockwise from ``key``.
+
+        The first entry is the key's primary; the rest are its replicas
+        in failover order. ``n`` larger than the member count returns
+        every worker (a cluster cannot hold more copies than workers).
+        """
+        if not self._nodes:
+            raise ReproError("hash ring has no workers")
+        n = min(int(n), len(self._nodes))
+        if n < 1:
+            raise ReproError("preference list needs n >= 1")
+        start = bisect.bisect_right(
+            self._points, (ring_hash(key), "￿")
+        )
+        picked: List[str] = []
+        seen = set()
+        for step in range(len(self._points)):
+            _point, node = self._points[(start + step) % len(self._points)]
+            if node in seen:
+                continue
+            seen.add(node)
+            picked.append(node)
+            if len(picked) == n:
+                break
+        return picked
+
+    def primary(self, key: str) -> str:
+        return self.preference(key, 1)[0]

@@ -1,0 +1,75 @@
+"""The cluster as a PSP storage backend.
+
+:class:`ClusterStore` implements the same backend protocol as
+:class:`repro.core.psp.DictStore` and
+:class:`repro.service.ShardedStore` — ``get`` raising ``KeyError`` for
+unknown ids, atomic ``put_new``, ``ids``, ``__contains__``,
+``__len__`` — but every operation is a replicated network call through
+a :class:`~repro.cluster.client.ClusterClient`. Plugging one into
+:class:`repro.core.psp.Psp` turns the whole single-process serving
+stack (:class:`repro.service.PspService`, the caches, the CLI) into a
+routing tier over remote shard workers with zero changes above this
+line.
+
+Failure semantics at the protocol boundary:
+
+* an id no replica holds raises ``KeyError`` (so ``Psp.stored`` keeps
+  mapping it to its usual :class:`~repro.util.errors.ReproError`);
+* a read where every replica served damaged bytes still *returns* (the
+  salvage decoder upstream gets its chance) — ``last_read_clean``
+  records the verdict for callers that care;
+* a cluster with no reachable replica at all raises
+  :class:`~repro.util.errors.ClusterError`, which is **not** retriable
+  client-side (:func:`repro.robustness.is_retriable`): by then the
+  client has already exhausted failover.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List
+
+from repro.cluster.client import ClusterClient
+from repro.core.psp import StoredImage
+
+
+class ClusterStore:
+    """Store-protocol facade over a replicated worker fleet."""
+
+    def __init__(self, client: ClusterClient) -> None:
+        self.client = client
+        self._lock = threading.Lock()
+        self._last_read_clean = True
+
+    @property
+    def last_read_clean(self) -> bool:
+        """Whether the most recent ``get`` passed content-CRC checks."""
+        with self._lock:
+            return self._last_read_clean
+
+    # ------------------------------------------------------------------
+    # Backend protocol
+    # ------------------------------------------------------------------
+    def get(self, image_id: str) -> StoredImage:
+        result = self.client.get(image_id)  # raises KeyError when unknown
+        with self._lock:
+            self._last_read_clean = result.clean
+        return StoredImage(
+            encoded=result.record.encoded,
+            public_bytes=result.record.public_bytes,
+        )
+
+    def put_new(self, image_id: str, item: StoredImage) -> bool:
+        """Replicate iff absent; False when any replica already has it."""
+        return self.client.put(
+            image_id, item.encoded, item.public_bytes, overwrite=False
+        )
+
+    def ids(self) -> List[str]:
+        return self.client.ids()
+
+    def __contains__(self, image_id: str) -> bool:
+        return self.client.has(image_id)
+
+    def __len__(self) -> int:
+        return len(self.client.ids())

@@ -1,0 +1,211 @@
+"""Process supervision for the shard-worker fleet.
+
+The supervisor owns the worker *processes* — spawn, kill, restart —
+and nothing else: routing and repair stay in the client tier, so
+killing a worker here is a pure crash test, not a coordinated
+shutdown. Each worker binds an ephemeral port and reports it back
+through a queue; a restart reuses the worker's recorded port, so
+existing clients reconnect to a rejoined worker without any membership
+change (the hash ring never needs to move).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.faults import ClusterFaultInjector
+from repro.cluster.worker import run_worker
+from repro.util.errors import ClusterError, ReproError
+
+#: How long to wait for a spawned worker to report its bound port.
+SPAWN_TIMEOUT_S = 10.0
+
+
+@dataclass
+class WorkerHandle:
+    """One supervised worker process and how to reach/respawn it."""
+
+    worker_id: str
+    process: multiprocessing.process.BaseProcess
+    host: str
+    port: int
+    faults: Optional[ClusterFaultInjector]
+    chaos_ops: bool
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class ClusterSupervisor:
+    """Spawns ``n_workers`` shard processes and hands out endpoints.
+
+    ``faults`` maps worker id (``"w0"``, ``"w1"``, ...) to the
+    :class:`ClusterFaultInjector` that worker should run with; workers
+    not in the map run clean. ``chaos_ops`` arms the ``MSG_CORRUPT``
+    stored-blob op on every worker (tests only). Use as a context
+    manager — ``stop()`` terminates the whole fleet.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 3,
+        host: str = "127.0.0.1",
+        faults: Optional[Dict[str, ClusterFaultInjector]] = None,
+        chaos_ops: bool = False,
+    ) -> None:
+        if n_workers < 1:
+            raise ReproError(
+                f"cluster needs at least one worker, got {n_workers}"
+            )
+        self.host = host
+        self.faults = dict(faults or {})
+        self.chaos_ops = chaos_ops
+        self._ctx = multiprocessing.get_context("fork")
+        self._workers: Dict[str, WorkerHandle] = {}
+        self._worker_ids = [f"w{i}" for i in range(n_workers)]
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ClusterSupervisor":
+        if self._started:
+            return self
+        for worker_id in self._worker_ids:
+            self._spawn(worker_id, port=0)
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        for handle in self._workers.values():
+            if handle.process.is_alive():
+                handle.process.terminate()
+        deadline = time.monotonic() + 5.0
+        for handle in self._workers.values():
+            handle.process.join(max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(1.0)
+        self._workers.clear()
+        self._started = False
+
+    def __enter__(self) -> "ClusterSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Spawn / kill / restart
+    # ------------------------------------------------------------------
+    def _spawn(self, worker_id: str, port: int) -> WorkerHandle:
+        port_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=run_worker,
+            args=(worker_id, port_queue),
+            kwargs={
+                "host": self.host,
+                "port": port,
+                "faults": self.faults.get(worker_id),
+                "chaos_ops": self.chaos_ops,
+            },
+            daemon=True,
+        )
+        process.start()
+        try:
+            reported_id, bound_port = port_queue.get(
+                timeout=SPAWN_TIMEOUT_S
+            )
+        except Exception as error:
+            process.terminate()
+            raise ClusterError(
+                f"worker {worker_id!r} did not report a port within "
+                f"{SPAWN_TIMEOUT_S}s"
+            ) from error
+        if reported_id != worker_id:
+            process.terminate()
+            raise ClusterError(
+                f"worker {worker_id!r} reported as {reported_id!r}"
+            )
+        handle = WorkerHandle(
+            worker_id=worker_id,
+            process=process,
+            host=self.host,
+            port=bound_port,
+            faults=self.faults.get(worker_id),
+            chaos_ops=self.chaos_ops,
+        )
+        self._workers[worker_id] = handle
+        return handle
+
+    def kill_worker(self, worker_id: str) -> None:
+        """Hard-kill one worker; its port stays reserved for rejoin."""
+        handle = self._handle(worker_id)
+        if handle.process.is_alive():
+            handle.process.kill()
+        handle.process.join(5.0)
+
+    def restart_worker(self, worker_id: str) -> None:
+        """Respawn a (dead) worker on its original port, storage empty.
+
+        Rejoining on the same port means clients reconnect without a
+        membership change; the fresh worker starts with *no* shards —
+        read-repair and :meth:`ClusterClient.drain_hints` refill it.
+        """
+        handle = self._handle(worker_id)
+        if handle.process.is_alive():
+            raise ClusterError(
+                f"worker {worker_id!r} is still running — kill it first"
+            )
+        # The old port sits in TIME_WAIT briefly; SO_REUSEADDR on the
+        # worker listener makes the rebind race-free, but give the OS a
+        # few tries in case the kernel is slow to release it.
+        last: Optional[BaseException] = None
+        for _ in range(20):
+            try:
+                self._spawn(worker_id, port=handle.port)
+                return
+            except ClusterError as error:
+                last = error
+                time.sleep(0.05)
+        raise ClusterError(
+            f"worker {worker_id!r} could not rebind port {handle.port}"
+        ) from last
+
+    def _handle(self, worker_id: str) -> WorkerHandle:
+        try:
+            return self._workers[worker_id]
+        except KeyError:
+            raise ClusterError(
+                f"unknown worker {worker_id!r}; fleet is "
+                f"{sorted(self._workers)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Introspection / client handout
+    # ------------------------------------------------------------------
+    @property
+    def worker_ids(self) -> Tuple[str, ...]:
+        return tuple(self._worker_ids)
+
+    def endpoints(self) -> Dict[str, Tuple[str, int]]:
+        return {
+            worker_id: (handle.host, handle.port)
+            for worker_id, handle in self._workers.items()
+        }
+
+    def alive(self) -> Dict[str, bool]:
+        return {
+            worker_id: handle.alive()
+            for worker_id, handle in self._workers.items()
+        }
+
+    def client(self, **kwargs: object) -> ClusterClient:
+        """A :class:`ClusterClient` wired to this fleet's endpoints."""
+        if not self._started:
+            raise ClusterError("cluster is not running — call start()")
+        return ClusterClient(self.endpoints(), **kwargs)  # type: ignore[arg-type]

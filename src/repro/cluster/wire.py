@@ -1,0 +1,358 @@
+"""The cluster wire protocol: length-prefixed, CRC-framed messages.
+
+Every message between a :class:`~repro.cluster.client.ClusterClient`
+and a shard worker travels as one ``RPCF`` frame, reusing the framing
+discipline of the RPJ1/RPPD containers (magic, explicit length, CRC32
+over the content — docs/FORMATS.md §4):
+
+```
+magic      4 bytes   "RPCF"
+type       u8        message type
+length     u32       payload length (little-endian)
+payload    length bytes
+crc        u32       CRC32 of type byte + payload
+```
+
+The CRC covers the type byte and the payload, so a bit flip anywhere
+after the length field is detected; a corrupted length field is caught
+by the sanity cap or by the CRC of whatever got sliced. A frame-level
+:class:`~repro.util.errors.IntegrityError` means *transit* damage —
+retriable, unlike a stored-content CRC mismatch, which routes to
+read-repair.
+
+Stored images cross the wire as :class:`ShardRecord`: the encoded image
+and public-parameter sidecar, each with the CRC32 the *writer* computed
+at upload time. Workers store the record verbatim; readers recompute the
+CRCs, so storage-side corruption on any single replica is detected end
+to end regardless of which hops the bytes took. The same
+string/bytes primitives back the RPPD container and the key-share
+records (``RPKS``) — see :mod:`repro.core.serialization`.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.serialization import pack_string, unpack_string
+from repro.util.errors import ClusterError, IntegrityError
+
+MAGIC = b"RPCF"
+HEADER = struct.Struct("<4sBI")  # magic, type, payload length
+CRC = struct.Struct("<I")
+#: Frames larger than this are rejected before allocation — a corrupted
+#: length field must not trigger a multi-gigabyte read.
+MAX_PAYLOAD = 64 << 20
+
+# Request types -------------------------------------------------------
+MSG_PUT = 0x01      # store a ShardRecord (flags bit0 = overwrite/repair)
+MSG_GET = 0x02      # fetch a ShardRecord
+MSG_HAS = 0x03      # membership probe
+MSG_IDS = 0x04      # list stored ids
+MSG_PING = 0x05     # health check + worker stats
+MSG_SCRUB = 0x06    # decode-verify a stored image worker-side
+MSG_CORRUPT = 0x07  # chaos op: damage a stored blob (tests only)
+
+# Response types ------------------------------------------------------
+MSG_OK = 0x10
+MSG_ERR = 0x11
+
+# MSG_ERR codes -------------------------------------------------------
+ERR_NOT_FOUND = 1
+ERR_EXISTS = 2
+ERR_BAD_REQUEST = 3
+ERR_INTERNAL = 4
+ERR_CHAOS_DISABLED = 5
+
+#: put flags
+FLAG_OVERWRITE = 0x01
+
+
+def _pack_bytes(blob: bytes) -> bytes:
+    return struct.pack("<I", len(blob)) + blob
+
+
+def _unpack_bytes(data: bytes, offset: int) -> Tuple[bytes, int]:
+    (length,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    if length > len(data) - offset:
+        raise IntegrityError(
+            f"wire payload claims {length} bytes but only "
+            f"{len(data) - offset} remain"
+        )
+    return data[offset : offset + length], offset + length
+
+
+@dataclass(frozen=True)
+class ShardRecord:
+    """One stored image as replicated across shard workers.
+
+    ``crc_encoded`` / ``crc_public`` are computed by the writer at
+    upload time and stored alongside the blobs; :meth:`verify` recomputes
+    them, so any replica serving silently-corrupted storage is caught by
+    the reader no matter how many hops the bytes survived intact.
+    """
+
+    encoded: bytes
+    public_bytes: bytes
+    crc_encoded: int
+    crc_public: int
+
+    @classmethod
+    def create(cls, encoded: bytes, public_bytes: bytes) -> "ShardRecord":
+        return cls(
+            encoded=bytes(encoded),
+            public_bytes=bytes(public_bytes),
+            crc_encoded=zlib.crc32(encoded) & 0xFFFFFFFF,
+            crc_public=zlib.crc32(public_bytes) & 0xFFFFFFFF,
+        )
+
+    def verify(self) -> bool:
+        """True iff both blobs still match their writer-time CRCs."""
+        return (
+            zlib.crc32(self.encoded) & 0xFFFFFFFF == self.crc_encoded
+            and zlib.crc32(self.public_bytes) & 0xFFFFFFFF
+            == self.crc_public
+        )
+
+    def pack(self) -> bytes:
+        return (
+            struct.pack("<II", self.crc_encoded, self.crc_public)
+            + _pack_bytes(self.encoded)
+            + _pack_bytes(self.public_bytes)
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes, offset: int = 0) -> Tuple["ShardRecord", int]:
+        crc_encoded, crc_public = struct.unpack_from("<II", data, offset)
+        offset += 8
+        encoded, offset = _unpack_bytes(data, offset)
+        public_bytes, offset = _unpack_bytes(data, offset)
+        return (
+            cls(
+                encoded=encoded,
+                public_bytes=public_bytes,
+                crc_encoded=crc_encoded,
+                crc_public=crc_public,
+            ),
+            offset,
+        )
+
+
+# ---------------------------------------------------------------------
+# Frame encode / decode
+# ---------------------------------------------------------------------
+def encode_frame(ftype: int, payload: bytes = b"") -> bytes:
+    """One complete wire frame for ``payload``."""
+    if len(payload) > MAX_PAYLOAD:
+        raise ClusterError(
+            f"wire payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte frame cap"
+        )
+    crc = zlib.crc32(bytes([ftype]) + payload) & 0xFFFFFFFF
+    return HEADER.pack(MAGIC, ftype, len(payload)) + payload + CRC.pack(crc)
+
+
+def decode_frame(data: bytes) -> Tuple[int, bytes]:
+    """Inverse of :func:`encode_frame` for a complete in-memory frame."""
+    if len(data) < HEADER.size + CRC.size:
+        raise IntegrityError(
+            f"wire frame too short ({len(data)} bytes) for header and CRC"
+        )
+    magic, ftype, length = HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise IntegrityError("bad magic — not an RPCF wire frame")
+    if length > MAX_PAYLOAD:
+        raise IntegrityError(
+            f"wire frame claims {length}-byte payload past the "
+            f"{MAX_PAYLOAD}-byte cap"
+        )
+    end = HEADER.size + length
+    if len(data) != end + CRC.size:
+        raise IntegrityError(
+            f"wire frame length mismatch: header claims {length} payload "
+            f"byte(s), frame holds {len(data) - HEADER.size - CRC.size}"
+        )
+    payload = data[HEADER.size : end]
+    (expected,) = CRC.unpack_from(data, end)
+    actual = zlib.crc32(bytes([ftype]) + payload) & 0xFFFFFFFF
+    if actual != expected:
+        raise IntegrityError(
+            f"wire frame CRC mismatch: stored {expected:#010x}, "
+            f"computed {actual:#010x} — the frame was corrupted in transit"
+        )
+    return ftype, payload
+
+
+def _read_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ``ConnectionError`` on EOF."""
+    chunks: List[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError(
+                f"peer closed mid-frame with {remaining} byte(s) missing"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Optional[Tuple[int, bytes]]:
+    """Read one frame from a socket; ``None`` on clean EOF at a boundary.
+
+    Raises :class:`~repro.util.errors.IntegrityError` on CRC/structure
+    damage and ``ConnectionError``/``socket.timeout`` on transport
+    failures.
+    """
+    first = sock.recv(1)
+    if not first:
+        return None
+    header = first + _read_exact(sock, HEADER.size - 1)
+    magic, ftype, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise IntegrityError("bad magic — not an RPCF wire frame")
+    if length > MAX_PAYLOAD:
+        raise IntegrityError(
+            f"wire frame claims {length}-byte payload past the "
+            f"{MAX_PAYLOAD}-byte cap"
+        )
+    rest = _read_exact(sock, length + CRC.size)
+    return decode_frame(header + rest)
+
+
+def write_frame(sock: socket.socket, ftype: int, payload: bytes = b"") -> None:
+    sock.sendall(encode_frame(ftype, payload))
+
+
+# ---------------------------------------------------------------------
+# Message payloads
+# ---------------------------------------------------------------------
+def pack_put(image_id: str, record: ShardRecord, overwrite: bool) -> bytes:
+    flags = FLAG_OVERWRITE if overwrite else 0
+    return bytes([flags]) + pack_string(image_id) + record.pack()
+
+
+def unpack_put(payload: bytes) -> Tuple[str, ShardRecord, bool]:
+    flags = payload[0]
+    image_id, offset = unpack_string(payload, 1)
+    record, offset = ShardRecord.unpack(payload, offset)
+    _expect_end(payload, offset)
+    return image_id, record, bool(flags & FLAG_OVERWRITE)
+
+
+def pack_id(image_id: str) -> bytes:
+    return pack_string(image_id)
+
+
+def unpack_id(payload: bytes) -> str:
+    image_id, offset = unpack_string(payload, 0)
+    _expect_end(payload, offset)
+    return image_id
+
+
+def pack_corrupt(image_id: str, n_bits: int, seed: str) -> bytes:
+    return (
+        struct.pack("<H", n_bits) + pack_string(image_id) + pack_string(seed)
+    )
+
+
+def unpack_corrupt(payload: bytes) -> Tuple[str, int, str]:
+    (n_bits,) = struct.unpack_from("<H", payload, 0)
+    image_id, offset = unpack_string(payload, 2)
+    seed, offset = unpack_string(payload, offset)
+    _expect_end(payload, offset)
+    return image_id, n_bits, seed
+
+
+def pack_record_response(record: ShardRecord) -> bytes:
+    return record.pack()
+
+
+def unpack_record_response(payload: bytes) -> ShardRecord:
+    record, offset = ShardRecord.unpack(payload, 0)
+    _expect_end(payload, offset)
+    return record
+
+
+def pack_bool(value: bool) -> bytes:
+    return b"\x01" if value else b"\x00"
+
+
+def unpack_bool(payload: bytes) -> bool:
+    if len(payload) != 1:
+        raise IntegrityError("boolean response must be exactly one byte")
+    return payload != b"\x00"
+
+
+def pack_ids(ids: List[str]) -> bytes:
+    return struct.pack("<I", len(ids)) + b"".join(
+        pack_string(one) for one in ids
+    )
+
+
+def unpack_ids(payload: bytes) -> List[str]:
+    (count,) = struct.unpack_from("<I", payload, 0)
+    offset = 4
+    ids = []
+    for _ in range(count):
+        image_id, offset = unpack_string(payload, offset)
+        ids.append(image_id)
+    _expect_end(payload, offset)
+    return ids
+
+
+def pack_ping_response(
+    worker_id: str, items: int, served: int, uptime_s: float
+) -> bytes:
+    return (
+        pack_string(worker_id)
+        + struct.pack("<IQd", items, served, uptime_s)
+    )
+
+
+def unpack_ping_response(payload: bytes) -> Dict[str, object]:
+    worker_id, offset = unpack_string(payload, 0)
+    items, served, uptime_s = struct.unpack_from("<IQd", payload, offset)
+    offset += struct.calcsize("<IQd")
+    _expect_end(payload, offset)
+    return {
+        "worker_id": worker_id,
+        "items": items,
+        "served": served,
+        "uptime_s": uptime_s,
+    }
+
+
+def pack_scrub_response(clean: bool, detail: str) -> bytes:
+    return pack_bool(clean) + pack_string(detail)
+
+
+def unpack_scrub_response(payload: bytes) -> Tuple[bool, str]:
+    clean = payload[:1] != b"\x00"
+    detail, offset = unpack_string(payload, 1)
+    _expect_end(payload, offset)
+    return clean, detail
+
+
+def pack_error(code: int, message: str) -> bytes:
+    return bytes([code]) + pack_string(message)
+
+
+def unpack_error(payload: bytes) -> Tuple[int, str]:
+    code = payload[0]
+    message, offset = unpack_string(payload, 1)
+    _expect_end(payload, offset)
+    return code, message
+
+
+def _expect_end(payload: bytes, offset: int) -> None:
+    if offset != len(payload):
+        raise IntegrityError(
+            f"{len(payload) - offset} trailing byte(s) after the wire "
+            f"message — duplicated or spliced payload"
+        )

@@ -1,0 +1,342 @@
+"""A shard worker: one process serving one slice of the replicated store.
+
+Each worker owns an in-memory :class:`ShardStorage` of
+:class:`~repro.cluster.wire.ShardRecord` entries and serves the RPCF
+wire protocol over a listening TCP socket, one handler thread per
+client connection. Workers are deliberately dumb: no routing, no
+replication logic, no awareness of each other — placement and repair
+live entirely in the client tier, so a worker crash is survivable by
+construction (its shards exist on ``replication - 1`` other workers).
+
+``run_worker`` is the process entry point used by
+:class:`~repro.cluster.supervisor.ClusterSupervisor`; it reports its
+bound port back through a queue so the supervisor can hand real
+endpoints to clients. Chaos hooks (a
+:class:`~repro.cluster.faults.ClusterFaultInjector` plus the
+``MSG_CORRUPT`` stored-blob op) are only active when the worker is
+spawned with them — a production-shaped cluster runs with both off.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.cluster.faults import ClusterFaultInjector
+from repro.cluster.wire import (
+    ERR_BAD_REQUEST,
+    ERR_CHAOS_DISABLED,
+    ERR_EXISTS,
+    ERR_INTERNAL,
+    ERR_NOT_FOUND,
+    MSG_CORRUPT,
+    MSG_ERR,
+    MSG_GET,
+    MSG_HAS,
+    MSG_IDS,
+    MSG_OK,
+    MSG_PING,
+    MSG_PUT,
+    MSG_SCRUB,
+    ShardRecord,
+    encode_frame,
+    pack_bool,
+    pack_error,
+    pack_ids,
+    pack_ping_response,
+    pack_record_response,
+    pack_scrub_response,
+    read_frame,
+    unpack_corrupt,
+    unpack_id,
+    unpack_put,
+)
+from repro.util.errors import IntegrityError, ReproError
+from repro.util.rng import derive_rng
+
+
+class ShardStorage:
+    """The worker's thread-safe id → :class:`ShardRecord` map."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: Dict[str, ShardRecord] = {}
+
+    def get(self, image_id: str) -> Optional[ShardRecord]:
+        with self._lock:
+            return self._items.get(image_id)
+
+    def put(
+        self, image_id: str, record: ShardRecord, overwrite: bool
+    ) -> bool:
+        """Insert (or, with ``overwrite``, replace); False when blocked."""
+        with self._lock:
+            if not overwrite and image_id in self._items:
+                return False
+            self._items[image_id] = record
+            return True
+
+    def ids(self) -> List[str]:
+        with self._lock:
+            return list(self._items)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def corrupt(self, image_id: str, n_bits: int, seed: str) -> bool:
+        """Chaos op: deterministically flip bits in the stored encoded
+        blob while *keeping* the writer-time CRC — exactly what silent
+        storage rot looks like to a reader."""
+        with self._lock:
+            record = self._items.get(image_id)
+            if record is None:
+                return False
+            rng = derive_rng(seed, "stored", image_id)
+            buf = bytearray(record.encoded)
+            positions = rng.integers(0, len(buf) * 8, size=max(1, n_bits))
+            for pos in positions.tolist():
+                buf[pos // 8] ^= 1 << (pos % 8)
+            self._items[image_id] = ShardRecord(
+                encoded=bytes(buf),
+                public_bytes=record.public_bytes,
+                crc_encoded=record.crc_encoded,
+                crc_public=record.crc_public,
+            )
+            return True
+
+
+class ShardWorker:
+    """The serving loop. Instantiate and :meth:`serve` inside a process."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        faults: Optional[ClusterFaultInjector] = None,
+        chaos_ops: bool = False,
+    ) -> None:
+        self.worker_id = worker_id
+        self.host = host
+        self.storage = ShardStorage()
+        self.faults = faults
+        self.chaos_ops = chaos_ops
+        self.started = time.monotonic()
+        self._served = 0
+        self._data_requests = 0
+        self._count_lock = threading.Lock()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(
+            socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+        )
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self.port = self._listener.getsockname()[1]
+
+    # ------------------------------------------------------------------
+    # Accept loop
+    # ------------------------------------------------------------------
+    def serve(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed — shutting down
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    def close(self) -> None:
+        self._listener.close()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            while True:
+                try:
+                    frame = read_frame(conn)
+                except (ConnectionError, OSError):
+                    return
+                except IntegrityError as error:
+                    # A damaged *request* is unanswerable in-protocol
+                    # (we cannot trust any of its bytes): close so the
+                    # client retries on a fresh connection.
+                    self._try_send(
+                        conn,
+                        encode_frame(
+                            MSG_ERR,
+                            pack_error(ERR_BAD_REQUEST, str(error)),
+                        ),
+                    )
+                    return
+                if frame is None:
+                    return  # clean EOF
+                ftype, payload = frame
+                if not self._respond(conn, ftype, payload):
+                    return
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _respond(
+        self, conn: socket.socket, ftype: int, payload: bytes
+    ) -> bool:
+        """Handle one request; False ends the connection (fault drop)."""
+        with self._count_lock:
+            self._served += 1
+            if ftype in (MSG_GET, MSG_SCRUB):
+                self._data_requests += 1
+            data_count = self._data_requests
+        try:
+            reply = self._handle(ftype, payload)
+        except (ReproError, struct.error, IndexError, ValueError,
+                UnicodeDecodeError) as error:
+            reply = encode_frame(
+                MSG_ERR, pack_error(ERR_BAD_REQUEST, str(error))
+            )
+        except Exception as error:  # never kill the connection silently
+            reply = encode_frame(
+                MSG_ERR, pack_error(ERR_INTERNAL, repr(error))
+            )
+
+        if self.faults is not None and ftype in (MSG_GET, MSG_SCRUB):
+            if self.faults.delays(data_count):
+                time.sleep(self.faults.delay_s)
+            if self.faults.drops(data_count):
+                return False  # hang up instead of answering
+            if self.faults.corrupts(data_count):
+                reply = self.faults.corrupt_frame(
+                    reply, f"{self.worker_id}/{data_count}"
+                )
+        return self._try_send(conn, reply)
+
+    @staticmethod
+    def _try_send(conn: socket.socket, frame: bytes) -> bool:
+        try:
+            conn.sendall(frame)
+            return True
+        except OSError:
+            return False
+
+    def _handle(self, ftype: int, payload: bytes) -> bytes:
+        if ftype == MSG_PUT:
+            image_id, record, overwrite = unpack_put(payload)
+            created = self.storage.put(image_id, record, overwrite)
+            if not created and not overwrite:
+                return encode_frame(
+                    MSG_ERR,
+                    pack_error(
+                        ERR_EXISTS, f"image id {image_id!r} already stored"
+                    ),
+                )
+            return encode_frame(MSG_OK, pack_bool(created))
+        if ftype == MSG_GET:
+            image_id = unpack_id(payload)
+            record = self.storage.get(image_id)
+            if record is None:
+                return self._not_found(image_id)
+            return encode_frame(MSG_OK, pack_record_response(record))
+        if ftype == MSG_HAS:
+            image_id = unpack_id(payload)
+            return encode_frame(
+                MSG_OK, pack_bool(self.storage.get(image_id) is not None)
+            )
+        if ftype == MSG_IDS:
+            return encode_frame(MSG_OK, pack_ids(self.storage.ids()))
+        if ftype == MSG_PING:
+            return encode_frame(
+                MSG_OK,
+                pack_ping_response(
+                    self.worker_id,
+                    len(self.storage),
+                    self._served,
+                    time.monotonic() - self.started,
+                ),
+            )
+        if ftype == MSG_SCRUB:
+            return self._scrub(unpack_id(payload))
+        if ftype == MSG_CORRUPT:
+            if not self.chaos_ops:
+                return encode_frame(
+                    MSG_ERR,
+                    pack_error(
+                        ERR_CHAOS_DISABLED,
+                        "chaos ops are disabled on this worker",
+                    ),
+                )
+            image_id, n_bits, seed = unpack_corrupt(payload)
+            if not self.storage.corrupt(image_id, n_bits, seed):
+                return self._not_found(image_id)
+            return encode_frame(MSG_OK, pack_bool(True))
+        return encode_frame(
+            MSG_ERR,
+            pack_error(ERR_BAD_REQUEST, f"unknown message type {ftype:#x}"),
+        )
+
+    @staticmethod
+    def _not_found(image_id: str) -> bytes:
+        return encode_frame(
+            MSG_ERR,
+            pack_error(ERR_NOT_FOUND, f"unknown image id {image_id!r}"),
+        )
+
+    def _scrub(self, image_id: str) -> bytes:
+        """Worker-side integrity scrub: CRC + full entropy decode.
+
+        This is the cluster's CPU-bound serving op — the codec tier
+        running where the bytes live, so adding workers adds decode
+        throughput (the near-linear-scaling path the loadgen measures).
+        """
+        from repro.jpeg.codec import decode_image
+        from repro.util.errors import CodecError
+
+        record = self.storage.get(image_id)
+        if record is None:
+            return self._not_found(image_id)
+        if not record.verify():
+            return encode_frame(
+                MSG_OK,
+                pack_scrub_response(False, "stored CRC mismatch"),
+            )
+        try:
+            image = decode_image(record.encoded)
+        except CodecError as error:
+            return encode_frame(
+                MSG_OK, pack_scrub_response(False, f"decode: {error}")
+            )
+        return encode_frame(
+            MSG_OK,
+            pack_scrub_response(
+                True, f"{image.width}x{image.height}"
+            ),
+        )
+
+
+def run_worker(
+    worker_id: str,
+    port_queue,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    faults: Optional[ClusterFaultInjector] = None,
+    chaos_ops: bool = False,
+) -> None:
+    """Process entry point: bind, report the port, serve forever."""
+    import signal
+
+    # Ctrl-C belongs to the supervisor: it reaps the fleet with
+    # terminate(), so a propagated SIGINT here would only produce a
+    # KeyboardInterrupt traceback mid-shutdown.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    worker = ShardWorker(
+        worker_id, host=host, port=port, faults=faults, chaos_ops=chaos_ops
+    )
+    if port_queue is not None:
+        port_queue.put((worker_id, worker.port))
+    worker.serve()

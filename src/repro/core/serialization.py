@@ -37,6 +37,92 @@ MAGIC = b"RPPD"
 MAGIC_COMPRESSED = b"RPPZ"
 #: Trailing integrity frame: CRC32 of the uncompressed body (4 bytes).
 CRC_BYTES = 4
+#: Reserved magics for framed key-share records (threshold key splitting):
+#: same ``magic + body + crc32`` / deflated-twin discipline as RPPD/RPPZ.
+KEY_SHARE_MAGIC = b"RPKS"
+KEY_SHARE_MAGIC_COMPRESSED = b"RPKZ"
+
+
+def frame_record(
+    magic: bytes,
+    body: bytes,
+    compressed_magic: Optional[bytes] = None,
+    level: int = 6,
+) -> bytes:
+    """Wrap ``body`` in the repo-wide CRC framing discipline.
+
+    Emits ``magic + body + crc32(body)`` — or, when ``compressed_magic``
+    is given and deflate wins, ``compressed_magic + zlib(body + crc)``.
+    The CRC always covers the *uncompressed* body, so both variants
+    verify identically after inflation. Every framed container in the
+    system (RPPD/RPPZ public data, RPKS key shares, the RPCF cluster
+    wire frames) shares this shape; :func:`unframe_record` is the
+    inverse.
+    """
+    if len(magic) != 4:
+        raise ValueError(f"record magic must be 4 bytes, got {magic!r}")
+    framed = body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+    raw = magic + framed
+    if compressed_magic is None:
+        return raw
+    compressed = compressed_magic + zlib.compress(framed, level)
+    return compressed if len(compressed) < len(raw) else raw
+
+
+def unframe_record(
+    data: bytes,
+    magic: bytes,
+    compressed_magic: Optional[bytes] = None,
+    what: str = "record",
+) -> bytes:
+    """Strip magic + CRC framing; return the verified uncompressed body.
+
+    Raises :class:`~repro.util.errors.IntegrityError` on any malformed
+    input: wrong magic, CRC mismatch, truncation, non-inflating or
+    spliced compressed payloads.
+    """
+    if len(data) < 4 + CRC_BYTES:
+        raise IntegrityError(
+            f"{what} too short ({len(data)} bytes) to hold magic and CRC"
+        )
+    if compressed_magic is not None and data[:4] == compressed_magic:
+        # zlib.decompress() silently ignores bytes after the stream end,
+        # so use a decompressobj to catch spliced/duplicated records.
+        inflater = zlib.decompressobj()
+        try:
+            framed = inflater.decompress(data[4:])
+            framed += inflater.flush()
+        except zlib.error as error:
+            raise IntegrityError(
+                f"{compressed_magic.decode('ascii', 'replace')} payload "
+                f"does not inflate: {error}"
+            ) from error
+        if not inflater.eof:
+            raise IntegrityError(
+                f"{compressed_magic.decode('ascii', 'replace')} payload "
+                f"is an incomplete stream"
+            )
+        if inflater.unused_data:
+            raise IntegrityError(
+                f"{len(inflater.unused_data)} trailing byte(s) after the "
+                f"{compressed_magic.decode('ascii', 'replace')} stream — "
+                f"duplicated or spliced record"
+            )
+    elif data[:4] == magic:
+        framed = data[4:]
+    else:
+        raise IntegrityError(f"bad magic — not a framed {what}")
+    if len(framed) < CRC_BYTES:
+        raise IntegrityError(f"{what} body shorter than its CRC frame")
+    body, crc_bytes = framed[:-CRC_BYTES], framed[-CRC_BYTES:]
+    (expected,) = struct.unpack("<I", crc_bytes)
+    actual = zlib.crc32(body) & 0xFFFFFFFF
+    if actual != expected:
+        raise IntegrityError(
+            f"{what} CRC mismatch: stored {expected:#010x}, "
+            f"computed {actual:#010x} — the record was corrupted"
+        )
+    return body
 
 _SCHEME_CODES = {
     "puppies-n": 0,
@@ -58,6 +144,11 @@ def _unpack_string(data: bytes, offset: int) -> Tuple[str, int]:
     (length,) = struct.unpack_from("<H", data, offset)
     offset += 2
     return data[offset : offset + length].decode("utf-8"), offset + length
+
+
+#: Public aliases — the cluster wire protocol shares these primitives.
+pack_string = _pack_string
+unpack_string = _unpack_string
 
 
 def _pack_masks(masks: List[np.ndarray]) -> bytes:
@@ -188,55 +279,18 @@ def serialize_public_data(public: ImagePublicData) -> bytes:
     for region in public.regions:
         parts.append(_pack_region(region))
     body = b"".join(parts)[4:]
-    body += struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
-    raw = MAGIC + body
     # The mask bitmaps are sparse; deflate wins big and costs little.
-    compressed = MAGIC_COMPRESSED + zlib.compress(body, 6)
-    return compressed if len(compressed) < len(raw) else raw
+    return frame_record(MAGIC, body, compressed_magic=MAGIC_COMPRESSED)
 
 
 def _unframe(data: bytes) -> bytes:
     """Strip magic + CRC framing; return the verified uncompressed body."""
-    if len(data) < 4 + CRC_BYTES:
-        raise IntegrityError(
-            f"public-data record too short ({len(data)} bytes) to hold "
-            f"magic and CRC"
-        )
-    if data[:4] == MAGIC_COMPRESSED:
-        # zlib.decompress() silently ignores bytes after the stream end,
-        # so use a decompressobj to catch spliced/duplicated records.
-        inflater = zlib.decompressobj()
-        try:
-            framed = inflater.decompress(data[4:])
-            framed += inflater.flush()
-        except zlib.error as error:
-            raise IntegrityError(
-                f"RPPZ payload does not inflate: {error}"
-            ) from error
-        if not inflater.eof:
-            raise IntegrityError("RPPZ payload is an incomplete stream")
-        if inflater.unused_data:
-            raise IntegrityError(
-                f"{len(inflater.unused_data)} trailing byte(s) after the "
-                f"RPPZ stream — duplicated or spliced record"
-            )
-    elif data[:4] == MAGIC:
-        framed = data[4:]
-    else:
-        raise IntegrityError(
-            "bad magic — not an RPPD/RPPZ public-data record"
-        )
-    if len(framed) < CRC_BYTES:
-        raise IntegrityError("public-data body shorter than its CRC frame")
-    body, crc_bytes = framed[:-CRC_BYTES], framed[-CRC_BYTES:]
-    (expected,) = struct.unpack("<I", crc_bytes)
-    actual = zlib.crc32(body) & 0xFFFFFFFF
-    if actual != expected:
-        raise IntegrityError(
-            f"public-data CRC mismatch: stored {expected:#010x}, "
-            f"computed {actual:#010x} — the record was corrupted"
-        )
-    return body
+    return unframe_record(
+        data,
+        MAGIC,
+        compressed_magic=MAGIC_COMPRESSED,
+        what="public-data record",
+    )
 
 
 def deserialize_public_data(data: bytes) -> ImagePublicData:

@@ -27,19 +27,23 @@ from repro.robustness.faults import (
     profile_from_name,
 )
 from repro.robustness.resilient import (
+    RETRIABLE_ERRORS,
     Backoff,
     RecoveryReport,
     ResilientClient,
+    is_retriable,
 )
 
 __all__ = [
     "FAULT_KINDS",
     "PROFILES",
+    "RETRIABLE_ERRORS",
     "Backoff",
     "FaultInjector",
     "FaultProfile",
     "FaultyPsp",
     "RecoveryReport",
     "ResilientClient",
+    "is_retriable",
     "profile_from_name",
 ]

@@ -22,6 +22,7 @@ nothing but the CRC checks.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Mapping, Optional, Sequence
@@ -41,25 +42,77 @@ from repro.jpeg.codec import SalvageResult, decode_image
 from repro.jpeg.coefficients import CoefficientImage
 from repro.util.errors import (
     CodecError,
+    DeadlineExceededError,
     IntegrityError,
     RecoveryError,
     ReproError,
+    ServiceOverloadedError,
     TransientError,
 )
+
+#: Errors worth retrying: the request may succeed verbatim on a later
+#: attempt because the failure was a property of the *moment* (an outage,
+#: a full queue, a missed deadline), not of the data.
+RETRIABLE_ERRORS = (
+    TransientError,
+    ServiceOverloadedError,
+    DeadlineExceededError,
+    TimeoutError,  # socket.timeout is an alias since Python 3.10
+)
+
+
+def is_retriable(error: BaseException) -> bool:
+    """Should a client retry the same request after this error?
+
+    Retriable: :class:`TransientError`, :class:`ServiceOverloadedError`,
+    :class:`DeadlineExceededError`, and plain timeouts — the failure is
+    momentary. Non-retriable: everything else, and explicitly
+    :class:`IntegrityError` — the stored bytes themselves are damaged, so
+    retrying re-reads the same corruption; the right move is read-repair
+    from a replica (:mod:`repro.cluster`) or the salvage decoder.
+    """
+    if isinstance(error, IntegrityError):
+        return False
+    return isinstance(error, RETRIABLE_ERRORS)
 
 
 @dataclass(frozen=True)
 class Backoff:
-    """Capped exponential backoff schedule (delays in seconds)."""
+    """Capped exponential backoff schedule with full jitter.
+
+    ``ceiling(attempt)`` is the classic capped exponential
+    ``min(cap, base * factor**(attempt-1))``; ``delay(attempt)`` draws
+    uniformly from ``[0, ceiling]`` (AWS-style *full jitter*) so K
+    clients that failed together do not retry together and re-flatten a
+    recovering server. ``rng`` is injectable (`random.Random`-shaped) and
+    seedable, so tests are deterministic without real sleeping; pass
+    ``jitter=False`` for the bare deterministic schedule.
+    """
 
     base: float = 0.05
     factor: float = 2.0
     cap: float = 1.0
     max_retries: int = 4
+    jitter: bool = True
+    rng: Optional[random.Random] = field(
+        default=None, compare=False, repr=False
+    )
 
-    def delay(self, attempt: int) -> float:
-        """Delay before retry ``attempt`` (1-based)."""
+    def ceiling(self, attempt: int) -> float:
+        """Upper bound of the delay before retry ``attempt`` (1-based)."""
         return min(self.cap, self.base * self.factor ** (attempt - 1))
+
+    def delay(self, attempt: int, floor: float = 0.0) -> float:
+        """Delay before retry ``attempt`` (1-based).
+
+        ``floor`` lifts the draw's lower bound — pass a server-supplied
+        ``retry_after`` hint so jitter never undercuts it.
+        """
+        ceiling = self.ceiling(attempt)
+        if not self.jitter:
+            return max(ceiling, floor)
+        rng = self.rng if self.rng is not None else random
+        return rng.uniform(floor, max(ceiling, floor))
 
 
 @dataclass
@@ -122,7 +175,9 @@ class ResilientClient:
             attempts += 1
             try:
                 return self.psp.stored(image_id), attempts
-            except TransientError as error:
+            except ReproError as error:
+                if not is_retriable(error):
+                    raise
                 retry = attempts  # retry #1 after the first failure
                 if retry > self.backoff.max_retries:
                     obs.event(
@@ -132,7 +187,8 @@ class ResilientClient:
                         f"download of {image_id!r} still failing after "
                         f"{attempts} attempt(s): {error}"
                     ) from error
-                delay_s = self.backoff.delay(retry)
+                hint = getattr(error, "retry_after", None) or 0.0
+                delay_s = self.backoff.delay(retry, floor=hint)
                 obs.event(
                     "resilient.retry", attempt=retry, delay_s=delay_s
                 )

@@ -37,7 +37,8 @@ from __future__ import annotations
 
 import copy
 import threading
-from concurrent.futures import ThreadPoolExecutor
+import time
+from concurrent.futures import CancelledError, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -108,13 +109,27 @@ class PspService:
         self._admit_lock = threading.Lock()
         self._pending = 0
         self._closed = False
+        #: EWMA of request wall time (s) — feeds the ``retry_after`` hint.
+        self._latency_ewma = 0.0
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        self._closed = True
-        self._executor.shutdown(wait=True)
+    def close(self, drain: bool = True) -> None:
+        """Shut the service down. Safe to call any number of times.
+
+        ``drain=True`` (the default) lets already-admitted requests run
+        to completion; ``drain=False`` cancels whatever is still queued —
+        callers blocked on a cancelled request get a clear
+        :class:`~repro.util.errors.ServiceError` (never a bare executor
+        ``RuntimeError`` or ``CancelledError``). Requests already
+        executing finish either way.
+        """
+        with self._admit_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._executor.shutdown(wait=drain, cancel_futures=not drain)
 
     def __enter__(self) -> "PspService":
         return self
@@ -135,6 +150,11 @@ class PspService:
         with self._admit_lock:
             self._pending -= 1
 
+    def _retry_after_hint(self, depth: int) -> float:
+        """Seconds a shed client should wait: roughly one queue drain."""
+        per_request = self._latency_ewma or 0.005
+        return min(2.0, max(0.005, per_request * depth / self.workers))
+
     def _submit(
         self,
         op: str,
@@ -148,9 +168,12 @@ class PspService:
         with self._admit_lock:
             if self._pending >= self.queue_cap:
                 obs.counter("service.rejected", op=op)
+                hint = self._retry_after_hint(self._pending)
                 raise ServiceOverloadedError(
                     f"{self.name}: {self._pending} request(s) in flight "
-                    f">= queue cap {self.queue_cap}; retry later"
+                    f">= queue cap {self.queue_cap}; retry in "
+                    f"~{hint:.3f}s",
+                    retry_after=hint,
                 )
             self._pending += 1
             depth = self._pending
@@ -159,8 +182,17 @@ class PspService:
         )
 
         def run() -> Any:
-            with obs.span("service.request", op=op, image_id=image_id):
-                return fn()
+            start = time.perf_counter()
+            try:
+                with obs.span("service.request", op=op, image_id=image_id):
+                    return fn()
+            finally:
+                elapsed = time.perf_counter() - start
+                # Benign data race: a torn EWMA update only skews a hint.
+                self._latency_ewma = (
+                    elapsed if self._latency_ewma == 0.0
+                    else 0.8 * self._latency_ewma + 0.2 * elapsed
+                )
 
         try:
             future = self._executor.submit(run)
@@ -176,6 +208,12 @@ class PspService:
             obs.counter("service.timeout", op=op)
             raise DeadlineExceededError(
                 f"{op} for {image_id!r} exceeded its {deadline}s deadline"
+            ) from None
+        except CancelledError:
+            # close(drain=False) cancelled the queued request.
+            raise ServiceError(
+                f"service {self.name!r} closed while {op} for "
+                f"{image_id!r} was queued"
             ) from None
 
     # ------------------------------------------------------------------

@@ -58,8 +58,14 @@ class ServiceOverloadedError(ServiceError):
 
     Retryable by construction — the service sheds load instead of
     queueing unboundedly, so a backoff-and-retry client will get through
-    once the burst drains.
+    once the burst drains. ``retry_after`` (seconds, or ``None`` when the
+    service cannot estimate) hints how long the caller should wait before
+    retrying; backoff schedules should treat it as a floor.
     """
+
+    def __init__(self, message: str, retry_after=None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class DeadlineExceededError(ServiceError):
@@ -67,6 +73,16 @@ class DeadlineExceededError(ServiceError):
 
     The work may still finish on the server side; the caller's wait is
     what timed out.
+    """
+
+
+class ClusterError(ServiceError):
+    """The replicated PSP cluster (:mod:`repro.cluster`) failed a request.
+
+    Raised when no replica could serve — every node in the preference
+    list was down, misbehaving, or exhausted its retry budget. Single-
+    replica failures never surface as this: they are absorbed by
+    failover, hedging, and read-repair.
     """
 
 

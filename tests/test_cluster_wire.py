@@ -1,0 +1,258 @@
+"""Unit tests for the RPCF wire protocol and the consistent-hash ring.
+
+No processes, no real sockets (socketpairs only) — these run in tier 1
+alongside the serialization tests they mirror.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, ring_hash
+from repro.cluster.wire import (
+    HEADER,
+    MAX_PAYLOAD,
+    MSG_ERR,
+    MSG_GET,
+    MSG_OK,
+    MSG_PUT,
+    ShardRecord,
+    decode_frame,
+    encode_frame,
+    pack_corrupt,
+    pack_error,
+    pack_id,
+    pack_ids,
+    pack_ping_response,
+    pack_put,
+    pack_scrub_response,
+    read_frame,
+    unpack_corrupt,
+    unpack_error,
+    unpack_id,
+    unpack_ids,
+    unpack_ping_response,
+    unpack_put,
+    unpack_scrub_response,
+    write_frame,
+)
+from repro.util.errors import ClusterError, IntegrityError
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        frame = encode_frame(MSG_GET, b"hello cluster")
+        assert decode_frame(frame) == (MSG_GET, b"hello cluster")
+
+    def test_empty_payload_roundtrip(self):
+        assert decode_frame(encode_frame(MSG_OK)) == (MSG_OK, b"")
+
+    def test_every_flipped_bit_is_detected(self):
+        frame = encode_frame(MSG_GET, b"abc")
+        for byte_index in range(len(frame)):
+            for bit in range(8):
+                damaged = bytearray(frame)
+                damaged[byte_index] ^= 1 << bit
+                with pytest.raises(IntegrityError):
+                    decode_frame(bytes(damaged))
+
+    def test_truncated_frame_rejected(self):
+        frame = encode_frame(MSG_GET, b"abcdef")
+        for cut in range(1, len(frame)):
+            with pytest.raises(IntegrityError):
+                decode_frame(frame[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        frame = encode_frame(MSG_GET, b"abc")
+        with pytest.raises(IntegrityError):
+            decode_frame(frame + b"x")
+
+    def test_payload_cap_enforced_on_encode(self):
+        with pytest.raises(ClusterError):
+            encode_frame(MSG_PUT, b"\0" * (MAX_PAYLOAD + 1))
+
+    def test_corrupted_length_field_cannot_trigger_huge_read(self):
+        frame = bytearray(encode_frame(MSG_GET, b"abc"))
+        # Overwrite the u32 length with an absurd value.
+        frame[5:9] = (MAX_PAYLOAD + 1).to_bytes(4, "little")
+        with pytest.raises(IntegrityError):
+            decode_frame(bytes(frame))
+
+    def test_crc_covers_type_byte(self):
+        # Same payload, different type — swapping types must not pass.
+        frame = bytearray(encode_frame(MSG_GET, b"abc"))
+        frame[4] = MSG_PUT
+        with pytest.raises(IntegrityError):
+            decode_frame(bytes(frame))
+
+
+class TestSocketFraming:
+    def test_read_frame_roundtrip_and_clean_eof(self):
+        left, right = socket.socketpair()
+        try:
+            write_frame(left, MSG_GET, b"payload")
+            write_frame(left, MSG_OK, b"")
+            left.close()
+            assert read_frame(right) == (MSG_GET, b"payload")
+            assert read_frame(right) == (MSG_OK, b"")
+            assert read_frame(right) is None  # EOF at a frame boundary
+        finally:
+            right.close()
+
+    def test_mid_frame_eof_is_connection_error(self):
+        left, right = socket.socketpair()
+        try:
+            frame = encode_frame(MSG_GET, b"payload")
+            left.sendall(frame[: HEADER.size + 3])
+            left.close()
+            with pytest.raises(ConnectionError):
+                read_frame(right)
+        finally:
+            right.close()
+
+    def test_large_frame_streams_in_chunks(self):
+        blob = bytes(range(256)) * 4096  # 1 MiB
+        left, right = socket.socketpair()
+        received = {}
+
+        def reader():
+            received["frame"] = read_frame(right)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            write_frame(left, MSG_OK, blob)
+        finally:
+            left.close()
+        thread.join(10.0)
+        right.close()
+        assert received["frame"] == (MSG_OK, blob)
+
+
+class TestShardRecord:
+    def test_create_verifies(self):
+        record = ShardRecord.create(b"encoded-bytes", b"public-bytes")
+        assert record.verify()
+
+    def test_damage_fails_verify_but_unpacks(self):
+        record = ShardRecord.create(b"encoded-bytes", b"public-bytes")
+        rotten = ShardRecord(
+            encoded=b"encoded-byteZ",
+            public_bytes=record.public_bytes,
+            crc_encoded=record.crc_encoded,
+            crc_public=record.crc_public,
+        )
+        # Stored rot is NOT a wire error: the record still travels, the
+        # reader's verify() is what catches it (and routes to repair).
+        packed = rotten.pack()
+        unpacked, _ = ShardRecord.unpack(packed)
+        assert unpacked == rotten
+        assert not unpacked.verify()
+
+    def test_pack_unpack_roundtrip(self):
+        record = ShardRecord.create(b"\x00\xff" * 100, b"{}")
+        unpacked, offset = ShardRecord.unpack(record.pack())
+        assert unpacked == record
+        assert offset == len(record.pack())
+
+    def test_unpack_rejects_overlong_inner_length(self):
+        packed = bytearray(ShardRecord.create(b"abcd", b"ef").pack())
+        packed[8:12] = (1 << 30).to_bytes(4, "little")
+        with pytest.raises(IntegrityError):
+            ShardRecord.unpack(bytes(packed))
+
+
+class TestPayloads:
+    def test_put_roundtrip(self):
+        record = ShardRecord.create(b"enc", b"pub")
+        for overwrite in (False, True):
+            payload = pack_put("img-7", record, overwrite)
+            assert unpack_put(payload) == ("img-7", record, overwrite)
+
+    def test_id_roundtrip(self):
+        assert unpack_id(pack_id("img-é")) == "img-é"
+        with pytest.raises(IntegrityError):
+            unpack_id(pack_id("img-1") + b"trailing")
+
+    def test_ids_roundtrip(self):
+        ids = [f"img-{i}" for i in range(100)]
+        assert unpack_ids(pack_ids(ids)) == ids
+        assert unpack_ids(pack_ids([])) == []
+
+    def test_corrupt_roundtrip(self):
+        payload = pack_corrupt("img-1", 12, "seed-x")
+        assert unpack_corrupt(payload) == ("img-1", 12, "seed-x")
+
+    def test_ping_roundtrip(self):
+        payload = pack_ping_response("w3", 17, 12345, 6.5)
+        assert unpack_ping_response(payload) == {
+            "worker_id": "w3", "items": 17, "served": 12345,
+            "uptime_s": 6.5,
+        }
+
+    def test_scrub_roundtrip(self):
+        assert unpack_scrub_response(
+            pack_scrub_response(True, "64x48")
+        ) == (True, "64x48")
+        assert unpack_scrub_response(
+            pack_scrub_response(False, "stored CRC mismatch")
+        ) == (False, "stored CRC mismatch")
+
+    def test_error_roundtrip(self):
+        code, message = unpack_error(pack_error(3, "bad request"))
+        assert (code, message) == (3, "bad request")
+
+
+class TestRing:
+    def test_hash_is_stable_across_instances(self):
+        assert ring_hash("img-1") == ring_hash("img-1")
+        a = HashRing(["w0", "w1", "w2"])
+        b = HashRing(["w2", "w0", "w1"])  # construction order irrelevant
+        for key in (f"img-{i}" for i in range(50)):
+            assert a.preference(key, 2) == b.preference(key, 2)
+
+    def test_preference_distinct_workers(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        for i in range(100):
+            prefs = ring.preference(f"img-{i}", 3)
+            assert len(prefs) == len(set(prefs)) == 3
+
+    def test_preference_clamps_to_member_count(self):
+        ring = HashRing(["w0", "w1"])
+        assert sorted(ring.preference("img-1", 5)) == ["w0", "w1"]
+
+    def test_removal_moves_only_the_lost_replicas(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        before = {f"img-{i}": ring.preference(f"img-{i}", 2)
+                  for i in range(200)}
+        ring.remove_node("w3")
+        for key, old in before.items():
+            new = ring.preference(key, 2)
+            survivors = [worker for worker in old if worker != "w3"]
+            # Surviving replicas keep their relative order; only the
+            # slots w3 held get reassigned.
+            assert [w for w in new if w in survivors] == survivors
+
+    def test_distribution_is_roughly_balanced(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"], vnodes=DEFAULT_VNODES)
+        counts = {worker: 0 for worker in ring.nodes}
+        n = 2000
+        for i in range(n):
+            counts[ring.primary(f"img-{i}")] += 1
+        for worker, count in counts.items():
+            assert count > n / 16, (worker, counts)
+
+    def test_membership_errors(self):
+        from repro.util.errors import ReproError
+
+        ring = HashRing(["w0"])
+        with pytest.raises(ReproError):
+            ring.add_node("w0")
+        with pytest.raises(ReproError):
+            ring.remove_node("w9")
+        ring.remove_node("w0")
+        with pytest.raises(ReproError):
+            ring.preference("img-1", 1)

@@ -8,6 +8,8 @@ clean is bit-exact — and never lets a data fault escape as an uncaught
 exception.
 """
 
+import random
+
 import numpy as np
 import pytest
 
@@ -25,12 +27,15 @@ from repro.robustness import (
     FaultProfile,
     FaultyPsp,
     ResilientClient,
+    is_retriable,
     profile_from_name,
 )
 from repro.util.errors import (
+    DeadlineExceededError,
     IntegrityError,
     RecoveryError,
     ReproError,
+    ServiceOverloadedError,
     TransientError,
 )
 from repro.util.rect import Rect
@@ -147,9 +152,56 @@ class TestFaultyPsp:
 
 class TestBackoff:
     def test_capped_exponential_schedule(self):
-        backoff = Backoff(base=0.05, factor=2.0, cap=0.3, max_retries=6)
+        backoff = Backoff(
+            base=0.05, factor=2.0, cap=0.3, max_retries=6, jitter=False
+        )
         delays = [backoff.delay(n) for n in range(1, 7)]
         assert delays == [0.05, 0.1, 0.2, 0.3, 0.3, 0.3]
+
+    def test_full_jitter_stays_within_ceiling(self):
+        rng = random.Random(42)
+        backoff = Backoff(base=0.05, factor=2.0, cap=0.3, rng=rng)
+        for attempt in range(1, 8):
+            ceiling = backoff.ceiling(attempt)
+            for _ in range(50):
+                assert 0.0 <= backoff.delay(attempt) <= ceiling
+
+    def test_injected_rng_makes_jitter_deterministic(self):
+        draws_a = [
+            Backoff(rng=random.Random(7)).delay(n) for n in range(1, 5)
+        ]
+        draws_b = [
+            Backoff(rng=random.Random(7)).delay(n) for n in range(1, 5)
+        ]
+        assert draws_a == draws_b
+
+    def test_jitter_actually_spreads_concurrent_retries(self):
+        # The thundering-herd property: two clients retrying the same
+        # attempt draw different delays.
+        draws = {
+            round(Backoff(rng=random.Random(seed)).delay(3), 9)
+            for seed in range(16)
+        }
+        assert len(draws) > 1
+
+    def test_retry_after_floor_is_respected(self):
+        backoff = Backoff(
+            base=0.05, factor=2.0, cap=0.3, rng=random.Random(3)
+        )
+        for attempt in (1, 2, 3):
+            delay = backoff.delay(attempt, floor=0.25)
+            assert delay >= 0.25
+        assert Backoff(jitter=False).delay(1, floor=0.5) == 0.5
+
+    def test_error_classification(self):
+        assert is_retriable(TransientError("psp flaked"))
+        assert is_retriable(ServiceOverloadedError("queue full"))
+        assert is_retriable(DeadlineExceededError("too slow"))
+        assert is_retriable(TimeoutError("socket timeout"))
+        # Damaged bytes retry into the same damage: go to read-repair.
+        assert not is_retriable(IntegrityError("CRC mismatch"))
+        assert not is_retriable(ReproError("unknown image id"))
+        assert not is_retriable(ValueError("not even ours"))
 
     def test_transient_outage_recovers_without_real_sleep(self, protected):
         client, _psp, sleeps = _faulty_client(
@@ -158,7 +210,37 @@ class TestBackoff:
         report = client.fetch("img")
         assert report.fully_recovered
         assert report.attempts == 3
-        assert sleeps == [0.05, 0.1]  # injected clock: no real sleeping
+        # Injected clock: no real sleeping. Full jitter draws uniformly
+        # from [0, ceiling] per retry.
+        assert len(sleeps) == 2
+        assert 0.0 <= sleeps[0] <= 0.05
+        assert 0.0 <= sleeps[1] <= 0.1
+
+    def test_overload_retry_honors_retry_after_hint(self, protected):
+        _scheme, _o, perturbed, public, keys = protected
+
+        class OverloadedOncePsp:
+            def __init__(self, inner):
+                self.inner = inner
+                self.calls = 0
+
+            def stored(self, image_id):
+                self.calls += 1
+                if self.calls == 1:
+                    raise ServiceOverloadedError(
+                        "queue full", retry_after=0.2
+                    )
+                return self.inner.stored(image_id)
+
+        psp = Psp()
+        psp.upload("img", perturbed, public)
+        sleeps = []
+        client = ResilientClient(
+            OverloadedOncePsp(psp), keys, sleep=sleeps.append
+        )
+        report = client.fetch("img")
+        assert report.fully_recovered
+        assert sleeps and sleeps[0] >= 0.2  # hint floors the jitter
 
     def test_retry_budget_exhaustion_raises(self, protected):
         profile = FaultProfile("transient", transient_failures=99)

@@ -245,6 +245,79 @@ class TestSingleFlightLru:
         assert len(cache) == 0 and cache.current_bytes == 0
         assert cache.misses == 1  # stats survive
 
+    def test_concurrent_faulty_loader_fails_leader_and_every_waiter(self):
+        """One slow faulty leader: its error reaches all K callers, the
+        flight is cleaned up, and the next call gets a fresh loader."""
+        cache = SingleFlightLru(max_bytes=1 << 20, name="test")
+        n_threads = 6
+        loads = []
+        barrier = threading.Barrier(n_threads)
+        outcomes: list = [None] * n_threads
+
+        def faulty_loader():
+            loads.append(1)
+            time.sleep(0.2)  # waiters pile up behind the flight
+            raise TransientError(f"backend hiccup #{len(loads)}")
+
+        def caller(tid):
+            barrier.wait()
+            try:
+                outcomes[tid] = cache.get_or_load("cold", faulty_loader)
+            except TransientError as error:
+                outcomes[tid] = error
+
+        threads = [
+            threading.Thread(target=caller, args=(t,))
+            for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Exactly one loader ran; every caller saw its failure.
+        assert len(loads) == 1
+        assert all(
+            isinstance(outcome, TransientError)
+            and "hiccup #1" in str(outcome)
+            for outcome in outcomes
+        )
+        # Nothing cached, no flight leaked: a fresh call loads again.
+        assert len(cache) == 0
+        with pytest.raises(TransientError, match="hiccup #2"):
+            cache.get_or_load("cold", faulty_loader)
+        assert len(loads) == 2
+
+    def test_waiters_on_distinct_keys_fail_independently(self):
+        cache = SingleFlightLru(max_bytes=1 << 20, name="test")
+        go = threading.Barrier(2)
+        outcomes = {}
+
+        def make_loader(key):
+            def loader():
+                time.sleep(0.1)
+                if key == "bad":
+                    raise TransientError("bad key")
+                return np.arange(4)
+            return loader
+
+        def caller(key):
+            go.wait()
+            try:
+                outcomes[key] = cache.get_or_load(key, make_loader(key))
+            except TransientError as error:
+                outcomes[key] = error
+
+        threads = [
+            threading.Thread(target=caller, args=(key,))
+            for key in ("bad", "good")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert isinstance(outcomes["bad"], TransientError)
+        assert np.array_equal(outcomes["good"], np.arange(4))
+
 
 class TestCanonicalParams:
     def test_key_is_order_insensitive(self):
@@ -437,6 +510,130 @@ class TestPspService:
         perturbed, public = protected
         with pytest.raises(ReproError):
             service.upload("img", perturbed, public)
+
+
+class TestServiceClose:
+    def test_close_is_idempotent(self, protected):
+        perturbed, public = protected
+        service = PspService(workers=2)
+        service.upload("img", perturbed, public)
+        service.close()
+        service.close()  # second close is a no-op, not an error
+        service.close(drain=False)
+        with pytest.raises(ServiceError):
+            service.download("img")
+
+    def test_close_drains_inflight_requests(self, protected, monkeypatch):
+        perturbed, public = protected
+        real_decode = frontend_module.decode_image
+        started = threading.Event()
+
+        def slow_decode(encoded):
+            started.set()
+            time.sleep(0.3)
+            return real_decode(encoded)
+
+        monkeypatch.setattr(frontend_module, "decode_image", slow_decode)
+        service = PspService(workers=1)
+        service.upload("img", perturbed, public)
+        results = {}
+
+        def client():
+            results["image"] = service.download("img")
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        assert started.wait(5.0)
+        service.close(drain=True)  # in-flight work completes
+        thread.join(5.0)
+        assert results["image"].coefficients_equal(perturbed)
+
+    def test_close_without_drain_cancels_queued_requests(
+        self, protected, monkeypatch
+    ):
+        perturbed, public = protected
+        real_decode = frontend_module.decode_image
+        release = threading.Event()
+        started = threading.Event()
+
+        def stalling_decode(encoded):
+            started.set()
+            release.wait(5.0)
+            return real_decode(encoded)
+
+        monkeypatch.setattr(
+            frontend_module, "decode_image", stalling_decode
+        )
+        service = PspService(workers=1)
+        # Both uploads happen while the pool is still free — uploads are
+        # admitted through the same single worker the blocker stalls.
+        service.upload("img", perturbed, public)
+        service.upload("img2-queued", perturbed, public)
+        errors = {}
+
+        def blocker():
+            try:
+                service.download("img")
+            except ServiceError as error:
+                errors["blocker"] = error
+
+        def queued():
+            try:
+                service.download("img2-queued")
+            except ServiceError as error:
+                errors["queued"] = error
+
+        blocker_thread = threading.Thread(target=blocker, daemon=True)
+        blocker_thread.start()
+        assert started.wait(5.0)
+        # A second request now sits in the executor queue behind the
+        # stalled worker; close(drain=False) must cancel it with a
+        # clear error, not hang waiting for it.
+        queued_thread = threading.Thread(target=queued, daemon=True)
+        queued_thread.start()
+        while service.pending < 2:
+            time.sleep(0.01)
+        service.close(drain=False)
+        queued_thread.join(5.0)
+        assert not queued_thread.is_alive()
+        assert "closed while" in str(errors["queued"])
+        release.set()
+        blocker_thread.join(5.0)
+
+    def test_overload_error_carries_retry_after_hint(
+        self, protected, monkeypatch
+    ):
+        perturbed, public = protected
+        real_decode = frontend_module.decode_image
+        release = threading.Event()
+        started = threading.Event()
+
+        def stalling_decode(encoded):
+            started.set()
+            release.wait(5.0)
+            return real_decode(encoded)
+
+        monkeypatch.setattr(
+            frontend_module, "decode_image", stalling_decode
+        )
+        service = PspService(workers=1, queue_cap=1)
+        try:
+            service.upload("img", perturbed, public)
+            blocker_thread = threading.Thread(
+                target=lambda: service.download("img"), daemon=True
+            )
+            blocker_thread.start()
+            assert started.wait(5.0)
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                service.download("img")
+            # The shed request tells the client how long to back off —
+            # a positive, bounded hint derived from observed latency.
+            assert excinfo.value.retry_after is not None
+            assert 0.0 < excinfo.value.retry_after <= 2.0
+        finally:
+            release.set()
+            blocker_thread.join(5.0)
+            service.close()
 
 
 class TestServiceOverFaultyPsp:
