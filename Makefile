@@ -1,7 +1,7 @@
 # Convenience targets for the PuPPIeS reproduction.
 
 .PHONY: install test faults bench bench-quick loadgen-quick \
-	cluster-quick examples trace-demo clean all
+	cluster-quick obs-quick examples trace-demo clean all
 
 install:
 	pip install -e .
@@ -41,6 +41,21 @@ cluster-quick:
 	PYTHONPATH=src python -m repro.cli cluster loadgen --workers 2 \
 		--processes 2 --images 4 --requests 60 --delay-every 2 \
 		--delay-s 0.05 --hedge-delay 0.02 --check
+
+# Observability smoke: sketch/exporter/distributed-telemetry units, the
+# <2% disabled-overhead gate (run plain, not --benchmark-only), then a
+# telemetry-enabled fleet loadgen whose recorded trace must clear the
+# SLO gate.
+obs-quick:
+	pytest tests/test_obs.py tests/test_obs_sketch.py \
+		tests/test_obs_distributed.py tests/test_cluster_telemetry.py -q
+	pytest benchmarks/test_obs_overhead.py -q
+	PYTHONPATH=src python -m repro.cli cluster loadgen --workers 2 \
+		--processes 2 --images 2 --requests 24 --telemetry \
+		--trace /tmp/obs-quick-trace.jsonl
+	PYTHONPATH=src python -m repro.cli obs check /tmp/obs-quick-trace.jsonl \
+		--max-p99-ms 60000 --max-error-rate 0.01 \
+		--max-under-replicated 0 --max-dropped-spans 0
 
 trace-demo:
 	mkdir -p examples/out

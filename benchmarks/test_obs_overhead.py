@@ -1,0 +1,100 @@
+"""The price of permanent instrumentation: disabled obs must be ~free.
+
+The telemetry PR's gate: with tracing **off**, the instrumented codec
+path may cost at most 2% over the same path with every obs entry point
+monkeypatched to a bare no-op — i.e. the disabled fast path (one
+attribute check per call site) must vanish inside real work. The two
+arms are sampled interleaved, best-of-N, with the GC paused, so clock
+drift and collection pauses hit both equally instead of deciding the
+verdict.
+
+Run plain (``pytest benchmarks/test_obs_overhead.py``), NOT under
+``--benchmark-only`` — there is no benchmark fixture here on purpose;
+the CI obs job invokes this file directly.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.jpeg.codec import decode_image, encode_image
+from repro.jpeg.coefficients import CoefficientImage
+from repro.obs.core import NOOP_SPAN
+
+ROUNDS = 30
+MAX_OVERHEAD = 0.02
+
+_NOOPS = {
+    "span": lambda name, **tags: NOOP_SPAN,
+    "counter": lambda name, amount=1.0, **tags: None,
+    "observe": lambda name, value, **tags: None,
+    "event": lambda name, **fields: None,
+}
+
+
+def _workload(array) -> None:
+    """One instrumented round trip through the real codec hot path."""
+    image = CoefficientImage.from_array(array, quality=75)
+    decode_image(encode_image(image))
+
+
+def test_disabled_overhead_under_two_percent():
+    obs.configure(enabled=False, fresh=True)
+    rng = np.random.default_rng(0)
+    array = rng.integers(0, 256, (48, 64, 3), dtype=np.uint8)
+    real = {name: getattr(obs, name) for name in _NOOPS}
+
+    def sample() -> float:
+        start = time.perf_counter()
+        _workload(array)
+        return time.perf_counter() - start
+
+    # Warm both arms, then alternate instrumented/no-op samples so any
+    # mid-test frequency or load shift lands on both equally.
+    _workload(array)
+    instrumented = baseline = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(ROUNDS):
+            instrumented = min(instrumented, sample())
+            for name, noop in _NOOPS.items():
+                setattr(obs, name, noop)
+            try:
+                baseline = min(baseline, sample())
+            finally:
+                for name, fn in real.items():
+                    setattr(obs, name, fn)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    overhead = instrumented / baseline - 1.0
+    print(
+        f"\ndisabled-obs overhead: {100.0 * overhead:+.2f}% "
+        f"(baseline {baseline * 1e3:.2f} ms, "
+        f"instrumented {instrumented * 1e3:.2f} ms, gate "
+        f"{100.0 * MAX_OVERHEAD:.0f}%)"
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"disabled tracing costs {100.0 * overhead:.2f}% "
+        f"(gate: {100.0 * MAX_OVERHEAD:.0f}%)"
+    )
+
+
+def test_disabled_fast_path_allocates_no_spans():
+    registry = obs.configure(enabled=False, fresh=True)
+    for _ in range(1000):
+        with obs.span("never"):
+            pass
+        obs.counter("ticks")
+        obs.observe("val", 1.0)
+    assert registry.spans() == []
+    assert registry.counters() == []
+    assert registry.histograms() == []
+    assert registry.spans_recorded == 0

@@ -23,7 +23,12 @@ Subcommands mirror the three parties of Fig. 5:
                     workers, ``cluster loadgen`` drives them with
                     multi-process closed-loop clients under an optional
                     fault plan (kill a worker, corrupt frames, slow a
-                    replica) and reports failover metrics.
+                    replica) and reports failover metrics;
+* ``obs``         — fleet observability: ``obs top`` live-drains
+                    telemetry from running workers, ``obs check`` gates
+                    a JSONL trace against SLO limits (nonzero exit on
+                    violation), ``obs export`` re-renders a trace as the
+                    aggregate table, Prometheus text, or a Chrome trace.
 
 Example session::
 
@@ -425,7 +430,8 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
     from repro.cluster import ClusterSupervisor
 
     with ClusterSupervisor(
-        n_workers=args.workers, host=args.host, chaos_ops=args.chaos_ops
+        n_workers=args.workers, host=args.host, chaos_ops=args.chaos_ops,
+        telemetry=args.telemetry,
     ) as supervisor:
         for worker_id, (host, port) in sorted(
             supervisor.endpoints().items()
@@ -434,6 +440,7 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
         print(
             f"cluster up: {args.workers} worker(s)"
             + (" [chaos ops armed]" if args.chaos_ops else "")
+            + (" [telemetry on — try `obs top`]" if args.telemetry else "")
             + " — Ctrl-C to stop"
         )
         try:
@@ -463,6 +470,8 @@ def cmd_cluster_loadgen(args: argparse.Namespace) -> int:
         run_cluster_loadgen,
     )
 
+    if args.telemetry:
+        obs.configure(enabled=True)
     faults = {}
     if args.corrupt_every or args.drop_every or args.delay_every:
         # The fault plan rides on the first worker; the rest stay clean,
@@ -474,7 +483,8 @@ def cmd_cluster_loadgen(args: argparse.Namespace) -> int:
             delay_s=args.delay_s,
         )
     with ClusterSupervisor(
-        n_workers=args.workers, faults=faults or None
+        n_workers=args.workers, faults=faults or None,
+        telemetry=args.telemetry,
     ) as supervisor:
         with supervisor.client(replication=args.replication) as client:
             image_ids = build_cluster_corpus(
@@ -508,9 +518,32 @@ def cmd_cluster_loadgen(args: argparse.Namespace) -> int:
             seed=args.seed,
             replication=args.replication,
             hedge_delay=args.hedge_delay,
+            telemetry=args.telemetry,
         )
     for line in report.lines():
         print(line)
+    code = 0
+    policy = _slo_policy_from_args(args)
+    if not policy.empty:
+        from repro.obs import evaluate_metrics
+
+        dropped = obs.get_registry().dropped_spans + sum(
+            int(stats.get("spans_dropped", 0))
+            for stats in report.worker_stats.values()
+            if stats
+        )
+        slo = evaluate_metrics(
+            policy,
+            p99_ms=report.p99_ms if report.requests else None,
+            requests=report.requests,
+            errors=report.errors,
+            under_replicated=report.stats.get("under_replicated", 0),
+            dropped_spans=dropped,
+        )
+        for line in slo.lines():
+            print(line)
+        if not slo.ok:
+            code = 1
     if args.check:
         ok = report.failed_reads == 0 and report.requests > 0
         print(
@@ -522,7 +555,162 @@ def cmd_cluster_loadgen(args: argparse.Namespace) -> int:
                      "the fault plan)"
             )
         )
-        return 0 if ok else 1
+        if not ok:
+            code = 1
+    return code
+
+
+def _parse_endpoint(spec: str, index: int):
+    """``name=host:port`` or ``host:port`` (auto-named ``w<index>``)."""
+    name, _, rest = spec.rpartition("=")
+    if not name:
+        name, rest = f"w{index}", spec
+    host, _, port = rest.rpartition(":")
+    try:
+        return name, (host or "127.0.0.1", int(port))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected [name=]host:port, got {spec!r}"
+        ) from None
+
+
+def cmd_obs_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.cluster.client import ClusterClient
+    from repro.obs import ReservoirSketch
+    from repro.util.errors import ClusterError
+
+    endpoints = dict(
+        _parse_endpoint(spec, index)
+        for index, spec in enumerate(args.endpoint)
+    )
+    # One bounded sketch per span name: memory stays O(names), not
+    # O(observations), no matter how long top watches the fleet.
+    sketches = {}
+    worker_rows = {}
+    client = ClusterClient(endpoints, timeout=args.timeout)
+    iteration = 0
+    try:
+        while True:
+            iteration += 1
+            for worker in sorted(endpoints):
+                try:
+                    stats = client.ping(worker)
+                    delta = client.fetch_telemetry(worker)
+                except (ClusterError, OSError) as error:
+                    worker_rows[worker] = f"{worker}: UNREACHABLE ({error})"
+                    continue
+                worker_rows[worker] = (
+                    f"{worker}: served={stats.get('served', 0)} "
+                    f"items={stats.get('items', 0)} "
+                    f"up={stats.get('uptime_s', 0.0):.0f}s "
+                    f"spans={stats.get('spans_recorded', 0)}"
+                    f"(-{stats.get('spans_dropped', 0)} dropped)"
+                    + ("" if stats.get("telemetry") else " [telemetry off]")
+                )
+                for record in delta.spans:
+                    name = record["name"]
+                    sketch = sketches.get(name)
+                    if sketch is None:
+                        import zlib
+
+                        sketch = sketches[name] = ReservoirSketch(
+                            seed=zlib.crc32(name.encode("utf-8"))
+                        )
+                    sketch.add(float(record["wall_ms"]))
+            if not args.plain:
+                print("\x1b[2J\x1b[H", end="")
+            print(f"puppies obs top — tick {iteration}, "
+                  f"{len(endpoints)} worker(s)")
+            for worker in sorted(worker_rows):
+                print("  " + worker_rows[worker])
+            rows = sorted(
+                sketches.items(), key=lambda kv: kv[1].total, reverse=True
+            )
+            if rows:
+                print(f"  {'span':<28} {'count':>8} {'mean ms':>9} "
+                      f"{'p50 ms':>9} {'p99 ms':>9} {'total ms':>10}")
+                for name, sketch in rows[:args.rows]:
+                    print(
+                        f"  {name:<28} {sketch.count:>8} "
+                        f"{sketch.mean:>9.3f} {sketch.quantile(0.5):>9.3f} "
+                        f"{sketch.quantile(0.99):>9.3f} {sketch.total:>10.1f}"
+                    )
+            else:
+                print("  (no spans yet — is the fleet serving traffic "
+                      "with telemetry on?)")
+            if args.iterations and iteration >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
+
+
+def _slo_policy_from_args(args: argparse.Namespace):
+    from repro.obs import SloPolicy
+
+    return SloPolicy(
+        max_p99_ms=args.max_p99_ms,
+        max_error_rate=args.max_error_rate,
+        max_under_replicated=args.max_under_replicated,
+        max_dropped_spans=args.max_dropped_spans,
+        latency_source=args.latency_source,
+    )
+
+
+def _add_slo_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-p99-ms", type=float, default=None,
+                        help="SLO: p99 latency ceiling in ms")
+    parser.add_argument("--max-error-rate", type=float, default=None,
+                        help="SLO: errors/requests ceiling in [0,1]")
+    parser.add_argument("--max-under-replicated", type=int, default=None,
+                        help="SLO: under-replicated put ceiling")
+    parser.add_argument("--max-dropped-spans", type=int, default=None,
+                        help="SLO: dropped-span ceiling")
+    parser.add_argument("--latency-source", default="cluster.get",
+                        help="span/histogram name the p99 check reads")
+
+
+def cmd_obs_check(args: argparse.Namespace) -> int:
+    from repro.obs import evaluate_registry, import_jsonl
+
+    registry = import_jsonl(args.trace_file)
+    report = evaluate_registry(_slo_policy_from_args(args), registry)
+    for line in report.lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
+def cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        aggregate_table,
+        export_chrome_trace,
+        export_prometheus,
+        import_jsonl,
+    )
+
+    registry = import_jsonl(args.trace_file)
+    if args.format == "chrome":
+        if not args.output:
+            print("chrome export needs --output PATH", file=sys.stderr)
+            return 2
+        events = export_chrome_trace(registry, args.output)
+        print(f"wrote {events} trace event(s) to {args.output}")
+        return 0
+    text = (
+        export_prometheus(registry)
+        if args.format == "prometheus"
+        else aggregate_table(registry) + "\n"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.format} export to {args.output}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -769,6 +957,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--chaos-ops", action="store_true",
                        help="arm the stored-blob corruption op "
                             "(tests/demos only)")
+    serve.add_argument("--telemetry", action="store_true",
+                       help="workers record spans/metrics and answer "
+                            "MSG_TELEMETRY drains (see `obs top`)")
     serve.set_defaults(func=cmd_cluster_serve)
 
     cloadgen = cluster_sub.add_parser(
@@ -808,10 +999,64 @@ def build_parser() -> argparse.ArgumentParser:
     cloadgen.add_argument("--delay-s", type=float, default=0.1,
                           help="seconds of injected delay")
     cloadgen.add_argument("--seed", type=int, default=0)
+    cloadgen.add_argument("--telemetry", action="store_true",
+                          help="trace the whole fleet: workers + clients "
+                               "ship spans home and merge into one trace")
     cloadgen.add_argument("--check", action="store_true",
-                          help="exit nonzero unless zero reads failed")
+                          help="exit nonzero unless zero reads failed "
+                               "(and every configured SLO holds)")
+    _add_slo_flags(cloadgen)
     _add_trace_flag(cloadgen)
     cloadgen.set_defaults(func=cmd_cluster_loadgen)
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="fleet observability: live top, SLO gate, trace exports",
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    top = obs_sub.add_parser(
+        "top",
+        help="live per-span latency table from telemetry-enabled workers",
+    )
+    top.add_argument("--endpoint", action="append", required=True,
+                     metavar="[NAME=]HOST:PORT",
+                     help="worker endpoint (repeatable)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between telemetry drains")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="stop after N ticks (0 = until Ctrl-C)")
+    top.add_argument("--rows", type=int, default=20,
+                     help="span rows to show")
+    top.add_argument("--timeout", type=float, default=5.0,
+                     help="per-request socket timeout")
+    top.add_argument("--plain", action="store_true",
+                     help="append ticks instead of redrawing the screen")
+    top.set_defaults(func=cmd_obs_top)
+
+    check = obs_sub.add_parser(
+        "check",
+        help="SLO gate over a JSONL trace: exit nonzero on violation",
+    )
+    # dest is trace_file, NOT trace: main() treats args.trace as the
+    # global --trace flag and would re-export over the input file.
+    check.add_argument("trace_file", metavar="trace",
+                       help="JSON-lines trace file (--trace)")
+    _add_slo_flags(check)
+    check.set_defaults(func=cmd_obs_check)
+
+    export = obs_sub.add_parser(
+        "export",
+        help="re-export a JSONL trace as prometheus text, a Chrome "
+             "trace, or the aggregate table",
+    )
+    export.add_argument("trace_file", metavar="trace",
+                        help="JSON-lines trace file (--trace)")
+    export.add_argument("--format", default="table",
+                        choices=["table", "prometheus", "chrome"])
+    export.add_argument("--output", "-o", default=None,
+                        help="output path (stdout for table/prometheus)")
+    export.set_defaults(func=cmd_obs_export)
     return parser
 
 

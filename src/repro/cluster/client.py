@@ -30,6 +30,7 @@ workers stay dumb and independently restartable:
 
 from __future__ import annotations
 
+import os
 import queue
 import socket
 import threading
@@ -52,7 +53,10 @@ from repro.cluster.wire import (
     MSG_PING,
     MSG_PUT,
     MSG_SCRUB,
+    MSG_TELEMETRY,
+    PING_EXTENDED,
     ShardRecord,
+    TraceContext,
     encode_frame,
     pack_corrupt,
     pack_id,
@@ -64,7 +68,9 @@ from repro.cluster.wire import (
     unpack_ping_response,
     unpack_record_response,
     unpack_scrub_response,
+    with_trace,
 )
+from repro.obs.distributed import TelemetryDelta, decode_telemetry
 from repro.robustness.resilient import Backoff
 from repro.util.errors import ClusterError, IntegrityError, ReproError
 
@@ -135,6 +141,7 @@ class ClusterClient:
         connect_timeout: float = 0.5,
         sleep: Optional[Callable[[float], None]] = None,
         name: str = "cluster",
+        telemetry: bool = False,
     ) -> None:
         if not endpoints:
             raise ReproError("cluster client needs at least one endpoint")
@@ -150,6 +157,11 @@ class ClusterClient:
         self.connect_timeout = connect_timeout
         self.sleep = sleep if sleep is not None else time.sleep
         self.name = name
+        self.telemetry = bool(telemetry)
+        #: Random 64-bit trace id naming this client in trace contexts.
+        #: Collisions across a fleet of clients are ~2^-32 at 2^16
+        #: concurrent clients — acceptable for telemetry.
+        self.client_id = int.from_bytes(os.urandom(8), "little") or 1
         self.ring = ring if ring is not None else HashRing(
             sorted(self.endpoints)
         )
@@ -164,6 +176,7 @@ class ClusterClient:
             "hedge_wins": 0, "repairs": 0, "wire_retries": 0,
             "damaged_reads": 0, "salvage_fallbacks": 0,
             "hinted_handoffs": 0, "handoffs_replayed": 0,
+            "under_replicated": 0,
         }
         self._stats_lock = threading.Lock()
 
@@ -227,12 +240,27 @@ class ClusterClient:
     # ------------------------------------------------------------------
     # One framed request to one worker (with transit-level retries)
     # ------------------------------------------------------------------
+    def _trace_ctx(self, span: object) -> Optional[TraceContext]:
+        """A trace context naming ``span`` as the cross-wire parent.
+
+        ``None`` (no block on the wire) when telemetry is off or the
+        span is the disabled-tracing noop — so a v1-style request is
+        exactly what non-telemetry clients still send.
+        """
+        if not self.telemetry:
+            return None
+        span_id = getattr(span, "span_id", None)
+        if span_id is None:
+            return None
+        return TraceContext(self.client_id, span_id, sampled=True)
+
     def _request(
         self,
         worker: str,
         ftype: int,
         payload: bytes,
         timeout: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
     ) -> bytes:
         """Send one frame, read one reply; returns the MSG_OK payload.
 
@@ -243,7 +271,7 @@ class ClusterClient:
         caller can fail over. ``MSG_ERR`` replies are mapped to typed
         exceptions.
         """
-        frame = encode_frame(ftype, payload)
+        frame = encode_frame(*with_trace(ftype, payload, trace))
         deadline = self.timeout if timeout is None else timeout
         last: Optional[BaseException] = None
         for attempt in range(self.backoff.max_retries + 1):
@@ -320,15 +348,17 @@ class ClusterClient:
         self._bump("puts")
         record = ShardRecord.create(encoded, public_bytes)
         prefs = self.ring.preference(image_id, self.replication)
-        with obs.span("cluster.put", image_id=image_id):
+        with obs.span("cluster.put", image_id=image_id) as span:
+            trace = self._trace_ctx(span)
             stored = 0
             existed = False
             failures: List[str] = []
             for worker in prefs:
                 try:
                     self._request(
-                        worker, MSG_PUT, pack_put(image_id, record,
-                                                  overwrite)
+                        worker, MSG_PUT,
+                        pack_put(image_id, record, overwrite),
+                        trace=trace,
                     )
                 except _Exists:
                     existed = True
@@ -344,6 +374,7 @@ class ClusterClient:
                     + "; ".join(failures)
                 )
             if stored < len(prefs):
+                self._bump("under_replicated", len(prefs) - stored)
                 obs.counter(
                     "cluster.under_replicated", amount=len(prefs) - stored
                 )
@@ -394,9 +425,14 @@ class ClusterClient:
     # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
-    def _get_record(self, worker: str, image_id: str) -> ShardRecord:
+    def _get_record(
+        self,
+        worker: str,
+        image_id: str,
+        trace: Optional[TraceContext] = None,
+    ) -> ShardRecord:
         return unpack_record_response(
-            self._request(worker, MSG_GET, pack_id(image_id))
+            self._request(worker, MSG_GET, pack_id(image_id), trace=trace)
         )
 
     def get(self, image_id: str, repair: bool = True) -> ClusterGetResult:
@@ -409,7 +445,9 @@ class ClusterClient:
         self._bump("gets")
         prefs = self.ring.preference(image_id, self.replication)
         with obs.span("cluster.get", image_id=image_id) as span:
-            result = self._get_inner(image_id, prefs, repair)
+            result = self._get_inner(
+                image_id, prefs, repair, trace=self._trace_ctx(span)
+            )
             span.tag(
                 source=result.source,
                 clean=result.clean,
@@ -419,14 +457,18 @@ class ClusterClient:
             return result
 
     def _get_inner(
-        self, image_id: str, prefs: List[str], repair: bool
+        self,
+        image_id: str,
+        prefs: List[str],
+        repair: bool,
+        trace: Optional[TraceContext] = None,
     ) -> ClusterGetResult:
         results: "queue.Queue[Tuple[int, str, str, object]]" = queue.Queue()
 
         def attempt(index: int, worker: str) -> None:
             start = time.perf_counter()
             try:
-                record = self._get_record(worker, image_id)
+                record = self._get_record(worker, image_id, trace=trace)
             except _NotFound:
                 results.put((index, worker, "not_found", None))
                 return
@@ -641,25 +683,32 @@ class ClusterClient:
         Without an explicit ``worker`` the preference list is walked in
         order, so a dead primary fails over like any other read.
         """
-        if worker is not None:
-            return unpack_scrub_response(
-                self._request(worker, MSG_SCRUB, pack_id(image_id))
-            )
-        last: Optional[BaseException] = None
-        for target in self.ring.preference(image_id, self.replication):
-            try:
+        with obs.span("cluster.scrub", image_id=image_id) as span:
+            trace = self._trace_ctx(span)
+            if worker is not None:
                 return unpack_scrub_response(
-                    self._request(target, MSG_SCRUB, pack_id(image_id))
+                    self._request(
+                        worker, MSG_SCRUB, pack_id(image_id), trace=trace
+                    )
                 )
-            except _NotFound as error:
-                last = error
-            except (ClusterError, OSError) as error:
-                last = error
-                self._bump("failovers")
-                obs.counter("cluster.failover", image_id=image_id)
-        raise ClusterError(
-            f"no replica could scrub {image_id!r}: {last}"
-        ) from last
+            last: Optional[BaseException] = None
+            for target in self.ring.preference(image_id, self.replication):
+                try:
+                    return unpack_scrub_response(
+                        self._request(
+                            target, MSG_SCRUB, pack_id(image_id),
+                            trace=trace,
+                        )
+                    )
+                except _NotFound as error:
+                    last = error
+                except (ClusterError, OSError) as error:
+                    last = error
+                    self._bump("failovers")
+                    obs.counter("cluster.failover", image_id=image_id)
+            raise ClusterError(
+                f"no replica could scrub {image_id!r}: {last}"
+            ) from last
 
     def corrupt_stored(
         self, worker: str, image_id: str, n_bits: int = 6,
@@ -671,7 +720,16 @@ class ClusterClient:
         )
 
     def ping(self, worker: str) -> Dict[str, object]:
-        return unpack_ping_response(self._request(worker, MSG_PING, b""))
+        """Worker stats; always requests the extended (v2) block.
+
+        A v1 worker would ignore the request payload and answer the
+        short form, which the unpacker accepts — so the extra keys
+        (``spans_recorded``, ``spans_dropped``, ``telemetry``) are
+        present exactly when the worker can produce them.
+        """
+        return unpack_ping_response(
+            self._request(worker, MSG_PING, PING_EXTENDED)
+        )
 
     def health(self) -> Dict[str, Optional[Dict[str, object]]]:
         """Ping every endpoint; ``None`` marks an unreachable worker."""
@@ -682,6 +740,18 @@ class ClusterClient:
             except (ClusterError, OSError):
                 report[worker] = None
         return report
+
+    def fetch_telemetry(self, worker: str) -> TelemetryDelta:
+        """Drain one worker's telemetry delta (destructive read).
+
+        Spans appear in exactly one fetch, so a deployment should have a
+        single drainer (the supervisor/loadgen parent); counters and
+        histograms are absolute snapshots and survive concurrent
+        fetchers.
+        """
+        return decode_telemetry(
+            self._request(worker, MSG_TELEMETRY, b"")
+        )
 
     def snapshot_stats(self) -> Dict[str, int]:
         with self._stats_lock:

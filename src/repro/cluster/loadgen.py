@@ -34,6 +34,9 @@ from repro.cluster.client import (
     REPLICA_LATENCY_BUCKETS_MS,
     ClusterClient,
 )
+from repro.obs.core import Registry
+from repro.obs.distributed import TelemetryCollector
+from repro.obs.export import span_record
 from repro.core.keys import generate_private_key
 from repro.core.perturb import perturb_regions
 from repro.core.roi import RegionOfInterest
@@ -47,7 +50,7 @@ from repro.util.rect import Rect
 STAT_KEYS = (
     "gets", "puts", "failovers", "hedges", "hedge_wins", "repairs",
     "wire_retries", "damaged_reads", "salvage_fallbacks",
-    "hinted_handoffs", "handoffs_replayed",
+    "hinted_handoffs", "handoffs_replayed", "under_replicated",
 )
 
 
@@ -70,6 +73,14 @@ class ClusterLoadgenReport:
     stats: Dict[str, int] = field(default_factory=dict)
     #: Latency samples attributed to the replica that served each get.
     per_replica_ms: Dict[str, List[float]] = field(default_factory=dict)
+    #: Extended-ping stats per worker (``None`` if a worker's ping
+    #: failed): items, served, uptime_s, spans_recorded, spans_dropped.
+    worker_stats: Dict[str, Optional[Dict[str, object]]] = field(
+        default_factory=dict
+    )
+    #: Spans merged into the parent registry from children + workers
+    #: (0 unless the run was telemetry-enabled).
+    telemetry_spans: int = 0
 
     @property
     def throughput_rps(self) -> float:
@@ -90,7 +101,7 @@ class ClusterLoadgenReport:
                     f"{worker}:{float(np.mean(samples)):.2f}ms"
                     f"×{len(samples)}"
                 )
-        return [
+        body = [
             f"processes    : {self.processes} closed-loop clients",
             f"requests     : {self.requests} ok, {self.errors} error(s), "
             f"{self.failed_reads} failed read(s)",
@@ -114,6 +125,27 @@ class ClusterLoadgenReport:
                 for op, count in sorted(self.op_counts.items())
             ),
         ]
+        worker_bits = []
+        for worker in sorted(self.worker_stats):
+            stats = self.worker_stats[worker]
+            if stats is None:
+                worker_bits.append(f"{worker}:unreachable")
+                continue
+            bit = f"{worker}:served={stats.get('served', 0)}"
+            if stats.get("telemetry"):
+                bit += (
+                    f",spans={stats.get('spans_recorded', 0)}"
+                    f"(-{stats.get('spans_dropped', 0)})"
+                )
+            worker_bits.append(bit)
+        if worker_bits:
+            body.append("workers      : " + ", ".join(worker_bits))
+        if self.telemetry_spans:
+            body.append(
+                f"telemetry    : {self.telemetry_spans} span(s) merged "
+                f"into one fleet trace"
+            )
+        return body
 
 
 def build_cluster_corpus(
@@ -161,15 +193,24 @@ def _loadgen_child(
     replication: int,
     hedge_delay: float,
     timeout: float,
+    telemetry: bool,
     start_barrier,
     out_queue,
 ) -> None:
     """One closed-loop client process."""
+    registry: Optional[Registry] = None
+    if telemetry:
+        # A fresh enabled registry so the child's cluster.get/scrub
+        # spans (and the worker trace contexts they stamp) are exactly
+        # this run's, not whatever the forked parent had recorded.
+        registry = Registry(enabled=True)
+        obs.set_registry(registry)
     client = ClusterClient(
         endpoints,
         replication=replication,
         hedge_delay=hedge_delay,
         timeout=timeout,
+        telemetry=telemetry,
     )
     rng = np.random.default_rng((seed, tid))
     latencies: List[float] = []
@@ -198,17 +239,23 @@ def _loadgen_child(
         if not scrubbing:
             per_replica.setdefault(result.source, []).append(elapsed_ms)
     client.close()
-    out_queue.put(
-        {
-            "tid": tid,
-            "latencies": latencies,
-            "per_replica": per_replica,
-            "op_counts": op_counts,
-            "errors": errors,
-            "failed_reads": failed_reads,
-            "stats": client.snapshot_stats(),
+    payload = {
+        "tid": tid,
+        "latencies": latencies,
+        "per_replica": per_replica,
+        "op_counts": op_counts,
+        "errors": errors,
+        "failed_reads": failed_reads,
+        "stats": client.snapshot_stats(),
+    }
+    if registry is not None:
+        payload["telemetry"] = {
+            "client_id": client.client_id,
+            "epoch_unix": registry.epoch_unix,
+            "spans": [span_record(s) for s in registry.drain_spans()],
+            "dropped": registry.dropped_spans,
         }
-    )
+    out_queue.put(payload)
 
 
 def run_cluster_loadgen(
@@ -223,8 +270,17 @@ def run_cluster_loadgen(
     hedge_delay: float = 0.05,
     timeout: float = 5.0,
     join_timeout: Optional[float] = None,
+    telemetry: bool = False,
 ) -> ClusterLoadgenReport:
-    """Closed-loop load from ``processes`` OS processes; see module doc."""
+    """Closed-loop load from ``processes`` OS processes; see module doc.
+
+    With ``telemetry=True`` each child runs a fresh enabled registry and
+    a tracing client, ships its finished spans home, and the parent —
+    via :class:`~repro.obs.distributed.TelemetryCollector` — stitches
+    child spans and each worker's drained delta into the parent's
+    registry as **one** cross-process trace (worker spans parented to
+    the ``cluster.get``/``cluster.put`` spans that caused them).
+    """
     if processes < 1:
         raise ReproError(
             f"loadgen needs at least 1 process, got {processes}"
@@ -245,8 +301,8 @@ def run_cluster_loadgen(
             target=_loadgen_child,
             args=(
                 endpoints, image_ids, per_child[tid], scrub_ratio, seed,
-                tid, replication, hedge_delay, timeout, start_barrier,
-                out_queue,
+                tid, replication, hedge_delay, timeout, telemetry,
+                start_barrier, out_queue,
             ),
             daemon=True,
         )
@@ -286,6 +342,52 @@ def run_cluster_loadgen(
         for worker, samples in payload["per_replica"].items():
             per_replica.setdefault(worker, []).extend(samples)
 
+    # Probe every worker once over the extended ping so the report can
+    # show fleet-side serving stats even on non-telemetry runs, then —
+    # when tracing — stitch the children's spans and each worker's
+    # drained delta into the parent registry as one trace.
+    telemetry_spans = 0
+    worker_stats: Dict[str, Optional[Dict[str, object]]] = {}
+    collector = (
+        TelemetryCollector(obs.get_registry()) if telemetry else None
+    )
+    probe = ClusterClient(endpoints, timeout=timeout)
+    try:
+        for worker in sorted(endpoints):
+            try:
+                worker_stats[worker] = probe.ping(worker)
+            except (ClusterError, OSError):
+                worker_stats[worker] = None
+        if collector is not None:
+            # Children first: registering their (client_id, span_id)
+            # pairs is what lets worker remote_parents resolve.
+            for payload in payloads:
+                shipped = payload.get("telemetry")
+                if not shipped:
+                    continue
+                telemetry_spans += collector.merge_span_records(
+                    shipped["spans"],
+                    client_id=shipped["client_id"],
+                    epoch_unix=shipped["epoch_unix"],
+                    process=f"loadgen:{payload['tid']}",
+                )
+                if shipped["dropped"]:
+                    obs.get_registry().set_counter(
+                        "telemetry.dropped_spans",
+                        shipped["dropped"],
+                        loadgen=str(payload["tid"]),
+                    )
+            for worker in sorted(endpoints):
+                if worker_stats.get(worker) is None:
+                    continue
+                try:
+                    delta = probe.fetch_telemetry(worker)
+                except (ClusterError, OSError):
+                    continue
+                telemetry_spans += collector.merge_delta(delta)
+    finally:
+        probe.close()
+
     # Replay the fleet's behaviour into the *parent* registry so trace
     # exports include what happened inside the child processes.
     obs.counter("cluster.loadgen.requests", amount=len(merged))
@@ -314,4 +416,6 @@ def run_cluster_loadgen(
         op_counts=op_totals,
         stats=stat_totals,
         per_replica_ms=per_replica,
+        worker_stats=worker_stats,
+        telemetry_spans=telemetry_spans,
     )

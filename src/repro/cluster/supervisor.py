@@ -56,6 +56,7 @@ class ClusterSupervisor:
         host: str = "127.0.0.1",
         faults: Optional[Dict[str, ClusterFaultInjector]] = None,
         chaos_ops: bool = False,
+        telemetry: bool = False,
     ) -> None:
         if n_workers < 1:
             raise ReproError(
@@ -64,6 +65,7 @@ class ClusterSupervisor:
         self.host = host
         self.faults = dict(faults or {})
         self.chaos_ops = chaos_ops
+        self.telemetry = bool(telemetry)
         self._ctx = multiprocessing.get_context("fork")
         self._workers: Dict[str, WorkerHandle] = {}
         self._worker_ids = [f"w{i}" for i in range(n_workers)]
@@ -112,6 +114,7 @@ class ClusterSupervisor:
                 "port": port,
                 "faults": self.faults.get(worker_id),
                 "chaos_ops": self.chaos_ops,
+                "telemetry": self.telemetry,
             },
             daemon=True,
         )
@@ -205,7 +208,12 @@ class ClusterSupervisor:
         }
 
     def client(self, **kwargs: object) -> ClusterClient:
-        """A :class:`ClusterClient` wired to this fleet's endpoints."""
+        """A :class:`ClusterClient` wired to this fleet's endpoints.
+
+        A telemetry-enabled fleet hands out telemetry-enabled clients
+        unless the caller overrides ``telemetry`` explicitly.
+        """
         if not self._started:
             raise ClusterError("cluster is not running — call start()")
+        kwargs.setdefault("telemetry", self.telemetry)
         return ClusterClient(self.endpoints(), **kwargs)  # type: ignore[arg-type]

@@ -48,17 +48,25 @@ CRC = struct.Struct("<I")
 MAX_PAYLOAD = 64 << 20
 
 # Request types -------------------------------------------------------
-MSG_PUT = 0x01      # store a ShardRecord (flags bit0 = overwrite/repair)
-MSG_GET = 0x02      # fetch a ShardRecord
-MSG_HAS = 0x03      # membership probe
-MSG_IDS = 0x04      # list stored ids
-MSG_PING = 0x05     # health check + worker stats
-MSG_SCRUB = 0x06    # decode-verify a stored image worker-side
-MSG_CORRUPT = 0x07  # chaos op: damage a stored blob (tests only)
+MSG_PUT = 0x01        # store a ShardRecord (flags bit0 = overwrite/repair)
+MSG_GET = 0x02        # fetch a ShardRecord
+MSG_HAS = 0x03        # membership probe
+MSG_IDS = 0x04        # list stored ids
+MSG_PING = 0x05       # health check + worker stats
+MSG_SCRUB = 0x06      # decode-verify a stored image worker-side
+MSG_CORRUPT = 0x07    # chaos op: damage a stored blob (tests only)
+MSG_TELEMETRY = 0x08  # drain the worker's telemetry delta
 
 # Response types ------------------------------------------------------
 MSG_OK = 0x10
 MSG_ERR = 0x11
+
+#: Type-byte flag: the request payload is prefixed with a trace-context
+#: block (see :class:`TraceContext`). v1 peers never set this bit, so
+#: old clients interoperate with new workers unchanged; a v1 *worker*
+#: sent a flagged type would answer "unknown message type", which the
+#: client treats as telemetry-unsupported, not an error.
+FLAG_TRACE = 0x40
 
 # MSG_ERR codes -------------------------------------------------------
 ERR_NOT_FOUND = 1
@@ -69,6 +77,16 @@ ERR_CHAOS_DISABLED = 5
 
 #: put flags
 FLAG_OVERWRITE = 0x01
+
+# Trace-context block --------------------------------------------------
+TRACE_CTX = struct.Struct("<QQB")  # client id, parent span id, flags
+TRACE_SAMPLED = 0x01
+
+#: MSG_PING request payload requesting the extended (v2) stats block.
+#: An empty payload keeps returning the v1 response, so old clients
+#: parse new workers' pings unchanged.
+PING_EXTENDED = b"\x01"
+_PING_EXT = struct.Struct("<QQB")  # spans recorded, dropped, enabled
 
 
 def _pack_bytes(blob: bytes) -> bytes:
@@ -140,6 +158,67 @@ class ShardRecord:
             ),
             offset,
         )
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The optional trace-context block carried on request frames.
+
+    ``client_id`` is the originating client's random 64-bit trace id;
+    ``span_id`` is the id (in *that client's* registry) of the span the
+    worker-side span should parent onto. 17 bytes, prepended to the
+    payload when :data:`FLAG_TRACE` is set on the type byte:
+
+    ```
+    client_id   u64   originating client's trace id
+    span_id     u64   parent span id in the client's registry
+    flags       u8    bit0 = sampled (record a worker span)
+    ```
+    """
+
+    client_id: int
+    span_id: int
+    sampled: bool = True
+
+
+def pack_trace_ctx(ctx: TraceContext) -> bytes:
+    return TRACE_CTX.pack(
+        ctx.client_id & 0xFFFFFFFFFFFFFFFF,
+        ctx.span_id & 0xFFFFFFFFFFFFFFFF,
+        TRACE_SAMPLED if ctx.sampled else 0,
+    )
+
+
+def unpack_trace_ctx(payload: bytes, offset: int = 0) -> Tuple[TraceContext, int]:
+    if len(payload) - offset < TRACE_CTX.size:
+        raise IntegrityError(
+            f"trace-flagged frame too short for the {TRACE_CTX.size}-byte "
+            f"trace context"
+        )
+    client_id, span_id, flags = TRACE_CTX.unpack_from(payload, offset)
+    return (
+        TraceContext(client_id, span_id, bool(flags & TRACE_SAMPLED)),
+        offset + TRACE_CTX.size,
+    )
+
+
+def with_trace(
+    ftype: int, payload: bytes, ctx: Optional["TraceContext"]
+) -> Tuple[int, bytes]:
+    """Attach a trace context to an outgoing request, if any."""
+    if ctx is None:
+        return ftype, payload
+    return ftype | FLAG_TRACE, pack_trace_ctx(ctx) + payload
+
+
+def strip_trace(
+    ftype: int, payload: bytes
+) -> Tuple[int, Optional["TraceContext"], bytes]:
+    """Split an incoming request into (base type, trace ctx, payload)."""
+    if not ftype & FLAG_TRACE:
+        return ftype, None, payload
+    ctx, offset = unpack_trace_ctx(payload)
+    return ftype & ~FLAG_TRACE, ctx, payload[offset:]
 
 
 # ---------------------------------------------------------------------
@@ -307,11 +386,27 @@ def unpack_ids(payload: bytes) -> List[str]:
 
 
 def pack_ping_response(
-    worker_id: str, items: int, served: int, uptime_s: float
+    worker_id: str,
+    items: int,
+    served: int,
+    uptime_s: float,
+    telemetry: Optional[Dict[str, object]] = None,
 ) -> bytes:
-    return (
-        pack_string(worker_id)
-        + struct.pack("<IQd", items, served, uptime_s)
+    """The v1 ping stats, optionally extended with telemetry health.
+
+    The extension is emitted only when the *request* asked for it
+    (:data:`PING_EXTENDED` payload), because v1 clients parse the
+    response with a strict no-trailing-bytes check.
+    """
+    base = pack_string(worker_id) + struct.pack(
+        "<IQd", items, served, uptime_s
+    )
+    if telemetry is None:
+        return base
+    return base + _PING_EXT.pack(
+        int(telemetry.get("spans_recorded", 0)),
+        int(telemetry.get("spans_dropped", 0)),
+        1 if telemetry.get("enabled") else 0,
     )
 
 
@@ -319,13 +414,22 @@ def unpack_ping_response(payload: bytes) -> Dict[str, object]:
     worker_id, offset = unpack_string(payload, 0)
     items, served, uptime_s = struct.unpack_from("<IQd", payload, offset)
     offset += struct.calcsize("<IQd")
-    _expect_end(payload, offset)
-    return {
+    stats: Dict[str, object] = {
         "worker_id": worker_id,
         "items": items,
         "served": served,
         "uptime_s": uptime_s,
     }
+    if offset != len(payload):  # v2 extension block
+        spans_recorded, spans_dropped, enabled = _PING_EXT.unpack_from(
+            payload, offset
+        )
+        offset += _PING_EXT.size
+        stats["spans_recorded"] = spans_recorded
+        stats["spans_dropped"] = spans_dropped
+        stats["telemetry"] = bool(enabled)
+    _expect_end(payload, offset)
+    return stats
 
 
 def pack_scrub_response(clean: bool, detail: str) -> bytes:

@@ -41,6 +41,7 @@ from repro.cluster.wire import (
     MSG_PING,
     MSG_PUT,
     MSG_SCRUB,
+    MSG_TELEMETRY,
     ShardRecord,
     encode_frame,
     pack_bool,
@@ -50,12 +51,30 @@ from repro.cluster.wire import (
     pack_record_response,
     pack_scrub_response,
     read_frame,
+    strip_trace,
     unpack_corrupt,
     unpack_id,
     unpack_put,
 )
+from repro.obs.core import NOOP_SPAN, Registry
+from repro.obs.distributed import collect_delta, encode_telemetry
 from repro.util.errors import IntegrityError, ReproError
 from repro.util.rng import derive_rng
+
+#: Ops that run under a ``worker.<op>`` span when telemetry is on.
+#: PING and TELEMETRY stay span-free so the observers don't observe
+#: themselves into the data.
+_SPANNED_OPS = {
+    MSG_PUT: "put",
+    MSG_GET: "get",
+    MSG_HAS: "has",
+    MSG_IDS: "ids",
+    MSG_SCRUB: "scrub",
+    MSG_CORRUPT: "corrupt",
+}
+
+#: The type byte of an MSG_ERR reply frame (HEADER is magic|type|len).
+_ERR_TYPE_BYTE = bytes([MSG_ERR])
 
 
 class ShardStorage:
@@ -119,12 +138,18 @@ class ShardWorker:
         port: int = 0,
         faults: Optional[ClusterFaultInjector] = None,
         chaos_ops: bool = False,
+        telemetry: bool = False,
     ) -> None:
         self.worker_id = worker_id
         self.host = host
         self.storage = ShardStorage()
         self.faults = faults
         self.chaos_ops = chaos_ops
+        # The worker's own registry: ``worker.<op>`` spans (parented
+        # across the wire when requests carry a trace context) plus any
+        # codec instrumentation that runs in-process. Drained by
+        # MSG_TELEMETRY, so span memory stays bounded between fetches.
+        self.registry = Registry(enabled=telemetry)
         self.started = time.monotonic()
         self._served = 0
         self._data_requests = 0
@@ -189,22 +214,50 @@ class ShardWorker:
         self, conn: socket.socket, ftype: int, payload: bytes
     ) -> bool:
         """Handle one request; False ends the connection (fault drop)."""
+        try:
+            ftype, ctx, payload = strip_trace(ftype, payload)
+        except IntegrityError as error:
+            return self._try_send(
+                conn,
+                encode_frame(
+                    MSG_ERR, pack_error(ERR_BAD_REQUEST, str(error))
+                ),
+            )
         with self._count_lock:
             self._served += 1
             if ftype in (MSG_GET, MSG_SCRUB):
                 self._data_requests += 1
             data_count = self._data_requests
-        try:
-            reply = self._handle(ftype, payload)
-        except (ReproError, struct.error, IndexError, ValueError,
-                UnicodeDecodeError) as error:
-            reply = encode_frame(
-                MSG_ERR, pack_error(ERR_BAD_REQUEST, str(error))
-            )
-        except Exception as error:  # never kill the connection silently
-            reply = encode_frame(
-                MSG_ERR, pack_error(ERR_INTERNAL, repr(error))
-            )
+
+        op = _SPANNED_OPS.get(ftype)
+        span = NOOP_SPAN
+        if op is not None and (ctx is None or ctx.sampled):
+            span = self.registry.span(f"worker.{op}")
+            if span is not NOOP_SPAN and ctx is not None:
+                # Parent this span onto the client's span across the
+                # wire; the collector resolves the link at merge time.
+                span.trace_id = ctx.client_id
+                span.remote_parent = ctx.span_id
+        with span:
+            try:
+                reply = self._handle(ftype, payload)
+            except (ReproError, struct.error, IndexError, ValueError,
+                    UnicodeDecodeError) as error:
+                span.tag(error=type(error).__name__)
+                reply = encode_frame(
+                    MSG_ERR, pack_error(ERR_BAD_REQUEST, str(error))
+                )
+            except Exception as error:  # never kill the connection silently
+                span.tag(error=type(error).__name__)
+                reply = encode_frame(
+                    MSG_ERR, pack_error(ERR_INTERNAL, repr(error))
+                )
+            else:
+                # Handlers answer soft failures (not-found, exists, bad
+                # scrub) with MSG_ERR replies rather than exceptions;
+                # the span must still read as an error downstream.
+                if span is not NOOP_SPAN and reply[4:5] == _ERR_TYPE_BYTE:
+                    span.tag(error="request_failed")
 
         if self.faults is not None and ftype in (MSG_GET, MSG_SCRUB):
             if self.faults.delays(data_count):
@@ -251,6 +304,13 @@ class ShardWorker:
         if ftype == MSG_IDS:
             return encode_frame(MSG_OK, pack_ids(self.storage.ids()))
         if ftype == MSG_PING:
+            telemetry = None
+            if payload:  # v2 request: extend with telemetry health
+                telemetry = {
+                    "spans_recorded": self.registry.spans_recorded,
+                    "spans_dropped": self.registry.dropped_spans,
+                    "enabled": self.registry.enabled,
+                }
             return encode_frame(
                 MSG_OK,
                 pack_ping_response(
@@ -258,8 +318,12 @@ class ShardWorker:
                     len(self.storage),
                     self._served,
                     time.monotonic() - self.started,
+                    telemetry=telemetry,
                 ),
             )
+        if ftype == MSG_TELEMETRY:
+            delta = collect_delta(self.registry, self.worker_id)
+            return encode_frame(MSG_OK, encode_telemetry(delta))
         if ftype == MSG_SCRUB:
             return self._scrub(unpack_id(payload))
         if ftype == MSG_CORRUPT:
@@ -326,6 +390,7 @@ def run_worker(
     port: int = 0,
     faults: Optional[ClusterFaultInjector] = None,
     chaos_ops: bool = False,
+    telemetry: bool = False,
 ) -> None:
     """Process entry point: bind, report the port, serve forever."""
     import signal
@@ -335,8 +400,21 @@ def run_worker(
     # KeyboardInterrupt traceback mid-shutdown.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     worker = ShardWorker(
-        worker_id, host=host, port=port, faults=faults, chaos_ops=chaos_ops
+        worker_id,
+        host=host,
+        port=port,
+        faults=faults,
+        chaos_ops=chaos_ops,
+        telemetry=telemetry,
     )
+    if telemetry:
+        # Point the process-wide default registry at the worker's, so
+        # existing codec instrumentation (e.g. decode spans under SCRUB)
+        # nests under the worker.<op> spans via the shared thread-local
+        # stacks — no re-instrumentation needed.
+        from repro import obs
+
+        obs.set_registry(worker.registry)
     if port_queue is not None:
         port_queue.put((worker_id, worker.port))
     worker.serve()

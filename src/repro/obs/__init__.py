@@ -39,14 +39,32 @@ from repro.obs.core import (
     Span,
     SpanEvent,
 )
+from repro.obs.distributed import (
+    TelemetryCollector,
+    TelemetryDelta,
+    collect_delta,
+    decode_telemetry,
+    encode_telemetry,
+)
 from repro.obs.export import (
     aggregate_table,
     export_chrome_trace,
     export_jsonl,
+    export_prometheus,
+    import_jsonl,
+)
+from repro.obs.sketch import DEFAULT_RESERVOIR_SIZE, ReservoirSketch
+from repro.obs.slo import (
+    SloCheck,
+    SloPolicy,
+    SloReport,
+    evaluate_metrics,
+    evaluate_registry,
 )
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "DEFAULT_RESERVOIR_SIZE",
     "DEFAULT_SIZE_BUCKETS_BYTES",
     "NOOP_SPAN",
     "Counter",
@@ -54,16 +72,29 @@ __all__ = [
     "Metric",
     "NoopSpan",
     "Registry",
+    "ReservoirSketch",
+    "SloCheck",
+    "SloPolicy",
+    "SloReport",
     "Span",
     "SpanEvent",
+    "TelemetryCollector",
+    "TelemetryDelta",
     "aggregate_table",
+    "collect_delta",
     "configure",
     "counter",
+    "decode_telemetry",
     "enabled",
+    "encode_telemetry",
+    "evaluate_metrics",
+    "evaluate_registry",
     "event",
     "export_chrome_trace",
     "export_jsonl",
+    "export_prometheus",
     "get_registry",
+    "import_jsonl",
     "observe",
     "set_registry",
     "span",

@@ -30,8 +30,11 @@ from __future__ import annotations
 import bisect
 import threading
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.sketch import DEFAULT_RESERVOIR_SIZE, ReservoirSketch
 
 
 class NoopSpan:
@@ -99,6 +102,9 @@ class Span:
         "end_ms",
         "cpu_start_ms",
         "cpu_end_ms",
+        "trace_id",
+        "remote_parent",
+        "process",
         "_registry",
     )
 
@@ -115,6 +121,12 @@ class Span:
         self.end_ms: Optional[float] = None
         self.cpu_start_ms: float = 0.0
         self.cpu_end_ms: Optional[float] = None
+        # Distributed tracing: when a request carries a trace context,
+        # (trace_id, remote_parent) name the parent span in the *origin*
+        # process; ``process`` labels the source after a telemetry merge.
+        self.trace_id: Optional[int] = None
+        self.remote_parent: Optional[int] = None
+        self.process: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Measurement
@@ -196,34 +208,64 @@ DEFAULT_SIZE_BUCKETS_BYTES: Tuple[float, ...] = (
 
 
 class Histogram(Metric):
-    """A bucketed distribution that also keeps its raw samples.
+    """A bucketed distribution with bounded raw-sample retention.
 
     Buckets give the at-a-glance shape (``bucket_counts[i]`` counts
-    samples ``<= buckets[i]``; the final slot is the overflow); the raw
-    values let the table exporter print the same five-number summary the
-    paper's tables use (:func:`repro.util.stats.summarize`).
+    samples ``<= buckets[i]``; the final slot is the overflow). Raw
+    samples feed the table exporter's five-number summary
+    (:func:`repro.util.stats.summarize`) — but, unlike the original
+    unbounded list, they live in a fixed-capacity
+    :class:`~repro.obs.sketch.ReservoirSketch`, so a histogram's memory
+    is O(reservoir) no matter how long the process runs. ``count``,
+    ``sum``, ``min`` and ``max`` stay exact (streaming); quantiles and
+    the summary are estimated from the reservoir, and the number of raw
+    samples aged out is surfaced as :attr:`values_dropped`.
     """
 
-    __slots__ = ("buckets", "bucket_counts", "values")
+    __slots__ = ("buckets", "bucket_counts", "sketch")
 
     def __init__(
         self,
         name: str,
         tags: Dict[str, Any],
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+        reservoir: int = DEFAULT_RESERVOIR_SIZE,
     ) -> None:
         super().__init__(name, tags)
         self.buckets: Tuple[float, ...] = tuple(buckets)
         self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
-        self.values: List[float] = []
+        # Deterministic seed from the metric key: a given observation
+        # stream always yields the same reservoir, run to run.
+        seed = zlib.crc32(repr(_metric_key(name, tags)).encode("utf-8"))
+        self.sketch = ReservoirSketch(capacity=reservoir, seed=seed)
 
     def observe(self, value: float) -> None:
         self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
-        self.values.append(float(value))
+        self.sketch.add(value)
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        """Exact number of observations (streaming, not reservoir size)."""
+        return self.sketch.count
+
+    @property
+    def values(self) -> List[float]:
+        """The retained raw samples (bounded by the reservoir capacity)."""
+        return list(self.sketch.samples)
+
+    @property
+    def values_dropped(self) -> int:
+        """Raw observations aged out of the reservoir."""
+        return self.sketch.dropped
+
+    @property
+    def sum(self) -> float:
+        """Exact sum of all observations."""
+        return self.sketch.total
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile from the reservoir."""
+        return self.sketch.quantile(q)
 
 
 def _metric_key(name: str, tags: Dict[str, Any]) -> Tuple:
@@ -247,6 +289,7 @@ class Registry:
         self.enabled = bool(enabled)
         self.max_spans = int(max_spans)
         self.dropped_spans = 0
+        self.spans_recorded = 0  # cumulative; survives drain_spans()
         self._lock = threading.Lock()
         self._local = threading.local()
         self._spans: List[Span] = []
@@ -269,11 +312,20 @@ class Registry:
         return self._epoch_unix
 
     def _small_thread_id(self) -> int:
+        # Hot path: after a thread's first span the small id is cached in
+        # the thread-local, so span entry never touches the registry lock.
+        local = self._local
+        try:
+            return local.small_id
+        except AttributeError:
+            pass
         ident = threading.get_ident()
         with self._lock:
-            if ident not in self._thread_ids:
-                self._thread_ids[ident] = len(self._thread_ids) + 1
-            return self._thread_ids[ident]
+            small = self._thread_ids.get(ident)
+            if small is None:
+                small = self._thread_ids[ident] = len(self._thread_ids) + 1
+        local.small_id = small
+        return small
 
     def _stack(self) -> List[Span]:
         try:
@@ -370,8 +422,68 @@ class Registry:
         with self._lock:
             if len(self._spans) < self.max_spans:
                 self._spans.append(span)
+                self.spans_recorded += 1
             else:
                 self.dropped_spans += 1
+
+    # ------------------------------------------------------------------
+    # Telemetry plumbing (used by repro.obs.distributed)
+    # ------------------------------------------------------------------
+    def drain_spans(self) -> List[Span]:
+        """Remove and return all finished spans (telemetry delta ship).
+
+        Draining is what keeps a shipping worker's span memory bounded:
+        spans accumulate only between telemetry fetches.
+        ``spans_recorded`` keeps counting across drains.
+        """
+        with self._lock:
+            drained = self._spans
+            self._spans = []
+        return drained
+
+    def record_finished(self, span: Span) -> None:
+        """Record an externally built, already-finished span.
+
+        The telemetry collector uses this to merge spans that ran in
+        another process; the span must carry its own ids and timestamps.
+        """
+        with self._lock:
+            if len(self._spans) < self.max_spans:
+                self._spans.append(span)
+                self.spans_recorded += 1
+            else:
+                self.dropped_spans += 1
+
+    def allocate_span_ids(self, n: int) -> int:
+        """Reserve ``n`` consecutive span ids; returns the first.
+
+        Remote spans get fresh local ids on merge so they can never
+        collide with natively recorded ones.
+        """
+        with self._lock:
+            first = self._next_span_id
+            self._next_span_id += n
+        return first
+
+    def set_counter(self, name: str, value: float, **tags: Any) -> None:
+        """Overwrite a counter to an absolute value.
+
+        Telemetry deltas ship counters as absolute snapshots (the source
+        registry is the single writer of its ``worker=``-tagged series),
+        so merging is an idempotent overwrite rather than an add.
+        """
+        key = _metric_key(name, tags)
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter(name, tags)
+            metric.value = float(value)
+
+    def install_histogram(self, histogram: Histogram) -> None:
+        """Install (or replace) a fully built histogram under its key."""
+        key = _metric_key(histogram.name, histogram.tags)
+        with self._lock:
+            self._histograms[key] = histogram
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -412,3 +524,4 @@ class Registry:
             self._counters.clear()
             self._histograms.clear()
             self.dropped_spans = 0
+            self.spans_recorded = 0

@@ -1,0 +1,285 @@
+"""Cross-process telemetry: deltas, wire encoding, and the collector.
+
+The PR 5 cluster pushed PUT/GET/SCRUB work into dumb ``ShardWorker``
+processes — and made them a telemetry blind spot: the client's
+``cluster.get`` span ended at the socket. This module is the other half
+of trace propagation (the trace-context block lives in
+:mod:`repro.cluster.wire`):
+
+* **Workers** keep an enabled per-process :class:`~repro.obs.core.Registry`
+  and answer ``MSG_TELEMETRY`` with a :class:`TelemetryDelta` —
+  *drained* spans (destructive read, so worker span memory stays
+  bounded between fetches) plus *absolute* counter/histogram snapshots
+  (idempotent to merge; a lost frame loses nothing).
+* **The parent** feeds every delta to a :class:`TelemetryCollector`,
+  which rewrites remote span ids onto fresh local ids, resolves
+  cross-process parent links via the ``(trace_id, remote span id)``
+  correlation map, aligns timestamps across registry epochs, and tags
+  every merged series ``worker=<id>`` — yielding one registry whose
+  Chrome/JSONL exports draw the whole fleet as a single flame graph.
+
+Span records reuse the JSONL exporter's dict shape
+(:func:`repro.obs.export.span_record`), so anything that can read a
+trace file can read a delta.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.util.errors import IntegrityError
+from repro.obs.core import Registry, Span, SpanEvent
+from repro.obs.export import (
+    counter_record,
+    histogram_record,
+    span_record,
+    _histogram_from_record,
+)
+
+#: Bump when the delta schema changes incompatibly; decoders reject
+#: versions they do not understand instead of misreading them.
+TELEMETRY_VERSION = 1
+
+
+@dataclass
+class TelemetryDelta:
+    """One worker's telemetry shipment.
+
+    ``spans`` are drained (each appears in exactly one delta);
+    ``counters`` / ``histograms`` are cumulative absolute snapshots.
+    ``epoch_unix`` is the source registry's t=0 so the collector can
+    place remote timestamps on the local clock line.
+    """
+
+    source: str
+    epoch_unix: float
+    spans: List[dict] = field(default_factory=list)
+    counters: List[dict] = field(default_factory=list)
+    histograms: List[dict] = field(default_factory=list)
+    dropped_spans: int = 0
+    spans_recorded: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return not (self.spans or self.counters or self.histograms)
+
+
+def collect_delta(registry: Registry, source: str) -> TelemetryDelta:
+    """Drain ``registry``'s spans and snapshot its metrics as a delta."""
+    return TelemetryDelta(
+        source=source,
+        epoch_unix=registry.epoch_unix,
+        spans=[span_record(s) for s in registry.drain_spans()],
+        counters=[counter_record(c) for c in registry.counters()],
+        histograms=[histogram_record(h) for h in registry.histograms()],
+        dropped_spans=registry.dropped_spans,
+        spans_recorded=registry.spans_recorded,
+    )
+
+
+def encode_telemetry(delta: TelemetryDelta) -> bytes:
+    """Serialize a delta for the wire (zlib-compressed JSON).
+
+    The RPCF frame around it already carries a CRC, so this only needs
+    to be compact and self-describing.
+    """
+    payload = {
+        "version": TELEMETRY_VERSION,
+        "source": delta.source,
+        "epoch_unix": delta.epoch_unix,
+        "spans": delta.spans,
+        "counters": delta.counters,
+        "histograms": delta.histograms,
+        "dropped_spans": delta.dropped_spans,
+        "spans_recorded": delta.spans_recorded,
+    }
+    return zlib.compress(
+        json.dumps(payload, sort_keys=True).encode("utf-8"), level=3
+    )
+
+
+def decode_telemetry(blob: bytes) -> TelemetryDelta:
+    """Parse a wire delta; raises :class:`IntegrityError` on damage."""
+    try:
+        payload = json.loads(zlib.decompress(blob).decode("utf-8"))
+    except (zlib.error, ValueError, UnicodeDecodeError) as error:
+        raise IntegrityError(
+            f"undecodable telemetry delta: {error}"
+        ) from error
+    version = payload.get("version")
+    if version != TELEMETRY_VERSION:
+        raise IntegrityError(
+            f"unsupported telemetry version {version!r} "
+            f"(speaking {TELEMETRY_VERSION})"
+        )
+    return TelemetryDelta(
+        source=str(payload.get("source", "?")),
+        epoch_unix=float(payload.get("epoch_unix", 0.0)),
+        spans=list(payload.get("spans", ())),
+        counters=list(payload.get("counters", ())),
+        histograms=list(payload.get("histograms", ())),
+        dropped_spans=int(payload.get("dropped_spans", 0)),
+        spans_recorded=int(payload.get("spans_recorded", 0)),
+    )
+
+
+class TelemetryCollector:
+    """Merges remote telemetry into one registry, ids remapped.
+
+    Span ids are registry-local, so remote spans get fresh ids from the
+    target registry on merge. Parent links survive two ways:
+
+    * links *within* one source batch (or to an earlier batch from the
+      same source) remap through the persistent per-client id map;
+    * links *across* processes — a worker span whose request carried a
+      trace context — resolve through the correlation map keyed by
+      ``(trace_id, remote span id)``. Trace ids minted by the target
+      registry's own clients are declared with :meth:`bind_native_client`
+      so their span ids pass through unchanged.
+
+    Unresolvable parents (an unknown client, a parent dropped past the
+    span cap) degrade to root spans rather than being lost; they are
+    counted in ``orphaned_spans``.
+    """
+
+    def __init__(self, registry: Registry) -> None:
+        self.registry = registry
+        self.merged_spans = 0
+        self.orphaned_spans = 0
+        self._native_clients: set = set()
+        self._id_map: Dict[Tuple[int, int], int] = {}
+
+    def bind_native_client(self, client_id: int) -> None:
+        """Declare that ``client_id``'s spans live in the target registry."""
+        self._native_clients.add(int(client_id))
+
+    def _resolve_remote(
+        self, trace_id: Optional[int], remote_parent: Optional[int]
+    ) -> Optional[int]:
+        if trace_id is None or remote_parent is None:
+            return None
+        if trace_id in self._native_clients:
+            return remote_parent
+        return self._id_map.get((trace_id, remote_parent))
+
+    def merge_span_records(
+        self,
+        records: Sequence[dict],
+        *,
+        client_id: Optional[int] = None,
+        epoch_unix: Optional[float] = None,
+        extra_tags: Optional[Dict[str, Any]] = None,
+        process: Optional[str] = None,
+    ) -> int:
+        """Merge span records (the JSONL dict shape) into the registry.
+
+        ``client_id`` registers each merged span in the correlation map
+        so later worker spans can parent onto it; ``epoch_unix`` shifts
+        timestamps onto the target registry's clock line; ``extra_tags``
+        and ``process`` label the source (e.g. ``worker=w0``).
+        """
+        if not records:
+            return 0
+        offset_ms = 0.0
+        if epoch_unix is not None:
+            offset_ms = (
+                epoch_unix - self.registry.epoch_unix
+            ) * 1000.0
+        first_id = self.registry.allocate_span_ids(len(records))
+        batch_map: Dict[int, int] = {}
+        for index, record in enumerate(records):
+            old_id = record.get("id")
+            if old_id is not None:
+                batch_map[old_id] = first_id + index
+                if client_id is not None:
+                    self._id_map[(client_id, old_id)] = first_id + index
+        merged = 0
+        for index, record in enumerate(records):
+            tags = dict(record.get("tags", {}))
+            if extra_tags:
+                tags.update(extra_tags)
+            span = Span(self.registry, record["name"], tags)
+            span.span_id = first_id + index
+            span.thread_id = record.get("thread", 0)
+            span.start_ms = float(record["start_ms"]) + offset_ms
+            span.end_ms = span.start_ms + float(record["wall_ms"])
+            span.cpu_start_ms = 0.0
+            span.cpu_end_ms = float(record.get("cpu_ms", 0.0))
+            span.process = record.get("process", process)
+            trace_id = record.get("trace_id")
+            remote_parent = record.get("remote_parent")
+            span.trace_id = trace_id
+            span.remote_parent = remote_parent
+
+            parent = record.get("parent")
+            if parent is not None:
+                mapped = batch_map.get(parent)
+                if mapped is None and client_id is not None:
+                    mapped = self._id_map.get((client_id, parent))
+                parent = mapped
+            if parent is None:
+                parent = self._resolve_remote(trace_id, remote_parent)
+                if (
+                    parent is None
+                    and trace_id is not None
+                    and remote_parent is not None
+                ):
+                    self.orphaned_spans += 1
+            span.parent_id = parent
+
+            for event in record.get("events", ()):
+                span.events.append(
+                    SpanEvent(
+                        event["name"],
+                        float(event.get("offset_ms", 0.0)),
+                        dict(event.get("fields", {})),
+                    )
+                )
+            self.registry.record_finished(span)
+            merged += 1
+        self.merged_spans += merged
+        return merged
+
+    def merge_delta(self, delta: TelemetryDelta) -> int:
+        """Merge one worker delta; returns the number of spans merged.
+
+        Spans land tagged ``worker=<source>`` under process
+        ``worker:<source>``; counters and histograms are installed as
+        absolute snapshots under the same tag (overwrite-idempotent).
+        The source's own drop counters surface as
+        ``telemetry.dropped_spans`` / ``telemetry.spans_recorded``.
+        """
+        merged = self.merge_span_records(
+            delta.spans,
+            epoch_unix=delta.epoch_unix,
+            extra_tags={"worker": delta.source},
+            process=f"worker:{delta.source}",
+        )
+        for record in delta.counters:
+            tags = dict(record.get("tags", {}))
+            tags["worker"] = delta.source
+            self.registry.set_counter(
+                record["name"], record["value"], **tags
+            )
+        for record in delta.histograms:
+            record = dict(record)
+            tags = dict(record.get("tags", {}))
+            tags["worker"] = delta.source
+            record["tags"] = tags
+            self.registry.install_histogram(
+                _histogram_from_record(record)
+            )
+        self.registry.set_counter(
+            "telemetry.dropped_spans",
+            delta.dropped_spans,
+            worker=delta.source,
+        )
+        self.registry.set_counter(
+            "telemetry.spans_recorded",
+            delta.spans_recorded,
+            worker=delta.source,
+        )
+        return merged

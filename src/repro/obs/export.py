@@ -9,15 +9,31 @@ Three output shapes, each for a different consumer:
   ``chrome://tracing`` or Perfetto) for flame-graph viewing;
 * :func:`aggregate_table` — a human-readable per-stage table in the
   five-number-summary shape of :class:`repro.util.stats.SummaryStats`,
-  what ``repro-puppies profile`` prints.
+  what ``repro-puppies profile`` prints;
+* :func:`export_prometheus` — Prometheus text exposition (counters,
+  histograms with cumulative ``le`` buckets, span summaries with
+  quantile labels), what a scrape endpoint or ``obs export`` serves.
+
+:func:`import_jsonl` closes the loop: it rebuilds a
+:class:`~repro.obs.core.Registry` from a JSONL trace, so offline tools
+(``obs check``, ``obs export``) and the round-trip fidelity tests work
+from trace files instead of live processes.
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO, Dict, List, Union
+import re
+from typing import IO, Any, Dict, List, Optional, Union
 
-from repro.obs.core import Counter, Histogram, Registry, Span
+from repro.obs.core import (
+    Counter,
+    Histogram,
+    Registry,
+    Span,
+    SpanEvent,
+)
+from repro.obs.sketch import ReservoirSketch
 
 PathOrFile = Union[str, IO[str]]
 
@@ -30,17 +46,26 @@ def span_record(span: Span) -> dict:
         "id": span.span_id,
         "parent": span.parent_id,
         "thread": span.thread_id,
-        "start_ms": round(span.start_ms, 4),
-        "wall_ms": round(span.wall_ms, 4),
-        "cpu_ms": round(span.cpu_ms, 4),
+        # Full float precision: rounding here would make import_jsonl
+        # lossy, and a sub-ulp shift can flip a rendered digit in
+        # aggregate_table right at a formatting half-boundary.
+        "start_ms": span.start_ms,
+        "wall_ms": span.wall_ms,
+        "cpu_ms": span.cpu_ms,
     }
+    if span.trace_id is not None:
+        record["trace_id"] = span.trace_id
+    if span.remote_parent is not None:
+        record["remote_parent"] = span.remote_parent
+    if span.process is not None:
+        record["process"] = span.process
     if span.tags:
         record["tags"] = dict(span.tags)
     if span.events:
         record["events"] = [
             {
                 "name": event.name,
-                "offset_ms": round(event.offset_ms, 4),
+                "offset_ms": event.offset_ms,
                 **({"fields": event.fields} if event.fields else {}),
             }
             for event in span.events
@@ -60,13 +85,19 @@ def counter_record(counter: Counter) -> dict:
 
 
 def histogram_record(histogram: Histogram) -> dict:
+    sketch = histogram.sketch
     record = {
         "type": "histogram",
         "name": histogram.name,
         "count": histogram.count,
+        "sum": sketch.total,
+        "sq_sum": sketch.sq_total,
+        "min": sketch.min_value,
+        "max": sketch.max_value,
         "buckets": list(histogram.buckets),
         "bucket_counts": list(histogram.bucket_counts),
         "values": list(histogram.values),
+        "values_dropped": histogram.values_dropped,
     }
     if histogram.tags:
         record["tags"] = dict(histogram.tags)
@@ -94,6 +125,7 @@ def export_jsonl(registry: Registry, target: PathOrFile) -> int:
                 "type": "meta",
                 "epoch_unix": registry.epoch_unix,
                 "dropped_spans": registry.dropped_spans,
+                "spans_recorded": registry.spans_recorded,
             }
         ]
         records += [span_record(s) for s in registry.spans()]
@@ -113,17 +145,25 @@ def export_chrome_trace(registry: Registry, target: PathOrFile) -> int:
 
     Spans become complete (``"ph": "X"``) events with microsecond
     timestamps; span events become instant (``"ph": "i"``) events so
-    retries and fallbacks appear as markers on the flame graph.
+    retries and fallbacks appear as markers on the flame graph. Spans
+    merged from other processes (``span.process`` set by the telemetry
+    collector) get their own Chrome pid with a ``process_name`` metadata
+    record, so one export renders the whole fleet as one flame graph.
     """
     events: List[dict] = []
+    pids: Dict[Optional[str], int] = {None: 1}
     for span in registry.spans():
+        process = span.process
+        pid = pids.get(process)
+        if pid is None:
+            pid = pids[process] = len(pids) + 1
         events.append(
             {
                 "name": span.name,
                 "ph": "X",
                 "ts": round(span.start_ms * 1000.0, 1),
                 "dur": round(span.wall_ms * 1000.0, 1),
-                "pid": 1,
+                "pid": pid,
                 "tid": span.thread_id,
                 "args": dict(span.tags),
             }
@@ -137,11 +177,21 @@ def export_chrome_trace(registry: Registry, target: PathOrFile) -> int:
                         (span.start_ms + event.offset_ms) * 1000.0, 1
                     ),
                     "s": "t",
-                    "pid": 1,
+                    "pid": pid,
                     "tid": span.thread_id,
                     "args": dict(event.fields),
                 }
             )
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": process if process is not None else "main"},
+        }
+        for process, pid in sorted(pids.items(), key=lambda kv: kv[1])
+    ]
+    events = metadata + events
     payload = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -215,12 +265,263 @@ def aggregate_table(registry: Registry) -> str:
         )
         lines.append(header)
         lines.append("-" * len(header))
+        dropped_values = 0
         for histogram in sorted(histograms, key=lambda h: h.name):
+            dropped_values += histogram.values_dropped
             if not histogram.values:
                 continue
             stats = summarize(histogram.values)
             lines.append(
-                f"{histogram.name:<34} {stats.count:>6}  "
+                f"{histogram.name:<34} {histogram.count:>6}  "
                 + stats.row("{:.2f}")
             )
+        if dropped_values:
+            lines.append(
+                f"(~) {dropped_values} raw histogram value(s) aged out of "
+                f"bounded reservoirs (summaries estimated from retained "
+                f"samples; counts exact)"
+            )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return "puppies_" + _PROM_NAME_RE.sub("_", name)
+
+
+def _prom_label_value(value: Any) -> str:
+    text = str(value)
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _prom_labels(tags: Dict[str, Any], extra: str = "") -> str:
+    parts = [
+        f'{_PROM_NAME_RE.sub("_", str(k))}="{_prom_label_value(v)}"'
+        for k, v in sorted(tags.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_value(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def export_prometheus(
+    registry: Registry, target: Optional[PathOrFile] = None
+) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Counters export as ``counter`` samples, histograms as classic
+    ``histogram`` families (cumulative ``le`` buckets plus ``_sum`` /
+    ``_count``) with a companion ``_values_dropped`` gauge, and spans as
+    per-name ``summary`` families (p50/p90/p99 quantile labels over wall
+    milliseconds). Registry health exports as
+    ``puppies_obs_dropped_spans`` / ``puppies_obs_spans_recorded``.
+    Returns the exposition text; also writes it when ``target`` given.
+    """
+    lines: List[str] = []
+
+    seen_types: Dict[str, str] = {}
+
+    def _family(name: str, kind: str) -> None:
+        if seen_types.get(name) is None:
+            lines.append(f"# TYPE {name} {kind}")
+            seen_types[name] = kind
+
+    for counter in sorted(
+        registry.counters(), key=lambda c: (c.name, sorted(c.tags.items()))
+    ):
+        name = _prom_name(counter.name)
+        _family(name, "counter")
+        lines.append(
+            f"{name}{_prom_labels(counter.tags)} "
+            f"{_prom_value(counter.value)}"
+        )
+
+    for histogram in sorted(
+        registry.histograms(),
+        key=lambda h: (h.name, sorted(h.tags.items())),
+    ):
+        name = _prom_name(histogram.name)
+        _family(name, "histogram")
+        cumulative = 0
+        for bound, bucket_count in zip(
+            histogram.buckets, histogram.bucket_counts
+        ):
+            cumulative += bucket_count
+            labels = _prom_labels(histogram.tags, f'le="{_prom_value(bound)}"')
+            lines.append(f"{name}_bucket{labels} {cumulative}")
+        labels = _prom_labels(histogram.tags, 'le="+Inf"')
+        lines.append(f"{name}_bucket{labels} {histogram.count}")
+        lines.append(
+            f"{name}_sum{_prom_labels(histogram.tags)} "
+            f"{_prom_value(histogram.sum)}"
+        )
+        lines.append(
+            f"{name}_count{_prom_labels(histogram.tags)} {histogram.count}"
+        )
+        dropped_name = f"{name}_values_dropped"
+        _family(dropped_name, "gauge")
+        lines.append(
+            f"{dropped_name}{_prom_labels(histogram.tags)} "
+            f"{histogram.values_dropped}"
+        )
+
+    by_name: Dict[str, List[float]] = {}
+    for span in registry.spans():
+        by_name.setdefault(span.name, []).append(span.wall_ms)
+    if by_name:
+        _family("puppies_span_wall_ms", "summary")
+        for span_name in sorted(by_name):
+            walls = sorted(by_name[span_name])
+            last = len(walls) - 1
+            for q in (0.5, 0.9, 0.99):
+                index = min(last, round(q * last))
+                labels = _prom_labels(
+                    {"span": span_name}, f'quantile="{q}"'
+                )
+                lines.append(
+                    f"puppies_span_wall_ms{labels} "
+                    f"{_prom_value(walls[index])}"
+                )
+            labels = _prom_labels({"span": span_name})
+            lines.append(
+                f"puppies_span_wall_ms_sum{labels} "
+                f"{_prom_value(sum(walls))}"
+            )
+            lines.append(
+                f"puppies_span_wall_ms_count{labels} {len(walls)}"
+            )
+
+    _family("puppies_obs_dropped_spans", "gauge")
+    lines.append(f"puppies_obs_dropped_spans {registry.dropped_spans}")
+    _family("puppies_obs_spans_recorded", "counter")
+    lines.append(f"puppies_obs_spans_recorded {registry.spans_recorded}")
+
+    text = "\n".join(lines) + "\n"
+    if target is not None:
+        handle, owned = _open_for_write(target)
+        try:
+            handle.write(text)
+        finally:
+            if owned:
+                handle.close()
+    return text
+
+
+# ----------------------------------------------------------------------
+# JSONL import (round trip)
+# ----------------------------------------------------------------------
+def _span_from_record(record: dict, registry: Registry) -> Span:
+    span = Span(registry, record["name"], dict(record.get("tags", {})))
+    span.span_id = record["id"]
+    span.parent_id = record.get("parent")
+    span.thread_id = record.get("thread", 0)
+    span.start_ms = float(record["start_ms"])
+    span.end_ms = span.start_ms + float(record["wall_ms"])
+    span.cpu_start_ms = 0.0
+    span.cpu_end_ms = float(record.get("cpu_ms", 0.0))
+    span.trace_id = record.get("trace_id")
+    span.remote_parent = record.get("remote_parent")
+    span.process = record.get("process")
+    for event in record.get("events", ()):
+        span.events.append(
+            SpanEvent(
+                event["name"],
+                float(event["offset_ms"]),
+                dict(event.get("fields", {})),
+            )
+        )
+    return span
+
+
+def _histogram_from_record(record: dict) -> Histogram:
+    histogram = Histogram(
+        record["name"],
+        dict(record.get("tags", {})),
+        buckets=record["buckets"],
+    )
+    histogram.bucket_counts = [int(c) for c in record["bucket_counts"]]
+    sketch = histogram.sketch
+    histogram.sketch = ReservoirSketch.from_state(
+        {
+            "capacity": sketch.capacity,
+            "count": record["count"],
+            "total": record.get("sum", 0.0),
+            "sq_total": record.get("sq_sum", 0.0),
+            "min": record.get("min"),
+            "max": record.get("max"),
+            "samples": record.get("values", []),
+        }
+    )
+    return histogram
+
+
+def import_jsonl(source: PathOrFile) -> Registry:
+    """Rebuild a :class:`Registry` from a JSONL trace.
+
+    The inverse of :func:`export_jsonl` up to reservoir bounds: spans,
+    counters, histogram bucket/sketch state, the epoch and the
+    drop counts all round-trip, so ``aggregate_table`` /
+    ``export_prometheus`` of the imported registry match the original.
+    Used by ``repro-puppies obs check`` / ``obs export`` to evaluate
+    traces offline.
+    """
+    if isinstance(source, str):
+        handle: IO[str] = open(source, "r", encoding="utf-8")
+        owned = True
+    else:
+        handle, owned = source, False
+    registry = Registry(enabled=True)
+    max_span_id = 0
+    try:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "meta":
+                registry._epoch_unix = float(
+                    record.get("epoch_unix", registry.epoch_unix)
+                )
+                registry.dropped_spans = int(
+                    record.get("dropped_spans", 0)
+                )
+                registry.spans_recorded = int(
+                    record.get("spans_recorded", 0)
+                )
+            elif kind == "span":
+                span = _span_from_record(record, registry)
+                with registry._lock:
+                    registry._spans.append(span)
+                if span.span_id:
+                    max_span_id = max(max_span_id, span.span_id)
+            elif kind == "counter":
+                registry.set_counter(
+                    record["name"],
+                    record["value"],
+                    **record.get("tags", {}),
+                )
+            elif kind == "histogram":
+                registry.install_histogram(_histogram_from_record(record))
+    finally:
+        if owned:
+            handle.close()
+    with registry._lock:
+        registry._next_span_id = max_span_id + 1
+        if not registry.spans_recorded:
+            registry.spans_recorded = len(registry._spans)
+    return registry

@@ -1,0 +1,188 @@
+"""Bounded-memory quantile sketches for long-running registries.
+
+A shard worker that serves millions of requests cannot keep every raw
+histogram sample the way the original :class:`~repro.obs.core.Histogram`
+did (an unbounded ``list.append`` per observation — the memory leak this
+module exists to fix). :class:`ReservoirSketch` keeps a fixed-capacity
+uniform random sample of the stream (Vitter's Algorithm R) next to exact
+streaming moments (count, sum, sum of squares, min, max), so:
+
+* memory is O(capacity) per series no matter how many observations
+  arrive;
+* count/mean/min/max stay *exact*;
+* quantiles are estimated from the reservoir — with the default
+  capacity of 4096 the p50/p99 of a 100k-observation stream land well
+  within a few percent of the exact order statistics (asserted by the
+  soak test).
+
+The RNG is seeded deterministically (callers derive the seed from the
+metric key), so a given observation stream always yields the same
+reservoir — traces stay reproducible run-to-run.
+
+Sketches merge: :meth:`ReservoirSketch.merge` folds another sketch's
+state in using weighted sampling without replacement (A-Res exponential
+keys), which is what the telemetry collector uses to aggregate the same
+series across workers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+#: Default reservoir capacity — 4096 floats is ~32 KiB per series and
+#: keeps p99 of a 100k stream within a few percent of exact.
+DEFAULT_RESERVOIR_SIZE = 4096
+
+
+class ReservoirSketch:
+    """Fixed-memory sample of a value stream with exact moments."""
+
+    __slots__ = (
+        "capacity",
+        "count",
+        "total",
+        "sq_total",
+        "min_value",
+        "max_value",
+        "samples",
+        "_rng",
+    )
+
+    def __init__(
+        self, capacity: int = DEFAULT_RESERVOIR_SIZE, seed: int = 0
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"reservoir capacity must be >= 1: {capacity}")
+        self.capacity = int(capacity)
+        self.count = 0
+        self.total = 0.0
+        self.sq_total = 0.0
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+        self.samples: List[float] = []
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Streaming ingest
+    # ------------------------------------------------------------------
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.sq_total += value * value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+        if len(self.samples) < self.capacity:
+            self.samples.append(value)
+        else:  # Algorithm R: keep with probability capacity/count
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self.samples[slot] = value
+
+    @property
+    def dropped(self) -> int:
+        """Raw observations not retained in the reservoir."""
+        return self.count - len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    # ------------------------------------------------------------------
+    # Quantiles
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1); 0.0 when empty."""
+        return self.quantiles((q,))[0]
+
+    def quantiles(self, qs: Sequence[float]) -> List[float]:
+        """Several quantiles from one sort of the reservoir."""
+        if not self.samples:
+            return [0.0 for _ in qs]
+        ordered = sorted(self.samples)
+        last = len(ordered) - 1
+        out: List[float] = []
+        for q in qs:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile out of range: {q}")
+            position = q * last
+            low = int(position)
+            high = min(low + 1, last)
+            fraction = position - low
+            out.append(
+                ordered[low] + (ordered[high] - ordered[low]) * fraction
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Merge + serialization (telemetry shipping)
+    # ------------------------------------------------------------------
+    def merge(self, other: "ReservoirSketch") -> None:
+        """Fold ``other`` in; weighted sampling keeps the result uniform.
+
+        Each retained sample represents ``count / len(samples)``
+        observations of its source stream; A-Res exponential keys draw a
+        capacity-sized weighted sample without replacement from the
+        union.
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.total = other.total
+            self.sq_total = other.sq_total
+            self.min_value = other.min_value
+            self.max_value = other.max_value
+            self.samples = list(other.samples)
+            return
+        weight_self = self.count / max(1, len(self.samples))
+        weight_other = other.count / max(1, len(other.samples))
+        pool = [(weight_self, v) for v in self.samples]
+        pool += [(weight_other, v) for v in other.samples]
+        keyed = [
+            (self._rng.random() ** (1.0 / weight), value)
+            for weight, value in pool
+        ]
+        keyed.sort(reverse=True)
+        self.samples = [value for _key, value in keyed[: self.capacity]]
+        self.count += other.count
+        self.total += other.total
+        self.sq_total += other.sq_total
+        if other.min_value is not None:
+            if self.min_value is None or other.min_value < self.min_value:
+                self.min_value = other.min_value
+        if other.max_value is not None:
+            if self.max_value is None or other.max_value > self.max_value:
+                self.max_value = other.max_value
+
+    def state(self) -> Dict[str, object]:
+        """JSON-safe snapshot; :meth:`from_state` restores it exactly."""
+        return {
+            "capacity": self.capacity,
+            "count": self.count,
+            "total": self.total,
+            "sq_total": self.sq_total,
+            "min": self.min_value,
+            "max": self.max_value,
+            "samples": list(self.samples),
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: Dict[str, object], seed: int = 0
+    ) -> "ReservoirSketch":
+        sketch = cls(capacity=int(state["capacity"]), seed=seed)
+        sketch.count = int(state["count"])
+        sketch.total = float(state["total"])
+        sketch.sq_total = float(state["sq_total"])
+        sketch.min_value = (
+            None if state["min"] is None else float(state["min"])
+        )
+        sketch.max_value = (
+            None if state["max"] is None else float(state["max"])
+        )
+        sketch.samples = [float(v) for v in state["samples"]]
+        return sketch

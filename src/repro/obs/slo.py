@@ -1,0 +1,210 @@
+"""SLO evaluation over registries, traces, and loadgen reports.
+
+One policy object, three feeders: the cluster loadgen's ``--check``
+evaluates the report it just produced, ``repro-puppies obs check``
+evaluates a JSONL trace re-imported with
+:func:`repro.obs.export.import_jsonl`, and CI runs both. The gate is
+deliberately small — four limits that map one-to-one onto the failure
+modes the cluster fault injector can produce:
+
+* **p99 latency** of a named span (or histogram) family;
+* **error rate** — errors / (requests + errors);
+* **under-replication** — writes that landed on fewer than RF replicas;
+* **dropped spans** — local cap drops plus every worker's shipped
+  ``telemetry.dropped_spans``.
+
+Limits left ``None`` are not checked, so one policy type serves a quick
+"no failed reads" gate and a strict CI gate alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.obs.core import Registry
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Limits to enforce; ``None`` disables a dimension."""
+
+    max_p99_ms: Optional[float] = None
+    max_error_rate: Optional[float] = None
+    max_under_replicated: Optional[float] = None
+    max_dropped_spans: Optional[float] = None
+    #: Span family (or histogram name) whose p99 the latency limit reads.
+    latency_source: str = "cluster.get"
+
+    @property
+    def empty(self) -> bool:
+        return (
+            self.max_p99_ms is None
+            and self.max_error_rate is None
+            and self.max_under_replicated is None
+            and self.max_dropped_spans is None
+        )
+
+
+@dataclass
+class SloCheck:
+    """One evaluated dimension."""
+
+    name: str
+    observed: float
+    limit: float
+    passed: bool
+    detail: str = ""
+
+    def line(self) -> str:
+        verdict = "ok  " if self.passed else "FAIL"
+        text = f"[{verdict}] {self.name:<18} {self.observed:.4g} "
+        text += f"(limit {self.limit:.4g})"
+        if self.detail:
+            text += f"  {self.detail}"
+        return text
+
+
+@dataclass
+class SloReport:
+    """All evaluated dimensions plus the overall verdict."""
+
+    checks: List[SloCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def violations(self) -> List[SloCheck]:
+        return [check for check in self.checks if not check.passed]
+
+    def lines(self) -> List[str]:
+        if not self.checks:
+            return ["SLO: no limits configured — nothing checked"]
+        out = [check.line() for check in self.checks]
+        out.append(
+            "SLO: PASS"
+            if self.ok
+            else f"SLO: FAIL ({len(self.violations)} violation(s))"
+        )
+        return out
+
+
+def evaluate_metrics(
+    policy: SloPolicy,
+    *,
+    p99_ms: Optional[float] = None,
+    requests: float = 0,
+    errors: float = 0,
+    under_replicated: float = 0,
+    dropped_spans: float = 0,
+) -> SloReport:
+    """Evaluate a policy against already-derived scalar metrics."""
+    report = SloReport()
+    if policy.max_p99_ms is not None:
+        observed = 0.0 if p99_ms is None else float(p99_ms)
+        detail = "" if p99_ms is not None else "(no latency samples)"
+        report.checks.append(
+            SloCheck(
+                "p99_ms",
+                observed,
+                policy.max_p99_ms,
+                observed <= policy.max_p99_ms,
+                detail,
+            )
+        )
+    if policy.max_error_rate is not None:
+        total = float(requests) + float(errors)
+        rate = float(errors) / total if total else 0.0
+        report.checks.append(
+            SloCheck(
+                "error_rate",
+                rate,
+                policy.max_error_rate,
+                rate <= policy.max_error_rate,
+                f"({errors:.0f}/{total:.0f} requests)",
+            )
+        )
+    if policy.max_under_replicated is not None:
+        observed = float(under_replicated)
+        report.checks.append(
+            SloCheck(
+                "under_replicated",
+                observed,
+                policy.max_under_replicated,
+                observed <= policy.max_under_replicated,
+            )
+        )
+    if policy.max_dropped_spans is not None:
+        observed = float(dropped_spans)
+        report.checks.append(
+            SloCheck(
+                "dropped_spans",
+                observed,
+                policy.max_dropped_spans,
+                observed <= policy.max_dropped_spans,
+            )
+        )
+    return report
+
+
+def _counter_total(registry: Registry, *names: str) -> float:
+    wanted = set(names)
+    return sum(
+        counter.value
+        for counter in registry.counters()
+        if counter.name in wanted
+    )
+
+
+def _p99_from_registry(
+    registry: Registry, source: str
+) -> Tuple[Optional[float], int]:
+    """p99 of span walls named ``source``, else of matching histograms."""
+    walls = registry.span_wall_ms(source)
+    if walls:
+        ordered = sorted(walls)
+        index = min(len(ordered) - 1, round(0.99 * (len(ordered) - 1)))
+        return ordered[index], len(ordered)
+    count = 0
+    quantiles: List[float] = []
+    for histogram in registry.histograms():
+        if histogram.name == source and histogram.count:
+            quantiles.append(histogram.quantile(0.99))
+            count += histogram.count
+    if quantiles:
+        return max(quantiles), count
+    return None, 0
+
+
+def evaluate_registry(policy: SloPolicy, registry: Registry) -> SloReport:
+    """Evaluate a policy against a live or imported registry.
+
+    Request/error totals come from the ``cluster.loadgen.requests`` /
+    ``cluster.loadgen.errors`` counters the loadgen replays (falling
+    back to ``service``-style names adds nothing today, so they are the
+    single source); under-replication sums the client *and* loadgen
+    variants; dropped spans count the registry's own cap drops plus
+    every ``telemetry.dropped_spans`` shipped by workers.
+    """
+    p99_ms, samples = _p99_from_registry(registry, policy.latency_source)
+    report = evaluate_metrics(
+        policy,
+        p99_ms=p99_ms,
+        requests=_counter_total(registry, "cluster.loadgen.requests"),
+        errors=_counter_total(registry, "cluster.loadgen.errors"),
+        under_replicated=_counter_total(
+            registry,
+            "cluster.under_replicated",
+            "cluster.loadgen.under_replicated",
+        ),
+        dropped_spans=registry.dropped_spans
+        + _counter_total(registry, "telemetry.dropped_spans"),
+    )
+    for check in report.checks:
+        if check.name == "p99_ms" and samples:
+            check.detail = (
+                f"({samples} {policy.latency_source!r} sample(s))"
+            )
+    return report

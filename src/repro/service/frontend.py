@@ -345,3 +345,22 @@ class PspService:
             "decode": self.decode_cache.stats(),
             "derivative": self.derivative_cache.stats(),
         }
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the current obs registry plus
+        this service's cache hit counters (scrape-ready; cheap enough to
+        call per request)."""
+        from repro.obs.export import export_prometheus
+
+        lines = [export_prometheus(obs.get_registry())]
+        for cache_name, stats in sorted(self.cache_stats().items()):
+            for key, value in sorted(stats.items()):
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                lines.append(
+                    f'puppies_cache_{key}{{cache="{cache_name}"}} '
+                    f"{float(value)}"
+                )
+        return "\n".join(lines) + "\n"

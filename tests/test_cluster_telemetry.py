@@ -1,0 +1,284 @@
+"""Trace propagation and telemetry over real RPCF sockets.
+
+The tier-1 half runs a :class:`ShardWorker` on a thread (real sockets,
+no processes); the ``cluster``-marked half spawns the real fleet and
+checks the headline acceptance: one loadgen run yields a single merged
+trace where ``cluster.get`` spans have worker-process children.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import threading
+
+import pytest
+
+from repro import obs
+from repro.cluster.client import ClusterClient
+from repro.cluster.wire import (
+    MSG_OK,
+    MSG_PING,
+    read_frame,
+    unpack_ping_response,
+    write_frame,
+)
+from repro.cluster.worker import ShardWorker
+from repro.obs.core import Registry
+from repro.obs.distributed import TelemetryCollector
+
+
+@contextlib.contextmanager
+def worker_in_thread(telemetry: bool = True):
+    worker = ShardWorker("wt0", telemetry=telemetry)
+    thread = threading.Thread(target=worker.serve, daemon=True)
+    thread.start()
+    try:
+        yield worker
+    finally:
+        worker.close()
+        thread.join(2.0)
+
+
+def _client(worker: ShardWorker, **kwargs) -> ClusterClient:
+    return ClusterClient(
+        {worker.worker_id: ("127.0.0.1", worker.port)},
+        replication=1,
+        timeout=5.0,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def traced_registry():
+    """A fresh enabled default registry, restored afterwards."""
+    previous = obs.set_registry(Registry(enabled=True))
+    try:
+        yield obs.get_registry()
+    finally:
+        obs.set_registry(previous)
+
+
+class TestTracePropagation:
+    def test_worker_span_parents_onto_client_span(self, traced_registry):
+        with worker_in_thread() as worker:
+            with _client(worker, telemetry=True) as client:
+                client.put("img-a", b"payload" * 10, b"{}")
+                client.get("img-a")
+                delta = client.fetch_telemetry("wt0")
+                client_id = client.client_id
+
+        collector = TelemetryCollector(traced_registry)
+        collector.bind_native_client(client_id)
+        assert collector.merge_delta(delta) >= 2  # put + get at least
+
+        spans = {span.span_id: span for span in traced_registry.spans()}
+        worker_gets = [
+            span for span in spans.values() if span.name == "worker.get"
+        ]
+        assert worker_gets, "worker recorded no get spans"
+        for span in worker_gets:
+            assert span.parent_id is not None
+            assert spans[span.parent_id].name == "cluster.get"
+            assert span.trace_id == client_id
+        assert collector.orphaned_spans == 0
+
+    def test_untraced_client_yields_root_worker_spans(self):
+        """No trace block on the wire → spans still record, as roots."""
+        with worker_in_thread() as worker:
+            with _client(worker) as client:  # telemetry=False default
+                client.put("img-b", b"payload" * 10, b"{}")
+                client.get("img-b")
+                delta = client.fetch_telemetry("wt0")
+        get_records = [
+            record for record in delta.spans
+            if record["name"] == "worker.get"
+        ]
+        assert get_records
+        for record in get_records:
+            assert "remote_parent" not in record
+            assert record.get("parent") is None
+
+    def test_worker_error_is_tagged_on_span(self):
+        with worker_in_thread() as worker:
+            with _client(worker, telemetry=True) as client:
+                with pytest.raises(KeyError):
+                    client.get("no-such-id")
+                delta = client.fetch_telemetry("wt0")
+        (record,) = [
+            r for r in delta.spans if r["name"] == "worker.get"
+        ]
+        assert record["tags"].get("error") == "request_failed"
+
+    def test_drain_is_destructive(self):
+        with worker_in_thread() as worker:
+            with _client(worker) as client:
+                client.put("img-c", b"payload" * 10, b"{}")
+                first = client.fetch_telemetry("wt0")
+                second = client.fetch_telemetry("wt0")
+        assert first.spans
+        assert second.spans == []
+        assert second.spans_recorded == first.spans_recorded
+
+
+class TestCompat:
+    def test_v1_ping_still_served(self):
+        """An old client's empty-payload ping gets the short response."""
+        with worker_in_thread() as worker:
+            conn = socket.create_connection(
+                ("127.0.0.1", worker.port), timeout=5.0
+            )
+            try:
+                write_frame(conn, MSG_PING, b"")
+                ftype, payload = read_frame(conn)
+            finally:
+                conn.close()
+        assert ftype == MSG_OK
+        stats = unpack_ping_response(payload)
+        assert stats["worker_id"] == "wt0"
+        assert "telemetry" not in stats  # v1 shape exactly
+
+    def test_telemetry_off_worker_answers_everything(self):
+        """Tracing clients interoperate with a non-recording worker."""
+        with worker_in_thread(telemetry=False) as worker:
+            with _client(worker, telemetry=True) as client:
+                client.put("img-d", b"payload" * 10, b"{}")
+                client.get("img-d")
+                stats = client.ping("wt0")
+                delta = client.fetch_telemetry("wt0")
+        assert stats["telemetry"] is False
+        assert stats["spans_recorded"] == 0
+        assert delta.empty
+
+    def test_health_surfaces_worker_telemetry_stats(self):
+        with worker_in_thread() as worker:
+            with _client(worker) as client:
+                client.put("img-e", b"payload" * 10, b"{}")
+                health = client.health()
+        stats = health["wt0"]
+        assert stats is not None
+        assert stats["telemetry"] is True
+        assert stats["spans_recorded"] >= 1
+        assert stats["spans_dropped"] == 0
+        assert stats["items"] == 1
+
+
+@pytest.mark.cluster
+class TestFleetTrace:
+    def test_loadgen_merges_one_fleet_trace(self, traced_registry):
+        from repro.cluster import (
+            ClusterSupervisor,
+            build_cluster_corpus,
+            run_cluster_loadgen,
+        )
+
+        with ClusterSupervisor(n_workers=2, telemetry=True) as sup:
+            with sup.client() as client:
+                image_ids = build_cluster_corpus(client, 3)
+            report = run_cluster_loadgen(
+                sup.endpoints(),
+                image_ids,
+                processes=2,
+                requests=24,
+                scrub_ratio=0.25,
+                telemetry=True,
+            )
+
+        assert report.failed_reads == 0
+        assert report.telemetry_spans > 0
+        assert set(report.worker_stats) == {"w0", "w1"}
+        for stats in report.worker_stats.values():
+            assert stats is not None
+            assert stats["telemetry"] is True
+
+        # The acceptance bar: at least one cluster.get span has a
+        # worker-process child whose parent id resolved across the wire.
+        spans = {span.span_id: span for span in traced_registry.spans()}
+        linked = [
+            span
+            for span in spans.values()
+            if span.name.startswith("worker.")
+            and span.parent_id in spans
+            and spans[span.parent_id].name
+            in ("cluster.get", "cluster.put", "cluster.scrub")
+        ]
+        assert linked, "no worker span parented onto a client span"
+        get_parents = {
+            spans[span.parent_id].name for span in linked
+        }
+        assert "cluster.get" in get_parents
+
+    def test_chrome_export_draws_every_process(
+        self, traced_registry, tmp_path
+    ):
+        import json
+
+        from repro.cluster import (
+            ClusterSupervisor,
+            build_cluster_corpus,
+            run_cluster_loadgen,
+        )
+        from repro.obs.export import export_chrome_trace
+
+        with ClusterSupervisor(n_workers=2, telemetry=True) as sup:
+            with sup.client() as client:
+                image_ids = build_cluster_corpus(client, 2)
+            run_cluster_loadgen(
+                sup.endpoints(), image_ids,
+                processes=2, requests=12, telemetry=True,
+            )
+        target = tmp_path / "fleet.json"
+        export_chrome_trace(traced_registry, str(target))
+        doc = json.loads(target.read_text())
+        names = {
+            event["args"]["name"]
+            for event in doc["traceEvents"]
+            if event.get("ph") == "M"
+        }
+        # main + 2 loadgen children + 2 workers, one flame graph.
+        assert {"main", "loadgen:0", "loadgen:1",
+                "worker:w0", "worker:w1"} <= names
+
+    def test_slo_gate_passes_clean_and_fails_under_faults(
+        self, traced_registry
+    ):
+        from repro.cluster import (
+            ClusterFaultInjector,
+            ClusterSupervisor,
+            build_cluster_corpus,
+            run_cluster_loadgen,
+        )
+        from repro.obs import SloPolicy, evaluate_metrics
+
+        faults = {
+            "w0": ClusterFaultInjector(delay_every=2, delay_s=0.05)
+        }
+        with ClusterSupervisor(
+            n_workers=2, faults=faults, telemetry=True
+        ) as sup:
+            with sup.client() as client:
+                image_ids = build_cluster_corpus(client, 2)
+            report = run_cluster_loadgen(
+                sup.endpoints(), image_ids,
+                processes=2, requests=24, scrub_ratio=0.0,
+                hedge_delay=10.0,  # no hedging: delays land in p99
+                telemetry=True,
+            )
+
+        def gate(policy):
+            return evaluate_metrics(
+                policy,
+                p99_ms=report.p99_ms,
+                requests=report.requests,
+                errors=report.errors,
+                under_replicated=report.stats.get("under_replicated", 0),
+                dropped_spans=0,
+            )
+
+        generous = gate(SloPolicy(max_p99_ms=60_000.0,
+                                  max_error_rate=0.5))
+        assert generous.ok
+        # The injected 50 ms delay on half of w0's responses must blow
+        # a 10 ms p99 budget.
+        strict = gate(SloPolicy(max_p99_ms=10.0))
+        assert not strict.ok

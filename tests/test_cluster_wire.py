@@ -13,13 +13,16 @@ import pytest
 
 from repro.cluster.ring import DEFAULT_VNODES, HashRing, ring_hash
 from repro.cluster.wire import (
+    FLAG_TRACE,
     HEADER,
     MAX_PAYLOAD,
     MSG_ERR,
     MSG_GET,
     MSG_OK,
     MSG_PUT,
+    PING_EXTENDED,
     ShardRecord,
+    TraceContext,
     decode_frame,
     encode_frame,
     pack_corrupt,
@@ -29,7 +32,9 @@ from repro.cluster.wire import (
     pack_ping_response,
     pack_put,
     pack_scrub_response,
+    pack_trace_ctx,
     read_frame,
+    strip_trace,
     unpack_corrupt,
     unpack_error,
     unpack_id,
@@ -37,6 +42,8 @@ from repro.cluster.wire import (
     unpack_ping_response,
     unpack_put,
     unpack_scrub_response,
+    unpack_trace_ctx,
+    with_trace,
     write_frame,
 )
 from repro.util.errors import ClusterError, IntegrityError
@@ -204,6 +211,75 @@ class TestPayloads:
     def test_error_roundtrip(self):
         code, message = unpack_error(pack_error(3, "bad request"))
         assert (code, message) == (3, "bad request")
+
+
+class TestTraceContext:
+    def test_pack_unpack_roundtrip(self):
+        ctx = TraceContext(client_id=0xDEADBEEF01, span_id=42)
+        unpacked, offset = unpack_trace_ctx(pack_trace_ctx(ctx))
+        assert unpacked == ctx
+        assert offset == len(pack_trace_ctx(ctx))
+
+    def test_unsampled_roundtrip(self):
+        ctx = TraceContext(client_id=7, span_id=9, sampled=False)
+        unpacked, _ = unpack_trace_ctx(pack_trace_ctx(ctx))
+        assert unpacked.sampled is False
+
+    def test_short_block_rejected(self):
+        with pytest.raises(IntegrityError):
+            unpack_trace_ctx(b"\x01\x02")
+
+    def test_with_trace_sets_flag_and_prefixes_block(self):
+        ctx = TraceContext(client_id=1, span_id=2)
+        ftype, payload = with_trace(MSG_GET, b"body", ctx)
+        assert ftype == MSG_GET | FLAG_TRACE
+        base, parsed, rest = strip_trace(ftype, payload)
+        assert (base, parsed, rest) == (MSG_GET, ctx, b"body")
+
+    def test_with_trace_none_is_passthrough(self):
+        assert with_trace(MSG_GET, b"body", None) == (MSG_GET, b"body")
+
+    def test_strip_trace_without_flag_is_passthrough(self):
+        assert strip_trace(MSG_GET, b"body") == (MSG_GET, None, b"body")
+
+    def test_traced_frame_roundtrips_through_codec(self):
+        # The flagged type byte must survive encode/decode + CRC.
+        ctx = TraceContext(client_id=3, span_id=4)
+        ftype, payload = with_trace(MSG_PUT, b"data", ctx)
+        frame = encode_frame(ftype, payload)
+        decoded_type, decoded_payload = decode_frame(frame)
+        assert strip_trace(decoded_type, decoded_payload) == (
+            MSG_PUT, ctx, b"data"
+        )
+
+
+class TestPingV2:
+    def test_extended_response_carries_telemetry(self):
+        payload = pack_ping_response(
+            "w1", 3, 99, 1.5,
+            telemetry={
+                "spans_recorded": 120,
+                "spans_dropped": 4,
+                "enabled": True,
+            },
+        )
+        stats = unpack_ping_response(payload)
+        assert stats["worker_id"] == "w1"
+        assert stats["spans_recorded"] == 120
+        assert stats["spans_dropped"] == 4
+        assert stats["telemetry"] is True
+
+    def test_v1_response_still_parses(self):
+        # A legacy worker that ignores the request payload answers with
+        # the short form; new clients must accept it unchanged.
+        stats = unpack_ping_response(pack_ping_response("w0", 1, 2, 0.5))
+        assert stats == {
+            "worker_id": "w0", "items": 1, "served": 2, "uptime_s": 0.5,
+        }
+        assert "telemetry" not in stats
+
+    def test_extended_marker_is_nonempty(self):
+        assert PING_EXTENDED  # old workers must see a payload to ignore
 
 
 class TestRing:

@@ -251,6 +251,185 @@ class TestExporters:
         assert "no spans recorded" in table
 
 
+class TestExporterFidelity:
+    """Round trips and awkward shapes the fleet trace leans on."""
+
+    def _busy(self):
+        registry = Registry(enabled=True)
+        with registry.span("req", kind="get") as outer:
+            outer.event("routed", replica="w0")
+            with registry.span("decode"):
+                pass
+        with registry.span("boom") as bad:
+            bad.tag(error="IntegrityError")
+        registry.counter("bytes", 4096, direction="down")
+        for value in (0.5, 3.0, 250.0):
+            registry.observe("lat_ms", value)
+        return registry
+
+    def test_jsonl_import_reproduces_aggregate_table(self, tmp_path):
+        from repro.obs import import_jsonl
+
+        registry = self._busy()
+        path = str(tmp_path / "trace.jsonl")
+        export_jsonl(registry, path)
+        imported = import_jsonl(path)
+        assert aggregate_table(imported) == aggregate_table(registry)
+        # And the round trip is a fixed point: export again, same text.
+        second = io.StringIO()
+        export_jsonl(imported, second)
+        reimported = import_jsonl(io.StringIO(second.getvalue()))
+        assert aggregate_table(reimported) == aggregate_table(registry)
+
+    def test_jsonl_import_restores_structure(self, tmp_path):
+        from repro.obs import import_jsonl
+
+        registry = self._busy()
+        path = str(tmp_path / "trace.jsonl")
+        export_jsonl(registry, path)
+        imported = import_jsonl(path)
+        spans = {span.name: span for span in imported.spans()}
+        assert spans["decode"].parent_id == spans["req"].span_id
+        assert spans["boom"].tags == {"error": "IntegrityError"}
+        assert spans["req"].events[0].fields == {"replica": "w0"}
+        assert imported.counter_value("bytes", direction="down") == 4096
+        (histogram,) = imported.histograms()
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(253.5)
+
+    def test_chrome_export_error_tagged_span(self, tmp_path):
+        registry = self._busy()
+        path = str(tmp_path / "trace.json")
+        export_chrome_trace(registry, path)
+        with open(path) as handle:
+            doc = json.load(handle)
+        (boom,) = [
+            event for event in doc["traceEvents"]
+            if event.get("name") == "boom"
+        ]
+        assert boom["args"]["error"] == "IntegrityError"
+
+    def test_chrome_export_misnested_spans(self, tmp_path):
+        """A child that outlives its parent must still export cleanly
+        (chrome:tracing tolerates overlap; we must not crash or drop)."""
+        registry = Registry(enabled=True)
+        parent = registry.span("parent")
+        parent.__enter__()
+        child = registry.span("child")
+        child.__enter__()
+        parent.__exit__(None, None, None)  # parent closes first
+        child.__exit__(None, None, None)
+        path = str(tmp_path / "misnested.json")
+        export_chrome_trace(registry, path)
+        with open(path) as handle:
+            doc = json.load(handle)
+        names = {
+            event["name"] for event in doc["traceEvents"]
+            if event["ph"] == "X"
+        }
+        assert names == {"parent", "child"}
+
+    def test_concurrent_counters_and_histograms_export_exact(self):
+        registry = Registry(enabled=True)
+        n_threads, per_thread = 8, 500
+
+        def work():
+            for index in range(per_thread):
+                registry.counter("ops")
+                registry.observe("val", float(index))
+
+        threads = [
+            threading.Thread(target=work) for _ in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = n_threads * per_thread
+        assert registry.counter_value("ops") == total
+        (histogram,) = registry.histograms()
+        assert histogram.count == total
+        buffer = io.StringIO()
+        export_jsonl(registry, buffer)
+        records = [
+            json.loads(line) for line in buffer.getvalue().splitlines()
+        ]
+        (hist_record,) = [
+            r for r in records if r["type"] == "histogram"
+        ]
+        assert hist_record["count"] == total
+        assert hist_record["values_dropped"] == total - len(
+            hist_record["values"]
+        )
+
+
+class TestBoundedHistograms:
+    def test_values_dropped_surfaces_in_exports(self):
+        from repro.obs import DEFAULT_RESERVOIR_SIZE
+
+        registry = Registry(enabled=True)
+        n = DEFAULT_RESERVOIR_SIZE + 500
+        for index in range(n):
+            registry.observe("big", float(index))
+        (histogram,) = registry.histograms()
+        assert histogram.values_dropped == 500
+        assert len(histogram.values) == DEFAULT_RESERVOIR_SIZE
+        table = aggregate_table(registry)
+        assert "500 raw histogram value(s) aged out" in table
+        buffer = io.StringIO()
+        export_jsonl(registry, buffer)
+        (record,) = [
+            json.loads(line)
+            for line in buffer.getvalue().splitlines()
+            if json.loads(line)["type"] == "histogram"
+        ]
+        assert record["values_dropped"] == 500
+
+    def test_count_and_sum_stay_exact_past_capacity(self):
+        from repro.obs import DEFAULT_RESERVOIR_SIZE
+
+        registry = Registry(enabled=True)
+        n = DEFAULT_RESERVOIR_SIZE * 2
+        for _ in range(n):
+            registry.observe("flat", 2.0)
+        (histogram,) = registry.histograms()
+        assert histogram.count == n
+        assert histogram.sum == pytest.approx(2.0 * n)
+        assert histogram.quantile(0.5) == 2.0
+
+
+class TestThreadIdCache:
+    def test_small_ids_stable_and_dense(self, registry):
+        seen = {}
+        # Keep every thread alive until all have allocated: a dead
+        # thread's ident (and so its small id) may be reused by the OS.
+        barrier = threading.Barrier(6)
+
+        def work(key):
+            # Two lookups must hit the cached id (second is lock-free).
+            first = registry._small_thread_id()
+            second = registry._small_thread_id()
+            seen[key] = (first, second)
+            barrier.wait()
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for first, second in seen.values():
+            assert first == second
+        ids = sorted(first for first, _ in seen.values())
+        assert len(set(ids)) == len(ids)  # unique per thread
+
+    def test_span_thread_ids_use_cache(self, registry):
+        with registry.span("here") as span:
+            pass
+        assert span.thread_id == registry._small_thread_id()
+
+
 class TestCliProfile:
     @pytest.fixture()
     def photo(self, tmp_path):

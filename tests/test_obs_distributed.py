@@ -1,0 +1,288 @@
+"""Cross-process telemetry: deltas, the collector, prometheus, SLOs.
+
+Everything here is in-process — the socket path is covered by
+``tests/test_cluster_telemetry.py``; these tests pin down the merge
+semantics the wire rides on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.core import Registry
+from repro.obs.distributed import (
+    TELEMETRY_VERSION,
+    TelemetryCollector,
+    TelemetryDelta,
+    collect_delta,
+    decode_telemetry,
+    encode_telemetry,
+)
+from repro.obs.export import export_prometheus, span_record
+from repro.obs.slo import (
+    SloPolicy,
+    evaluate_metrics,
+    evaluate_registry,
+)
+from repro.util.errors import IntegrityError
+
+
+def _worker_registry() -> Registry:
+    registry = Registry(enabled=True)
+    with registry.span("worker.get", image_id="img-1"):
+        pass
+    registry.counter("rpc.requests", op="get")
+    registry.observe("rpc.bytes", 512.0)
+    return registry
+
+
+class TestDeltaWire:
+    def test_roundtrip(self):
+        delta = collect_delta(_worker_registry(), "w0")
+        decoded = decode_telemetry(encode_telemetry(delta))
+        assert decoded.source == "w0"
+        assert decoded.epoch_unix == pytest.approx(delta.epoch_unix)
+        assert decoded.spans == delta.spans
+        assert decoded.counters == delta.counters
+        assert decoded.histograms == delta.histograms
+        assert decoded.spans_recorded == 1
+
+    def test_collect_drains(self):
+        registry = _worker_registry()
+        first = collect_delta(registry, "w0")
+        second = collect_delta(registry, "w0")
+        assert len(first.spans) == 1
+        assert second.spans == []  # spans ship exactly once
+        # Metrics are absolute snapshots, so they appear in both.
+        assert second.counters == first.counters
+        assert registry.spans_recorded == 1  # cumulative survives drain
+
+    def test_garbage_rejected(self):
+        with pytest.raises(IntegrityError):
+            decode_telemetry(b"not zlib at all")
+        blob = bytearray(encode_telemetry(collect_delta(
+            _worker_registry(), "w0"
+        )))
+        blob[len(blob) // 2] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            decode_telemetry(bytes(blob))
+
+    def test_version_mismatch_rejected(self):
+        import json
+        import zlib
+
+        blob = zlib.compress(json.dumps(
+            {"version": TELEMETRY_VERSION + 1}
+        ).encode("utf-8"))
+        with pytest.raises(IntegrityError):
+            decode_telemetry(blob)
+
+
+class TestCollectorParenting:
+    def test_native_client_pass_through(self):
+        """A worker span parents directly onto the local client span."""
+        target = Registry(enabled=True)
+        client_id = 0xAB
+        with target.span("cluster.get") as parent:
+            parent_id = parent.span_id
+
+        worker = Registry(enabled=True)
+        with worker.span("worker.get") as child:
+            child.trace_id = client_id
+            child.remote_parent = parent_id
+
+        collector = TelemetryCollector(target)
+        collector.bind_native_client(client_id)
+        merged = collector.merge_delta(collect_delta(worker, "w0"))
+        assert merged == 1
+
+        spans = {span.span_id: span for span in target.spans()}
+        (worker_span,) = [
+            span for span in spans.values() if span.name == "worker.get"
+        ]
+        assert worker_span.parent_id == parent_id
+        assert spans[parent_id].name == "cluster.get"
+        assert worker_span.tags["worker"] == "w0"
+        assert worker_span.process == "worker:w0"
+
+    def test_two_hop_via_merged_child_records(self):
+        """Loadgen shape: child client spans merge first, worker spans
+        then resolve through the (client_id, span_id) correlation map —
+        even though the child's ids collide with the target's."""
+        target = Registry(enabled=True)
+        with target.span("unrelated"):
+            pass
+
+        child = Registry(enabled=True)
+        child_client_id = 0xC1
+        with child.span("cluster.get", image_id="img-2") as span:
+            child_span_id = span.span_id
+
+        worker = Registry(enabled=True)
+        with worker.span("worker.get") as span:
+            span.trace_id = child_client_id
+            span.remote_parent = child_span_id
+
+        collector = TelemetryCollector(target)
+        collector.merge_span_records(
+            [span_record(s) for s in child.drain_spans()],
+            client_id=child_client_id,
+            epoch_unix=child.epoch_unix,
+            process="loadgen:0",
+        )
+        collector.merge_delta(collect_delta(worker, "w1"))
+
+        spans = list(target.spans())
+        (get_span,) = [s for s in spans if s.name == "cluster.get"]
+        (worker_span,) = [s for s in spans if s.name == "worker.get"]
+        assert worker_span.parent_id == get_span.span_id
+        assert get_span.process == "loadgen:0"
+        assert collector.orphaned_spans == 0
+
+    def test_within_batch_parent_remapped(self):
+        target = Registry(enabled=True)
+        source = Registry(enabled=True)
+        with source.span("outer"):
+            with source.span("inner"):
+                pass
+        collector = TelemetryCollector(target)
+        collector.merge_delta(collect_delta(source, "w0"))
+        spans = {span.span_id: span for span in target.spans()}
+        (inner,) = [s for s in spans.values() if s.name == "inner"]
+        assert spans[inner.parent_id].name == "outer"
+
+    def test_unresolvable_remote_parent_becomes_orphan_root(self):
+        target = Registry(enabled=True)
+        worker = Registry(enabled=True)
+        with worker.span("worker.get") as span:
+            span.trace_id = 0x999  # nobody registered this client
+            span.remote_parent = 12345
+        collector = TelemetryCollector(target)
+        collector.merge_delta(collect_delta(worker, "w0"))
+        (merged,) = target.spans()
+        assert merged.parent_id is None
+        assert collector.orphaned_spans == 1
+
+    def test_epoch_alignment_shifts_timestamps(self):
+        target = Registry(enabled=True)
+        worker = Registry(enabled=True)
+        with worker.span("worker.get"):
+            pass
+        delta = collect_delta(worker, "w0")
+        # Pretend the worker booted 2 s after the target.
+        delta.epoch_unix = target.epoch_unix + 2.0
+        original = delta.spans[0]["start_ms"]
+        TelemetryCollector(target).merge_delta(delta)
+        (merged,) = target.spans()
+        assert merged.start_ms == pytest.approx(
+            original + 2000.0, abs=1e-6
+        )
+
+    def test_metrics_land_tagged_and_absolute(self):
+        target = Registry(enabled=True)
+        worker = _worker_registry()
+        collector = TelemetryCollector(target)
+        collector.merge_delta(collect_delta(worker, "w0"))
+        # Second merge overwrites, not doubles (idempotent snapshots).
+        worker.counter("rpc.requests", op="get")
+        collector.merge_delta(collect_delta(worker, "w0"))
+        (counter,) = [
+            c for c in target.counters() if c.name == "rpc.requests"
+        ]
+        assert counter.tags["worker"] == "w0"
+        assert counter.value == 2.0
+        (histogram,) = [
+            h for h in target.histograms() if h.name == "rpc.bytes"
+        ]
+        assert histogram.tags["worker"] == "w0"
+        assert histogram.count == 1
+
+
+class TestPrometheus:
+    def test_exposition_contains_all_families(self):
+        registry = Registry(enabled=True)
+        with registry.span("cluster.get"):
+            pass
+        registry.counter("cluster.loadgen.requests", amount=5)
+        registry.observe("rpc_ms", 1.5)
+        text = export_prometheus(registry)
+        assert "# TYPE puppies_cluster_loadgen_requests counter" in text
+        assert "puppies_cluster_loadgen_requests 5" in text
+        assert 'puppies_rpc_ms_bucket{le="+Inf"} 1' in text
+        assert "puppies_rpc_ms_count 1" in text
+        assert 'puppies_span_wall_ms{span="cluster.get",quantile="0.99"}' \
+            in text
+        assert "puppies_obs_dropped_spans 0" in text
+
+    def test_label_escaping_and_name_sanitization(self):
+        registry = Registry(enabled=True)
+        registry.counter("weird.name-here", path='a"b\\c')
+        text = export_prometheus(registry)
+        assert "puppies_weird_name_here" in text
+        assert '\\"' in text and "\\\\" in text
+
+    def test_writes_target(self, tmp_path):
+        registry = Registry(enabled=True)
+        registry.counter("x")
+        target = tmp_path / "metrics.prom"
+        text = export_prometheus(registry, str(target))
+        assert target.read_text() == text
+
+
+class TestSlo:
+    def test_empty_policy_checks_nothing(self):
+        report = evaluate_metrics(SloPolicy(), p99_ms=1e9, errors=10)
+        assert report.ok
+        assert report.checks == []
+        assert "nothing checked" in report.lines()[-1]
+
+    def test_scalar_gate_passes_and_fails(self):
+        policy = SloPolicy(max_p99_ms=100.0, max_error_rate=0.01)
+        good = evaluate_metrics(
+            policy, p99_ms=50.0, requests=1000, errors=5
+        )
+        assert good.ok
+        bad = evaluate_metrics(
+            policy, p99_ms=500.0, requests=1000, errors=50
+        )
+        assert not bad.ok
+        assert {check.name for check in bad.violations} == {
+            "p99_ms", "error_rate",
+        }
+        assert any("FAIL" in line for line in bad.lines())
+
+    def test_registry_gate_reads_loadgen_counters(self):
+        registry = Registry(enabled=True)
+        with registry.span("cluster.get"):
+            pass
+        registry.counter("cluster.loadgen.requests", amount=100)
+        registry.counter("cluster.loadgen.errors", amount=7)
+        registry.counter("cluster.under_replicated", amount=2)
+        policy = SloPolicy(
+            max_error_rate=0.05, max_under_replicated=0,
+            max_dropped_spans=0,
+        )
+        report = evaluate_registry(policy, registry)
+        assert not report.ok
+        names = {check.name for check in report.violations}
+        assert names == {"error_rate", "under_replicated"}
+
+    def test_registry_gate_counts_remote_dropped_spans(self):
+        registry = Registry(enabled=True)
+        registry.set_counter("telemetry.dropped_spans", 3, worker="w0")
+        report = evaluate_registry(
+            SloPolicy(max_dropped_spans=0), registry
+        )
+        assert not report.ok
+        (check,) = report.violations
+        assert check.observed == 3
+
+    def test_registry_p99_falls_back_to_histograms(self):
+        registry = Registry(enabled=True)
+        for value in (1.0, 2.0, 100.0):
+            registry.observe("cluster.get", value)
+        report = evaluate_registry(
+            SloPolicy(max_p99_ms=50.0, latency_source="cluster.get"),
+            registry,
+        )
+        assert not report.ok

@@ -1,0 +1,180 @@
+"""Bounded quantile sketches: accuracy, determinism, merge, state.
+
+The acceptance bar from the telemetry PR: a histogram series must hold
+O(1) memory under a 100k-observation soak while reporting p50/p99
+within 5% of the exact values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.core import Histogram, Registry
+from repro.obs.sketch import DEFAULT_RESERVOIR_SIZE, ReservoirSketch
+
+
+class TestReservoirBasics:
+    def test_empty(self):
+        sketch = ReservoirSketch()
+        assert sketch.count == 0
+        assert sketch.total == 0.0
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.dropped == 0
+
+    def test_below_capacity_is_exact(self):
+        sketch = ReservoirSketch(capacity=64)
+        values = [float(v) for v in range(50)]
+        for value in values:
+            sketch.add(value)
+        assert sorted(sketch.samples) == values
+        assert sketch.dropped == 0
+        assert sketch.quantile(0.0) == 0.0
+        assert sketch.quantile(1.0) == 49.0
+
+    def test_moments_are_exact_regardless_of_sampling(self):
+        sketch = ReservoirSketch(capacity=8)
+        values = [1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0, 55.0, 89.0]
+        for value in values:
+            sketch.add(value)
+        assert sketch.count == len(values)
+        assert sketch.total == pytest.approx(sum(values))
+        assert sketch.min_value == 1.0
+        assert sketch.max_value == 89.0
+        assert sketch.mean == pytest.approx(sum(values) / len(values))
+        assert sketch.dropped == len(values) - 8
+
+    def test_quantile_bounds_validated(self):
+        sketch = ReservoirSketch()
+        sketch.add(1.0)
+        with pytest.raises(ValueError):
+            sketch.quantile(-0.1)
+        with pytest.raises(ValueError):
+            sketch.quantile(1.1)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ReservoirSketch(capacity=0)
+
+
+class TestSoak:
+    def test_memory_stays_bounded_and_quantiles_accurate(self):
+        """100k observations: O(1) retained, p50/p99 within 5% exact."""
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(mean=2.0, sigma=0.6, size=100_000)
+        sketch = ReservoirSketch(seed=7)
+        for value in values:
+            sketch.add(float(value))
+        assert len(sketch.samples) == DEFAULT_RESERVOIR_SIZE
+        assert sketch.count == 100_000
+        assert sketch.dropped == 100_000 - DEFAULT_RESERVOIR_SIZE
+        for q in (0.5, 0.99):
+            exact = float(np.quantile(values, q))
+            estimate = sketch.quantile(q)
+            assert abs(estimate - exact) / exact < 0.05, (q, exact, estimate)
+
+    def test_histogram_series_memory_is_o1_under_soak(self):
+        registry = Registry(enabled=True)
+        for index in range(100_000):
+            registry.observe("soak_ms", float(index % 977))
+        (histogram,) = [
+            h for h in registry.histograms() if h.name == "soak_ms"
+        ]
+        assert histogram.count == 100_000
+        assert len(histogram.values) <= DEFAULT_RESERVOIR_SIZE
+        assert histogram.values_dropped == 100_000 - len(histogram.values)
+        # The streaming sum is exact even though samples aged out.
+        assert histogram.sum == pytest.approx(
+            sum(float(i % 977) for i in range(100_000))
+        )
+
+    def test_histogram_quantile_tracks_exact(self):
+        rng = np.random.default_rng(3)
+        values = rng.exponential(scale=10.0, size=50_000)
+        histogram = Histogram("lat_ms", {})
+        for value in values:
+            histogram.observe(float(value))
+        for q in (0.5, 0.99):
+            exact = float(np.quantile(values, q))
+            assert abs(histogram.quantile(q) - exact) / exact < 0.05
+
+
+class TestDeterminism:
+    def test_same_seed_same_samples(self):
+        a = ReservoirSketch(capacity=32, seed=11)
+        b = ReservoirSketch(capacity=32, seed=11)
+        for value in range(1000):
+            a.add(float(value))
+            b.add(float(value))
+        assert a.samples == b.samples
+
+    def test_histogram_seed_derived_from_series_key(self):
+        # Two registries observing the same series pick the same samples
+        # — traces stay comparable run-to-run.
+        first, second = Registry(enabled=True), Registry(enabled=True)
+        for registry in (first, second):
+            for value in range(5000):
+                registry.observe("x_ms", float(value), shard="a")
+        (ha,) = first.histograms()
+        (hb,) = second.histograms()
+        assert ha.values == hb.values
+
+
+class TestMerge:
+    def test_merge_into_empty_copies(self):
+        a = ReservoirSketch(capacity=16, seed=1)
+        b = ReservoirSketch(capacity=16, seed=2)
+        for value in range(10):
+            b.add(float(value))
+        a.merge(b)
+        assert a.count == 10
+        assert sorted(a.samples) == sorted(b.samples)
+
+    def test_merge_preserves_exact_moments(self):
+        a = ReservoirSketch(capacity=8, seed=1)
+        b = ReservoirSketch(capacity=8, seed=2)
+        for value in range(100):
+            a.add(float(value))
+        for value in range(100, 300):
+            b.add(float(value) * 2.0)
+        total = a.total + b.total
+        count = a.count + b.count
+        a.merge(b)
+        assert a.count == count
+        assert a.total == pytest.approx(total)
+        assert a.min_value == 0.0
+        assert a.max_value == 598.0
+        assert len(a.samples) <= 8
+
+    def test_merged_quantiles_reasonable(self):
+        rng = np.random.default_rng(5)
+        left = rng.normal(100.0, 10.0, size=20_000)
+        right = rng.normal(100.0, 10.0, size=20_000)
+        a = ReservoirSketch(seed=5)
+        b = ReservoirSketch(seed=6)
+        for value in left:
+            a.add(float(value))
+        for value in right:
+            b.add(float(value))
+        a.merge(b)
+        exact = float(np.quantile(np.concatenate([left, right]), 0.5))
+        assert abs(a.quantile(0.5) - exact) / exact < 0.05
+
+
+class TestState:
+    def test_state_roundtrip(self):
+        sketch = ReservoirSketch(capacity=16, seed=9)
+        for value in range(100):
+            sketch.add(float(value))
+        restored = ReservoirSketch.from_state(sketch.state(), seed=9)
+        assert restored.count == sketch.count
+        assert restored.total == pytest.approx(sketch.total)
+        assert restored.samples == sketch.samples
+        assert restored.quantile(0.5) == sketch.quantile(0.5)
+
+    def test_state_is_json_safe(self):
+        import json
+
+        sketch = ReservoirSketch(capacity=4)
+        sketch.add(1.5)
+        assert json.loads(json.dumps(sketch.state())) == sketch.state()
