@@ -17,8 +17,10 @@ bench:
 
 # Fast-path equivalence + the >=5x entropy speedup gate + Table V smoke.
 bench-quick:
-	pytest tests/test_fastentropy.py tests/test_batch.py -q
+	pytest tests/test_fastentropy.py tests/test_syncindex.py \
+		tests/test_batch.py -q
 	pytest benchmarks/test_entropy_speedup.py \
+		benchmarks/test_decode_speedup.py \
 		benchmarks/test_table5_timing.py --benchmark-only -q
 
 # Serving-layer smoke: unit + stress tests, then a closed-loop loadgen

@@ -1,0 +1,89 @@
+"""Lockstep sync-indexed decode vs the sequential fast walker.
+
+The gate for this PR's tentpole: on whole perturbed images — the content
+the PSP serving paths actually decode, dense enough that every channel
+carries thousands of sync segments — the lockstep decoder must beat the
+sequential fast walker by at least 4x single-threaded, bit-exact, on the
+*same* sync-indexed container (the walker simply ignores the trailer, so
+both paths read identical bytes). Perturbation matters: PuPPIeS fills
+protected regions with near-uniform coefficients, which multiplies the
+symbol count per image and is exactly the workload the serving story is
+about. Timings are best-of-N; results land in ``BENCH_codec.json``.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench import print_table, protect_whole_image, record_bench
+from repro.jpeg import codec
+
+REPS = 5
+MIN_DECODE_SPEEDUP = 4.0
+
+
+def _best_of(fn, reps=REPS):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_lockstep_decode_speedup(benchmark, pascal_corpus, inria_corpus):
+    prepared = list(pascal_corpus[:3]) + list(inria_corpus[:2])
+    containers = []
+    for item in prepared:
+        perturbed, _public, _key = protect_whole_image(item, "puppies-b")
+        containers.append(codec.encode_image(perturbed))
+
+    def measure():
+        # Correctness gate first: lockstep output must equal the
+        # sequential walk of the very same bytes on every container.
+        mode = codec.set_lockstep_mode("force")
+        try:
+            lock_images = [codec.decode_image(d) for d in containers]
+            lock = _best_of(
+                lambda: [codec.decode_image(d) for d in containers]
+            )
+        finally:
+            codec.set_lockstep_mode(mode)
+        mode = codec.set_lockstep_mode("off")
+        try:
+            walk_images = [codec.decode_image(d) for d in containers]
+            walker = _best_of(
+                lambda: [codec.decode_image(d) for d in containers]
+            )
+        finally:
+            codec.set_lockstep_mode(mode)
+        for a, b in zip(lock_images, walk_images):
+            for ca, cb in zip(a.channels, b.channels):
+                np.testing.assert_array_equal(ca, cb)
+        return lock, walker
+
+    lock, walker = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = walker / lock
+    total_bytes = sum(len(d) for d in containers)
+    print_table(
+        "Lockstep sync-indexed decode vs sequential walker "
+        f"({len(containers)} perturbed images, {total_bytes / 1e6:.1f} MB, "
+        f"best of {REPS})",
+        ["path", "ms", "speedup"],
+        [
+            ("walker (no index)", f"{walker * 1e3:.1f}", "1.0x"),
+            ("lockstep", f"{lock * 1e3:.1f}", f"{speedup:.1f}x"),
+        ],
+    )
+    record_bench(
+        "decode_lockstep_vs_walker",
+        {
+            "images": len(containers),
+            "container_bytes": total_bytes,
+            "walker_ms": round(walker * 1e3, 3),
+            "lockstep_ms": round(lock * 1e3, 3),
+            "speedup": round(speedup, 3),
+            "gate": MIN_DECODE_SPEEDUP,
+        },
+    )
+    assert speedup >= MIN_DECODE_SPEEDUP

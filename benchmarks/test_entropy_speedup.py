@@ -12,7 +12,7 @@ import time
 
 import numpy as np
 
-from repro.bench import print_table
+from repro.bench import print_table, record_bench
 from repro.jpeg import codec, fastentropy
 from repro.jpeg.huffman import DEFAULT_AC_TABLE, DEFAULT_DC_TABLE
 
@@ -105,6 +105,18 @@ def test_entropy_fast_path_speedup(benchmark, pascal_corpus, inria_corpus):
             ("combined", f"{(scalar_enc + scalar_dec) * 1e3:.1f}",
              f"{(fast_enc + fast_dec) * 1e3:.1f}", f"{combined:.1f}x"),
         ],
+    )
+    record_bench(
+        "entropy_fast_vs_scalar",
+        {
+            "channels": len(channels),
+            "scalar_encode_ms": round(scalar_enc * 1e3, 3),
+            "fast_encode_ms": round(fast_enc * 1e3, 3),
+            "scalar_decode_ms": round(scalar_dec * 1e3, 3),
+            "fast_decode_ms": round(fast_dec * 1e3, 3),
+            "combined_speedup": round(combined, 3),
+            "gate": MIN_COMBINED_SPEEDUP,
+        },
     )
     assert combined >= MIN_COMBINED_SPEEDUP
 

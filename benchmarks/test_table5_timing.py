@@ -12,7 +12,7 @@ dwarfs encryption.
 
 import numpy as np
 
-from repro.bench import print_table, protect_whole_image
+from repro.bench import print_table, protect_whole_image, record_bench
 from repro.core.reconstruct import reconstruct_regions
 from repro.obs import Registry
 from repro.util.stats import summarize
@@ -72,6 +72,14 @@ def test_table5_encryption_decryption_time(
 
     pascal_enc = summarize(results["pascal"][0])
     inria_enc = summarize(results["inria"][0])
+    record_bench(
+        "table5_encrypt_decrypt",
+        {
+            f"{dataset}_{label}_mean_ms": round(summarize(values).mean, 3)
+            for dataset, (enc, dec) in results.items()
+            for label, values in (("encrypt", enc), ("decrypt", dec))
+        },
+    )
     # Bigger images cost more (the paper's INRIA >> PASCAL gap).
     assert inria_enc.mean > 2 * pascal_enc.mean
     # Perturbation is lightweight: worst case well under a second here.

@@ -5,6 +5,7 @@ paper; the helpers here keep corpus preparation and table rendering
 uniform so every bench prints rows in the paper's own format.
 """
 
+from repro.bench.artifacts import load_artifact, record_bench
 from repro.bench.harness import (
     normalized_sizes,
     prepare_corpus,
@@ -15,10 +16,12 @@ from repro.bench.reporting import format_table, print_series, print_table
 
 __all__ = [
     "format_table",
+    "load_artifact",
     "normalized_sizes",
     "prepare_corpus",
     "print_series",
     "print_table",
     "protect_rois",
     "protect_whole_image",
+    "record_bench",
 ]

@@ -1,0 +1,72 @@
+"""Machine-readable bench artifacts.
+
+The gated speedup benches print human tables, but the perf trajectory
+across PRs lives in ``BENCH_codec.json``: every bench that measures a
+codec path merges its numbers into one JSON file via
+:func:`record_bench`, so "what did decode cost two PRs ago" is a
+``git log -p BENCH_codec.json`` away instead of archaeology through
+prose. The file maps section name -> metrics dict; a re-run replaces
+only its own section. Writes are atomic (tmp file + rename) so a
+crashed bench never leaves a half-written artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Mapping, Optional, Union
+
+#: Default artifact filename, created in the current working directory
+#: (the repo root under ``make bench-quick`` / CI).
+DEFAULT_ARTIFACT = "BENCH_codec.json"
+
+Number = Union[int, float, str, bool, None]
+
+
+def artifact_path(path: Optional[str] = None) -> str:
+    """Resolve the artifact location: explicit arg, then the
+    ``PUPPIES_BENCH_JSON`` environment variable, then the default."""
+    return (
+        path
+        or os.environ.get("PUPPIES_BENCH_JSON", "").strip()
+        or DEFAULT_ARTIFACT
+    )
+
+
+def load_artifact(path: Optional[str] = None) -> Dict[str, dict]:
+    """The current artifact contents ({} when absent or unreadable)."""
+    resolved = artifact_path(path)
+    try:
+        with open(resolved, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def record_bench(
+    section: str,
+    metrics: Mapping[str, Number],
+    path: Optional[str] = None,
+) -> str:
+    """Merge one bench's metrics into the artifact; returns the path.
+
+    ``metrics`` should be flat JSON-scalar pairs (wall milliseconds,
+    speedup ratios, sizes); a ``recorded_at`` UTC timestamp is stamped
+    automatically. Failures to *read* an existing artifact are treated
+    as an empty one — a corrupt file never makes a bench fail.
+    """
+    resolved = artifact_path(path)
+    data = load_artifact(resolved)
+    entry = dict(metrics)
+    entry["recorded_at"] = time.strftime(
+        "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+    )
+    data[str(section)] = entry
+    tmp = f"{resolved}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, resolved)
+    return resolved

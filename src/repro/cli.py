@@ -916,7 +916,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument("--images", type=int, default=8,
                          help="synthetic corpus size")
-    loadgen.add_argument("--size", type=int, default=48,
+    loadgen.add_argument("--size", type=int, default=256,
                          help="corpus image side length in pixels")
     loadgen.add_argument("--clients", type=int, default=8,
                          help="closed-loop client threads")
@@ -974,7 +974,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="closed-loop client processes")
     cloadgen.add_argument("--images", type=int, default=8,
                           help="synthetic corpus size")
-    cloadgen.add_argument("--size", type=int, default=48,
+    cloadgen.add_argument("--size", type=int, default=256,
                           help="corpus image side length in pixels")
     cloadgen.add_argument("--requests", type=int, default=200,
                           help="total requests across all processes")

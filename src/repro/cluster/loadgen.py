@@ -152,14 +152,19 @@ def build_cluster_corpus(
     client: ClusterClient,
     n_images: int,
     *,
-    height: int = 48,
-    width: int = 64,
+    height: int = 256,
+    width: int = 256,
     roi: Rect = Rect(8, 8, 16, 16),
     quality: int = 75,
     owner: str = "cluster-loadgen",
     seed: int = 0,
 ) -> List[str]:
-    """Protect ``n_images`` synthetic images and replicate them."""
+    """Protect ``n_images`` synthetic images and replicate them.
+
+    256x256 default for the same reason as the service loadgen: the
+    containers must be big enough to carry a sync index so worker-side
+    SCRUB decode-verifies run through the lockstep fast path.
+    """
     if n_images < 1:
         raise ReproError(f"loadgen needs at least 1 image, got {n_images}")
     rng = np.random.default_rng(seed)

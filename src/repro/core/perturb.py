@@ -206,6 +206,14 @@ def perturb_regions(
                 scheme=roi.scheme,
                 blocks=br.h * br.w,
             ):
+                # The perturbation array depends only on the keys, the
+                # settings and the scheme — not on the channel — so the
+                # row-stacking and range-matrix work happens once per
+                # region. Only PuPPIeS-Z's skip mask (a function of each
+                # channel's own zero pattern) stays per-channel.
+                p_base, _ = perturbation_for_blocks(
+                    region_keys, roi.settings, roi.scheme, br.h * br.w
+                )
                 for channel in range(perturbed.n_channels):
                     zz = _region_zigzag(perturbed, channel, br)
                     if zz.min() < COEFF_MIN or zz.max() > COEFF_MAX:
@@ -213,10 +221,12 @@ def perturb_regions(
                             "coefficients outside [-1024, 1023]; "
                             "cannot perturb"
                         )
-                    p, skip = perturbation_for_blocks(
-                        region_keys, roi.settings, roi.scheme, zz.shape[0],
-                        zigzag=zz,
-                    )
+                    skip = np.zeros((zz.shape[0], 64), dtype=bool)
+                    if roi.scheme == "puppies-z":
+                        skip[:, 1:] = zz[:, 1:] == 0
+                        p = np.where(skip, 0, p_base)
+                    else:
+                        p = p_base
                     encrypted, wrapped = wrap_add(zz, p)
                     new_zero = np.zeros_like(skip)
                     if roi.scheme == "puppies-z":

@@ -31,7 +31,7 @@ from typing import Callable, List, Optional, Tuple, Union
 import numpy as np
 
 from repro import obs
-from repro.jpeg import fastentropy, rle
+from repro.jpeg import fastentropy, rle, syncindex
 from repro.jpeg.coefficients import GRAY, YCBCR, CoefficientImage
 from repro.jpeg.filesize import channel_symbol_counts
 from repro.jpeg.huffman import (
@@ -82,6 +82,48 @@ def set_entropy_backend(name: str) -> str:
     return previous
 
 
+#: Lockstep (sync-indexed parallel) decode dispatch. ``auto`` uses the
+#: lockstep engine whenever a container carries a valid sync index with
+#: enough segments to win; ``off`` always walks sequentially (the index
+#: is ignored); ``force`` uses it for any valid index regardless of size
+#: (tests/benchmarks). Only the "fast" entropy backend ever locksteps —
+#: the scalar backend stays the pure executable specification.
+LOCKSTEP_MODES = ("auto", "off", "force")
+_lockstep_mode = (
+    os.environ.get("PUPPIES_LOCKSTEP", "").strip().lower() or "auto"
+)
+if _lockstep_mode not in LOCKSTEP_MODES:
+    _lockstep_mode = "auto"
+
+#: Below this many total segments the lockstep engine's fixed per-step
+#: numpy dispatch cost outweighs the parallelism and the sequential
+#: walker wins. Measured crossover on this class of hardware is ~127
+#: segments (see docs/PERFORMANCE.md); 128 keeps auto mode on the
+#: winning side of it.
+LOCKSTEP_MIN_SEGMENTS = 128
+
+
+def lockstep_mode() -> str:
+    """The active lockstep dispatch mode ("auto", "off" or "force")."""
+    return _lockstep_mode
+
+
+def set_lockstep_mode(name: str) -> str:
+    """Select the lockstep dispatch mode; returns the previous one.
+
+    Mainly for tests and benchmarks; the ``PUPPIES_LOCKSTEP`` environment
+    variable selects the initial mode at import time.
+    """
+    global _lockstep_mode
+    if name not in LOCKSTEP_MODES:
+        raise ValueError(
+            f"unknown lockstep mode {name!r}; pick one of {LOCKSTEP_MODES}"
+        )
+    previous = _lockstep_mode
+    _lockstep_mode = name
+    return previous
+
+
 def _encode_channel_stream(
     zigzag: np.ndarray, dc_table: HuffmanTable, ac_table: HuffmanTable
 ) -> bytes:
@@ -91,13 +133,36 @@ def _encode_channel_stream(
     return _encode_channel_stream_scalar(zigzag, dc_table, ac_table)
 
 
+def _encode_channel_stream_indexed(
+    zigzag: np.ndarray, dc_table: HuffmanTable, ac_table: HuffmanTable
+) -> Tuple[bytes, np.ndarray]:
+    """Like :func:`_encode_channel_stream` but also returns each block's
+    absolute start bit in the stream (what the sync index checkpoints)."""
+    if _entropy_backend == "fast":
+        return fastentropy.encode_channel_stream_indexed(
+            zigzag, dc_table, ac_table
+        )
+    return _encode_channel_stream_scalar_indexed(zigzag, dc_table, ac_table)
+
+
 def _encode_channel_stream_scalar(
     zigzag: np.ndarray, dc_table: HuffmanTable, ac_table: HuffmanTable
 ) -> bytes:
     """Per-bit reference encoder (the executable specification)."""
+    stream, _ = _encode_channel_stream_scalar_indexed(
+        zigzag, dc_table, ac_table
+    )
+    return stream
+
+
+def _encode_channel_stream_scalar_indexed(
+    zigzag: np.ndarray, dc_table: HuffmanTable, ac_table: HuffmanTable
+) -> Tuple[bytes, np.ndarray]:
     writer = BitWriter()
     diffs = rle.dc_differences(zigzag[:, 0].astype(np.int64))
+    positions = np.empty(zigzag.shape[0], dtype=np.int64)
     for block_idx in range(zigzag.shape[0]):
+        positions[block_idx] = writer.bit_length
         diff = int(diffs[block_idx])
         size = rle.magnitude_category(diff)
         dc_table.encode_symbol(writer, size)
@@ -107,7 +172,7 @@ def _encode_channel_stream_scalar(
             size = symbol & 0x0F
             if size:
                 writer.write_bits(rle.encode_magnitude(value, size), size)
-    return writer.getvalue()
+    return writer.getvalue(), positions
 
 
 def _decode_one_block(
@@ -266,20 +331,84 @@ def _salvage_core(
     return zigzag, damaged
 
 
+def _decode_channel_salvage_indexed(
+    stream: bytes,
+    n_blocks: int,
+    dc_table: HuffmanTable,
+    ac_table: HuffmanTable,
+    chidx: "syncindex.ChannelIndex",
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Segment-wise salvage of a stream whose whole-stream CRC failed.
+
+    The sync index turns salvage from "nothing after the fault is
+    trustworthy" into "only the faulted segment is lost": each segment
+    carries its own CRC32, bit offset and DC predictor, so a segment
+    whose bytes verify *and* decode to exactly its recorded boundary is
+    bit-exact — damage is confined to the segments it actually touched.
+    Returns ``(zigzag, damaged, segments_recovered)``.
+    """
+    windows = fastentropy._windows24(stream)
+    dc_lut = dc_table.decode_lut()
+    ac_lut = ac_table.decode_lut()
+    zigzag = np.zeros((n_blocks, 64), dtype=np.int32)
+    damaged = np.ones(n_blocks, dtype=bool)
+    stream_bits = len(stream) * 8
+    interval = chidx.interval
+    n_segments = chidx.n_segments
+    ends = chidx.segment_ends(stream_bits)
+    seg_blocks = chidx.segment_blocks(n_blocks)
+    recovered = 0
+    for seg in range(n_segments):
+        start = int(chidx.starts[seg])
+        end = int(ends[seg])
+        if end <= start or end > stream_bits:
+            continue
+        lo, hi = start >> 3, (end + 7) >> 3
+        if (zlib.crc32(stream[lo:hi]) & 0xFFFFFFFF) != int(chidx.crcs[seg]):
+            continue
+        reader = fastentropy.FastReader(stream, windows=windows,
+                                        start_bit=start)
+        got: List[Tuple[int, np.ndarray]] = []
+        try:
+            for _ in range(int(seg_blocks[seg])):
+                got.append(reader.decode_block(dc_lut, ac_lut))
+        except CodecError:
+            continue
+        pos = start + reader.bits_consumed
+        if seg + 1 < n_segments:
+            if pos != end:
+                continue
+        elif not 0 <= end - pos < 8:
+            continue  # final segment: only the padding bits may remain
+        dc = int(chidx.preds[seg])
+        base = seg * interval
+        for k, (diff, ac) in enumerate(got):
+            dc += diff
+            zigzag[base + k, 0] = dc
+            zigzag[base + k, 1:] = ac
+        damaged[base : base + int(seg_blocks[seg])] = False
+        recovered += 1
+    np.clip(zigzag, -1024, 1023, out=zigzag)
+    return zigzag, damaged, recovered
+
+
 @dataclass
 class SalvageResult:
     """Outcome of a salvage decode (``decode_image(..., salvage=True)``).
 
     ``block_damage[c, y, x]`` is True when block ``(y, x)`` of channel
     ``c`` is *not guaranteed bit-exact*. The clean claim is strong: a
-    block is marked clean only when its channel's stream verified
-    against its stored CRC32 *and* the Huffman tables came from an
-    intact header, so a clean block is the original block up to CRC32
-    collision odds (~2^-32 per stream). Everything decoded from an
-    unverifiable stream — truncated, spliced, or bit-flipped — is
-    marked damaged even where decoding succeeded, because entropy
-    coding is not self-synchronizing and the fault cannot be localized;
-    the salvaged content (prefix decode, block-boundary resync, neutral
+    block is marked clean only when (a) its channel's stream verified
+    against its stored CRC32, or (b) the container carries a CRC-valid
+    sync index (docs/FORMATS.md §1) and the block's *segment* verified
+    against its per-segment CRC32 and decoded to exactly its recorded
+    boundary — in both cases with Huffman tables from an intact header.
+    A clean block is therefore the original block up to CRC32 collision
+    odds (~2^-32 per stream or segment). Everything else decoded from an
+    unverifiable stream — truncated, spliced, or bit-flipped without an
+    index to localize the fault — is marked damaged even where decoding
+    succeeded, because entropy coding is not self-synchronizing; the
+    salvaged content (prefix decode, block-boundary resync, neutral
     fill) is still returned for display.
     """
 
@@ -341,10 +470,27 @@ def _unpack_table_spec(data: bytes, offset: int) -> Tuple[HuffmanTable, int]:
 
 
 class JpegCodec:
-    """Encode/decode :class:`CoefficientImage` to and from bytes."""
+    """Encode/decode :class:`CoefficientImage` to and from bytes.
 
-    def __init__(self, optimize: bool = False) -> None:
+    ``sync_index`` controls the SIDX trailer (docs/FORMATS.md §1): the
+    default ``"auto"`` emits it whenever the container would yield at
+    least :data:`syncindex.MIN_TOTAL_SEGMENTS` segments (images too small
+    to benefit stay byte-identical to the historical format); ``True``
+    forces it for any indexable image, ``False`` never emits it.
+    ``sync_interval`` overrides the per-channel checkpoint interval K
+    (tests only — it must be identical at encode and size-prediction
+    time, so production encodes leave it ``None``).
+    """
+
+    def __init__(
+        self,
+        optimize: bool = False,
+        sync_index: Union[bool, str] = "auto",
+        sync_interval: Optional[int] = None,
+    ) -> None:
         self.optimize = optimize
+        self.sync_index = sync_index
+        self.sync_interval = sync_interval
 
     def _tables_for(
         self, image: CoefficientImage
@@ -398,24 +544,82 @@ class JpegCodec:
             parts.append(
                 struct.pack("<I", zlib.crc32(b"".join(parts)) & 0xFFFFFFFF)
             )
+            streams: List[bytes] = []
+            block_bits: List[np.ndarray] = []
+            dc_values: List[np.ndarray] = []
             for channel in range(image.n_channels):
+                zigzag = image.zigzag_channel(channel)
                 with obs.span("codec.huffman.encode", channel=channel):
-                    stream = _encode_channel_stream(
-                        image.zigzag_channel(channel), dc_table, ac_table
+                    stream, bits = _encode_channel_stream_indexed(
+                        zigzag, dc_table, ac_table
                     )
+                streams.append(stream)
+                block_bits.append(bits)
+                dc_values.append(zigzag[:, 0].astype(np.int64))
                 parts.append(struct.pack("<I", len(stream)))
                 parts.append(stream)
                 parts.append(
                     struct.pack("<I", zlib.crc32(stream) & 0xFFFFFFFF)
                 )
+            trailer = self._build_trailer(
+                streams, block_bits, dc_values, by * bx
+            )
+            if trailer:
+                parts.append(trailer)
             data = b"".join(parts)
             obs.counter("codec.encode.bytes", len(data))
+            if trailer:
+                obs.counter("codec.encode.sync_index_bytes", len(trailer))
             obs.observe(
                 "codec.encoded_size_bytes",
                 len(data),
                 buckets=obs.DEFAULT_SIZE_BUCKETS_BYTES,
             )
             return data
+
+    def _plan_intervals(
+        self, stream_byte_lens: List[int], n_blocks: int
+    ) -> List[int]:
+        if self.sync_interval is not None:
+            k = max(1, min(int(self.sync_interval), n_blocks))
+            return [k] * len(stream_byte_lens)
+        return [
+            syncindex.plan_interval(n_blocks, n * 8)
+            for n in stream_byte_lens
+        ]
+
+    def _build_trailer(
+        self,
+        streams: List[bytes],
+        block_bits: List[np.ndarray],
+        dc_values: List[np.ndarray],
+        n_blocks: int,
+    ) -> bytes:
+        """The packed SIDX trailer, or ``b""`` when policy says skip it.
+
+        The emit decision must be a pure function of ``sync_index``, the
+        block count and the stream byte lengths: ``filesize.
+        encoded_size_bytes`` replays it to predict container sizes.
+        """
+        if self.sync_index is False:
+            return b""
+        if any(
+            len(s) * 8 >= syncindex.MAX_INDEXABLE_BITS for s in streams
+        ):
+            return b""
+        intervals = self._plan_intervals([len(s) for s in streams], n_blocks)
+        total = sum(syncindex.plan_segments(n_blocks, k) for k in intervals)
+        if (
+            self.sync_index is not True
+            and total < syncindex.MIN_TOTAL_SEGMENTS
+        ):
+            return b""
+        with obs.span("codec.sync_index.build", segments=total):
+            return syncindex.pack_index(
+                syncindex.build_index(
+                    streams, block_bits, dc_values, intervals
+                )
+            )
 
     def _parse_header(
         self,
@@ -504,7 +708,7 @@ class JpegCodec:
 
     def decode(
         self, data: bytes, salvage: bool = False,
-        force_default_tables: bool = False,
+        force_default_tables: bool = False, workers: int = 1,
     ) -> Union[CoefficientImage, "SalvageResult"]:
         """Decode a container.
 
@@ -513,13 +717,17 @@ class JpegCodec:
         fault. ``salvage=True`` instead returns a :class:`SalvageResult`
         whose damage mask records exactly which blocks could not be
         decoded with confidence; only an unusable header still raises.
+
+        ``workers`` threads the lockstep fast path's segment decode (it
+        only applies to sync-indexed containers on the "fast" backend;
+        see docs/PERFORMANCE.md before setting it above 1).
         """
         if salvage:
             with obs.span("codec.decode.salvage", bytes=len(data)):
                 return self._decode_salvage(data, force_default_tables)
         with obs.span(
             "codec.decode", bytes=len(data), backend=_entropy_backend
-        ):
+        ) as span:
             obs.counter("codec.decode.bytes", len(data))
             header, offset = self._parse_header(data, force_default_tables)
             if not header["header_crc_ok"]:
@@ -528,7 +736,8 @@ class JpegCodec:
                     "tables or Huffman specs were corrupted"
                 )
             by, bx = header["blocks"]
-            channels = []
+            n_blocks = by * bx
+            streams: List[bytes] = []
             for channel in range(header["n_channels"]):
                 stream, crc_ok, _truncated, offset = self._read_stream(
                     data, offset
@@ -538,18 +747,59 @@ class JpegCodec:
                         f"channel {channel} stream failed its CRC32 check "
                         f"(truncated or corrupted)"
                     )
-                with obs.span("codec.huffman.decode", channel=channel):
-                    zigzag = _decode_channel_stream(
-                        stream, by * bx,
-                        header["dc_table"], header["ac_table"],
-                    )
-                from repro.jpeg.zigzag import zigzag_to_block
-
-                channels.append(
-                    zigzag_to_block(zigzag)
-                    .reshape(by, bx, 8, 8)
-                    .astype(np.int32)
+                streams.append(stream)
+            path = "walker" if _entropy_backend == "fast" else "scalar"
+            zigzags: Optional[List[np.ndarray]] = None
+            if _entropy_backend == "fast" and _lockstep_mode != "off":
+                index, reason = syncindex.parse_index(
+                    data, offset, header["n_channels"], n_blocks,
+                    [len(s) for s in streams],
                 )
+                if index is None:
+                    if reason != "absent":
+                        obs.counter("codec.decode.sync_index_rejected")
+                elif (
+                    _lockstep_mode == "force"
+                    or index.total_segments >= LOCKSTEP_MIN_SEGMENTS
+                ):
+                    with obs.span(
+                        "codec.huffman.decode",
+                        channel="all",
+                        segments=index.total_segments,
+                        workers=workers,
+                    ):
+                        zigzags = fastentropy.decode_streams_lockstep(
+                            streams, n_blocks,
+                            header["dc_table"], header["ac_table"],
+                            index, workers=workers,
+                        )
+                    if zigzags is None:
+                        # The index lied (or the stream is damaged in a
+                        # way its CRCs missed): decode sequentially —
+                        # a bad trailer costs time, never correctness.
+                        path = "fallback"
+                        obs.counter("codec.decode.lockstep_fallback")
+                    else:
+                        path = "lockstep"
+            if zigzags is None:
+                zigzags = []
+                for channel, stream in enumerate(streams):
+                    with obs.span("codec.huffman.decode", channel=channel):
+                        zigzags.append(
+                            _decode_channel_stream(
+                                stream, n_blocks,
+                                header["dc_table"], header["ac_table"],
+                            )
+                        )
+            span.tag(path=path)
+            from repro.jpeg.zigzag import zigzag_to_block
+
+            channels = [
+                zigzag_to_block(zigzag)
+                .reshape(by, bx, 8, 8)
+                .astype(np.int32)
+                for zigzag in zigzags
+            ]
             return CoefficientImage(
                 channels,
                 header["quant_tables"],
@@ -602,10 +852,24 @@ class JpegCodec:
         channels = []
         from repro.jpeg.zigzag import zigzag_to_block
 
+        # First pass: frame out every stream so the trailer offset is
+        # known, then try the sync index — with it, a failed-CRC stream
+        # salvages segment-by-segment instead of all-or-nothing.
+        frames = []
         for channel in range(header["n_channels"]):
-            stream, crc_ok, truncated, offset = self._read_stream(
-                data, offset
+            frames.append(self._read_stream(data, offset))
+            offset = frames[-1][3]
+        index = None
+        if all(
+            f[0] is not None and not f[2] for f in frames
+        ):  # every stream present and framed — trailer offset is real
+            index, _reason = syncindex.parse_index(
+                data, offset, header["n_channels"], n_blocks,
+                [len(f[0]) for f in frames],
             )
+
+        for channel in range(header["n_channels"]):
+            stream, crc_ok, truncated, _next = frames[channel]
             crc_oks.append(crc_ok)
             if stream is None:
                 zigzag = np.zeros((n_blocks, 64), dtype=np.int32)
@@ -630,6 +894,40 @@ class JpegCodec:
                         f"channel {channel}: CRC ok but stream "
                         f"undecodable — geometry mismatch?"
                     )
+            elif (
+                index is not None
+                and not crc_ok
+                and not substituted
+                and header["header_crc_ok"]
+            ):
+                # The stream's own CRC failed, but a CRC-valid sync
+                # index localizes the fault: every segment that verifies
+                # against its per-segment CRC *and* decodes to exactly
+                # its recorded boundary is certified clean; only the
+                # touched segment(s) are lost.
+                zigzag, damaged, recovered = (
+                    _decode_channel_salvage_indexed(
+                        stream, n_blocks,
+                        header["dc_table"], header["ac_table"],
+                        index.channels[channel],
+                    )
+                )
+                n_segments = index.channels[channel].n_segments
+                obs.counter(
+                    "codec.salvage.segments_recovered", recovered
+                )
+                notes.append(
+                    f"channel {channel}: stream corrupted, sync index "
+                    f"certified {recovered}/{n_segments} segment(s)"
+                )
+                if recovered == 0:
+                    # Nothing certified — fall back to the resync walk
+                    # so at least display content survives.
+                    zigzag, damaged = _decode_channel_salvage(
+                        stream, n_blocks,
+                        header["dc_table"], header["ac_table"],
+                    )
+                    damaged[:] = True
             else:
                 zigzag, damaged = _decode_channel_salvage(
                     stream, n_blocks,
@@ -673,20 +971,27 @@ class JpegCodec:
         )
 
 
-def encode_image(image: CoefficientImage, optimize: bool = False) -> bytes:
+def encode_image(
+    image: CoefficientImage,
+    optimize: bool = False,
+    sync_index: Union[bool, str] = "auto",
+) -> bytes:
     """Convenience wrapper: encode with default or optimized tables."""
-    return JpegCodec(optimize=optimize).encode(image)
+    return JpegCodec(optimize=optimize, sync_index=sync_index).encode(image)
 
 
 def decode_image(
-    data: bytes, salvage: bool = False, force_default_tables: bool = False
+    data: bytes, salvage: bool = False,
+    force_default_tables: bool = False, workers: int = 1,
 ) -> Union[CoefficientImage, SalvageResult]:
     """Convenience wrapper around :meth:`JpegCodec.decode`.
 
     With ``salvage=True`` the return value is a :class:`SalvageResult`
     (image + per-block damage mask) and bitstream damage never raises;
-    only an unusable header still does.
+    only an unusable header still does. ``workers`` threads the
+    lockstep fast path on sync-indexed containers.
     """
     return JpegCodec().decode(
-        data, salvage=salvage, force_default_tables=force_default_tables
+        data, salvage=salvage, force_default_tables=force_default_tables,
+        workers=workers,
     )

@@ -28,12 +28,15 @@ at the same byte either way. The equivalence is asserted by
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.jpeg import rle
 from repro.jpeg.huffman import EOB, MAX_CODE_LENGTH, ZRL, HuffmanTable
+from repro.jpeg.syncindex import SyncIndex
 from repro.util.bitio import pack_bits_msb
 from repro.util.errors import BitstreamError, CodecError
 
@@ -59,6 +62,21 @@ def encode_channel_stream(
     zigzag: np.ndarray, dc_table: HuffmanTable, ac_table: HuffmanTable
 ) -> bytes:
     """Vectorized ``_encode_channel_stream`` — byte-identical output."""
+    stream, _ = encode_channel_stream_indexed(zigzag, dc_table, ac_table)
+    return stream
+
+
+def encode_channel_stream_indexed(
+    zigzag: np.ndarray, dc_table: HuffmanTable, ac_table: HuffmanTable
+) -> Tuple[bytes, np.ndarray]:
+    """Encode one channel and report every block's start bit.
+
+    Returns ``(stream, block_bits)`` where ``block_bits[k]`` is the bit
+    offset of block ``k``'s DC code — the checkpoint data the sync index
+    records. The positions fall out of the cumulative-offset packer for
+    two extra vector operations, which is why the index is effectively
+    free at encode time.
+    """
     zz = zigzag.astype(np.int64, copy=False)
     n_blocks = zz.shape[0]
     dc_codes, dc_lens = dc_table.code_arrays(16)
@@ -128,7 +146,24 @@ def encode_channel_stream(
         eob_blocks * _KEY_STRIDE + _EOB_POSITION * 4 + _KIND_SYMBOL,
     ])
     order = np.argsort(emit_keys, kind="stable")
-    return pack_bits_msb(emit_values[order], emit_lengths[order])
+    sorted_lengths = emit_lengths[order]
+    stream = pack_bits_msb(emit_values[order], sorted_lengths)
+    # A block's first emission is its DC code, which sits at concat
+    # index ``block`` (the dc_codes segment leads the concatenation), so
+    # the inverse sort permutation maps block -> stream position.
+    starts = np.cumsum(sorted_lengths) - sorted_lengths
+    inverse = np.empty(order.shape[0], dtype=np.int64)
+    inverse[order] = np.arange(order.shape[0], dtype=np.int64)
+    return stream, starts[inverse[:n_blocks]]
+
+
+def _windows24_array(data: bytes, pad: int = 2) -> np.ndarray:
+    """Per-byte 24-bit windows as an int64 array (``pad`` zero bytes)."""
+    if not data and pad <= 2:
+        return np.zeros(0, dtype=np.int64)
+    b = np.frombuffer(data, dtype=np.uint8).astype(np.int64)
+    b = np.concatenate([b, np.zeros(pad, dtype=np.int64)])
+    return (b[:-2] << 16) | (b[1:-1] << 8) | b[2:]
 
 
 def _windows24(data: bytes) -> List[int]:
@@ -136,12 +171,12 @@ def _windows24(data: bytes) -> List[int]:
 
     The last two windows borrow zero padding; readers bound every access
     by the true bit length, so the padding can never masquerade as data.
+    A Python list, not an array: the sequential walker does scalar
+    lookups, which list indexing serves several times faster.
     """
     if not data:
         return []
-    b = np.frombuffer(data, dtype=np.uint8).astype(np.int64)
-    b = np.concatenate([b, np.zeros(2, dtype=np.int64)])
-    return ((b[:-2] << 16) | (b[1:-1] << 8) | b[2:]).tolist()
+    return _windows24_array(data).tolist()
 
 
 class FastReader:
@@ -162,9 +197,10 @@ class FastReader:
         data: bytes,
         start_byte: int = 0,
         windows: List[int] = None,
+        start_bit: Optional[int] = None,
     ) -> None:
         self._w24 = _windows24(data) if windows is None else windows
-        self._start_bit = start_byte * 8
+        self._start_bit = start_byte * 8 if start_bit is None else start_bit
         self._end_bit = len(self._w24) * 8
         self._pos = self._start_bit
 
@@ -381,3 +417,372 @@ def decode_channel_stream(
         out_block = np.repeat(np.arange(n_blocks), counts)
         zigzag[out_block, out_pos] = out_val
     return zigzag
+
+
+# --------------------------------------------------------------------------
+# Lockstep decoder: sync-indexed segments advance one symbol per step.
+#
+# The sequential walker above costs ~500ns of interpreter work per symbol.
+# With a sync index the stream splits into hundreds of independent
+# segments; this engine keeps a pool of lanes (one live segment each) and
+# advances *every* lane one symbol per step with ~50 whole-pool numpy
+# operations — two `take` gathers (window, LUT entry) plus shift/mask
+# arithmetic — amortizing the interpreter cost to ~1µs / pool_width per
+# symbol. Finished lanes park in a NOP LUT bank and reload with the next
+# queued segment (longest first) every few steps, so segment-length skew
+# costs idle lane-steps, not wall time.
+#
+# Strictness: the engine only ever runs on CRC-verified streams, and its
+# output is accepted only when every segment's decode ends *exactly* on
+# the next checkpoint bit (stream end, within the 7 padding bits, for
+# final segments) and the DC predictor chain matches the index. Any
+# mismatch, any decode error, any lane overrun returns ``None`` and the
+# caller re-decodes with the sequential walker — a lying or stale index
+# can cost time, never correctness.
+# --------------------------------------------------------------------------
+
+#: Cap on simultaneously live lanes; queued segments reload as lanes free.
+LANE_LIMIT = 2048
+#: Steps between park/reload sweeps (scalar bookkeeping off the hot loop).
+_RELOAD_EVERY = 8
+#: LUT bank index offsets (bank << 16): DC, AC, NOP (parked lanes).
+_BANK_DC = 0
+_BANK_AC = 1 << 16
+_BANK_NOP = 2 << 16
+#: NOP entries consume 0 bits, emit nothing, and can never look "bad"
+#: (error threshold 127 exceeds any reachable coefficient count).
+_NOP_ENTRY = 127 << 17
+
+
+@lru_cache(maxsize=8)
+def _lockstep_lut(
+    dc_table: HuffmanTable, ac_table: HuffmanTable
+) -> np.ndarray:
+    """Fused 3-bank decode LUT: ``lut[(bank << 16) | window]`` -> int64.
+
+    Field layout (mirrors the walker's ``decode_lut_ext`` semantics, with
+    the magnitude constants and control flags fused in)::
+
+        bits  0..5   total bits consumed (code length + magnitude size)
+        bits  6..9   magnitude size
+        bits 10..14  coefficient advance (run+1 for emitting/pure-run
+                     symbols, 16 for ZRL, 0 for DC/EOB)
+        bit  15      emit flag (scatter a coefficient this step)
+        bit  16      end-of-block flag (EOB)
+        bits 17..23  error threshold: the step is invalid when the
+                     advanced coefficient count reaches it (64 for
+                     emitting/pure-run symbols, 63 for ZRL, 127 = never
+                     for DC/EOB/NOP, 0 = always for undecodable windows)
+        bits 24..39  magnitude mask ``2^size - 1``
+        bits 40..55  sign threshold ``2^(size-1)``
+    """
+    lut = np.zeros(3 << 16, dtype=np.int64)
+    lut[_BANK_NOP:] = _NOP_ENTRY
+    for bank, table in ((_BANK_DC, dc_table), (_BANK_AC, ac_table)):
+        for symbol, (code, length) in table._codes.items():
+            size = symbol & 0x0F
+            if bank == _BANK_DC:
+                # DC categories: consume magnitude, no run, no emit (the
+                # walker routes DC values through the diff chain). Like
+                # decode_lut_ext, only the size nibble is honoured.
+                delta, emit, end, errthr = 0, 0, 0, 127
+            elif size:
+                delta, emit, end, errthr = (symbol >> 4) + 1, 1, 0, 64
+            elif symbol == EOB:
+                delta, emit, end, errthr = 0, 0, 1, 127
+            elif symbol == ZRL:
+                delta, emit, end, errthr = 16, 0, 0, 63
+            else:
+                # Size-0 run/size symbol other than EOB/ZRL: a pure zero
+                # run with no coefficient (walker advances run+1).
+                delta, emit, end, errthr = (symbol >> 4) + 1, 0, 0, 64
+            mask = (1 << size) - 1
+            entry = (
+                (length + size)
+                | (size << 6)
+                | (delta << 10)
+                | (emit << 15)
+                | (end << 16)
+                | (errthr << 17)
+                | (mask << 24)
+                | (((1 << size) >> 1) << 40)
+            )
+            lo = bank + (code << (MAX_CODE_LENGTH - length))
+            lut[lo : lo + (1 << (MAX_CODE_LENGTH - length))] = entry
+    lut.setflags(write=False)
+    return lut
+
+
+def _run_lanes(
+    w24: np.ndarray,
+    lut: np.ndarray,
+    queue: np.ndarray,
+    seg_start: np.ndarray,
+    seg_end: np.ndarray,
+    seg_blocks: np.ndarray,
+    seg_base: np.ndarray,
+    diffs_buf: np.ndarray,
+    zz_buf: np.ndarray,
+    seg_final_pos: np.ndarray,
+    diff_scratch: int,
+    zz_scratch: int,
+) -> bool:
+    """Decode ``queue``'s segments; False means "fall back to the walker".
+
+    Writes AC coefficients into ``zz_buf`` (flat, 64 per block) and DC
+    differences into ``diffs_buf``; all non-emitting / parked / invalid
+    writes are redirected to the caller-assigned scratch regions so the
+    scatter is unconditional. Records each segment's final bit position
+    in ``seg_final_pos`` for the caller's boundary verification.
+    """
+    n_queued = queue.shape[0]
+    width = min(n_queued, LANE_LIMIT)
+    lanes = queue[:width]
+    qhead = width
+    pos = seg_start[lanes].astype(np.int64)
+    lane_end = seg_end[lanes].astype(np.int64)
+    blocks_left = seg_blocks[lanes].astype(np.int64)
+    gb = seg_base[lanes].astype(np.int64)
+    seg_id = lanes.astype(np.int64)
+    coeff = np.zeros(width, dtype=np.int64)
+    phase = np.zeros(width, dtype=np.int64)  # bank offset: DC/AC/NOP<<16
+
+    # Step scratch (reused every iteration; no per-step allocation).
+    i64 = lambda: np.empty(width, dtype=np.int64)  # noqa: E731
+    boo = lambda: np.empty(width, dtype=bool)  # noqa: E731
+    wv, ev, npos, mpos, mw = i64(), i64(), i64(), i64(), i64()
+    t1, t2, t3, t4, t5 = i64(), i64(), i64(), i64(), i64()
+    total, size, mask, bits, value = i64(), i64(), i64(), i64(), i64()
+    nc, be = i64(), i64()
+    negb, badb, bad2b, parkb, offb = boo(), boo(), boo(), boo(), boo()
+
+    # Every live lane consumes >= 1 bit per step and parked lanes wait at
+    # most _RELOAD_EVERY steps for a reload, so this bound is generous;
+    # hitting it means the index lied in a way the per-step checks missed
+    # structurally, and the caller falls back.
+    max_steps = int(
+        (seg_end[queue] - seg_start[queue]).sum()
+        + _RELOAD_EVERY * (n_queued + 1)
+        + 64
+    )
+    step = 0
+    while True:
+        step += 1
+        if step > max_steps:
+            return False
+        # --- gather the 16-bit window at each lane's cursor ---
+        np.right_shift(pos, 3, out=t1)
+        w24.take(t1, out=wv)
+        np.bitwise_and(pos, 7, out=t2)
+        np.subtract(8, t2, out=t2)
+        np.right_shift(wv, t2, out=wv)
+        np.bitwise_and(wv, 0xFFFF, out=wv)
+        np.add(wv, phase, out=wv)
+        lut.take(wv, out=ev)
+        # --- symbol fields + magnitude bits ---
+        np.bitwise_and(ev, 63, out=total)
+        np.right_shift(ev, 6, out=t3)
+        np.bitwise_and(t3, 15, out=size)
+        np.add(pos, total, out=npos)
+        np.subtract(npos, size, out=mpos)
+        np.right_shift(mpos, 3, out=t1)
+        w24.take(t1, out=mw)
+        np.bitwise_and(mpos, 7, out=t2)
+        np.subtract(24, t2, out=t2)
+        np.subtract(t2, size, out=t2)
+        np.right_shift(mw, t2, out=mw)
+        np.right_shift(ev, 24, out=t3)
+        np.bitwise_and(t3, 0xFFFF, out=mask)
+        np.bitwise_and(mw, mask, out=bits)
+        np.right_shift(ev, 40, out=t3)
+        np.bitwise_and(t3, 0xFFFF, out=t3)
+        np.less(bits, t3, out=negb)
+        np.multiply(negb, mask, out=t3)
+        np.subtract(bits, t3, out=value)
+        # --- run bookkeeping + validity ---
+        np.right_shift(ev, 10, out=t3)
+        np.bitwise_and(t3, 31, out=t3)
+        np.add(coeff, t3, out=nc)
+        np.right_shift(ev, 17, out=t4)
+        np.bitwise_and(t4, 127, out=t4)
+        np.greater_equal(nc, t4, out=badb)
+        np.greater(npos, lane_end, out=bad2b)
+        np.logical_or(badb, bad2b, out=badb)
+        # --- block-end flag: EOB, or position 63 reached ---
+        np.right_shift(ev, 16, out=be)
+        np.bitwise_and(be, 1, out=be)
+        np.equal(nc, 63, out=bad2b)  # bad2b reused as scratch bool
+        np.add(be, bad2b, out=be)
+        # --- unconditional scatters, scratch-redirected ---
+        np.not_equal(phase, _BANK_DC, out=offb)
+        np.logical_or(offb, badb, out=offb)
+        np.multiply(offb, diff_scratch, out=t4)
+        np.add(t4, gb, out=t4)
+        diffs_buf[t4] = value
+        np.right_shift(ev, 15, out=t5)
+        np.bitwise_and(t5, 1, out=t5)
+        np.equal(t5, 0, out=offb)
+        np.logical_or(offb, badb, out=offb)
+        np.multiply(offb, zz_scratch, out=t5)
+        np.left_shift(gb, 6, out=t4)
+        np.add(t5, t4, out=t5)
+        np.add(t5, nc, out=t5)
+        zz_buf[t5] = value
+        # --- advance lane state ---
+        pos, npos = npos, pos
+        np.multiply(nc, be, out=t4)
+        np.subtract(nc, t4, out=coeff)
+        np.subtract(blocks_left, be, out=blocks_left)
+        np.add(gb, be, out=gb)
+        np.less_equal(blocks_left, 0, out=parkb)
+        np.subtract(1, be, out=t4)  # 0 after a block end (back to DC)
+        np.subtract(1, parkb, out=t5)
+        np.multiply(t4, t5, out=t4)
+        np.add(t4, parkb, out=t4)
+        np.add(t4, parkb, out=t4)  # parked -> NOP bank (2)
+        np.left_shift(t4, 16, out=phase)
+        if badb.any():
+            return False
+        if step % _RELOAD_EVERY == 0:
+            idle = np.flatnonzero(parkb)
+            if idle.shape[0]:
+                if qhead < n_queued:
+                    take = min(idle.shape[0], n_queued - qhead)
+                    slots = idle[:take]
+                    segs = queue[qhead : qhead + take]
+                    qhead += take
+                    seg_final_pos[seg_id[slots]] = pos[slots]
+                    seg_id[slots] = segs
+                    pos[slots] = seg_start[segs]
+                    lane_end[slots] = seg_end[segs]
+                    blocks_left[slots] = seg_blocks[segs]
+                    gb[slots] = seg_base[segs]
+                    coeff[slots] = 0
+                    phase[slots] = _BANK_DC
+                elif idle.shape[0] == width:
+                    break
+    seg_final_pos[seg_id] = pos
+    return True
+
+
+def decode_streams_lockstep(
+    streams: Sequence[bytes],
+    n_blocks: int,
+    dc_table: HuffmanTable,
+    ac_table: HuffmanTable,
+    index: SyncIndex,
+    workers: int = 1,
+) -> Optional[List[np.ndarray]]:
+    """Decode all channels' streams in lockstep over their sync index.
+
+    Returns one ``(n_blocks, 64)`` int32 zigzag array per channel —
+    bit-exact with :func:`decode_channel_stream` on each stream — or
+    ``None`` when anything fails verification, in which case the caller
+    must fall back to the sequential walker. With ``workers > 1`` the
+    segment queue is partitioned across a thread pool (numpy releases
+    the GIL for the large gathers, so scaling is real but sublinear).
+
+    Only call this on CRC-verified streams: the engine assumes the bytes
+    are what the writer produced and uses the index purely as a
+    parallelism hint, re-deriving every safety-relevant fact (segment
+    boundary alignment, DC predictor chain) from the decode itself.
+    """
+    n_channels = len(streams)
+    # One merged window buffer: streams back to back with 8-byte zero
+    # gaps (a failed lane may overrun its segment by < 64 bits before
+    # the step's validity check parks it) and tail slack.
+    offsets = []
+    cursor = 0
+    for stream in streams:
+        offsets.append(cursor)
+        cursor += len(stream) + 8
+    merged = bytearray(cursor + 8)
+    for stream, off in zip(streams, offsets):
+        merged[off : off + len(stream)] = stream
+    w24 = _windows24_array(bytes(merged))
+    lut = _lockstep_lut(dc_table, ac_table)
+
+    # Flatten every channel's segments into global tables.
+    seg_start_parts, seg_end_parts = [], []
+    seg_blocks_parts, seg_base_parts = [], []
+    for channel, ch in enumerate(index.channels):
+        base_bit = offsets[channel] * 8
+        seg_start_parts.append(ch.starts + base_bit)
+        seg_end_parts.append(
+            ch.segment_ends(len(streams[channel]) * 8) + base_bit
+        )
+        seg_blocks_parts.append(ch.segment_blocks(n_blocks))
+        seg_base_parts.append(
+            channel * n_blocks
+            + np.arange(ch.n_segments, dtype=np.int64) * ch.interval
+        )
+    seg_start = np.concatenate(seg_start_parts)
+    seg_end = np.concatenate(seg_end_parts)
+    seg_blocks = np.concatenate(seg_blocks_parts)
+    seg_base = np.concatenate(seg_base_parts)
+    n_segments = seg_start.shape[0]
+    if int(seg_blocks.min(initial=1)) < 1:
+        return None
+
+    # Longest segments first, so the tail of the run is short segments
+    # draining rather than one long lane running alone.
+    order = np.argsort(seg_start - seg_end, kind="stable")
+    workers = max(1, min(int(workers), n_segments))
+
+    total_blocks = n_channels * n_blocks
+    # Scratch regions: one per worker so the threads never write a real
+    # slot they don't own. gb can overshoot one past a channel's last
+    # block while a lane drains, hence the +1 slack per region.
+    dstride = total_blocks + 1
+    diffs_buf = np.zeros(dstride * (workers + 1) + 1, dtype=np.int64)
+    zstride = (total_blocks + 1) * 64
+    zz_buf = np.zeros(zstride * (workers + 1) + 64, dtype=np.int32)
+    seg_final_pos = np.zeros(n_segments, dtype=np.int64)
+
+    def run(part: int) -> bool:
+        return _run_lanes(
+            w24, lut, order[part::workers],
+            seg_start, seg_end, seg_blocks, seg_base,
+            diffs_buf, zz_buf, seg_final_pos,
+            dstride * (part + 1), zstride * (part + 1),
+        )
+
+    if workers == 1:
+        ok = run(0)
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            ok = all(pool.map(run, range(workers)))
+    if not ok:
+        return None
+
+    # Verify: every segment must end exactly on the next checkpoint bit;
+    # a channel's last segment within the 7 padding bits of stream end.
+    last = np.zeros(n_segments, dtype=bool)
+    tail = 0
+    for ch in index.channels:
+        tail += ch.n_segments
+        last[tail - 1] = True
+    slack = seg_end - seg_final_pos
+    if ((slack != 0) & ~last).any() or (slack < 0).any() or (
+        slack[last] >= 8
+    ).any():
+        return None
+
+    out: List[np.ndarray] = []
+    for channel, ch in enumerate(index.channels):
+        lo = channel * n_blocks
+        dc = np.cumsum(diffs_buf[lo : lo + n_blocks])
+        if ch.n_segments > 1:
+            checkpoints = (
+                np.arange(1, ch.n_segments, dtype=np.int64) * ch.interval - 1
+            )
+            if not np.array_equal(dc[checkpoints], ch.preds[1:]):
+                return None
+        zigzag = (
+            zz_buf[lo * 64 : (lo + n_blocks) * 64]
+            .reshape(n_blocks, 64)
+            .copy()
+        )
+        zigzag[:, 0] = dc
+        out.append(zigzag)
+    return out

@@ -11,10 +11,11 @@ the coefficient arrays.
 from __future__ import annotations
 
 import struct
-from typing import Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.jpeg import syncindex
 from repro.jpeg.huffman import (
     DEFAULT_AC_TABLE,
     DEFAULT_DC_TABLE,
@@ -98,11 +99,19 @@ def _channel_stream_bits(
     return bits
 
 
-def encoded_size_bytes(image, optimize: bool = False) -> int:
+def encoded_size_bytes(
+    image,
+    optimize: bool = False,
+    sync_index: Union[bool, str] = "auto",
+    sync_interval: Optional[int] = None,
+) -> int:
     """Exact container byte size without materializing the bitstreams.
 
     Matches ``len(encode_image(image, optimize))`` bit-for-bit; tests assert
-    the equality on randomized images.
+    the equality on randomized images. The ``sync_index``/``sync_interval``
+    arguments mirror :class:`repro.jpeg.codec.JpegCodec` — the SIDX trailer
+    emit policy is a pure function of the stream byte lengths and block
+    count, replayed here without building the index.
     """
     header = len(b"RPJ1") + struct.calcsize("<BHHBHH")
     header += 128 * image.n_channels  # quantization tables
@@ -133,9 +142,38 @@ def encoded_size_bytes(image, optimize: bool = False) -> int:
 
     header += 4  # header CRC32 integrity frame
     total = header
+    stream_bytes = []
     for zz in zigzags:
         bits = _channel_stream_bits(zz, dc_table, ac_table)
+        stream_bytes.append((bits + 7) // 8)
         total += 4  # stream length prefix
-        total += (bits + 7) // 8
+        total += stream_bytes[-1]
         total += 4  # trailing CRC32 integrity frame
+    total += _trailer_bytes(
+        stream_bytes, zigzags[0].shape[0], sync_index, sync_interval
+    )
     return total
+
+
+def _trailer_bytes(
+    stream_bytes,
+    n_blocks: int,
+    sync_index: Union[bool, str],
+    sync_interval: Optional[int],
+) -> int:
+    """Replay ``JpegCodec._build_trailer``'s emit policy and size."""
+    if sync_index is False:
+        return 0
+    if any(n * 8 >= syncindex.MAX_INDEXABLE_BITS for n in stream_bytes):
+        return 0
+    if sync_interval is not None:
+        k = max(1, min(int(sync_interval), n_blocks))
+        intervals = [k] * len(stream_bytes)
+    else:
+        intervals = [
+            syncindex.plan_interval(n_blocks, n * 8) for n in stream_bytes
+        ]
+    counts = [syncindex.plan_segments(n_blocks, k) for k in intervals]
+    if sync_index is not True and sum(counts) < syncindex.MIN_TOTAL_SEGMENTS:
+        return 0
+    return syncindex.trailer_size_bytes(counts)

@@ -1,0 +1,272 @@
+"""Sync-index trailer for ``RPJ1`` containers (docs/FORMATS.md §1).
+
+Huffman entropy coding is serially dependent: symbol N's bit position is
+unknown until symbol N-1 decodes, so a single stream can only be walked
+sequentially. The sync index breaks that dependence the way JPEG restart
+intervals (and nvJPEG's restart-parallel decoder) do: the encoder — which
+already knows every block's bit offset from the cumulative-offset packer —
+records a checkpoint every K blocks per channel:
+
+* the absolute **bit offset** where block ``s*K``'s DC code starts,
+* the **DC predictor** (the previous block's cumulative DC value), so a
+  segment's differential DC chain can be re-anchored without decoding
+  anything before it,
+* a **CRC32 over the segment's byte range**, so the salvage path can
+  certify individual segments of a stream whose whole-stream CRC failed.
+
+The trailer is appended *after* the last channel stream. The strict RPJ1
+decoder has always ignored trailing bytes, so old readers skip it
+untouched (backward compatible), and a new reader treats any absent or
+unparseable trailer as "no index" and falls back to the sequential
+walker (forward compatible). The trailer carries its own CRC32; nothing
+in it is ever trusted without that check, and even a CRC-valid index is
+re-verified against the decoded stream (segment boundaries must line up
+exactly) before its output is accepted.
+
+Layout, all little-endian::
+
+    magic        4 bytes  "SIDX"
+    version      u8       1
+    n_channels   u8
+    per channel:
+      K            u32    checkpoint interval in blocks (>= 1)
+      n_segments   u32    == ceil(n_blocks / K)
+      segments     n_segments x (start u32 | pred i16 | crc u32)
+    trailer CRC  u32      CRC32 of everything from the magic
+
+Segment ``s`` of a channel covers blocks ``[s*K, min((s+1)*K, n_blocks))``
+and bits ``[start[s], start[s+1])`` (the last segment ends at the
+stream's bit length); ``start[0] == 0`` and ``pred[0] == 0`` always. The
+segment CRC covers stream bytes ``floor(start/8) .. ceil(end/8)``.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+SIDX_MAGIC = b"SIDX"
+SIDX_VERSION = 1
+
+#: Target minimum stream bits per segment (~512 bytes), keeping the
+#: 10-byte-per-segment trailer under ~2% of the stream it indexes.
+SEGMENT_TARGET_BITS = 4096
+
+#: Emit a trailer only when the container yields at least this many
+#: segments across all channels — below that, lockstep decode has too few
+#: lanes to beat the sequential walker and the trailer is dead weight.
+MIN_TOTAL_SEGMENTS = 16
+
+#: Bit offsets are u32: streams at or past 512 MiB cannot be indexed.
+MAX_INDEXABLE_BITS = 1 << 32
+
+_SEGMENT_DTYPE = np.dtype([("start", "<u4"), ("pred", "<i2"), ("crc", "<u4")])
+_CHANNEL_HEADER = struct.Struct("<II")
+_TRAILER_HEADER = struct.Struct("<4sBB")
+
+
+@dataclass
+class ChannelIndex:
+    """One channel's checkpoints: parallel per-segment arrays."""
+
+    interval: int
+    starts: np.ndarray  # int64 bit offsets, starts[0] == 0
+    preds: np.ndarray  # int64 DC predictor entering each segment
+    crcs: np.ndarray  # int64 CRC32 per segment byte range
+
+    @property
+    def n_segments(self) -> int:
+        return int(self.starts.shape[0])
+
+    def segment_blocks(self, n_blocks: int) -> np.ndarray:
+        """Blocks per segment (every segment K, except a short tail)."""
+        counts = np.full(self.n_segments, self.interval, dtype=np.int64)
+        counts[-1] = n_blocks - (self.n_segments - 1) * self.interval
+        return counts
+
+    def segment_ends(self, stream_bits: int) -> np.ndarray:
+        """End bit of each segment (== next segment's start bit)."""
+        return np.append(self.starts[1:], stream_bits).astype(np.int64)
+
+
+@dataclass
+class SyncIndex:
+    """The parsed/validated trailer: one :class:`ChannelIndex` each."""
+
+    channels: List[ChannelIndex]
+
+    @property
+    def total_segments(self) -> int:
+        return sum(ch.n_segments for ch in self.channels)
+
+
+def plan_interval(n_blocks: int, stream_bits: int) -> int:
+    """The checkpoint interval K for one channel.
+
+    Dense streams get small K (more parallelism per byte of trailer),
+    sparse streams get large K so every segment still spans at least
+    :data:`SEGMENT_TARGET_BITS`. Must be byte-for-byte reproducible from
+    the stream size alone: ``repro.jpeg.filesize`` replays this policy to
+    predict container sizes without materializing the bitstream.
+    """
+    if n_blocks <= 0:
+        return 1
+    if stream_bits <= 0:
+        return n_blocks
+    k = -(-SEGMENT_TARGET_BITS * n_blocks // stream_bits)  # ceil
+    return max(2, min(int(k), n_blocks))
+
+
+def plan_segments(n_blocks: int, interval: int) -> int:
+    """Number of segments a channel splits into: ``ceil(n_blocks / K)``."""
+    return -(-n_blocks // interval)
+
+
+def trailer_size_bytes(segment_counts: Sequence[int]) -> int:
+    """Exact packed trailer size for the given per-channel segment counts."""
+    return (
+        _TRAILER_HEADER.size
+        + sum(
+            _CHANNEL_HEADER.size + _SEGMENT_DTYPE.itemsize * n
+            for n in segment_counts
+        )
+        + 4
+    )
+
+
+def _segment_crcs(
+    stream: bytes, starts: np.ndarray, stream_bits: int
+) -> np.ndarray:
+    ends = np.append(starts[1:], stream_bits)
+    first = (starts >> 3).tolist()
+    last = ((ends + 7) >> 3).tolist()
+    return np.array(
+        [zlib.crc32(stream[a:b]) & 0xFFFFFFFF for a, b in zip(first, last)],
+        dtype=np.int64,
+    )
+
+
+def build_index(
+    streams: Sequence[bytes],
+    block_bits: Sequence[np.ndarray],
+    dc_values: Sequence[np.ndarray],
+    intervals: Sequence[int],
+) -> SyncIndex:
+    """Build the index from encoder-side truth.
+
+    ``block_bits[c]`` holds the absolute start bit of every block's DC
+    code in channel ``c``'s stream; ``dc_values[c]`` the cumulative
+    (absolute) DC coefficient of every block, which *is* the predictor
+    the next block's difference is relative to.
+    """
+    channels = []
+    for stream, bits, dc, interval in zip(
+        streams, block_bits, dc_values, intervals
+    ):
+        starts = np.asarray(bits, dtype=np.int64)[::interval].copy()
+        preds = np.zeros(starts.shape[0], dtype=np.int64)
+        if starts.shape[0] > 1:
+            dc = np.asarray(dc, dtype=np.int64)
+            preds[1:] = dc[interval - 1 :: interval][: starts.shape[0] - 1]
+        channels.append(
+            ChannelIndex(
+                interval=int(interval),
+                starts=starts,
+                preds=preds,
+                crcs=_segment_crcs(stream, starts, len(stream) * 8),
+            )
+        )
+    return SyncIndex(channels=channels)
+
+
+def pack_index(index: SyncIndex) -> bytes:
+    parts = [
+        _TRAILER_HEADER.pack(SIDX_MAGIC, SIDX_VERSION, len(index.channels))
+    ]
+    for ch in index.channels:
+        parts.append(_CHANNEL_HEADER.pack(ch.interval, ch.n_segments))
+        records = np.empty(ch.n_segments, dtype=_SEGMENT_DTYPE)
+        records["start"] = ch.starts
+        records["pred"] = ch.preds
+        records["crc"] = ch.crcs
+        parts.append(records.tobytes())
+    body = b"".join(parts)
+    return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def parse_index(
+    data: bytes,
+    offset: int,
+    n_channels: int,
+    n_blocks: int,
+    stream_byte_lens: Sequence[int],
+) -> Tuple[Optional[SyncIndex], Optional[str]]:
+    """Parse and validate a trailer at ``offset``; never raises.
+
+    Returns ``(index, None)`` on success or ``(None, reason)`` — with
+    reason ``"absent"`` when there is simply no trailer (the historical
+    container shape) and a diagnostic string for anything that *looks*
+    like a trailer but fails validation. Either way the caller degrades
+    to the sequential walker; a bad trailer can cost time, never
+    correctness.
+    """
+    blob = data[offset:]
+    if len(blob) < _TRAILER_HEADER.size + 4:
+        return None, "absent"
+    magic, version, channels = _TRAILER_HEADER.unpack_from(blob, 0)
+    if magic != SIDX_MAGIC:
+        return None, "absent"
+    if version != SIDX_VERSION:
+        return None, f"unsupported sync-index version {version}"
+    if channels != n_channels:
+        return None, (
+            f"sync index covers {channels} channel(s), container has "
+            f"{n_channels}"
+        )
+    pos = _TRAILER_HEADER.size
+    parsed: List[ChannelIndex] = []
+    for channel in range(n_channels):
+        if pos + _CHANNEL_HEADER.size > len(blob):
+            return None, "sync index truncated"
+        interval, n_segments = _CHANNEL_HEADER.unpack_from(blob, pos)
+        pos += _CHANNEL_HEADER.size
+        if interval < 1 or n_segments != plan_segments(n_blocks, interval):
+            return None, (
+                f"channel {channel}: {n_segments} segment(s) inconsistent "
+                f"with interval {interval} over {n_blocks} block(s)"
+            )
+        n_bytes = n_segments * _SEGMENT_DTYPE.itemsize
+        if pos + n_bytes > len(blob):
+            return None, "sync index truncated"
+        records = np.frombuffer(blob, dtype=_SEGMENT_DTYPE, count=n_segments,
+                                offset=pos)
+        pos += n_bytes
+        starts = records["start"].astype(np.int64)
+        preds = records["pred"].astype(np.int64)
+        stream_bits = stream_byte_lens[channel] * 8
+        if starts[0] != 0 or preds[0] != 0:
+            return None, f"channel {channel}: first checkpoint not at origin"
+        if n_segments > 1 and int((starts[1:] <= starts[:-1]).sum()):
+            return None, f"channel {channel}: checkpoints not increasing"
+        if int(starts[-1]) >= stream_bits:
+            return None, f"channel {channel}: checkpoint past stream end"
+        if int(np.abs(preds).max(initial=0)) > 1024:
+            return None, f"channel {channel}: DC predictor out of range"
+        parsed.append(
+            ChannelIndex(
+                interval=int(interval),
+                starts=starts,
+                preds=preds,
+                crcs=records["crc"].astype(np.int64),
+            )
+        )
+    if pos + 4 != len(blob):
+        return None, "trailing bytes after sync index"
+    (expected,) = struct.unpack_from("<I", blob, pos)
+    if (zlib.crc32(blob[:pos]) & 0xFFFFFFFF) != expected:
+        return None, "sync index CRC32 mismatch"
+    return SyncIndex(channels=parsed), None

@@ -83,14 +83,20 @@ def build_corpus(
     service,
     n_images: int,
     *,
-    height: int = 48,
-    width: int = 64,
+    height: int = 256,
+    width: int = 256,
     roi: Rect = Rect(8, 8, 16, 16),
     quality: int = 75,
     owner: str = "loadgen",
     seed: int = 0,
 ) -> List[str]:
-    """Protect and upload ``n_images`` synthetic images; returns the ids."""
+    """Protect and upload ``n_images`` synthetic images; returns the ids.
+
+    The default 256x256 corpus is large enough that every container
+    carries a sync index and the decode cache-miss path exercises the
+    lockstep decoder — the ``path=lockstep`` span tags in a loadgen
+    trace are this PR's serving-side acceptance signal.
+    """
     if n_images < 1:
         raise ReproError(f"loadgen needs at least 1 image, got {n_images}")
     rng = np.random.default_rng(seed)

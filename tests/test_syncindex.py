@@ -1,0 +1,511 @@
+"""Sync-indexed parallel decode: trailer format, lockstep engine, salvage.
+
+The SIDX trailer (docs/FORMATS.md §1) plus the lockstep decoder in
+:mod:`repro.jpeg.fastentropy` are this repo's nvJPEG-style restart
+parallelism. The safety contract under test: the lockstep path must be
+*bit-exact* with the sequential walker whenever it runs, and any
+malformed, truncated or lying trailer must degrade to the sequential
+walker or raise ``IntegrityError`` — never wrong pixels, never a crash.
+Salvage gains per-segment certification: a corrupted segment loses only
+itself.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.keys import generate_private_key
+from repro.core.perturb import SCHEMES, perturb_regions
+from repro.core.roi import RegionOfInterest
+from repro.jpeg import codec, fastentropy, syncindex
+from repro.jpeg.codec import JpegCodec, decode_image, encode_image
+from repro.jpeg.coefficients import GRAY, YCBCR, CoefficientImage
+from repro.jpeg.filesize import encoded_size_bytes
+from repro.jpeg.huffman import DEFAULT_AC_TABLE, DEFAULT_DC_TABLE
+from repro.util.errors import IntegrityError
+from repro.util.rect import Rect
+
+
+@contextmanager
+def use_backend(name: str):
+    previous = codec.set_entropy_backend(name)
+    try:
+        yield
+    finally:
+        codec.set_entropy_backend(previous)
+
+
+@contextmanager
+def lockstep(mode: str):
+    previous = codec.set_lockstep_mode(mode)
+    try:
+        yield
+    finally:
+        codec.set_lockstep_mode(previous)
+
+
+@contextmanager
+def capture_spans():
+    registry = obs.Registry(enabled=True)
+    previous = obs.set_registry(registry)
+    try:
+        yield registry
+    finally:
+        obs.set_registry(previous)
+
+
+def make_image(
+    h: int, w: int, n_channels: int = 3, density: float = 0.25, seed: int = 0
+) -> CoefficientImage:
+    rng = np.random.default_rng(seed)
+    by, bx = h // 8, w // 8
+    channels = []
+    for _ in range(n_channels):
+        blocks = np.zeros((by, bx, 8, 8), dtype=np.int32)
+        mask = rng.random((by, bx, 8, 8)) < density
+        blocks[mask] = rng.integers(-200, 200, int(mask.sum()))
+        blocks[:, :, 0, 0] = rng.integers(-500, 500, (by, bx))
+        channels.append(blocks)
+    tables = [np.ones((8, 8), dtype=np.int32)] * n_channels
+    colorspace = GRAY if n_channels == 1 else YCBCR
+    return CoefficientImage(channels, tables, h, w, colorspace)
+
+
+def assert_images_equal(a: CoefficientImage, b: CoefficientImage) -> None:
+    assert a.n_channels == b.n_channels
+    for ca, cb in zip(a.channels, b.channels):
+        np.testing.assert_array_equal(ca, cb)
+
+
+def split_container(data: bytes):
+    """(header dict, streams, trailer offset) of an encoded container."""
+    c = JpegCodec()
+    header, offset = c._parse_header(data)
+    streams = []
+    for _ in range(header["n_channels"]):
+        stream, crc_ok, _truncated, offset = c._read_stream(data, offset)
+        assert crc_ok
+        streams.append(stream)
+    return header, streams, offset
+
+
+def corrupt_trailer(data: bytes, mutate) -> bytes:
+    """Apply ``mutate(bytearray)`` to the SIDX trailer, re-CRC it."""
+    tpos = data.rindex(syncindex.SIDX_MAGIC)
+    trailer = bytearray(data[tpos:])
+    mutate(trailer)
+    body = bytes(trailer[:-4])
+    return (
+        data[:tpos]
+        + body
+        + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Trailer planning + format units
+# ---------------------------------------------------------------------------
+
+
+class TestTrailerFormat:
+    def test_plan_interval_bounds(self):
+        # Dense stream: small K, never below 2; sparse: capped at n_blocks.
+        assert syncindex.plan_interval(1000, 4096 * 1000) == 2
+        assert syncindex.plan_interval(100, 10) == 100
+        assert syncindex.plan_interval(0, 1234) == 1
+        k = syncindex.plan_interval(1024, 4096 * 64)
+        assert 2 <= k <= 1024
+        # Segments span at least the target bits (up to the tail).
+        assert k * (4096 * 64) // 1024 >= syncindex.SEGMENT_TARGET_BITS
+
+    def test_trailer_size_matches_packed_bytes(self):
+        image = make_image(128, 128, 3, seed=1)
+        data = encode_image(image, sync_index=True)
+        bare = encode_image(image, sync_index=False)
+        header, streams, offset = split_container(data)
+        index, reason = syncindex.parse_index(
+            data, offset, 3, 16 * 16, [len(s) for s in streams]
+        )
+        assert reason is None
+        counts = [ch.n_segments for ch in index.channels]
+        assert len(data) - len(bare) == syncindex.trailer_size_bytes(counts)
+
+    def test_trailer_is_strictly_appended(self):
+        image = make_image(256, 256, 3, seed=2)
+        data = encode_image(image)
+        bare = encode_image(image, sync_index=False)
+        assert data.startswith(bare)
+        assert data[len(bare) : len(bare) + 4] == syncindex.SIDX_MAGIC
+
+    def test_auto_policy_skips_small_images(self):
+        small = make_image(16, 16, 1, seed=3)
+        auto = encode_image(small)
+        assert auto == encode_image(small, sync_index=False)
+        forced = encode_image(small, sync_index=True)
+        assert len(forced) > len(auto)
+        assert_images_equal(decode_image(forced), decode_image(auto))
+
+    def test_checkpoints_match_encoder_truth(self):
+        image = make_image(128, 128, 1, density=0.4, seed=4)
+        zigzag = image.zigzag_channel(0)
+        stream, bits = fastentropy.encode_channel_stream_indexed(
+            zigzag, DEFAULT_DC_TABLE, DEFAULT_AC_TABLE
+        )
+        # Block 0 starts at bit 0; starts are strictly increasing; the
+        # recorded positions reproduce under a sequential decode.
+        assert bits[0] == 0
+        assert (np.diff(bits) > 0).all()
+        data = encode_image(image, sync_index=True)
+        header, streams, offset = split_container(data)
+        index, reason = syncindex.parse_index(
+            data, offset, 1, zigzag.shape[0], [len(streams[0])]
+        )
+        assert reason is None
+        ch = index.channels[0]
+        np.testing.assert_array_equal(
+            ch.starts, bits[:: ch.interval]
+        )
+        dc = zigzag[:, 0].astype(np.int64)
+        np.testing.assert_array_equal(
+            ch.preds[1:], dc[ch.interval - 1 :: ch.interval][: ch.n_segments - 1]
+        )
+
+
+# ---------------------------------------------------------------------------
+# Equivalence: lockstep vs walker vs scalar
+# ---------------------------------------------------------------------------
+
+
+class TestLockstepEquivalence:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("n_channels", [1, 3])
+    def test_scheme_fuzz_equivalence(self, scheme, n_channels):
+        """Scalar-vs-lockstep across all four schemes, both colorspaces."""
+        base = make_image(
+            96, 96, n_channels, density=0.2,
+            seed=hash((scheme, n_channels)) % 2**31,
+        )
+        roi = RegionOfInterest("r", Rect(0, 0, 96, 96), scheme=scheme)
+        key = generate_private_key(roi.matrix_id, f"owner-{scheme}")
+        perturbed, _public = perturb_regions(
+            base, [roi], {roi.matrix_id: key}
+        )
+        data = encode_image(perturbed, sync_index=True)
+        with lockstep("force"):
+            fast = decode_image(data)
+        with lockstep("off"):
+            walker = decode_image(data)
+        with use_backend("scalar"):
+            scalar = decode_image(data)
+        assert_images_equal(fast, walker)
+        assert_images_equal(fast, scalar)
+        assert_images_equal(fast, perturbed)
+
+    def test_backend_byte_identity_including_trailer(self):
+        image = make_image(128, 160, 3, density=0.3, seed=5)
+        with use_backend("fast"):
+            fast_bytes = encode_image(image)
+        with use_backend("scalar"):
+            scalar_bytes = encode_image(image)
+        assert fast_bytes == scalar_bytes
+        assert syncindex.SIDX_MAGIC in fast_bytes[-4096:]
+
+    def test_indexless_container_decodes_via_fallback(self):
+        image = make_image(256, 256, 3, seed=6)
+        bare = encode_image(image, sync_index=False)
+        with capture_spans() as registry:
+            with use_backend("fast"), lockstep("auto"):
+                decoded = decode_image(bare)
+        assert_images_equal(decoded, decode_image(encode_image(image)))
+        spans = [s for s in registry.spans() if s.name == "codec.decode"]
+        assert spans[-1].tags["path"] == "walker"
+
+    def test_workers_equal_single_thread(self):
+        image = make_image(192, 192, 3, density=0.35, seed=7)
+        data = encode_image(image, sync_index=True)
+        with lockstep("force"):
+            one = decode_image(data, workers=1)
+            two = decode_image(data, workers=2)
+            four = decode_image(data, workers=4)
+        assert_images_equal(one, two)
+        assert_images_equal(one, four)
+
+    def test_single_block_and_tiny_images(self):
+        for h, w, nch in [(8, 8, 1), (8, 16, 1), (16, 8, 3)]:
+            image = make_image(h, w, nch, density=0.5, seed=h * w + nch)
+            data = encode_image(image, sync_index=True)
+            with lockstep("force"):
+                fast = decode_image(data)
+            with lockstep("off"):
+                assert_images_equal(fast, decode_image(data))
+
+    def test_optimized_tables_lockstep(self):
+        image = make_image(160, 160, 3, density=0.3, seed=8)
+        data = encode_image(image, optimize=True, sync_index=True)
+        with lockstep("force"):
+            fast = decode_image(data)
+        with lockstep("off"):
+            assert_images_equal(fast, decode_image(data))
+
+    def test_filesize_parity_on_indexed_containers(self):
+        for seed, (h, w, nch, opt) in enumerate(
+            [(256, 256, 3, False), (128, 128, 1, True), (96, 96, 3, False)]
+        ):
+            image = make_image(h, w, nch, density=0.3, seed=100 + seed)
+            assert encoded_size_bytes(image, optimize=opt) == len(
+                encode_image(image, optimize=opt)
+            )
+            assert encoded_size_bytes(
+                image, optimize=opt, sync_index=False
+            ) == len(encode_image(image, optimize=opt, sync_index=False))
+
+
+# ---------------------------------------------------------------------------
+# Hostile trailers: degrade, never corrupt
+# ---------------------------------------------------------------------------
+
+
+class TestHostileTrailers:
+    @pytest.fixture(scope="class")
+    def container(self):
+        image = make_image(192, 192, 3, density=0.3, seed=9)
+        data = encode_image(image, sync_index=True)
+        return data, decode_image(data, workers=1)
+
+    def assert_safe(self, mutated: bytes, expected) -> None:
+        """Mutated container must decode correctly or raise IntegrityError."""
+        with lockstep("force"):
+            try:
+                got = decode_image(mutated)
+            except IntegrityError:
+                return
+        assert_images_equal(got, expected)
+
+    def test_truncated_trailer(self, container):
+        data, expected = container
+        tpos = data.rindex(syncindex.SIDX_MAGIC)
+        for cut in (1, 5, 17, len(data) - tpos - 1):
+            self.assert_safe(data[: len(data) - cut], expected)
+
+    def test_bit_flipped_trailer(self, container):
+        data, expected = container
+        tpos = data.rindex(syncindex.SIDX_MAGIC)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            pos = int(rng.integers(tpos, len(data)))
+            mutated = bytearray(data)
+            mutated[pos] ^= 1 << int(rng.integers(0, 8))
+            self.assert_safe(bytes(mutated), expected)
+
+    def test_lying_start_offsets_with_valid_crc(self, container):
+        """Shifted checkpoints whose trailer CRC is *recomputed* to pass."""
+        data, expected = container
+        for delta in (-8, -1, 1, 8, 64):
+            def shift(trailer, delta=delta):
+                # Second segment record of channel 0 (the first is pinned
+                # to start=0, which parse_index checks outright).
+                rec = 6 + 8 + 10
+                (start,) = struct.unpack_from("<I", trailer, rec)
+                struct.pack_into(
+                    "<I", trailer, rec, max(0, start + delta)
+                )
+            self.assert_safe(corrupt_trailer(data, shift), expected)
+
+    def test_lying_dc_predictors_with_valid_crc(self, container):
+        data, expected = container
+        def lie(trailer):
+            # pred field of channel 0's second segment record.
+            struct.pack_into("<h", trailer, 6 + 8 + 10 + 4, 999)
+        self.assert_safe(corrupt_trailer(data, lie), expected)
+
+    def test_wrong_segment_count(self, container):
+        data, expected = container
+        def lie(trailer):
+            struct.pack_into("<I", trailer, 6 + 4, 1)  # n_segments = 1
+        self.assert_safe(corrupt_trailer(data, lie), expected)
+
+    def test_trailing_junk_after_trailer(self, container):
+        data, expected = container
+        self.assert_safe(data + b"\x00" * 7, expected)
+        self.assert_safe(data + b"JUNKJUNK", expected)
+
+    def test_junk_instead_of_trailer(self, container):
+        data, expected = container
+        bare = data[: data.rindex(syncindex.SIDX_MAGIC)]
+        self.assert_safe(bare + b"\xff" * 32, expected)
+        self.assert_safe(bare + syncindex.SIDX_MAGIC, expected)
+
+    def test_rejected_trailer_counts_and_falls_back(self, container):
+        data, expected = container
+        mutated = bytearray(data)
+        mutated[-1] ^= 0xFF  # break the trailer CRC
+        with capture_spans() as registry:
+            with use_backend("fast"), lockstep("auto"):
+                got = decode_image(bytes(mutated))
+        assert_images_equal(got, expected)
+        assert registry.counter_value("codec.decode.sync_index_rejected") == 1
+        spans = [s for s in registry.spans() if s.name == "codec.decode"]
+        assert spans[-1].tags["path"] == "walker"
+
+
+# ---------------------------------------------------------------------------
+# Salvage: damage confined to one segment
+# ---------------------------------------------------------------------------
+
+
+class TestIndexedSalvage:
+    def test_single_corrupted_segment_loses_only_itself(self):
+        image = make_image(192, 192, 3, density=0.3, seed=10)
+        data = encode_image(image, sync_index=True)
+        header, streams, offset = split_container(data)
+        n_blocks = 24 * 24
+        index, reason = syncindex.parse_index(
+            data, offset, 3, n_blocks, [len(s) for s in streams]
+        )
+        assert reason is None
+        # Smash bytes in the middle of channel 0's stream.
+        _c = JpegCodec()
+        _header, stream0_off = _c._parse_header(data)
+        mid = stream0_off + 4 + len(streams[0]) // 2
+        corrupted = bytearray(data)
+        for k in range(4):
+            corrupted[mid + k] ^= 0xFF
+        result = decode_image(bytes(corrupted), salvage=True)
+        assert not result.channel_crc_ok[0]
+        assert result.channel_crc_ok[1] and result.channel_crc_ok[2]
+        ch0 = index.channels[0]
+        # Damage exists but is a small minority of blocks (a couple of
+        # segments at most), and channels 1/2 are fully clean.
+        damaged = result.block_damage[0].reshape(-1)
+        assert damaged.any()
+        assert damaged.sum() <= 2 * ch0.interval
+        assert not result.block_damage[1:].any()
+        # Every block marked clean is bit-exact with the original.
+        original = decode_image(data)
+        om = original.channels[0].reshape(n_blocks, 8, 8)
+        sm = result.image.channels[0].reshape(n_blocks, 8, 8)
+        for i in np.flatnonzero(~damaged):
+            np.testing.assert_array_equal(om[i], sm[i])
+
+    def test_salvage_without_index_unchanged(self):
+        image = make_image(192, 192, 3, density=0.3, seed=11)
+        data = encode_image(image, sync_index=False)
+        _c = JpegCodec()
+        _header, off = _c._parse_header(data)
+        (slen,) = struct.unpack_from("<I", data, off)
+        corrupted = bytearray(data)
+        corrupted[off + 4 + slen // 2] ^= 0xFF
+        result = decode_image(bytes(corrupted), salvage=True)
+        # No index: the historical all-or-nothing contract applies.
+        assert result.block_damage[0].all()
+        assert not result.block_damage[1:].any()
+
+    def test_corrupted_trailer_degrades_to_whole_stream_salvage(self):
+        image = make_image(192, 192, 3, density=0.3, seed=12)
+        data = encode_image(image, sync_index=True)
+        corrupted = bytearray(data)
+        corrupted[-1] ^= 0xFF  # trailer CRC now fails
+        _c = JpegCodec()
+        _header, off = _c._parse_header(bytes(corrupted))
+        (slen,) = struct.unpack_from("<I", bytes(corrupted), off)
+        corrupted[off + 4 + slen // 2] ^= 0xFF
+        result = decode_image(bytes(corrupted), salvage=True)
+        assert result.block_damage[0].all()
+
+    def test_intact_container_salvage_still_clean(self):
+        image = make_image(128, 128, 3, seed=13)
+        data = encode_image(image, sync_index=True)
+        result = decode_image(data, salvage=True)
+        assert result.is_clean
+        assert_images_equal(result.image, decode_image(data))
+
+
+# ---------------------------------------------------------------------------
+# Serving paths: span evidence that the fleet uses the fast path
+# ---------------------------------------------------------------------------
+
+
+class TestServingPaths:
+    def _protected_big_image(self, seed=14):
+        from repro.core.roi import RegionOfInterest
+
+        rng = np.random.default_rng(seed)
+        array = rng.integers(0, 256, (256, 256, 3), dtype=np.uint8)
+        image = CoefficientImage.from_array(array, quality=75)
+        roi = RegionOfInterest("r", Rect(8, 8, 24, 24))
+        key = generate_private_key(roi.matrix_id, "span-owner")
+        perturbed, public = perturb_regions(
+            image, [roi], {roi.matrix_id: key}
+        )
+        return perturbed, public
+
+    def test_service_cache_miss_uses_lockstep(self):
+        from repro.service import PspService
+
+        perturbed, public = self._protected_big_image()
+        with capture_spans() as registry:
+            with use_backend("fast"), lockstep("auto"):
+                service = PspService(workers=1)
+                try:
+                    service.upload("img", perturbed, public)
+                    service.download("img")  # cold: decode cache miss
+                finally:
+                    service.close()
+        decodes = [
+            s for s in registry.spans() if s.name == "codec.decode"
+        ]
+        assert any(s.tags.get("path") == "lockstep" for s in decodes)
+        assert all(s.tags.get("backend") == "fast" for s in decodes)
+
+    def test_cluster_scrub_uses_lockstep(self):
+        from repro.cluster.wire import ShardRecord, decode_frame, MSG_OK
+        from repro.cluster.worker import ShardWorker
+
+        perturbed, public = self._protected_big_image(seed=15)
+        encoded = encode_image(perturbed)
+        record = ShardRecord.create(encoded, b"public-bytes")
+        worker = ShardWorker("w0", port=0)
+        try:
+            worker.storage.put("img", record, overwrite=False)
+            with capture_spans() as registry:
+                with use_backend("fast"), lockstep("auto"):
+                    reply = worker._scrub("img")
+            ftype, _payload = decode_frame(reply)
+            assert ftype == MSG_OK
+            decodes = [
+                s for s in registry.spans() if s.name == "codec.decode"
+            ]
+            assert any(
+                s.tags.get("path") == "lockstep" for s in decodes
+            )
+        finally:
+            worker.close()
+
+
+# ---------------------------------------------------------------------------
+# API guards
+# ---------------------------------------------------------------------------
+
+
+class TestDispatchApi:
+    def test_set_lockstep_mode_validates(self):
+        with pytest.raises(ValueError):
+            codec.set_lockstep_mode("sometimes")
+        assert codec.lockstep_mode() in codec.LOCKSTEP_MODES
+
+    def test_auto_threshold_picks_walker_for_few_segments(self):
+        image = make_image(96, 96, 1, density=0.2, seed=16)
+        data = encode_image(image, sync_index=True)
+        with capture_spans() as registry:
+            with use_backend("fast"), lockstep("auto"):
+                decode_image(data)
+        spans = [s for s in registry.spans() if s.name == "codec.decode"]
+        # A forced-index tiny container has far fewer segments than the
+        # dispatch threshold: auto mode must keep the walker.
+        assert spans[-1].tags["path"] == "walker"
