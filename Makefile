@@ -1,7 +1,8 @@
 # Convenience targets for the PuPPIeS reproduction.
 
 .PHONY: install test faults bench bench-quick loadgen-quick \
-	cluster-quick obs-quick examples trace-demo clean all
+	cluster-quick durability-quick obs-quick examples trace-demo \
+	clean all
 
 install:
 	pip install -e .
@@ -43,6 +44,19 @@ cluster-quick:
 	PYTHONPATH=src python -m repro.cli cluster loadgen --workers 2 \
 		--processes 2 --images 4 --requests 60 --delay-every 2 \
 		--delay-s 0.05 --hedge-delay 0.02 --check
+
+# Durability smoke: segment/commit/recovery units, scrub + bugfix
+# regressions, then the process-level crash-recovery and anti-entropy
+# acceptance tests, then a disk-backed loadgen whose --check asserts
+# zero failed reads with the scrub daemon sweeping underneath.
+durability-quick:
+	pytest tests/test_cluster_storage.py tests/test_cluster_scrub.py -q
+	pytest tests/test_cluster_durability.py -m cluster -q
+	PYTHONPATH=src python -m repro.cli cluster loadgen --workers 3 \
+		--processes 2 --images 4 --requests 60 \
+		--data-dir /tmp/puppies-durability-quick --scrub-interval 1 \
+		--check
+	rm -rf /tmp/puppies-durability-quick
 
 # Observability smoke: sketch/exporter/distributed-telemetry units, the
 # <2% disabled-overhead gate (run plain, not --benchmark-only), then a

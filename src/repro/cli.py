@@ -431,7 +431,9 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
 
     with ClusterSupervisor(
         n_workers=args.workers, host=args.host, chaos_ops=args.chaos_ops,
-        telemetry=args.telemetry,
+        telemetry=args.telemetry, data_dir=args.data_dir,
+        replication=args.replication,
+        scrub_interval_s=args.scrub_interval,
     ) as supervisor:
         for worker_id, (host, port) in sorted(
             supervisor.endpoints().items()
@@ -441,6 +443,14 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
             f"cluster up: {args.workers} worker(s)"
             + (" [chaos ops armed]" if args.chaos_ops else "")
             + (" [telemetry on — try `obs top`]" if args.telemetry else "")
+            + (
+                f" [durable under {args.data_dir}]"
+                if args.data_dir else ""
+            )
+            + (
+                f" [scrub every {args.scrub_interval:g}s]"
+                if args.scrub_interval > 0 else ""
+            )
             + " — Ctrl-C to stop"
         )
         try:
@@ -484,7 +494,9 @@ def cmd_cluster_loadgen(args: argparse.Namespace) -> int:
         )
     with ClusterSupervisor(
         n_workers=args.workers, faults=faults or None,
-        telemetry=args.telemetry,
+        telemetry=args.telemetry, data_dir=args.data_dir,
+        replication=args.replication,
+        scrub_interval_s=args.scrub_interval,
     ) as supervisor:
         with supervisor.client(replication=args.replication) as client:
             image_ids = build_cluster_corpus(
@@ -960,6 +972,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--telemetry", action="store_true",
                        help="workers record spans/metrics and answer "
                             "MSG_TELEMETRY drains (see `obs top`)")
+    serve.add_argument("--replication", type=int, default=2,
+                       help="copies per image id (sizes the scrub "
+                            "daemon's replica scope)")
+    serve.add_argument("--data-dir", default=None,
+                       help="root directory for durable worker storage "
+                            "(one segment dir per worker; restarts "
+                            "recover committed records from disk)")
+    serve.add_argument("--scrub-interval", type=float, default=0.0,
+                       help="seconds between background anti-entropy "
+                            "sweeps in each worker (0 = off)")
     serve.set_defaults(func=cmd_cluster_serve)
 
     cloadgen = cluster_sub.add_parser(
@@ -999,6 +1021,12 @@ def build_parser() -> argparse.ArgumentParser:
     cloadgen.add_argument("--delay-s", type=float, default=0.1,
                           help="seconds of injected delay")
     cloadgen.add_argument("--seed", type=int, default=0)
+    cloadgen.add_argument("--data-dir", default=None,
+                          help="durable worker storage root; killed "
+                               "workers restart with their shards intact")
+    cloadgen.add_argument("--scrub-interval", type=float, default=0.0,
+                          help="seconds between background anti-entropy "
+                               "sweeps in each worker (0 = off)")
     cloadgen.add_argument("--telemetry", action="store_true",
                           help="trace the whole fleet: workers + clients "
                                "ship spans home and merge into one trace")

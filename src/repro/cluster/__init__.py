@@ -10,17 +10,23 @@ Layering (client-side smarts, Dynamo-style):
 
 * :mod:`repro.cluster.wire` — the framed protocol + ShardRecord;
 * :mod:`repro.cluster.ring` — consistent-hash placement;
+* :mod:`repro.cluster.storage` — the worker's shard store: in-memory
+  (default) or disk-backed append-only segments with CRC framing, an
+  fsync'd commit point, torn-tail recovery and compaction;
+* :mod:`repro.cluster.scrub` — background anti-entropy: Merkle-style
+  digest trees + the rate-limited in-worker scrub daemon;
 * :mod:`repro.cluster.worker` — one dumb shard-serving process;
 * :mod:`repro.cluster.client` — replication, failover, hedged reads,
   read-repair, hinted handoff;
-* :mod:`repro.cluster.supervisor` — spawn/kill/restart the fleet;
+* :mod:`repro.cluster.supervisor` — spawn/kill/restart the fleet
+  (disk-backed workers recover their shards on restart);
 * :mod:`repro.cluster.store` — store-protocol facade so
   :class:`repro.core.psp.Psp` and :class:`repro.service.PspService`
   serve from the cluster unchanged;
 * :mod:`repro.cluster.faults` — deterministic cluster-level chaos;
 * :mod:`repro.cluster.loadgen` — multi-process closed-loop load.
 
-See ``docs/SERVICE.md`` ("Cluster") and ``docs/FORMATS.md`` §4.
+See ``docs/SERVICE.md`` ("Cluster") and ``docs/FORMATS.md`` §4–§5.
 """
 
 from repro.cluster.client import (
@@ -36,6 +42,13 @@ from repro.cluster.loadgen import (
     run_cluster_loadgen,
 )
 from repro.cluster.ring import HashRing, ring_hash
+from repro.cluster.scrub import (
+    ScrubConfig,
+    ScrubDaemon,
+    build_tree,
+    diff_leaves,
+)
+from repro.cluster.storage import DiskShardStorage, InMemoryShardStorage
 from repro.cluster.store import ClusterStore
 from repro.cluster.supervisor import ClusterSupervisor, WorkerHandle
 from repro.cluster.wire import (
@@ -57,14 +70,20 @@ __all__ = [
     "ClusterLoadgenReport",
     "ClusterStore",
     "ClusterSupervisor",
+    "DiskShardStorage",
     "HashRing",
+    "InMemoryShardStorage",
+    "ScrubConfig",
+    "ScrubDaemon",
     "ShardRecord",
     "ShardStorage",
     "ShardWorker",
     "WorkerHandle",
     "WorkerUnavailableError",
     "build_cluster_corpus",
+    "build_tree",
     "decode_frame",
+    "diff_leaves",
     "encode_frame",
     "read_frame",
     "ring_hash",

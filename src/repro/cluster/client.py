@@ -50,17 +50,24 @@ from repro.cluster.wire import (
     MSG_HAS,
     MSG_IDS,
     MSG_OK,
+    MSG_PEERS,
     MSG_PING,
     MSG_PUT,
     MSG_SCRUB,
     MSG_TELEMETRY,
+    MSG_TREE,
     PING_EXTENDED,
+    PING_EXTENDED2,
+    TREE_DEPTH,
+    TREE_SUMMARY,
     ShardRecord,
     TraceContext,
     encode_frame,
     pack_corrupt,
     pack_id,
+    pack_peers,
     pack_put,
+    pack_tree_request,
     read_frame,
     unpack_bool,
     unpack_error,
@@ -68,6 +75,7 @@ from repro.cluster.wire import (
     unpack_ping_response,
     unpack_record_response,
     unpack_scrub_response,
+    unpack_tree_response,
     with_trace,
 )
 from repro.obs.distributed import TelemetryDelta, decode_telemetry
@@ -167,7 +175,12 @@ class ClusterClient:
         )
         self._pool: Dict[str, List[socket.socket]] = {}
         self._pool_lock = threading.Lock()
-        self._hints: List[Tuple[str, str]] = []
+        # Hinted-handoff queue. Insertion-ordered and deduplicated: a
+        # worker that stays down across many failed writes of the same
+        # id yields ONE hint, not one per attempt — drain replays each
+        # (worker, id) pair exactly once. Dict-as-ordered-set so drain
+        # order still follows first failure.
+        self._hints: Dict[Tuple[str, str], None] = {}
         self._hints_lock = threading.Lock()
         #: Plain-int mirror of the obs counters, so multi-process loadgen
         #: clients can ship their tallies home through a pickle queue.
@@ -382,7 +395,9 @@ class ClusterClient:
 
     def _hint(self, worker: str, image_id: str) -> None:
         with self._hints_lock:
-            self._hints.append((worker, image_id))
+            if (worker, image_id) in self._hints:
+                return  # already queued — don't replay it N times
+            self._hints[(worker, image_id)] = None
         self._bump("hinted_handoffs")
         obs.counter("cluster.hinted_handoff", worker=worker)
 
@@ -398,7 +413,7 @@ class ClusterClient:
         is still down (or whose id has no surviving copy) stay queued.
         """
         with self._hints_lock:
-            hints, self._hints = self._hints, []
+            hints, self._hints = list(self._hints), {}
         replayed = 0
         requeue: List[Tuple[str, str]] = []
         for worker, image_id in hints:
@@ -419,7 +434,8 @@ class ClusterClient:
             obs.counter("cluster.handoff_replayed", worker=worker)
         if requeue:
             with self._hints_lock:
-                self._hints.extend(requeue)
+                for pair in requeue:
+                    self._hints.setdefault(pair, None)
         return replayed
 
     # ------------------------------------------------------------------
@@ -719,16 +735,23 @@ class ClusterClient:
             worker, MSG_CORRUPT, pack_corrupt(image_id, n_bits, seed)
         )
 
-    def ping(self, worker: str) -> Dict[str, object]:
-        """Worker stats; always requests the extended (v2) block.
+    def ping(
+        self, worker: str, storage_stats: bool = False
+    ) -> Dict[str, object]:
+        """Worker stats; always requests at least the extended (v2)
+        block; ``storage_stats=True`` requests v3, which adds the
+        worker's storage/scrub stats under a ``"storage"`` key.
 
         A v1 worker would ignore the request payload and answer the
         short form, which the unpacker accepts — so the extra keys
-        (``spans_recorded``, ``spans_dropped``, ``telemetry``) are
+        (``spans_recorded``, ``spans_dropped``, ``storage``) are
         present exactly when the worker can produce them.
         """
         return unpack_ping_response(
-            self._request(worker, MSG_PING, PING_EXTENDED)
+            self._request(
+                worker, MSG_PING,
+                PING_EXTENDED2 if storage_stats else PING_EXTENDED,
+            )
         )
 
     def health(self) -> Dict[str, Optional[Dict[str, object]]]:
@@ -751,6 +774,50 @@ class ClusterClient:
         """
         return decode_telemetry(
             self._request(worker, MSG_TELEMETRY, b"")
+        )
+
+    def configure_scrub(
+        self,
+        scrub_interval_s: float,
+        replication: Optional[int] = None,
+    ) -> List[str]:
+        """Push the peer map + scrub config to every reachable worker.
+
+        Each worker learns the full fleet (``MSG_PEERS``), builds its
+        ring, and starts (interval > 0) or stops (<= 0) its background
+        scrub daemon. Returns the workers that acknowledged; the caller
+        decides whether a partial push is acceptable.
+        """
+        rf = self.replication if replication is None else int(replication)
+        payload = pack_peers(rf, scrub_interval_s, self.endpoints)
+        acked: List[str] = []
+        for worker in sorted(self.endpoints):
+            try:
+                self._request(worker, MSG_PEERS, payload)
+            except (ClusterError, OSError):
+                continue
+            acked.append(worker)
+        return acked
+
+    def fetch_tree(
+        self,
+        worker: str,
+        for_worker: Optional[str] = None,
+        depth: int = TREE_DEPTH,
+        leaf: int = TREE_SUMMARY,
+    ):
+        """One anti-entropy tree exchange, mostly for tooling/tests.
+
+        ``for_worker`` scopes the digest to ids co-owned with that
+        worker (defaults to ``worker`` itself — its whole owned set).
+        Returns a :class:`~repro.cluster.wire.TreeSummary` for the
+        summary leaf, or an ``id -> (crc, crc)`` dict for a real leaf.
+        """
+        scope = worker if for_worker is None else for_worker
+        return unpack_tree_response(
+            self._request(
+                worker, MSG_TREE, pack_tree_request(scope, depth, leaf)
+            )
         )
 
     def snapshot_stats(self) -> Dict[str, int]:

@@ -140,6 +140,33 @@ class ClusterLoadgenReport:
             worker_bits.append(bit)
         if worker_bits:
             body.append("workers      : " + ", ".join(worker_bits))
+        durability_bits = []
+        scrub_bits = []
+        for worker in sorted(self.worker_stats):
+            stats = self.worker_stats[worker]
+            fleet = (stats or {}).get("storage")
+            if not isinstance(fleet, dict):
+                continue
+            store = fleet.get("storage")
+            if isinstance(store, dict) and "segments" in store:
+                durability_bits.append(
+                    f"{worker}:{store.get('segments', 0)}seg"
+                    f"/{store.get('live_records', 0)}rec"
+                    f"/{store.get('dead_bytes', 0)}dead"
+                )
+            scrub = fleet.get("scrub")
+            if isinstance(scrub, dict) and scrub.get("sweeps"):
+                scrub_bits.append(
+                    f"{worker}:{scrub.get('sweeps', 0)}sweep(s)"
+                    f",{scrub.get('ranges_diffed', 0)}diffed"
+                    f",{scrub.get('repairs', 0)}repair(s)"
+                    f",{scrub.get('digest_bytes', 0)}B digests"
+                    f"/{scrub.get('record_bytes', 0)}B records"
+                )
+        if durability_bits:
+            body.append("storage      : " + ", ".join(durability_bits))
+        if scrub_bits:
+            body.append("scrub        : " + ", ".join(scrub_bits))
         if self.telemetry_spans:
             body.append(
                 f"telemetry    : {self.telemetry_spans} span(s) merged "
@@ -360,7 +387,9 @@ def run_cluster_loadgen(
     try:
         for worker in sorted(endpoints):
             try:
-                worker_stats[worker] = probe.ping(worker)
+                worker_stats[worker] = probe.ping(
+                    worker, storage_stats=True
+                )
             except (ClusterError, OSError):
                 worker_stats[worker] = None
         if collector is not None:

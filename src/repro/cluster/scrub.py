@@ -1,0 +1,519 @@
+"""Background anti-entropy: digest trees + a rate-limited scrub daemon.
+
+PR 5's :meth:`ClusterClient.anti_entropy` was an on-demand, client-side
+sweep that fetched **every byte of every replica** to find divergence —
+O(n · record size) network traffic even when nothing was wrong. This
+module moves the sweep into the worker as a background daemon and makes
+the common case (converged replicas) cheap:
+
+* each worker digests its shard metadata into a **Merkle-style tree**
+  over the 64-bit ring space: 2^depth leaf ranges, one 8-byte blake2b
+  digest per non-empty leaf, one root digest over the leaves;
+* a scrubbing worker asks each peer for its tree **scoped to the ids
+  they co-own** (the ``MSG_TREE`` wire op); matching roots end the
+  exchange after O(2^depth) digest bytes — no record ever crosses;
+* mismatched leaves are drilled into individually (id + stored-CRC
+  listings), and only the records that actually differ are fetched or
+  pushed;
+* a local **verify pass** re-reads a bounded number of the worker's own
+  records per sweep and checks them against the writer-time CRCs — the
+  only way to catch *silent* rot, since rot does not change the stored
+  metadata the tree digests. A rotten copy is repaired in place from
+  the first peer replica that serves verifying bytes.
+
+Digests are built from ``(id, crc_encoded, crc_public)`` — the index
+metadata — so tree construction reads zero blob bytes from disk. The
+daemon is rate-limited three ways: the sweep interval, a per-sweep
+verify budget, and a per-sweep record-sync budget.
+
+Counter story (mirrored in the plain ``stats`` dict so tests and ping
+v3 see it with telemetry off): ``scrub.ranges_diffed`` counts leaf
+ranges that needed drilling, ``scrub.repairs`` counts records healed
+locally, and ``record_bytes`` vs ``digest_bytes`` shows that converged
+ranges exchange digests, not records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import socket
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.ring import ring_hash
+from repro.cluster.wire import (
+    ERR_NOT_FOUND,
+    MSG_ERR,
+    MSG_GET,
+    MSG_OK,
+    MSG_PUT,
+    MSG_TREE,
+    TREE_DEPTH,
+    TREE_DIGEST_SIZE,
+    TREE_SUMMARY,
+    ShardRecord,
+    TreeSummary,
+    encode_frame,
+    pack_id,
+    pack_put,
+    pack_tree_request,
+    read_frame,
+    unpack_error,
+    unpack_record_response,
+    unpack_tree_response,
+)
+from repro.util.errors import ClusterError
+
+#: stat keys the daemon maintains (all plain ints, zero-initialised).
+SCRUB_STAT_KEYS = (
+    "sweeps", "sweep_errors", "records_verified", "bytes_verified",
+    "rot_detected", "repairs", "pushed", "peer_errors", "trees_converged",
+    "ranges_diffed", "digest_bytes", "record_bytes", "conflicts",
+)
+
+
+class PeerMissingError(ClusterError):
+    """The peer authoritatively does not hold the requested id."""
+
+
+@dataclass
+class ScrubConfig:
+    """Tuning for the background scrub; see docs/SERVICE.md."""
+
+    #: Seconds between sweeps; <= 0 leaves the daemon thread stopped
+    #: (sweeps can still be driven manually — tests do).
+    interval_s: float = 30.0
+    #: Digest-tree depth: 2^depth leaf ranges per peer exchange.
+    depth: int = TREE_DEPTH
+    #: Local records CRC-verified per sweep (0 = every record).
+    verify_per_sweep: int = 256
+    #: Full records fetched/pushed per sweep across all peers.
+    max_record_syncs: int = 256
+    #: Mismatched leaves drilled into per peer per sweep.
+    max_leaf_fetches: int = 64
+    #: Socket timeout for every peer exchange.
+    timeout: float = 2.0
+
+
+# ---------------------------------------------------------------------
+# Digest tree construction
+# ---------------------------------------------------------------------
+def leaf_index(image_id: str, depth: int) -> int:
+    """Which of the 2^depth ring ranges ``image_id`` digests into."""
+    return ring_hash(image_id) >> (64 - depth)
+
+
+def entry_digest(image_id: str, crc_encoded: int, crc_public: int) -> bytes:
+    return hashlib.blake2b(
+        f"{image_id}|{crc_encoded:08x}|{crc_public:08x}".encode("utf-8"),
+        digest_size=TREE_DIGEST_SIZE,
+    ).digest()
+
+
+def build_tree(
+    metadata: List[Tuple[str, int, int]], depth: int = TREE_DEPTH
+) -> TreeSummary:
+    """Digest ``(id, crc_encoded, crc_public)`` rows into a tree.
+
+    Per-leaf digests XOR the entry digests, so they are order-
+    independent and incremental; the root is a blake2b over the sorted
+    ``(leaf, count, digest)`` rows, so any difference anywhere in the
+    tree changes the root.
+    """
+    counts: Dict[int, int] = {}
+    digests: Dict[int, bytearray] = {}
+    for image_id, crc_encoded, crc_public in metadata:
+        index = leaf_index(image_id, depth)
+        entry = entry_digest(image_id, crc_encoded, crc_public)
+        acc = digests.get(index)
+        if acc is None:
+            digests[index] = bytearray(entry)
+            counts[index] = 1
+        else:
+            for pos in range(TREE_DIGEST_SIZE):
+                acc[pos] ^= entry[pos]
+            counts[index] += 1
+    leaves = {
+        index: (counts[index], bytes(digests[index]))
+        for index in digests
+    }
+    root = hashlib.blake2b(digest_size=TREE_DIGEST_SIZE)
+    for index in sorted(leaves):
+        count, digest = leaves[index]
+        root.update(struct.pack("<HI", index, count) + digest)
+    return TreeSummary(
+        depth=depth,
+        total=sum(counts.values()),
+        root=root.digest(),
+        leaves=leaves,
+    )
+
+
+def diff_leaves(
+    mine: Dict[int, Tuple[int, bytes]],
+    theirs: Dict[int, Tuple[int, bytes]],
+) -> List[int]:
+    """Leaf indices where the two trees disagree (either side missing
+    a leaf the other has, or count/digest mismatching)."""
+    return sorted(
+        index
+        for index in set(mine) | set(theirs)
+        if mine.get(index) != theirs.get(index)
+    )
+
+
+# ---------------------------------------------------------------------
+# Peer exchange
+# ---------------------------------------------------------------------
+def peer_request(
+    host: str,
+    port: int,
+    ftype: int,
+    payload: bytes,
+    timeout: float = 2.0,
+) -> bytes:
+    """One framed request/response to a peer worker, no pooling.
+
+    The scrub path is background traffic: a fresh connection per
+    exchange keeps it unentangled with the serving pool and trivially
+    safe to time out.
+    """
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            sock.sendall(encode_frame(ftype, payload))
+            reply = read_frame(sock)
+    except OSError as error:
+        raise ClusterError(
+            f"peer {host}:{port} unreachable: {error}"
+        ) from error
+    if reply is None:
+        raise ClusterError(f"peer {host}:{port} hung up mid-exchange")
+    rtype, rpayload = reply
+    if rtype == MSG_OK:
+        return rpayload
+    if rtype == MSG_ERR:
+        code, message = unpack_error(rpayload)
+        if code == ERR_NOT_FOUND:
+            raise PeerMissingError(message)
+        raise ClusterError(f"peer {host}:{port} rejected: {message}")
+    raise ClusterError(
+        f"peer {host}:{port} answered unexpected frame {rtype:#x}"
+    )
+
+
+class ScrubDaemon:
+    """The worker-resident anti-entropy loop.
+
+    Owns nothing but its stats and the thread: peers, ring, replication
+    and storage are read from the worker at sweep time, so a
+    ``MSG_PEERS`` reconfiguration applies on the next sweep without a
+    restart. :meth:`sweep` is callable directly (tests drive it
+    synchronously); :meth:`start` runs it on ``config.interval_s``.
+    """
+
+    def __init__(self, worker, config: Optional[ScrubConfig] = None) -> None:
+        self.worker = worker
+        self.config = config if config is not None else ScrubConfig()
+        self.stats: Dict[str, int] = {key: 0 for key in SCRUB_STAT_KEYS}
+        self._stats_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._verify_cursor = 0
+        self._sync_budget = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            return
+        if self.config.interval_s <= 0:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="scrub", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(self.config.timeout + 1.0)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.config.interval_s):
+            try:
+                self.sweep()
+            except Exception:
+                self._bump("sweep_errors")
+
+    def _bump(self, key: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self.stats[key] += amount
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._stats_lock:
+            return dict(self.stats)
+
+    # ------------------------------------------------------------------
+    # One sweep
+    # ------------------------------------------------------------------
+    def sweep(self) -> Dict[str, int]:
+        """Verify-and-sync once; returns this sweep's stat snapshot."""
+        registry = self.worker.registry
+        self._bump("sweeps")
+        self._sync_budget = self.config.max_record_syncs
+        self._verify_pass()
+        peers = dict(self.worker.peers)
+        peers.pop(self.worker.worker_id, None)
+        for peer_id in sorted(peers):
+            try:
+                self._sync_peer(peer_id, peers[peer_id])
+            except (ClusterError, OSError):
+                self._bump("peer_errors")
+        if registry.enabled:
+            storage_stats = self.worker.storage.stats()
+            registry.set_counter(
+                "storage.segments", storage_stats.get("segments", 0)
+            )
+            registry.set_counter(
+                "storage.dead_bytes", storage_stats.get("dead_bytes", 0)
+            )
+        return self.snapshot()
+
+    # ------------------------------------------------------------------
+    # Local verify pass — catches silent rot
+    # ------------------------------------------------------------------
+    def _verify_pass(self) -> None:
+        storage = self.worker.storage
+        ids = sorted(storage.ids())
+        if not ids:
+            return
+        budget = self.config.verify_per_sweep or len(ids)
+        start = self._verify_cursor % len(ids)
+        for step in range(min(budget, len(ids))):
+            image_id = ids[(start + step) % len(ids)]
+            record = storage.get(image_id)
+            self._bump("records_verified")
+            if record is None:
+                # Frame-level disk rot: the storage already dropped the
+                # id; the tree diff will refill it from a peer.
+                continue
+            self._bump(
+                "bytes_verified",
+                len(record.encoded) + len(record.public_bytes),
+            )
+            if record.verify():
+                continue
+            self._bump("rot_detected")
+            self._repair_from_peers(image_id)
+        self._verify_cursor = (start + min(budget, len(ids))) % len(ids)
+
+    def _repair_from_peers(self, image_id: str) -> bool:
+        """Fetch a verifying replica copy and overwrite the local rot."""
+        ring = self.worker.ring
+        if ring is None:
+            return False
+        peers = self.worker.peers
+        for peer_id in ring.preference(image_id, self.worker.replication):
+            if peer_id == self.worker.worker_id or peer_id not in peers:
+                continue
+            host, port = peers[peer_id]
+            try:
+                fetched = unpack_record_response(
+                    peer_request(
+                        host, port, MSG_GET, pack_id(image_id),
+                        timeout=self.config.timeout,
+                    )
+                )
+            except (ClusterError, OSError):
+                self._bump("peer_errors")
+                continue
+            if not fetched.verify():
+                continue  # that replica is rotten too
+            self._bump(
+                "record_bytes",
+                len(fetched.encoded) + len(fetched.public_bytes),
+            )
+            self.worker.storage.put(image_id, fetched, True)
+            self._bump("repairs")
+            self.worker.registry.counter("scrub.repairs")
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Tree-diff replica sync
+    # ------------------------------------------------------------------
+    def _scoped_metadata(self, peer_id: str) -> List[Tuple[str, int, int]]:
+        """Local metadata restricted to ids this worker and ``peer_id``
+        co-own — the same scope the peer applies when answering
+        ``MSG_TREE`` for us, so the two trees are comparable."""
+        ring = self.worker.ring
+        replication = self.worker.replication
+        me = self.worker.worker_id
+        scoped = []
+        for image_id, crc_encoded, crc_public in (
+            self.worker.storage.metadata()
+        ):
+            prefs = ring.preference(image_id, replication)
+            if me in prefs and peer_id in prefs:
+                scoped.append((image_id, crc_encoded, crc_public))
+        return scoped
+
+    def _sync_peer(self, peer_id: str, endpoint: Tuple[str, int]) -> None:
+        if self.worker.ring is None:
+            return
+        host, port = endpoint
+        depth = self.config.depth
+        local = build_tree(self._scoped_metadata(peer_id), depth)
+        summary_payload = peer_request(
+            host, port, MSG_TREE,
+            pack_tree_request(self.worker.worker_id, depth, TREE_SUMMARY),
+            timeout=self.config.timeout,
+        )
+        self._bump("digest_bytes", len(summary_payload))
+        theirs = unpack_tree_response(summary_payload)
+        if not isinstance(theirs, TreeSummary):
+            raise ClusterError("peer answered detail to a summary request")
+        if theirs.root == local.root and theirs.total == local.total:
+            self._bump("trees_converged")
+            return
+        mismatched = diff_leaves(local.leaves, theirs.leaves)
+        if not mismatched:
+            return
+        self._bump("ranges_diffed", len(mismatched))
+        self.worker.registry.counter(
+            "scrub.ranges_diffed", amount=len(mismatched)
+        )
+        local_entries = {
+            image_id: (crc_encoded, crc_public)
+            for image_id, crc_encoded, crc_public in (
+                self._scoped_metadata(peer_id)
+            )
+        }
+        for leaf in mismatched[: self.config.max_leaf_fetches]:
+            if self._sync_budget <= 0:
+                return
+            detail_payload = peer_request(
+                host, port, MSG_TREE,
+                pack_tree_request(self.worker.worker_id, depth, leaf),
+                timeout=self.config.timeout,
+            )
+            self._bump("digest_bytes", len(detail_payload))
+            detail = unpack_tree_response(detail_payload)
+            if isinstance(detail, TreeSummary):
+                raise ClusterError(
+                    "peer answered summary to a detail request"
+                )
+            mine = {
+                image_id: crcs
+                for image_id, crcs in local_entries.items()
+                if leaf_index(image_id, depth) == leaf
+            }
+            self._reconcile_leaf(host, port, mine, detail)
+
+    def _reconcile_leaf(
+        self,
+        host: str,
+        port: int,
+        mine: Dict[str, Tuple[int, int]],
+        theirs: Dict[str, Tuple[int, int]],
+    ) -> None:
+        storage = self.worker.storage
+        for image_id in sorted(set(theirs) - set(mine)):
+            if self._sync_budget <= 0:
+                return
+            if not self._pull(host, port, image_id):
+                continue
+        for image_id in sorted(set(mine) - set(theirs)):
+            if self._sync_budget <= 0:
+                return
+            record = storage.get(image_id)
+            if record is None or not record.verify():
+                continue  # never propagate rot
+            self._push(host, port, image_id, record)
+        for image_id in sorted(set(mine) & set(theirs)):
+            if mine[image_id] == theirs[image_id]:
+                continue
+            if self._sync_budget <= 0:
+                return
+            # Divergent stored writer CRCs: trust whichever copy still
+            # verifies. Both verifying (a lost overwrite race) is a
+            # conflict the log cannot order — count it, touch nothing.
+            local_record = storage.get(image_id)
+            local_ok = local_record is not None and local_record.verify()
+            try:
+                peer_record = unpack_record_response(
+                    peer_request(
+                        host, port, MSG_GET, pack_id(image_id),
+                        timeout=self.config.timeout,
+                    )
+                )
+            except (ClusterError, OSError):
+                self._bump("peer_errors")
+                continue
+            self._bump(
+                "record_bytes",
+                len(peer_record.encoded) + len(peer_record.public_bytes),
+            )
+            peer_ok = peer_record.verify()
+            if peer_ok and not local_ok:
+                storage.put(image_id, peer_record, True)
+                self._sync_budget -= 1
+                self._bump("repairs")
+                self.worker.registry.counter("scrub.repairs")
+            elif local_ok and not peer_ok:
+                self._push(host, port, image_id, local_record)
+            else:
+                self._bump("conflicts")
+
+    def _pull(self, host: str, port: int, image_id: str) -> bool:
+        try:
+            record = unpack_record_response(
+                peer_request(
+                    host, port, MSG_GET, pack_id(image_id),
+                    timeout=self.config.timeout,
+                )
+            )
+        except PeerMissingError:
+            return False  # raced a compaction/listing skew; next sweep
+        except (ClusterError, OSError):
+            self._bump("peer_errors")
+            return False
+        if not record.verify():
+            return False  # never import rot
+        self._bump(
+            "record_bytes", len(record.encoded) + len(record.public_bytes)
+        )
+        self.worker.storage.put(image_id, record, True)
+        self._sync_budget -= 1
+        self._bump("repairs")
+        self.worker.registry.counter("scrub.repairs")
+        return True
+
+    def _push(
+        self, host: str, port: int, image_id: str, record: ShardRecord
+    ) -> None:
+        try:
+            peer_request(
+                host, port, MSG_PUT, pack_put(image_id, record, True),
+                timeout=self.config.timeout,
+            )
+        except (ClusterError, OSError):
+            self._bump("peer_errors")
+            return
+        self._bump(
+            "record_bytes", len(record.encoded) + len(record.public_bytes)
+        )
+        self._sync_budget -= 1
+        self._bump("pushed")
+        self.worker.registry.counter("scrub.pushed")

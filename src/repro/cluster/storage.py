@@ -1,0 +1,641 @@
+"""Disk-backed shard storage: append-only segments with a commit point.
+
+The replicated cluster (PR 5) kept every worker's shards in process
+memory, so a restart silently destroyed data the PUPPIES sharing model
+treats as durable — the PSP is supposed to retain the perturbed public
+container indefinitely so any authorized receiver can reconstruct
+later. :class:`DiskShardStorage` makes a worker's slice survive
+``kill -9``:
+
+* **append-only segment files** (``seg-<seq>.rpsl``) holding one
+  CRC32-framed record per ``put`` — the same
+  :class:`~repro.cluster.wire.ShardRecord` layout that crosses the
+  wire, so the writer-time content CRCs rest on disk next to the bytes
+  they certify;
+* an **fsync'd commit point** (``COMMIT``) naming the byte offset up
+  to which every record is known durable;
+* **torn-tail truncation on open** — a record interrupted mid-write by
+  a crash fails its frame CRC and is cut off, never half-served;
+* an **in-memory offset index** rebuilt by scanning the segments at
+  startup, so serving reads is one ``seek`` + one frame decode;
+* **compaction** once overwritten (dead) bytes pass a threshold —
+  live records are rewritten into a fresh segment and the old files
+  deleted.
+
+:class:`InMemoryShardStorage` (the PR 5 ``ShardStorage``, re-exported
+under its old name for compatibility) stays the default for tests and
+ephemeral fleets; both classes implement the same storage protocol the
+worker serves from, plus :meth:`metadata` so the anti-entropy tree
+builder (:mod:`repro.cluster.scrub`) can digest a replica without
+reading any blob bytes.
+
+docs/FORMATS.md §5 documents the on-disk layout and recovery rules.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.serialization import pack_string, unpack_string
+from repro.cluster.wire import ShardRecord
+from repro.util.errors import ReproError
+from repro.util.rng import derive_rng
+
+SEGMENT_MAGIC = b"RPSG"
+SEGMENT_VERSION = 1
+SEGMENT_HEADER = struct.Struct("<4sBI")  # magic, version, sequence
+SEGMENT_SUFFIX = ".rpsl"
+
+#: Per-record frame: body length, CRC32 of the body.
+RECORD_FRAME = struct.Struct("<II")
+#: Record body op byte — only puts exist (an overwrite is a newer put;
+#: the cluster protocol has no delete).
+OP_PUT = 1
+
+COMMIT_MAGIC = b"RPCP"
+COMMIT_FILE = "COMMIT"
+#: magic, segment sequence, byte offset, CRC32 of the seq+offset bytes.
+COMMIT_LAYOUT = struct.Struct("<4sIQI")
+
+#: Roll the active segment once it grows past this many bytes.
+DEFAULT_SEGMENT_BYTES = 64 << 20
+#: Compact once dead bytes exceed this floor *and* the dead fraction.
+DEFAULT_COMPACT_DEAD_BYTES = 8 << 20
+DEFAULT_COMPACT_DEAD_FRACTION = 0.5
+
+
+@dataclass
+class _IndexEntry:
+    """Where one live record rests, plus its stored writer CRCs.
+
+    The CRCs are carried in the index so the anti-entropy digest tree
+    is computed without touching disk.
+    """
+
+    seq: int
+    offset: int      # of the record frame within the segment file
+    length: int      # frame + body bytes
+    crc_encoded: int
+    crc_public: int
+
+
+class InMemoryShardStorage:
+    """The worker's thread-safe id → :class:`ShardRecord` map (volatile)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: Dict[str, ShardRecord] = {}
+
+    def get(self, image_id: str) -> Optional[ShardRecord]:
+        with self._lock:
+            return self._items.get(image_id)
+
+    def put(
+        self, image_id: str, record: ShardRecord, overwrite: bool
+    ) -> bool:
+        """Insert (or, with ``overwrite``, replace); False when blocked."""
+        with self._lock:
+            if not overwrite and image_id in self._items:
+                return False
+            self._items[image_id] = record
+            return True
+
+    def ids(self) -> List[str]:
+        with self._lock:
+            return list(self._items)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def metadata(self) -> List[Tuple[str, int, int]]:
+        """``(id, stored crc_encoded, stored crc_public)`` snapshot."""
+        with self._lock:
+            return [
+                (image_id, record.crc_encoded, record.crc_public)
+                for image_id, record in self._items.items()
+            ]
+
+    def stats(self) -> Dict[str, int]:
+        return {"live_records": len(self)}
+
+    def close(self) -> None:
+        pass
+
+    def corrupt(self, image_id: str, n_bits: int, seed: str) -> bool:
+        """Chaos op: deterministically flip bits in the stored encoded
+        blob while *keeping* the writer-time CRC — exactly what silent
+        storage rot looks like to a reader."""
+        with self._lock:
+            record = self._items.get(image_id)
+            if record is None:
+                return False
+            self._items[image_id] = _rot_record(record, n_bits, seed,
+                                                image_id)
+            return True
+
+
+def _rot_record(
+    record: ShardRecord, n_bits: int, seed: str, image_id: str
+) -> ShardRecord:
+    """``record`` with bits flipped but the writer CRCs untouched."""
+    rng = derive_rng(seed, "stored", image_id)
+    buf = bytearray(record.encoded)
+    positions = rng.integers(0, len(buf) * 8, size=max(1, n_bits))
+    for pos in positions.tolist():
+        buf[pos // 8] ^= 1 << (pos % 8)
+    return ShardRecord(
+        encoded=bytes(buf),
+        public_bytes=record.public_bytes,
+        crc_encoded=record.crc_encoded,
+        crc_public=record.crc_public,
+    )
+
+
+class DiskShardStorage:
+    """Durable storage over append-only CRC-framed segment files.
+
+    Thread-safe like its in-memory sibling; every mutation happens under
+    one lock (single-writer log). ``fsync=False`` trades the durability
+    guarantee for loadgen speed — tests that kill workers must leave it
+    on.
+    """
+
+    def __init__(
+        self,
+        data_dir: str,
+        *,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        compact_dead_bytes: int = DEFAULT_COMPACT_DEAD_BYTES,
+        compact_dead_fraction: float = DEFAULT_COMPACT_DEAD_FRACTION,
+        fsync: bool = True,
+    ) -> None:
+        if segment_bytes < 4096:
+            raise ReproError(
+                f"segment_bytes must be >= 4096, got {segment_bytes}"
+            )
+        self.data_dir = data_dir
+        self.segment_bytes = int(segment_bytes)
+        self.compact_dead_bytes = int(compact_dead_bytes)
+        self.compact_dead_fraction = float(compact_dead_fraction)
+        self.fsync = bool(fsync)
+        self._lock = threading.Lock()
+        self._index: Dict[str, _IndexEntry] = {}
+        self._dead_bytes = 0
+        self._live_bytes = 0
+        self._segments: List[int] = []   # sequence numbers, ascending
+        self._active_seq = 0
+        self._active_file = None
+        self._active_end = 0             # append offset in active segment
+        self._stats: Dict[str, int] = {
+            "recovered_records": 0,
+            "torn_bytes_truncated": 0,
+            "lost_records": 0,
+            "read_errors": 0,
+            "appends": 0,
+            "compactions": 0,
+            "fsyncs": 0,
+        }
+        os.makedirs(data_dir, exist_ok=True)
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # Paths and commit point
+    # ------------------------------------------------------------------
+    def _segment_path(self, seq: int) -> str:
+        return os.path.join(self.data_dir, f"seg-{seq:06d}{SEGMENT_SUFFIX}")
+
+    def _commit_path(self) -> str:
+        return os.path.join(self.data_dir, COMMIT_FILE)
+
+    def _write_commit(self, seq: int, offset: int) -> None:
+        """Persist the durable (segment, offset) high-water mark.
+
+        Written via a temp file + atomic rename, both fsync'd, so a
+        crash leaves either the old commit point or the new one —
+        never a torn record of where the durable prefix ends.
+        """
+        body = struct.pack("<IQ", seq, offset)
+        blob = COMMIT_MAGIC + body + struct.pack(
+            "<I", zlib.crc32(body) & 0xFFFFFFFF
+        )
+        tmp = self._commit_path() + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+                self._stats["fsyncs"] += 1
+        os.replace(tmp, self._commit_path())
+        self._sync_dir()
+
+    def _read_commit(self) -> Optional[Tuple[int, int]]:
+        """The stored commit point, or ``None`` when absent/damaged."""
+        try:
+            with open(self._commit_path(), "rb") as handle:
+                blob = handle.read(COMMIT_LAYOUT.size + 1)
+        except OSError:
+            return None
+        if len(blob) != COMMIT_LAYOUT.size:
+            return None
+        magic, seq, offset, crc = COMMIT_LAYOUT.unpack(blob)
+        if magic != COMMIT_MAGIC:
+            return None
+        if zlib.crc32(struct.pack("<IQ", seq, offset)) & 0xFFFFFFFF != crc:
+            return None
+        return seq, offset
+
+    def _sync_dir(self) -> None:
+        if not self.fsync:
+            return
+        try:
+            fd = os.open(self.data_dir, os.O_RDONLY)
+        except OSError:
+            return  # platform without directory fsync
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Rebuild the index by scanning every segment, oldest first.
+
+        Later puts of the same id shadow earlier ones (the log replays
+        in write order). The last valid record wins; anything after the
+        first CRC-invalid frame in a segment is truncated — before the
+        commit point that counts as lost data (the replica will be
+        refilled by anti-entropy), past it it is an expected torn tail.
+        """
+        sequences = []
+        for name in os.listdir(self.data_dir):
+            if not (name.startswith("seg-")
+                    and name.endswith(SEGMENT_SUFFIX)):
+                continue
+            try:
+                sequences.append(
+                    int(name[len("seg-"):-len(SEGMENT_SUFFIX)])
+                )
+            except ValueError:
+                continue
+        sequences.sort()
+        commit = self._read_commit()
+        for seq in sequences:
+            self._scan_segment(seq, commit)
+        self._segments = sequences
+        if sequences:
+            self._active_seq = sequences[-1]
+            self._active_end = os.path.getsize(
+                self._segment_path(self._active_seq)
+            )
+            self._active_file = open(
+                self._segment_path(self._active_seq), "r+b"
+            )
+            self._active_file.seek(self._active_end)
+        else:
+            self._open_fresh_segment(1)
+        self._write_commit(self._active_seq, self._active_end)
+
+    def _scan_segment(
+        self, seq: int, commit: Optional[Tuple[int, int]]
+    ) -> None:
+        path = self._segment_path(seq)
+        with open(path, "rb") as handle:
+            header = handle.read(SEGMENT_HEADER.size)
+            valid_header = len(header) == SEGMENT_HEADER.size
+            if valid_header:
+                magic, version, stored_seq = SEGMENT_HEADER.unpack(header)
+                valid_header = (
+                    magic == SEGMENT_MAGIC
+                    and version == SEGMENT_VERSION
+                    and stored_seq == seq
+                )
+            if not valid_header:
+                # A segment whose header never made it to disk holds no
+                # readable records; truncate to nothing.
+                self._truncate_segment(path, 0, seq, commit)
+                return
+            offset = SEGMENT_HEADER.size
+            while True:
+                frame = handle.read(RECORD_FRAME.size)
+                if not frame:
+                    return  # clean end
+                if len(frame) < RECORD_FRAME.size:
+                    self._truncate_segment(path, offset, seq, commit)
+                    return
+                length, crc = RECORD_FRAME.unpack(frame)
+                body = handle.read(length)
+                if (
+                    len(body) != length
+                    or zlib.crc32(body) & 0xFFFFFFFF != crc
+                ):
+                    self._truncate_segment(path, offset, seq, commit)
+                    return
+                try:
+                    image_id, record_meta = _parse_body_meta(body)
+                except (ReproError, struct.error, IndexError,
+                        UnicodeDecodeError):
+                    self._truncate_segment(path, offset, seq, commit)
+                    return
+                entry = _IndexEntry(
+                    seq=seq,
+                    offset=offset,
+                    length=RECORD_FRAME.size + length,
+                    crc_encoded=record_meta[0],
+                    crc_public=record_meta[1],
+                )
+                self._replace_index(image_id, entry)
+                self._stats["recovered_records"] += 1
+                offset += RECORD_FRAME.size + length
+
+    def _truncate_segment(
+        self,
+        path: str,
+        offset: int,
+        seq: int,
+        commit: Optional[Tuple[int, int]],
+    ) -> None:
+        size = os.path.getsize(path)
+        removed = size - offset
+        if removed <= 0:
+            return
+        torn_tail = commit is None or (seq, offset) >= commit
+        if torn_tail:
+            self._stats["torn_bytes_truncated"] += removed
+        else:
+            # Damage *inside* the committed prefix is rot, not a torn
+            # write; the records it hid are gone from this replica and
+            # anti-entropy must refill them from a peer.
+            self._stats["lost_records"] += 1
+            self._stats["torn_bytes_truncated"] += removed
+        with open(path, "r+b") as handle:
+            handle.truncate(offset)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+
+    def _replace_index(self, image_id: str, entry: _IndexEntry) -> None:
+        old = self._index.get(image_id)
+        if old is not None:
+            self._dead_bytes += old.length
+            self._live_bytes -= old.length
+        self._index[image_id] = entry
+        self._live_bytes += entry.length
+
+    # ------------------------------------------------------------------
+    # Append path
+    # ------------------------------------------------------------------
+    def _open_fresh_segment(self, seq: int) -> None:
+        path = self._segment_path(seq)
+        handle = open(path, "w+b")
+        handle.write(SEGMENT_HEADER.pack(SEGMENT_MAGIC, SEGMENT_VERSION,
+                                         seq))
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+        self._sync_dir()
+        if self._active_file is not None:
+            self._active_file.close()
+        self._active_file = handle
+        self._active_seq = seq
+        self._active_end = SEGMENT_HEADER.size
+        self._segments.append(seq)
+
+    def _append_locked(self, image_id: str, record: ShardRecord) -> None:
+        body = bytes([OP_PUT]) + pack_string(image_id) + record.pack()
+        if self._active_end >= self.segment_bytes:
+            self._open_fresh_segment(self._active_seq + 1)
+        frame = RECORD_FRAME.pack(
+            len(body), zlib.crc32(body) & 0xFFFFFFFF
+        )
+        handle = self._active_file
+        handle.write(frame + body)
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+            self._stats["fsyncs"] += 1
+        entry = _IndexEntry(
+            seq=self._active_seq,
+            offset=self._active_end,
+            length=len(frame) + len(body),
+            crc_encoded=record.crc_encoded,
+            crc_public=record.crc_public,
+        )
+        self._active_end += entry.length
+        self._replace_index(image_id, entry)
+        self._stats["appends"] += 1
+        self._write_commit(self._active_seq, self._active_end)
+
+    # ------------------------------------------------------------------
+    # Storage protocol
+    # ------------------------------------------------------------------
+    def put(
+        self, image_id: str, record: ShardRecord, overwrite: bool
+    ) -> bool:
+        with self._lock:
+            if not overwrite and image_id in self._index:
+                return False
+            self._append_locked(image_id, record)
+            self._maybe_compact_locked()
+            return True
+
+    def get(self, image_id: str) -> Optional[ShardRecord]:
+        with self._lock:
+            entry = self._index.get(image_id)
+            if entry is None:
+                return None
+            try:
+                record = self._read_entry(image_id, entry)
+            except (ReproError, OSError, struct.error, IndexError,
+                    UnicodeDecodeError):
+                record = None
+            if record is None:
+                # The frame itself is damaged on disk: this replica no
+                # longer holds the id — read-repair/anti-entropy refill
+                # it from a peer, exactly like a rotten in-memory copy.
+                self._stats["read_errors"] += 1
+                self._dead_bytes += entry.length
+                self._live_bytes -= entry.length
+                del self._index[image_id]
+            return record
+
+    def _read_entry(
+        self, image_id: str, entry: _IndexEntry
+    ) -> Optional[ShardRecord]:
+        with open(self._segment_path(entry.seq), "rb") as handle:
+            handle.seek(entry.offset)
+            blob = handle.read(entry.length)
+        if len(blob) != entry.length:
+            return None
+        length, crc = RECORD_FRAME.unpack_from(blob)
+        body = blob[RECORD_FRAME.size:]
+        if (
+            length != len(body)
+            or zlib.crc32(body) & 0xFFFFFFFF != crc
+        ):
+            return None
+        stored_id, record = _parse_body(body)
+        if stored_id != image_id:
+            return None
+        return record
+
+    def ids(self) -> List[str]:
+        with self._lock:
+            return list(self._index)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def metadata(self) -> List[Tuple[str, int, int]]:
+        """``(id, stored crc_encoded, stored crc_public)`` snapshot.
+
+        Served from the offset index — digesting a replica for the
+        anti-entropy tree reads zero blob bytes from disk.
+        """
+        with self._lock:
+            return [
+                (image_id, entry.crc_encoded, entry.crc_public)
+                for image_id, entry in self._index.items()
+            ]
+
+    def corrupt(self, image_id: str, n_bits: int, seed: str) -> bool:
+        """Chaos op: rot the stored blob, keeping its writer CRC.
+
+        Implemented as an append of the damaged bytes (the log is
+        immutable), so the rot survives restarts the way real silent
+        disk corruption would.
+        """
+        record = self.get(image_id)
+        if record is None:
+            return False
+        with self._lock:
+            self._append_locked(
+                image_id, _rot_record(record, n_bits, seed, image_id)
+            )
+        return True
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def _maybe_compact_locked(self) -> None:
+        total = self._live_bytes + self._dead_bytes
+        if (
+            self._dead_bytes >= self.compact_dead_bytes
+            and total > 0
+            and self._dead_bytes / total >= self.compact_dead_fraction
+        ):
+            self._compact_locked()
+
+    def compact(self) -> int:
+        """Rewrite live records into fresh segments; bytes reclaimed."""
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> int:
+        reclaimed = self._dead_bytes
+        old_segments = list(self._segments)
+        live = []
+        for image_id, entry in list(self._index.items()):
+            try:
+                record = self._read_entry(image_id, entry)
+            except (ReproError, OSError, struct.error, IndexError,
+                    UnicodeDecodeError):
+                record = None
+            if record is None:
+                self._stats["read_errors"] += 1
+                del self._index[image_id]
+                continue
+            live.append((image_id, record))
+        self._segments = []
+        self._index.clear()
+        self._dead_bytes = 0
+        self._live_bytes = 0
+        self._open_fresh_segment(self._active_seq + 1)
+        for image_id, record in live:
+            self._append_locked(image_id, record)
+        self._write_commit(self._active_seq, self._active_end)
+        for seq in old_segments:
+            try:
+                os.remove(self._segment_path(seq))
+            except OSError:
+                pass
+        self._sync_dir()
+        self._stats["compactions"] += 1
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            snapshot = dict(self._stats)
+            snapshot.update(
+                segments=len(self._segments),
+                live_records=len(self._index),
+                live_bytes=self._live_bytes,
+                dead_bytes=self._dead_bytes,
+            )
+            return snapshot
+
+    def segment_files(self) -> List[str]:
+        with self._lock:
+            return [self._segment_path(seq) for seq in self._segments]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._active_file is not None:
+                self._active_file.flush()
+                if self.fsync:
+                    try:
+                        os.fsync(self._active_file.fileno())
+                    except OSError:
+                        pass
+                self._active_file.close()
+                self._active_file = None
+
+
+def _parse_body(body: bytes) -> Tuple[str, ShardRecord]:
+    if body[0] != OP_PUT:
+        raise ReproError(f"unknown segment record op {body[0]:#x}")
+    image_id, offset = unpack_string(body, 1)
+    record, offset = ShardRecord.unpack(body, offset)
+    if offset != len(body):
+        raise ReproError(
+            f"{len(body) - offset} trailing byte(s) after segment record"
+        )
+    return image_id, record
+
+
+def _parse_body_meta(body: bytes) -> Tuple[str, Tuple[int, int]]:
+    """Cheap recovery-scan parse: id + stored writer CRCs only."""
+    if body[0] != OP_PUT:
+        raise ReproError(f"unknown segment record op {body[0]:#x}")
+    image_id, offset = unpack_string(body, 1)
+    crc_encoded, crc_public = struct.unpack_from("<II", body, offset)
+    return image_id, (crc_encoded, crc_public)
+
+
+def iter_segment_records(path: str) -> Iterator[Tuple[str, ShardRecord]]:
+    """Debug/forensics helper: yield every valid record in one segment."""
+    with open(path, "rb") as handle:
+        header = handle.read(SEGMENT_HEADER.size)
+        magic, version, _seq = SEGMENT_HEADER.unpack(header)
+        if magic != SEGMENT_MAGIC or version != SEGMENT_VERSION:
+            raise ReproError(f"{path} is not an RPSG v1 segment")
+        while True:
+            frame = handle.read(RECORD_FRAME.size)
+            if len(frame) < RECORD_FRAME.size:
+                return
+            length, crc = RECORD_FRAME.unpack(frame)
+            body = handle.read(length)
+            if len(body) != length or zlib.crc32(body) & 0xFFFFFFFF != crc:
+                return
+            yield _parse_body(body)

@@ -7,14 +7,28 @@ shutdown. Each worker binds an ephemeral port and reports it back
 through a queue; a restart reuses the worker's recorded port, so
 existing clients reconnect to a rejoined worker without any membership
 change (the hash ring never needs to move).
+
+Two optional extras layer on top of pure supervision:
+
+* **durability** — ``data_dir`` gives each worker its own
+  ``<data_dir>/<worker_id>/`` segment directory
+  (:class:`~repro.cluster.storage.DiskShardStorage`), so a restarted
+  worker recovers every committed record from disk instead of starting
+  empty;
+* **background anti-entropy** — ``scrub_interval_s`` > 0 makes
+  :meth:`start` (and every restart) push the fleet's peer map to each
+  worker via ``MSG_PEERS``, arming the in-worker scrub daemon
+  (:mod:`repro.cluster.scrub`).
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import os
 import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
+
+import multiprocessing
 
 from repro.cluster.client import ClusterClient
 from repro.cluster.faults import ClusterFaultInjector
@@ -23,6 +37,12 @@ from repro.util.errors import ClusterError, ReproError
 
 #: How long to wait for a spawned worker to report its bound port.
 SPAWN_TIMEOUT_S = 10.0
+
+#: Rebind-retry schedule for restart_worker: capped backoff instead of
+#: a fixed-interval crash-loop when the old port lingers in TIME_WAIT.
+RESTART_RETRIES = 8
+RESTART_BACKOFF_BASE_S = 0.05
+RESTART_BACKOFF_CAP_S = 0.8
 
 
 @dataclass
@@ -35,6 +55,7 @@ class WorkerHandle:
     port: int
     faults: Optional[ClusterFaultInjector]
     chaos_ops: bool
+    data_dir: Optional[str] = None
 
     def alive(self) -> bool:
         return self.process.is_alive()
@@ -46,7 +67,10 @@ class ClusterSupervisor:
     ``faults`` maps worker id (``"w0"``, ``"w1"``, ...) to the
     :class:`ClusterFaultInjector` that worker should run with; workers
     not in the map run clean. ``chaos_ops`` arms the ``MSG_CORRUPT``
-    stored-blob op on every worker (tests only). Use as a context
+    stored-blob op on every worker (tests only). ``data_dir`` switches
+    every worker to disk-backed storage under
+    ``<data_dir>/<worker_id>/``; ``scrub_interval_s`` > 0 arms the
+    background scrub daemons once the fleet is up. Use as a context
     manager — ``stop()`` terminates the whole fleet.
     """
 
@@ -57,6 +81,9 @@ class ClusterSupervisor:
         faults: Optional[Dict[str, ClusterFaultInjector]] = None,
         chaos_ops: bool = False,
         telemetry: bool = False,
+        data_dir: Optional[str] = None,
+        replication: int = 2,
+        scrub_interval_s: float = 0.0,
     ) -> None:
         if n_workers < 1:
             raise ReproError(
@@ -66,6 +93,9 @@ class ClusterSupervisor:
         self.faults = dict(faults or {})
         self.chaos_ops = chaos_ops
         self.telemetry = bool(telemetry)
+        self.data_dir = data_dir
+        self.replication = int(replication)
+        self.scrub_interval_s = float(scrub_interval_s)
         self._ctx = multiprocessing.get_context("fork")
         self._workers: Dict[str, WorkerHandle] = {}
         self._worker_ids = [f"w{i}" for i in range(n_workers)]
@@ -80,6 +110,10 @@ class ClusterSupervisor:
         for worker_id in self._worker_ids:
             self._spawn(worker_id, port=0)
         self._started = True
+        # Peer endpoints only exist *after* every worker has reported
+        # its ephemeral port — hence peers are pushed, not passed at
+        # spawn time.
+        self.push_peers()
         return self
 
     def stop(self) -> None:
@@ -104,8 +138,14 @@ class ClusterSupervisor:
     # ------------------------------------------------------------------
     # Spawn / kill / restart
     # ------------------------------------------------------------------
+    def _worker_data_dir(self, worker_id: str) -> Optional[str]:
+        if self.data_dir is None:
+            return None
+        return os.path.join(self.data_dir, worker_id)
+
     def _spawn(self, worker_id: str, port: int) -> WorkerHandle:
         port_queue = self._ctx.Queue()
+        data_dir = self._worker_data_dir(worker_id)
         process = self._ctx.Process(
             target=run_worker,
             args=(worker_id, port_queue),
@@ -115,6 +155,8 @@ class ClusterSupervisor:
                 "faults": self.faults.get(worker_id),
                 "chaos_ops": self.chaos_ops,
                 "telemetry": self.telemetry,
+                "data_dir": data_dir,
+                "replication": self.replication,
             },
             daemon=True,
         )
@@ -141,6 +183,7 @@ class ClusterSupervisor:
             port=bound_port,
             faults=self.faults.get(worker_id),
             chaos_ops=self.chaos_ops,
+            data_dir=data_dir,
         )
         self._workers[worker_id] = handle
         return handle
@@ -153,31 +196,70 @@ class ClusterSupervisor:
         handle.process.join(5.0)
 
     def restart_worker(self, worker_id: str) -> None:
-        """Respawn a (dead) worker on its original port, storage empty.
+        """Respawn a (dead) worker on its original port.
 
         Rejoining on the same port means clients reconnect without a
-        membership change; the fresh worker starts with *no* shards —
-        read-repair and :meth:`ClusterClient.drain_hints` refill it.
+        membership change. A disk-backed worker (``data_dir``) recovers
+        every committed record from its segment files; an in-memory
+        worker starts with *no* shards and relies on read-repair and
+        :meth:`ClusterClient.drain_hints` to refill.
+
+        The old listener can linger in TIME_WAIT after a crash, so the
+        respawn retries with capped exponential backoff rather than
+        crash-looping on EADDRINUSE (the worker's own bind also retries
+        — see ``ShardWorker._bind_with_backoff``).
         """
         handle = self._handle(worker_id)
         if handle.process.is_alive():
             raise ClusterError(
                 f"worker {worker_id!r} is still running — kill it first"
             )
-        # The old port sits in TIME_WAIT briefly; SO_REUSEADDR on the
-        # worker listener makes the rebind race-free, but give the OS a
-        # few tries in case the kernel is slow to release it.
         last: Optional[BaseException] = None
-        for _ in range(20):
+        for attempt in range(RESTART_RETRIES):
+            if attempt:
+                time.sleep(
+                    min(
+                        RESTART_BACKOFF_CAP_S,
+                        RESTART_BACKOFF_BASE_S * (2 ** (attempt - 1)),
+                    )
+                )
             try:
                 self._spawn(worker_id, port=handle.port)
-                return
             except ClusterError as error:
                 last = error
-                time.sleep(0.05)
+                continue
+            # The rejoined worker lost its peer map with its process
+            # memory — rearm its ring + scrub daemon (full push keeps
+            # every worker's view identical).
+            self.push_peers()
+            return
         raise ClusterError(
             f"worker {worker_id!r} could not rebind port {handle.port}"
         ) from last
+
+    def push_peers(
+        self, scrub_interval_s: Optional[float] = None
+    ) -> Dict[str, bool]:
+        """Send the fleet map + scrub config to every worker.
+
+        Returns worker id → acknowledged. Dead workers simply miss the
+        push; :meth:`restart_worker` re-pushes when they rejoin.
+        """
+        interval = (
+            self.scrub_interval_s
+            if scrub_interval_s is None
+            else float(scrub_interval_s)
+        )
+        acked: Dict[str, bool] = {}
+        with self.client(telemetry=False) as control:
+            ok = set(
+                control.configure_scrub(
+                    interval, replication=self.replication
+                )
+            )
+        for worker_id in self._workers:
+            acked[worker_id] = worker_id in ok
+        return acked
 
     def _handle(self, worker_id: str) -> WorkerHandle:
         try:
@@ -213,7 +295,8 @@ class ClusterSupervisor:
         A telemetry-enabled fleet hands out telemetry-enabled clients
         unless the caller overrides ``telemetry`` explicitly.
         """
-        if not self._started:
+        if not self._workers:
             raise ClusterError("cluster is not running — call start()")
         kwargs.setdefault("telemetry", self.telemetry)
+        kwargs.setdefault("replication", self.replication)
         return ClusterClient(self.endpoints(), **kwargs)  # type: ignore[arg-type]

@@ -56,6 +56,8 @@ MSG_PING = 0x05       # health check + worker stats
 MSG_SCRUB = 0x06      # decode-verify a stored image worker-side
 MSG_CORRUPT = 0x07    # chaos op: damage a stored blob (tests only)
 MSG_TELEMETRY = 0x08  # drain the worker's telemetry delta
+MSG_TREE = 0x09       # anti-entropy digest tree (summary or one leaf)
+MSG_PEERS = 0x0A      # control op: hand a worker its peer map + scrub cfg
 
 # Response types ------------------------------------------------------
 MSG_OK = 0x10
@@ -86,7 +88,22 @@ TRACE_SAMPLED = 0x01
 #: An empty payload keeps returning the v1 response, so old clients
 #: parse new workers' pings unchanged.
 PING_EXTENDED = b"\x01"
+#: v3 request marker: v2 telemetry block plus a JSON blob of
+#: storage/scrub stats (segments, dead bytes, repairs, ...). Workers
+#: only append what the request asked for, so every older client keeps
+#: parsing newer workers unchanged.
+PING_EXTENDED2 = b"\x02"
 _PING_EXT = struct.Struct("<QQB")  # spans recorded, dropped, enabled
+
+#: Anti-entropy digest size (bytes) — one blake2b digest per tree node.
+TREE_DIGEST_SIZE = 8
+#: Default tree depth: 2^depth leaf ranges over the 64-bit ring space.
+TREE_DEPTH = 6
+#: ``leaf`` value requesting the summary (root + all leaf digests).
+TREE_SUMMARY = -1
+_TREE_REQ = struct.Struct("<Bi")   # depth, leaf (-1 = summary)
+_TREE_LEAF = struct.Struct("<HI")  # leaf index, record count
+_PEER_HEAD = struct.Struct("<BdH")  # replication, scrub interval, count
 
 
 def _pack_bytes(blob: bytes) -> bytes:
@@ -391,22 +408,32 @@ def pack_ping_response(
     served: int,
     uptime_s: float,
     telemetry: Optional[Dict[str, object]] = None,
+    storage: Optional[Dict[str, object]] = None,
 ) -> bytes:
-    """The v1 ping stats, optionally extended with telemetry health.
+    """The v1 ping stats, optionally extended with telemetry health
+    (v2) and a storage/scrub stats JSON blob (v3).
 
-    The extension is emitted only when the *request* asked for it
-    (:data:`PING_EXTENDED` payload), because v1 clients parse the
-    response with a strict no-trailing-bytes check.
+    Each extension is emitted only when the *request* asked for it
+    (:data:`PING_EXTENDED` / :data:`PING_EXTENDED2` payloads), because
+    older clients parse the response with a strict no-trailing-bytes
+    check.
     """
     base = pack_string(worker_id) + struct.pack(
         "<IQd", items, served, uptime_s
     )
     if telemetry is None:
         return base
-    return base + _PING_EXT.pack(
+    base += _PING_EXT.pack(
         int(telemetry.get("spans_recorded", 0)),
         int(telemetry.get("spans_dropped", 0)),
         1 if telemetry.get("enabled") else 0,
+    )
+    if storage is None:
+        return base
+    import json
+
+    return base + pack_string(
+        json.dumps(storage, sort_keys=True, separators=(",", ":"))
     )
 
 
@@ -428,8 +455,160 @@ def unpack_ping_response(payload: bytes) -> Dict[str, object]:
         stats["spans_recorded"] = spans_recorded
         stats["spans_dropped"] = spans_dropped
         stats["telemetry"] = bool(enabled)
+    if offset != len(payload):  # v3 storage/scrub stats blob
+        import json
+
+        blob, offset = unpack_string(payload, offset)
+        try:
+            stats["storage"] = json.loads(blob)
+        except ValueError as error:
+            raise IntegrityError(
+                f"ping v3 stats blob is not valid JSON: {error}"
+            ) from None
     _expect_end(payload, offset)
     return stats
+
+
+# ---------------------------------------------------------------------
+# Anti-entropy digest tree (MSG_TREE) and peer handout (MSG_PEERS)
+# ---------------------------------------------------------------------
+@dataclass(frozen=True)
+class TreeSummary:
+    """One replica's digest tree, scoped to the ids it shares with the
+    requesting worker.
+
+    ``leaves`` maps leaf index → ``(record count, digest)``; empty
+    leaves are omitted on the wire. ``root`` covers every leaf, so two
+    converged replicas conclude "nothing to do" from this one payload —
+    O(log n) digest bytes instead of O(n) record bytes.
+    """
+
+    depth: int
+    total: int
+    root: bytes
+    leaves: Dict[int, Tuple[int, bytes]]
+
+
+def pack_tree_request(
+    for_worker: str, depth: int = TREE_DEPTH, leaf: int = TREE_SUMMARY
+) -> bytes:
+    return pack_string(for_worker) + _TREE_REQ.pack(depth, leaf)
+
+
+def unpack_tree_request(payload: bytes) -> Tuple[str, int, int]:
+    for_worker, offset = unpack_string(payload, 0)
+    depth, leaf = _TREE_REQ.unpack_from(payload, offset)
+    _expect_end(payload, offset + _TREE_REQ.size)
+    if not 1 <= depth <= 16:
+        raise IntegrityError(
+            f"tree depth must be in [1, 16], got {depth}"
+        )
+    return for_worker, depth, leaf
+
+
+def pack_tree_summary(summary: TreeSummary) -> bytes:
+    if len(summary.root) != TREE_DIGEST_SIZE:
+        raise ClusterError(
+            f"tree root must be {TREE_DIGEST_SIZE} bytes"
+        )
+    parts = [
+        struct.pack("<BBI", 0, summary.depth, summary.total),
+        summary.root,
+        struct.pack("<H", len(summary.leaves)),
+    ]
+    for index in sorted(summary.leaves):
+        count, digest = summary.leaves[index]
+        parts.append(_TREE_LEAF.pack(index, count) + digest)
+    return b"".join(parts)
+
+
+def pack_tree_detail(entries: Dict[str, Tuple[int, int]]) -> bytes:
+    parts = [struct.pack("<BI", 1, len(entries))]
+    for image_id in sorted(entries):
+        crc_encoded, crc_public = entries[image_id]
+        parts.append(
+            pack_string(image_id)
+            + struct.pack("<II", crc_encoded, crc_public)
+        )
+    return b"".join(parts)
+
+
+def unpack_tree_response(payload: bytes):
+    """Either a :class:`TreeSummary` or a detail dict, by the tag byte."""
+    if not payload:
+        raise IntegrityError("empty tree response")
+    if payload[0] == 0:
+        _tag, depth, total = struct.unpack_from("<BBI", payload, 0)
+        offset = 6
+        root = payload[offset : offset + TREE_DIGEST_SIZE]
+        if len(root) != TREE_DIGEST_SIZE:
+            raise IntegrityError("tree summary truncated at the root")
+        offset += TREE_DIGEST_SIZE
+        (count,) = struct.unpack_from("<H", payload, offset)
+        offset += 2
+        leaves: Dict[int, Tuple[int, bytes]] = {}
+        for _ in range(count):
+            index, records = _TREE_LEAF.unpack_from(payload, offset)
+            offset += _TREE_LEAF.size
+            digest = payload[offset : offset + TREE_DIGEST_SIZE]
+            if len(digest) != TREE_DIGEST_SIZE:
+                raise IntegrityError("tree summary truncated mid-leaf")
+            offset += TREE_DIGEST_SIZE
+            leaves[index] = (records, digest)
+        _expect_end(payload, offset)
+        return TreeSummary(
+            depth=depth, total=total, root=root, leaves=leaves
+        )
+    if payload[0] == 1:
+        _tag, count = struct.unpack_from("<BI", payload, 0)
+        offset = 5
+        entries: Dict[str, Tuple[int, int]] = {}
+        for _ in range(count):
+            image_id, offset = unpack_string(payload, offset)
+            crc_encoded, crc_public = struct.unpack_from(
+                "<II", payload, offset
+            )
+            offset += 8
+            entries[image_id] = (crc_encoded, crc_public)
+        _expect_end(payload, offset)
+        return entries
+    raise IntegrityError(
+        f"unknown tree response tag {payload[0]:#x}"
+    )
+
+
+def pack_peers(
+    replication: int,
+    scrub_interval_s: float,
+    peers: Dict[str, Tuple[str, int]],
+) -> bytes:
+    """The MSG_PEERS control payload: who else holds replicas, and how
+    often the background scrub should sweep (<= 0 disables it)."""
+    parts = [_PEER_HEAD.pack(replication, scrub_interval_s, len(peers))]
+    for worker_id in sorted(peers):
+        host, port = peers[worker_id]
+        parts.append(
+            pack_string(worker_id)
+            + pack_string(host)
+            + struct.pack("<I", port)
+        )
+    return b"".join(parts)
+
+
+def unpack_peers(
+    payload: bytes,
+) -> Tuple[int, float, Dict[str, Tuple[str, int]]]:
+    replication, interval_s, count = _PEER_HEAD.unpack_from(payload, 0)
+    offset = _PEER_HEAD.size
+    peers: Dict[str, Tuple[str, int]] = {}
+    for _ in range(count):
+        worker_id, offset = unpack_string(payload, offset)
+        host, offset = unpack_string(payload, offset)
+        (port,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        peers[worker_id] = (host, port)
+    _expect_end(payload, offset)
+    return replication, interval_s, peers
 
 
 def pack_scrub_response(clean: bool, detail: str) -> bytes:

@@ -1,12 +1,20 @@
 """A shard worker: one process serving one slice of the replicated store.
 
-Each worker owns an in-memory :class:`ShardStorage` of
-:class:`~repro.cluster.wire.ShardRecord` entries and serves the RPCF
-wire protocol over a listening TCP socket, one handler thread per
-client connection. Workers are deliberately dumb: no routing, no
-replication logic, no awareness of each other — placement and repair
-live entirely in the client tier, so a worker crash is survivable by
-construction (its shards exist on ``replication - 1`` other workers).
+Each worker owns a :class:`~repro.cluster.storage.InMemoryShardStorage`
+(tests, ephemeral fleets) or — given ``data_dir`` — a
+:class:`~repro.cluster.storage.DiskShardStorage` whose append-only
+segment files survive ``kill -9``, and serves the RPCF wire protocol
+over a listening TCP socket, one handler thread per client connection.
+
+Workers stay dumb about *placement*: no routing, no replication logic —
+that lives in the client tier, so a worker crash is survivable by
+construction. What a worker does learn (via the ``MSG_PEERS`` control
+op, pushed by the supervisor once every port is known) is who its peer
+replicas are, which arms the background **scrub daemon**
+(:mod:`repro.cluster.scrub`): a rate-limited sweep that CRC-verifies
+local records against their writer-time checksums and reconciles
+replica divergence by exchanging Merkle-style digest trees
+(``MSG_TREE``) instead of record bytes.
 
 ``run_worker`` is the process entry point used by
 :class:`~repro.cluster.supervisor.ClusterSupervisor`; it reports its
@@ -19,13 +27,17 @@ spawned with them — a production-shaped cluster runs with both off.
 
 from __future__ import annotations
 
+import errno
 import socket
 import struct
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.cluster.faults import ClusterFaultInjector
+from repro.cluster.ring import HashRing
+from repro.cluster.scrub import ScrubConfig, ScrubDaemon, build_tree, leaf_index
+from repro.cluster.storage import DiskShardStorage, InMemoryShardStorage
 from repro.cluster.wire import (
     ERR_BAD_REQUEST,
     ERR_CHAOS_DISABLED,
@@ -38,11 +50,14 @@ from repro.cluster.wire import (
     MSG_HAS,
     MSG_IDS,
     MSG_OK,
+    MSG_PEERS,
     MSG_PING,
     MSG_PUT,
     MSG_SCRUB,
     MSG_TELEMETRY,
-    ShardRecord,
+    MSG_TREE,
+    PING_EXTENDED2,
+    TREE_SUMMARY,
     encode_frame,
     pack_bool,
     pack_error,
@@ -50,16 +65,23 @@ from repro.cluster.wire import (
     pack_ping_response,
     pack_record_response,
     pack_scrub_response,
+    pack_tree_detail,
+    pack_tree_summary,
     read_frame,
     strip_trace,
     unpack_corrupt,
     unpack_id,
+    unpack_peers,
     unpack_put,
+    unpack_tree_request,
 )
 from repro.obs.core import NOOP_SPAN, Registry
 from repro.obs.distributed import collect_delta, encode_telemetry
 from repro.util.errors import IntegrityError, ReproError
-from repro.util.rng import derive_rng
+
+#: Backwards-compatible name: PR 5's in-process map now lives in
+#: :mod:`repro.cluster.storage` next to its durable sibling.
+ShardStorage = InMemoryShardStorage
 
 #: Ops that run under a ``worker.<op>`` span when telemetry is on.
 #: PING and TELEMETRY stay span-free so the observers don't observe
@@ -71,61 +93,18 @@ _SPANNED_OPS = {
     MSG_IDS: "ids",
     MSG_SCRUB: "scrub",
     MSG_CORRUPT: "corrupt",
+    MSG_TREE: "tree",
 }
 
 #: The type byte of an MSG_ERR reply frame (HEADER is magic|type|len).
 _ERR_TYPE_BYTE = bytes([MSG_ERR])
 
-
-class ShardStorage:
-    """The worker's thread-safe id → :class:`ShardRecord` map."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._items: Dict[str, ShardRecord] = {}
-
-    def get(self, image_id: str) -> Optional[ShardRecord]:
-        with self._lock:
-            return self._items.get(image_id)
-
-    def put(
-        self, image_id: str, record: ShardRecord, overwrite: bool
-    ) -> bool:
-        """Insert (or, with ``overwrite``, replace); False when blocked."""
-        with self._lock:
-            if not overwrite and image_id in self._items:
-                return False
-            self._items[image_id] = record
-            return True
-
-    def ids(self) -> List[str]:
-        with self._lock:
-            return list(self._items)
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._items)
-
-    def corrupt(self, image_id: str, n_bits: int, seed: str) -> bool:
-        """Chaos op: deterministically flip bits in the stored encoded
-        blob while *keeping* the writer-time CRC — exactly what silent
-        storage rot looks like to a reader."""
-        with self._lock:
-            record = self._items.get(image_id)
-            if record is None:
-                return False
-            rng = derive_rng(seed, "stored", image_id)
-            buf = bytearray(record.encoded)
-            positions = rng.integers(0, len(buf) * 8, size=max(1, n_bits))
-            for pos in positions.tolist():
-                buf[pos // 8] ^= 1 << (pos % 8)
-            self._items[image_id] = ShardRecord(
-                encoded=bytes(buf),
-                public_bytes=record.public_bytes,
-                crc_encoded=record.crc_encoded,
-                crc_public=record.crc_public,
-            )
-            return True
+#: Bind-retry schedule for rejoining a fixed port: the old socket can
+#: linger in TIME_WAIT after a crash, so the rebind gets a short capped
+#: backoff instead of an immediate EADDRINUSE crash-loop.
+BIND_RETRIES = 12
+BIND_BACKOFF_BASE_S = 0.05
+BIND_BACKOFF_CAP_S = 0.5
 
 
 class ShardWorker:
@@ -139,10 +118,17 @@ class ShardWorker:
         faults: Optional[ClusterFaultInjector] = None,
         chaos_ops: bool = False,
         telemetry: bool = False,
+        data_dir: Optional[str] = None,
+        replication: int = 2,
+        scrub_config: Optional[ScrubConfig] = None,
     ) -> None:
         self.worker_id = worker_id
         self.host = host
-        self.storage = ShardStorage()
+        self.storage = (
+            DiskShardStorage(data_dir)
+            if data_dir is not None
+            else InMemoryShardStorage()
+        )
         self.faults = faults
         self.chaos_ops = chaos_ops
         # The worker's own registry: ``worker.<op>`` spans (parented
@@ -151,16 +137,95 @@ class ShardWorker:
         # MSG_TELEMETRY, so span memory stays bounded between fetches.
         self.registry = Registry(enabled=telemetry)
         self.started = time.monotonic()
+        self.replication = int(replication)
+        #: Peer endpoint map (worker id → (host, port)), learned from
+        #: MSG_PEERS; includes this worker's own entry when the
+        #: supervisor sends the full fleet.
+        self.peers: Dict[str, Tuple[str, int]] = {}
+        self.ring: Optional[HashRing] = None
+        self.scrub = ScrubDaemon(self, scrub_config)
         self._served = 0
         self._data_requests = 0
+        self._active_conns = 0
+        self._conns_aborted = 0
         self._count_lock = threading.Lock()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(
             socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
         )
-        self._listener.bind((host, port))
+        assert self._listener.getsockopt(
+            socket.SOL_SOCKET, socket.SO_REUSEADDR
+        ), "SO_REUSEADDR must be set before bind for crash-rejoin"
+        self._bind_with_backoff(host, port)
         self._listener.listen(64)
         self.port = self._listener.getsockname()[1]
+
+    def _bind_with_backoff(self, host: str, port: int) -> None:
+        """Bind, retrying a fixed port through a lingering TIME_WAIT.
+
+        An ephemeral bind (port 0) never collides and gets no retries;
+        a rejoin on a recorded port retries EADDRINUSE with capped
+        exponential backoff instead of crash-looping.
+        """
+        last: Optional[OSError] = None
+        attempts = 1 if port == 0 else BIND_RETRIES
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(
+                    min(
+                        BIND_BACKOFF_CAP_S,
+                        BIND_BACKOFF_BASE_S * (2 ** (attempt - 1)),
+                    )
+                )
+            try:
+                self._listener.bind((host, port))
+                return
+            except OSError as error:
+                if error.errno != errno.EADDRINUSE:
+                    raise
+                last = error
+        raise last  # EADDRINUSE through the whole backoff budget
+
+    # ------------------------------------------------------------------
+    # Peer membership / scrub control
+    # ------------------------------------------------------------------
+    def set_peers(
+        self,
+        peers: Dict[str, Tuple[str, int]],
+        replication: Optional[int] = None,
+        scrub_interval_s: Optional[float] = None,
+    ) -> None:
+        """Install the fleet map and (re)configure the scrub daemon.
+
+        Called by the ``MSG_PEERS`` handler and directly by in-process
+        tests. ``scrub_interval_s`` > 0 starts the background sweeps;
+        <= 0 stops them (``sweep()`` stays manually callable).
+        """
+        self.peers = dict(peers)
+        if replication is not None:
+            self.replication = int(replication)
+        members = sorted(set(self.peers) | {self.worker_id})
+        self.ring = HashRing(members)
+        if scrub_interval_s is not None:
+            self.scrub.config.interval_s = float(scrub_interval_s)
+            if scrub_interval_s > 0:
+                self.scrub.start()
+            else:
+                self.scrub.stop()
+
+    def stats(self) -> Dict[str, object]:
+        """Storage + scrub + connection stats, as ping v3 reports them."""
+        with self._count_lock:
+            conns = {
+                "active_conns": self._active_conns,
+                "conns_aborted": self._conns_aborted,
+            }
+        return {
+            "storage": self.storage.stats(),
+            "scrub": self.scrub.snapshot(),
+            "scrub_running": self.scrub.running,
+            **conns,
+        }
 
     # ------------------------------------------------------------------
     # Accept loop
@@ -177,15 +242,23 @@ class ShardWorker:
             thread.start()
 
     def close(self) -> None:
+        self.scrub.stop()
         self._listener.close()
+        self.storage.close()
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._count_lock:
+            self._active_conns += 1
+        aborted = False
         try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             while True:
                 try:
                     frame = read_frame(conn)
                 except (ConnectionError, OSError):
+                    # Mid-frame disconnect: abnormal, but expected under
+                    # chaos — account for it instead of dying silently.
+                    aborted = True
                     return
                 except IntegrityError as error:
                     # A damaged *request* is unanswerable in-protocol
@@ -204,8 +277,22 @@ class ShardWorker:
                 ftype, payload = frame
                 if not self._respond(conn, ftype, payload):
                     return
+        except Exception:
+            # Nothing past _respond's own handlers should throw; if it
+            # does, the connection dies *visibly* (counter below), not
+            # as a silent thread death.
+            aborted = True
         finally:
-            conn.close()
+            if aborted:
+                with self._count_lock:
+                    self._conns_aborted += 1
+                self.registry.counter("worker.conn_aborted")
+            with self._count_lock:
+                self._active_conns -= 1
+            try:
+                conn.close()
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -305,12 +392,15 @@ class ShardWorker:
             return encode_frame(MSG_OK, pack_ids(self.storage.ids()))
         if ftype == MSG_PING:
             telemetry = None
-            if payload:  # v2 request: extend with telemetry health
+            storage_stats = None
+            if payload:  # v2+ request: extend with telemetry health
                 telemetry = {
                     "spans_recorded": self.registry.spans_recorded,
                     "spans_dropped": self.registry.dropped_spans,
                     "enabled": self.registry.enabled,
                 }
+            if payload == PING_EXTENDED2:  # v3: storage/scrub stats
+                storage_stats = self.stats()
             return encode_frame(
                 MSG_OK,
                 pack_ping_response(
@@ -319,6 +409,7 @@ class ShardWorker:
                     self._served,
                     time.monotonic() - self.started,
                     telemetry=telemetry,
+                    storage=storage_stats,
                 ),
             )
         if ftype == MSG_TELEMETRY:
@@ -326,6 +417,15 @@ class ShardWorker:
             return encode_frame(MSG_OK, encode_telemetry(delta))
         if ftype == MSG_SCRUB:
             return self._scrub(unpack_id(payload))
+        if ftype == MSG_TREE:
+            return self._tree(payload)
+        if ftype == MSG_PEERS:
+            replication, interval_s, peers = unpack_peers(payload)
+            self.set_peers(
+                peers, replication=replication,
+                scrub_interval_s=interval_s,
+            )
+            return encode_frame(MSG_OK, pack_bool(True))
         if ftype == MSG_CORRUPT:
             if not self.chaos_ops:
                 return encode_frame(
@@ -350,6 +450,34 @@ class ShardWorker:
             MSG_ERR,
             pack_error(ERR_NOT_FOUND, f"unknown image id {image_id!r}"),
         )
+
+    def _tree(self, payload: bytes) -> bytes:
+        """Anti-entropy digest tree, scoped to ids co-owned with the
+        requesting worker (see :mod:`repro.cluster.scrub`).
+
+        A worker that has not received MSG_PEERS yet answers an empty
+        tree: it cannot scope, and an unscoped digest would make every
+        exchange look divergent.
+        """
+        for_worker, depth, leaf = unpack_tree_request(payload)
+        scoped = []
+        if self.ring is not None and for_worker in self.ring.nodes:
+            for image_id, crc_encoded, crc_public in (
+                self.storage.metadata()
+            ):
+                prefs = self.ring.preference(image_id, self.replication)
+                if self.worker_id in prefs and for_worker in prefs:
+                    scoped.append((image_id, crc_encoded, crc_public))
+        if leaf == TREE_SUMMARY:
+            return encode_frame(
+                MSG_OK, pack_tree_summary(build_tree(scoped, depth))
+            )
+        entries = {
+            image_id: (crc_encoded, crc_public)
+            for image_id, crc_encoded, crc_public in scoped
+            if leaf_index(image_id, depth) == leaf
+        }
+        return encode_frame(MSG_OK, pack_tree_detail(entries))
 
     def _scrub(self, image_id: str) -> bytes:
         """Worker-side integrity scrub: CRC + full entropy decode.
@@ -391,6 +519,8 @@ def run_worker(
     faults: Optional[ClusterFaultInjector] = None,
     chaos_ops: bool = False,
     telemetry: bool = False,
+    data_dir: Optional[str] = None,
+    replication: int = 2,
 ) -> None:
     """Process entry point: bind, report the port, serve forever."""
     import signal
@@ -406,6 +536,8 @@ def run_worker(
         faults=faults,
         chaos_ops=chaos_ops,
         telemetry=telemetry,
+        data_dir=data_dir,
+        replication=replication,
     )
     if telemetry:
         # Point the process-wide default registry at the worker's, so

@@ -1,0 +1,281 @@
+"""Process-level durability tests: kill -9, restart, recover from disk.
+
+The acceptance gates from the issue live here:
+
+* a kill-9'd worker restarted on the same ``--data-dir`` serves every
+  record committed before the kill, bit-identical (stored CRC
+  verified), with zero failed reads in a loadgen ``--check`` run;
+* a fault-injected partial segment write (the torn tail a crash
+  mid-``put`` leaves) is truncated on restart while committed records
+  survive CRC-clean;
+* the background scrub daemon detects injected silent corruption
+  within a sweep and repairs it, exchanging digests — not records —
+  for converged ranges.
+
+Everything spawns real worker processes over real sockets — marked
+``cluster`` (``make durability-quick`` runs this file).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import struct
+import time
+import zlib
+
+import pytest
+
+from repro.cluster import ClusterSupervisor, run_cluster_loadgen
+from repro.cluster.storage import (
+    RECORD_FRAME,
+    SEGMENT_SUFFIX,
+    iter_segment_records,
+)
+
+pytestmark = pytest.mark.cluster
+
+NO_SLEEP = lambda _s: None  # noqa: E731
+
+
+def _put_blobs(client, n, prefix="blob"):
+    ids = []
+    for index in range(n):
+        image_id = f"{prefix}-{index:03d}"
+        payload = (f"payload-{index}".encode() * 50)
+        assert client.put(image_id, payload, b"{}")
+        ids.append(image_id)
+    return ids
+
+
+def _segments(data_dir, worker_id):
+    return sorted(
+        glob.glob(
+            os.path.join(data_dir, worker_id, f"seg-*{SEGMENT_SUFFIX}")
+        )
+    )
+
+
+def _poll(predicate, deadline_s=15.0, step_s=0.1):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(step_s)
+    return predicate()
+
+
+class TestCrashRecovery:
+    def test_killed_worker_recovers_all_committed_records(self, tmp_path):
+        data_dir = str(tmp_path)
+        with ClusterSupervisor(
+            n_workers=3, data_dir=data_dir, replication=2
+        ) as sup:
+            with sup.client(sleep=NO_SLEEP) as client:
+                ids = _put_blobs(client, 12)
+                originals = {
+                    image_id: client.get(image_id).record
+                    for image_id in ids
+                }
+                sup.kill_worker("w1")
+                assert not sup.alive()["w1"]
+                sup.restart_worker("w1")
+                assert sup.alive()["w1"]
+                # Every pre-kill record is served bit-identical, with
+                # the *stored* writer CRC verifying — including by the
+                # restarted worker itself for the ids it owns.
+                for image_id in ids:
+                    result = client.get(image_id)
+                    assert result.clean
+                    assert result.record == originals[image_id]
+                stats = client.ping("w1", storage_stats=True)["storage"]
+                assert stats["storage"]["recovered_records"] > 0
+                # drain_hints has nothing to do: disk recovery already
+                # brought w1's shards back.
+                owned_by_w1 = [
+                    image_id for image_id in ids
+                    if "w1" in client.ring.preference(image_id, 2)
+                ]
+                if owned_by_w1:
+                    direct = client.fetch_tree("w1", for_worker="w1")
+                    assert direct.total == len(owned_by_w1)
+
+    def test_restart_passes_loadgen_check_gate(self, tmp_path):
+        data_dir = str(tmp_path)
+        with ClusterSupervisor(
+            n_workers=3, data_dir=data_dir, replication=2
+        ) as sup:
+            with sup.client(sleep=NO_SLEEP) as client:
+                ids = _put_blobs(client, 8)
+            sup.kill_worker("w2")
+            sup.restart_worker("w2")
+            report = run_cluster_loadgen(
+                sup.endpoints(), ids,
+                processes=2, requests=40, scrub_ratio=0.0,
+            )
+            assert report.failed_reads == 0
+            assert report.requests == 40
+
+    def test_partial_segment_write_truncated_on_restart(self, tmp_path):
+        """Fault-injected torn tail: kill mid-put leaves a half frame."""
+        data_dir = str(tmp_path)
+        with ClusterSupervisor(
+            n_workers=2, data_dir=data_dir, replication=2
+        ) as sup:
+            with sup.client(sleep=NO_SLEEP) as client:
+                ids = _put_blobs(client, 6)
+                originals = {
+                    image_id: client.get(image_id).record
+                    for image_id in ids
+                }
+                sup.kill_worker("w0")
+                # Simulate the kill having landed mid-append: a frame
+                # promising more bytes than ever reached the disk, then
+                # a prefix of a body.
+                segments = _segments(data_dir, "w0")
+                assert segments
+                body = b"\x01" + b"partial record body"
+                with open(segments[-1], "ab") as handle:
+                    handle.write(
+                        RECORD_FRAME.pack(
+                            len(body) + 5000,
+                            zlib.crc32(body) & 0xFFFFFFFF,
+                        )
+                    )
+                    handle.write(body)
+                torn_size = os.path.getsize(segments[-1])
+                sup.restart_worker("w0")
+                stats = client.ping("w0", storage_stats=True)["storage"]
+                assert stats["storage"]["torn_bytes_truncated"] > 0
+                assert stats["storage"]["lost_records"] == 0
+                assert os.path.getsize(segments[-1]) < torn_size
+                for image_id in ids:
+                    result = client.get(image_id)
+                    assert result.clean
+                    assert result.record == originals[image_id]
+
+    def test_segments_on_disk_hold_crc_framed_records(self, tmp_path):
+        data_dir = str(tmp_path)
+        with ClusterSupervisor(
+            n_workers=2, data_dir=data_dir, replication=2
+        ) as sup:
+            with sup.client(sleep=NO_SLEEP) as client:
+                ids = _put_blobs(client, 4)
+        # Fleet is down; read the logs cold, like a forensics pass.
+        seen = set()
+        for worker_id in ("w0", "w1"):
+            for path in _segments(data_dir, worker_id):
+                for image_id, record in iter_segment_records(path):
+                    assert record.verify()
+                    seen.add(image_id)
+        assert seen == set(ids)
+
+    def test_double_restart_is_stable(self, tmp_path):
+        data_dir = str(tmp_path)
+        with ClusterSupervisor(
+            n_workers=2, data_dir=data_dir, replication=2
+        ) as sup:
+            with sup.client(sleep=NO_SLEEP) as client:
+                ids = _put_blobs(client, 5)
+                for _round in range(2):
+                    sup.kill_worker("w0")
+                    sup.restart_worker("w0")
+                for image_id in ids:
+                    assert client.get(image_id).clean
+
+
+class TestBackgroundScrub:
+    def test_scrub_detects_and_repairs_injected_rot(self, tmp_path):
+        """The anti-entropy acceptance gate, end to end over processes:
+        silent rot is found within a sweep and healed from a replica,
+        while converged ranges cost digests, not record bytes."""
+        with ClusterSupervisor(
+            n_workers=3, data_dir=str(tmp_path), replication=2,
+            chaos_ops=True, scrub_interval_s=0.2,
+        ) as sup:
+            with sup.client(sleep=NO_SLEEP) as client:
+                ids = _put_blobs(client, 10)
+                victim_id = ids[0]
+                victim_worker = client.ring.preference(victim_id, 2)[0]
+
+                def scrub_stats():
+                    ping = client.ping(victim_worker, storage_stats=True)
+                    return ping["storage"]["scrub"]
+
+                # Let at least one clean sweep land: trees converge and
+                # nothing but digests crosses the wire.
+                assert _poll(lambda: scrub_stats()["sweeps"] >= 1)
+                baseline = scrub_stats()
+                assert baseline["trees_converged"] >= 1
+                assert baseline["record_bytes"] == 0
+                assert baseline["digest_bytes"] > 0
+
+                client.corrupt_stored(victim_worker, victim_id)
+                assert _poll(lambda: scrub_stats()["repairs"] >= 1)
+                after = scrub_stats()
+                assert after["rot_detected"] >= 1
+                # The repair fetched ONE record; converged ranges still
+                # cost only digest bytes (record_bytes stays bounded by
+                # the single repaired record, far below digest traffic
+                # growth across sweeps).
+                assert after["record_bytes"] > 0
+                assert after["digest_bytes"] > baseline["digest_bytes"]
+                # And the victim's stored copy is clean again: fetch it
+                # directly (no failover masking) and re-verify the CRC.
+                from repro.cluster.scrub import peer_request
+                from repro.cluster.wire import (
+                    MSG_GET,
+                    pack_id,
+                    unpack_record_response,
+                )
+
+                host, port = sup.endpoints()[victim_worker]
+
+                def victim_copy_clean():
+                    record = unpack_record_response(
+                        peer_request(
+                            host, port, MSG_GET, pack_id(victim_id)
+                        )
+                    )
+                    return record.verify()
+
+                assert _poll(victim_copy_clean)
+
+    def test_scrub_daemon_rearms_after_restart(self, tmp_path):
+        with ClusterSupervisor(
+            n_workers=2, data_dir=str(tmp_path), replication=2,
+            scrub_interval_s=5.0,
+        ) as sup:
+            with sup.client(sleep=NO_SLEEP) as client:
+                def running(worker):
+                    ping = client.ping(worker, storage_stats=True)
+                    return ping["storage"]["scrub_running"]
+
+                assert running("w0") and running("w1")
+                sup.kill_worker("w0")
+                sup.restart_worker("w0")
+                assert running("w0")  # restart_worker re-pushed peers
+
+    def test_scrub_refills_worker_that_lost_its_disk(self, tmp_path):
+        """Wipe a dead worker's data dir entirely: the tree diff must
+        refill the ids it co-owns from its peers."""
+        data_dir = str(tmp_path)
+        with ClusterSupervisor(
+            n_workers=2, data_dir=data_dir, replication=2,
+            scrub_interval_s=0.2,
+        ) as sup:
+            with sup.client(sleep=NO_SLEEP) as client:
+                ids = _put_blobs(client, 6)
+                sup.kill_worker("w1")
+                for path in _segments(data_dir, "w1"):
+                    os.remove(path)
+                os.remove(os.path.join(data_dir, "w1", "COMMIT"))
+                sup.restart_worker("w1")
+
+                def w1_items():
+                    return client.ping("w1")["items"]
+
+                # With RF=2 over 2 workers, w1 co-owns every id.
+                assert _poll(lambda: w1_items() == len(ids))
+                for image_id in ids:
+                    assert client.get(image_id).clean

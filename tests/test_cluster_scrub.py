@@ -1,0 +1,454 @@
+"""Anti-entropy tests: digest trees, the scrub daemon, and the cluster
+edge bugfixes (hint dedup, bind retry, connection-abort accounting).
+
+Workers here run as *threads* in this process (real sockets, no
+subprocesses), and sweeps are driven synchronously via
+``ScrubDaemon.sweep()`` — deterministic, no timing races. The
+process-level durability story lives in ``test_cluster_durability.py``.
+"""
+
+from __future__ import annotations
+
+import errno
+import socket
+import threading
+
+import pytest
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.scrub import (
+    ScrubConfig,
+    build_tree,
+    diff_leaves,
+    entry_digest,
+    leaf_index,
+)
+from repro.cluster.wire import (
+    MSG_GET,
+    MSG_OK,
+    TREE_DEPTH,
+    TREE_SUMMARY,
+    ShardRecord,
+    TreeSummary,
+    encode_frame,
+    pack_id,
+    pack_tree_request,
+    pack_tree_summary,
+    read_frame,
+    unpack_tree_response,
+)
+from repro.cluster.worker import ShardWorker
+from repro.util.errors import ClusterError
+
+NO_SLEEP = lambda _s: None  # noqa: E731
+
+
+def _meta(n, prefix="img"):
+    return [(f"{prefix}-{i}", i * 7 + 1, i * 13 + 2) for i in range(n)]
+
+
+class TestDigestTree:
+    def test_same_metadata_same_tree_any_order(self):
+        rows = _meta(40)
+        forward = build_tree(rows)
+        backward = build_tree(list(reversed(rows)))
+        assert forward.root == backward.root
+        assert forward.leaves == backward.leaves
+        assert forward.total == 40
+
+    def test_any_difference_moves_the_root(self):
+        rows = _meta(10)
+        base = build_tree(rows)
+        missing = build_tree(rows[:-1])
+        changed = build_tree(
+            rows[:-1] + [(rows[-1][0], rows[-1][1] ^ 1, rows[-1][2])]
+        )
+        extra = build_tree(rows + [("img-extra", 1, 2)])
+        assert len({base.root, missing.root, changed.root,
+                    extra.root}) == 4
+
+    def test_diff_localises_to_the_changed_leaf(self):
+        rows = _meta(64)
+        victim = rows[5]
+        altered = [
+            (vid, crc_e ^ 0xFF, crc_p) if vid == victim[0]
+            else (vid, crc_e, crc_p)
+            for vid, crc_e, crc_p in rows
+        ]
+        mismatched = diff_leaves(
+            build_tree(rows).leaves, build_tree(altered).leaves
+        )
+        assert mismatched == [leaf_index(victim[0], TREE_DEPTH)]
+
+    def test_identical_trees_have_no_diff(self):
+        rows = _meta(16)
+        assert diff_leaves(
+            build_tree(rows).leaves, build_tree(rows).leaves
+        ) == []
+
+    def test_leaf_index_bounds(self):
+        for i in range(200):
+            assert 0 <= leaf_index(f"id-{i}", TREE_DEPTH) < 2 ** TREE_DEPTH
+
+    def test_entry_digest_depends_on_all_fields(self):
+        assert entry_digest("a", 1, 2) != entry_digest("a", 1, 3)
+        assert entry_digest("a", 1, 2) != entry_digest("a", 2, 2)
+        assert entry_digest("a", 1, 2) != entry_digest("b", 1, 2)
+
+    def test_summary_roundtrips_over_the_wire_encoding(self):
+        summary = build_tree(_meta(25))
+        decoded = unpack_tree_response(pack_tree_summary(summary))
+        assert isinstance(decoded, TreeSummary)
+        assert decoded == summary
+
+
+class _Fleet:
+    """N in-process workers with served sockets and pushed peer maps."""
+
+    def __init__(self, n=3, replication=2, chaos_ops=True):
+        self.workers = []
+        self.threads = []
+        for i in range(n):
+            worker = ShardWorker(f"w{i}", port=0, chaos_ops=chaos_ops)
+            thread = threading.Thread(target=worker.serve, daemon=True)
+            thread.start()
+            self.workers.append(worker)
+            self.threads.append(thread)
+        self.endpoints = {
+            w.worker_id: ("127.0.0.1", w.port) for w in self.workers
+        }
+        for worker in self.workers:
+            worker.set_peers(self.endpoints, replication=replication,
+                             scrub_interval_s=0)
+
+    def worker(self, worker_id):
+        return next(
+            w for w in self.workers if w.worker_id == worker_id
+        )
+
+    def close(self):
+        for worker in self.workers:
+            worker.close()
+
+
+@pytest.fixture()
+def fleet():
+    f = _Fleet()
+    yield f
+    f.close()
+
+
+@pytest.fixture()
+def client(fleet):
+    with ClusterClient(fleet.endpoints, replication=2,
+                       sleep=NO_SLEEP) as c:
+        yield c
+
+
+def _owners(fleet, image_id, replication=2):
+    return fleet.workers[0].ring.preference(image_id, replication)
+
+
+class TestScrubSweep:
+    def test_converged_fleet_exchanges_only_digests(self, fleet, client):
+        for i in range(12):
+            client.put(f"img-{i:03d}", b"enc" * 100, b"pub" * 10)
+        for worker in fleet.workers:
+            stats = worker.scrub.sweep()
+            assert stats["trees_converged"] == len(fleet.workers) - 1
+            assert stats["ranges_diffed"] == 0
+            assert stats["record_bytes"] == 0
+            assert stats["digest_bytes"] > 0
+
+    def test_silent_rot_detected_and_repaired_within_one_sweep(
+        self, fleet, client
+    ):
+        client.put("img-rot", b"enc" * 200, b"pub" * 10)
+        victim_id = _owners(fleet, "img-rot")[0]
+        victim = fleet.worker(victim_id)
+        assert victim.storage.corrupt("img-rot", 6, "chaos")
+        assert not victim.storage.get("img-rot").verify()
+        stats = victim.scrub.sweep()
+        assert stats["rot_detected"] == 1
+        assert stats["repairs"] == 1
+        healed = victim.storage.get("img-rot")
+        assert healed is not None and healed.verify()
+
+    def test_missing_replica_is_refilled_by_tree_diff(self, fleet, client):
+        ids = [f"img-{i:03d}" for i in range(10)]
+        for image_id in ids:
+            client.put(image_id, b"enc" * 100, b"pub" * 10)
+        # Erase one worker's storage wholesale (simulates an in-memory
+        # worker restart) and let ITS OWN sweep pull everything back.
+        victim = fleet.workers[0]
+        victim.storage._items.clear()
+        stats = victim.scrub.sweep()
+        assert stats["ranges_diffed"] > 0
+        assert stats["repairs"] > 0
+        assert stats["record_bytes"] > 0
+        for image_id in ids:
+            owners = _owners(fleet, image_id)
+            if victim.worker_id in owners:
+                got = victim.storage.get(image_id)
+                assert got is not None and got.verify(), image_id
+
+    def test_peer_missing_records_are_pushed(self, fleet, client):
+        ids = [f"img-{i:03d}" for i in range(10)]
+        for image_id in ids:
+            client.put(image_id, b"enc" * 100, b"pub" * 10)
+        victim = fleet.workers[1]
+        victim.storage._items.clear()
+        # A *peer's* sweep notices the divergence and pushes its copies.
+        healthy = fleet.workers[0]
+        stats = healthy.scrub.sweep()
+        assert stats["pushed"] > 0
+        for image_id in ids:
+            owners = _owners(fleet, image_id)
+            if victim.worker_id in owners and healthy.worker_id in owners:
+                got = victim.storage.get(image_id)
+                assert got is not None and got.verify(), image_id
+
+    def test_sweep_budget_caps_record_syncs(self, fleet, client):
+        for i in range(12):
+            client.put(f"img-{i:03d}", b"enc" * 50, b"pub" * 5)
+        victim = fleet.workers[0]
+        victim.storage._items.clear()
+        victim.scrub.config = ScrubConfig(
+            interval_s=0, max_record_syncs=3
+        )
+        stats = victim.scrub.sweep()
+        assert 0 < stats["repairs"] <= 3
+
+    def test_dead_peer_counts_error_not_crash(self, fleet, client):
+        client.put("img-a", b"enc" * 50, b"pub" * 5)
+        sweeper = fleet.workers[0]
+        sweeper.peers = dict(sweeper.peers)
+        sweeper.peers["w9"] = ("127.0.0.1", 1)  # nothing listens there
+        stats = sweeper.scrub.sweep()
+        assert stats["peer_errors"] >= 1
+
+    def test_daemon_start_stop(self, fleet):
+        worker = fleet.workers[0]
+        worker.scrub.config.interval_s = 30.0
+        worker.scrub.start()
+        assert worker.scrub.running
+        worker.scrub.stop()
+        assert not worker.scrub.running
+
+    def test_set_peers_interval_controls_daemon(self, fleet):
+        worker = fleet.workers[0]
+        worker.set_peers(fleet.endpoints, scrub_interval_s=30.0)
+        assert worker.scrub.running
+        worker.set_peers(fleet.endpoints, scrub_interval_s=0)
+        assert not worker.scrub.running
+
+    def test_counters_flow_into_registry_when_enabled(self, fleet, client):
+        client.put("img-rot", b"enc" * 100, b"pub" * 10)
+        victim = fleet.worker(_owners(fleet, "img-rot")[0])
+        victim.registry.enabled = True
+        victim.storage.corrupt("img-rot", 6, "chaos")
+        victim.scrub.sweep()
+        assert victim.registry.counter_value("scrub.repairs") >= 1
+        assert victim.registry.counter_value("storage.segments") == 0
+        # storage gauges exist (in-memory storage reports no segments,
+        # but the set_counter path must not blow up on it)
+
+
+class TestTreeWireOp:
+    def test_tree_summary_scoped_to_requester(self, fleet, client):
+        for i in range(12):
+            client.put(f"img-{i:03d}", b"enc" * 50, b"pub" * 5)
+        w0, w1 = fleet.workers[0], fleet.workers[1]
+        summary = client.fetch_tree("w0", for_worker="w1")
+        assert isinstance(summary, TreeSummary)
+        expected = [
+            row for row in w0.storage.metadata()
+            if set(("w0", "w1")) <= set(_owners(fleet, row[0]))
+        ]
+        assert summary.total == len(expected)
+        assert summary == build_tree(expected)
+
+    def test_tree_detail_lists_leaf_entries(self, fleet, client):
+        for i in range(12):
+            client.put(f"img-{i:03d}", b"enc" * 50, b"pub" * 5)
+        summary = client.fetch_tree("w0", for_worker="w0")
+        assert summary.total == len(fleet.workers[0].storage.ids())
+        for leaf in summary.leaves:
+            detail = client.fetch_tree("w0", for_worker="w0", leaf=leaf)
+            assert isinstance(detail, dict)
+            assert len(detail) == summary.leaves[leaf][0]
+            for image_id, (crc_e, crc_p) in detail.items():
+                assert leaf_index(image_id, TREE_DEPTH) == leaf
+                record = fleet.workers[0].storage.get(image_id)
+                assert (record.crc_encoded, record.crc_public) == (
+                    crc_e, crc_p
+                )
+
+    def test_unknown_scope_worker_answers_empty_tree(self, fleet, client):
+        client.put("img-a", b"enc" * 50, b"pub" * 5)
+        summary = client.fetch_tree("w0", for_worker="w-not-a-member")
+        assert summary.total == 0
+        assert summary.leaves == {}
+
+    def test_worker_without_peer_map_answers_empty_tree(self):
+        worker = ShardWorker("solo", port=0)
+        thread = threading.Thread(target=worker.serve, daemon=True)
+        thread.start()
+        try:
+            worker.storage.put(
+                "img-a", ShardRecord.create(b"enc", b"pub"), False
+            )
+            with socket.create_connection(
+                ("127.0.0.1", worker.port), timeout=2.0
+            ) as sock:
+                sock.sendall(encode_frame(
+                    0x09, pack_tree_request("solo", TREE_DEPTH,
+                                            TREE_SUMMARY)
+                ))
+                rtype, payload = read_frame(sock)
+            assert rtype == MSG_OK
+            assert unpack_tree_response(payload).total == 0
+        finally:
+            worker.close()
+
+
+class TestHintDedup:
+    """Satellite regression: repeated failed writes to a down worker
+    must queue ONE hint per (worker, id), not one per attempt."""
+
+    def test_repeated_failures_hint_once(self, fleet):
+        endpoints = dict(fleet.endpoints)
+        down = "w9"
+        endpoints[down] = ("127.0.0.1", 1)  # connection refused
+        with ClusterClient(endpoints, replication=len(endpoints),
+                           sleep=NO_SLEEP, connect_timeout=0.2) as client:
+            for _ in range(5):
+                client.put("img-a", b"enc" * 10, b"pub", overwrite=True)
+            hints = client.pending_hints()
+            assert hints.count((down, "img-a")) == 1
+            assert client.stats["hinted_handoffs"] == 1
+
+    def test_distinct_ids_still_all_hinted(self, fleet):
+        endpoints = dict(fleet.endpoints)
+        endpoints["w9"] = ("127.0.0.1", 1)
+        with ClusterClient(endpoints, replication=len(endpoints),
+                           sleep=NO_SLEEP, connect_timeout=0.2) as client:
+            for i in range(4):
+                client.put(f"img-{i}", b"enc" * 10, b"pub")
+            hinted_ids = {
+                image_id for worker, image_id in client.pending_hints()
+                if worker == "w9"
+            }
+            assert hinted_ids == {f"img-{i}" for i in range(4)}
+
+    def test_drain_requeue_does_not_duplicate(self, fleet):
+        endpoints = dict(fleet.endpoints)
+        endpoints["w9"] = ("127.0.0.1", 1)
+        with ClusterClient(endpoints, replication=len(endpoints),
+                           sleep=NO_SLEEP, connect_timeout=0.2) as client:
+            client.put("img-a", b"enc" * 10, b"pub")
+            before = client.pending_hints()
+            assert client.drain_hints() == 0  # target still down
+            client.put("img-a", b"enc" * 10, b"pub", overwrite=True)
+            assert client.pending_hints() == before
+
+
+class TestConnAborted:
+    """Satellite regression: a mid-frame disconnect is counted, not a
+    silent thread death."""
+
+    def _abort_mid_frame(self, worker):
+        with socket.create_connection(
+            ("127.0.0.1", worker.port), timeout=2.0
+        ) as sock:
+            frame = encode_frame(MSG_GET, pack_id("img-x"))
+            sock.sendall(frame[: len(frame) // 2])
+            # RST instead of FIN so read_frame sees a ConnectionError
+            # mid-frame rather than a clean EOF.
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                __import__("struct").pack("ii", 1, 0),
+            )
+
+    def test_mid_frame_disconnect_bumps_counter(self):
+        worker = ShardWorker("w0", port=0, telemetry=True)
+        thread = threading.Thread(target=worker.serve, daemon=True)
+        thread.start()
+        try:
+            deadline = threading.Event()
+            for _ in range(3):
+                self._abort_mid_frame(worker)
+            for _ in range(50):
+                if worker.stats()["conns_aborted"] >= 3:
+                    break
+                deadline.wait(0.05)
+            stats = worker.stats()
+            assert stats["conns_aborted"] >= 3
+            assert stats["active_conns"] == 0
+            assert worker.registry.counter_value(
+                "worker.conn_aborted"
+            ) >= 3
+        finally:
+            worker.close()
+
+    def test_clean_eof_is_not_an_abort(self):
+        worker = ShardWorker("w0", port=0)
+        thread = threading.Thread(target=worker.serve, daemon=True)
+        thread.start()
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", worker.port), timeout=2.0
+            ) as sock:
+                sock.sendall(encode_frame(MSG_GET, pack_id("img-x")))
+                read_frame(sock)  # NOT_FOUND reply
+            event = threading.Event()
+            for _ in range(50):
+                if worker.stats()["active_conns"] == 0:
+                    break
+                event.wait(0.05)
+            assert worker.stats()["conns_aborted"] == 0
+        finally:
+            worker.close()
+
+
+class TestBindRetry:
+    """Satellite regression: a lingering listener on the target port is
+    retried through, not an instant EADDRINUSE crash."""
+
+    def test_listener_asserts_reuseaddr(self):
+        worker = ShardWorker("w0", port=0)
+        try:
+            assert worker._listener.getsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEADDR
+            )
+        finally:
+            worker.close()
+
+    def test_bind_retries_until_port_frees(self):
+        blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        blocker.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+
+        releaser = threading.Timer(0.15, blocker.close)
+        releaser.start()
+        try:
+            worker = ShardWorker("w0", port=port)  # retries through
+            assert worker.port == port
+            worker.close()
+        finally:
+            releaser.cancel()
+            try:
+                blocker.close()
+            except OSError:
+                pass
+
+    def test_ephemeral_bind_never_retries_other_errors(self):
+        worker = ShardWorker("w0", host="127.0.0.1", port=0)
+        try:
+            with pytest.raises(OSError) as excinfo:
+                ShardWorker("w1", host="203.0.113.7", port=0)
+            assert excinfo.value.errno != errno.EADDRINUSE
+        finally:
+            worker.close()

@@ -1,0 +1,324 @@
+"""Unit tests for disk-backed shard storage (no processes, no sockets).
+
+Covers the durability contract of :mod:`repro.cluster.storage` at the
+file level: append/commit/recover round-trips, torn-tail truncation,
+committed-prefix rot accounting, segment roll + compaction, and the
+protocol parity between the disk and in-memory implementations.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.cluster.storage import (
+    COMMIT_FILE,
+    RECORD_FRAME,
+    SEGMENT_HEADER,
+    SEGMENT_MAGIC,
+    SEGMENT_SUFFIX,
+    SEGMENT_VERSION,
+    DiskShardStorage,
+    InMemoryShardStorage,
+    iter_segment_records,
+)
+from repro.cluster.wire import ShardRecord
+from repro.util.errors import ReproError
+
+
+def _record(tag: str, size: int = 400) -> ShardRecord:
+    return ShardRecord.create(
+        (tag.encode() + b"-enc") * size, (tag.encode() + b"-pub") * 7
+    )
+
+
+def _store(tmp_path, **kwargs) -> DiskShardStorage:
+    kwargs.setdefault("segment_bytes", 4096)
+    return DiskShardStorage(str(tmp_path / "shard"), **kwargs)
+
+
+class TestRoundTrip:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = _store(tmp_path)
+        record = _record("a")
+        assert store.put("img-a", record, False)
+        got = store.get("img-a")
+        assert got == record
+        assert got.verify()
+        store.close()
+
+    def test_duplicate_put_respects_overwrite_flag(self, tmp_path):
+        store = _store(tmp_path)
+        assert store.put("img-a", _record("a"), False)
+        assert not store.put("img-a", _record("b"), False)
+        assert store.get("img-a") == _record("a")
+        assert store.put("img-a", _record("b"), True)
+        assert store.get("img-a") == _record("b")
+        store.close()
+
+    def test_len_ids_metadata_match_protocol(self, tmp_path):
+        disk = _store(tmp_path)
+        mem = InMemoryShardStorage()
+        for tag in ("a", "b", "c"):
+            record = _record(tag)
+            disk.put(f"img-{tag}", record, False)
+            mem.put(f"img-{tag}", record, False)
+        assert len(disk) == len(mem) == 3
+        assert sorted(disk.ids()) == sorted(mem.ids())
+        assert sorted(disk.metadata()) == sorted(mem.metadata())
+        disk.close()
+
+    def test_records_survive_reopen(self, tmp_path):
+        store = _store(tmp_path)
+        records = {f"img-{i}": _record(str(i)) for i in range(10)}
+        for image_id, record in records.items():
+            store.put(image_id, record, False)
+        store.close()
+        reopened = _store(tmp_path)
+        for image_id, record in records.items():
+            got = reopened.get(image_id)
+            assert got == record, image_id
+            assert got.verify()
+        assert reopened.stats()["recovered_records"] == 10
+        reopened.close()
+
+    def test_overwrite_survives_reopen_last_write_wins(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("img-a", _record("old"), False)
+        store.put("img-a", _record("new"), True)
+        store.close()
+        reopened = _store(tmp_path)
+        assert reopened.get("img-a") == _record("new")
+        assert len(reopened) == 1
+        reopened.close()
+
+
+class TestTornTail:
+    def _segment_paths(self, store):
+        return store.segment_files()
+
+    def test_partial_frame_is_truncated_and_committed_survive(
+        self, tmp_path
+    ):
+        store = _store(tmp_path)
+        for index in range(5):
+            store.put(f"img-{index}", _record(str(index)), False)
+        path = self._segment_paths(store)[-1]
+        store.close()
+        # Simulate a crash mid-append: a frame header promising more
+        # bytes than ever hit the disk.
+        with open(path, "ab") as handle:
+            handle.write(RECORD_FRAME.pack(10_000, 0xDEADBEEF))
+            handle.write(b"only-a-few-bytes")
+        before = os.path.getsize(path)
+        store = _store(tmp_path)
+        stats = store.stats()
+        assert stats["torn_bytes_truncated"] > 0
+        assert stats["lost_records"] == 0  # tail was past the commit
+        assert os.path.getsize(path) < before
+        for index in range(5):
+            got = store.get(f"img-{index}")
+            assert got is not None and got.verify()
+        store.close()
+
+    def test_garbage_tail_is_truncated(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("img-a", _record("a"), False)
+        path = self._segment_paths(store)[-1]
+        store.close()
+        with open(path, "ab") as handle:
+            handle.write(os.urandom(37))
+        store = _store(tmp_path)
+        assert store.stats()["torn_bytes_truncated"] >= 37
+        assert store.get("img-a") == _record("a")
+        store.close()
+
+    def test_rot_inside_committed_prefix_counts_lost(self, tmp_path):
+        store = _store(tmp_path)
+        for index in range(4):
+            store.put(f"img-{index}", _record(str(index)), False)
+        path = self._segment_paths(store)[-1]
+        store.close()
+        # Flip one byte in the FIRST record's body: the scan loses it
+        # and everything after it in that segment.
+        with open(path, "r+b") as handle:
+            handle.seek(SEGMENT_HEADER.size + RECORD_FRAME.size + 3)
+            byte = handle.read(1)
+            handle.seek(-1, os.SEEK_CUR)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        store = _store(tmp_path)
+        stats = store.stats()
+        assert stats["lost_records"] >= 1
+        # The damaged record and everything after it *in that segment*
+        # are gone; records in other segments survive untouched.
+        assert len(store) < 4
+        for image_id in store.ids():
+            got = store.get(image_id)
+            assert got is not None and got.verify()
+        store.close()
+
+    def test_headerless_segment_is_emptied(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("img-a", _record("a"), False)
+        store.close()
+        # A crash can leave a fresh segment with a half-written header.
+        extra = tmp_path / "shard" / f"seg-000002{SEGMENT_SUFFIX}"
+        extra.write_bytes(b"RP")
+        store = _store(tmp_path)
+        assert extra.stat().st_size == 0
+        assert store.get("img-a") == _record("a")
+        store.close()
+
+    def test_missing_commit_file_still_recovers(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("img-a", _record("a"), False)
+        store.close()
+        os.remove(tmp_path / "shard" / COMMIT_FILE)
+        store = _store(tmp_path)
+        assert store.get("img-a") == _record("a")
+        store.close()
+
+
+class TestSegmentsAndCompaction:
+    def test_appends_roll_into_multiple_segments(self, tmp_path):
+        store = _store(tmp_path, segment_bytes=4096)
+        for index in range(12):
+            store.put(f"img-{index}", _record(str(index), size=200), False)
+        assert store.stats()["segments"] > 1
+        store.close()
+        reopened = _store(tmp_path)
+        assert len(reopened) == 12
+        reopened.close()
+
+    def test_compaction_reclaims_dead_bytes(self, tmp_path):
+        store = _store(
+            tmp_path,
+            compact_dead_bytes=1 << 30,  # never auto-compact
+        )
+        record = _record("a")
+        store.put("img-a", record, False)
+        for _ in range(20):
+            store.put("img-a", record, True)
+        dead_before = store.stats()["dead_bytes"]
+        assert dead_before > 0
+        reclaimed = store.compact()
+        assert reclaimed == dead_before
+        stats = store.stats()
+        assert stats["dead_bytes"] == 0
+        assert stats["segments"] == 1
+        assert store.get("img-a") == record
+        store.close()
+        reopened = _store(tmp_path)
+        assert reopened.get("img-a") == record
+        reopened.close()
+
+    def test_auto_compaction_triggers_on_threshold(self, tmp_path):
+        store = _store(
+            tmp_path,
+            compact_dead_bytes=2048,
+            compact_dead_fraction=0.5,
+        )
+        record = _record("a")
+        store.put("img-a", record, False)
+        for _ in range(30):
+            store.put("img-a", record, True)
+        stats = store.stats()
+        assert stats["compactions"] >= 1
+        assert stats["dead_bytes"] < 2048 + 2 * (
+            RECORD_FRAME.size + len(record.pack()) + 16
+        )
+        store.close()
+
+    def test_segment_header_layout(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("img-a", _record("a"), False)
+        path = store.segment_files()[0]
+        store.close()
+        with open(path, "rb") as handle:
+            magic, version, seq = SEGMENT_HEADER.unpack(
+                handle.read(SEGMENT_HEADER.size)
+            )
+        assert magic == SEGMENT_MAGIC
+        assert version == SEGMENT_VERSION
+        assert seq == 1
+
+    def test_iter_segment_records_reads_the_log(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("img-a", _record("a"), False)
+        store.put("img-b", _record("b"), False)
+        path = store.segment_files()[0]
+        store.close()
+        entries = list(iter_segment_records(path))
+        assert [image_id for image_id, _ in entries] == ["img-a", "img-b"]
+        assert all(record.verify() for _, record in entries)
+
+    def test_iter_segment_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / f"bogus{SEGMENT_SUFFIX}"
+        path.write_bytes(b"not a segment" * 4)
+        with pytest.raises(ReproError):
+            list(iter_segment_records(str(path)))
+
+
+class TestRotOnRead:
+    def test_frame_level_rot_turns_into_not_found(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("img-a", _record("a"), False)
+        path = store.segment_files()[0]
+        # Smash the record's frame CRC region in place.
+        with open(path, "r+b") as handle:
+            handle.seek(SEGMENT_HEADER.size + 4)
+            handle.write(struct.pack("<I", 0))
+        assert store.get("img-a") is None
+        stats = store.stats()
+        assert stats["read_errors"] == 1
+        assert "img-a" not in store.ids()
+        store.close()
+
+    def test_corrupt_keeps_writer_crc_and_survives_reopen(self, tmp_path):
+        store = _store(tmp_path)
+        record = _record("a")
+        store.put("img-a", record, False)
+        assert store.corrupt("img-a", 6, "chaos")
+        rotten = store.get("img-a")
+        assert rotten is not None
+        assert not rotten.verify()  # body changed, writer CRC kept
+        assert rotten.crc_encoded == record.crc_encoded
+        store.close()
+        reopened = _store(tmp_path)
+        rotten = reopened.get("img-a")
+        assert rotten is not None and not rotten.verify()
+        reopened.close()
+
+    def test_corrupt_unknown_id_returns_false(self, tmp_path):
+        store = _store(tmp_path)
+        assert not store.corrupt("nope", 6, "chaos")
+        store.close()
+
+
+class TestValidation:
+    def test_tiny_segment_bytes_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            DiskShardStorage(str(tmp_path / "s"), segment_bytes=16)
+
+    def test_commit_crc_guard(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("img-a", _record("a"), False)
+        store.close()
+        commit = tmp_path / "shard" / COMMIT_FILE
+        blob = bytearray(commit.read_bytes())
+        blob[-1] ^= 0xFF
+        commit.write_bytes(bytes(blob))
+        # Damaged commit point degrades to "no commit point": recovery
+        # still replays the log, it just can't classify tail damage.
+        store = _store(tmp_path)
+        assert store.get("img-a") == _record("a")
+        store.close()
+
+    def test_in_memory_stats_and_close_are_protocol_complete(self):
+        mem = InMemoryShardStorage()
+        mem.put("img-a", _record("a"), False)
+        assert mem.stats()["live_records"] == 1
+        mem.close()  # must be a no-op, not an AttributeError

@@ -332,3 +332,147 @@ class TestRing:
         ring.remove_node("w0")
         with pytest.raises(ReproError):
             ring.preference("img-1", 1)
+
+
+class TestTreeAndPeersOps:
+    """PR 7 wire additions: MSG_TREE digests and the MSG_PEERS push."""
+
+    def _summary(self, n=9):
+        from repro.cluster.scrub import build_tree
+
+        return build_tree(
+            [(f"img-{i}", i * 3 + 1, i * 5 + 2) for i in range(n)]
+        )
+
+    def test_tree_request_roundtrip(self):
+        from repro.cluster.wire import (
+            TREE_SUMMARY,
+            pack_tree_request,
+            unpack_tree_request,
+        )
+
+        assert unpack_tree_request(
+            pack_tree_request("w3", 6, TREE_SUMMARY)
+        ) == ("w3", 6, TREE_SUMMARY)
+        assert unpack_tree_request(
+            pack_tree_request("w0", 8, 17)
+        ) == ("w0", 8, 17)
+
+    def test_tree_request_rejects_bad_depth(self):
+        from repro.cluster.wire import (
+            pack_tree_request,
+            unpack_tree_request,
+        )
+
+        for depth in (0, 17):
+            with pytest.raises(IntegrityError):
+                unpack_tree_request(pack_tree_request("w0", depth))
+
+    def test_tree_summary_roundtrip(self):
+        from repro.cluster.wire import (
+            TreeSummary,
+            pack_tree_summary,
+            unpack_tree_response,
+        )
+
+        summary = self._summary()
+        decoded = unpack_tree_response(pack_tree_summary(summary))
+        assert isinstance(decoded, TreeSummary)
+        assert decoded == summary
+
+    def test_tree_detail_roundtrip(self):
+        from repro.cluster.wire import (
+            pack_tree_detail,
+            unpack_tree_response,
+        )
+
+        entries = {f"img-{i}": (i * 3 + 1, i * 5 + 2) for i in range(7)}
+        assert unpack_tree_response(pack_tree_detail(entries)) == entries
+        assert unpack_tree_response(pack_tree_detail({})) == {}
+
+    def test_tree_response_rejects_unknown_tag(self):
+        with pytest.raises(IntegrityError):
+            from repro.cluster.wire import unpack_tree_response
+
+            unpack_tree_response(b"\xff rest")
+
+    def test_peers_roundtrip(self):
+        from repro.cluster.wire import pack_peers, unpack_peers
+
+        peers = {
+            "w0": ("127.0.0.1", 9001),
+            "w1": ("10.0.0.7", 9002),
+        }
+        replication, interval, decoded = unpack_peers(
+            pack_peers(2, 1.5, peers)
+        )
+        assert replication == 2
+        assert interval == 1.5
+        assert decoded == peers
+
+    def test_peers_empty_map(self):
+        from repro.cluster.wire import pack_peers, unpack_peers
+
+        assert unpack_peers(pack_peers(3, 0.0, {})) == (3, 0.0, {})
+
+
+class TestPingV3:
+    def test_storage_block_roundtrip(self):
+        stats = unpack_ping_response(
+            pack_ping_response(
+                "w0", 4, 9, 1.25,
+                telemetry={
+                    "spans_recorded": 3,
+                    "spans_dropped": 0,
+                    "enabled": True,
+                },
+                storage={
+                    "storage": {"segments": 2, "live_records": 4},
+                    "scrub": {"sweeps": 1, "repairs": 0},
+                },
+            )
+        )
+        assert stats["items"] == 4
+        assert stats["storage"]["storage"]["segments"] == 2
+        assert stats["storage"]["scrub"]["sweeps"] == 1
+
+    def test_v2_reply_has_no_storage_key(self):
+        stats = unpack_ping_response(
+            pack_ping_response(
+                "w0", 1, 2, 0.5,
+                telemetry={
+                    "spans_recorded": 0,
+                    "spans_dropped": 0,
+                    "enabled": False,
+                },
+            )
+        )
+        assert "storage" not in stats
+
+    def test_extended2_marker_is_distinct(self):
+        from repro.cluster.wire import PING_EXTENDED2
+
+        assert PING_EXTENDED2 and PING_EXTENDED2 != PING_EXTENDED
+
+    def test_damaged_storage_json_is_integrity_error(self):
+        from repro.core.serialization import pack_string
+        from repro.cluster.wire import pack_ping_response
+
+        blob = pack_ping_response(
+            "w0", 1, 2, 0.5,
+            telemetry={
+                "spans_recorded": 0, "spans_dropped": 0, "enabled": False,
+            },
+            storage={"storage": {}},
+        )
+        # Replace the JSON tail with garbage of the same framing.
+        base = pack_ping_response(
+            "w0", 1, 2, 0.5,
+            telemetry={
+                "spans_recorded": 0, "spans_dropped": 0, "enabled": False,
+            },
+        )
+        damaged = base + pack_string("{not-json")
+        with pytest.raises(IntegrityError):
+            unpack_ping_response(damaged)
+        assert blob  # the well-formed variant still packs
