@@ -374,7 +374,11 @@ class ScrubDaemon:
             return
         host, port = endpoint
         depth = self.config.depth
-        local = build_tree(self._scoped_metadata(peer_id), depth)
+        # One snapshot feeds both the tree and the per-id entries below:
+        # a second scan could diverge under concurrent writes, making
+        # the entries disagree with the tree that triggered the diff.
+        scoped = self._scoped_metadata(peer_id)
+        local = build_tree(scoped, depth)
         summary_payload = peer_request(
             host, port, MSG_TREE,
             pack_tree_request(self.worker.worker_id, depth, TREE_SUMMARY),
@@ -396,9 +400,7 @@ class ScrubDaemon:
         )
         local_entries = {
             image_id: (crc_encoded, crc_public)
-            for image_id, crc_encoded, crc_public in (
-                self._scoped_metadata(peer_id)
-            )
+            for image_id, crc_encoded, crc_public in scoped
         }
         for leaf in mismatched[: self.config.max_leaf_fetches]:
             if self._sync_budget <= 0:

@@ -38,6 +38,11 @@ import os
 import struct
 import threading
 import zlib
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -59,6 +64,7 @@ OP_PUT = 1
 
 COMMIT_MAGIC = b"RPCP"
 COMMIT_FILE = "COMMIT"
+LOCK_FILE = "LOCK"
 #: magic, segment sequence, byte offset, CRC32 of the seq+offset bytes.
 COMMIT_LAYOUT = struct.Struct("<4sIQI")
 
@@ -202,6 +208,8 @@ class DiskShardStorage:
             "fsyncs": 0,
         }
         os.makedirs(data_dir, exist_ok=True)
+        self._lock_handle = None
+        self._acquire_dir_lock()
         self._recover()
 
     # ------------------------------------------------------------------
@@ -250,6 +258,32 @@ class DiskShardStorage:
             return None
         return seq, offset
 
+    def _acquire_dir_lock(self) -> None:
+        """Advisory exclusive ownership of ``data_dir``.
+
+        Two live instances interleaving appends into the same active
+        segment corrupt the log, so a second opener fails fast instead
+        (a restart racing a not-quite-dead worker, operator error). An
+        flock dies with its owner's fds — a ``kill -9``'d process
+        releases it, so restart-from-the-same-dir is unaffected.
+        """
+        handle = open(os.path.join(self.data_dir, LOCK_FILE), "a+b")
+        if fcntl is not None:
+            try:
+                fcntl.flock(handle.fileno(),
+                            fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                handle.close()
+                raise ReproError(
+                    f"data dir {self.data_dir!r} is already owned by "
+                    "a live DiskShardStorage"
+                )
+        handle.seek(0)
+        handle.truncate()
+        handle.write(f"{os.getpid()}\n".encode("ascii"))
+        handle.flush()
+        self._lock_handle = handle
+
     def _sync_dir(self) -> None:
         if not self.fsync:
             return
@@ -292,16 +326,32 @@ class DiskShardStorage:
         self._segments = sequences
         if sequences:
             self._active_seq = sequences[-1]
-            self._active_end = os.path.getsize(
-                self._segment_path(self._active_seq)
-            )
-            self._active_file = open(
-                self._segment_path(self._active_seq), "r+b"
-            )
+            path = self._segment_path(self._active_seq)
+            if os.path.getsize(path) < SEGMENT_HEADER.size:
+                # The active segment's header never reached disk (crash
+                # inside _open_fresh_segment) and the scan emptied the
+                # file. Rewrite the header before accepting appends —
+                # otherwise records committed into this segment now
+                # would fail header validation on the next recovery and
+                # be truncated away despite their fsync'd commit.
+                self._rewrite_segment_header(path, self._active_seq)
+            self._active_end = os.path.getsize(path)
+            self._active_file = open(path, "r+b")
             self._active_file.seek(self._active_end)
         else:
             self._open_fresh_segment(1)
         self._write_commit(self._active_seq, self._active_end)
+
+    def _rewrite_segment_header(self, path: str, seq: int) -> None:
+        with open(path, "r+b") as handle:
+            handle.truncate(0)
+            handle.write(
+                SEGMENT_HEADER.pack(SEGMENT_MAGIC, SEGMENT_VERSION, seq)
+            )
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        self._sync_dir()
 
     def _scan_segment(
         self, seq: int, commit: Optional[Tuple[int, int]]
@@ -453,7 +503,14 @@ class DiskShardStorage:
                 return None
             try:
                 record = self._read_entry(image_id, entry)
-            except (ReproError, OSError, struct.error, IndexError,
+            except OSError:
+                # Transient I/O failure (fd exhaustion, momentary EIO):
+                # the bytes on disk may be fine, so keep the index
+                # entry — a later read can succeed without an
+                # anti-entropy refill.
+                self._stats["read_errors"] += 1
+                return None
+            except (ReproError, struct.error, IndexError,
                     UnicodeDecodeError):
                 record = None
             if record is None:
@@ -546,7 +603,13 @@ class DiskShardStorage:
         for image_id, entry in list(self._index.items()):
             try:
                 record = self._read_entry(image_id, entry)
-            except (ReproError, OSError, struct.error, IndexError,
+            except OSError:
+                # Transient I/O failure: compacting now would delete
+                # the only copy of this record with its old segment —
+                # abort and let a later trigger retry.
+                self._stats["read_errors"] += 1
+                return 0
+            except (ReproError, struct.error, IndexError,
                     UnicodeDecodeError):
                 record = None
             if record is None:
@@ -600,6 +663,15 @@ class DiskShardStorage:
                         pass
                 self._active_file.close()
                 self._active_file = None
+            if self._lock_handle is not None:
+                if fcntl is not None:
+                    try:
+                        fcntl.flock(self._lock_handle.fileno(),
+                                    fcntl.LOCK_UN)
+                    except OSError:
+                        pass
+                self._lock_handle.close()
+                self._lock_handle = None
 
 
 def _parse_body(body: bytes) -> Tuple[str, ShardRecord]:

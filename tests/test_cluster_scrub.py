@@ -219,6 +219,31 @@ class TestScrubSweep:
         stats = victim.scrub.sweep()
         assert 0 < stats["repairs"] <= 3
 
+    def test_sync_peer_scans_metadata_once_even_when_diverged(
+        self, fleet, client, monkeypatch
+    ):
+        # Regression: _sync_peer used to take a second _scoped_metadata
+        # snapshot for the per-id entries, which could diverge from the
+        # one that built the tree under concurrent writes (and doubled
+        # the O(records) ring-preference scan per peer).
+        for i in range(10):
+            client.put(f"img-{i:03d}", b"enc" * 50, b"pub" * 5)
+        victim = fleet.workers[0]
+        victim.storage._items.clear()  # force the full diff path
+        calls = {"n": 0}
+        real = type(victim.scrub)._scoped_metadata
+
+        def counting(self, peer_id):
+            calls["n"] += 1
+            return real(self, peer_id)
+
+        monkeypatch.setattr(
+            type(victim.scrub), "_scoped_metadata", counting
+        )
+        stats = victim.scrub.sweep()
+        assert stats["ranges_diffed"] > 0
+        assert calls["n"] == len(fleet.workers) - 1
+
     def test_dead_peer_counts_error_not_crash(self, fleet, client):
         client.put("img-a", b"enc" * 50, b"pub" * 5)
         sweeper = fleet.workers[0]

@@ -160,7 +160,9 @@ class TestTornTail:
             assert got is not None and got.verify()
         store.close()
 
-    def test_headerless_segment_is_emptied(self, tmp_path):
+    def test_headerless_last_segment_gets_header_rewritten(
+        self, tmp_path
+    ):
         store = _store(tmp_path)
         store.put("img-a", _record("a"), False)
         store.close()
@@ -168,9 +170,36 @@ class TestTornTail:
         extra = tmp_path / "shard" / f"seg-000002{SEGMENT_SUFFIX}"
         extra.write_bytes(b"RP")
         store = _store(tmp_path)
-        assert extra.stat().st_size == 0
+        # The adopted active segment must carry a valid header, or the
+        # next recovery would reject everything appended into it.
+        magic, version, seq = SEGMENT_HEADER.unpack(
+            extra.read_bytes()[: SEGMENT_HEADER.size]
+        )
+        assert (magic, version, seq) == (SEGMENT_MAGIC,
+                                         SEGMENT_VERSION, 2)
         assert store.get("img-a") == _record("a")
         store.close()
+
+    def test_commits_into_repaired_segment_survive_second_reopen(
+        self, tmp_path
+    ):
+        # Regression: a header-less last segment used to be adopted as
+        # the active segment with appends at offset 0 and no header —
+        # fsync'd, committed records that the *next* recovery then
+        # truncated wholesale.
+        store = _store(tmp_path)
+        store.put("img-a", _record("a"), False)
+        store.close()
+        extra = tmp_path / "shard" / f"seg-000002{SEGMENT_SUFFIX}"
+        extra.write_bytes(b"")  # crash before the header hit disk
+        store = _store(tmp_path)
+        store.put("img-b", _record("b"), False)
+        store.close()
+        reopened = _store(tmp_path)
+        assert reopened.get("img-a") == _record("a")
+        assert reopened.get("img-b") == _record("b")
+        assert reopened.stats()["lost_records"] == 0
+        reopened.close()
 
     def test_missing_commit_file_still_recovers(self, tmp_path):
         store = _store(tmp_path)
@@ -297,6 +326,51 @@ class TestRotOnRead:
         assert not store.corrupt("nope", 6, "chaos")
         store.close()
 
+    def test_transient_read_error_does_not_evict(
+        self, tmp_path, monkeypatch
+    ):
+        store = _store(tmp_path)
+        record = _record("a")
+        store.put("img-a", record, False)
+        real = DiskShardStorage._read_entry
+        calls = {"n": 0}
+
+        def flaky(self, image_id, entry):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError(24, "too many open files")
+            return real(self, image_id, entry)
+
+        monkeypatch.setattr(DiskShardStorage, "_read_entry", flaky)
+        assert store.get("img-a") is None
+        assert store.stats()["read_errors"] == 1
+        # The index entry survives a transient failure: the next read
+        # serves the healthy bytes instead of NOT_FOUND.
+        assert "img-a" in store.ids()
+        assert store.get("img-a") == record
+        store.close()
+
+    def test_transient_read_error_aborts_compaction(
+        self, tmp_path, monkeypatch
+    ):
+        store = _store(tmp_path, compact_dead_bytes=1 << 30)
+        record = _record("a")
+        store.put("img-a", record, False)
+        store.put("img-a", record, True)
+        monkeypatch.setattr(
+            DiskShardStorage,
+            "_read_entry",
+            lambda self, image_id, entry: (_ for _ in ()).throw(
+                OSError(5, "momentary EIO")
+            ),
+        )
+        assert store.compact() == 0
+        monkeypatch.undo()
+        assert store.get("img-a") == record
+        assert store.compact() > 0
+        assert store.get("img-a") == record
+        store.close()
+
 
 class TestValidation:
     def test_tiny_segment_bytes_rejected(self, tmp_path):
@@ -316,6 +390,17 @@ class TestValidation:
         store = _store(tmp_path)
         assert store.get("img-a") == _record("a")
         store.close()
+
+    def test_second_opener_of_live_dir_is_rejected(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("img-a", _record("a"), False)
+        with pytest.raises(ReproError, match="owned"):
+            _store(tmp_path)
+        store.close()
+        # close() releases the advisory lock: reopen succeeds.
+        reopened = _store(tmp_path)
+        assert reopened.get("img-a") == _record("a")
+        reopened.close()
 
     def test_in_memory_stats_and_close_are_protocol_complete(self):
         mem = InMemoryShardStorage()
