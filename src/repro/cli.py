@@ -10,6 +10,11 @@ Subcommands mirror the three parties of Fig. 5:
                     point: everything printable here is non-secret);
 * ``reconstruct`` — receiver side: decrypt with whichever key files are
                     supplied and write the result as PPM;
+* ``keys``        — threshold key management: ``keys split`` cuts a
+                    region key into n framed ``RPKS`` share files with
+                    any-t-of-n recovery, ``keys recover`` rebuilds the
+                    key from a quorum of share files, ``keys inspect``
+                    prints and verifies share metadata;
 * ``faults``      — chaos drill: protect, store, corrupt with a named
                     fault profile, then report how much the resilient
                     client recovers;
@@ -219,6 +224,103 @@ def cmd_reconstruct(args: argparse.Namespace) -> int:
         f"with {len(keys)} key(s); wrote {args.output}"
     )
     return 0
+
+
+def _load_share_files(patterns: List[str], expect_id: Optional[str]):
+    from repro.keys.threshold import share_from_bytes
+
+    shares = []
+    for pattern in patterns:
+        for path in sorted(glob.glob(pattern) or [pattern]):
+            with open(path, "rb") as handle:
+                shares.append(
+                    share_from_bytes(handle.read(), expect_id)
+                )
+    return shares
+
+
+def cmd_keys_split(args: argparse.Namespace) -> int:
+    import re
+
+    from repro.keys.threshold import split_key
+
+    if args.key:
+        with open(args.key, "rb") as handle:
+            key = PrivateKey.deserialize(handle.read())
+    elif args.matrix_id and args.owner:
+        key = generate_private_key(args.matrix_id, args.owner)
+    else:
+        print("give either --key FILE or both --matrix-id and --owner",
+              file=sys.stderr)
+        return 2
+    shares = split_key(key, n=args.shares, t=args.threshold)
+    os.makedirs(args.out_dir, exist_ok=True)
+    safe_id = re.sub(r"[^A-Za-z0-9._-]", "_", key.matrix_id)
+    paths = []
+    for share in shares:
+        path = os.path.join(
+            args.out_dir,
+            f"{safe_id}-share-{share.index:02d}-of-{share.total:02d}.rpks",
+        )
+        with open(path, "wb") as handle:
+            handle.write(share.serialize())
+        paths.append(path)
+    print(
+        f"split key {key.matrix_id!r} into {args.shares} share(s); "
+        f"any {args.threshold} recover it"
+    )
+    for path in paths:
+        print(f"  {path} ({os.path.getsize(path)} bytes)")
+    print("distribute each share to a different holder; no single share "
+          "reveals anything")
+    return 0
+
+
+def cmd_keys_recover(args: argparse.Namespace) -> int:
+    from repro.keys.threshold import recover_key
+
+    shares = _load_share_files(args.shares, args.expect_id)
+    key = recover_key(shares)
+    print(
+        f"recovered key {key.matrix_id!r} from {len(shares)} share(s)"
+    )
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(key.serialize())
+        print(f"  wrote {args.output} (KEEP PRIVATE)")
+    return 0
+
+
+def cmd_keys_inspect(args: argparse.Namespace) -> int:
+    from repro.core.serialization import deserialize_key_share
+    from repro.util.errors import KeyMismatchError
+
+    bad = 0
+    for pattern in args.shares:
+        for path in sorted(glob.glob(pattern) or [pattern]):
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            try:
+                share = deserialize_key_share(blob)
+            except ReproError as error:
+                print(f"{path}: UNREADABLE — {error}")
+                bad += 1
+                continue
+            try:
+                share.verify()
+                status = "ok"
+            except KeyMismatchError as error:
+                status = f"CORRUPT — {error}"
+                bad += 1
+            print(
+                f"{path}: matrix={share.matrix_id!r} "
+                f"share={share.index}/{share.total} "
+                f"threshold={share.threshold} "
+                f"split={share.split_id} "
+                f"payload={share.payload_len}B "
+                f"[{status}]"
+            )
+    return 1 if bad else 0
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
@@ -843,6 +945,47 @@ def build_parser() -> argparse.ArgumentParser:
     reconstruct.add_argument("--output", "-o", required=True)
     _add_trace_flag(reconstruct)
     reconstruct.set_defaults(func=cmd_reconstruct)
+
+    keys_cmd = sub.add_parser(
+        "keys",
+        help="threshold key management (Shamir t-of-n share files)",
+    )
+    keys_sub = keys_cmd.add_subparsers(dest="keys_command", required=True)
+
+    ksplit = keys_sub.add_parser(
+        "split", help="split a region key into n RPKS share files"
+    )
+    ksplit.add_argument("--key", default=None,
+                        help="serialized .key file to split")
+    ksplit.add_argument("--matrix-id", default=None,
+                        help="derive the key for this matrix id instead")
+    ksplit.add_argument("--owner", default=None,
+                        help="owner seed used with --matrix-id")
+    ksplit.add_argument("--shares", "-n", type=int, default=3,
+                        help="number of share files to emit")
+    ksplit.add_argument("--threshold", "-t", type=int, default=2,
+                        help="how many shares recovery requires")
+    ksplit.add_argument("--out-dir", default=".",
+                        help="directory for the .rpks share files")
+    ksplit.set_defaults(func=cmd_keys_split)
+
+    krecover = keys_sub.add_parser(
+        "recover", help="rebuild a key from a quorum of share files"
+    )
+    krecover.add_argument("shares", nargs="+", metavar="share",
+                          help=".rpks share files (globs ok)")
+    krecover.add_argument("--output", "-o", default=None,
+                          help="write the recovered .key file here")
+    krecover.add_argument("--expect-id", default=None,
+                          help="fail unless the shares unlock this matrix id")
+    krecover.set_defaults(func=cmd_keys_recover)
+
+    kinspect = keys_sub.add_parser(
+        "inspect", help="print and verify share metadata"
+    )
+    kinspect.add_argument("shares", nargs="+", metavar="share",
+                          help=".rpks share files (globs ok)")
+    kinspect.set_defaults(func=cmd_keys_inspect)
 
     faults = sub.add_parser(
         "faults",

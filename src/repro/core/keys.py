@@ -15,6 +15,8 @@ distribution as out of scope the same way.
 from __future__ import annotations
 
 import hashlib
+import hmac
+import struct
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
@@ -38,12 +40,27 @@ class DhKeyPair:
 
     @classmethod
     def generate(cls, rng: np.random.Generator) -> "DhKeyPair":
-        private = int.from_bytes(rng.bytes(32), "big") % (DH_PRIME - 2) + 1
+        # Rejection-sample the exponent: folding 256 random bits with
+        # ``% (DH_PRIME - 2)`` biases the low end of the range.
+        while True:
+            private = int.from_bytes(rng.bytes(32), "big")
+            if 1 <= private <= DH_PRIME - 2:
+                break
         return cls(private, pow(DH_GENERATOR, private, DH_PRIME))
 
 
 def shared_secret(my_private: int, their_public: int) -> bytes:
-    """The hashed DH shared secret both endpoints can compute."""
+    """The hashed DH shared secret both endpoints can compute.
+
+    Degenerate peer publics (0, 1, p-1, or anything outside the group)
+    would force the shared secret into a tiny predictable set, so they
+    are rejected with :class:`KeyMismatchError` before exponentiation.
+    """
+    if not 2 <= their_public <= DH_PRIME - 2:
+        raise KeyMismatchError(
+            f"degenerate or out-of-range DH public value "
+            f"{their_public:#x} — refusing to derive a channel secret"
+        )
     secret = pow(their_public, my_private, DH_PRIME)
     return hashlib.sha256(secret.to_bytes(32, "big")).digest()
 
@@ -78,7 +95,13 @@ class KeyRing:
         try:
             return self._keys[matrix_id]
         except KeyError:
-            raise KeyMismatchError(f"no key for matrix id {matrix_id!r}")
+            raise KeyMismatchError(
+                f"no key for matrix id {matrix_id!r}"
+            ) from None
+
+    def discard(self, matrix_id: str) -> None:
+        """Forget a key (used after escrowing it as threshold shares)."""
+        self._keys.pop(matrix_id, None)
 
     def __contains__(self, matrix_id: str) -> bool:
         return matrix_id in self._keys
@@ -142,7 +165,7 @@ class SecureChannel:
         if len(blob) < 16:
             raise KeyMismatchError("key blob too short")
         ciphertext, tag = blob[:-16], blob[-16:]
-        if self._mac(matrix_id, ciphertext) != tag:
+        if not hmac.compare_digest(self._mac(matrix_id, ciphertext), tag):
             raise KeyMismatchError(
                 f"key blob for {matrix_id!r} failed integrity check"
             )
@@ -154,16 +177,27 @@ class SecureChannel:
         return key
 
     def _mac(self, context: str, data: bytes) -> bytes:
-        return hashlib.sha256(
-            b"mac" + self.secret + context.encode("utf-8") + data
-        ).digest()[:16]
+        # Length-framing matters: a bare concatenation lets an attacker
+        # slide bytes across the id/ciphertext boundary — the tag for
+        # ("m1", c) would equal the tag for ("m", b"1" + c), forging a
+        # valid blob under a different matrix id.
+        message = _frame_fields(b"mac", context.encode("utf-8"), data)
+        return hmac.new(self.secret, message, hashlib.sha256).digest()[:16]
+
+
+def _frame_fields(*fields: bytes) -> bytes:
+    """Length-prefix and join fields so no boundary ambiguity exists:
+    ``("ab", "c")`` and ``("a", "bc")`` frame to different strings."""
+    return b"".join(
+        struct.pack("<I", len(field_)) + field_ for field_ in fields
+    )
 
 
 def _keystream(secret: bytes, context: str, n: int) -> bytes:
     """A deterministic hash-chain keystream of ``n`` bytes."""
     out = bytearray()
     counter = 0
-    seed = secret + context.encode("utf-8")
+    seed = _frame_fields(b"pad", secret, context.encode("utf-8"))
     while len(out) < n:
         out += hashlib.sha256(seed + counter.to_bytes(4, "big")).digest()
         counter += 1

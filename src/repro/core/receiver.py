@@ -32,6 +32,9 @@ class Receiver:
         self.keyring = KeyRing()
         self.dh = DhKeyPair.generate(rng_from_key(f"dh/{name}"))
         self._channels: Dict[str, SecureChannel] = {}
+        # Banked threshold shares awaiting quorum, keyed by
+        # (matrix id, split id) so shares of different splits never mix.
+        self._pending_shares: Dict[Tuple[str, str], Dict[int, object]] = {}
 
     def channel_from(self, peer_name: str, peer_public: int) -> SecureChannel:
         """The receiver end of a secure channel with a sender."""
@@ -51,6 +54,52 @@ class Receiver:
         channel = self.channel_from(peer_name, peer_public)
         for matrix_id, blob in grants:
             self.keyring.add(channel.receive_key(matrix_id, blob))
+
+    # ------------------------------------------------------------------
+    # Threshold shares
+    # ------------------------------------------------------------------
+    def add_share(self, share):
+        """Bank one :class:`~repro.keys.threshold.KeyShare`; recover on
+        quorum.
+
+        Shares trickle in from whichever holders are reachable; each is
+        verified against its integrity digest (a corrupted share is
+        rejected *by name* and nothing is banked). The moment
+        ``share.threshold`` distinct shares of one split are present the
+        key is reconstructed by Lagrange interpolation, added to the
+        keyring, and the banked shares are dropped — the full key never
+        existed anywhere until this quorum, and the partial shares do
+        not outlive it. Returns the recovered
+        :class:`~repro.core.matrices.PrivateKey`, or ``None`` while the
+        quorum is still short.
+        """
+        from repro.keys.threshold import recover_key
+        from repro.util.errors import KeyMismatchError
+
+        share.verify()
+        pending = self._pending_shares.setdefault(
+            (share.matrix_id, share.split_id), {}
+        )
+        existing = pending.get(share.index)
+        if existing is not None and existing != share:
+            raise KeyMismatchError(
+                f"two conflicting copies of {share.label} were presented"
+            )
+        pending[share.index] = share
+        if len(pending) < share.threshold:
+            return None
+        key = recover_key(pending.values())
+        self.keyring.add(key)
+        del self._pending_shares[(share.matrix_id, share.split_id)]
+        return key
+
+    def pending_share_count(self, matrix_id: str) -> int:
+        """How many distinct shares are banked for a region (any split)."""
+        return sum(
+            len(shares)
+            for (mid, _), shares in self._pending_shares.items()
+            if mid == matrix_id
+        )
 
     # ------------------------------------------------------------------
     # Scenario 1: untransformed download

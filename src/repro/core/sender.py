@@ -114,3 +114,31 @@ class Sender:
             key = self.keyring[matrix_id]
             grants.append((matrix_id, channel.send_key(key)))
         return grants
+
+    def split_region_key(
+        self,
+        matrix_id: str,
+        holders: Sequence[str],
+        threshold: int,
+        discard: bool = False,
+    ):
+        """Split one region key across named holders, any-t-of-n.
+
+        Returns the :class:`~repro.keys.threshold.ShareSet` policy
+        ("any ``threshold`` of ``holders`` unlock this ROI") whose
+        shares the caller distributes — e.g. as framed ``RPKS``
+        records via :meth:`KeyShare.serialize`. With ``discard=True``
+        the key is dropped from the sender's own keyring afterwards
+        (escrow mode): from then on *nobody*, the sender included,
+        holds the key — only quorums of share holders can rebuild it.
+        """
+        from repro.keys.threshold import ShareSet
+
+        if matrix_id not in self.keyring:
+            self.keyring.add(generate_private_key(matrix_id, self.name))
+        share_set = ShareSet.split(
+            self.keyring[matrix_id], holders=holders, threshold=threshold
+        )
+        if discard:
+            self.keyring.discard(matrix_id)
+        return share_set

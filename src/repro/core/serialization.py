@@ -37,10 +37,12 @@ MAGIC = b"RPPD"
 MAGIC_COMPRESSED = b"RPPZ"
 #: Trailing integrity frame: CRC32 of the uncompressed body (4 bytes).
 CRC_BYTES = 4
-#: Reserved magics for framed key-share records (threshold key splitting):
+#: Framed key-share records (threshold key splitting, docs/FORMATS.md §6):
 #: same ``magic + body + crc32`` / deflated-twin discipline as RPPD/RPPZ.
 KEY_SHARE_MAGIC = b"RPKS"
 KEY_SHARE_MAGIC_COMPRESSED = b"RPKZ"
+#: RPKS body version; bump on layout changes.
+KEY_SHARE_VERSION = 1
 
 
 def frame_record(
@@ -365,4 +367,121 @@ def _parse_body(data: bytes) -> ImagePublicData:
         quant_tables=tables,
         regions=regions,
         transform_params=transform_params,
+    )
+
+
+# ----------------------------------------------------------------------
+# RPKS — framed key-share records (repro.keys.threshold)
+# ----------------------------------------------------------------------
+
+def serialize_key_share(share) -> bytes:
+    """Serialize a :class:`~repro.keys.threshold.KeyShare` to bytes.
+
+    The emitted container is ``RPKS + body + crc32(body)`` or its
+    deflated twin ``RPKZ`` — the same :func:`frame_record` discipline as
+    every other container (share values are near-incompressible, so the
+    raw form almost always wins). The body layout is docs/FORMATS.md §6.
+    """
+    from repro.keys.threshold import WORD_BYTES
+
+    parts = [
+        struct.pack("<B", KEY_SHARE_VERSION),
+        _pack_string(share.matrix_id),
+        _pack_string(share.split_id),
+        struct.pack(
+            "<HHHI",
+            share.index,
+            share.threshold,
+            share.total,
+            share.payload_len,
+        ),
+        struct.pack("<B", len(share.secret_digest)),
+        share.secret_digest,
+        struct.pack("<B", len(share.share_digest)),
+        share.share_digest,
+        struct.pack("<H", len(share.values)),
+    ]
+    for value in share.values:
+        parts.append(value.to_bytes(WORD_BYTES, "big"))
+    body = b"".join(parts)
+    return frame_record(
+        KEY_SHARE_MAGIC, body, compressed_magic=KEY_SHARE_MAGIC_COMPRESSED
+    )
+
+
+def deserialize_key_share(data: bytes):
+    """Inverse of :func:`serialize_key_share`.
+
+    Raises :class:`~repro.util.errors.IntegrityError` on any malformed
+    input, exactly like the RPPD path. Structural validity only — the
+    share's own integrity digest is checked by ``KeyShare.verify()``
+    (or :func:`repro.keys.threshold.share_from_bytes`, which does both
+    and speaks :class:`~repro.util.errors.KeyMismatchError`).
+    """
+    from repro.keys.threshold import WORD_BYTES, KeyShare
+
+    body = unframe_record(
+        bytes(data),
+        KEY_SHARE_MAGIC,
+        compressed_magic=KEY_SHARE_MAGIC_COMPRESSED,
+        what="key-share record",
+    )
+    try:
+        offset = 0
+        (version,) = struct.unpack_from("<B", body, offset)
+        offset += 1
+        if version != KEY_SHARE_VERSION:
+            raise IntegrityError(
+                f"unsupported key-share version {version} "
+                f"(expected {KEY_SHARE_VERSION})"
+            )
+        matrix_id, offset = _unpack_string(body, offset)
+        split_id, offset = _unpack_string(body, offset)
+        index, threshold, total, payload_len = struct.unpack_from(
+            "<HHHI", body, offset
+        )
+        offset += struct.calcsize("<HHHI")
+        (secret_len,) = struct.unpack_from("<B", body, offset)
+        offset += 1
+        secret_digest = body[offset : offset + secret_len]
+        if len(secret_digest) != secret_len:
+            raise IntegrityError("key-share secret digest is truncated")
+        offset += secret_len
+        (share_len,) = struct.unpack_from("<B", body, offset)
+        offset += 1
+        share_digest = body[offset : offset + share_len]
+        if len(share_digest) != share_len:
+            raise IntegrityError("key-share integrity digest is truncated")
+        offset += share_len
+        (n_values,) = struct.unpack_from("<H", body, offset)
+        offset += 2
+        if len(body) - offset != n_values * WORD_BYTES:
+            raise IntegrityError(
+                f"key-share record declares {n_values} value word(s) but "
+                f"carries {len(body) - offset} byte(s) of them"
+            )
+        values = tuple(
+            int.from_bytes(
+                body[offset + k * WORD_BYTES : offset + (k + 1) * WORD_BYTES],
+                "big",
+            )
+            for k in range(n_values)
+        )
+    except IntegrityError:
+        raise
+    except (struct.error, UnicodeDecodeError, ValueError) as error:
+        raise IntegrityError(
+            f"malformed key-share record (CRC valid but body does not "
+            f"parse): {error}"
+        ) from error
+    return KeyShare(
+        matrix_id=matrix_id,
+        split_id=split_id,
+        index=index,
+        threshold=threshold,
+        total=total,
+        payload_len=payload_len,
+        values=values,
+        secret_digest=secret_digest,
+        share_digest=share_digest,
     )

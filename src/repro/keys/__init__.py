@@ -1,0 +1,42 @@
+"""The key-management layer: channels, keyrings, and threshold sharing.
+
+``repro.keys`` is the home for everything key-shaped. The point-to-point
+channel primitives still live in :mod:`repro.core.keys` (and are
+re-exported here unchanged, so either import path works); the threshold
+layer — Shamir t-of-n splitting of region keys with named-holder
+policies — is :mod:`repro.keys.threshold`.
+"""
+
+from repro.core.keys import (
+    DH_GENERATOR,
+    DH_PRIME,
+    DhKeyPair,
+    KeyRing,
+    SecureChannel,
+    generate_private_key,
+    shared_secret,
+)
+from repro.keys.threshold import (
+    SHARE_PRIME,
+    KeyShare,
+    ShareSet,
+    recover_key,
+    share_from_bytes,
+    split_key,
+)
+
+__all__ = [
+    "DH_GENERATOR",
+    "DH_PRIME",
+    "DhKeyPair",
+    "KeyRing",
+    "SecureChannel",
+    "generate_private_key",
+    "shared_secret",
+    "SHARE_PRIME",
+    "KeyShare",
+    "ShareSet",
+    "recover_key",
+    "share_from_bytes",
+    "split_key",
+]

@@ -1,0 +1,411 @@
+"""Shamir t-of-n threshold sharing of region private keys.
+
+The private matrices *are* PuPPIeS' secret, and a single keyring behind a
+point-to-point channel makes every region a single point of failure: lose
+the owner's device and the ROI is locked forever, or hand the whole key
+to one receiver and the trust is all-or-nothing. This module splits a
+:class:`~repro.core.matrices.PrivateKey` into ``n`` shares such that any
+``t`` of them reconstruct the key bit-exactly while any ``t - 1`` reveal
+*nothing* — the classic Shamir construction (P3 and the FROST/TSS key
+distribution layers solve the same availability problem the same way).
+
+Construction
+------------
+The serialized key is cut into 31-byte chunks, each read as an integer in
+the prime field GF(:data:`SHARE_PRIME`) (the secp256k1 prime already used
+by the DH channel — every 31-byte value is far below it). For each chunk
+an independent random polynomial ``f(x) = secret + a_1 x + ... +
+a_{t-1} x^{t-1}`` is drawn, and share ``i`` holds ``f(i)`` for every
+chunk. Recovery is Lagrange interpolation at ``x = 0`` from any ``t``
+distinct shares.
+
+Integrity is layered so failures are *diagnosable*, not just detected:
+
+* each :class:`KeyShare` carries a ``share_digest`` over its own fields,
+  so a corrupted share is named (``share 2 of 'face-0'``) instead of
+  surfacing as an inscrutable wrong-key reconstruction;
+* all shares of one split carry the same ``secret_digest`` (a truncated
+  hash of the serialized key), so a successful-looking interpolation
+  from mismatched shares still fails closed;
+* a random ``split_id`` nonce keys both digests, so shares from two
+  different splits of the *same* key can never be mixed.
+
+As everywhere in the key channel, this is a faithful simulation of the
+crypto the paper assumes, not a hardened implementation — field
+arithmetic is plain python ints and digests are truncated SHA-256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.keys import DH_PRIME
+from repro.core.matrices import PrivateKey
+from repro.util.errors import IntegrityError, KeyMismatchError
+
+#: The prime field the shares live in — the secp256k1 prime, shared with
+#: the DH channel so the whole key layer speaks one field.
+SHARE_PRIME = DH_PRIME
+
+#: Chunk width of the secret payload. 31 bytes < 2**248 keeps every chunk
+#: comfortably inside the field with no modular wrap to special-case.
+CHUNK_BYTES = 31
+
+#: Field elements travel as fixed 32-byte big-endian words.
+WORD_BYTES = 32
+
+#: Truncated-SHA-256 digest width used by both integrity layers.
+DIGEST_BYTES = 16
+
+
+def _digest(*parts: bytes) -> bytes:
+    """A truncated SHA-256 over length-framed parts (no boundary abuse)."""
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(struct.pack("<I", len(part)))
+        hasher.update(part)
+    return hasher.digest()[:DIGEST_BYTES]
+
+
+def _secret_digest(split_id: str, payload: bytes) -> bytes:
+    return _digest(b"puppies-secret", split_id.encode("utf-8"), payload)
+
+
+@dataclass(frozen=True)
+class KeyShare:
+    """One holder's share of a split region key.
+
+    ``values[k]`` is the share polynomial for payload chunk ``k``
+    evaluated at ``x = index``. A share alone reveals nothing about the
+    key; ``threshold`` of them (same ``matrix_id`` and ``split_id``)
+    recover it exactly.
+    """
+
+    matrix_id: str
+    split_id: str
+    index: int
+    threshold: int
+    total: int
+    payload_len: int
+    values: Tuple[int, ...]
+    secret_digest: bytes
+    share_digest: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not self.share_digest:
+            object.__setattr__(
+                self, "share_digest", self._compute_digest()
+            )
+
+    def _compute_digest(self) -> bytes:
+        return _digest(
+            b"puppies-share",
+            self.matrix_id.encode("utf-8"),
+            self.split_id.encode("utf-8"),
+            struct.pack("<HHHI", self.index, self.threshold, self.total,
+                        self.payload_len),
+            b"".join(
+                value.to_bytes(WORD_BYTES, "big") for value in self.values
+            ),
+            self.secret_digest,
+        )
+
+    @property
+    def label(self) -> str:
+        """How errors name this share: index + the region it unlocks."""
+        return f"share {self.index}/{self.total} of {self.matrix_id!r}"
+
+    def verify(self) -> None:
+        """Raise :class:`KeyMismatchError` naming this share if any field
+        disagrees with its integrity digest."""
+        if self.index < 1 or self.index > self.total:
+            raise KeyMismatchError(
+                f"{self.label} has an impossible index (valid: 1.."
+                f"{self.total})"
+            )
+        if not 1 <= self.threshold <= self.total:
+            raise KeyMismatchError(
+                f"{self.label} declares threshold {self.threshold} of "
+                f"{self.total} holders — not a valid quorum"
+            )
+        if any(not 0 <= value < SHARE_PRIME for value in self.values):
+            raise KeyMismatchError(
+                f"{self.label} holds a value outside the share field"
+            )
+        if self.share_digest != self._compute_digest():
+            raise KeyMismatchError(
+                f"{self.label} failed its integrity digest — the share "
+                f"was corrupted or tampered with"
+            )
+
+    def serialize(self) -> bytes:
+        """This share as a framed ``RPKS`` record (docs/FORMATS.md §6)."""
+        from repro.core.serialization import serialize_key_share
+
+        return serialize_key_share(self)
+
+
+def share_from_bytes(
+    data: bytes, expected_matrix_id: Optional[str] = None
+) -> KeyShare:
+    """Parse and *verify* a framed ``RPKS`` share record.
+
+    The key-channel counterpart of
+    :func:`~repro.core.serialization.deserialize_key_share`: every
+    failure — damaged framing, a digest mismatch, or a share for the
+    wrong region — surfaces as :class:`KeyMismatchError` identifying the
+    share as precisely as the bytes allow.
+    """
+    from repro.core.serialization import deserialize_key_share
+
+    try:
+        share = deserialize_key_share(data)
+    except IntegrityError as error:
+        raise KeyMismatchError(
+            f"key share record is damaged and cannot be trusted: {error}"
+        ) from error
+    share.verify()
+    if expected_matrix_id is not None and share.matrix_id != expected_matrix_id:
+        raise KeyMismatchError(
+            f"{share.label} cannot unlock region keyed by "
+            f"{expected_matrix_id!r}"
+        )
+    return share
+
+
+def _random_field_element(rng: np.random.Generator) -> int:
+    """Rejection-sample a uniform element of GF(SHARE_PRIME)."""
+    while True:
+        value = int.from_bytes(rng.bytes(WORD_BYTES), "big")
+        if value < SHARE_PRIME:
+            return value
+
+
+def _eval_poly(coeffs: Sequence[int], x: int) -> int:
+    """Evaluate ``coeffs[0] + coeffs[1] x + ...`` in the field (Horner)."""
+    result = 0
+    for coeff in reversed(coeffs):
+        result = (result * x + coeff) % SHARE_PRIME
+    return result
+
+
+def _lagrange_at_zero(points: Sequence[Tuple[int, int]]) -> int:
+    """Interpolate the degree-(t-1) polynomial through ``points`` at 0."""
+    secret = 0
+    for i, (x_i, y_i) in enumerate(points):
+        numerator = 1
+        denominator = 1
+        for j, (x_j, _) in enumerate(points):
+            if i == j:
+                continue
+            numerator = (numerator * (-x_j)) % SHARE_PRIME
+            denominator = (denominator * (x_i - x_j)) % SHARE_PRIME
+        lagrange = (numerator * pow(denominator, -1, SHARE_PRIME))
+        secret = (secret + y_i * lagrange) % SHARE_PRIME
+    return secret
+
+
+def _chunk_payload(payload: bytes) -> List[int]:
+    return [
+        int.from_bytes(payload[offset : offset + CHUNK_BYTES], "big")
+        for offset in range(0, len(payload), CHUNK_BYTES)
+    ]
+
+
+def _assemble_payload(chunks: Sequence[int], payload_len: int) -> bytes:
+    parts = []
+    remaining = payload_len
+    for chunk in chunks:
+        width = min(CHUNK_BYTES, remaining)
+        try:
+            parts.append(chunk.to_bytes(width, "big"))
+        except OverflowError:
+            raise KeyMismatchError(
+                "recovered chunk does not fit its payload slot — the "
+                "shares do not interpolate to the original key"
+            ) from None
+        remaining -= width
+    return b"".join(parts)
+
+
+def split_key(
+    private_key: PrivateKey,
+    n: int,
+    t: int,
+    rng: Optional[np.random.Generator] = None,
+) -> List[KeyShare]:
+    """Split ``private_key`` into ``n`` shares, any ``t`` of which recover it.
+
+    Every chunk of the serialized key gets an independent random
+    degree-``(t-1)`` polynomial whose constant term is the chunk; share
+    ``i`` (for ``i = 1..n``) holds the evaluations at ``x = i``. The
+    original key is *not* retained anywhere in the result — holders of
+    fewer than ``t`` shares hold uniformly random field elements.
+    """
+    if t < 1:
+        raise KeyMismatchError(f"threshold must be at least 1, got {t}")
+    if n < t:
+        raise KeyMismatchError(
+            f"cannot require {t} of only {n} shares — threshold exceeds "
+            f"holders"
+        )
+    if n > 0xFFFF:
+        raise KeyMismatchError(f"at most {0xFFFF} shares supported, got {n}")
+    if rng is None:
+        rng = np.random.default_rng()
+    payload = private_key.serialize()
+    split_id = rng.bytes(8).hex()
+    secret_digest = _secret_digest(split_id, payload)
+    chunks = _chunk_payload(payload)
+    # One independent polynomial per chunk; f(0) is the chunk itself.
+    polynomials = [
+        [chunk] + [_random_field_element(rng) for _ in range(t - 1)]
+        for chunk in chunks
+    ]
+    return [
+        KeyShare(
+            matrix_id=private_key.matrix_id,
+            split_id=split_id,
+            index=index,
+            threshold=t,
+            total=n,
+            payload_len=len(payload),
+            values=tuple(
+                _eval_poly(poly, index) for poly in polynomials
+            ),
+            secret_digest=secret_digest,
+        )
+        for index in range(1, n + 1)
+    ]
+
+
+def recover_key(shares: Iterable[KeyShare]) -> PrivateKey:
+    """Recover the original key from any quorum of shares.
+
+    Fails closed with :class:`KeyMismatchError` — naming the offending
+    share where one can be named — on: a corrupted share, shares from
+    different regions or different splits, duplicate conflicting
+    indices, or fewer than ``threshold`` distinct shares. The recovered
+    key is verified against the split's secret digest before it is
+    returned, so a wrong reconstruction can never masquerade as success.
+    """
+    pool = list(shares)
+    if not pool:
+        raise KeyMismatchError("cannot recover a key from zero shares")
+    for share in pool:
+        share.verify()
+    head = pool[0]
+    by_index: Dict[int, KeyShare] = {}
+    for share in pool:
+        if (share.matrix_id, share.split_id) != (
+            head.matrix_id, head.split_id
+        ):
+            raise KeyMismatchError(
+                f"{share.label} belongs to a different "
+                f"{'region' if share.matrix_id != head.matrix_id else 'split'}"
+                f" than {head.label} — shares cannot be mixed"
+            )
+        if (share.threshold, share.total, share.payload_len,
+                share.secret_digest) != (
+                head.threshold, head.total, head.payload_len,
+                head.secret_digest):
+            raise KeyMismatchError(
+                f"{share.label} disagrees with {head.label} about the "
+                f"split parameters"
+            )
+        existing = by_index.get(share.index)
+        if existing is not None and existing != share:
+            raise KeyMismatchError(
+                f"two conflicting copies of {share.label} were presented"
+            )
+        by_index[share.index] = share
+    if len(by_index) < head.threshold:
+        raise KeyMismatchError(
+            f"quorum not met for {head.matrix_id!r}: {len(by_index)} "
+            f"distinct share(s) of the required {head.threshold}"
+        )
+    quorum = [by_index[index] for index in sorted(by_index)[: head.threshold]]
+    n_chunks = len(head.values)
+    chunks = [
+        _lagrange_at_zero(
+            [(share.index, share.values[k]) for share in quorum]
+        )
+        for k in range(n_chunks)
+    ]
+    payload = _assemble_payload(chunks, head.payload_len)
+    if _secret_digest(head.split_id, payload) != head.secret_digest:
+        raise KeyMismatchError(
+            f"recovered key for {head.matrix_id!r} does not match the "
+            f"split's secret digest — a share is wrong or forged"
+        )
+    key = PrivateKey.deserialize(payload)
+    key.require_id(head.matrix_id)
+    return key
+
+
+@dataclass
+class ShareSet:
+    """A per-ROI threshold policy: *named* holders of one split key.
+
+    The object a sender resolves per region — "any 2 of the 3 family
+    members unlock the face ROI" is ``ShareSet.split(face_key,
+    holders=["mom", "dad", "sister"], threshold=2)``. It maps holder
+    names to their shares, answers quorum questions, and recovers the
+    key from whichever holders are reachable.
+    """
+
+    matrix_id: str
+    threshold: int
+    holders: Dict[str, KeyShare] = field(default_factory=dict)
+
+    @classmethod
+    def split(
+        cls,
+        private_key: PrivateKey,
+        holders: Sequence[str],
+        threshold: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "ShareSet":
+        """Split a key across named holders with threshold-``t`` recovery."""
+        names = list(holders)
+        if len(set(names)) != len(names):
+            raise KeyMismatchError(
+                f"holder names must be unique, got {names}"
+            )
+        shares = split_key(private_key, n=len(names), t=threshold, rng=rng)
+        return cls(
+            matrix_id=private_key.matrix_id,
+            threshold=threshold,
+            holders=dict(zip(names, shares)),
+        )
+
+    def share_for(self, holder: str) -> KeyShare:
+        """The share to hand ``holder`` (KeyMismatchError if unknown)."""
+        try:
+            return self.holders[holder]
+        except KeyError:
+            raise KeyMismatchError(
+                f"{holder!r} holds no share of {self.matrix_id!r} "
+                f"(holders: {sorted(self.holders)})"
+            ) from None
+
+    def can_recover(self, available: Iterable[str]) -> bool:
+        """Whether the named (reachable) holders form a quorum."""
+        present = set(available) & set(self.holders)
+        return len(present) >= self.threshold
+
+    def recover(self, available: Iterable[str]) -> PrivateKey:
+        """Recover the key from the named holders' shares."""
+        present = sorted(set(available) & set(self.holders))
+        if len(present) < self.threshold:
+            raise KeyMismatchError(
+                f"quorum not met for {self.matrix_id!r}: "
+                f"{len(present)} of the required {self.threshold} "
+                f"holder(s) available"
+            )
+        return recover_key(self.holders[name] for name in present)

@@ -124,6 +124,122 @@ class TestProtectReconstruct:
         ) == 1
 
 
+@pytest.mark.keys
+class TestKeysSubcommand:
+    def test_split_recover_reconstruct_roundtrip(self, photo, tmp_path):
+        """The full threshold workflow through the CLI: protect, split
+        the region key 2-of-3, recover from a quorum, reconstruct with
+        the recovered key — pixel-identical to using the original."""
+        share = str(tmp_path / "share")
+        main(["protect", photo, "--out-dir", share, "--roi", "64,8,16,48"])
+        key_dir = os.path.join(share, "keys")
+        (key_file,) = (
+            os.path.join(key_dir, name) for name in os.listdir(key_dir)
+        )
+        shares_dir = str(tmp_path / "shares")
+        assert main(
+            [
+                "keys", "split", "--key", key_file,
+                "-n", "3", "-t", "2", "--out-dir", shares_dir,
+            ]
+        ) == 0
+        share_files = sorted(
+            os.path.join(shares_dir, name)
+            for name in os.listdir(shares_dir)
+        )
+        assert len(share_files) == 3
+        recovered_key = str(tmp_path / "recovered.key")
+        assert main(
+            [
+                "keys", "recover", share_files[0], share_files[2],
+                "-o", recovered_key,
+            ]
+        ) == 0
+        with open(key_file, "rb") as a, open(recovered_key, "rb") as b:
+            assert a.read() == b.read()
+
+        via_original = str(tmp_path / "orig.ppm")
+        via_recovered = str(tmp_path / "rec.ppm")
+        main(["reconstruct", share, "--keys", key_file,
+              "-o", via_original])
+        main(["reconstruct", share, "--keys", recovered_key,
+              "-o", via_recovered])
+        assert np.array_equal(
+            read_image(via_original), read_image(via_recovered)
+        )
+
+    def test_split_from_owner_seed_and_inspect(self, tmp_path, capsys):
+        shares_dir = str(tmp_path / "shares")
+        assert main(
+            [
+                "keys", "split", "--matrix-id", "face-0",
+                "--owner", "alice", "-n", "3", "-t", "2",
+                "--out-dir", shares_dir,
+            ]
+        ) == 0
+        assert main(
+            ["keys", "inspect", os.path.join(shares_dir, "*.rpks")]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "matrix='face-0'" in output
+        assert "threshold=2" in output
+        assert output.count("[ok]") == 3
+
+    def test_single_share_fails_closed(self, tmp_path):
+        shares_dir = str(tmp_path / "shares")
+        main(
+            [
+                "keys", "split", "--matrix-id", "m", "--owner", "o",
+                "-n", "3", "-t", "2", "--out-dir", shares_dir,
+            ]
+        )
+        one = sorted(os.listdir(shares_dir))[0]
+        assert main(
+            ["keys", "recover", os.path.join(shares_dir, one)]
+        ) == 1
+
+    def test_tampered_share_file_detected(self, tmp_path, capsys):
+        shares_dir = str(tmp_path / "shares")
+        main(
+            [
+                "keys", "split", "--matrix-id", "m", "--owner", "o",
+                "-n", "2", "-t", "2", "--out-dir", shares_dir,
+            ]
+        )
+        victim = os.path.join(shares_dir, sorted(os.listdir(shares_dir))[0])
+        with open(victim, "rb") as handle:
+            blob = bytearray(handle.read())
+        blob[len(blob) // 2] ^= 0xFF
+        with open(victim, "wb") as handle:
+            handle.write(bytes(blob))
+        assert main(["keys", "inspect", victim]) == 1
+        assert main(
+            ["keys", "recover", os.path.join(shares_dir, "*.rpks")]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_recover_wrong_expect_id_fails(self, tmp_path):
+        shares_dir = str(tmp_path / "shares")
+        main(
+            [
+                "keys", "split", "--matrix-id", "face-0", "--owner", "o",
+                "-n", "2", "-t", "2", "--out-dir", shares_dir,
+            ]
+        )
+        assert main(
+            [
+                "keys", "recover", os.path.join(shares_dir, "*.rpks"),
+                "--expect-id", "plate-1",
+            ]
+        ) == 1
+
+    def test_split_without_key_source_fails(self, tmp_path):
+        assert main(
+            ["keys", "split", "--out-dir", str(tmp_path / "s")]
+        ) == 2
+
+
 class TestImageIo:
     def test_ppm_roundtrip(self, tmp_path, rng):
         arr = rng.integers(0, 256, (13, 17, 3), dtype=np.uint8)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.keys import (
+    DH_PRIME,
     DhKeyPair,
     KeyRing,
     SecureChannel,
@@ -17,6 +18,8 @@ from repro.jpeg.coefficients import CoefficientImage
 from repro.util.errors import KeyMismatchError, ReproError
 from repro.util.rect import Rect
 from repro.util.rng import rng_from_key
+
+pytestmark = pytest.mark.keys
 
 
 class TestDiffieHellman:
@@ -64,6 +67,79 @@ class TestSecureChannel:
         blob = sender_side.send_key(key)
         with pytest.raises(Exception):
             eve_side.receive_key("m1", blob)
+
+
+class _ScriptedRng:
+    """A stand-in rng whose ``bytes()`` returns a scripted sequence."""
+
+    def __init__(self, outputs):
+        self._outputs = list(outputs)
+
+    def bytes(self, n):
+        out = self._outputs.pop(0)
+        assert len(out) == n
+        return out
+
+
+class TestKeyChannelHardening:
+    """Regressions for the PR-10 key-channel bugfix sweep."""
+
+    def test_mac_length_framing_blocks_boundary_forgery(self):
+        """Sliding bytes across the id/ciphertext boundary must change
+        the tag: ("m1", c) and ("m", b"1" + c) MAC'd identically before
+        the fields were length-prefixed."""
+        alice = DhKeyPair.generate(rng_from_key("a"))
+        bob = DhKeyPair.generate(rng_from_key("b"))
+        channel = SecureChannel.establish(alice, bob.public)
+        assert channel._mac("m1", b"cipher") != channel._mac("m", b"1cipher")
+        assert channel._mac("ab", b"c") != channel._mac("a", b"bc")
+
+    def test_forged_blob_under_shifted_id_rejected(self):
+        alice = DhKeyPair.generate(rng_from_key("a"))
+        bob = DhKeyPair.generate(rng_from_key("b"))
+        sender_side = SecureChannel.establish(alice, bob.public)
+        receiver_side = SecureChannel.establish(bob, alice.public)
+        blob = sender_side.send_key(generate_private_key("m1", "alice"))
+        ciphertext, tag = blob[:-16], blob[-16:]
+        forged = b"1" + ciphertext + tag
+        with pytest.raises(KeyMismatchError):
+            receiver_side.receive_key("m", forged)
+
+    @pytest.mark.parametrize(
+        "bad_public", [0, 1, DH_PRIME - 1, DH_PRIME, DH_PRIME + 5, -3]
+    )
+    def test_degenerate_dh_publics_rejected(self, bad_public):
+        alice = DhKeyPair.generate(rng_from_key("a"))
+        with pytest.raises(KeyMismatchError, match="degenerate|range"):
+            shared_secret(alice.private, bad_public)
+        with pytest.raises(KeyMismatchError, match="degenerate|range"):
+            SecureChannel.establish(alice, bad_public)
+
+    def test_private_exponent_rejection_sampled(self):
+        """Out-of-range draws are redrawn, not folded with a biased
+        modulo; in-range draws are used verbatim."""
+        wanted = 123456789
+        rng = _ScriptedRng([
+            b"\xff" * 32,                  # 2**256 - 1: out of range
+            (0).to_bytes(32, "big"),       # zero: out of range
+            wanted.to_bytes(32, "big"),    # in range: accepted as-is
+        ])
+        pair = DhKeyPair.generate(rng)
+        assert pair.private == wanted
+
+    def test_generated_exponents_in_range(self):
+        for seed in range(8):
+            pair = DhKeyPair.generate(rng_from_key(f"range/{seed}"))
+            assert 1 <= pair.private <= DH_PRIME - 2
+
+    def test_keyring_miss_suppresses_keyerror_chain(self):
+        try:
+            KeyRing()["missing"]
+        except KeyMismatchError as error:
+            assert error.__suppress_context__
+            assert error.__cause__ is None
+        else:
+            pytest.fail("expected KeyMismatchError")
 
 
 class TestKeyRing:

@@ -1,0 +1,373 @@
+"""Shamir t-of-n threshold sharing: split/recover, integrity, wiring.
+
+Covers the acceptance criteria of the threshold-keys PR: any t of n
+shares recover a bit-identical key (including through RPKS framing and
+the sender/receiver quorum path), any t-1 shares fail closed, and a
+corrupted share is rejected *naming the bad share*.
+"""
+
+import dataclasses
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.keys import generate_private_key
+from repro.core.matrices import PrivateKey
+from repro.core.perturb import SCHEMES
+from repro.core.psp import Psp
+from repro.core.receiver import Receiver
+from repro.core.roi import RegionOfInterest
+from repro.core.sender import Sender
+from repro.core.serialization import (
+    KEY_SHARE_MAGIC,
+    deserialize_key_share,
+    serialize_key_share,
+)
+from repro.keys.threshold import (
+    SHARE_PRIME,
+    KeyShare,
+    ShareSet,
+    recover_key,
+    share_from_bytes,
+    split_key,
+)
+from repro.util.errors import IntegrityError, KeyMismatchError
+from repro.util.rect import Rect
+from repro.util.rng import rng_from_key
+
+pytestmark = pytest.mark.keys
+
+
+def _tamper(share: KeyShare, **changes) -> KeyShare:
+    """A field-tampered copy whose stale digest must betray it."""
+    return dataclasses.replace(share, **changes)
+
+
+class TestSplitRecover:
+    @pytest.mark.parametrize("t,n", [(1, 1), (1, 3), (2, 2), (2, 3),
+                                     (3, 5), (5, 5)])
+    def test_any_quorum_recovers_bit_identical(self, t, n):
+        key = generate_private_key("face-0", "alice")
+        shares = split_key(key, n=n, t=t, rng=rng_from_key(f"split/{t}/{n}"))
+        assert len(shares) == n
+        for subset in itertools.combinations(shares, t):
+            recovered = recover_key(subset)
+            assert recovered == key
+            assert recovered.matrix_id == key.matrix_id
+
+    def test_recovery_order_independent(self):
+        key = generate_private_key("m", "o")
+        shares = split_key(key, n=4, t=3, rng=rng_from_key("order"))
+        assert recover_key([shares[3], shares[0], shares[2]]) == key
+
+    def test_extra_shares_beyond_quorum_ok(self):
+        key = generate_private_key("m", "o")
+        shares = split_key(key, n=5, t=2, rng=rng_from_key("extra"))
+        assert recover_key(shares) == key
+
+    def test_t_minus_one_fails_closed(self):
+        key = generate_private_key("m", "o")
+        shares = split_key(key, n=4, t=3, rng=rng_from_key("short"))
+        with pytest.raises(KeyMismatchError, match="quorum not met"):
+            recover_key(shares[:2])
+
+    def test_zero_shares_fails(self):
+        with pytest.raises(KeyMismatchError, match="zero shares"):
+            recover_key([])
+
+    def test_duplicate_identical_share_does_not_fake_quorum(self):
+        key = generate_private_key("m", "o")
+        shares = split_key(key, n=3, t=2, rng=rng_from_key("dup"))
+        with pytest.raises(KeyMismatchError, match="quorum not met"):
+            recover_key([shares[0], shares[0]])
+
+    def test_shares_from_different_splits_cannot_mix(self):
+        key = generate_private_key("m", "o")
+        first = split_key(key, n=3, t=2, rng=rng_from_key("mix/a"))
+        second = split_key(key, n=3, t=2, rng=rng_from_key("mix/b"))
+        with pytest.raises(KeyMismatchError, match="different split"):
+            recover_key([first[0], second[1]])
+
+    def test_shares_from_different_regions_cannot_mix(self):
+        a = split_key(generate_private_key("m1", "o"), n=3, t=2,
+                      rng=rng_from_key("r/a"))
+        b = split_key(generate_private_key("m2", "o"), n=3, t=2,
+                      rng=rng_from_key("r/b"))
+        with pytest.raises(KeyMismatchError, match="different region"):
+            recover_key([a[0], b[1]])
+
+    def test_invalid_parameters_rejected(self):
+        key = generate_private_key("m", "o")
+        with pytest.raises(KeyMismatchError, match="threshold"):
+            split_key(key, n=3, t=0)
+        with pytest.raises(KeyMismatchError, match="exceeds"):
+            split_key(key, n=2, t=3)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_recovery_fuzz_across_schemes(self, scheme):
+        """Any-t-of-n fuzz: random quorums over keys of every scheme."""
+        fuzz = rng_from_key(f"fuzz/{scheme}")
+        for trial in range(6):
+            t = int(fuzz.integers(1, 5))
+            n = int(fuzz.integers(t, t + 4))
+            key = generate_private_key(
+                f"{scheme}/region-{trial}", f"owner-{scheme}"
+            )
+            shares = split_key(key, n=n, t=t, rng=fuzz)
+            picked = fuzz.choice(n, size=t, replace=False)
+            assert recover_key(shares[i] for i in picked) == key
+
+
+class TestShareIntegrity:
+    def test_tampered_value_is_named(self):
+        shares = split_key(generate_private_key("face-0", "o"), n=3, t=2,
+                           rng=rng_from_key("tamper"))
+        evil = _tamper(
+            shares[1],
+            values=(shares[1].values[0] ^ 1,) + shares[1].values[1:],
+        )
+        with pytest.raises(
+            KeyMismatchError, match="share 2/3 of 'face-0'"
+        ):
+            evil.verify()
+        with pytest.raises(
+            KeyMismatchError, match="share 2/3 of 'face-0'"
+        ):
+            recover_key([shares[0], evil])
+
+    def test_tampered_metadata_is_named(self):
+        shares = split_key(generate_private_key("m", "o"), n=3, t=2,
+                           rng=rng_from_key("meta"))
+        with pytest.raises(KeyMismatchError, match="share 3/3 of 'm'"):
+            _tamper(shares[2], threshold=1).verify()
+
+    def test_forged_share_fails_the_secret_digest(self):
+        """A share re-digested after tampering passes verify() but the
+        recovered payload no longer matches the split's secret digest."""
+        shares = split_key(generate_private_key("m", "o"), n=2, t=2,
+                           rng=rng_from_key("forge"))
+        forged = KeyShare(
+            matrix_id=shares[1].matrix_id,
+            split_id=shares[1].split_id,
+            index=shares[1].index,
+            threshold=shares[1].threshold,
+            total=shares[1].total,
+            payload_len=shares[1].payload_len,
+            values=((shares[1].values[0] + 1) % SHARE_PRIME,)
+            + shares[1].values[1:],
+            secret_digest=shares[1].secret_digest,
+        )
+        forged.verify()  # self-consistent, so only recovery can catch it
+        with pytest.raises(KeyMismatchError, match="secret digest"):
+            recover_key([shares[0], forged])
+
+    def test_out_of_field_value_rejected(self):
+        shares = split_key(generate_private_key("m", "o"), n=2, t=2,
+                           rng=rng_from_key("field"))
+        evil = _tamper(shares[0], values=(SHARE_PRIME,)
+                       + shares[0].values[1:])
+        with pytest.raises(KeyMismatchError, match="share field"):
+            evil.verify()
+
+
+class TestRpksFraming:
+    def test_roundtrip(self):
+        shares = split_key(generate_private_key("face-0", "o"), n=3, t=2,
+                           rng=rng_from_key("rpks"))
+        for share in shares:
+            blob = serialize_key_share(share)
+            assert blob[:4] == KEY_SHARE_MAGIC
+            assert deserialize_key_share(blob) == share
+            assert share_from_bytes(blob, "face-0") == share
+
+    def test_bad_magic_raises_integrity_error(self):
+        with pytest.raises(IntegrityError, match="magic"):
+            deserialize_key_share(b"NOPE" + b"\x00" * 32)
+
+    def test_tampered_blob_raises_key_mismatch(self):
+        share = split_key(generate_private_key("m", "o"), n=2, t=2,
+                          rng=rng_from_key("blob"))[0]
+        blob = bytearray(share.serialize())
+        blob[len(blob) // 2] ^= 0xFF
+        with pytest.raises(KeyMismatchError, match="damaged"):
+            share_from_bytes(bytes(blob))
+
+    def test_truncated_blob_raises_key_mismatch(self):
+        share = split_key(generate_private_key("m", "o"), n=2, t=2,
+                          rng=rng_from_key("trunc"))[0]
+        blob = share.serialize()
+        for cut in (3, 10, len(blob) - 1):
+            with pytest.raises(KeyMismatchError, match="damaged"):
+                share_from_bytes(blob[:cut])
+
+    def test_wrong_id_raises_naming_the_share(self):
+        share = split_key(generate_private_key("face-0", "o"), n=3, t=2,
+                          rng=rng_from_key("wrongid"))[1]
+        with pytest.raises(
+            KeyMismatchError,
+            match="share 2/3 of 'face-0' cannot unlock",
+        ):
+            share_from_bytes(share.serialize(), "plate-1")
+
+    def test_reframed_tamper_is_still_named(self):
+        """Valid CRC + corrupt share: the digest names the share."""
+        share = split_key(generate_private_key("face-0", "o"), n=3, t=2,
+                          rng=rng_from_key("reframe"))[0]
+        evil = _tamper(share, payload_len=share.payload_len + 1)
+        blob = serialize_key_share(evil)  # CRC covers the tampered body
+        with pytest.raises(
+            KeyMismatchError, match="share 1/3 of 'face-0'"
+        ):
+            share_from_bytes(blob)
+
+
+class TestStatisticalIndependence:
+    def test_t_minus_one_shares_look_uniform(self):
+        """A below-quorum share carries no information about the secret:
+        across many fresh splits of the *same* key, a fixed share's field
+        elements are uniform (chi-square on the low 6 bits)."""
+        key = generate_private_key("m", "o")
+        rng = rng_from_key("independence")
+        trials = 384
+        counts = np.zeros(64, dtype=np.int64)
+        for _ in range(trials):
+            share = split_key(key, n=2, t=2, rng=rng)[0]
+            counts[share.values[0] % 64] += 1
+        expected = trials / 64
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        # 63 dof: mean 63, p=1e-4 cutoff ~117 — generous but damning for
+        # any secret leakage (a constant residue would score ~24k).
+        assert chi2 < 117, f"chi-square {chi2:.1f} suggests leakage"
+
+    def test_share_distribution_independent_of_secret(self):
+        """Two different secrets induce indistinguishable share values."""
+        rng_a = rng_from_key("dist")
+        rng_b = rng_from_key("dist")  # same randomness, different secrets
+        key_a = generate_private_key("m", "owner-a")
+        key_b = generate_private_key("m", "owner-b")
+        trials = 256
+        bits_a = np.array([
+            split_key(key_a, 3, 2, rng=rng_a)[0].values[0] & 1
+            for _ in range(trials)
+        ])
+        bits_b = np.array([
+            split_key(key_b, 3, 2, rng=rng_b)[0].values[0] & 1
+            for _ in range(trials)
+        ])
+        # Each stream is ~Bernoulli(1/2); their means differ by far less
+        # than any secret-dependent bias would produce.
+        assert abs(bits_a.mean() - 0.5) < 0.15
+        assert abs(bits_b.mean() - 0.5) < 0.15
+
+    def test_fresh_randomness_per_split(self):
+        key = generate_private_key("m", "o")
+        a = split_key(key, n=2, t=2)
+        b = split_key(key, n=2, t=2)
+        assert a[0].split_id != b[0].split_id
+        assert a[0].values != b[0].values
+
+
+class TestShareSet:
+    def test_family_policy_two_of_three(self):
+        key = generate_private_key("face-0", "alice")
+        family = ShareSet.split(key, ["mom", "dad", "sister"], threshold=2,
+                                rng=rng_from_key("family"))
+        assert not family.can_recover(["mom"])
+        assert family.can_recover(["mom", "sister"])
+        assert family.recover(["dad", "sister"]) == key
+        assert family.recover(["mom", "dad", "sister"]) == key
+
+    def test_below_quorum_names_the_region(self):
+        key = generate_private_key("face-0", "alice")
+        family = ShareSet.split(key, ["mom", "dad", "sister"], threshold=2,
+                                rng=rng_from_key("family2"))
+        with pytest.raises(KeyMismatchError, match="face-0"):
+            family.recover(["mom"])
+
+    def test_unknown_holder_rejected(self):
+        family = ShareSet.split(
+            generate_private_key("m", "o"), ["a", "b"], threshold=2,
+            rng=rng_from_key("holders"),
+        )
+        with pytest.raises(KeyMismatchError, match="'stranger'"):
+            family.share_for("stranger")
+        # Unknown names never count toward the quorum.
+        assert not family.can_recover(["stranger", "a"])
+
+    def test_duplicate_holder_names_rejected(self):
+        with pytest.raises(KeyMismatchError, match="unique"):
+            ShareSet.split(generate_private_key("m", "o"), ["a", "a"],
+                           threshold=2)
+
+
+class TestSenderReceiverQuorum:
+    def test_receiver_recovers_on_quorum(self):
+        sender = Sender("alice")
+        shares = sender.split_region_key(
+            "face-0", ["bob", "carol", "dave"], threshold=2
+        )
+        bob = Receiver("bob")
+        assert bob.add_share(shares.share_for("carol")) is None
+        assert "face-0" not in bob.keyring
+        assert bob.pending_share_count("face-0") == 1
+        key = bob.add_share(shares.share_for("dave"))
+        assert key is not None
+        assert bob.keyring["face-0"] == key
+        # Recovered on quorum; the banked partial shares are dropped.
+        assert bob.pending_share_count("face-0") == 0
+
+    def test_escrow_discards_the_senders_copy(self):
+        sender = Sender("alice")
+        shares = sender.split_region_key(
+            "face-0", ["e1", "e2", "e3"], threshold=2, discard=True
+        )
+        assert "face-0" not in sender.keyring
+        # Only a quorum of escrow nodes can rebuild the key now — and it
+        # is the same key the sender derived before discarding.
+        assert (
+            shares.recover(["e1", "e3"])
+            == generate_private_key("face-0", "alice")
+        )
+
+    def test_corrupted_share_not_banked(self):
+        sender = Sender("alice")
+        shares = sender.split_region_key("m", ["x", "y"], threshold=2)
+        evil = _tamper(shares.share_for("x"), index=2, total=2)
+        bob = Receiver("bob")
+        with pytest.raises(KeyMismatchError, match="share 2/2 of 'm'"):
+            bob.add_share(evil)
+        assert bob.pending_share_count("m") == 0
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_end_to_end_reconstruction_from_shares(self, scheme):
+        """Quorum-recovered keys reconstruct the ROI exactly as the
+        original key does, for every perturbation scheme."""
+        gen = np.random.default_rng(99)
+        image = gen.integers(0, 256, (48, 48, 3), dtype=np.uint8)
+        roi = RegionOfInterest(
+            region_id="r0",
+            rect=Rect(8, 8, 16, 16),
+            scheme=scheme,
+        )
+        sender = Sender("alice")
+        request = sender.protect_image(image, [roi])
+        psp = Psp()
+        sender.upload(psp, "img", request)
+
+        matrix_ids = roi.matrix_ids()
+        receiver = Receiver("bob")
+        for matrix_id in matrix_ids:
+            shares = sender.split_region_key(
+                matrix_id, ["bob", "carol", "dave"], threshold=2
+            )
+            assert receiver.add_share(shares.share_for("bob")) is None
+            assert receiver.add_share(shares.share_for("dave")) is not None
+
+        full = Receiver("oracle")
+        for matrix_id in matrix_ids:
+            full.keyring.add(sender.keyring[matrix_id])
+        assert np.array_equal(
+            receiver.fetch_pixels(psp, "img"),
+            full.fetch_pixels(psp, "img"),
+        )
